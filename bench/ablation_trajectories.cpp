@@ -1,0 +1,97 @@
+// Extension experiment along the paper's stated future work ("add more
+// SLAM input data-sets ... more breadth in terms of trajectories") and its
+// companion study [41] (application-oriented DSE): how well does a
+// configuration tuned on the reference trajectory transfer to different
+// camera-motion archetypes, and which configurations are robust across all
+// of them?
+//
+//   ./ablation_trajectories [--paper-scale]
+#include <array>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace {
+
+using namespace hm;
+
+struct TrajectoryCase {
+  dataset::TrajectoryKind kind;
+  const char* name;
+};
+
+constexpr std::array<TrajectoryCase, 4> kCases{{
+    {dataset::TrajectoryKind::kOrbit, "orbit (reference)"},
+    {dataset::TrajectoryKind::kPan, "pan"},
+    {dataset::TrajectoryKind::kZigzag, "zigzag"},
+    {dataset::TrajectoryKind::kRotationHeavy, "rotation-heavy"},
+}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::CliArgs args(argc, argv, {"paper-scale"});
+  const bool paper_scale = args.flag("paper-scale");
+
+  bench::print_header("Extension — robustness across camera trajectories");
+  bench::Scale scale = bench::kfusion_scale(paper_scale);
+  if (!paper_scale) {
+    scale.random_samples = 60;
+    scale.al_iterations = 2;
+  }
+  const auto device = slambench::odroid_xu3();
+
+  // Tune on the reference trajectory.
+  const auto reference_sequence = dataset::make_benchmark_sequence(
+      scale.frames, 80, 60, nullptr, false, dataset::TrajectoryKind::kOrbit);
+  slambench::KFusionEvaluator evaluator(reference_sequence, device);
+  common::Timer timer;
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator,
+                                   bench::optimizer_config(scale, 66));
+  const auto result = optimizer.run();
+  const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
+  if (!best) {
+    std::fprintf(stderr, "no valid configuration on the reference trajectory\n");
+    return 1;
+  }
+  const auto tuned_config = result.samples[*best].config;
+  std::printf("tuned on the reference trajectory in %.0fs:\n  %s\n\n",
+              timer.seconds(), evaluator.space().to_string(tuned_config).c_str());
+
+  const auto default_config = slambench::kfusion_config_from_params(
+      evaluator.space(), kfusion::KFusionParams::defaults());
+  const auto tuned_params =
+      slambench::kfusion_params_from_config(evaluator.space(), tuned_config);
+  const auto default_params = kfusion::KFusionParams::defaults();
+
+  std::printf("%-20s  %-26s %-26s\n", "trajectory", "default (FPS / maxATE cm)",
+              "tuned (FPS / maxATE cm)");
+  std::size_t tuned_valid = 0;
+  std::size_t default_valid = 0;
+  for (const TrajectoryCase& test_case : kCases) {
+    const auto sequence = dataset::make_benchmark_sequence(
+        scale.frames, 80, 60, nullptr, false, test_case.kind);
+    const auto default_metrics = slambench::run_kfusion(*sequence, default_params);
+    const auto tuned_metrics = slambench::run_kfusion(*sequence, tuned_params);
+    const double default_fps =
+        1.0 / device.seconds_per_frame(default_metrics.stats,
+                                       default_metrics.frames);
+    const double tuned_fps = 1.0 / device.seconds_per_frame(
+                                       tuned_metrics.stats, tuned_metrics.frames);
+    std::printf("%-20s  %6.1f / %-16.2f %6.1f / %-16.2f\n", test_case.name,
+                default_fps, default_metrics.ate.max * 100.0, tuned_fps,
+                tuned_metrics.ate.max * 100.0);
+    tuned_valid += tuned_metrics.ate.max < 0.05 ? 1 : 0;
+    default_valid += default_metrics.ate.max < 0.05 ? 1 : 0;
+  }
+  std::printf("\n");
+  bench::report("default config valid (<5 cm) across trajectories",
+                "(conservative default)",
+                std::to_string(default_valid) + " of " +
+                    std::to_string(kCases.size()) + " trajectories");
+  bench::report("tuned config valid (<5 cm) across trajectories",
+                "(speed-tuned configs overfit; see [41])",
+                std::to_string(tuned_valid) + " of " +
+                    std::to_string(kCases.size()) + " trajectories");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Section IV-D's transfer claims, quantified:
+//   - configurations that run fast on one machine run fast on *similar*
+//     machines (strong Pearson and Spearman correlation, citing [43]),
+//     which is why the ODROID-tuned configuration speeds up all 83 ARM
+//     phones in Fig. 5;
+//   - zero-shot transfer "does not seem to work in general when the
+//     machines are fundamentally different".
+// Measured here as runtime correlations and transfer regret between the
+// ODROID (source) and: the ASUS (similar class), the desktop GPU
+// (fundamentally different), and samples of the crowd population.
+//
+//   ./ablation_transfer [--paper-scale]
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "crowd/device_population.hpp"
+#include "slambench/transfer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv, {"paper-scale"});
+  const bool paper_scale = args.flag("paper-scale");
+
+  bench::print_header("Ablation — cross-machine configuration transfer (IV-D)");
+  const bench::Scale scale = bench::kfusion_scale(paper_scale);
+  const std::size_t sample_count = paper_scale ? 600 : 120;
+
+  const auto sequence =
+      dataset::make_benchmark_sequence(scale.frames, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator(sequence, slambench::odroid_xu3());
+  const auto& space = evaluator.space();
+
+  // Measure a uniform configuration sample once (device-independent).
+  common::Rng rng(808);
+  common::Timer timer;
+  const auto configs = space.sample_distinct(sample_count, rng);
+  std::vector<slambench::RunMetrics> metrics;
+  std::vector<double> ate;
+  metrics.reserve(configs.size());
+  for (const auto& config : configs) {
+    metrics.push_back(evaluator.measure(config));
+    ate.push_back(metrics.back().ate.max);
+  }
+  const auto default_metrics =
+      evaluator.measure(slambench::kfusion_config_from_params(
+          space, kfusion::KFusionParams::defaults()));
+  std::printf("measured %zu configurations in %.0fs\n\n", configs.size(),
+              timer.seconds());
+
+  const auto odroid = slambench::odroid_xu3();
+  const auto asus = slambench::asus_t200ta();
+  const auto nvidia = slambench::nvidia_gtx780ti();
+
+  std::printf("%-34s %-9s %-9s %-14s %-9s\n", "source -> target", "pearson",
+              "spearman", "regret", "speedup");
+  auto report_pair = [&](const slambench::DeviceModel& source,
+                         const slambench::DeviceModel& target) {
+    const auto analysis = slambench::analyze_transfer(
+        metrics, ate, default_metrics, source, target);
+    std::printf("%-34s %-9.3f %-9.3f %-14s %-9.2f\n",
+                (source.name + " -> " + target.name).c_str(), analysis.pearson,
+                analysis.spearman,
+                bench::fmt("%.3fx slower", analysis.transfer_regret).c_str(),
+                analysis.transferred_speedup);
+    return analysis;
+  };
+
+  const auto to_asus = report_pair(odroid, asus);
+  const auto to_nvidia = report_pair(odroid, nvidia);
+
+  // Crowd devices: the similar-machine regime of Fig. 5.
+  crowd::PopulationConfig population_config;
+  population_config.device_count = 12;
+  const auto devices = crowd::generate_population(population_config);
+  double worst_crowd_spearman = 1.0;
+  double worst_crowd_regret = 1.0;
+  for (const auto& device : devices) {
+    const auto analysis = slambench::analyze_transfer(
+        metrics, ate, default_metrics, odroid, device);
+    worst_crowd_spearman = std::min(worst_crowd_spearman, analysis.spearman);
+    worst_crowd_regret = std::max(worst_crowd_regret, analysis.transfer_regret);
+  }
+  std::printf("%-34s %-9s %-9.3f %-14s\n", "ODROID -> crowd (worst of 12)", "-",
+              worst_crowd_spearman,
+              bench::fmt("%.3fx slower", worst_crowd_regret).c_str());
+
+  std::printf("\n");
+  bench::report("correlation to a similar machine (ASUS)",
+                "strong Pearson/Spearman [43]",
+                bench::fmt("r=%.2f, ", to_asus.pearson) +
+                    bench::fmt("rho=%.2f", to_asus.spearman));
+  bench::report("correlation to a different machine (GTX)",
+                "weaker; zero-shot may fail",
+                bench::fmt("r=%.2f, ", to_nvidia.pearson) +
+                    bench::fmt("rho=%.2f", to_nvidia.spearman));
+  bench::report("zero-shot regret, similar machine",
+                "near-optimal (Fig. 5 works)",
+                bench::fmt("%.2fx slower than its own best",
+                           to_asus.transfer_regret));
+  bench::report("zero-shot regret, different machine",
+                "no optimality guarantee",
+                bench::fmt("%.2fx slower than its own best",
+                           to_nvidia.transfer_regret));
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Shared helpers for the experiment-reproduction binaries: sequence setup,
+// standard optimizer configurations (CI scale vs. --paper-scale), and
+// result-table printing.
+//
+// Every binary in this directory regenerates one table or figure of the
+// paper (see DESIGN.md, "Experiment index") and prints the paper's number
+// next to the measured one.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+namespace hm::bench {
+
+/// Experiment scale. The paper's runs took days of hardware time; the
+/// default scale reproduces the *shapes* in minutes on one core, and
+/// --paper-scale raises the sample counts toward the paper's.
+struct Scale {
+  std::size_t frames;
+  std::size_t random_samples;
+  std::size_t al_iterations;
+  std::size_t al_batch;
+  std::size_t pool_size;
+  std::size_t forest_trees;
+};
+
+inline Scale kfusion_scale(bool paper_scale) {
+  if (paper_scale) {
+    return {400, 3000, 6, 300, 200'000, 64};
+  }
+  return {30, 120, 4, 60, 20'000, 48};
+}
+
+inline Scale elasticfusion_scale(bool paper_scale) {
+  if (paper_scale) {
+    return {400, 2400, 6, 300, 100'000, 64};
+  }
+  return {60, 150, 3, 60, 20'000, 48};
+}
+
+inline hypermapper::OptimizerConfig optimizer_config(const Scale& scale,
+                                                     std::uint64_t seed = 42) {
+  hypermapper::OptimizerConfig config;
+  config.random_samples = scale.random_samples;
+  config.max_iterations = scale.al_iterations;
+  config.max_samples_per_iteration = scale.al_batch;
+  config.pool_size = scale.pool_size;
+  config.forest.tree_count = scale.forest_trees;
+  config.seed = seed;
+  return config;
+}
+
+/// Prints one "paper vs measured" comparison row.
+inline void report(const char* what, const std::string& paper,
+                   const std::string& measured) {
+  std::printf("  %-46s paper: %-18s measured: %s\n", what, paper.c_str(),
+              measured.c_str());
+}
+
+inline std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+inline void print_header(const char* title) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==================================================================\n");
+}
+
+/// Attaches a progress printer to an optimizer.
+inline void attach_progress(hypermapper::Optimizer& optimizer,
+                            hm::common::Timer& timer) {
+  optimizer.set_progress([&timer](const hypermapper::IterationStats& stats) {
+    std::printf("  [iteration %zu] +%zu samples, measured front %zu (t=%.0fs)\n",
+                stats.iteration, stats.new_samples, stats.measured_front_size,
+                timer.seconds());
+    std::fflush(stdout);
+  });
+}
+
+}  // namespace hm::bench

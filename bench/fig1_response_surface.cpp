@@ -1,0 +1,108 @@
+// Fig. 1: KFusion frame-runtime response surface over (mu, icp-threshold),
+// all other parameters at their defaults. The paper uses the plot to argue
+// that the surface is non-convex, multi-modal and non-smooth, which is what
+// makes hand-tuning infeasible.
+//
+// Output: one grid row per mu value with the per-frame runtime (ms) for
+// each icp-threshold, plus summary statistics quantifying the non-convexity.
+//
+//   ./fig1_response_surface [--frames N] [--paper-scale]
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv, {"paper-scale"});
+  const bool paper_scale = args.flag("paper-scale");
+  const auto frames = static_cast<std::size_t>(
+      args.get_or("frames", std::int64_t{paper_scale ? 400 : 25}));
+
+  bench::print_header(
+      "Fig. 1 — KFusion runtime response surface over (mu, icp-threshold)");
+
+  const auto sequence =
+      dataset::make_benchmark_sequence(frames, 80, 60, nullptr, false);
+  // The desktop-GPU model: integration no longer drowns out the
+  // mu-dependent raycast and threshold-dependent ICP costs, so the
+  // surface exhibits the paper's non-convex structure (Fig. 1 of the
+  // paper was produced during the desktop exploration of [40]).
+  const auto device = slambench::nvidia_gtx780ti();
+
+  // The plotted grid. mu is continuous in the pipeline, so the sweep is
+  // denser than the design space's ordinal values.
+  std::vector<double> mu_values;
+  const int mu_steps = paper_scale ? 12 : 8;
+  for (int i = 0; i < mu_steps; ++i) {
+    mu_values.push_back(0.025 + (0.5 - 0.025) * i / (mu_steps - 1));
+  }
+  const std::vector<double> icp_thresholds{1e-7, 1e-6, 1e-5, 1e-4,
+                                           1e-3, 1e-2, 1e-1, 1.0};
+
+  common::Timer timer;
+  std::printf("\nframe runtime (ms) on %s, %zu frames\n", device.name.c_str(),
+              frames);
+  std::printf("%-8s", "mu\\icp");
+  for (const double threshold : icp_thresholds) {
+    std::printf(" %8.0e", threshold);
+  }
+  std::printf("\n");
+
+  std::vector<double> all_runtimes;
+  for (const double mu : mu_values) {
+    std::printf("%-8.3f", mu);
+    for (const double threshold : icp_thresholds) {
+      kfusion::KFusionParams params;  // Defaults: 256^3 volume etc.
+      params.mu = mu;
+      params.icp_threshold = threshold;
+      const auto metrics = slambench::run_kfusion(*sequence, params);
+      const double ms =
+          device.seconds_per_frame(metrics.stats, metrics.frames) * 1e3;
+      all_runtimes.push_back(ms);
+      std::printf(" %8.1f", ms);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  // Quantify the paper's qualitative claims. Non-smoothness: the largest
+  // jump between horizontally adjacent cells relative to the mean step.
+  const std::size_t columns = icp_thresholds.size();
+  double max_jump = 0.0, total_jump = 0.0;
+  std::size_t jumps = 0;
+  std::size_t local_minima = 0;
+  for (std::size_t r = 0; r < mu_values.size(); ++r) {
+    for (std::size_t c = 0; c + 1 < columns; ++c) {
+      const double jump = std::abs(all_runtimes[r * columns + c + 1] -
+                                   all_runtimes[r * columns + c]);
+      max_jump = std::max(max_jump, jump);
+      total_jump += jump;
+      ++jumps;
+    }
+    for (std::size_t c = 1; c + 1 < columns; ++c) {
+      const double left = all_runtimes[r * columns + c - 1];
+      const double mid = all_runtimes[r * columns + c];
+      const double right = all_runtimes[r * columns + c + 1];
+      local_minima += (mid < left && mid < right) ? 1 : 0;
+    }
+  }
+  // Interior minima along the mu axis as well (tracking quality feeds back
+  // into the iteration counts non-monotonically).
+  for (std::size_t c = 0; c < columns; ++c) {
+    for (std::size_t r = 1; r + 1 < mu_values.size(); ++r) {
+      const double above = all_runtimes[(r - 1) * columns + c];
+      const double mid = all_runtimes[r * columns + c];
+      const double below = all_runtimes[(r + 1) * columns + c];
+      local_minima += (mid < above && mid < below) ? 1 : 0;
+    }
+  }
+  std::printf("\nsurface diagnostics (%.0fs total):\n", timer.seconds());
+  bench::report("largest adjacent-cell jump vs mean jump",
+                "non-smooth surface",
+                bench::fmt("%.1fx the mean step", max_jump /
+                           (total_jump / static_cast<double>(jumps))));
+  bench::report("interior local minima (both axes)",
+                "multi-modal surface", std::to_string(local_minima));
+  return 0;
+}

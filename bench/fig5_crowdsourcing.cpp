@@ -1,0 +1,91 @@
+// Fig. 5: the crowd-sourcing experiment. The best (fastest valid)
+// configuration found on the ODROID-XU3 and the default configuration are
+// run on 83 phone/tablet device models; the figure is the distribution of
+// per-device speedups, ranging from 2x to over 12x in the paper. The app
+// ran 100 frames per device; this harness does the same.
+//
+//   ./fig5_crowdsourcing [--paper-scale] [--devices N] [--out fig5.csv]
+#include <string>
+
+#include "bench/bench_common.hpp"
+#include "crowd/crowd_experiment.hpp"
+#include "crowd/device_population.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv, {"paper-scale"});
+  const bool paper_scale = args.flag("paper-scale");
+
+  bench::print_header("Fig. 5 — crowd-sourced speedups on 83 mobile devices");
+
+  // Step 1: find the tuned configuration on the reference device. A compact
+  // DSE suffices here; fig3_kfusion_dse runs the full exploration.
+  bench::Scale scale = bench::kfusion_scale(paper_scale);
+  if (!paper_scale) {
+    scale.random_samples = 80;
+    scale.al_iterations = 3;
+  }
+  const std::size_t app_frames = paper_scale ? 100 : scale.frames;
+  const auto sequence =
+      dataset::make_benchmark_sequence(scale.frames, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator(sequence, slambench::odroid_xu3());
+
+  common::Timer timer;
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator,
+                                   bench::optimizer_config(scale, 77));
+  const auto result = optimizer.run();
+  const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
+  if (!best) {
+    std::fprintf(stderr, "no valid configuration found\n");
+    return 1;
+  }
+  std::printf("tuned on %s in %.0fs: %s\n", evaluator.device().name.c_str(),
+              timer.seconds(),
+              evaluator.space().to_string(result.samples[*best].config).c_str());
+
+  // Step 2: measure the kernel work of the tuned and default configurations
+  // once (device-independent), then price it on every crowd device.
+  const auto tuned_metrics = evaluator.measure(result.samples[*best].config);
+  const auto default_metrics =
+      evaluator.measure(slambench::kfusion_config_from_params(
+          evaluator.space(), kfusion::KFusionParams::defaults()));
+
+  crowd::PopulationConfig population_config;
+  population_config.device_count =
+      static_cast<std::size_t>(args.get_or("devices", std::int64_t{83}));
+  const auto devices = crowd::generate_population(population_config);
+  const auto crowd_result =
+      crowd::run_crowd_experiment(devices, default_metrics.stats,
+                                  tuned_metrics.stats, app_frames);
+
+  std::printf("\nspeedup histogram over %zu devices:\n",
+              crowd_result.devices.size());
+  std::printf("%s", crowd::speedup_histogram(crowd_result).c_str());
+
+  bench::report("speedup range", "2x to over 12x",
+                bench::fmt("%.1fx to ", crowd_result.min_speedup) +
+                    bench::fmt("%.1fx", crowd_result.max_speedup));
+  bench::report("median / mean speedup", "(read from figure: ~5-7x)",
+                bench::fmt("%.1fx / ", crowd_result.median_speedup) +
+                    bench::fmt("%.1fx", crowd_result.mean_speedup));
+  std::size_t above_2x = 0;
+  for (const auto& entry : crowd_result.devices) {
+    above_2x += entry.speedup >= 2.0 ? 1 : 0;
+  }
+  bench::report("devices with >= 2x speedup", "all 83",
+                std::to_string(above_2x) + " of " +
+                    std::to_string(crowd_result.devices.size()));
+
+  if (const auto out = args.get("out")) {
+    common::CsvTable table({"device", "default_fps", "tuned_fps", "speedup"});
+    for (const auto& entry : crowd_result.devices) {
+      table.add_row({entry.device_name, common::format_double(entry.default_fps),
+                     common::format_double(entry.tuned_fps),
+                     common::format_double(entry.speedup)});
+    }
+    if (common::write_csv_file(*out, table)) {
+      std::printf("per-device results written to %s\n", out->c_str());
+    }
+  }
+  return 0;
+}

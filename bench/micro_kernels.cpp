@@ -1,0 +1,186 @@
+// Google-benchmark microbenchmarks of the compute kernels underlying both
+// pipelines, plus the forest fit/predict paths of the optimizer. Besides
+// performance tracking, these validate the cost-model substitution
+// (DESIGN.md): counted work per kernel must correlate with wall time.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dataset/renderer.hpp"
+#include "dataset/sdf_scene.hpp"
+#include "dataset/trajectory.hpp"
+#include "kfusion/icp.hpp"
+#include "kfusion/preprocess.hpp"
+#include "kfusion/pyramid.hpp"
+#include "kfusion/raycast.hpp"
+#include "kfusion/tsdf_volume.hpp"
+#include "rf/forest.hpp"
+
+namespace {
+
+using namespace hm;
+using geometry::Intrinsics;
+using geometry::SE3;
+
+struct RenderedFrame {
+  Intrinsics camera = Intrinsics::kinect(80, 60);
+  geometry::DepthImage depth;
+  SE3 pose;
+
+  RenderedFrame() {
+    static const dataset::Scene scene = dataset::build_living_room();
+    pose = dataset::look_at({2.4, 1.3, 3.6}, {2.4, 1.6, 1.0});
+    depth = dataset::render_depth(scene, camera, pose);
+  }
+};
+
+const RenderedFrame& frame() {
+  static const RenderedFrame instance;
+  return instance;
+}
+
+void BM_BilateralFilter(benchmark::State& state) {
+  kfusion::KernelStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kfusion::bilateral_filter(frame().depth, {}, stats));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(stats.count(
+      kfusion::Kernel::kBilateral)));
+}
+BENCHMARK(BM_BilateralFilter)->Unit(benchmark::kMicrosecond);
+
+void BM_DownsampleDepth(benchmark::State& state) {
+  const int ratio = static_cast<int>(state.range(0));
+  kfusion::KernelStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kfusion::downsample_depth(frame().depth, ratio, stats));
+  }
+}
+BENCHMARK(BM_DownsampleDepth)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMicrosecond);
+
+void BM_BuildPyramid(benchmark::State& state) {
+  kfusion::KernelStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kfusion::build_pyramid(frame().depth, frame().camera, 3, stats));
+  }
+}
+BENCHMARK(BM_BuildPyramid)->Unit(benchmark::kMicrosecond);
+
+void BM_TsdfIntegrate(benchmark::State& state) {
+  const int resolution = static_cast<int>(state.range(0));
+  kfusion::TsdfVolume volume(resolution, 4.8);
+  kfusion::KernelStats stats;
+  for (auto _ : state) {
+    volume.integrate(frame().depth, frame().camera, frame().pose, 0.1, stats);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stats.count(kfusion::Kernel::kIntegrate)));
+}
+BENCHMARK(BM_TsdfIntegrate)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_Raycast(benchmark::State& state) {
+  const int resolution = static_cast<int>(state.range(0));
+  kfusion::TsdfVolume volume(resolution, 4.8);
+  kfusion::KernelStats stats;
+  for (int i = 0; i < 3; ++i) {
+    volume.integrate(frame().depth, frame().camera, frame().pose, 0.1, stats);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kfusion::raycast(volume, frame().camera,
+                                              frame().pose, 0.1, {}, stats));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(stats.count(kfusion::Kernel::kRaycast)));
+}
+BENCHMARK(BM_Raycast)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_IcpTrack(benchmark::State& state) {
+  kfusion::KernelStats stats;
+  kfusion::TsdfVolume volume(128, 4.8);
+  for (int i = 0; i < 3; ++i) {
+    volume.integrate(frame().depth, frame().camera, frame().pose, 0.15, stats);
+  }
+  const auto reference = kfusion::raycast(volume, frame().camera, frame().pose,
+                                          0.15, {}, stats);
+  const auto pyramid =
+      kfusion::build_pyramid(frame().depth, frame().camera, 3, stats);
+  kfusion::IcpConfig config;
+  config.update_threshold = 0.0;  // Fixed iteration budget.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kfusion::icp_track(pyramid, reference,
+                                                frame().camera, frame().pose,
+                                                frame().pose, config, stats));
+  }
+}
+BENCHMARK(BM_IcpTrack)->Unit(benchmark::kMillisecond);
+
+void BM_SceneSdfEvaluation(benchmark::State& state) {
+  static const dataset::Scene scene = dataset::build_living_room();
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scene.distance(
+        {rng.uniform(0, 4.8), rng.uniform(0, 2.6), rng.uniform(0, 4.8)}));
+  }
+}
+BENCHMARK(BM_SceneSdfEvaluation);
+
+void BM_RenderDepthFrame(benchmark::State& state) {
+  static const dataset::Scene scene = dataset::build_living_room();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset::render_depth(scene, frame().camera, frame().pose));
+  }
+}
+BENCHMARK(BM_RenderDepthFrame)->Unit(benchmark::kMillisecond);
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(7);
+  rf::FeatureMatrix x(9);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < samples; ++i) {
+    std::vector<double> row(9);
+    for (double& value : row) value = rng.uniform();
+    y.push_back(row[0] * row[1] + std::sin(6.0 * row[2]));
+    x.add_row(row);
+  }
+  rf::ForestConfig config;
+  config.tree_count = 64;
+  for (auto _ : state) {
+    rf::RandomForest forest(config);
+    forest.fit(x, y);
+    benchmark::DoNotOptimize(forest.trained());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(300)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictPool(benchmark::State& state) {
+  common::Rng rng(8);
+  rf::FeatureMatrix train_x(9), pool_x(9);
+  std::vector<double> y;
+  for (std::size_t i = 0; i < 500; ++i) {
+    std::vector<double> row(9);
+    for (double& value : row) value = rng.uniform();
+    y.push_back(row[0] + row[3] * row[4]);
+    train_x.add_row(row);
+  }
+  for (std::size_t i = 0; i < 50'000; ++i) {
+    std::vector<double> row(9);
+    for (double& value : row) value = rng.uniform();
+    pool_x.add_row(row);
+  }
+  rf::RandomForest forest;
+  forest.fit(train_x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_batch(pool_x));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pool_x.rows()));
+}
+BENCHMARK(BM_ForestPredictPool)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

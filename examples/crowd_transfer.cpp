@@ -1,0 +1,80 @@
+// Zero-shot configuration transfer: tune once on one device model, then
+// deploy the best configuration to a whole population of phones and
+// tablets — the paper's crowd-sourcing experiment as an API walkthrough.
+//
+//   ./crowd_transfer [--frames N] [--devices N]
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "crowd/crowd_experiment.hpp"
+#include "crowd/device_population.hpp"
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv);
+  const auto frames =
+      static_cast<std::size_t>(args.get_or("frames", std::int64_t{25}));
+
+  const auto sequence =
+      dataset::make_benchmark_sequence(frames, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator(sequence, slambench::odroid_xu3());
+
+  // --- Tune on the reference embedded device. ---
+  std::printf("tuning KFusion on %s...\n", evaluator.device().name.c_str());
+  hypermapper::OptimizerConfig config;
+  config.random_samples = 60;
+  config.max_iterations = 2;
+  config.max_samples_per_iteration = 40;
+  config.pool_size = 10'000;
+  config.forest.tree_count = 32;
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  const auto result = optimizer.run();
+
+  const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
+  if (!best) {
+    std::fprintf(stderr, "no configuration within the 5 cm limit\n");
+    return 1;
+  }
+  std::printf("best valid configuration on the reference device: %.1f FPS\n",
+              1.0 / result.samples[*best].objectives[0]);
+  std::printf("  %s\n",
+              evaluator.space().to_string(result.samples[*best].config).c_str());
+
+  // --- Transfer: replay both configurations' kernel work on every device. ---
+  const auto tuned_metrics = evaluator.measure(result.samples[*best].config);
+  const auto default_metrics =
+      evaluator.measure(slambench::kfusion_config_from_params(
+          evaluator.space(), kfusion::KFusionParams::defaults()));
+
+  crowd::PopulationConfig population_config;
+  population_config.device_count =
+      static_cast<std::size_t>(args.get_or("devices", std::int64_t{83}));
+  const auto devices = crowd::generate_population(population_config);
+  const auto crowd_result = crowd::run_crowd_experiment(
+      devices, default_metrics.stats, tuned_metrics.stats, frames);
+
+  std::printf("\nspeedup across %zu devices: min %.1fx, median %.1fx, max %.1fx\n",
+              crowd_result.devices.size(), crowd_result.min_speedup,
+              crowd_result.median_speedup, crowd_result.max_speedup);
+  std::printf("%s", crowd::speedup_histogram(crowd_result).c_str());
+
+  // The transfer-learning caveat from the paper: the correlation holds for
+  // similar (ARM-class) devices. Show the per-tier medians.
+  for (const char* tier : {"low-tier", "mid-tier", "flagship"}) {
+    std::vector<double> speedups;
+    for (const auto& entry : crowd_result.devices) {
+      if (entry.device_name.rfind(tier, 0) == 0) speedups.push_back(entry.speedup);
+    }
+    if (!speedups.empty()) {
+      std::printf("%-9s (%2zu devices): median speedup %.1fx\n", tier,
+                  speedups.size(), common::median(speedups));
+    }
+  }
+  return 0;
+}

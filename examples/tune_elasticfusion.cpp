@@ -1,0 +1,87 @@
+// Tunes ElasticFusion on the desktop GPU model and prints a Table-I-style
+// comparison of the default configuration against the tuned Pareto points.
+//
+//   ./tune_elasticfusion [--frames N] [--random-samples N] [--iterations N]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+namespace {
+
+void print_row(const char* label, double ate, double runtime_total,
+               const hm::elasticfusion::EFParams& params) {
+  std::printf("%-14s %-9.4f %-9.1f %-4.0f %-6.0f %-11.0f %-4d %-5d %-6d %-9d %-7d\n",
+              label, ate, runtime_total, params.icp_rgb_weight,
+              params.depth_cutoff, params.confidence_threshold,
+              params.so3_prealign ? 1 : 0, params.open_loop ? 1 : 0,
+              params.relocalisation ? 1 : 0, params.fast_odometry ? 1 : 0,
+              params.frame_to_frame_rgb ? 1 : 0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv);
+  const auto frames =
+      static_cast<std::size_t>(args.get_or("frames", std::int64_t{40}));
+
+  std::printf("rendering %zu-frame synthetic RGB-D sequence...\n", frames);
+  const auto sequence =
+      dataset::make_benchmark_sequence(frames, 80, 60, nullptr, true);
+
+  slambench::ElasticFusionEvaluator evaluator(sequence,
+                                              slambench::nvidia_gtx780ti());
+  const auto default_config = slambench::ef_config_from_params(
+      evaluator.space(), elasticfusion::EFParams::defaults());
+  const auto default_objectives = evaluator.evaluate(default_config);
+
+  hypermapper::OptimizerConfig config;
+  config.random_samples = static_cast<std::size_t>(
+      args.get_or("random-samples", std::int64_t{100}));
+  config.max_iterations =
+      static_cast<std::size_t>(args.get_or("iterations", std::int64_t{3}));
+  config.max_samples_per_iteration = 60;
+  config.pool_size = 20'000;
+  config.forest.tree_count = 48;
+
+  common::Timer timer;
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  const auto result = optimizer.run();
+  std::printf("explored %zu configurations in %.0fs\n", result.samples.size(),
+              timer.seconds());
+
+  const auto frames_d = static_cast<double>(frames);
+  std::printf("\n%-14s %-9s %-9s %-4s %-6s %-11s %-4s %-5s %-6s %-9s %-7s\n",
+              "", "Error(m)", "Time(s)", "ICP", "Depth", "Confidence", "SO3",
+              "OpenL", "Reloc", "FastOdom", "FtfRGB");
+  print_row("Default", default_objectives[1], default_objectives[0] * frames_d,
+            elasticfusion::EFParams::defaults());
+
+  const auto best_speed =
+      hypermapper::best_under_constraint(result, 0, 1, default_objectives[1]);
+  if (best_speed) {
+    const auto& sample = result.samples[*best_speed];
+    print_row("Best speed", sample.objectives[1], sample.objectives[0] * frames_d,
+              slambench::ef_params_from_config(evaluator.space(), sample.config));
+    std::printf("  -> %.2fx faster, %.2fx more accurate than default\n",
+                default_objectives[0] / sample.objectives[0],
+                default_objectives[1] / sample.objectives[1]);
+  }
+  const auto best_accuracy = hypermapper::best_objective(result, 1);
+  if (best_accuracy) {
+    const auto& sample = result.samples[*best_accuracy];
+    print_row("Best accuracy", sample.objectives[1],
+              sample.objectives[0] * frames_d,
+              slambench::ef_params_from_config(evaluator.space(), sample.config));
+    std::printf("  -> %.2fx more accurate at %.2fx speedup\n",
+                default_objectives[1] / sample.objectives[1],
+                default_objectives[0] / sample.objectives[0]);
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Tunes the KFusion dense-SLAM pipeline on an embedded device model and
+// prints the resulting performance/accuracy Pareto front — the workflow of
+// the paper's Section IV-C at example scale.
+//
+//   ./tune_kfusion [--device odroid|asus|nvidia] [--frames N]
+//                  [--random-samples N] [--iterations N] [--out front.csv]
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/timer.hpp"
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv);
+  const auto frames =
+      static_cast<std::size_t>(args.get_or("frames", std::int64_t{30}));
+  const std::string device_name = args.get_or("device", std::string("odroid"));
+
+  std::printf("rendering %zu-frame synthetic living-room sequence...\n", frames);
+  const auto sequence =
+      dataset::make_benchmark_sequence(frames, 80, 60, nullptr, false);
+
+  slambench::KFusionEvaluator evaluator(sequence,
+                                        slambench::device_by_name(device_name));
+  std::printf("device: %s, design space: %llu configurations\n",
+              evaluator.device().name.c_str(),
+              static_cast<unsigned long long>(evaluator.space().cardinality()));
+
+  const auto default_config = slambench::kfusion_config_from_params(
+      evaluator.space(), kfusion::KFusionParams::defaults());
+  const auto default_objectives = evaluator.evaluate(default_config);
+  std::printf("default configuration: %.1f FPS, max ATE %.1f cm\n",
+              1.0 / default_objectives[0], default_objectives[1] * 100.0);
+
+  hypermapper::OptimizerConfig config;
+  config.random_samples = static_cast<std::size_t>(
+      args.get_or("random-samples", std::int64_t{80}));
+  config.max_iterations =
+      static_cast<std::size_t>(args.get_or("iterations", std::int64_t{3}));
+  config.max_samples_per_iteration = 50;
+  config.pool_size = 20'000;
+  config.forest.tree_count = 48;
+
+  common::Timer timer;
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  optimizer.set_progress([&](const hypermapper::IterationStats& stats) {
+    std::printf("  iteration %zu: +%zu samples, measured front %zu (%.0fs)\n",
+                stats.iteration, stats.new_samples, stats.measured_front_size,
+                timer.seconds());
+  });
+  const auto result = optimizer.run();
+
+  std::printf("\nPareto front (%zu points):\n", result.pareto.size());
+  std::printf("%-8s %-10s  configuration\n", "FPS", "maxATE(cm)");
+  for (const std::size_t i : result.pareto) {
+    const auto& sample = result.samples[i];
+    std::printf("%-8.1f %-10.2f  %s\n", 1.0 / sample.objectives[0],
+                sample.objectives[1] * 100.0,
+                evaluator.space().to_string(sample.config).c_str());
+  }
+
+  const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
+  if (best) {
+    const auto& sample = result.samples[*best];
+    std::printf("\nbest within the 5 cm accuracy limit: %.1f FPS (%.2fx over default)\n",
+                1.0 / sample.objectives[0],
+                default_objectives[0] / sample.objectives[0]);
+  }
+
+  if (const auto out = args.get("out")) {
+    const auto table = hypermapper::front_to_csv(evaluator.space(), result,
+                                                 {"runtime_s", "max_ate_m"});
+    if (common::write_csv_file(*out, table)) {
+      std::printf("front written to %s\n", out->c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", out->c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

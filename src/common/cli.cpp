@@ -1,0 +1,80 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace hm::common {
+
+CliArgs::CliArgs(int argc, const char* const* argv,
+                 std::vector<std::string> known_flags) {
+  auto is_flag = [&](std::string_view name) {
+    return std::find(known_flags.begin(), known_flags.end(), name) !=
+           known_flags.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      arg.remove_prefix(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string_view::npos) {
+        options_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+      } else if (is_flag(arg) || i + 1 >= argc ||
+                 (argv[i + 1][0] == '-' && argv[i + 1][1] == '-')) {
+        options_[std::string(arg)] = "";
+      } else {
+        options_[std::string(arg)] = argv[++i];
+      }
+    } else {
+      positional_.emplace_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(std::string_view name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return false;
+  consumed_[it->first] = true;
+  return true;
+}
+
+std::optional<std::string> CliArgs::get(std::string_view name) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  consumed_[it->first] = true;
+  return it->second;
+}
+
+std::string CliArgs::get_or(std::string_view name, std::string fallback) const {
+  return get(name).value_or(std::move(fallback));
+}
+
+std::int64_t CliArgs::get_or(std::string_view name, std::int64_t fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text->data(), text->data() + text->size(), value);
+  if (ec != std::errc{} || ptr != text->data() + text->size()) return fallback;
+  return value;
+}
+
+double CliArgs::get_or(std::string_view name, double fallback) const {
+  const auto text = get(name);
+  if (!text) return fallback;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text->data(), text->data() + text->size(), value);
+  if (ec != std::errc{} || ptr != text->data() + text->size()) return fallback;
+  return value;
+}
+
+std::vector<std::string> CliArgs::unknown() const {
+  std::vector<std::string> names;
+  for (const auto& [name, value] : options_) {
+    const auto it = consumed_.find(name);
+    if (it == consumed_.end() || !it->second) names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace hm::common

@@ -1,0 +1,44 @@
+// Tiny command-line parser for the bench/example binaries.
+// Supports `--name value`, `--name=value`, and boolean `--flag`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hm::common {
+
+class CliArgs {
+ public:
+  /// Parses argv. Unknown options are retained and reported by unknown().
+  /// `known_flags` lists boolean options that take no value.
+  CliArgs(int argc, const char* const* argv,
+          std::vector<std::string> known_flags = {});
+
+  [[nodiscard]] bool has(std::string_view name) const;
+  [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+  [[nodiscard]] std::string get_or(std::string_view name, std::string fallback) const;
+  [[nodiscard]] std::int64_t get_or(std::string_view name, std::int64_t fallback) const;
+  [[nodiscard]] double get_or(std::string_view name, double fallback) const;
+  [[nodiscard]] bool flag(std::string_view name) const { return has(name); }
+
+  /// Positional (non-option) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Option names that were seen but not consumed by any getter (useful to
+  /// warn about typos in bench invocations).
+  [[nodiscard]] std::vector<std::string> unknown() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> options_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool, std::less<>> consumed_;
+};
+
+}  // namespace hm::common

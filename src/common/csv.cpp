@@ -1,0 +1,177 @@
+#include "common/csv.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hm::common {
+namespace {
+
+bool needs_quoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void append_field(std::string& out, std::string_view field) {
+  if (!needs_quoting(field)) {
+    out.append(field);
+    return;
+  }
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void append_row(std::string& out, const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    append_field(out, row[i]);
+  }
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::optional<std::size_t> CsvTable::column(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return std::nullopt;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::optional<double> CsvTable::cell_as_double(std::size_t row, std::size_t col) const {
+  const std::string& text = rows_[row][col];
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::vector<double> CsvTable::column_as_doubles(std::size_t col) const {
+  std::vector<double> values;
+  values.reserve(rows_.size());
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    values.push_back(cell_as_double(i, col).value_or(0.0));
+  }
+  return values;
+}
+
+std::string to_csv(const CsvTable& table) {
+  std::string out;
+  append_row(out, table.header());
+  for (std::size_t i = 0; i < table.row_count(); ++i) append_row(out, table.row(i));
+  return out;
+}
+
+std::optional<CsvTable> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> current;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  auto end_field = [&] {
+    current.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(current));
+    current.clear();
+    row_has_content = false;
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      row_has_content = true;
+    } else if (c == ',') {
+      end_field();
+      row_has_content = true;
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      if (row_has_content || !field.empty() || !current.empty()) end_record();
+    } else {
+      field.push_back(c);
+      row_has_content = true;
+    }
+    ++i;
+  }
+  if (in_quotes) return std::nullopt;  // Unterminated quote.
+  if (row_has_content || !field.empty() || !current.empty()) end_record();
+
+  if (records.empty()) return std::nullopt;
+  CsvTable table(std::move(records.front()));
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != table.column_count()) return std::nullopt;  // Ragged.
+    table.add_row(std::move(records[r]));
+  }
+  return table;
+}
+
+bool write_csv_file(const std::string& path, const CsvTable& table) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string text = to_csv(table);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(out);
+}
+
+std::optional<CsvTable> read_csv_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
+}
+
+std::string format_double(double value) {
+  char buffer[32];
+  // Integers print as integers (%g at low precision would render 10 as
+  // "1e+01").
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    const int len = std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return std::string(buffer, static_cast<std::size_t>(len));
+  }
+  const int written = std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  std::string text(buffer, static_cast<std::size_t>(written));
+  // Prefer the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    const int len =
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0.0;
+    const auto [ptr, ec] = std::from_chars(shorter, shorter + len, parsed);
+    if (ec == std::errc{} && ptr == shorter + len && parsed == value) {
+      return std::string(shorter, static_cast<std::size_t>(len));
+    }
+  }
+  return text;
+}
+
+}  // namespace hm::common

@@ -1,0 +1,64 @@
+// Minimal CSV reader/writer used by the experiment harnesses to persist
+// sampled configurations, Pareto fronts, and crowd-sourcing results.
+// Handles RFC-4180 quoting (commas, quotes, embedded newlines).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hm::common {
+
+/// An in-memory CSV table: a header row plus data rows of equal width.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept { return header_; }
+  [[nodiscard]] std::size_t column_count() const noexcept { return header_.size(); }
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  /// Index of a column by name, if present.
+  [[nodiscard]] std::optional<std::size_t> column(std::string_view name) const;
+
+  /// Appends a row; must match the header width (asserted).
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
+  [[nodiscard]] const std::string& cell(std::size_t row, std::size_t col) const {
+    return rows_[row][col];
+  }
+
+  /// Cell parsed as double; nullopt if unparsable.
+  [[nodiscard]] std::optional<double> cell_as_double(std::size_t row,
+                                                     std::size_t col) const;
+
+  /// Whole column parsed as doubles; unparsable cells become 0.
+  [[nodiscard]] std::vector<double> column_as_doubles(std::size_t col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Serializes a table to CSV text with RFC-4180 quoting.
+[[nodiscard]] std::string to_csv(const CsvTable& table);
+
+/// Parses CSV text (first row is the header). Returns nullopt on structural
+/// errors (ragged rows, unterminated quotes).
+[[nodiscard]] std::optional<CsvTable> parse_csv(std::string_view text);
+
+/// Convenience file I/O. Return false / nullopt on I/O failure.
+[[nodiscard]] bool write_csv_file(const std::string& path, const CsvTable& table);
+[[nodiscard]] std::optional<CsvTable> read_csv_file(const std::string& path);
+
+/// Formats a double with enough digits to round-trip.
+[[nodiscard]] std::string format_double(double value);
+
+}  // namespace hm::common

@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace hm::common {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_line(LogLevel level, std::string_view message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::string line;
+  line.reserve(message.size() + 16);
+  line.push_back('[');
+  line.append(level_name(level));
+  line.append("] ");
+  line.append(message);
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+}  // namespace hm::common

@@ -1,0 +1,34 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace hm::common {
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Rejection sampling on the high bits: draw until the value falls into the
+  // largest multiple of n representable in 64 bits.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) draw = (*this)();
+  return draw % n;
+}
+
+double Rng::normal() noexcept {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0, v = 0.0, s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+}  // namespace hm::common

@@ -1,0 +1,130 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace hm::common {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double accum = 0.0;
+  for (const double v : values) accum += (v - m) * (v - m);
+  return accum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) { return std::sqrt(variance(values)); }
+
+double quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  const auto [min_it, max_it] = std::minmax_element(values.begin(), values.end());
+  s.min = *min_it;
+  s.max = *max_it;
+  s.median = quantile(values, 0.5);
+  s.p25 = quantile(values, 0.25);
+  s.p75 = quantile(values, 0.75);
+  return s;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+  std::vector<double> result(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Tied block [i, j] shares the average 1-based rank.
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) result[order[k]] = avg_rank;
+    i = j + 1;
+  }
+  return result;
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  const std::vector<double> rx = ranks(x);
+  const std::vector<double> ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+double r_squared(std::span<const double> truth, std::span<const double> predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  const double m = mean(truth);
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double rmse(std::span<const double> truth, std::span<const double> predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  double accum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    accum += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+  }
+  return std::sqrt(accum / static_cast<double>(truth.size()));
+}
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  double accum = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    accum += std::abs(truth[i] - predicted[i]);
+  }
+  return accum / static_cast<double>(truth.size());
+}
+
+}  // namespace hm::common

@@ -1,0 +1,58 @@
+// Descriptive statistics and rank correlation used throughout the
+// experiments: summary of speedup distributions (Fig. 5), Pearson/Spearman
+// cross-device configuration correlation (Section IV-D), and surrogate
+// model quality metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hm::common {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Full descriptive summary; returns an all-zero Summary for empty input.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+[[nodiscard]] double mean(std::span<const double> values);
+[[nodiscard]] double variance(std::span<const double> values);  ///< Sample variance.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0, 1]. Returns 0 on empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+[[nodiscard]] inline double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+/// Pearson product-moment correlation; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation with average ranks for ties.
+[[nodiscard]] double spearman(std::span<const double> x, std::span<const double> y);
+
+/// Average ranks (1-based) with ties sharing the mean rank.
+[[nodiscard]] std::vector<double> ranks(std::span<const double> values);
+
+/// Coefficient of determination of predictions vs. truth (can be negative).
+[[nodiscard]] double r_squared(std::span<const double> truth,
+                               std::span<const double> predicted);
+
+/// Root mean squared error; 0 for empty input. Sizes must match.
+[[nodiscard]] double rmse(std::span<const double> truth,
+                          std::span<const double> predicted);
+
+/// Mean absolute error; 0 for empty input. Sizes must match.
+[[nodiscard]] double mae(std::span<const double> truth,
+                         std::span<const double> predicted);
+
+}  // namespace hm::common

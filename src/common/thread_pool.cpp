@@ -1,0 +1,109 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace hm::common {
+
+thread_local bool ThreadPool::inside_worker_ = false;
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  inside_worker_ = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+  std::future<void> future = packaged->get_future();
+  {
+    std::lock_guard lock(mutex_);
+    assert(!stopping_);
+    tasks_.emplace([packaged] { (*packaged)(); });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body, std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  grain = std::max<std::size_t>(1, grain);
+
+  // Nested parallel_for from inside a worker would block a queue slot while
+  // waiting on tasks that may never be scheduled; run serially instead.
+  if (inside_worker_ || workers_.size() <= 1 || count <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  const std::size_t max_chunks = (count + grain - 1) / grain;
+  const std::size_t chunks = std::min(max_chunks, workers_.size() * 4);
+  const std::size_t step = (count + chunks - 1) / chunks;
+
+  std::atomic<std::size_t> next{begin};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t lo = next.fetch_add(step);
+      if (lo >= end) break;
+      body(lo, std::min(lo + step, end));
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers_.size());
+  for (std::size_t i = 0; i + 1 < workers_.size() && i + 1 < chunks; ++i) {
+    futures.push_back(submit(drain));
+  }
+  drain();  // The caller participates instead of idling.
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace hm::common

@@ -1,0 +1,63 @@
+// Fixed-size worker pool with a blocking task queue and a chunked
+// parallel_for. This is the single parallel substrate used by every hot loop
+// in the repository (forest training, rendering, TSDF integration, ICP
+// reductions, surrogate pool prediction).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hm::common {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) for i in [begin, end), splitting the range into contiguous
+  /// chunks across the pool (and the calling thread). Blocks until all
+  /// iterations finish. `grain` is the minimum iterations per chunk.
+  ///
+  /// The body must not itself call parallel_for on the same pool with
+  /// blocking semantics expected; nested calls fall back to serial execution
+  /// on the calling thread to avoid deadlock.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Chunked variant: body(chunk_begin, chunk_end) — cheaper when the body
+  /// is tiny per-iteration.
+  void parallel_for_chunks(std::size_t begin, std::size_t end,
+                           const std::function<void(std::size_t, std::size_t)>& body,
+                           std::size_t grain = 1);
+
+  /// Process-wide default pool, sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  static thread_local bool inside_worker_;
+};
+
+}  // namespace hm::common

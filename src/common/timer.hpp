@@ -1,0 +1,28 @@
+// Wall-clock timing helpers. Experiments report the deterministic device
+// cost model (see slambench/device.hpp); wall time is collected alongside
+// so the correlation between counted work and real time can be validated.
+#pragma once
+
+#include <chrono>
+
+namespace hm::common {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hm::common

@@ -1,0 +1,70 @@
+#include "crowd/crowd_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.hpp"
+
+namespace hm::crowd {
+
+CrowdResult run_crowd_experiment(
+    const std::vector<hm::slambench::DeviceModel>& devices,
+    const hm::kfusion::KernelStats& default_stats,
+    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames) {
+  CrowdResult result;
+  result.devices.reserve(devices.size());
+  std::vector<double> speedups;
+  speedups.reserve(devices.size());
+
+  for (const auto& device : devices) {
+    DeviceSpeedup entry;
+    entry.device_name = device.name;
+    const double default_seconds = device.seconds(default_stats, frames);
+    const double tuned_seconds = device.seconds(tuned_stats, frames);
+    if (default_seconds <= 0.0 || tuned_seconds <= 0.0) continue;
+    entry.default_fps = static_cast<double>(frames) / default_seconds;
+    entry.tuned_fps = static_cast<double>(frames) / tuned_seconds;
+    entry.speedup = default_seconds / tuned_seconds;
+    speedups.push_back(entry.speedup);
+    result.devices.push_back(std::move(entry));
+  }
+
+  if (!speedups.empty()) {
+    const auto summary = hm::common::summarize(speedups);
+    result.min_speedup = summary.min;
+    result.max_speedup = summary.max;
+    result.median_speedup = summary.median;
+    result.mean_speedup = summary.mean;
+  }
+  return result;
+}
+
+std::string speedup_histogram(const CrowdResult& result, double bucket_width) {
+  if (result.devices.empty() || bucket_width <= 0.0) return {};
+  const auto bucket_of = [&](double speedup) {
+    return static_cast<std::size_t>(std::floor(speedup / bucket_width));
+  };
+  std::size_t max_bucket = 0;
+  for (const auto& device : result.devices) {
+    max_bucket = std::max(max_bucket, bucket_of(device.speedup));
+  }
+  std::vector<std::size_t> counts(max_bucket + 1, 0);
+  for (const auto& device : result.devices) ++counts[bucket_of(device.speedup)];
+
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0 && b * bucket_width < result.min_speedup) continue;
+    const int written = std::snprintf(
+        line, sizeof(line), "%5.1fx-%5.1fx | %-3zu ",
+        static_cast<double>(b) * bucket_width,
+        static_cast<double>(b + 1) * bucket_width, counts[b]);
+    out.append(line, static_cast<std::size_t>(written));
+    out.append(std::min<std::size_t>(counts[b], 100), '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace hm::crowd

@@ -1,0 +1,41 @@
+// The crowd-sourcing experiment (paper, Section IV-D / Fig. 5): run a tuned
+// configuration and the default configuration on every device of the
+// population and report the per-device speedup. The app ran only 100 frames
+// on each phone; the harness mirrors that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crowd/device_population.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::crowd {
+
+struct DeviceSpeedup {
+  std::string device_name;
+  double default_fps = 0.0;
+  double tuned_fps = 0.0;
+  double speedup = 0.0;  ///< default runtime / tuned runtime.
+};
+
+struct CrowdResult {
+  std::vector<DeviceSpeedup> devices;
+  double min_speedup = 0.0;
+  double max_speedup = 0.0;
+  double median_speedup = 0.0;
+  double mean_speedup = 0.0;
+};
+
+/// Computes per-device speedups from the measured kernel work of the two
+/// configurations (device-independent counts -> per-device runtimes).
+[[nodiscard]] CrowdResult run_crowd_experiment(
+    const std::vector<hm::slambench::DeviceModel>& devices,
+    const hm::kfusion::KernelStats& default_stats,
+    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames);
+
+/// ASCII histogram of the speedups (one row per bucket), mirroring Fig. 5.
+[[nodiscard]] std::string speedup_histogram(const CrowdResult& result,
+                                            double bucket_width = 1.0);
+
+}  // namespace hm::crowd

@@ -1,0 +1,29 @@
+// The crowd-sourcing substrate: a deterministic population of 83 synthetic
+// mobile devices standing in for the 83 phones/tablets that ran the
+// SLAMBench Android app (paper, Section IV-D). Devices are drawn from three
+// ARM-SoC-like families (low/mid/high tier) with log-normal spread on the
+// per-kernel coefficients, so a fixed configuration pair produces a
+// distribution of speedups, as in Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "slambench/device.hpp"
+
+namespace hm::crowd {
+
+struct PopulationConfig {
+  std::size_t device_count = 83;  ///< As crowd-sourced in the paper.
+  std::uint64_t seed = 2017;
+  /// Log-normal sigma of per-kernel coefficient spread within a family.
+  double kernel_spread = 0.25;
+  /// Log-normal sigma of the device-wide speed factor.
+  double device_spread = 0.35;
+};
+
+/// Generates the device population. Deterministic for a fixed config.
+[[nodiscard]] std::vector<hm::slambench::DeviceModel> generate_population(
+    const PopulationConfig& config = {});
+
+}  // namespace hm::crowd

@@ -1,0 +1,195 @@
+#include "dataset/io.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace hm::dataset {
+
+using hm::geometry::DepthImage;
+using hm::geometry::IntensityImage;
+using hm::geometry::SE3;
+
+std::string depth_to_pgm(const DepthImage& depth, double scale) {
+  std::string out;
+  char header[64];
+  const int header_len = std::snprintf(header, sizeof(header), "P5\n%d %d\n65535\n",
+                                       depth.width(), depth.height());
+  out.append(header, static_cast<std::size_t>(header_len));
+  out.reserve(out.size() + depth.size() * 2);
+  for (int v = 0; v < depth.height(); ++v) {
+    for (int u = 0; u < depth.width(); ++u) {
+      const double meters = static_cast<double>(depth.at(u, v));
+      const auto value = static_cast<std::uint16_t>(
+          std::clamp(std::lround(meters * scale), 0L, 65535L));
+      out.push_back(static_cast<char>(value >> 8));  // Big-endian per spec.
+      out.push_back(static_cast<char>(value & 0xFF));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Reads the next whitespace-delimited token after skipping comments.
+bool next_pgm_token(std::string_view text, std::size_t& pos, long& value) {
+  while (pos < text.size()) {
+    if (std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    } else if (text[pos] == '#') {
+      while (pos < text.size() && text[pos] != '\n') ++pos;
+    } else {
+      break;
+    }
+  }
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return false;
+  pos += static_cast<std::size_t>(ptr - begin);
+  return true;
+}
+
+}  // namespace
+
+std::optional<DepthImage> depth_from_pgm(std::string_view text, double scale) {
+  if (text.size() < 2 || text[0] != 'P' || text[1] != '5') return std::nullopt;
+  std::size_t pos = 2;
+  long width = 0, height = 0, max_value = 0;
+  if (!next_pgm_token(text, pos, width) || !next_pgm_token(text, pos, height) ||
+      !next_pgm_token(text, pos, max_value)) {
+    return std::nullopt;
+  }
+  if (width <= 0 || height <= 0 || max_value != 65535) return std::nullopt;
+  ++pos;  // The single whitespace byte after the header.
+  const std::size_t expected = static_cast<std::size_t>(width) *
+                               static_cast<std::size_t>(height) * 2;
+  if (text.size() - pos < expected) return std::nullopt;
+
+  DepthImage depth(static_cast<int>(width), static_cast<int>(height), 0.0f);
+  for (long v = 0; v < height; ++v) {
+    for (long u = 0; u < width; ++u) {
+      const auto high = static_cast<std::uint8_t>(text[pos]);
+      const auto low = static_cast<std::uint8_t>(text[pos + 1]);
+      pos += 2;
+      const std::uint16_t value = static_cast<std::uint16_t>((high << 8) | low);
+      depth.at(static_cast<int>(u), static_cast<int>(v)) =
+          static_cast<float>(static_cast<double>(value) / scale);
+    }
+  }
+  return depth;
+}
+
+std::string intensity_to_pgm(const IntensityImage& intensity) {
+  std::string out;
+  char header[64];
+  const int header_len = std::snprintf(header, sizeof(header), "P5\n%d %d\n255\n",
+                                       intensity.width(), intensity.height());
+  out.append(header, static_cast<std::size_t>(header_len));
+  out.reserve(out.size() + intensity.size());
+  for (int v = 0; v < intensity.height(); ++v) {
+    for (int u = 0; u < intensity.width(); ++u) {
+      const double value = std::clamp(
+          static_cast<double>(intensity.at(u, v)), 0.0, 1.0);
+      out.push_back(static_cast<char>(std::lround(value * 255.0)));
+    }
+  }
+  return out;
+}
+
+std::string trajectory_to_tum(std::span<const SE3> poses, double fps) {
+  std::string out = "# timestamp tx ty tz qx qy qz qw\n";
+  char line[256];
+  for (std::size_t i = 0; i < poses.size(); ++i) {
+    const auto& pose = poses[i];
+    const auto q = hm::geometry::rotation_to_quaternion(pose.rotation);
+    const double timestamp = static_cast<double>(i) / fps;
+    const int len = std::snprintf(
+        line, sizeof(line), "%.6f %.9f %.9f %.9f %.9f %.9f %.9f %.9f\n",
+        timestamp, pose.translation.x, pose.translation.y, pose.translation.z,
+        q[1], q[2], q[3], q[0]);
+    out.append(line, static_cast<std::size_t>(len));
+  }
+  return out;
+}
+
+std::optional<std::vector<SE3>> trajectory_from_tum(std::string_view text) {
+  std::vector<SE3> poses;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t line_end = text.find('\n', pos);
+    if (line_end == std::string_view::npos) line_end = text.size();
+    std::string_view line = text.substr(pos, line_end - pos);
+    pos = line_end + 1;
+
+    // Trim, skip comments and blank lines.
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(line.front())))
+      line.remove_prefix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    double fields[8];
+    const char* cursor = line.data();
+    const char* end = line.data() + line.size();
+    for (double& field : fields) {
+      while (cursor < end && std::isspace(static_cast<unsigned char>(*cursor)))
+        ++cursor;
+      const auto [ptr, ec] = std::from_chars(cursor, end, field);
+      if (ec != std::errc{} || ptr == cursor) return std::nullopt;
+      cursor = ptr;
+    }
+    SE3 pose;
+    pose.translation = {fields[1], fields[2], fields[3]};
+    // TUM order: qx qy qz qw; ours: (w, x, y, z).
+    pose.rotation = hm::geometry::quaternion_to_rotation(
+        {fields[7], fields[4], fields[5], fields[6]});
+    poses.push_back(pose);
+  }
+  return poses;
+}
+
+namespace {
+
+bool write_file(const std::filesystem::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool export_sequence(const RGBDSequence& sequence, const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path root(directory);
+  fs::create_directories(root / "depth", ec);
+  if (ec) return false;
+  const bool with_intensity =
+      sequence.frame_count() > 0 && !sequence.frame(0).intensity.empty();
+  if (with_intensity) {
+    fs::create_directories(root / "rgb", ec);
+    if (ec) return false;
+  }
+
+  char name[32];
+  for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
+    std::snprintf(name, sizeof(name), "%04zu.pgm", i);
+    if (!write_file(root / "depth" / name,
+                    depth_to_pgm(sequence.frame(i).depth))) {
+      return false;
+    }
+    if (with_intensity &&
+        !write_file(root / "rgb" / name,
+                    intensity_to_pgm(sequence.frame(i).intensity))) {
+      return false;
+    }
+  }
+  return write_file(root / "groundtruth.txt",
+                    trajectory_to_tum(sequence.ground_truth(),
+                                      sequence.config().trajectory.fps));
+}
+
+}  // namespace hm::dataset

@@ -1,0 +1,51 @@
+// Dataset interchange: TUM-RGBD-format trajectories ("timestamp tx ty tz
+// qx qy qz qw") and 16-bit PGM depth maps (the ICL-NUIM / TUM convention of
+// depth in 1/5000 m units). Lets the synthetic sequences be exported for
+// external tools, and external ground-truth trajectories be evaluated with
+// the slambench metrics.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/sequence.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+
+namespace hm::dataset {
+
+/// TUM depth scale: stored integer value = meters * 5000.
+inline constexpr double kTumDepthScale = 5000.0;
+
+/// Serializes a depth map as a binary 16-bit PGM (big-endian sample order,
+/// per the PGM specification). Invalid pixels store 0.
+[[nodiscard]] std::string depth_to_pgm(const hm::geometry::DepthImage& depth,
+                                       double scale = kTumDepthScale);
+
+/// Parses a binary 16-bit PGM into a depth map; nullopt on malformed input.
+[[nodiscard]] std::optional<hm::geometry::DepthImage> depth_from_pgm(
+    std::string_view text, double scale = kTumDepthScale);
+
+/// Serializes an intensity image ([0,1]) as a binary 8-bit PGM.
+[[nodiscard]] std::string intensity_to_pgm(
+    const hm::geometry::IntensityImage& intensity);
+
+/// TUM trajectory text: one "timestamp tx ty tz qx qy qz qw" line per pose,
+/// timestamps at 1/fps spacing starting from 0.
+[[nodiscard]] std::string trajectory_to_tum(
+    std::span<const hm::geometry::SE3> poses, double fps = 30.0);
+
+/// Parses TUM trajectory text. Lines starting with '#' and blank lines are
+/// skipped; nullopt when any remaining line is malformed.
+[[nodiscard]] std::optional<std::vector<hm::geometry::SE3>> trajectory_from_tum(
+    std::string_view text);
+
+/// Exports a whole sequence in TUM layout under `directory`:
+/// depth/NNNN.pgm, rgb/NNNN.pgm (if present) and groundtruth.txt.
+/// Returns false on any I/O failure. Creates the directories.
+[[nodiscard]] bool export_sequence(const RGBDSequence& sequence,
+                                   const std::string& directory);
+
+}  // namespace hm::dataset

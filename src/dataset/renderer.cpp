@@ -1,0 +1,139 @@
+#include "dataset/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hm::dataset {
+namespace {
+
+using hm::geometry::Vec3d;
+
+/// Sphere-traces one ray; returns hit distance along the (unit) direction,
+/// or a negative value on miss.
+double trace(const Scene& scene, Vec3d origin, Vec3d direction,
+             const RenderConfig& config) {
+  double t = 0.0;
+  for (int step = 0; step < config.max_steps; ++step) {
+    const Vec3d p = origin + direction * t;
+    const double d = scene.distance(p);
+    if (d < config.hit_epsilon) return t;
+    // March conservatively; SDFs of unions are exact lower bounds.
+    t += std::max(d, config.hit_epsilon);
+    if (t > config.max_depth) break;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+DepthImage render_depth(const Scene& scene, const Intrinsics& camera,
+                        const SE3& camera_to_world, const RenderConfig& config,
+                        hm::common::ThreadPool* pool) {
+  DepthImage depth(camera.width, camera.height, 0.0f);
+  auto render_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t v = row_begin; v < row_end; ++v) {
+      for (int u = 0; u < camera.width; ++u) {
+        const Vec3d dir_camera = camera.ray_direction(u, static_cast<int>(v));
+        const double z_scale = dir_camera.norm();
+        const Vec3d dir_world = camera_to_world.rotate(dir_camera / z_scale);
+        const double t =
+            trace(scene, camera_to_world.translation, dir_world, config);
+        if (t > 0.0) {
+          // Store z-depth (distance along the camera z axis), the convention
+          // used by depth cameras and by unproject().
+          depth.at(u, static_cast<int>(v)) = static_cast<float>(t / z_scale);
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(0, static_cast<std::size_t>(camera.height),
+                              render_rows, /*grain=*/4);
+  } else {
+    render_rows(0, static_cast<std::size_t>(camera.height));
+  }
+  return depth;
+}
+
+IntensityImage render_intensity(const Scene& scene, const Intrinsics& camera,
+                                const SE3& camera_to_world,
+                                const RenderConfig& config,
+                                hm::common::ThreadPool* pool) {
+  IntensityImage intensity(camera.width, camera.height, 0.0f);
+  auto render_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    for (std::size_t v = row_begin; v < row_end; ++v) {
+      for (int u = 0; u < camera.width; ++u) {
+        const Vec3d dir_camera = camera.ray_direction(u, static_cast<int>(v));
+        const Vec3d dir_world =
+            camera_to_world.rotate(dir_camera.normalized());
+        const double t =
+            trace(scene, camera_to_world.translation, dir_world, config);
+        if (t <= 0.0) continue;
+        const Vec3d hit = camera_to_world.translation + dir_world * t;
+        const Vec3d n = scene.normal(hit);
+        const Vec3d albedo = scene.albedo(hit);
+        // Headlight shading: light collocated with the camera. Gray albedo
+        // average keeps the image single-channel.
+        const double lambert = std::max(0.0, n.dot(-dir_world));
+        const double gray = (albedo.x + albedo.y + albedo.z) / 3.0;
+        const double value = gray * (0.25 + 0.75 * lambert);
+        intensity.at(u, static_cast<int>(v)) =
+            static_cast<float>(std::clamp(value, 0.0, 1.0));
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(0, static_cast<std::size_t>(camera.height),
+                              render_rows, /*grain=*/4);
+  } else {
+    render_rows(0, static_cast<std::size_t>(camera.height));
+  }
+  return intensity;
+}
+
+void apply_depth_noise(DepthImage& depth, const NoiseConfig& config,
+                       hm::common::Rng& rng) {
+  if (!config.enabled) return;
+  const int width = depth.width();
+  const int height = depth.height();
+
+  // Pass 1: mark pixels adjacent to a depth discontinuity.
+  hm::geometry::Image<unsigned char> edge(width, height, 0);
+  for (int v = 0; v < height; ++v) {
+    for (int u = 0; u < width; ++u) {
+      const float z = depth.at(u, v);
+      if (z <= 0.0f) continue;
+      const float right = u + 1 < width ? depth.at(u + 1, v) : z;
+      const float below = v + 1 < height ? depth.at(u, v + 1) : z;
+      if (std::abs(right - z) > config.edge_threshold ||
+          std::abs(below - z) > config.edge_threshold) {
+        edge.at(u, v) = 1;
+        if (u + 1 < width) edge.at(u + 1, v) = 1;
+        if (v + 1 < height) edge.at(u, v + 1) = 1;
+      }
+    }
+  }
+
+  // Pass 2: per-pixel noise. Sequential scan keeps the result deterministic.
+  for (int v = 0; v < height; ++v) {
+    for (int u = 0; u < width; ++u) {
+      float& z = depth.at(u, v);
+      if (z <= 0.0f) continue;
+      const double drop = edge.at(u, v) != 0 ? config.edge_dropout_probability
+                                             : config.dropout_probability;
+      if (rng.bernoulli(drop)) {
+        z = 0.0f;
+        continue;
+      }
+      const double zd = static_cast<double>(z);
+      const double sigma = config.sigma_base + config.sigma_quadratic * zd * zd;
+      double noisy = zd + rng.normal(0.0, sigma);
+      // Kinect disparity quantization grows quadratically with depth.
+      const double step = config.quantization * zd * zd;
+      if (step > 0.0) noisy = std::round(noisy / step) * step;
+      z = static_cast<float>(std::max(noisy, 0.0));
+    }
+  }
+}
+
+}  // namespace hm::dataset

@@ -1,0 +1,56 @@
+// Depth + RGB rendering of an SDF scene by sphere tracing, plus the
+// Kinect-style sensor noise model. Together with trajectory.hpp this
+// produces the synthetic RGB-D sequences that substitute for ICL-NUIM.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dataset/sdf_scene.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+
+namespace hm::dataset {
+
+using hm::geometry::DepthImage;
+using hm::geometry::IntensityImage;
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+
+struct RenderConfig {
+  double max_depth = 12.0;     ///< Rays are cut off beyond this range (m).
+  double hit_epsilon = 1e-4;   ///< Surface convergence threshold (m).
+  int max_steps = 192;         ///< Sphere-tracing step budget per ray.
+};
+
+/// Kinect-like depth sensor noise: quantization, depth-dependent Gaussian
+/// noise, random dropout, and an edge shadow (dropout near depth
+/// discontinuities, as produced by structured-light sensors).
+struct NoiseConfig {
+  double sigma_base = 0.0012;      ///< Additive noise at 1 m (m).
+  double sigma_quadratic = 0.0019; ///< Scales with depth^2 (Khoshelham model).
+  double quantization = 0.002;     ///< Depth quantization step at 1 m (m).
+  double dropout_probability = 0.004;
+  double edge_dropout_probability = 0.35;
+  double edge_threshold = 0.08;    ///< Neighbor depth jump marking an edge (m).
+  bool enabled = true;
+};
+
+/// Renders a clean (noise-free) depth map for `camera_to_world`.
+/// Invalid pixels (no hit within range) are 0.
+[[nodiscard]] DepthImage render_depth(const Scene& scene, const Intrinsics& camera,
+                                      const SE3& camera_to_world,
+                                      const RenderConfig& config = {},
+                                      hm::common::ThreadPool* pool = nullptr);
+
+/// Renders a grayscale intensity image (Lambertian shading of the albedo
+/// with a headlight plus an ambient term) aligned with the depth map.
+[[nodiscard]] IntensityImage render_intensity(
+    const Scene& scene, const Intrinsics& camera, const SE3& camera_to_world,
+    const RenderConfig& config = {}, hm::common::ThreadPool* pool = nullptr);
+
+/// Applies the sensor noise model in place. Deterministic given `rng`.
+void apply_depth_noise(DepthImage& depth, const NoiseConfig& config,
+                       hm::common::Rng& rng);
+
+}  // namespace hm::dataset

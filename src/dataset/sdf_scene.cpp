@@ -1,0 +1,107 @@
+#include "dataset/sdf_scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hm::dataset {
+
+double BoxSdf::distance(Vec3d point) const {
+  const Vec3d p = point - center_;
+  const Vec3d q{std::abs(p.x) - half_.x, std::abs(p.y) - half_.y,
+                std::abs(p.z) - half_.z};
+  const Vec3d outside{std::max(q.x, 0.0), std::max(q.y, 0.0), std::max(q.z, 0.0)};
+  const double inside = std::min(q.max_component(), 0.0);
+  return outside.norm() + inside;
+}
+
+double RoomShellSdf::distance(Vec3d point) const {
+  // The shell is the complement of the interior box: negative outside the
+  // room is not needed (the camera never leaves), so the SDF is simply the
+  // distance to the nearest interior wall, negated inside the wall.
+  const Vec3d p = point - center_;
+  const Vec3d q{half_.x - std::abs(p.x), half_.y - std::abs(p.y),
+                half_.z - std::abs(p.z)};
+  return q.min_component();  // > 0 strictly inside, 0 on a wall.
+}
+
+Vec3d RoomShellSdf::albedo(Vec3d point) const {
+  // Procedural checker plus a smooth gradient: gives the RGB image both
+  // strong edges (for frame-to-frame alignment) and low-frequency shading.
+  const double checker_scale = 0.6;
+  const auto cell = static_cast<long long>(std::floor(point.x / checker_scale)) +
+                    static_cast<long long>(std::floor(point.y / checker_scale)) +
+                    static_cast<long long>(std::floor(point.z / checker_scale));
+  const bool dark = (cell & 1) != 0;
+  const double base = dark ? 0.35 : 0.75;
+  const double gradient =
+      0.15 * std::sin(point.x * 1.7) * std::cos(point.z * 1.3);
+  const double v = std::clamp(base + gradient, 0.05, 0.95);
+  return {v, v * 0.95, v * 0.9};
+}
+
+double Scene::distance(Vec3d point) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& node : nodes_) best = std::min(best, node->distance(point));
+  return best;
+}
+
+Vec3d Scene::albedo(Vec3d point) const {
+  double best = std::numeric_limits<double>::infinity();
+  const SdfNode* closest = nullptr;
+  for (const auto& node : nodes_) {
+    const double d = node->distance(point);
+    if (d < best) {
+      best = d;
+      closest = node.get();
+    }
+  }
+  return closest != nullptr ? closest->albedo(point) : Vec3d{0.5, 0.5, 0.5};
+}
+
+Vec3d Scene::normal(Vec3d point) const {
+  constexpr double h = 1e-4;
+  const double dx = distance({point.x + h, point.y, point.z}) -
+                    distance({point.x - h, point.y, point.z});
+  const double dy = distance({point.x, point.y + h, point.z}) -
+                    distance({point.x, point.y - h, point.z});
+  const double dz = distance({point.x, point.y, point.z + h}) -
+                    distance({point.x, point.y, point.z - h});
+  return Vec3d{dx, dy, dz}.normalized();
+}
+
+Scene build_living_room() {
+  Scene scene;
+  // Room interior: x,z in [0, 4.8], y in [0, 2.6] (y down in camera space,
+  // but world y is just a coordinate here). Center at (2.4, 1.3, 2.4).
+  scene.add(std::make_unique<RoomShellSdf>(Vec3d{2.4, 1.3, 2.4},
+                                           Vec3d{2.4, 1.3, 2.4}));
+  // Sofa: long box against the -z wall.
+  scene.add(std::make_unique<BoxSdf>(Vec3d{1.6, 2.2, 0.7},
+                                     Vec3d{0.9, 0.4, 0.45},
+                                     Vec3d{0.55, 0.25, 0.2}));
+  // Coffee table, room center.
+  scene.add(std::make_unique<BoxSdf>(Vec3d{2.4, 2.25, 2.3},
+                                     Vec3d{0.5, 0.35, 0.35},
+                                     Vec3d{0.4, 0.3, 0.18}));
+  // Shelf against the +x wall.
+  scene.add(std::make_unique<BoxSdf>(Vec3d{4.4, 1.5, 3.3},
+                                     Vec3d{0.35, 1.1, 0.5},
+                                     Vec3d{0.3, 0.22, 0.15}));
+  // Side cabinet near the -x wall.
+  scene.add(std::make_unique<BoxSdf>(Vec3d{0.5, 2.1, 3.6},
+                                     Vec3d{0.4, 0.5, 0.35},
+                                     Vec3d{0.6, 0.55, 0.5}));
+  // Floor lamp (sphere on a thin box pole) in a corner.
+  scene.add(std::make_unique<SphereSdf>(Vec3d{3.9, 1.0, 0.8}, 0.25,
+                                        Vec3d{0.9, 0.85, 0.6}));
+  scene.add(std::make_unique<BoxSdf>(Vec3d{3.9, 1.85, 0.8},
+                                     Vec3d{0.05, 0.75, 0.05},
+                                     Vec3d{0.2, 0.2, 0.2}));
+  // Ball on the table — small-scale curvature for the TSDF to resolve.
+  scene.add(std::make_unique<SphereSdf>(Vec3d{2.55, 1.72, 2.25}, 0.18,
+                                        Vec3d{0.2, 0.45, 0.7}));
+  return scene;
+}
+
+}  // namespace hm::dataset

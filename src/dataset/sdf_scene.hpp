@@ -1,0 +1,93 @@
+// Procedural indoor scene modelled as a signed-distance field. This is the
+// stand-in for the ICL-NUIM living-room model: ICL-NUIM itself is a
+// synthetic ray-traced scene, so a procedural SDF preserves exactly what the
+// experiments need — a known geometry to render depth from and a ground
+// truth to measure reconstruction against.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace hm::dataset {
+
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+/// Signed distance: negative inside, positive outside, in meters.
+class SdfNode {
+ public:
+  virtual ~SdfNode() = default;
+  [[nodiscard]] virtual double distance(Vec3d point) const = 0;
+  /// Diffuse albedo at a surface point, in [0,1]^3 — drives the RGB render.
+  [[nodiscard]] virtual Vec3d albedo(Vec3d point) const {
+    (void)point;
+    return {0.7, 0.7, 0.7};
+  }
+};
+
+/// Axis-aligned box centered at `center` with half-extents `half`.
+class BoxSdf final : public SdfNode {
+ public:
+  BoxSdf(Vec3d center, Vec3d half, Vec3d albedo = {0.7, 0.7, 0.7})
+      : center_(center), half_(half), albedo_(albedo) {}
+  [[nodiscard]] double distance(Vec3d point) const override;
+  [[nodiscard]] Vec3d albedo(Vec3d) const override { return albedo_; }
+
+ private:
+  Vec3d center_, half_, albedo_;
+};
+
+class SphereSdf final : public SdfNode {
+ public:
+  SphereSdf(Vec3d center, double radius, Vec3d albedo = {0.7, 0.7, 0.7})
+      : center_(center), radius_(radius), albedo_(albedo) {}
+  [[nodiscard]] double distance(Vec3d point) const override {
+    return (point - center_).norm() - radius_;
+  }
+  [[nodiscard]] Vec3d albedo(Vec3d) const override { return albedo_; }
+
+ private:
+  Vec3d center_;
+  double radius_;
+  Vec3d albedo_;
+};
+
+/// The room shell: the *inside* of a box (walls/floor/ceiling), textured
+/// with a procedural checker so the RGB channel carries gradient information
+/// for photometric tracking.
+class RoomShellSdf final : public SdfNode {
+ public:
+  RoomShellSdf(Vec3d center, Vec3d half) : center_(center), half_(half) {}
+  [[nodiscard]] double distance(Vec3d point) const override;
+  [[nodiscard]] Vec3d albedo(Vec3d point) const override;
+
+ private:
+  Vec3d center_, half_;
+};
+
+/// Union of children; albedo comes from the closest child.
+class Scene final : public SdfNode {
+ public:
+  void add(std::unique_ptr<SdfNode> node) { nodes_.push_back(std::move(node)); }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+  [[nodiscard]] double distance(Vec3d point) const override;
+  [[nodiscard]] Vec3d albedo(Vec3d point) const override;
+
+  /// Central-difference surface normal of the SDF at `point`.
+  [[nodiscard]] Vec3d normal(Vec3d point) const;
+
+ private:
+  std::vector<std::unique_ptr<SdfNode>> nodes_;
+};
+
+/// Builds the reference living-room scene used by all experiments: a
+/// 4.8 m x 2.6 m x 4.8 m room shell with furniture-scale boxes (sofa, table,
+/// shelf) and spheres (lamps) providing geometric and photometric detail.
+/// The scene fits entirely inside the KFusion reconstruction volume
+/// ([0, 4.8]^3 by default).
+[[nodiscard]] Scene build_living_room();
+
+}  // namespace hm::dataset

@@ -1,0 +1,66 @@
+#include "dataset/sequence.hpp"
+
+namespace hm::dataset {
+
+RGBDSequence::RGBDSequence(const Scene& scene, const SequenceConfig& config,
+                           hm::common::ThreadPool* pool)
+    : config_(config),
+      intrinsics_(Intrinsics::kinect(config.width, config.height)) {
+  const std::vector<SE3> poses = generate_trajectory(config.trajectory);
+  frames_.resize(poses.size());
+
+  // Render clean frames in parallel (the renderer is pure), then apply the
+  // noise model sequentially with per-frame forked RNGs so the noise of
+  // frame i does not depend on thread scheduling.
+  hm::common::Rng master(config.noise_seed);
+  std::vector<hm::common::Rng> frame_rngs;
+  frame_rngs.reserve(poses.size());
+  for (std::size_t i = 0; i < poses.size(); ++i) frame_rngs.push_back(master.fork());
+
+  auto render_frame = [&](std::size_t i) {
+    Frame& frame = frames_[i];
+    frame.ground_truth_pose = poses[i];
+    // Per-frame work is already large; keep the per-pixel loops serial here
+    // and parallelize across frames instead.
+    frame.depth = render_depth(scene, intrinsics_, poses[i], config_.render);
+    if (config_.render_intensity) {
+      frame.intensity =
+          render_intensity(scene, intrinsics_, poses[i], config_.render);
+    }
+    apply_depth_noise(frame.depth, config_.noise, frame_rngs[i]);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, poses.size(), render_frame);
+  } else {
+    for (std::size_t i = 0; i < poses.size(); ++i) render_frame(i);
+  }
+}
+
+std::vector<SE3> RGBDSequence::ground_truth() const {
+  std::vector<SE3> poses;
+  poses.reserve(frames_.size());
+  for (const Frame& frame : frames_) poses.push_back(frame.ground_truth_pose);
+  return poses;
+}
+
+std::shared_ptr<const RGBDSequence> make_benchmark_sequence(
+    std::size_t frame_count, int width, int height,
+    hm::common::ThreadPool* pool, bool with_intensity, TrajectoryKind kind) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = width;
+  config.height = height;
+  config.trajectory.kind = kind;
+  config.trajectory.frame_count = frame_count;
+  // Keep the per-frame camera motion constant regardless of sequence
+  // length: the reference is 400 frames covering 0.55 of an orbit (the
+  // "living room trajectory 2" regime), so shorter sequences cover a
+  // proportionally smaller arc.
+  config.trajectory.orbit_fraction =
+      0.55 * static_cast<double>(frame_count) / 400.0;
+  config.render_intensity = with_intensity;
+  return std::make_shared<RGBDSequence>(scene, config, pool);
+}
+
+}  // namespace hm::dataset

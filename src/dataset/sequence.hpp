@@ -1,0 +1,68 @@
+// RGB-D sequence generation: renders the living-room scene along the
+// ground-truth trajectory, applies the sensor noise model, and caches the
+// result so a DSE run (thousands of pipeline evaluations over the same
+// frames) renders each frame exactly once.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dataset/renderer.hpp"
+#include "dataset/sdf_scene.hpp"
+#include "dataset/trajectory.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+
+namespace hm::dataset {
+
+struct Frame {
+  DepthImage depth;          ///< Noisy sensor depth (m, 0 = invalid).
+  IntensityImage intensity;  ///< Grayscale RGB proxy in [0, 1].
+  SE3 ground_truth_pose;     ///< Camera-to-world.
+};
+
+struct SequenceConfig {
+  int width = 80;
+  int height = 60;
+  TrajectoryConfig trajectory;
+  NoiseConfig noise;
+  RenderConfig render;
+  std::uint64_t noise_seed = 7;
+  bool render_intensity = true;  ///< ElasticFusion needs it; KFusion does not.
+};
+
+/// An immutable rendered sequence. Thread-safe to read concurrently.
+class RGBDSequence {
+ public:
+  /// Renders every frame up front (parallelized over `pool`).
+  RGBDSequence(const Scene& scene, const SequenceConfig& config,
+               hm::common::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::size_t frame_count() const noexcept { return frames_.size(); }
+  [[nodiscard]] const Frame& frame(std::size_t i) const { return frames_[i]; }
+  [[nodiscard]] const Intrinsics& intrinsics() const noexcept { return intrinsics_; }
+  [[nodiscard]] const SequenceConfig& config() const noexcept { return config_; }
+
+  /// All ground-truth poses, in frame order.
+  [[nodiscard]] std::vector<SE3> ground_truth() const;
+
+ private:
+  SequenceConfig config_;
+  Intrinsics intrinsics_;
+  std::vector<Frame> frames_;
+};
+
+/// Builds the canonical benchmark sequence ("living room trajectory 2" in
+/// the paper's setup): the reference scene, `frame_count` frames at the
+/// given resolution. Shared by tests, examples, and every bench binary.
+/// `kind` selects the camera-motion archetype (default: the reference
+/// orbit).
+[[nodiscard]] std::shared_ptr<const RGBDSequence> make_benchmark_sequence(
+    std::size_t frame_count, int width = 80, int height = 60,
+    hm::common::ThreadPool* pool = nullptr, bool with_intensity = true,
+    TrajectoryKind kind = TrajectoryKind::kOrbit);
+
+}  // namespace hm::dataset

@@ -1,0 +1,121 @@
+#include "dataset/trajectory.hpp"
+
+#include <cmath>
+
+namespace hm::dataset {
+
+SE3 look_at(Vec3d eye, Vec3d target) {
+  // Camera convention: +z forward, +x right, +y down. World "down" is +y.
+  const Vec3d forward = (target - eye).normalized();
+  Vec3d down{0.0, 1.0, 0.0};
+  Vec3d right = down.cross(forward);
+  if (right.squared_norm() < 1e-12) {
+    // Looking straight up/down; pick an arbitrary right axis.
+    right = Vec3d{1.0, 0.0, 0.0};
+  }
+  right = right.normalized();
+  down = forward.cross(right).normalized();
+
+  SE3 pose;
+  // Columns of the rotation are the camera axes expressed in world frame.
+  pose.rotation(0, 0) = right.x;  pose.rotation(0, 1) = down.x;  pose.rotation(0, 2) = forward.x;
+  pose.rotation(1, 0) = right.y;  pose.rotation(1, 1) = down.y;  pose.rotation(1, 2) = forward.y;
+  pose.rotation(2, 0) = right.z;  pose.rotation(2, 1) = down.z;  pose.rotation(2, 2) = forward.z;
+  pose.translation = eye;
+  return pose;
+}
+
+namespace {
+
+/// Eye/target pair for warped time s in [0, 2*pi*fraction].
+struct Waypoint {
+  Vec3d eye;
+  Vec3d target;
+};
+
+Waypoint orbit_waypoint(const TrajectoryConfig& config, double angle) {
+  // Elliptic orbit around the room center with gentle vertical bobbing and
+  // a slow radial breathing term so motion excites all six DoF.
+  const double breathing = 1.0 + 0.12 * std::sin(3.0 * angle);
+  const Vec3d eye{
+      config.orbit_center.x + config.radius_x * breathing * std::cos(angle),
+      config.orbit_center.y + config.bob * std::sin(2.2 * angle),
+      config.orbit_center.z + config.radius_z * breathing * std::sin(angle)};
+  // The look target drifts slightly so pure-rotation segments exist too.
+  const Vec3d target{config.look_target.x + 0.25 * std::sin(1.3 * angle),
+                     config.look_target.y + 0.1 * std::cos(1.7 * angle),
+                     config.look_target.z + 0.25 * std::cos(0.9 * angle)};
+  return {eye, target};
+}
+
+Waypoint pan_waypoint(const TrajectoryConfig& config, double angle) {
+  // Lateral dolly along x at roughly constant depth from the -z wall.
+  const double span = 1.6 * config.radius_x;
+  const Vec3d eye{config.orbit_center.x + span * (angle / M_PI - 0.5),
+                  config.orbit_center.y + config.bob * std::sin(2.0 * angle),
+                  config.orbit_center.z + 1.2};
+  const Vec3d target{eye.x + 0.2 * std::sin(angle), config.look_target.y,
+                     0.6};
+  return {eye, target};
+}
+
+Waypoint zigzag_waypoint(const TrajectoryConfig& config, double angle) {
+  // Depth oscillation toward/away from the -z wall: exercises the
+  // integration band and the depth-dependent noise. The path is shifted
+  // off the room center line so it clears the coffee table.
+  const Vec3d eye{
+      1.3 + 0.3 * std::sin(2.0 * angle),
+      config.orbit_center.y + config.bob * std::cos(1.5 * angle),
+      config.orbit_center.z + config.radius_z * std::sin(angle) * 0.9};
+  // Aim past the sofa corner: the wall/floor/sofa junction constrains
+  // all six degrees of freedom (a head-on flat wall would let depth-only
+  // ICP slide laterally).
+  const Vec3d target{2.0 + 0.3 * std::sin(angle), 1.9, 0.7};
+  return {eye, target};
+}
+
+Waypoint rotation_heavy_waypoint(const TrajectoryConfig& config, double angle) {
+  // Almost stationary camera sweeping its gaze across the room: the
+  // regime where SO(3) pre-alignment and coarse pyramid levels matter.
+  // The viewpoint is off the room center line, clear of the coffee table.
+  const Vec3d eye{1.5 + 0.05 * std::sin(angle), 1.3,
+                  3.0 + 0.05 * std::cos(angle)};
+  const double sweep = 2.2 * angle;
+  const Vec3d target{config.orbit_center.x + 1.8 * std::cos(sweep),
+                     config.look_target.y + 0.3 * std::sin(1.3 * sweep),
+                     config.orbit_center.z + 1.8 * std::sin(sweep)};
+  return {eye, target};
+}
+
+}  // namespace
+
+std::vector<SE3> generate_trajectory(const TrajectoryConfig& config) {
+  std::vector<SE3> poses;
+  poses.reserve(config.frame_count);
+  const auto n = static_cast<double>(config.frame_count);
+  for (std::size_t frame = 0; frame < config.frame_count; ++frame) {
+    const double t = static_cast<double>(frame) / std::max(1.0, n - 1.0);
+    // Smoothstep time warp: zero velocity at both ends (handheld start/stop).
+    const double s = t * t * (3.0 - 2.0 * t);
+    const double angle = 2.0 * M_PI * config.orbit_fraction * s;
+    Waypoint waypoint;
+    switch (config.kind) {
+      case TrajectoryKind::kOrbit:
+        waypoint = orbit_waypoint(config, angle);
+        break;
+      case TrajectoryKind::kPan:
+        waypoint = pan_waypoint(config, angle);
+        break;
+      case TrajectoryKind::kZigzag:
+        waypoint = zigzag_waypoint(config, angle);
+        break;
+      case TrajectoryKind::kRotationHeavy:
+        waypoint = rotation_heavy_waypoint(config, angle);
+        break;
+    }
+    poses.push_back(look_at(waypoint.eye, waypoint.target));
+  }
+  return poses;
+}
+
+}  // namespace hm::dataset

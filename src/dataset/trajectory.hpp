@@ -1,0 +1,52 @@
+// Ground-truth camera trajectory generation. The reference trajectory
+// mimics ICL-NUIM "living room kt2": a smooth handheld-style sweep through
+// the room, always looking toward the furnished interior, with gentle
+// rotation (the regime where dense tracking is expected to work).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/se3.hpp"
+
+namespace hm::dataset {
+
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+
+/// Camera-motion archetypes. The paper's evaluation uses a single dataset
+/// trajectory and names "more breadth in terms of trajectories" as future
+/// work; these presets provide that breadth for the robustness ablation.
+enum class TrajectoryKind {
+  kOrbit,          ///< The reference living-room sweep (default).
+  kPan,            ///< Mostly-translational lateral pan along one wall.
+  kZigzag,         ///< Back-and-forth depth changes (stresses integration).
+  kRotationHeavy,  ///< Near-stationary position, strong look-around rotation.
+};
+
+struct TrajectoryConfig {
+  TrajectoryKind kind = TrajectoryKind::kOrbit;
+  std::size_t frame_count = 400;
+  /// Sensor frame rate; controls the per-frame motion magnitude.
+  double fps = 30.0;
+  /// Orbit radii of the camera path inside the room (meters).
+  double radius_x = 1.1;
+  double radius_z = 1.1;
+  /// Vertical bobbing amplitude (meters).
+  double bob = 0.12;
+  /// Fraction of a full orbit covered over the whole sequence.
+  double orbit_fraction = 0.55;
+  /// Center of the orbit and of the look-at target.
+  Vec3d orbit_center{2.4, 1.45, 2.4};
+  Vec3d look_target{2.4, 1.8, 2.3};
+};
+
+/// Camera-to-world poses (x_world = pose * x_camera), camera looking down
+/// +z toward the look target, x right, y down.
+[[nodiscard]] std::vector<SE3> generate_trajectory(const TrajectoryConfig& config);
+
+/// Look-at pose builder: camera at `eye` looking toward `target` with the
+/// world +y axis ("down") as the vertical reference.
+[[nodiscard]] SE3 look_at(Vec3d eye, Vec3d target);
+
+}  // namespace hm::dataset

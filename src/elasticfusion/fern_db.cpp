@@ -1,0 +1,88 @@
+#include "elasticfusion/fern_db.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hm::elasticfusion {
+
+FernDatabase::FernDatabase(const FernDbConfig& config) : config_(config) {
+  hm::common::Rng rng(config.seed);
+  tests_.reserve(config.fern_count);
+  for (std::size_t f = 0; f < config.fern_count; ++f) {
+    FernTest test;
+    test.u = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(config.code_width)));
+    test.v = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(config.code_height)));
+    test.depth_threshold = static_cast<float>(rng.uniform(0.5, 5.0));
+    test.intensity_threshold = static_cast<float>(rng.uniform(0.2, 0.8));
+    tests_.push_back(test);
+  }
+}
+
+std::vector<std::uint8_t> FernDatabase::encode(
+    const hm::geometry::DepthImage& depth,
+    const hm::geometry::IntensityImage& intensity, KernelStats& stats) const {
+  std::vector<std::uint8_t> code(config_.fern_count, 0);
+  const bool have_intensity = !intensity.empty();
+  // Nearest-pixel sampling positions on the code grid.
+  for (std::size_t f = 0; f < tests_.size(); ++f) {
+    const FernTest& test = tests_[f];
+    const int du = depth.width() * test.u / config_.code_width;
+    const int dv = depth.height() * test.v / config_.code_height;
+    const float z = depth.at(std::min(du, depth.width() - 1),
+                             std::min(dv, depth.height() - 1));
+    std::uint8_t bits = z > 0.0f && z < test.depth_threshold ? 1 : 0;
+    if (have_intensity) {
+      const int iu = intensity.width() * test.u / config_.code_width;
+      const int iv = intensity.height() * test.v / config_.code_height;
+      const float value = intensity.at(std::min(iu, intensity.width() - 1),
+                                       std::min(iv, intensity.height() - 1));
+      bits = static_cast<std::uint8_t>(
+          bits | (value > test.intensity_threshold ? 2 : 0));
+    }
+    code[f] = bits;
+  }
+  stats.add(Kernel::kLoopClosure, tests_.size());
+  return code;
+}
+
+double FernDatabase::similarity(const std::vector<std::uint8_t>& a,
+                                const std::vector<std::uint8_t>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) equal += a[i] == b[i] ? 1 : 0;
+  return static_cast<double>(equal) / static_cast<double>(a.size());
+}
+
+std::optional<FernDatabase::Match> FernDatabase::best_match(
+    const std::vector<std::uint8_t>& code, KernelStats& stats) const {
+  if (keyframes_.empty()) return std::nullopt;
+  Match best;
+  best.similarity = -1.0;
+  for (std::size_t i = 0; i < keyframes_.size(); ++i) {
+    const double s = similarity(code, keyframes_[i].code);
+    if (s > best.similarity) {
+      best.similarity = s;
+      best.keyframe_index = i;
+    }
+  }
+  stats.add(Kernel::kLoopClosure, keyframes_.size() * config_.fern_count);
+  return best;
+}
+
+bool FernDatabase::maybe_add(const std::vector<std::uint8_t>& code,
+                             const SE3& pose, std::uint32_t frame_index,
+                             KernelStats& stats) {
+  const auto match = best_match(code, stats);
+  if (match && match->similarity >= config_.novelty_threshold) return false;
+  Keyframe keyframe;
+  keyframe.code = code;
+  keyframe.pose = pose;
+  keyframe.frame_index = frame_index;
+  keyframes_.push_back(std::move(keyframe));
+  return true;
+}
+
+}  // namespace hm::elasticfusion

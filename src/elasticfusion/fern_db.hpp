@@ -1,0 +1,86 @@
+// Randomized-fern keyframe database (Glocker et al.), as used by
+// ElasticFusion for relocalization and global loop-closure candidate
+// detection. Each keyframe is encoded by evaluating a fixed set of random
+// binary tests on its downsampled depth and intensity images; similarity is
+// the fraction of agreeing fern codes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::elasticfusion {
+
+using hm::geometry::SE3;
+using hm::kfusion::Kernel;
+using hm::kfusion::KernelStats;
+
+struct FernDbConfig {
+  std::size_t fern_count = 48;   ///< Ferns per code.
+  int code_width = 16;           ///< Images are sampled on a code_width grid.
+  int code_height = 12;
+  /// New keyframes are only added when the best existing similarity is
+  /// below this (keeps the database diverse).
+  double novelty_threshold = 0.85;
+  std::uint64_t seed = 99;
+};
+
+struct Keyframe {
+  std::vector<std::uint8_t> code;  ///< One 2-bit pair per fern, packed as bytes.
+  SE3 pose;                        ///< Camera-to-world at capture time.
+  std::uint32_t frame_index = 0;
+};
+
+class FernDatabase {
+ public:
+  explicit FernDatabase(const FernDbConfig& config = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return keyframes_.size(); }
+  [[nodiscard]] const Keyframe& keyframe(std::size_t i) const {
+    return keyframes_[i];
+  }
+
+  /// Encodes a frame (downsampling internally to the code grid). Encoding
+  /// work is counted as Kernel::kLoopClosure.
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      const hm::geometry::DepthImage& depth,
+      const hm::geometry::IntensityImage& intensity, KernelStats& stats) const;
+
+  /// Similarity in [0, 1] between two codes (fraction of equal ferns).
+  [[nodiscard]] static double similarity(const std::vector<std::uint8_t>& a,
+                                         const std::vector<std::uint8_t>& b);
+
+  struct Match {
+    std::size_t keyframe_index = 0;
+    double similarity = 0.0;
+  };
+
+  /// Best match in the database; nullopt when empty. Search work is counted
+  /// as Kernel::kLoopClosure.
+  [[nodiscard]] std::optional<Match> best_match(
+      const std::vector<std::uint8_t>& code, KernelStats& stats) const;
+
+  /// Adds the frame as a keyframe if it is sufficiently novel. Returns true
+  /// when added.
+  bool maybe_add(const std::vector<std::uint8_t>& code, const SE3& pose,
+                 std::uint32_t frame_index, KernelStats& stats);
+
+ private:
+  struct FernTest {
+    int u = 0;           ///< Code-grid coordinates.
+    int v = 0;
+    float depth_threshold = 0.0f;
+    float intensity_threshold = 0.0f;
+  };
+
+  FernDbConfig config_;
+  std::vector<FernTest> tests_;
+  std::vector<Keyframe> keyframes_;
+};
+
+}  // namespace hm::elasticfusion

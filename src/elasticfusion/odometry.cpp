@@ -1,0 +1,301 @@
+#include "elasticfusion/odometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/solve.hpp"
+
+namespace hm::elasticfusion {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::Mat3d;
+using hm::geometry::NormalEquations;
+using hm::geometry::Vec2d;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+std::vector<IntensityImage> build_intensity_pyramid(const IntensityImage& level0,
+                                                    int level_count,
+                                                    KernelStats& stats) {
+  std::vector<IntensityImage> pyramid;
+  pyramid.reserve(static_cast<std::size_t>(level_count));
+  pyramid.push_back(level0);
+  for (int level = 1; level < level_count; ++level) {
+    const IntensityImage& src = pyramid.back();
+    IntensityImage dst(src.width() / 2, src.height() / 2, 0.0f);
+    for (int v = 0; v < dst.height(); ++v) {
+      for (int u = 0; u < dst.width(); ++u) {
+        dst.at(u, v) = 0.25f * (src.at(2 * u, 2 * v) + src.at(2 * u + 1, 2 * v) +
+                                src.at(2 * u, 2 * v + 1) +
+                                src.at(2 * u + 1, 2 * v + 1));
+      }
+    }
+    stats.add(Kernel::kPyramid, dst.size() * 4);
+    pyramid.push_back(std::move(dst));
+  }
+  return pyramid;
+}
+
+namespace {
+
+/// Central-difference image gradient at integer pixel (u, v); nullopt at the
+/// border or when any support pixel is invalid (< invalid_below).
+std::optional<Vec2d> image_gradient(const IntensityImage& image, int u, int v,
+                                    float invalid_below) {
+  if (u < 1 || v < 1 || u + 1 >= image.width() || v + 1 >= image.height()) {
+    return std::nullopt;
+  }
+  const float left = image.at(u - 1, v), right = image.at(u + 1, v);
+  const float up = image.at(u, v - 1), down = image.at(u, v + 1);
+  if (left <= invalid_below || right <= invalid_below || up <= invalid_below ||
+      down <= invalid_below) {
+    return std::nullopt;
+  }
+  return Vec2d{0.5 * static_cast<double>(right - left),
+               0.5 * static_cast<double>(down - up)};
+}
+
+}  // namespace
+
+Mat3d so3_prealign(const PyramidLevel& current_coarse,
+                   const IntensityImage& current_intensity,
+                   const IntensityImage& previous_intensity,
+                   const Intrinsics& coarse_intrinsics, KernelStats& stats) {
+  Vec3d w{};  // Accumulated rotation (axis-angle).
+  std::uint64_t ops = 0;
+  constexpr int kIterations = 4;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    const Mat3d rotation = hm::geometry::so3_exp(w);
+    NormalEquations<3> equations;
+    for (int v = 0; v < current_coarse.vertices.height(); ++v) {
+      for (int u = 0; u < current_coarse.vertices.width(); ++u) {
+        const Vec3f vertex = current_coarse.vertices.at(u, v);
+        if (vertex == Vec3f{}) continue;
+        ++ops;
+        // Current-camera point rotated into the previous camera.
+        const Vec3d q = rotation * hm::geometry::to_double(vertex);
+        if (q.z <= 1e-6) continue;
+        const auto pixel = coarse_intrinsics.project(q);
+        if (!pixel) continue;
+        const int pu = static_cast<int>(std::lround(pixel->x));
+        const int pv = static_cast<int>(std::lround(pixel->y));
+        if (!coarse_intrinsics.contains(pu, pv)) continue;
+        const auto grad = image_gradient(previous_intensity, pu, pv, -0.5f);
+        if (!grad) continue;
+        const float reference = previous_intensity.at(pu, pv);
+        const double residual = static_cast<double>(
+            current_intensity.at(u, v) - reference);
+
+        // d(pixel)/dq, then dq/dw = -hat(q).
+        const double inv_z = 1.0 / q.z;
+        const Vec3d dpx{coarse_intrinsics.fx * inv_z, 0.0,
+                        -coarse_intrinsics.fx * q.x * inv_z * inv_z};
+        const Vec3d dpy{0.0, coarse_intrinsics.fy * inv_z,
+                        -coarse_intrinsics.fy * q.y * inv_z * inv_z};
+        const Vec3d di = dpx * grad->x + dpy * grad->y;  // dI/dq.
+        // dq/dw = -hat(q), so the prediction jacobian is q x di; the
+        // residual is (observed - predicted), matching J w ~ b.
+        const Vec3d j = q.cross(di);
+        equations.add({j.x, j.y, j.z}, residual);
+      }
+    }
+    if (equations.count() < 12) break;
+    const auto update = equations.solve(/*damping=*/1e-7);
+    if (!update) break;
+    w += Vec3d{(*update)[0], (*update)[1], (*update)[2]};
+    const double norm2 = (*update)[0] * (*update)[0] +
+                         (*update)[1] * (*update)[1] +
+                         (*update)[2] * (*update)[2];
+    if (norm2 < 1e-10) break;
+  }
+  stats.add(Kernel::kSo3Prealign, ops);
+  return hm::geometry::so3_exp(w);
+}
+
+namespace {
+
+struct JointReduction {
+  NormalEquations<6> equations;
+  std::uint64_t icp_tested = 0;
+  std::uint64_t icp_matched = 0;
+  std::uint64_t rgb_tested = 0;
+  double icp_sse = 0.0;  ///< Geometric residual sum of squares.
+  std::size_t icp_count = 0;
+};
+
+/// One joint ICP+RGB pass at a pyramid level under pose estimate `pose`.
+JointReduction reduce_joint(const PyramidLevel& level,
+                            const IntensityImage& level_intensity,
+                            const ModelView& model,
+                            const IntensityImage& rgb_reference,
+                            const Intrinsics& level0_intrinsics,
+                            const SE3& world_to_reference, const SE3& pose,
+                            const OdometryConfig& config) {
+  JointReduction out;
+  const double distance_gate2 = config.distance_gate * config.distance_gate;
+  const double w_icp = config.icp_rgb_weight;
+  const double w_rgb = 1.0;
+  const double rgb_scale = config.rgb_residual_scale;
+
+  for (int v = 0; v < level.vertices.height(); ++v) {
+    for (int u = 0; u < level.vertices.width(); ++u) {
+      const Vec3f vertex = level.vertices.at(u, v);
+      if (vertex == Vec3f{}) continue;
+      const Vec3d p_world = pose * hm::geometry::to_double(vertex);
+      const Vec3d p_ref = world_to_reference * p_world;
+      const auto pixel = level0_intrinsics.project(p_ref);
+      if (!pixel) continue;
+      const int ru = static_cast<int>(std::lround(pixel->x));
+      const int rv = static_cast<int>(std::lround(pixel->y));
+      if (!level0_intrinsics.contains(ru, rv)) continue;
+
+      // --- Geometric (ICP) term against the projected model. ---
+      const Vec3f normal = level.normals.at(u, v);
+      if (normal != Vec3f{}) {
+        ++out.icp_tested;
+        const Vec3f ref_vertex = model.vertices.at(ru, rv);
+        const Vec3f ref_normal = model.normals.at(ru, rv);
+        if (ref_vertex != Vec3f{} && ref_normal != Vec3f{}) {
+          const Vec3d v_ref = hm::geometry::to_double(ref_vertex);
+          const Vec3d n_ref = hm::geometry::to_double(ref_normal);
+          const Vec3d diff = v_ref - p_world;
+          const Vec3d n_cur = pose.rotate(hm::geometry::to_double(normal));
+          if (diff.squared_norm() <= distance_gate2 &&
+              n_ref.dot(n_cur) >= config.normal_gate) {
+            const double residual = n_ref.dot(diff);
+            const Vec3d moment = p_world.cross(n_ref);
+            out.equations.add(
+                {n_ref.x, n_ref.y, n_ref.z, moment.x, moment.y, moment.z},
+                residual, w_icp);
+            out.icp_sse += residual * residual;
+            ++out.icp_count;
+            ++out.icp_matched;
+          }
+        }
+      }
+
+      // --- Photometric (RGB) term. ---
+      if (!level_intensity.empty() && !rgb_reference.empty()) {
+        ++out.rgb_tested;
+        const auto grad = image_gradient(rgb_reference, ru, rv, -0.5f);
+        const float reference_value = rgb_reference.at(ru, rv);
+        if (grad && reference_value > -0.5f) {
+          const double residual =
+              rgb_scale * (static_cast<double>(level_intensity.at(u, v)) -
+                           static_cast<double>(reference_value));
+          // Chain rule: dI/dpixel * dpixel/dp_ref * dp_ref/dtwist.
+          const double inv_z = 1.0 / p_ref.z;
+          const Vec3d dpx{level0_intrinsics.fx * inv_z, 0.0,
+                          -level0_intrinsics.fx * p_ref.x * inv_z * inv_z};
+          const Vec3d dpy{0.0, level0_intrinsics.fy * inv_z,
+                          -level0_intrinsics.fy * p_ref.y * inv_z * inv_z};
+          // dI/dp_ref, then into world via R_ref^T (rows of world_to_ref).
+          const Vec3d di_ref = dpx * grad->x + dpy * grad->y;
+          const Vec3d di_world =
+              world_to_reference.rotation.transposed() * di_ref;
+          // dp_world/dtwist = [I | -hat(p_world)] gives the prediction
+          // jacobian [di_world ; p_world x di_world]; with the residual
+          // defined as (current - predicted) the solve J ksi = r matches
+          // the ICP convention above.
+          const Vec3d j_rot = p_world.cross(di_world);
+          out.equations.add({rgb_scale * di_world.x, rgb_scale * di_world.y,
+                             rgb_scale * di_world.z, rgb_scale * j_rot.x,
+                             rgb_scale * j_rot.y, rgb_scale * j_rot.z},
+                            residual, w_rgb);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OdometryResult track_rgbd(const std::vector<PyramidLevel>& pyramid,
+                          const std::vector<IntensityImage>& intensity_pyramid,
+                          const ModelView& model,
+                          const std::vector<IntensityImage>& previous_intensity_pyramid,
+                          const Intrinsics& level0_intrinsics,
+                          const SE3& reference_pose, const SE3& initial_pose,
+                          const OdometryConfig& config, KernelStats& stats) {
+  OdometryResult result;
+  result.pose = initial_pose;
+  const SE3 world_to_reference = reference_pose.inverse();
+
+  // Level schedule: full coarse-to-fine, or a single half-resolution level
+  // in fast-odometry mode.
+  std::vector<std::size_t> levels;
+  if (config.fast_odometry) {
+    levels.push_back(std::min<std::size_t>(1, pyramid.size() - 1));
+  } else {
+    for (std::size_t i = pyramid.size(); i-- > 0;) levels.push_back(i);
+  }
+
+  std::uint64_t icp_ops = 0;
+  std::uint64_t rgb_ops = 0;
+  std::uint64_t solves = 0;
+
+  static const IntensityImage kEmptyIntensity;
+  for (const std::size_t level_index : levels) {
+    const PyramidLevel& level = pyramid[level_index];
+    const IntensityImage& level_intensity = intensity_pyramid.empty()
+                                                ? kEmptyIntensity
+                                                : intensity_pyramid[level_index];
+    // RGB reference: the projected model intensity (frame-to-model) or the
+    // previous frame's level-0 intensity (frame-to-frame). Both are indexed
+    // through the reference camera at level-0 resolution.
+    const IntensityImage& rgb_reference =
+        config.frame_to_frame_rgb
+            ? (previous_intensity_pyramid.empty() ? kEmptyIntensity
+                                                  : previous_intensity_pyramid[0])
+            : model.intensity;
+
+    const int iterations = config.fast_odometry
+                               ? config.iterations[0]
+                               : config.iterations[std::min<std::size_t>(
+                                     level_index, config.iterations.size() - 1)];
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      const JointReduction pass =
+          reduce_joint(level, level_intensity, model, rgb_reference,
+                       level0_intrinsics, world_to_reference, result.pose,
+                       config);
+      icp_ops += pass.icp_tested;
+      rgb_ops += pass.rgb_tested;
+      ++result.iterations_run;
+
+      if (level_index == levels.back() || level_index == 0) {
+        result.final_rms =
+            pass.icp_count == 0
+                ? 0.0
+                : std::sqrt(pass.icp_sse / static_cast<double>(pass.icp_count));
+        result.inlier_fraction =
+            pass.icp_tested == 0
+                ? 0.0
+                : static_cast<double>(pass.icp_matched) /
+                      static_cast<double>(pass.icp_tested);
+      }
+      if (pass.equations.count() < 6) break;
+
+      const auto update = pass.equations.solve(/*damping=*/1e-9);
+      ++solves;
+      if (!update) break;
+      result.pose = SE3::exp(*update) * result.pose;
+      result.pose.rotation = hm::geometry::orthonormalized(result.pose.rotation);
+
+      double norm2 = 0.0;
+      for (const double value : *update) norm2 += value * value;
+      if (norm2 < config.update_threshold) break;
+    }
+  }
+
+  stats.add(Kernel::kIcp, icp_ops);
+  stats.add(Kernel::kRgbTrack, rgb_ops);
+  stats.add(Kernel::kSolve, solves);
+
+  result.tracked = result.inlier_fraction >= config.min_inlier_fraction &&
+                   result.final_rms <= config.rms_gate &&
+                   result.final_rms > 0.0;
+  return result;
+}
+
+}  // namespace hm::elasticfusion

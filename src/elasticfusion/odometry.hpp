@@ -1,0 +1,74 @@
+// ElasticFusion's camera tracking: joint geometric (point-to-plane ICP
+// against the projected surfel model) and photometric (RGB) alignment,
+// with optional SO(3) rotation pre-alignment, single-level "fast odometry",
+// and frame-to-frame RGB mode — the mechanisms behind five of the eight
+// parameters in the paper's ElasticFusion design space.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "elasticfusion/surfel_map.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/kernel_stats.hpp"
+#include "kfusion/pyramid.hpp"
+
+namespace hm::elasticfusion {
+
+using hm::geometry::IntensityImage;
+using hm::kfusion::PyramidLevel;
+
+struct OdometryConfig {
+  /// Geometric term weight relative to the photometric term.
+  double icp_rgb_weight = 10.0;
+  bool so3_prealign = true;
+  bool fast_odometry = false;
+  bool frame_to_frame_rgb = false;
+  /// Iterations per pyramid level, finest first (ElasticFusion upstream
+  /// runs 10/5/4). Fast odometry runs a single half-resolution level with
+  /// iterations[0] iterations.
+  std::array<int, 3> iterations{10, 5, 4};
+  double update_threshold = 1e-6;
+  double distance_gate = 0.12;
+  double normal_gate = 0.7;
+  double min_inlier_fraction = 0.08;
+  double rms_gate = 0.10;
+  /// Converts photometric residuals into length-comparable units before the
+  /// weight is applied (intensity is in [0,1], geometry in meters).
+  double rgb_residual_scale = 0.12;
+};
+
+struct OdometryResult {
+  SE3 pose;
+  bool tracked = true;
+  double inlier_fraction = 0.0;
+  double final_rms = 0.0;
+  int iterations_run = 0;
+};
+
+/// Intensity pyramid matching a depth pyramid's levels (2x2 averaging).
+[[nodiscard]] std::vector<IntensityImage> build_intensity_pyramid(
+    const IntensityImage& level0, int level_count, KernelStats& stats);
+
+/// Estimates the inter-frame rotation by photometric alignment at the
+/// coarsest level (the SO(3) pre-alignment step). Returns the delta rotation
+/// R such that a current-camera point p appears at R*p in the previous
+/// camera. Work is counted as Kernel::kSo3Prealign.
+[[nodiscard]] hm::geometry::Mat3d so3_prealign(
+    const PyramidLevel& current_coarse, const IntensityImage& current_intensity,
+    const IntensityImage& previous_intensity,
+    const hm::geometry::Intrinsics& coarse_intrinsics, KernelStats& stats);
+
+/// Tracks the current frame against the projected model (and, in
+/// frame-to-frame mode, the previous frame's intensity). `model` was
+/// projected from `reference_pose` at the pyramid's level-0 resolution.
+[[nodiscard]] OdometryResult track_rgbd(
+    const std::vector<PyramidLevel>& pyramid,
+    const std::vector<IntensityImage>& intensity_pyramid, const ModelView& model,
+    const std::vector<IntensityImage>& previous_intensity_pyramid,
+    const hm::geometry::Intrinsics& level0_intrinsics, const SE3& reference_pose,
+    const SE3& initial_pose, const OdometryConfig& config, KernelStats& stats);
+
+}  // namespace hm::elasticfusion

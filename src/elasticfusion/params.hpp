@@ -1,0 +1,29 @@
+// The ElasticFusion design space of the paper (Section III-C): three
+// numeric parameters and five flags, with the upstream defaults.
+#pragma once
+
+namespace hm::elasticfusion {
+
+struct EFParams {
+  /// Relative ICP/RGB tracking weight: the geometric (ICP) term is weighted
+  /// `icp_rgb_weight` times the photometric (RGB) term. Upstream default 10.
+  double icp_rgb_weight = 10.0;
+  /// Depth cutoff: raw depth beyond this range (m) is ignored. Default 3 m.
+  double depth_cutoff = 3.0;
+  /// Surfel confidence threshold: surfels participate in the model
+  /// (tracking reference, loop closure) only once their confidence reaches
+  /// this value. Default 10.
+  double confidence_threshold = 10.0;
+
+  // Flags (paper order).
+  bool so3_prealign = true;       ///< SO(3) rotation pre-alignment enabled.
+  bool open_loop = false;         ///< true disables local loop closure.
+  bool relocalisation = true;     ///< Fern-based relocalization on loss.
+  bool fast_odometry = false;     ///< Single-level pyramid odometry.
+  bool frame_to_frame_rgb = false;  ///< RGB residual vs previous frame
+                                    ///< instead of the projected model.
+
+  [[nodiscard]] static EFParams defaults() { return {}; }
+};
+
+}  // namespace hm::elasticfusion

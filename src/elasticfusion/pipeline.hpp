@@ -1,0 +1,78 @@
+// The full ElasticFusion per-frame pipeline: depth cutoff + filtering,
+// joint ICP/RGB frame-to-model tracking, surfel fusion, fern-keyframe
+// bookkeeping, local loop closure, and fern relocalization — each mechanism
+// controlled by one of the eight explored parameters.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "elasticfusion/fern_db.hpp"
+#include "elasticfusion/odometry.hpp"
+#include "elasticfusion/params.hpp"
+#include "elasticfusion/surfel_map.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::elasticfusion {
+
+class ElasticFusionPipeline {
+ public:
+  ElasticFusionPipeline(const EFParams& params, const Intrinsics& intrinsics,
+                        const SE3& initial_pose);
+
+  struct FrameResult {
+    SE3 pose;
+    bool tracked = true;
+    bool relocalized = false;
+    bool loop_closed = false;
+  };
+
+  /// Processes the next RGB-D frame (depth in meters, intensity in [0,1]).
+  FrameResult process_frame(const hm::geometry::DepthImage& depth,
+                            const hm::geometry::IntensityImage& intensity);
+
+  [[nodiscard]] const SE3& pose() const noexcept { return pose_; }
+  [[nodiscard]] const SurfelMap& map() const noexcept { return map_; }
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::vector<SE3>& trajectory() const noexcept {
+    return trajectory_;
+  }
+  [[nodiscard]] std::size_t relocalization_count() const noexcept {
+    return relocalizations_;
+  }
+  [[nodiscard]] std::size_t loop_closure_count() const noexcept {
+    return loop_closures_;
+  }
+
+ private:
+  /// Applies the depth cutoff and light filtering to the raw depth.
+  [[nodiscard]] hm::geometry::DepthImage preprocess(
+      const hm::geometry::DepthImage& raw);
+
+  void attempt_loop_closure(const std::vector<PyramidLevel>& pyramid,
+                            const std::vector<IntensityImage>& intensity_pyramid,
+                            FrameResult& result);
+
+  EFParams params_;
+  Intrinsics intrinsics_;
+  SurfelMap map_;
+  FernDatabase ferns_;
+  SE3 pose_;
+  std::uint32_t frame_ = 0;
+  KernelStats stats_;
+  std::vector<SE3> trajectory_;
+  std::vector<IntensityImage> previous_intensity_pyramid_;
+  OdometryConfig odometry_config_;
+  std::size_t relocalizations_ = 0;
+  std::size_t loop_closures_ = 0;
+  /// Frames between loop-closure attempts (fixed, not explored).
+  static constexpr std::uint32_t kLoopCheckInterval = 8;
+  /// Unstable surfels observed within this many frames join the active
+  /// tracking model (ElasticFusion's time window).
+  static constexpr std::uint32_t kUnstableWindow = 30;
+};
+
+}  // namespace hm::elasticfusion

@@ -1,0 +1,230 @@
+#include "elasticfusion/surfel_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hm::elasticfusion {
+
+SurfelMap::CellKey SurfelMap::pack(std::int32_t x, std::int32_t y,
+                                   std::int32_t z) {
+  // 21 bits per axis with an offset; room coordinates are small positives.
+  const auto ux = static_cast<std::uint64_t>(x + (1 << 20)) & 0x1fffffULL;
+  const auto uy = static_cast<std::uint64_t>(y + (1 << 20)) & 0x1fffffULL;
+  const auto uz = static_cast<std::uint64_t>(z + (1 << 20)) & 0x1fffffULL;
+  return (ux << 42) | (uy << 21) | uz;
+}
+
+SurfelMap::CellKey SurfelMap::cell_of(Vec3f position) const {
+  const auto x = static_cast<std::int32_t>(
+      std::floor(static_cast<double>(position.x) / cell_size_));
+  const auto y = static_cast<std::int32_t>(
+      std::floor(static_cast<double>(position.y) / cell_size_));
+  const auto z = static_cast<std::int32_t>(
+      std::floor(static_cast<double>(position.z) / cell_size_));
+  return pack(x, y, z);
+}
+
+std::size_t SurfelMap::stable_count(double confidence_threshold) const {
+  std::size_t count = 0;
+  for (const Surfel& s : surfels_) {
+    count += static_cast<double>(s.confidence) >= confidence_threshold ? 1 : 0;
+  }
+  return count;
+}
+
+void SurfelMap::fuse(const hm::geometry::VertexMap& vertices,
+                     const hm::geometry::NormalMap& normals,
+                     const hm::geometry::IntensityImage& intensity,
+                     const SE3& pose, std::uint32_t frame_index,
+                     const FusionParams& params, KernelStats& stats) {
+  const auto gate2 = static_cast<float>(params.association_distance *
+                                        params.association_distance);
+  const auto normal_gate = static_cast<float>(params.normal_agreement);
+  std::uint64_t ops = 0;
+
+  for (int v = 0; v < vertices.height(); ++v) {
+    for (int u = 0; u < vertices.width(); ++u) {
+      const Vec3f vertex = vertices.at(u, v);
+      const Vec3f normal = normals.at(u, v);
+      if (vertex == Vec3f{} || normal == Vec3f{}) continue;
+
+      const Vec3f p_world = hm::geometry::to_float(
+          pose * hm::geometry::to_double(vertex));
+      const Vec3f n_world = hm::geometry::to_float(
+          pose.rotate(hm::geometry::to_double(normal)));
+      const float pixel_intensity =
+          intensity.empty() ? 0.0f : intensity.at(u, v);
+      // Surfel radius ~ pixel footprint at this depth.
+      const float radius = 0.01f * std::max(vertex.z, 0.3f);
+
+      // Search the 3x3x3 neighborhood of the point's cell.
+      const auto cx = static_cast<std::int32_t>(
+          std::floor(static_cast<double>(p_world.x) / cell_size_));
+      const auto cy = static_cast<std::int32_t>(
+          std::floor(static_cast<double>(p_world.y) / cell_size_));
+      const auto cz = static_cast<std::int32_t>(
+          std::floor(static_cast<double>(p_world.z) / cell_size_));
+
+      std::int32_t best = -1;
+      float best_distance2 = gate2;
+      for (std::int32_t dz = -1; dz <= 1; ++dz) {
+        for (std::int32_t dy = -1; dy <= 1; ++dy) {
+          for (std::int32_t dx = -1; dx <= 1; ++dx) {
+            const auto it = grid_.find(pack(cx + dx, cy + dy, cz + dz));
+            if (it == grid_.end()) continue;
+            for (const std::uint32_t index : it->second) {
+              ++ops;
+              const Surfel& s = surfels_[index];
+              const float d2 = (s.position - p_world).squared_norm();
+              if (d2 < best_distance2 && s.normal.dot(n_world) > normal_gate) {
+                best_distance2 = d2;
+                best = static_cast<std::int32_t>(index);
+              }
+            }
+          }
+        }
+      }
+
+      ++ops;  // The update/insert itself.
+      if (best >= 0) {
+        Surfel& s = surfels_[static_cast<std::uint32_t>(best)];
+        const CellKey old_cell = cell_of(s.position);
+        const float w = s.confidence;
+        const float inv = 1.0f / (w + 1.0f);
+        s.position = (s.position * w + p_world) * inv;
+        s.normal = ((s.normal * w + n_world) * inv).normalized();
+        s.intensity = (s.intensity * w + pixel_intensity) * inv;
+        s.radius = std::min(s.radius, radius);
+        s.confidence = std::min(w + 1.0f, params.max_confidence);
+        s.last_seen = frame_index;
+        const CellKey new_cell = cell_of(s.position);
+        if (new_cell != old_cell) {
+          auto& old_bucket = grid_[old_cell];
+          old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(),
+                                     static_cast<std::uint32_t>(best)));
+          grid_[new_cell].push_back(static_cast<std::uint32_t>(best));
+        }
+      } else {
+        Surfel s;
+        s.position = p_world;
+        s.normal = n_world;
+        s.intensity = pixel_intensity;
+        s.radius = radius;
+        s.confidence = 1.0f;
+        s.last_seen = frame_index;
+        surfels_.push_back(s);
+        grid_[cell_of(p_world)].push_back(
+            static_cast<std::uint32_t>(surfels_.size() - 1));
+      }
+    }
+  }
+  stats.add(Kernel::kSurfelFusion, ops);
+}
+
+ModelView SurfelMap::project(const Intrinsics& intrinsics, const SE3& pose,
+                             double confidence_threshold,
+                             std::uint32_t current_frame,
+                             std::uint32_t unstable_window,
+                             KernelStats& stats) const {
+  ModelView view;
+  view.vertices =
+      hm::geometry::VertexMap(intrinsics.width, intrinsics.height, Vec3f{});
+  view.normals =
+      hm::geometry::NormalMap(intrinsics.width, intrinsics.height, Vec3f{});
+  view.intensity =
+      hm::geometry::IntensityImage(intrinsics.width, intrinsics.height, -1.0f);
+  hm::geometry::DepthImage zbuffer(intrinsics.width, intrinsics.height, 1e30f);
+
+  const SE3 world_to_camera = pose.inverse();
+  std::uint64_t ops = 0;
+  for (const Surfel& s : surfels_) {
+    ++ops;
+    const bool stable = static_cast<double>(s.confidence) >= confidence_threshold;
+    const bool recent =
+        unstable_window > 0 && current_frame >= s.last_seen &&
+        current_frame - s.last_seen <= unstable_window;
+    if (!stable && !recent) continue;
+    const Vec3d p_camera =
+        world_to_camera * hm::geometry::to_double(s.position);
+    const auto pixel = intrinsics.project(p_camera);
+    if (!pixel) continue;
+    const int u = static_cast<int>(std::lround(pixel->x));
+    const int v = static_cast<int>(std::lround(pixel->y));
+    if (!intrinsics.contains(u, v)) continue;
+    const auto z = static_cast<float>(p_camera.z);
+    if (z >= zbuffer.at(u, v)) continue;
+    zbuffer.at(u, v) = z;
+    view.vertices.at(u, v) = s.position;
+    view.normals.at(u, v) = s.normal;
+    view.intensity.at(u, v) = s.intensity;
+  }
+  stats.add(Kernel::kSurfelFusion, ops);
+  return view;
+}
+
+std::size_t SurfelMap::prune(std::uint32_t current_frame, std::uint32_t max_age,
+                             double confidence_threshold, KernelStats& stats) {
+  const std::size_t before = surfels_.size();
+  std::vector<Surfel> kept;
+  kept.reserve(before);
+  for (const Surfel& s : surfels_) {
+    const bool stable =
+        static_cast<double>(s.confidence) >= confidence_threshold;
+    const bool fresh = current_frame < s.last_seen ||
+                       current_frame - s.last_seen <= max_age;
+    if (stable || fresh) kept.push_back(s);
+  }
+  stats.add(Kernel::kSurfelFusion, before);
+  if (kept.size() == before) return 0;
+  surfels_ = std::move(kept);
+  grid_.clear();
+  for (std::uint32_t i = 0; i < surfels_.size(); ++i) {
+    grid_[cell_of(surfels_[i].position)].push_back(i);
+  }
+  return before - surfels_.size();
+}
+
+std::string SurfelMap::to_ply(double confidence_threshold) const {
+  std::size_t count = 0;
+  for (const Surfel& s : surfels_) {
+    count += static_cast<double>(s.confidence) >= confidence_threshold ? 1 : 0;
+  }
+  std::string out;
+  char line[256];
+  int len = std::snprintf(line, sizeof(line),
+                          "ply\nformat ascii 1.0\nelement vertex %zu\n"
+                          "property float x\nproperty float y\nproperty float z\n"
+                          "property float nx\nproperty float ny\nproperty float nz\n"
+                          "property uchar red\nproperty uchar green\n"
+                          "property uchar blue\nend_header\n",
+                          count);
+  out.append(line, static_cast<std::size_t>(len));
+  for (const Surfel& s : surfels_) {
+    if (static_cast<double>(s.confidence) < confidence_threshold) continue;
+    const int gray = static_cast<int>(
+        std::clamp(s.intensity, 0.0f, 1.0f) * 255.0f);
+    len = std::snprintf(line, sizeof(line), "%g %g %g %g %g %g %d %d %d\n",
+                        static_cast<double>(s.position.x),
+                        static_cast<double>(s.position.y),
+                        static_cast<double>(s.position.z),
+                        static_cast<double>(s.normal.x),
+                        static_cast<double>(s.normal.y),
+                        static_cast<double>(s.normal.z), gray, gray, gray);
+    out.append(line, static_cast<std::size_t>(len));
+  }
+  return out;
+}
+
+void SurfelMap::transform(const SE3& correction) {
+  grid_.clear();
+  for (std::uint32_t i = 0; i < surfels_.size(); ++i) {
+    Surfel& s = surfels_[i];
+    s.position = hm::geometry::to_float(
+        correction * hm::geometry::to_double(s.position));
+    s.normal = hm::geometry::to_float(
+        correction.rotate(hm::geometry::to_double(s.normal)));
+    grid_[cell_of(s.position)].push_back(i);
+  }
+}
+
+}  // namespace hm::elasticfusion

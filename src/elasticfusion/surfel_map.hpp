@@ -1,0 +1,109 @@
+// Surfel-based map: ElasticFusion's environment representation. Surfels are
+// fused with confidence-weighted averaging; association uses a uniform
+// spatial hash. Surfels above the confidence threshold form the "stable"
+// model used for tracking and loop closure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::elasticfusion {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+using hm::kfusion::Kernel;
+using hm::kfusion::KernelStats;
+
+struct Surfel {
+  Vec3f position;      ///< World space.
+  Vec3f normal;        ///< Unit, world space.
+  float intensity = 0.0f;
+  float radius = 0.0f;       ///< Disc radius (m), from pixel footprint.
+  float confidence = 0.0f;
+  std::uint32_t last_seen = 0;  ///< Frame index of the last fusion.
+};
+
+/// Model maps produced by projecting the stable surfels into a camera.
+struct ModelView {
+  hm::geometry::VertexMap vertices;     ///< World space; zero = empty.
+  hm::geometry::NormalMap normals;      ///< World space; zero = empty.
+  hm::geometry::IntensityImage intensity;  ///< -1 marks empty pixels.
+};
+
+class SurfelMap {
+ public:
+  /// `cell_size`: spatial-hash bucket edge (m); association searches the
+  /// 3x3x3 neighborhood of a point's cell.
+  explicit SurfelMap(double cell_size = 0.05) : cell_size_(cell_size) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return surfels_.size(); }
+  [[nodiscard]] const std::vector<Surfel>& surfels() const noexcept {
+    return surfels_;
+  }
+
+  /// Number of surfels at or above the given confidence.
+  [[nodiscard]] std::size_t stable_count(double confidence_threshold) const;
+
+  struct FusionParams {
+    double association_distance = 0.04;  ///< Max merge distance (m).
+    double normal_agreement = 0.7;       ///< Min cosine for merging.
+    float max_confidence = 80.0f;
+  };
+
+  /// Fuses one frame: for every valid pixel, either updates a matching
+  /// surfel or inserts a new one. `vertices`/`normals` are camera-space
+  /// maps of the input frame; `intensity` may be empty.
+  /// Association and update work is counted as Kernel::kSurfelFusion.
+  void fuse(const hm::geometry::VertexMap& vertices,
+            const hm::geometry::NormalMap& normals,
+            const hm::geometry::IntensityImage& intensity, const SE3& pose,
+            std::uint32_t frame_index, const FusionParams& params,
+            KernelStats& stats);
+
+  /// Projects the *active* model into the camera with z-buffering: stable
+  /// surfels (confidence >= threshold) plus — as in ElasticFusion's
+  /// time-windowed active model — unstable surfels observed within
+  /// `unstable_window` frames of `current_frame` (0 = stable only).
+  /// Projection work is counted as Kernel::kSurfelFusion.
+  [[nodiscard]] ModelView project(const Intrinsics& intrinsics, const SE3& pose,
+                                  double confidence_threshold,
+                                  std::uint32_t current_frame,
+                                  std::uint32_t unstable_window,
+                                  KernelStats& stats) const;
+
+  /// Rigidly transforms every surfel (the simplified deformation applied on
+  /// loop closure; see DESIGN.md).
+  void transform(const SE3& correction);
+
+  /// Map maintenance, after ElasticFusion's cleanup: removes surfels that
+  /// never reached `confidence_threshold` and have not been observed within
+  /// `max_age` frames of `current_frame` (stale unstable points, typically
+  /// sensor noise). Returns the number removed. Work is counted as
+  /// Kernel::kSurfelFusion.
+  std::size_t prune(std::uint32_t current_frame, std::uint32_t max_age,
+                    double confidence_threshold, KernelStats& stats);
+
+  /// Serializes surfels at or above `confidence_threshold` as an ASCII PLY
+  /// point cloud with per-point normals and grayscale color.
+  [[nodiscard]] std::string to_ply(double confidence_threshold = 0.0) const;
+
+ private:
+  using CellKey = std::uint64_t;
+  [[nodiscard]] CellKey cell_of(Vec3f position) const;
+  static CellKey pack(std::int32_t x, std::int32_t y, std::int32_t z);
+
+  double cell_size_;
+  std::vector<Surfel> surfels_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>> grid_;
+};
+
+}  // namespace hm::elasticfusion

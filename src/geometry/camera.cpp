@@ -1,0 +1,33 @@
+#include "geometry/camera.hpp"
+
+namespace hm::geometry {
+
+Intrinsics Intrinsics::kinect(int width, int height) {
+  // Reference Kinect VGA calibration (ICL-NUIM uses 481.2/480 at 640x480);
+  // scale focal lengths and principal point with resolution.
+  const double sx = static_cast<double>(width) / 640.0;
+  const double sy = static_cast<double>(height) / 480.0;
+  Intrinsics k;
+  k.width = width;
+  k.height = height;
+  k.fx = 481.2 * sx;
+  k.fy = 480.0 * sy;
+  k.cx = 319.5 * sx;
+  k.cy = 239.5 * sy;
+  return k;
+}
+
+Intrinsics Intrinsics::scaled(int ratio) const {
+  Intrinsics out = *this;
+  if (ratio <= 1) return out;
+  const double inv = 1.0 / static_cast<double>(ratio);
+  out.width = width / ratio;
+  out.height = height / ratio;
+  out.fx = fx * inv;
+  out.fy = fy * inv;
+  out.cx = cx * inv;
+  out.cy = cy * inv;
+  return out;
+}
+
+}  // namespace hm::geometry

@@ -1,0 +1,56 @@
+// Pinhole camera model shared by the dataset renderer and both SLAM
+// pipelines. Conventions: camera looks down +z, x right, y down; pixel (u,v)
+// addresses column u, row v; projection uses the pixel-center offset.
+#pragma once
+
+#include <optional>
+
+#include "geometry/vec.hpp"
+
+namespace hm::geometry {
+
+struct Intrinsics {
+  int width = 0;
+  int height = 0;
+  double fx = 0.0;
+  double fy = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+
+  /// Kinect-like VGA intrinsics scaled to the requested resolution.
+  [[nodiscard]] static Intrinsics kinect(int width, int height);
+
+  /// Intrinsics for the same field of view at 1/ratio resolution (KFusion's
+  /// "compute size ratio" downsampling).
+  [[nodiscard]] Intrinsics scaled(int ratio) const;
+
+  /// Camera-space ray direction through pixel center (u, v), unnormalized
+  /// (z component is exactly 1).
+  [[nodiscard]] Vec3d ray_direction(int u, int v) const {
+    return {(static_cast<double>(u) + 0.5 - cx) / fx,
+            (static_cast<double>(v) + 0.5 - cy) / fy, 1.0};
+  }
+
+  /// Back-projects pixel (u, v) with depth z (meters) to a camera-space point.
+  [[nodiscard]] Vec3d unproject(int u, int v, double z) const {
+    return ray_direction(u, v) * z;
+  }
+
+  /// Projects a camera-space point to continuous pixel coordinates. Returns
+  /// nullopt for points at or behind the camera plane.
+  [[nodiscard]] std::optional<Vec2d> project(Vec3d point) const {
+    if (point.z <= 1e-9) return std::nullopt;
+    return Vec2d{fx * point.x / point.z + cx - 0.5,
+                 fy * point.y / point.z + cy - 0.5};
+  }
+
+  [[nodiscard]] bool contains(int u, int v) const {
+    return u >= 0 && v >= 0 && u < width && v < height;
+  }
+
+  [[nodiscard]] std::size_t pixel_count() const {
+    return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+  }
+};
+
+}  // namespace hm::geometry

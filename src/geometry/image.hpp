@@ -1,0 +1,91 @@
+// 2D image container used for depth maps, intensity images, vertex maps and
+// normal maps. Row-major contiguous storage, value semantics.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace hm::geometry {
+
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, T fill = T{})
+      : width_(width), height_(height),
+        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] bool contains(int u, int v) const noexcept {
+    return u >= 0 && v >= 0 && u < width_ && v < height_;
+  }
+
+  [[nodiscard]] T& at(int u, int v) {
+    assert(contains(u, v));
+    return data_[static_cast<std::size_t>(v) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(u)];
+  }
+  [[nodiscard]] const T& at(int u, int v) const {
+    assert(contains(u, v));
+    return data_[static_cast<std::size_t>(v) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(u)];
+  }
+
+  [[nodiscard]] T* data() noexcept { return data_.data(); }
+  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
+  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() noexcept { return data_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<T> data_;
+};
+
+using DepthImage = Image<float>;       ///< Meters; <= 0 marks invalid pixels.
+using IntensityImage = Image<float>;   ///< Grayscale in [0, 1].
+using VertexMap = Image<Vec3f>;        ///< Camera- or world-space points.
+using NormalMap = Image<Vec3f>;        ///< Unit normals; zero marks invalid.
+
+/// Bilinear sample of a scalar image at continuous (u, v); nullopt outside
+/// the valid interpolation domain or when any support pixel is invalid
+/// (<= invalid_below).
+[[nodiscard]] inline std::optional<float> sample_bilinear(
+    const Image<float>& image, double u, double v,
+    float invalid_below = -1e30f) {
+  const int u0 = static_cast<int>(std::floor(u));
+  const int v0 = static_cast<int>(std::floor(v));
+  if (u0 < 0 || v0 < 0 || u0 + 1 >= image.width() || v0 + 1 >= image.height()) {
+    return std::nullopt;
+  }
+  const float f00 = image.at(u0, v0);
+  const float f10 = image.at(u0 + 1, v0);
+  const float f01 = image.at(u0, v0 + 1);
+  const float f11 = image.at(u0 + 1, v0 + 1);
+  if (f00 <= invalid_below || f10 <= invalid_below || f01 <= invalid_below ||
+      f11 <= invalid_below) {
+    return std::nullopt;
+  }
+  const float du = static_cast<float>(u - u0);
+  const float dv = static_cast<float>(v - v0);
+  return (f00 * (1 - du) + f10 * du) * (1 - dv) + (f01 * (1 - du) + f11 * du) * dv;
+}
+
+}  // namespace hm::geometry

@@ -1,0 +1,183 @@
+#include "geometry/se3.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hm::geometry {
+namespace {
+constexpr double kSmallAngle = 1e-10;
+}
+
+Mat3d so3_exp(Vec3d w) {
+  const double theta2 = w.squared_norm();
+  const Mat3d k = hat(w);
+  const Mat3d k2 = k * k;
+  double a = 0.0, b = 0.0;
+  if (theta2 < kSmallAngle) {
+    // sin(t)/t ~ 1 - t^2/6, (1-cos(t))/t^2 ~ 1/2 - t^2/24.
+    a = 1.0 - theta2 / 6.0;
+    b = 0.5 - theta2 / 24.0;
+  } else {
+    const double theta = std::sqrt(theta2);
+    a = std::sin(theta) / theta;
+    b = (1.0 - std::cos(theta)) / theta2;
+  }
+  return Mat3d::identity() + k * a + k2 * b;
+}
+
+Vec3d so3_log(const Mat3d& rotation) {
+  const double cos_theta = std::clamp((rotation.trace() - 1.0) / 2.0, -1.0, 1.0);
+  const double theta = std::acos(cos_theta);
+  const Vec3d axis_times_2sin{rotation(2, 1) - rotation(1, 2),
+                              rotation(0, 2) - rotation(2, 0),
+                              rotation(1, 0) - rotation(0, 1)};
+  if (theta < 1e-7) {
+    return axis_times_2sin * 0.5;  // sin(t) ~ t.
+  }
+  if (theta > M_PI - 1e-5) {
+    // Near pi the off-diagonal construction degenerates; recover the axis
+    // from the diagonal of R = I + 2*sin^2(t/2) * (aa^T - I) ~= 2 aa^T - I.
+    Vec3d axis{std::sqrt(std::max(0.0, (rotation(0, 0) + 1.0) / 2.0)),
+               std::sqrt(std::max(0.0, (rotation(1, 1) + 1.0) / 2.0)),
+               std::sqrt(std::max(0.0, (rotation(2, 2) + 1.0) / 2.0))};
+    // Fix signs using the off-diagonal sums, anchored at the largest entry.
+    if (axis.x >= axis.y && axis.x >= axis.z) {
+      axis.y = std::copysign(axis.y, rotation(0, 1) + rotation(1, 0));
+      axis.z = std::copysign(axis.z, rotation(0, 2) + rotation(2, 0));
+    } else if (axis.y >= axis.z) {
+      axis.x = std::copysign(axis.x, rotation(0, 1) + rotation(1, 0));
+      axis.z = std::copysign(axis.z, rotation(1, 2) + rotation(2, 1));
+    } else {
+      axis.x = std::copysign(axis.x, rotation(0, 2) + rotation(2, 0));
+      axis.y = std::copysign(axis.y, rotation(1, 2) + rotation(2, 1));
+    }
+    return axis.normalized() * theta;
+  }
+  return axis_times_2sin * (theta / (2.0 * std::sin(theta)));
+}
+
+SE3 SE3::exp(const std::array<double, 6>& twist) {
+  const Vec3d v{twist[0], twist[1], twist[2]};
+  const Vec3d w{twist[3], twist[4], twist[5]};
+  const double theta2 = w.squared_norm();
+  const Mat3d k = hat(w);
+  const Mat3d k2 = k * k;
+  // V = I + (1-cos t)/t^2 K + (t - sin t)/t^3 K^2 maps v to the translation.
+  double b = 0.0, c = 0.0;
+  if (theta2 < kSmallAngle) {
+    b = 0.5 - theta2 / 24.0;
+    c = 1.0 / 6.0 - theta2 / 120.0;
+  } else {
+    const double theta = std::sqrt(theta2);
+    b = (1.0 - std::cos(theta)) / theta2;
+    c = (theta - std::sin(theta)) / (theta2 * theta);
+  }
+  const Mat3d v_matrix = Mat3d::identity() + k * b + k2 * c;
+  return {so3_exp(w), v_matrix * v};
+}
+
+std::array<double, 6> SE3::log() const {
+  const Vec3d w = so3_log(rotation);
+  const double theta2 = w.squared_norm();
+  const Mat3d k = hat(w);
+  const Mat3d k2 = k * k;
+  // V^{-1} = I - K/2 + (1/t^2 - (1+cos t)/(2 t sin t)) K^2.
+  double c = 0.0;
+  if (theta2 < kSmallAngle) {
+    c = 1.0 / 12.0 + theta2 / 720.0;
+  } else {
+    const double theta = std::sqrt(theta2);
+    c = 1.0 / theta2 -
+        (1.0 + std::cos(theta)) / (2.0 * theta * std::sin(theta));
+  }
+  const Mat3d v_inv = Mat3d::identity() + k * -0.5 + k2 * c;
+  const Vec3d v = v_inv * translation;
+  return {v.x, v.y, v.z, w.x, w.y, w.z};
+}
+
+double rotation_angle_between(const SE3& a, const SE3& b) {
+  return so3_log(a.rotation.transposed() * b.rotation).norm();
+}
+
+double translation_distance(const SE3& a, const SE3& b) {
+  return (a.translation - b.translation).norm();
+}
+
+Mat3d orthonormalized(const Mat3d& rotation) {
+  Vec3d r0{rotation(0, 0), rotation(0, 1), rotation(0, 2)};
+  Vec3d r1{rotation(1, 0), rotation(1, 1), rotation(1, 2)};
+  r0 = r0.normalized();
+  r1 = (r1 - r0 * r0.dot(r1)).normalized();
+  const Vec3d r2 = r0.cross(r1);
+  Mat3d out;
+  out(0, 0) = r0.x; out(0, 1) = r0.y; out(0, 2) = r0.z;
+  out(1, 0) = r1.x; out(1, 1) = r1.y; out(1, 2) = r1.z;
+  out(2, 0) = r2.x; out(2, 1) = r2.y; out(2, 2) = r2.z;
+  return out;
+}
+
+std::array<double, 4> rotation_to_quaternion(const Mat3d& r) {
+  // Shepperd's method: pick the largest of the four squared components to
+  // avoid cancellation.
+  std::array<double, 4> q{};
+  const double trace = r.trace();
+  if (trace > 0.0) {
+    const double s = std::sqrt(trace + 1.0) * 2.0;  // 4 w.
+    q[0] = 0.25 * s;
+    q[1] = (r(2, 1) - r(1, 2)) / s;
+    q[2] = (r(0, 2) - r(2, 0)) / s;
+    q[3] = (r(1, 0) - r(0, 1)) / s;
+  } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;  // 4 x.
+    q[0] = (r(2, 1) - r(1, 2)) / s;
+    q[1] = 0.25 * s;
+    q[2] = (r(0, 1) + r(1, 0)) / s;
+    q[3] = (r(0, 2) + r(2, 0)) / s;
+  } else if (r(1, 1) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;  // 4 y.
+    q[0] = (r(0, 2) - r(2, 0)) / s;
+    q[1] = (r(0, 1) + r(1, 0)) / s;
+    q[2] = 0.25 * s;
+    q[3] = (r(1, 2) + r(2, 1)) / s;
+  } else {
+    const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;  // 4 z.
+    q[0] = (r(1, 0) - r(0, 1)) / s;
+    q[1] = (r(0, 2) + r(2, 0)) / s;
+    q[2] = (r(1, 2) + r(2, 1)) / s;
+    q[3] = 0.25 * s;
+  }
+  if (q[0] < 0.0) {
+    for (double& component : q) component = -component;
+  }
+  return q;
+}
+
+Mat3d quaternion_to_rotation(const std::array<double, 4>& quaternion) {
+  const double norm =
+      std::sqrt(quaternion[0] * quaternion[0] + quaternion[1] * quaternion[1] +
+                quaternion[2] * quaternion[2] + quaternion[3] * quaternion[3]);
+  if (norm < 1e-300) return Mat3d::identity();
+  const double w = quaternion[0] / norm, x = quaternion[1] / norm,
+               y = quaternion[2] / norm, z = quaternion[3] / norm;
+  Mat3d m;
+  m(0, 0) = 1 - 2 * (y * y + z * z);
+  m(0, 1) = 2 * (x * y - w * z);
+  m(0, 2) = 2 * (x * z + w * y);
+  m(1, 0) = 2 * (x * y + w * z);
+  m(1, 1) = 1 - 2 * (x * x + z * z);
+  m(1, 2) = 2 * (y * z - w * x);
+  m(2, 0) = 2 * (x * z - w * y);
+  m(2, 1) = 2 * (y * z + w * x);
+  m(2, 2) = 1 - 2 * (x * x + y * y);
+  return m;
+}
+
+SE3 interpolate(const SE3& a, const SE3& b, double t) {
+  const Vec3d w = so3_log(a.rotation.transposed() * b.rotation);
+  SE3 out;
+  out.rotation = a.rotation * so3_exp(w * t);
+  out.translation = a.translation * (1.0 - t) + b.translation * t;
+  return out;
+}
+
+}  // namespace hm::geometry

@@ -1,0 +1,72 @@
+// Rigid-body transforms: SO(3) exponential/logarithm and SE(3) poses.
+// Double precision throughout; pose estimation accuracy must not be limited
+// by the representation.
+#pragma once
+
+#include <array>
+
+#include "geometry/vec.hpp"
+
+namespace hm::geometry {
+
+/// Rodrigues formula: rotation matrix for axis-angle vector `w` (angle is
+/// |w| radians about w/|w|). Small angles use the second-order Taylor series.
+[[nodiscard]] Mat3d so3_exp(Vec3d w);
+
+/// Logarithm map: axis-angle vector of a rotation matrix. Handles the
+/// near-identity and near-pi branches.
+[[nodiscard]] Vec3d so3_log(const Mat3d& rotation);
+
+/// SE(3) pose: x_world = rotation * x_local + translation.
+struct SE3 {
+  Mat3d rotation = Mat3d::identity();
+  Vec3d translation{};
+
+  [[nodiscard]] static SE3 identity() { return SE3{}; }
+
+  /// Exponential of a twist (vx, vy, vz, wx, wy, wz): translation part first,
+  /// matching the ICP update convention used in KFusion.
+  [[nodiscard]] static SE3 exp(const std::array<double, 6>& twist);
+
+  /// Logarithm returning (v, w) with the same ordering as exp().
+  [[nodiscard]] std::array<double, 6> log() const;
+
+  [[nodiscard]] Vec3d operator*(Vec3d point) const {
+    return rotation * point + translation;
+  }
+
+  [[nodiscard]] SE3 operator*(const SE3& other) const {
+    return {rotation * other.rotation, rotation * other.translation + translation};
+  }
+
+  [[nodiscard]] SE3 inverse() const {
+    const Mat3d rt = rotation.transposed();
+    return {rt, -(rt * translation)};
+  }
+
+  /// Applies only the rotation (for directions / normals).
+  [[nodiscard]] Vec3d rotate(Vec3d direction) const { return rotation * direction; }
+};
+
+/// Geodesic rotation distance in radians between two poses.
+[[nodiscard]] double rotation_angle_between(const SE3& a, const SE3& b);
+
+/// Euclidean distance between the translations of two poses.
+[[nodiscard]] double translation_distance(const SE3& a, const SE3& b);
+
+/// Re-orthonormalizes the rotation via Gram-Schmidt; call after long chains
+/// of incremental updates to keep the matrix on SO(3).
+[[nodiscard]] Mat3d orthonormalized(const Mat3d& rotation);
+
+/// Spherical-linear interpolation between poses (rotation via slerp on the
+/// geodesic, translation lerped). t in [0,1].
+[[nodiscard]] SE3 interpolate(const SE3& a, const SE3& b, double t);
+
+/// Unit quaternion (w, x, y, z) of a rotation matrix (Shepperd's method);
+/// w is kept non-negative to make the representation unique.
+[[nodiscard]] std::array<double, 4> rotation_to_quaternion(const Mat3d& rotation);
+
+/// Rotation matrix of a quaternion (w, x, y, z); normalizes internally.
+[[nodiscard]] Mat3d quaternion_to_rotation(const std::array<double, 4>& q);
+
+}  // namespace hm::geometry

@@ -1,0 +1,98 @@
+// Dense linear solvers for the small systems arising in pose estimation:
+// the 6x6 normal equations of point-to-plane ICP and the 3x3 systems of the
+// SO(3) pre-alignment step.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <optional>
+
+namespace hm::geometry {
+
+/// Symmetric positive-definite NxN system solved by Cholesky decomposition.
+/// `a` is row-major. Returns nullopt if the matrix is not positive definite
+/// (within a small pivot tolerance), which callers treat as a degenerate
+/// tracking update.
+template <std::size_t N>
+[[nodiscard]] std::optional<std::array<double, N>> solve_cholesky(
+    std::array<double, N * N> a, std::array<double, N> b) {
+  // In-place lower Cholesky factorization A = L L^T.
+  for (std::size_t j = 0; j < N; ++j) {
+    double diag = a[j * N + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * N + k] * a[j * N + k];
+    if (diag <= 1e-300) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    a[j * N + j] = ljj;
+    for (std::size_t i = j + 1; i < N; ++i) {
+      double v = a[i * N + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * N + k] * a[j * N + k];
+      a[i * N + j] = v / ljj;
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < N; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * N + k] * b[k];
+    b[i] = v / a[i * N + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = N; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < N; ++k) v -= a[k * N + ii] * b[k];
+    b[ii] = v / a[ii * N + ii];
+  }
+  return b;
+}
+
+/// Accumulator for Gauss-Newton normal equations J^T J x = J^T r with
+/// scalar residuals: add one row (jacobian, residual) at a time, optionally
+/// weighted, then solve. Supports merging partial accumulators from worker
+/// threads (operator+=), which is how the ICP reduction parallelizes.
+template <std::size_t N>
+class NormalEquations {
+ public:
+  void add(const std::array<double, N>& jacobian, double residual,
+           double weight = 1.0) {
+    for (std::size_t r = 0; r < N; ++r) {
+      const double wj = weight * jacobian[r];
+      for (std::size_t c = r; c < N; ++c) jtj_[r * N + c] += wj * jacobian[c];
+      jtr_[r] += wj * residual;
+    }
+    error_ += weight * residual * residual;
+    ++count_;
+  }
+
+  NormalEquations& operator+=(const NormalEquations& other) {
+    for (std::size_t i = 0; i < N * N; ++i) jtj_[i] += other.jtj_[i];
+    for (std::size_t i = 0; i < N; ++i) jtr_[i] += other.jtr_[i];
+    error_ += other.error_;
+    count_ += other.count_;
+    return *this;
+  }
+
+  /// Solves for the update; `damping` adds Levenberg-style lambda*I.
+  [[nodiscard]] std::optional<std::array<double, N>> solve(
+      double damping = 0.0) const {
+    std::array<double, N * N> a = jtj_;
+    for (std::size_t r = 0; r < N; ++r) {
+      for (std::size_t c = 0; c < r; ++c) a[r * N + c] = a[c * N + r];
+      a[r * N + r] += damping;
+    }
+    return solve_cholesky<N>(a, jtr_);
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum_squared_error() const noexcept { return error_; }
+  [[nodiscard]] double mean_squared_error() const noexcept {
+    return count_ == 0 ? 0.0 : error_ / static_cast<double>(count_);
+  }
+
+ private:
+  std::array<double, N * N> jtj_{};
+  std::array<double, N> jtr_{};
+  double error_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace hm::geometry

@@ -1,0 +1,173 @@
+// Small fixed-size vector and matrix types used by the SLAM pipelines.
+// Value types with constexpr-friendly operations; float is the working
+// precision of image/volume kernels, double is used by pose estimation.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+
+namespace hm::geometry {
+
+template <typename T>
+struct Vec2 {
+  T x{}, y{};
+
+  constexpr Vec2() = default;
+  constexpr Vec2(T x_, T y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(T s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(T s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  [[nodiscard]] constexpr T dot(Vec2 o) const { return x * o.x + y * o.y; }
+  [[nodiscard]] T norm() const { return std::sqrt(dot(*this)); }
+};
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(Vec3 o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3& operator-=(Vec3 o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  [[nodiscard]] constexpr T dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  [[nodiscard]] constexpr Vec3 cross(Vec3 o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  [[nodiscard]] constexpr T squared_norm() const { return dot(*this); }
+  [[nodiscard]] T norm() const { return std::sqrt(squared_norm()); }
+  [[nodiscard]] Vec3 normalized() const {
+    const T n = norm();
+    return n > T(0) ? *this / n : Vec3{};
+  }
+  /// Component-wise product (used for albedo shading and voxel scaling).
+  [[nodiscard]] constexpr Vec3 cwise(Vec3 o) const {
+    return {x * o.x, y * o.y, z * o.z};
+  }
+  [[nodiscard]] constexpr T max_component() const {
+    return x > y ? (x > z ? x : z) : (y > z ? y : z);
+  }
+  [[nodiscard]] constexpr T min_component() const {
+    return x < y ? (x < z ? x : z) : (y < z ? y : z);
+  }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, Vec3<T> v) {
+  return v * s;
+}
+
+template <typename T>
+struct Vec4 {
+  T x{}, y{}, z{}, w{};
+
+  constexpr Vec4() = default;
+  constexpr Vec4(T x_, T y_, T z_, T w_) : x(x_), y(y_), z(z_), w(w_) {}
+  constexpr Vec4(Vec3<T> v, T w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+  [[nodiscard]] constexpr Vec3<T> xyz() const { return {x, y, z}; }
+  constexpr bool operator==(const Vec4&) const = default;
+  [[nodiscard]] constexpr T dot(Vec4 o) const {
+    return x * o.x + y * o.y + z * o.z + w * o.w;
+  }
+};
+
+/// Row-major 3x3 matrix.
+template <typename T>
+struct Mat3 {
+  std::array<T, 9> m{};  // m[row * 3 + col]
+
+  constexpr T& operator()(std::size_t r, std::size_t c) { return m[r * 3 + c]; }
+  constexpr const T& operator()(std::size_t r, std::size_t c) const {
+    return m[r * 3 + c];
+  }
+
+  static constexpr Mat3 identity() {
+    Mat3 out;
+    out(0, 0) = out(1, 1) = out(2, 2) = T(1);
+    return out;
+  }
+
+  constexpr Vec3<T> operator*(Vec3<T> v) const {
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+  }
+
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        T accum{};
+        for (std::size_t k = 0; k < 3; ++k) accum += (*this)(r, k) * o(k, c);
+        out(r, c) = accum;
+      }
+    }
+    return out;
+  }
+
+  constexpr Mat3 operator+(const Mat3& o) const {
+    Mat3 out;
+    for (std::size_t i = 0; i < 9; ++i) out.m[i] = m[i] + o.m[i];
+    return out;
+  }
+
+  constexpr Mat3 operator*(T s) const {
+    Mat3 out;
+    for (std::size_t i = 0; i < 9; ++i) out.m[i] = m[i] * s;
+    return out;
+  }
+
+  [[nodiscard]] constexpr Mat3 transposed() const {
+    Mat3 out;
+    for (std::size_t r = 0; r < 3; ++r) {
+      for (std::size_t c = 0; c < 3; ++c) out(c, r) = (*this)(r, c);
+    }
+    return out;
+  }
+
+  [[nodiscard]] constexpr T trace() const { return m[0] + m[4] + m[8]; }
+  constexpr bool operator==(const Mat3&) const = default;
+};
+
+/// Skew-symmetric (hat) matrix of a 3-vector: hat(w) * v == w x v.
+template <typename T>
+constexpr Mat3<T> hat(Vec3<T> w) {
+  Mat3<T> out;
+  out(0, 1) = -w.z; out(0, 2) = w.y;
+  out(1, 0) = w.z;  out(1, 2) = -w.x;
+  out(2, 0) = -w.y; out(2, 1) = w.x;
+  return out;
+}
+
+using Vec2f = Vec2<float>;
+using Vec2d = Vec2<double>;
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+using Vec4f = Vec4<float>;
+using Mat3f = Mat3<float>;
+using Mat3d = Mat3<double>;
+
+[[nodiscard]] inline Vec3f to_float(Vec3d v) {
+  return {static_cast<float>(v.x), static_cast<float>(v.y), static_cast<float>(v.z)};
+}
+[[nodiscard]] inline Vec3d to_double(Vec3f v) {
+  return {static_cast<double>(v.x), static_cast<double>(v.y),
+          static_cast<double>(v.z)};
+}
+
+}  // namespace hm::geometry

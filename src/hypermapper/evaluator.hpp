@@ -1,0 +1,30 @@
+// The optimizer's interface to the system under tuning: map a configuration
+// to its measured objectives (all minimized). SLAM adapters live in
+// src/slambench/adapters.hpp; tests and examples define synthetic ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hypermapper/space.hpp"
+
+namespace hm::hypermapper {
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// Number of objectives produced per evaluation.
+  [[nodiscard]] virtual std::size_t objective_count() const = 0;
+
+  /// Measures one configuration. Must be deterministic for reproducible
+  /// experiments (the SLAM evaluators are: the runtime metric is a
+  /// device-model sum over counted work).
+  [[nodiscard]] virtual std::vector<double> evaluate(
+      const Configuration& config) = 0;
+
+  /// Whether evaluate() may be called concurrently from multiple threads.
+  [[nodiscard]] virtual bool thread_safe() const { return false; }
+};
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,95 @@
+#include "hypermapper/grid_search.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hm::hypermapper {
+
+std::vector<Configuration> grid_configurations(const DesignSpace& space,
+                                               std::size_t levels) {
+  assert(levels >= 1);
+  // Per-parameter index lists: `levels` indices spread over the cardinality.
+  std::vector<std::vector<std::uint64_t>> per_parameter;
+  per_parameter.reserve(space.parameter_count());
+  for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+    const std::uint64_t cardinality = space.parameter(p).cardinality();
+    assert(cardinality > 0 && "grid search requires a discrete space");
+    std::vector<std::uint64_t> indices;
+    if (cardinality <= levels) {
+      for (std::uint64_t i = 0; i < cardinality; ++i) indices.push_back(i);
+    } else {
+      for (std::size_t level = 0; level < levels; ++level) {
+        // Even spread including both endpoints.
+        const auto index = static_cast<std::uint64_t>(
+            static_cast<double>(level) * static_cast<double>(cardinality - 1) /
+            static_cast<double>(levels - 1) + 0.5);
+        indices.push_back(index);
+      }
+      indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+    }
+    per_parameter.push_back(std::move(indices));
+  }
+
+  // Factorial product, mixed-radix over the per-parameter lists.
+  std::size_t total = 1;
+  for (const auto& indices : per_parameter) total *= indices.size();
+
+  std::vector<Configuration> configs;
+  configs.reserve(total);
+  std::vector<std::size_t> digits(space.parameter_count(), 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    Configuration config(space.parameter_count());
+    for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+      config[p] = space.parameter(p).value_at(per_parameter[p][digits[p]]);
+    }
+    configs.push_back(std::move(config));
+    // Increment mixed-radix counter (last parameter fastest).
+    for (std::size_t p = space.parameter_count(); p-- > 0;) {
+      if (++digits[p] < per_parameter[p].size()) break;
+      digits[p] = 0;
+    }
+  }
+  return configs;
+}
+
+OptimizationResult grid_search(const DesignSpace& space, Evaluator& evaluator,
+                               const GridSearchConfig& config) {
+  std::vector<Configuration> configs = grid_configurations(space, config.levels);
+  if (config.max_evaluations != 0 && configs.size() > config.max_evaluations) {
+    // Deterministic uniform stride over the subgrid.
+    std::vector<Configuration> strided;
+    strided.reserve(config.max_evaluations);
+    const double step = static_cast<double>(configs.size()) /
+                        static_cast<double>(config.max_evaluations);
+    for (std::size_t i = 0; i < config.max_evaluations; ++i) {
+      strided.push_back(configs[static_cast<std::size_t>(
+          static_cast<double>(i) * step)]);
+    }
+    configs = std::move(strided);
+  }
+
+  OptimizationResult result;
+  result.samples.reserve(configs.size());
+  for (const Configuration& configuration : configs) {
+    SampleRecord record;
+    record.config = configuration;
+    record.objectives = evaluator.evaluate(configuration);
+    record.iteration = 0;
+    result.samples.push_back(std::move(record));
+  }
+
+  std::vector<Objectives> points;
+  points.reserve(result.samples.size());
+  for (const SampleRecord& sample : result.samples) {
+    points.push_back(sample.objectives);
+  }
+  result.pareto = pareto_indices(points);
+  result.random_phase_pareto = result.pareto;
+  IterationStats stats;
+  stats.new_samples = result.samples.size();
+  stats.measured_front_size = result.pareto.size();
+  result.iterations.push_back(stats);
+  return result;
+}
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,40 @@
+// Grid-search baseline: the tuning method the paper attributes to the
+// ElasticFusion developers ("they used a brute force grid search to tune
+// the parameters"). Evaluates a coarse factorial subgrid of the design
+// space — `levels` values per parameter, spread evenly over each
+// parameter's range — under an evaluation budget, so it can be compared
+// with HyperMapper at equal cost.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "hypermapper/evaluator.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/space.hpp"
+
+namespace hm::hypermapper {
+
+struct GridSearchConfig {
+  /// Values per parameter (first/last value always included). Parameters
+  /// with fewer distinct values use all of them.
+  std::size_t levels = 3;
+  /// Hard cap on evaluations; 0 = evaluate the whole subgrid. When the
+  /// subgrid exceeds the budget, a deterministic uniform stride over the
+  /// subgrid is evaluated instead (grid search with a coarser sweep, as a
+  /// human would do).
+  std::size_t max_evaluations = 0;
+};
+
+/// Runs the factorial sweep and returns the same result structure as the
+/// optimizer (all samples carry iteration 0, like a pure sampling phase).
+[[nodiscard]] OptimizationResult grid_search(const DesignSpace& space,
+                                             Evaluator& evaluator,
+                                             const GridSearchConfig& config = {});
+
+/// The subgrid a grid search with `levels` levels would evaluate (exposed
+/// for tests and for budget accounting before running anything).
+[[nodiscard]] std::vector<Configuration> grid_configurations(
+    const DesignSpace& space, std::size_t levels);
+
+}  // namespace hm::hypermapper

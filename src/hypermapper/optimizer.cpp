@@ -1,0 +1,240 @@
+#include "hypermapper/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace hm::hypermapper {
+
+std::size_t OptimizationResult::random_sample_count() const {
+  std::size_t count = 0;
+  for (const SampleRecord& s : samples) count += s.iteration == 0 ? 1 : 0;
+  return count;
+}
+
+std::size_t OptimizationResult::active_sample_count() const {
+  return samples.size() - random_sample_count();
+}
+
+Optimizer::Optimizer(const DesignSpace& space, Evaluator& evaluator,
+                     OptimizerConfig config, hm::common::ThreadPool* pool)
+    : space_(space), evaluator_(evaluator), config_(config), pool_(pool) {}
+
+std::vector<Configuration> Optimizer::make_pool(hm::common::Rng& rng) const {
+  const std::uint64_t total = space_.cardinality();
+  const bool enumerate_all =
+      total != 0 && (total <= config_.pool_size ||
+                     (config_.exhaustive_pool && total <= (1ULL << 24)));
+  if (enumerate_all) {
+    std::vector<Configuration> pool;
+    pool.reserve(static_cast<std::size_t>(total));
+    for (std::uint64_t i = 0; i < total; ++i) pool.push_back(space_.at(i));
+    return pool;
+  }
+  return space_.sample_distinct(config_.pool_size, rng);
+}
+
+void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
+                               std::size_t iteration, OptimizationResult& result,
+                               const std::vector<Objectives>* predicted) {
+  const std::size_t base = result.samples.size();
+  result.samples.resize(base + configs.size());
+  auto evaluate_one = [&](std::size_t i) {
+    SampleRecord& record = result.samples[base + i];
+    record.config = configs[i];
+    record.objectives = evaluator_.evaluate(configs[i]);
+    record.iteration = iteration;
+    if (predicted != nullptr) record.predicted = (*predicted)[i];
+    assert(record.objectives.size() == evaluator_.objective_count());
+  };
+  if (pool_ != nullptr && evaluator_.thread_safe()) {
+    pool_->parallel_for(0, configs.size(), evaluate_one);
+  } else {
+    for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
+  }
+}
+
+std::vector<std::size_t> Optimizer::measured_front(
+    const OptimizationResult& result) const {
+  std::vector<Objectives> points;
+  points.reserve(result.samples.size());
+  for (const SampleRecord& s : result.samples) points.push_back(s.objectives);
+  return pareto_indices(points);
+}
+
+OptimizationResult Optimizer::run_random_only() {
+  hm::common::Rng rng(config_.seed);
+  OptimizationResult result;
+  const std::vector<Configuration> bootstrap =
+      space_.sample_distinct(config_.random_samples, rng);
+  evaluate_batch(bootstrap, 0, result);
+  result.random_phase_pareto = measured_front(result);
+  result.pareto = result.random_phase_pareto;
+  return result;
+}
+
+OptimizationResult Optimizer::run() {
+  hm::common::Rng rng(config_.seed);
+  OptimizationResult result;
+
+  // --- Bootstrap: rs distinct random samples, evaluated on "hardware". ---
+  const std::vector<Configuration> bootstrap =
+      space_.sample_distinct(config_.random_samples, rng);
+  evaluate_batch(bootstrap, 0, result);
+  run_active_learning(result, rng);
+  return result;
+}
+
+OptimizationResult Optimizer::run_seeded(std::span<const SampleRecord> seed) {
+  hm::common::Rng rng(config_.seed);
+  OptimizationResult result;
+  result.samples.reserve(seed.size());
+  for (const SampleRecord& record : seed) {
+    assert(record.objectives.size() == evaluator_.objective_count());
+    SampleRecord copy;
+    copy.config = space_.snap(record.config);
+    copy.objectives = record.objectives;
+    copy.iteration = 0;
+    result.samples.push_back(std::move(copy));
+  }
+  run_active_learning(result, rng);
+  return result;
+}
+
+void Optimizer::run_active_learning(OptimizationResult& result,
+                                    hm::common::Rng& rng) {
+  result.random_phase_pareto = measured_front(result);
+
+  std::unordered_set<std::uint64_t> evaluated_keys;
+  const bool discrete = space_.cardinality() != 0;
+  if (discrete) {
+    for (const SampleRecord& s : result.samples) {
+      evaluated_keys.insert(space_.key(s.config));
+    }
+  }
+
+  const std::size_t n_objectives = evaluator_.objective_count();
+  hm::rf::FeatureMatrix train_x(space_.parameter_count());
+  std::vector<std::vector<double>> train_y(n_objectives);
+
+  auto rebuild_training_set = [&] {
+    train_x.clear();
+    for (auto& column : train_y) column.clear();
+    train_x.reserve_rows(result.samples.size());
+    for (const SampleRecord& s : result.samples) {
+      train_x.add_row(space_.features(s.config));
+      for (std::size_t o = 0; o < n_objectives; ++o) {
+        train_y[o].push_back(s.objectives[o]);
+      }
+    }
+  };
+
+  {
+    IterationStats stats;
+    stats.iteration = 0;
+    stats.new_samples = result.samples.size();
+    stats.measured_front_size = result.random_phase_pareto.size();
+    result.iterations.push_back(stats);
+    if (progress_) progress_(stats);
+  }
+
+  // --- Active learning loop. ---
+  std::vector<hm::rf::RandomForest> models;
+  for (std::size_t iteration = 1; iteration <= config_.max_iterations;
+       ++iteration) {
+    if (result.samples.empty()) break;  // Nothing to train a surrogate on.
+    rebuild_training_set();
+
+    // Fit one forest per objective (M_ATE and M_run in the paper).
+    models.clear();
+    for (std::size_t o = 0; o < n_objectives; ++o) {
+      hm::rf::ForestConfig forest_config = config_.forest;
+      forest_config.seed =
+          config_.seed ^ (0x9e3779b97f4a7c15ULL * (iteration * n_objectives + o + 1));
+      hm::rf::RandomForest model(forest_config);
+      model.fit(train_x, train_y[o], pool_);
+      models.push_back(std::move(model));
+    }
+
+    // Predict both objectives over the pool and extract the predicted front.
+    const std::vector<Configuration> pool_configs = make_pool(rng);
+    hm::rf::FeatureMatrix pool_x(space_.parameter_count());
+    pool_x.reserve_rows(pool_configs.size());
+    for (const Configuration& c : pool_configs) pool_x.add_row(space_.features(c));
+
+    std::vector<std::vector<double>> predictions(n_objectives);
+    for (std::size_t o = 0; o < n_objectives; ++o) {
+      predictions[o] = models[o].predict_batch(pool_x, pool_);
+    }
+    std::vector<Objectives> predicted(pool_configs.size(),
+                                      Objectives(n_objectives));
+    for (std::size_t i = 0; i < pool_configs.size(); ++i) {
+      for (std::size_t o = 0; o < n_objectives; ++o) {
+        predicted[i][o] = predictions[o][i];
+      }
+    }
+    const std::vector<std::size_t> predicted_front = pareto_indices(predicted);
+
+    // P - Xout: predicted-front configurations not measured yet.
+    std::vector<Configuration> to_evaluate;
+    std::vector<Objectives> to_evaluate_predicted;
+    for (const std::size_t i : predicted_front) {
+      if (to_evaluate.size() >= config_.max_samples_per_iteration) break;
+      if (discrete) {
+        const std::uint64_t k = space_.key(pool_configs[i]);
+        if (evaluated_keys.contains(k)) continue;
+        evaluated_keys.insert(k);
+      }
+      to_evaluate.push_back(pool_configs[i]);
+      to_evaluate_predicted.push_back(predicted[i]);
+    }
+
+    IterationStats stats;
+    stats.iteration = iteration;
+    stats.predicted_front_size = predicted_front.size();
+    stats.new_samples = to_evaluate.size();
+    if (n_objectives >= 1) stats.oob_rmse_objective0 = models[0].oob_rmse(train_x, train_y[0]);
+    if (n_objectives >= 2) stats.oob_rmse_objective1 = models[1].oob_rmse(train_x, train_y[1]);
+
+    if (to_evaluate.empty()) {
+      // Predicted front fully measured: Algorithm 1's termination condition.
+      stats.measured_front_size = measured_front(result).size();
+      result.iterations.push_back(stats);
+      if (progress_) progress_(stats);
+      break;
+    }
+
+    const std::size_t batch_base = result.samples.size();
+    evaluate_batch(to_evaluate, iteration, result, &to_evaluate_predicted);
+
+    // Prediction/measurement discrepancy of this iteration's batch.
+    stats.prediction_error.assign(n_objectives, 0.0);
+    for (std::size_t i = batch_base; i < result.samples.size(); ++i) {
+      const SampleRecord& record = result.samples[i];
+      for (std::size_t o = 0; o < n_objectives; ++o) {
+        const double measured = record.objectives[o];
+        if (measured != 0.0) {
+          stats.prediction_error[o] +=
+              std::abs(record.predicted[o] - measured) / std::abs(measured);
+        }
+      }
+    }
+    for (double& err : stats.prediction_error) {
+      err /= static_cast<double>(to_evaluate.size());
+    }
+
+    stats.measured_front_size = measured_front(result).size();
+    result.iterations.push_back(stats);
+    if (progress_) progress_(stats);
+    hm::common::log_debug() << "iteration " << iteration << ": +"
+                            << to_evaluate.size() << " samples, front "
+                            << stats.measured_front_size;
+  }
+
+  result.pareto = measured_front(result);
+}
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,123 @@
+// HyperMapper's model-based multi-objective search (Algorithm 1 of the
+// paper): bootstrap with uniform random samples, fit one random-forest
+// regressor per objective, predict the Pareto front over a configuration
+// pool, evaluate the predicted-front points that have not been measured yet,
+// refit, and repeat until the predicted front is fully measured or budgets
+// are exhausted.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "hypermapper/evaluator.hpp"
+#include "hypermapper/pareto.hpp"
+#include "hypermapper/space.hpp"
+#include "rf/forest.hpp"
+
+namespace hm::hypermapper {
+
+struct OptimizerConfig {
+  /// Bootstrap phase: number of distinct uniform random samples (`rs`).
+  std::size_t random_samples = 300;
+  /// Maximum active-learning iterations (the paper observed convergence in
+  /// about 6 on KFusion).
+  std::size_t max_iterations = 6;
+  /// Cap on evaluations per active-learning iteration. The paper reports
+  /// 100-300 new samples per iteration; the cap bounds runaway fronts.
+  std::size_t max_samples_per_iteration = 300;
+  /// Prediction-pool size. If the space cardinality is <= pool_size (or
+  /// exhaustive_pool is set and the space is enumerable), the entire space
+  /// is used, matching the paper exactly; otherwise a fresh uniform pool of
+  /// this size is drawn each iteration.
+  std::size_t pool_size = 50'000;
+  bool exhaustive_pool = false;
+  /// Surrogate forests (one per objective; seeds are derived per objective
+  /// and per iteration).
+  hm::rf::ForestConfig forest;
+  std::uint64_t seed = 42;
+};
+
+/// One measured sample: configuration, objectives, and the phase that
+/// produced it (iteration 0 = random bootstrap, >= 1 = active learning).
+/// Active-learning samples also carry the surrogate's prediction at
+/// selection time, so the prediction/measurement discrepancy the paper
+/// notes ("active learning points that do not lie on the Pareto front")
+/// can be quantified.
+struct SampleRecord {
+  Configuration config;
+  Objectives objectives;
+  std::size_t iteration = 0;
+  Objectives predicted;  ///< Empty for random-phase samples.
+};
+
+/// Per-iteration progress for ablation studies.
+struct IterationStats {
+  std::size_t iteration = 0;
+  std::size_t new_samples = 0;        ///< Evaluations performed this iteration.
+  std::size_t predicted_front_size = 0;
+  std::size_t measured_front_size = 0;  ///< Front of all samples so far.
+  double oob_rmse_objective0 = 0.0;
+  double oob_rmse_objective1 = 0.0;
+  /// Mean relative |predicted - measured| / measured over this iteration's
+  /// evaluations, per objective index (empty on the bootstrap iteration).
+  std::vector<double> prediction_error;
+};
+
+struct OptimizationResult {
+  std::vector<SampleRecord> samples;           ///< All evaluated points, in order.
+  std::vector<std::size_t> pareto;             ///< Front indices into samples.
+  std::vector<std::size_t> random_phase_pareto;  ///< Front using only iteration-0 samples.
+  std::vector<IterationStats> iterations;
+
+  [[nodiscard]] std::size_t random_sample_count() const;
+  [[nodiscard]] std::size_t active_sample_count() const;
+};
+
+class Optimizer {
+ public:
+  Optimizer(const DesignSpace& space, Evaluator& evaluator,
+            OptimizerConfig config = {},
+            hm::common::ThreadPool* pool = nullptr);
+
+  /// Optional progress callback, invoked after the bootstrap phase and after
+  /// every active-learning iteration.
+  using ProgressFn = std::function<void(const IterationStats&)>;
+  void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
+
+  /// Runs Algorithm 1 to completion and returns every measured sample plus
+  /// the final measured Pareto front.
+  [[nodiscard]] OptimizationResult run();
+
+  /// Runs only the random bootstrap phase (used by the sampling ablation).
+  [[nodiscard]] OptimizationResult run_random_only();
+
+  /// Runs Algorithm 1 warm-started from previously measured samples (their
+  /// objectives are reused, not re-evaluated) instead of the random
+  /// bootstrap — the "resampling / transfer" direction of the paper's
+  /// future work. Seed samples are recorded as iteration 0.
+  [[nodiscard]] OptimizationResult run_seeded(
+      std::span<const SampleRecord> seed);
+
+ private:
+  std::vector<Configuration> make_pool(hm::common::Rng& rng) const;
+  void evaluate_batch(const std::vector<Configuration>& configs,
+                      std::size_t iteration, OptimizationResult& result,
+                      const std::vector<Objectives>* predicted = nullptr);
+  [[nodiscard]] std::vector<std::size_t> measured_front(
+      const OptimizationResult& result) const;
+  /// The active-learning phase, continuing from whatever `result` holds.
+  void run_active_learning(OptimizationResult& result, hm::common::Rng& rng);
+
+  const DesignSpace& space_;
+  Evaluator& evaluator_;
+  OptimizerConfig config_;
+  hm::common::ThreadPool* pool_;
+  ProgressFn progress_;
+};
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,147 @@
+#include "hypermapper/parameter.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/csv.hpp"
+
+namespace hm::hypermapper {
+
+Parameter Parameter::ordinal(std::string name, std::vector<double> values,
+                             bool log_feature) {
+  assert(!values.empty());
+  assert(std::is_sorted(values.begin(), values.end()));
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParameterKind::kOrdinal;
+  p.values_ = std::move(values);
+  p.lo_ = p.values_.front();
+  p.hi_ = p.values_.back();
+  p.log_feature_ = log_feature && p.lo_ > 0.0;
+  return p;
+}
+
+Parameter Parameter::integer_range(std::string name, std::int64_t lo,
+                                   std::int64_t hi) {
+  assert(lo <= hi);
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParameterKind::kInteger;
+  p.lo_ = static_cast<double>(lo);
+  p.hi_ = static_cast<double>(hi);
+  return p;
+}
+
+Parameter Parameter::boolean(std::string name) {
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParameterKind::kBoolean;
+  p.lo_ = 0.0;
+  p.hi_ = 1.0;
+  return p;
+}
+
+Parameter Parameter::categorical(std::string name,
+                                 std::vector<std::string> labels) {
+  assert(!labels.empty());
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParameterKind::kCategorical;
+  p.labels_ = std::move(labels);
+  p.lo_ = 0.0;
+  p.hi_ = static_cast<double>(p.labels_.size() - 1);
+  return p;
+}
+
+Parameter Parameter::real(std::string name, double lo, double hi,
+                          bool log_feature) {
+  assert(lo < hi);
+  Parameter p;
+  p.name_ = std::move(name);
+  p.kind_ = ParameterKind::kReal;
+  p.lo_ = lo;
+  p.hi_ = hi;
+  p.log_feature_ = log_feature && lo > 0.0;
+  return p;
+}
+
+std::uint64_t Parameter::cardinality() const noexcept {
+  switch (kind_) {
+    case ParameterKind::kOrdinal:
+      return values_.size();
+    case ParameterKind::kInteger:
+      return static_cast<std::uint64_t>(hi_ - lo_) + 1;
+    case ParameterKind::kBoolean:
+      return 2;
+    case ParameterKind::kCategorical:
+      return labels_.size();
+    case ParameterKind::kReal:
+      return 0;
+  }
+  return 0;
+}
+
+double Parameter::value_at(std::uint64_t index) const {
+  assert(kind_ != ParameterKind::kReal);
+  assert(index < cardinality());
+  switch (kind_) {
+    case ParameterKind::kOrdinal:
+      return values_[index];
+    case ParameterKind::kInteger:
+      return lo_ + static_cast<double>(index);
+    case ParameterKind::kBoolean:
+    case ParameterKind::kCategorical:
+      return static_cast<double>(index);
+    case ParameterKind::kReal:
+      break;
+  }
+  return 0.0;
+}
+
+std::optional<std::uint64_t> Parameter::index_of(double value) const {
+  const std::uint64_t n = cardinality();
+  if (n == 0) return std::nullopt;
+  std::uint64_t best = 0;
+  double best_distance = std::abs(value_at(0) - value);
+  for (std::uint64_t i = 1; i < n; ++i) {
+    const double d = std::abs(value_at(i) - value);
+    if (d < best_distance) {
+      best_distance = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Parameter::sample(hm::common::Rng& rng) const {
+  if (kind_ == ParameterKind::kReal) {
+    if (log_feature_) {
+      return std::exp(rng.uniform(std::log(lo_), std::log(hi_)));
+    }
+    return rng.uniform(lo_, hi_);
+  }
+  return value_at(rng.uniform_index(cardinality()));
+}
+
+double Parameter::feature(double value) const {
+  double lo = lo_, hi = hi_, v = value;
+  if (log_feature_) {
+    lo = std::log(lo);
+    hi = std::log(hi);
+    v = std::log(std::max(value, 1e-300));
+  }
+  if (hi <= lo) return 0.0;
+  return std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+}
+
+std::string Parameter::to_string(double value) const {
+  if (kind_ == ParameterKind::kCategorical) {
+    const auto index = static_cast<std::size_t>(value);
+    if (index < labels_.size()) return labels_[index];
+  }
+  if (kind_ == ParameterKind::kBoolean) return value != 0.0 ? "1" : "0";
+  return hm::common::format_double(value);
+}
+
+}  // namespace hm::hypermapper

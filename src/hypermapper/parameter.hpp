@@ -1,0 +1,75 @@
+// Design-space parameter types. A parameter maps an index (its position in
+// the parameter's discrete value list) to a numeric value, a printable
+// label, and a model feature. Continuous (real) parameters are supported for
+// generic use of the optimizer; the paper's SLAM spaces are fully discrete.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hm::hypermapper {
+
+enum class ParameterKind {
+  kOrdinal,      ///< Explicit ordered list of numeric values.
+  kInteger,      ///< Contiguous integer range [lo, hi].
+  kBoolean,      ///< {0, 1}.
+  kCategorical,  ///< Unordered labels; feature-encoded by index.
+  kReal,         ///< Continuous range [lo, hi]; cardinality 0 (not enumerable).
+};
+
+class Parameter {
+ public:
+  [[nodiscard]] static Parameter ordinal(std::string name,
+                                         std::vector<double> values,
+                                         bool log_feature = false);
+  [[nodiscard]] static Parameter integer_range(std::string name, std::int64_t lo,
+                                               std::int64_t hi);
+  [[nodiscard]] static Parameter boolean(std::string name);
+  [[nodiscard]] static Parameter categorical(std::string name,
+                                             std::vector<std::string> labels);
+  [[nodiscard]] static Parameter real(std::string name, double lo, double hi,
+                                      bool log_feature = false);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] ParameterKind kind() const noexcept { return kind_; }
+
+  /// Number of distinct values; 0 for real (continuous) parameters.
+  [[nodiscard]] std::uint64_t cardinality() const noexcept;
+
+  /// Numeric value at a discrete index (discrete kinds only).
+  [[nodiscard]] double value_at(std::uint64_t index) const;
+
+  /// Index of the discrete value closest to `value`; nullopt for real
+  /// parameters. Used to snap externally supplied defaults into the space.
+  [[nodiscard]] std::optional<std::uint64_t> index_of(double value) const;
+
+  /// Uniform random value (for real kinds, uniform on [lo, hi]).
+  [[nodiscard]] double sample(hm::common::Rng& rng) const;
+
+  /// Model feature for a value: normalized to [0, 1] over the parameter's
+  /// range; log-scaled first when the parameter spans decades.
+  [[nodiscard]] double feature(double value) const;
+
+  /// Printable form (categorical values print their label).
+  [[nodiscard]] std::string to_string(double value) const;
+
+  [[nodiscard]] double min_value() const noexcept { return lo_; }
+  [[nodiscard]] double max_value() const noexcept { return hi_; }
+
+ private:
+  Parameter() = default;
+
+  std::string name_;
+  ParameterKind kind_ = ParameterKind::kOrdinal;
+  std::vector<double> values_;        ///< Ordinal value list.
+  std::vector<std::string> labels_;   ///< Categorical labels.
+  double lo_ = 0.0;
+  double hi_ = 0.0;
+  bool log_feature_ = false;
+};
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,108 @@
+#include "hypermapper/pareto.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace hm::hypermapper {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  bool strictly_better_somewhere = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+namespace {
+
+/// 2-D fast path: sort by (f0 asc, f1 asc) and sweep keeping the running
+/// minimum of f1. Equal-objective duplicates are all retained.
+std::vector<std::size_t> pareto_indices_2d(std::span<const Objectives> points) {
+  std::vector<std::size_t> order(points.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a][0] != points[b][0]) return points[a][0] < points[b][0];
+    return points[a][1] < points[b][1];
+  });
+  std::vector<std::size_t> front;
+  double best_f1 = std::numeric_limits<double>::infinity();
+  double front_f0 = std::numeric_limits<double>::infinity();
+  double front_f1 = std::numeric_limits<double>::infinity();
+  for (const std::size_t i : order) {
+    const double f0 = points[i][0];
+    const double f1 = points[i][1];
+    if (f1 < best_f1) {
+      best_f1 = f1;
+      front.push_back(i);
+      front_f0 = f0;
+      front_f1 = f1;
+    } else if (f1 == best_f1 && f0 == front_f0 && f1 == front_f1) {
+      front.push_back(i);  // Exact duplicate of the last front point.
+    }
+  }
+  return front;
+}
+
+}  // namespace
+
+std::vector<std::size_t> pareto_indices(std::span<const Objectives> points) {
+  if (points.empty()) return {};
+  const std::size_t dims = points.front().size();
+  if (dims == 2) return pareto_indices_2d(points);
+
+  // General case: O(n^2) pairwise dominance.
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+    return points[a][0] < points[b][0];
+  });
+  return front;
+}
+
+double hypervolume_2d(std::span<const Objectives> front,
+                      const Objectives& reference) {
+  assert(reference.size() == 2);
+  if (front.empty()) return 0.0;
+  // Clip to the reference box, reduce to the non-dominated staircase, and
+  // sum the rectangles between consecutive steps.
+  std::vector<Objectives> clipped;
+  clipped.reserve(front.size());
+  for (const Objectives& p : front) {
+    assert(p.size() == 2);
+    if (p[0] < reference[0] && p[1] < reference[1]) clipped.push_back(p);
+  }
+  if (clipped.empty()) return 0.0;
+  const std::vector<std::size_t> stair = pareto_indices(clipped);
+  double volume = 0.0;
+  double prev_f1 = reference[1];
+  for (const std::size_t i : stair) {
+    const double width = reference[0] - clipped[i][0];
+    const double height = prev_f1 - clipped[i][1];
+    if (height > 0.0) {
+      volume += width * height;
+      prev_f1 = clipped[i][1];
+    }
+  }
+  return volume;
+}
+
+double pareto_hypervolume_2d(std::span<const Objectives> points,
+                             const Objectives& reference) {
+  const std::vector<std::size_t> front = pareto_indices(points);
+  std::vector<Objectives> front_points;
+  front_points.reserve(front.size());
+  for (const std::size_t i : front) front_points.push_back(points[i]);
+  return hypervolume_2d(front_points, reference);
+}
+
+}  // namespace hm::hypermapper

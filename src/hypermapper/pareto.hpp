@@ -1,0 +1,35 @@
+// Pareto-front utilities for multi-objective minimization: dominance tests,
+// non-dominated set extraction (fast 2-D sweep + general N-D), and the 2-D
+// hypervolume indicator used to quantify front quality in the ablations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hm::hypermapper {
+
+/// A point in objective space (all objectives minimized).
+using Objectives = std::vector<double>;
+
+/// True if `a` dominates `b`: a <= b in every objective and a < b in at
+/// least one. Sizes must match.
+[[nodiscard]] bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Indices of the non-dominated points of `points`, sorted by the first
+/// objective ascending. Duplicate objective vectors are all kept (any of
+/// them may map to a distinct configuration).
+[[nodiscard]] std::vector<std::size_t> pareto_indices(
+    std::span<const Objectives> points);
+
+/// 2-D hypervolume (area dominated between the front and `reference`,
+/// which must be dominated by every front point; points outside the
+/// reference box contribute only their clipped part). Larger is better.
+[[nodiscard]] double hypervolume_2d(std::span<const Objectives> front,
+                                    const Objectives& reference);
+
+/// Convenience: extracts the front of (points) and computes its hypervolume.
+[[nodiscard]] double pareto_hypervolume_2d(std::span<const Objectives> points,
+                                           const Objectives& reference);
+
+}  // namespace hm::hypermapper

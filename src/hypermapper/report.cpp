@@ -1,0 +1,136 @@
+#include "hypermapper/report.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace hm::hypermapper {
+
+ValidCounts count_valid(const OptimizationResult& result,
+                        std::size_t objective_index, double limit) {
+  ValidCounts counts;
+  for (const SampleRecord& s : result.samples) {
+    if (s.objectives[objective_index] < limit) {
+      if (s.iteration == 0) {
+        ++counts.random_phase;
+      } else {
+        ++counts.active_phase;
+      }
+    }
+  }
+  return counts;
+}
+
+std::optional<std::size_t> best_under_constraint(const OptimizationResult& result,
+                                                 std::size_t minimize_index,
+                                                 std::size_t constraint_index,
+                                                 double constraint_limit) {
+  std::optional<std::size_t> best;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    const Objectives& objectives = result.samples[i].objectives;
+    if (objectives[constraint_index] >= constraint_limit) continue;
+    if (objectives[minimize_index] < best_value) {
+      best_value = objectives[minimize_index];
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> best_objective(const OptimizationResult& result,
+                                          std::size_t objective_index) {
+  return best_under_constraint(result, objective_index, objective_index,
+                               std::numeric_limits<double>::infinity());
+}
+
+std::vector<std::size_t> front_of_phase(const OptimizationResult& result,
+                                        bool random_phase_only) {
+  std::vector<std::size_t> subset;
+  std::vector<Objectives> points;
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    if (random_phase_only && result.samples[i].iteration != 0) continue;
+    subset.push_back(i);
+    points.push_back(result.samples[i].objectives);
+  }
+  std::vector<std::size_t> front = pareto_indices(points);
+  for (std::size_t& index : front) index = subset[index];
+  return front;
+}
+
+namespace {
+
+std::vector<std::string> make_header(const DesignSpace& space,
+                                     const std::vector<std::string>& objective_names,
+                                     bool with_iteration) {
+  std::vector<std::string> header;
+  for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+    header.push_back(space.parameter(p).name());
+  }
+  header.insert(header.end(), objective_names.begin(), objective_names.end());
+  if (with_iteration) header.emplace_back("iteration");
+  return header;
+}
+
+std::vector<std::string> make_row(const DesignSpace& space, const SampleRecord& s,
+                                  bool with_iteration) {
+  std::vector<std::string> row;
+  for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+    row.push_back(hm::common::format_double(s.config[p]));
+  }
+  for (const double o : s.objectives) row.push_back(hm::common::format_double(o));
+  if (with_iteration) row.push_back(std::to_string(s.iteration));
+  return row;
+}
+
+}  // namespace
+
+hm::common::CsvTable samples_to_csv(const DesignSpace& space,
+                                    const OptimizationResult& result,
+                                    const std::vector<std::string>& objective_names) {
+  hm::common::CsvTable table(make_header(space, objective_names, true));
+  for (const SampleRecord& s : result.samples) {
+    table.add_row(make_row(space, s, true));
+  }
+  return table;
+}
+
+hm::common::CsvTable front_to_csv(const DesignSpace& space,
+                                  const OptimizationResult& result,
+                                  const std::vector<std::string>& objective_names) {
+  hm::common::CsvTable table(make_header(space, objective_names, false));
+  for (const std::size_t i : result.pareto) {
+    table.add_row(make_row(space, result.samples[i], false));
+  }
+  return table;
+}
+
+std::vector<Configuration> front_from_csv(const DesignSpace& space,
+                                          const hm::common::CsvTable& table) {
+  std::vector<Configuration> configs;
+  // Map space parameters to CSV columns by name.
+  std::vector<std::optional<std::size_t>> columns(space.parameter_count());
+  for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+    columns[p] = table.column(space.parameter(p).name());
+  }
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    Configuration config(space.parameter_count(), 0.0);
+    bool ok = true;
+    for (std::size_t p = 0; p < space.parameter_count() && ok; ++p) {
+      if (!columns[p]) {
+        ok = false;
+        break;
+      }
+      const auto value = table.cell_as_double(r, *columns[p]);
+      if (!value) {
+        ok = false;
+        break;
+      }
+      config[p] = *value;
+    }
+    if (ok) configs.push_back(space.snap(config));
+  }
+  return configs;
+}
+
+}  // namespace hm::hypermapper

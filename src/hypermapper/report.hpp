@@ -1,0 +1,59 @@
+// Result analysis and persistence helpers shared by the experiment
+// binaries: valid-configuration counting against an accuracy limit (the
+// paper's 5 cm ATE band), best-point selection, and CSV export of sample
+// sets and Pareto fronts.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "hypermapper/optimizer.hpp"
+
+namespace hm::hypermapper {
+
+/// Counts samples whose objective `objective_index` is strictly below
+/// `limit`, split by phase (iteration 0 vs. > 0).
+struct ValidCounts {
+  std::size_t random_phase = 0;
+  std::size_t active_phase = 0;
+  [[nodiscard]] std::size_t total() const { return random_phase + active_phase; }
+};
+[[nodiscard]] ValidCounts count_valid(const OptimizationResult& result,
+                                      std::size_t objective_index, double limit);
+
+/// Index (into result.samples) of the sample minimizing objective
+/// `minimize_index` among samples with objective `constraint_index` <
+/// `constraint_limit`. nullopt if no sample satisfies the constraint.
+[[nodiscard]] std::optional<std::size_t> best_under_constraint(
+    const OptimizationResult& result, std::size_t minimize_index,
+    std::size_t constraint_index, double constraint_limit);
+
+/// Index of the sample minimizing the given objective unconditionally.
+[[nodiscard]] std::optional<std::size_t> best_objective(
+    const OptimizationResult& result, std::size_t objective_index);
+
+/// Pareto front restricted to the given sample subset (e.g. only the random
+/// phase), as indices into result.samples.
+[[nodiscard]] std::vector<std::size_t> front_of_phase(
+    const OptimizationResult& result, bool random_phase_only);
+
+/// Serializes all samples as CSV: one column per parameter (by name), one
+/// per objective (named by `objective_names`), plus `iteration`.
+[[nodiscard]] hm::common::CsvTable samples_to_csv(
+    const DesignSpace& space, const OptimizationResult& result,
+    const std::vector<std::string>& objective_names);
+
+/// Serializes only the front rows (same schema, no iteration column).
+[[nodiscard]] hm::common::CsvTable front_to_csv(
+    const DesignSpace& space, const OptimizationResult& result,
+    const std::vector<std::string>& objective_names);
+
+/// Reconstructs the configurations of a front CSV produced by front_to_csv.
+/// Rows that fail to parse are skipped.
+[[nodiscard]] std::vector<Configuration> front_from_csv(
+    const DesignSpace& space, const hm::common::CsvTable& table);
+
+}  // namespace hm::hypermapper

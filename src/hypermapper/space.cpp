@@ -1,0 +1,140 @@
+#include "hypermapper/space.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+namespace hm::hypermapper {
+
+std::size_t DesignSpace::add(Parameter parameter) {
+  assert(!index_of(parameter.name()).has_value() && "duplicate parameter name");
+  parameters_.push_back(std::move(parameter));
+  return parameters_.size() - 1;
+}
+
+std::optional<std::size_t> DesignSpace::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < parameters_.size(); ++i) {
+    if (parameters_[i].name() == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t DesignSpace::cardinality() const noexcept {
+  std::uint64_t product = 1;
+  for (const Parameter& p : parameters_) {
+    const std::uint64_t c = p.cardinality();
+    if (c == 0) return 0;
+    if (product > std::numeric_limits<std::uint64_t>::max() / c) return 0;
+    product *= c;
+  }
+  return product;
+}
+
+Configuration DesignSpace::at(std::uint64_t i) const {
+  assert(cardinality() > 0 && i < cardinality());
+  Configuration config(parameters_.size());
+  // Mixed-radix decode, least significant digit = last parameter.
+  for (std::size_t p = parameters_.size(); p-- > 0;) {
+    const std::uint64_t c = parameters_[p].cardinality();
+    config[p] = parameters_[p].value_at(i % c);
+    i /= c;
+  }
+  return config;
+}
+
+std::uint64_t DesignSpace::key(const Configuration& config) const {
+  assert(config.size() == parameters_.size());
+  std::uint64_t index = 0;
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    const std::uint64_t c = parameters_[p].cardinality();
+    assert(c > 0 && "key() requires a fully discrete space");
+    const auto digit = parameters_[p].index_of(config[p]);
+    index = index * c + digit.value();
+  }
+  return index;
+}
+
+Configuration DesignSpace::sample(hm::common::Rng& rng) const {
+  Configuration config(parameters_.size());
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    config[p] = parameters_[p].sample(rng);
+  }
+  return config;
+}
+
+std::vector<Configuration> DesignSpace::sample_distinct(
+    std::size_t count, hm::common::Rng& rng) const {
+  std::vector<Configuration> out;
+  const std::uint64_t total = cardinality();
+
+  if (total == 0) {
+    // Continuous space: duplicates have probability ~0; sample directly.
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(sample(rng));
+    return out;
+  }
+
+  if (count >= total) {
+    // The whole space fits in the request; enumerate it.
+    out.reserve(static_cast<std::size_t>(total));
+    for (std::uint64_t i = 0; i < total; ++i) out.push_back(at(i));
+    return out;
+  }
+
+  // Rejection sampling with a seen-set; for dense requests (> half the
+  // space) sample indices to skip instead, to bound the rejection rate.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(count * 2);
+  out.reserve(count);
+  if (count * 2 <= total) {
+    while (out.size() < count) {
+      const Configuration config = sample(rng);
+      if (seen.insert(key(config)).second) out.push_back(config);
+    }
+  } else {
+    const std::uint64_t skip = total - count;
+    std::unordered_set<std::uint64_t> skipped;
+    skipped.reserve(static_cast<std::size_t>(skip) * 2);
+    while (skipped.size() < skip) skipped.insert(rng.uniform_index(total));
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (!skipped.contains(i)) out.push_back(at(i));
+    }
+    // The enumerate-minus-skips path is uniform but ordered; shuffle so
+    // callers that truncate still see a uniform subset.
+    hm::common::shuffle(out.begin(), out.end(), rng);
+  }
+  return out;
+}
+
+std::vector<double> DesignSpace::features(const Configuration& config) const {
+  assert(config.size() == parameters_.size());
+  std::vector<double> out(parameters_.size());
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    out[p] = parameters_[p].feature(config[p]);
+  }
+  return out;
+}
+
+Configuration DesignSpace::snap(const Configuration& config) const {
+  assert(config.size() == parameters_.size());
+  Configuration out(config.size());
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    const auto index = parameters_[p].index_of(config[p]);
+    out[p] = index ? parameters_[p].value_at(*index) : config[p];
+  }
+  return out;
+}
+
+std::string DesignSpace::to_string(const Configuration& config) const {
+  std::string out;
+  for (std::size_t p = 0; p < parameters_.size(); ++p) {
+    if (p != 0) out += ", ";
+    out += parameters_[p].name();
+    out += '=';
+    out += parameters_[p].to_string(config[p]);
+  }
+  return out;
+}
+
+}  // namespace hm::hypermapper

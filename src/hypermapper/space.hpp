@@ -1,0 +1,71 @@
+// The design space: an ordered set of parameters, a Configuration type
+// (one numeric value per parameter), enumeration by mixed-radix index,
+// distinct uniform sampling, and feature encoding for the surrogate models.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hypermapper/parameter.hpp"
+
+namespace hm::hypermapper {
+
+/// One point in the design space: the numeric value of each parameter, in
+/// space order. (For categorical parameters the value is the label index.)
+using Configuration = std::vector<double>;
+
+class DesignSpace {
+ public:
+  DesignSpace() = default;
+
+  /// Adds a parameter; returns its index. Names must be unique (asserted).
+  std::size_t add(Parameter parameter);
+
+  [[nodiscard]] std::size_t parameter_count() const noexcept {
+    return parameters_.size();
+  }
+  [[nodiscard]] const Parameter& parameter(std::size_t i) const {
+    return parameters_[i];
+  }
+  [[nodiscard]] std::optional<std::size_t> index_of(std::string_view name) const;
+
+  /// Product of parameter cardinalities; 0 if any parameter is continuous
+  /// or the product overflows 64 bits.
+  [[nodiscard]] std::uint64_t cardinality() const noexcept;
+
+  /// Configuration at mixed-radix index `i` (requires cardinality() > 0).
+  [[nodiscard]] Configuration at(std::uint64_t i) const;
+
+  /// Mixed-radix index of a configuration (requires cardinality() > 0);
+  /// values are snapped to the nearest discrete value first. This is the
+  /// dedup key used by the optimizer and samplers.
+  [[nodiscard]] std::uint64_t key(const Configuration& config) const;
+
+  /// Uniform random configuration.
+  [[nodiscard]] Configuration sample(hm::common::Rng& rng) const;
+
+  /// Up to `count` *distinct* uniform configurations (exactly `count` unless
+  /// the space is smaller, in which case the whole space is returned).
+  [[nodiscard]] std::vector<Configuration> sample_distinct(
+      std::size_t count, hm::common::Rng& rng) const;
+
+  /// Feature vector for the surrogate model (one normalized feature per
+  /// parameter; log-scaled where the parameter requests it).
+  [[nodiscard]] std::vector<double> features(const Configuration& config) const;
+
+  /// Snaps every value of `config` to the nearest value in the space
+  /// (identity for real parameters).
+  [[nodiscard]] Configuration snap(const Configuration& config) const;
+
+  /// Human-readable "name=value, ..." string.
+  [[nodiscard]] std::string to_string(const Configuration& config) const;
+
+ private:
+  std::vector<Parameter> parameters_;
+};
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,154 @@
+#include "kfusion/icp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "geometry/solve.hpp"
+
+namespace hm::kfusion {
+
+using hm::geometry::NormalEquations;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+namespace {
+
+struct Reduction {
+  NormalEquations<6> equations;
+  std::uint64_t tested = 0;        ///< Pixels with valid vertex+normal.
+  std::uint64_t matched = 0;       ///< Pixels passing all gates.
+};
+
+/// One projective data-association + point-to-plane reduction pass over a
+/// pyramid level under the pose estimate `pose`.
+Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference,
+                       const Intrinsics& reference_intrinsics,
+                       const SE3& world_to_reference, const SE3& pose,
+                       const IcpConfig& config, hm::common::ThreadPool* pool) {
+  const double distance_gate2 = config.distance_gate * config.distance_gate;
+  const int height = level.vertices.height();
+
+  Reduction total;
+  std::mutex merge_mutex;
+
+  auto process_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    Reduction local;
+    for (std::size_t v = row_begin; v < row_end; ++v) {
+      for (int u = 0; u < level.vertices.width(); ++u) {
+        const Vec3f vertex = level.vertices.at(u, static_cast<int>(v));
+        const Vec3f normal = level.normals.at(u, static_cast<int>(v));
+        if (vertex == Vec3f{} || normal == Vec3f{}) continue;
+        ++local.tested;
+
+        const Vec3d p_world = pose * hm::geometry::to_double(vertex);
+        // Associate through the fixed reference camera.
+        const auto pixel =
+            reference_intrinsics.project(world_to_reference * p_world);
+        if (!pixel) continue;
+        const int ru = static_cast<int>(std::lround(pixel->x));
+        const int rv = static_cast<int>(std::lround(pixel->y));
+        if (!reference_intrinsics.contains(ru, rv)) continue;
+
+        const Vec3f ref_vertex = reference.vertices.at(ru, rv);
+        const Vec3f ref_normal = reference.normals.at(ru, rv);
+        if (ref_vertex == Vec3f{} || ref_normal == Vec3f{}) continue;
+
+        const Vec3d v_ref = hm::geometry::to_double(ref_vertex);
+        const Vec3d n_ref = hm::geometry::to_double(ref_normal);
+        const Vec3d diff = v_ref - p_world;
+        if (diff.squared_norm() > distance_gate2) continue;
+        const Vec3d n_cur_world = pose.rotate(hm::geometry::to_double(normal));
+        if (n_ref.dot(n_cur_world) < config.normal_gate) continue;
+
+        // Point-to-plane residual r = n_ref . (v_ref - p_world); the
+        // left-multiplied twist update gives J = [n_ref; p_world x n_ref].
+        const double residual = n_ref.dot(diff);
+        const Vec3d moment = p_world.cross(n_ref);
+        local.equations.add(
+            {n_ref.x, n_ref.y, n_ref.z, moment.x, moment.y, moment.z}, residual);
+        ++local.matched;
+      }
+    }
+    const std::lock_guard lock(merge_mutex);
+    total.equations += local.equations;
+    total.tested += local.tested;
+    total.matched += local.matched;
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(0, static_cast<std::size_t>(height), process_rows,
+                              /*grain=*/8);
+  } else {
+    process_rows(0, static_cast<std::size_t>(height));
+  }
+  return total;
+}
+
+}  // namespace
+
+IcpResult icp_track(const std::vector<PyramidLevel>& pyramid,
+                    const RaycastResult& reference,
+                    const Intrinsics& reference_intrinsics,
+                    const SE3& reference_pose, const SE3& initial_pose,
+                    const IcpConfig& config, KernelStats& stats,
+                    hm::common::ThreadPool* pool) {
+  IcpResult result;
+  result.pose = initial_pose;
+
+  const SE3 world_to_reference = reference_pose.inverse();
+  std::uint64_t icp_ops = 0;
+  std::uint64_t solves = 0;
+
+  // Coarse-to-fine: highest pyramid index first.
+  for (std::size_t level_index = pyramid.size(); level_index-- > 0;) {
+    const PyramidLevel& level = pyramid[level_index];
+    const int iterations =
+        level_index < config.iterations.size()
+            ? config.iterations[level_index]
+            : config.iterations.back();
+    for (int iteration = 0; iteration < iterations; ++iteration) {
+      const Reduction pass =
+          reduce_level(level, reference, reference_intrinsics,
+                       world_to_reference, result.pose, config, pool);
+      icp_ops += pass.tested;
+      ++result.iterations_run;
+
+      if (level_index == 0) {
+        result.final_rms = std::sqrt(pass.equations.mean_squared_error());
+        result.inlier_fraction =
+            pass.tested == 0
+                ? 0.0
+                : static_cast<double>(pass.matched) /
+                      static_cast<double>(pass.tested);
+      }
+      if (pass.matched < 6) break;  // Not enough constraints at this level.
+
+      const auto update = pass.equations.solve(/*damping=*/1e-9);
+      ++solves;
+      if (!update) break;  // Degenerate geometry.
+
+      result.pose = SE3::exp(*update) * result.pose;
+      result.pose.rotation = hm::geometry::orthonormalized(result.pose.rotation);
+
+      double update_norm2 = 0.0;
+      for (const double value : *update) update_norm2 += value * value;
+      if (update_norm2 < config.update_threshold) {
+        result.converged = true;
+        break;  // Early exit for this level.
+      }
+    }
+  }
+
+  stats.add(Kernel::kIcp, icp_ops);
+  stats.add(Kernel::kSolve, solves);
+
+  // Failure detection on the finest level's last pass.
+  result.tracked = result.inlier_fraction >= config.min_inlier_fraction &&
+                   result.final_rms <= config.rms_gate &&
+                   result.final_rms > 0.0;
+  return result;
+}
+
+}  // namespace hm::kfusion

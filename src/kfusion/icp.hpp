@@ -1,0 +1,52 @@
+// Point-to-plane ICP with projective data association against raycasted
+// model maps — the KFusion tracking step.
+#pragma once
+
+#include <array>
+
+#include "common/thread_pool.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/kernel_stats.hpp"
+#include "kfusion/pyramid.hpp"
+#include "kfusion/raycast.hpp"
+
+namespace hm::kfusion {
+
+struct IcpConfig {
+  /// Iterations per pyramid level, finest (level 0) first.
+  std::array<int, 3> iterations{10, 5, 4};
+  /// Early exit when the squared norm of the twist update drops below this.
+  double update_threshold = 1e-5;
+  double distance_gate = 0.15;  ///< Correspondence distance gate (m).
+  double normal_gate = 0.7;     ///< Min cosine between matched normals.
+  /// Track is declared failed when fewer than this fraction of pixels found
+  /// correspondences, or the residual RMS exceeds rms_gate.
+  double min_inlier_fraction = 0.10;
+  double rms_gate = 0.08;       ///< Residual RMS gate (m).
+};
+
+struct IcpResult {
+  hm::geometry::SE3 pose;  ///< Refined camera-to-world.
+  bool converged = false;  ///< Early-exited below update_threshold.
+  bool tracked = true;     ///< Passed the inlier/RMS gates.
+  double final_rms = 0.0;
+  double inlier_fraction = 0.0;
+  int iterations_run = 0;
+};
+
+/// Aligns the current frame's pyramid to the raycasted reference maps.
+/// `reference` holds world-space vertex/normal maps raycast from
+/// `reference_pose` at `reference_intrinsics` (pyramid level 0) resolution;
+/// data association projects through the fixed reference camera while the
+/// pose estimate (initialized to `initial_pose`, normally == reference_pose)
+/// is refined coarse-to-fine.
+[[nodiscard]] IcpResult icp_track(
+    const std::vector<PyramidLevel>& pyramid, const RaycastResult& reference,
+    const Intrinsics& reference_intrinsics,
+    const hm::geometry::SE3& reference_pose,
+    const hm::geometry::SE3& initial_pose, const IcpConfig& config,
+    KernelStats& stats, hm::common::ThreadPool* pool = nullptr);
+
+}  // namespace hm::kfusion

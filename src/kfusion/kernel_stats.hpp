@@ -1,0 +1,69 @@
+// Per-kernel work counters. Every kernel in both SLAM pipelines counts the
+// elementary operations it performs (pixels filtered, correspondences
+// tested, voxels touched, ray steps marched, surfels fused). The device
+// cost model (slambench/device.hpp) converts these counts into seconds,
+// which is how the experiments obtain deterministic, device-differentiated
+// runtimes from a single host execution (see DESIGN.md, substitutions).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hm::kfusion {
+
+/// Kernel classes across both pipelines. Keep in sync with kKernelNames.
+enum class Kernel : std::size_t {
+  kDownsample = 0,    ///< Compute-size-ratio block averaging (per input pixel).
+  kBilateral,         ///< Bilateral filter (per filter tap).
+  kPyramid,           ///< Pyramid block averaging (per output pixel tap).
+  kVertexNormal,      ///< Depth -> vertex/normal map (per pixel).
+  kIcp,               ///< ICP data association + reduction (per pixel test).
+  kSolve,             ///< 6x6 normal-equation solve (per solve).
+  kIntegrate,         ///< TSDF voxel update (per voxel visited).
+  kRaycast,           ///< TSDF ray marching (per step).
+  kSurfelFusion,      ///< Surfel association/update (per surfel op).
+  kRgbTrack,          ///< Photometric residual evaluation (per pixel test).
+  kSo3Prealign,       ///< Rotation pre-alignment (per pixel test).
+  kLoopClosure,       ///< Fern encoding/matching + deformation (per op).
+  kCount,
+};
+
+inline constexpr std::array<std::string_view, static_cast<std::size_t>(Kernel::kCount)>
+    kKernelNames = {
+        "downsample", "bilateral", "pyramid",       "vertex_normal",
+        "icp",        "solve",     "integrate",     "raycast",
+        "surfel_fusion", "rgb_track", "so3_prealign", "loop_closure",
+};
+
+/// Plain accumulator. Not thread-safe; parallel kernels accumulate into
+/// per-worker instances and merge (operator+=).
+class KernelStats {
+ public:
+  void add(Kernel kernel, std::uint64_t ops) noexcept {
+    counts_[static_cast<std::size_t>(kernel)] += ops;
+  }
+
+  [[nodiscard]] std::uint64_t count(Kernel kernel) const noexcept {
+    return counts_[static_cast<std::size_t>(kernel)];
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : counts_) sum += c;
+    return sum;
+  }
+
+  KernelStats& operator+=(const KernelStats& other) noexcept {
+    for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    return *this;
+  }
+
+  void reset() noexcept { counts_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, static_cast<std::size_t>(Kernel::kCount)> counts_{};
+};
+
+}  // namespace hm::kfusion

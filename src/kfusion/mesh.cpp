@@ -1,0 +1,199 @@
+#include "kfusion/mesh.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+namespace hm::kfusion {
+
+using hm::geometry::Vec3f;
+
+double Mesh::total_area() const {
+  double area = 0.0;
+  for (const Triangle& triangle : triangles) {
+    area += static_cast<double>(triangle.area());
+  }
+  return area;
+}
+
+Mesh::Bounds Mesh::bounds() const {
+  if (triangles.empty()) return {};
+  Bounds out{triangles.front().a, triangles.front().a};
+  auto extend = [&out](Vec3f v) {
+    out.min = {std::min(out.min.x, v.x), std::min(out.min.y, v.y),
+               std::min(out.min.z, v.z)};
+    out.max = {std::max(out.max.x, v.x), std::max(out.max.y, v.y),
+               std::max(out.max.z, v.z)};
+  };
+  for (const Triangle& triangle : triangles) {
+    extend(triangle.a);
+    extend(triangle.b);
+    extend(triangle.c);
+  }
+  return out;
+}
+
+namespace {
+
+struct Corner {
+  Vec3f position;
+  float value;
+};
+
+/// Linear interpolation of the zero crossing on a tetrahedron edge.
+Vec3f zero_crossing(const Corner& a, const Corner& b) {
+  const float denom = a.value - b.value;
+  const float t = denom == 0.0f ? 0.5f : a.value / denom;
+  return a.position + (b.position - a.position) * std::clamp(t, 0.0f, 1.0f);
+}
+
+/// Emits 0-2 triangles for one tetrahedron via the marching-tetrahedra
+/// cases (inside = value < 0).
+void polygonize_tetrahedron(const std::array<Corner, 4>& corners,
+                            std::vector<Triangle>& out) {
+  int inside_mask = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (corners[static_cast<std::size_t>(i)].value < 0.0f) inside_mask |= 1 << i;
+  }
+  if (inside_mask == 0 || inside_mask == 0xF) return;
+
+  // Orient each case so triangles keep a consistent winding (normal toward
+  // positive/outside values).
+  auto c = [&](int i) -> const Corner& {
+    return corners[static_cast<std::size_t>(i)];
+  };
+  auto emit = [&](Vec3f a, Vec3f b, Vec3f d, Vec3f inside_point) {
+    Triangle triangle{a, b, d};
+    // Flip if the normal points toward the inside vertex.
+    const Vec3f centroid = (a + b + d) / 3.0f;
+    if (triangle.normal().dot(inside_point - centroid) > 0.0f) {
+      std::swap(triangle.b, triangle.c);
+    }
+    out.push_back(triangle);
+  };
+
+  // One vertex inside (or its complement: one outside).
+  auto one_corner_case = [&](int apex, bool apex_inside) {
+    const int others[3] = {apex == 0 ? 1 : 0, apex < 2 ? 2 : 1, apex < 3 ? 3 : 2};
+    const Vec3f p0 = zero_crossing(c(apex), c(others[0]));
+    const Vec3f p1 = zero_crossing(c(apex), c(others[1]));
+    const Vec3f p2 = zero_crossing(c(apex), c(others[2]));
+    const Vec3f reference = apex_inside
+                                ? c(apex).position
+                                : (c(others[0]).position + c(others[1]).position +
+                                   c(others[2]).position) / 3.0f;
+    emit(p0, p1, p2, reference);
+  };
+
+  switch (inside_mask) {
+    case 0x1: one_corner_case(0, true); break;
+    case 0x2: one_corner_case(1, true); break;
+    case 0x4: one_corner_case(2, true); break;
+    case 0x8: one_corner_case(3, true); break;
+    case 0xE: one_corner_case(0, false); break;
+    case 0xD: one_corner_case(1, false); break;
+    case 0xB: one_corner_case(2, false); break;
+    case 0x7: one_corner_case(3, false); break;
+    default: {
+      // Two inside, two outside: a quad split into two triangles.
+      int inside[2], outside[2];
+      int ni = 0, no = 0;
+      for (int i = 0; i < 4; ++i) {
+        if ((inside_mask >> i) & 1) {
+          inside[ni++] = i;
+        } else {
+          outside[no++] = i;
+        }
+      }
+      const Vec3f p00 = zero_crossing(c(inside[0]), c(outside[0]));
+      const Vec3f p01 = zero_crossing(c(inside[0]), c(outside[1]));
+      const Vec3f p10 = zero_crossing(c(inside[1]), c(outside[0]));
+      const Vec3f p11 = zero_crossing(c(inside[1]), c(outside[1]));
+      const Vec3f inside_mid =
+          (c(inside[0]).position + c(inside[1]).position) * 0.5f;
+      emit(p00, p01, p11, inside_mid);
+      emit(p00, p11, p10, inside_mid);
+      break;
+    }
+  }
+}
+
+/// The six tetrahedra tiling a cube, as corner indices of the cube's
+/// standard corner order (x + 2y + 4z bit pattern).
+constexpr int kTetrahedra[6][4] = {
+    {0, 5, 1, 6}, {0, 1, 3, 6}, {0, 3, 2, 6},
+    {0, 2, 7, 6}, {0, 7, 4, 6}, {0, 4, 5, 6},
+};
+// Corner index bit pattern -> (dx, dy, dz).
+constexpr int kCornerOffset[8][3] = {
+    {0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+    {0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+};
+
+}  // namespace
+
+Mesh extract_mesh(const TsdfVolume& volume, float min_weight) {
+  Mesh mesh;
+  const int n = volume.resolution();
+  const auto voxel = static_cast<float>(volume.voxel_size());
+
+  std::array<Corner, 8> cube;
+  for (int z = 0; z + 1 < n; ++z) {
+    for (int y = 0; y + 1 < n; ++y) {
+      for (int x = 0; x + 1 < n; ++x) {
+        bool observed = true;
+        bool any_negative = false, any_positive = false;
+        for (int corner = 0; corner < 8 && observed; ++corner) {
+          const int cx = x + kCornerOffset[corner][0];
+          const int cy = y + kCornerOffset[corner][1];
+          const int cz = z + kCornerOffset[corner][2];
+          if (volume.weight_at(cx, cy, cz) < min_weight) {
+            observed = false;
+            break;
+          }
+          const float value = volume.tsdf_at(cx, cy, cz);
+          any_negative |= value < 0.0f;
+          any_positive |= value >= 0.0f;
+          cube[static_cast<std::size_t>(corner)] = Corner{
+              Vec3f{(static_cast<float>(cx) + 0.5f) * voxel,
+                    (static_cast<float>(cy) + 0.5f) * voxel,
+                    (static_cast<float>(cz) + 0.5f) * voxel},
+              value};
+        }
+        if (!observed || !any_negative || !any_positive) continue;
+        for (const auto& tetra : kTetrahedra) {
+          polygonize_tetrahedron({cube[static_cast<std::size_t>(tetra[0])],
+                                  cube[static_cast<std::size_t>(tetra[1])],
+                                  cube[static_cast<std::size_t>(tetra[2])],
+                                  cube[static_cast<std::size_t>(tetra[3])]},
+                                 mesh.triangles);
+        }
+      }
+    }
+  }
+  return mesh;
+}
+
+std::string to_obj(const Mesh& mesh) {
+  std::string out;
+  out.reserve(mesh.triangles.size() * 120);
+  char line[128];
+  for (const Triangle& triangle : mesh.triangles) {
+    for (const Vec3f v : {triangle.a, triangle.b, triangle.c}) {
+      const int len = std::snprintf(line, sizeof(line), "v %g %g %g\n",
+                                    static_cast<double>(v.x),
+                                    static_cast<double>(v.y),
+                                    static_cast<double>(v.z));
+      out.append(line, static_cast<std::size_t>(len));
+    }
+  }
+  for (std::size_t i = 0; i < mesh.triangles.size(); ++i) {
+    const auto base = static_cast<unsigned long>(3 * i + 1);
+    const int len = std::snprintf(line, sizeof(line), "f %lu %lu %lu\n", base,
+                                  base + 1, base + 2);
+    out.append(line, static_cast<std::size_t>(len));
+  }
+  return out;
+}
+
+}  // namespace hm::kfusion

@@ -1,0 +1,80 @@
+// Triangle-mesh extraction from the TSDF volume and reconstruction-quality
+// measurement. KFusion papers visualize the zero level set; here the mesh
+// additionally serves as a map-quality metric: vertex distance to the
+// ground-truth scene SDF (possible because the dataset substrate knows the
+// true geometry — see DESIGN.md).
+//
+// The extractor uses marching tetrahedra (each voxel cell split into six
+// tetrahedra): topologically robust like marching cubes but without the
+// 256-entry case tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/vec.hpp"
+#include "kfusion/tsdf_volume.hpp"
+
+namespace hm::kfusion {
+
+struct Triangle {
+  hm::geometry::Vec3f a, b, c;
+
+  [[nodiscard]] hm::geometry::Vec3f normal() const {
+    return (b - a).cross(c - a).normalized();
+  }
+  [[nodiscard]] float area() const {
+    return 0.5f * (b - a).cross(c - a).norm();
+  }
+};
+
+struct Mesh {
+  std::vector<Triangle> triangles;
+
+  [[nodiscard]] std::size_t size() const noexcept { return triangles.size(); }
+  [[nodiscard]] bool empty() const noexcept { return triangles.empty(); }
+  [[nodiscard]] double total_area() const;
+  /// Axis-aligned bounds of all vertices; zeros for an empty mesh.
+  struct Bounds {
+    hm::geometry::Vec3f min, max;
+  };
+  [[nodiscard]] Bounds bounds() const;
+};
+
+/// Extracts the TSDF zero level set. Only cells whose eight corners all
+/// carry integration weight participate (unobserved space produces no
+/// spurious geometry). `min_weight` filters barely-observed voxels.
+[[nodiscard]] Mesh extract_mesh(const TsdfVolume& volume, float min_weight = 1.0f);
+
+/// Serializes to Wavefront OBJ text (one `v` line per vertex, `f` per
+/// triangle).
+[[nodiscard]] std::string to_obj(const Mesh& mesh);
+
+/// Mean / max absolute distance (m) of mesh vertices to a reference signed
+/// distance function — the reconstruction-error metric. The callable takes
+/// a Vec3d and returns the signed distance.
+struct SurfaceError {
+  double mean = 0.0;
+  double max = 0.0;
+  std::size_t vertices = 0;
+};
+
+template <typename DistanceFn>
+[[nodiscard]] SurfaceError surface_error(const Mesh& mesh, DistanceFn&& distance) {
+  SurfaceError error;
+  double sum = 0.0;
+  for (const Triangle& triangle : mesh.triangles) {
+    for (const hm::geometry::Vec3f vertex : {triangle.a, triangle.b, triangle.c}) {
+      const double d =
+          std::abs(distance(hm::geometry::to_double(vertex)));
+      sum += d;
+      error.max = std::max(error.max, d);
+      ++error.vertices;
+    }
+  }
+  if (error.vertices > 0) sum /= static_cast<double>(error.vertices);
+  error.mean = sum;
+  return error;
+}
+
+}  // namespace hm::kfusion

@@ -1,0 +1,37 @@
+// The seven algorithmic parameters of the KFusion design space
+// (Section III-B of the paper), with the SLAMBench defaults.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace hm::kfusion {
+
+struct KFusionParams {
+  /// Voxel grid resolution per axis (the paper explores 64..256).
+  int volume_resolution = 256;
+  /// Physical edge length of the cubic reconstruction volume (m). Fixed in
+  /// the SLAMBench living-room setup.
+  double volume_size = 4.8;
+  /// TSDF truncation distance mu (m).
+  double mu = 0.1;
+  /// ICP iterations per pyramid level, finest first (SLAMBench -y 10,5,4).
+  std::array<int, 3> icp_iterations{10, 5, 4};
+  /// Input depth is block-averaged down by this factor before processing.
+  int compute_size_ratio = 1;
+  /// Localization is attempted every `tracking_rate` frames.
+  int tracking_rate = 1;
+  /// A frame is fused into the volume every `integration_rate` frames.
+  int integration_rate = 1;
+  /// ICP early-exit threshold on the squared norm of the twist update.
+  double icp_threshold = 1e-5;
+
+  /// ICP robustness gates (not part of the explored space; SLAMBench fixes
+  /// them).
+  double icp_distance_gate = 0.15;  ///< Max point-to-point distance (m).
+  double icp_normal_gate = 0.7;     ///< Min cosine between normals.
+
+  [[nodiscard]] static KFusionParams defaults() { return {}; }
+};
+
+}  // namespace hm::kfusion

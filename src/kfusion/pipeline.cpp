@@ -1,0 +1,75 @@
+#include "kfusion/pipeline.hpp"
+
+#include "kfusion/preprocess.hpp"
+#include "kfusion/pyramid.hpp"
+
+namespace hm::kfusion {
+
+KFusionPipeline::KFusionPipeline(const KFusionParams& params,
+                                 const Intrinsics& raw_intrinsics,
+                                 const SE3& initial_pose,
+                                 hm::common::ThreadPool* pool)
+    : params_(params),
+      raw_intrinsics_(raw_intrinsics),
+      computed_intrinsics_(raw_intrinsics.scaled(params.compute_size_ratio)),
+      pool_(pool),
+      volume_(std::make_unique<TsdfVolume>(params.volume_resolution,
+                                           params.volume_size)),
+      pose_(initial_pose) {
+  icp_config_.iterations = params.icp_iterations;
+  icp_config_.update_threshold = params.icp_threshold;
+  icp_config_.distance_gate = params.icp_distance_gate;
+  icp_config_.normal_gate = params.icp_normal_gate;
+}
+
+KFusionPipeline::FrameResult KFusionPipeline::process_frame(
+    const hm::geometry::DepthImage& raw_depth) {
+  FrameResult result;
+
+  // --- Preprocessing: compute-size-ratio downsample + bilateral filter. ---
+  const DepthImage scaled =
+      downsample_depth(raw_depth, params_.compute_size_ratio, stats_);
+  const DepthImage filtered = bilateral_filter(scaled, BilateralConfig{}, stats_);
+
+  // --- Tracking. ---
+  const bool do_track =
+      frame_ > 0 &&
+      (frame_ % static_cast<std::size_t>(params_.tracking_rate)) == 0;
+  if (do_track) {
+    result.tracking_attempted = true;
+    const std::vector<PyramidLevel> pyramid =
+        build_pyramid(filtered, computed_intrinsics_, 3, stats_);
+    // Reference maps: raycast the model from the current pose estimate.
+    const RaycastResult reference =
+        raycast(*volume_, computed_intrinsics_, pose_, params_.mu,
+                raycast_config_, stats_, pool_);
+    const IcpResult icp = icp_track(pyramid, reference, computed_intrinsics_,
+                                    pose_, pose_, icp_config_, stats_, pool_);
+    result.tracked = icp.tracked;
+    if (icp.tracked) {
+      pose_ = icp.pose;
+    }
+    // On failure the pose estimate stays at the previous frame's value,
+    // exactly like SLAMBench's KFusion (no relocalization).
+  } else if (frame_ > 0) {
+    // Non-tracked frames keep the previous pose (constant-position model).
+    result.tracked = true;
+  }
+
+  // --- Integration. ---
+  const bool do_integrate =
+      (frame_ % static_cast<std::size_t>(params_.integration_rate)) == 0;
+  if (do_integrate) {
+    // Fuse the filtered (not raw) depth, as KFusion does.
+    volume_->integrate(filtered, computed_intrinsics_, pose_, params_.mu,
+                       stats_, pool_);
+    result.integrated = true;
+  }
+
+  result.pose = pose_;
+  trajectory_.push_back(pose_);
+  ++frame_;
+  return result;
+}
+
+}  // namespace hm::kfusion

@@ -1,0 +1,65 @@
+// The full KFusion per-frame pipeline: preprocess -> track -> integrate ->
+// raycast, wired to the seven algorithmic parameters of the design space.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/icp.hpp"
+#include "kfusion/kernel_stats.hpp"
+#include "kfusion/params.hpp"
+#include "kfusion/raycast.hpp"
+#include "kfusion/tsdf_volume.hpp"
+
+namespace hm::kfusion {
+
+using hm::geometry::SE3;
+
+/// Stateful pipeline: feed frames in order with process_frame(). The first
+/// frame initializes the pose (SLAMBench seeds tracking with the dataset's
+/// first ground-truth pose) and the volume.
+class KFusionPipeline {
+ public:
+  KFusionPipeline(const KFusionParams& params, const Intrinsics& raw_intrinsics,
+                  const SE3& initial_pose,
+                  hm::common::ThreadPool* pool = nullptr);
+
+  struct FrameResult {
+    SE3 pose;                ///< Camera-to-world estimate after this frame.
+    bool tracked = true;     ///< False when ICP rejected the update.
+    bool tracking_attempted = false;
+    bool integrated = false;
+  };
+
+  /// Processes the next depth frame (raw sensor resolution).
+  FrameResult process_frame(const hm::geometry::DepthImage& raw_depth);
+
+  [[nodiscard]] const SE3& pose() const noexcept { return pose_; }
+  [[nodiscard]] const TsdfVolume& volume() const noexcept { return *volume_; }
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const KFusionParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::size_t frames_processed() const noexcept { return frame_; }
+  /// Estimated poses of all processed frames, in order.
+  [[nodiscard]] const std::vector<SE3>& trajectory() const noexcept {
+    return trajectory_;
+  }
+
+ private:
+  KFusionParams params_;
+  Intrinsics raw_intrinsics_;
+  Intrinsics computed_intrinsics_;  ///< After compute-size-ratio downsampling.
+  hm::common::ThreadPool* pool_;
+  std::unique_ptr<TsdfVolume> volume_;
+  SE3 pose_;
+  std::size_t frame_ = 0;
+  KernelStats stats_;
+  std::vector<SE3> trajectory_;
+  IcpConfig icp_config_;
+  RaycastConfig raycast_config_;
+};
+
+}  // namespace hm::kfusion

@@ -1,0 +1,120 @@
+#include "kfusion/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hm::kfusion {
+
+DepthImage downsample_depth(const DepthImage& input, int ratio,
+                            KernelStats& stats) {
+  if (ratio <= 1) {
+    stats.add(Kernel::kDownsample, input.size());
+    return input;
+  }
+  const int out_width = input.width() / ratio;
+  const int out_height = input.height() / ratio;
+  DepthImage output(out_width, out_height, 0.0f);
+  for (int v = 0; v < out_height; ++v) {
+    for (int u = 0; u < out_width; ++u) {
+      float sum = 0.0f;
+      int valid = 0;
+      for (int dv = 0; dv < ratio; ++dv) {
+        for (int du = 0; du < ratio; ++du) {
+          const float z = input.at(u * ratio + du, v * ratio + dv);
+          if (z > 0.0f) {
+            sum += z;
+            ++valid;
+          }
+        }
+      }
+      if (valid > 0) output.at(u, v) = sum / static_cast<float>(valid);
+    }
+  }
+  // Every input pixel inside the covered region is read once.
+  stats.add(Kernel::kDownsample,
+            static_cast<std::uint64_t>(out_width) * out_height *
+                static_cast<std::uint64_t>(ratio) * static_cast<std::uint64_t>(ratio));
+  return output;
+}
+
+DepthImage bilateral_filter(const DepthImage& input, const BilateralConfig& config,
+                            KernelStats& stats) {
+  const int width = input.width();
+  const int height = input.height();
+  DepthImage output(width, height, 0.0f);
+
+  // Precomputed spatial weights for the window.
+  const int radius = config.radius;
+  const int window = 2 * radius + 1;
+  std::vector<double> spatial(static_cast<std::size_t>(window) * window);
+  for (int dv = -radius; dv <= radius; ++dv) {
+    for (int du = -radius; du <= radius; ++du) {
+      const double d2 = static_cast<double>(du * du + dv * dv);
+      spatial[static_cast<std::size_t>((dv + radius) * window + (du + radius))] =
+          std::exp(-d2 / (2.0 * config.sigma_space * config.sigma_space));
+    }
+  }
+  const double inv_2_sigma_depth2 =
+      1.0 / (2.0 * config.sigma_depth * config.sigma_depth);
+
+  std::uint64_t taps = 0;
+  for (int v = 0; v < height; ++v) {
+    for (int u = 0; u < width; ++u) {
+      const float center = input.at(u, v);
+      if (center <= 0.0f) continue;
+      double weight_sum = 0.0;
+      double value_sum = 0.0;
+      for (int dv = -radius; dv <= radius; ++dv) {
+        const int vv = v + dv;
+        if (vv < 0 || vv >= height) continue;
+        for (int du = -radius; du <= radius; ++du) {
+          const int uu = u + du;
+          if (uu < 0 || uu >= width) continue;
+          const float z = input.at(uu, vv);
+          ++taps;
+          if (z <= 0.0f) continue;
+          const double dz = static_cast<double>(z - center);
+          const double w =
+              spatial[static_cast<std::size_t>((dv + radius) * window +
+                                               (du + radius))] *
+              std::exp(-dz * dz * inv_2_sigma_depth2);
+          weight_sum += w;
+          value_sum += w * static_cast<double>(z);
+        }
+      }
+      if (weight_sum > 0.0) {
+        output.at(u, v) = static_cast<float>(value_sum / weight_sum);
+      }
+    }
+  }
+  stats.add(Kernel::kBilateral, taps);
+  return output;
+}
+
+DepthImage halve_depth(const DepthImage& input, KernelStats& stats) {
+  const int out_width = input.width() / 2;
+  const int out_height = input.height() / 2;
+  DepthImage output(out_width, out_height, 0.0f);
+  for (int v = 0; v < out_height; ++v) {
+    for (int u = 0; u < out_width; ++u) {
+      float sum = 0.0f;
+      int valid = 0;
+      for (int dv = 0; dv < 2; ++dv) {
+        for (int du = 0; du < 2; ++du) {
+          const float z = input.at(2 * u + du, 2 * v + dv);
+          if (z > 0.0f) {
+            sum += z;
+            ++valid;
+          }
+        }
+      }
+      if (valid > 0) output.at(u, v) = sum / static_cast<float>(valid);
+    }
+  }
+  stats.add(Kernel::kPyramid,
+            static_cast<std::uint64_t>(out_width) * out_height * 4);
+  return output;
+}
+
+}  // namespace hm::kfusion

@@ -1,0 +1,34 @@
+// KFusion preprocessing: compute-size-ratio block downsampling and the
+// depth bilateral filter.
+#pragma once
+
+#include "geometry/image.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::kfusion {
+
+using hm::geometry::DepthImage;
+
+/// Block-averages the depth image down by `ratio` (1 returns a copy).
+/// Invalid input pixels (<= 0) are excluded from each block's average; a
+/// block with no valid pixel yields an invalid output pixel.
+[[nodiscard]] DepthImage downsample_depth(const DepthImage& input, int ratio,
+                                          KernelStats& stats);
+
+struct BilateralConfig {
+  int radius = 2;               ///< 5x5 window, as in KFusion.
+  double sigma_space = 1.75;    ///< Spatial Gaussian sigma (pixels).
+  double sigma_depth = 0.05;    ///< Range Gaussian sigma (meters).
+};
+
+/// Edge-preserving depth smoothing. Invalid pixels stay invalid and do not
+/// contribute to their neighbors.
+[[nodiscard]] DepthImage bilateral_filter(const DepthImage& input,
+                                          const BilateralConfig& config,
+                                          KernelStats& stats);
+
+/// Halves the resolution with a validity-aware 2x2 block average (the
+/// pyramid construction step).
+[[nodiscard]] DepthImage halve_depth(const DepthImage& input, KernelStats& stats);
+
+}  // namespace hm::kfusion

@@ -1,0 +1,72 @@
+#include "kfusion/pyramid.hpp"
+
+#include "kfusion/preprocess.hpp"
+
+namespace hm::kfusion {
+
+VertexMap depth_to_vertices(const DepthImage& depth, const Intrinsics& intrinsics,
+                            KernelStats& stats) {
+  VertexMap vertices(depth.width(), depth.height(), Vec3f{});
+  for (int v = 0; v < depth.height(); ++v) {
+    for (int u = 0; u < depth.width(); ++u) {
+      const float z = depth.at(u, v);
+      if (z <= 0.0f) continue;
+      vertices.at(u, v) =
+          hm::geometry::to_float(intrinsics.unproject(u, v, static_cast<double>(z)));
+    }
+  }
+  stats.add(Kernel::kVertexNormal, depth.size());
+  return vertices;
+}
+
+NormalMap vertices_to_normals(const VertexMap& vertices, KernelStats& stats) {
+  NormalMap normals(vertices.width(), vertices.height(), Vec3f{});
+  for (int v = 1; v + 1 < vertices.height(); ++v) {
+    for (int u = 1; u + 1 < vertices.width(); ++u) {
+      const Vec3f center = vertices.at(u, v);
+      const Vec3f left = vertices.at(u - 1, v);
+      const Vec3f right = vertices.at(u + 1, v);
+      const Vec3f up = vertices.at(u, v - 1);
+      const Vec3f down = vertices.at(u, v + 1);
+      if (center == Vec3f{} || left == Vec3f{} || right == Vec3f{} ||
+          up == Vec3f{} || down == Vec3f{}) {
+        continue;
+      }
+      const Vec3f du = right - left;
+      const Vec3f dv = down - up;
+      Vec3f n = du.cross(dv);
+      const float norm = n.norm();
+      if (norm < 1e-12f) continue;
+      n = n / norm;
+      // Orient toward the camera (camera-space origin): n . p must be < 0.
+      if (n.dot(center) > 0.0f) n = -n;
+      normals.at(u, v) = n;
+    }
+  }
+  stats.add(Kernel::kVertexNormal, vertices.size());
+  return normals;
+}
+
+std::vector<PyramidLevel> build_pyramid(const DepthImage& filtered,
+                                        const Intrinsics& intrinsics,
+                                        int level_count, KernelStats& stats) {
+  std::vector<PyramidLevel> pyramid;
+  pyramid.reserve(static_cast<std::size_t>(level_count));
+  DepthImage depth = filtered;
+  Intrinsics level_intrinsics = intrinsics;
+  for (int level = 0; level < level_count; ++level) {
+    PyramidLevel entry;
+    entry.intrinsics = level_intrinsics;
+    entry.vertices = depth_to_vertices(depth, level_intrinsics, stats);
+    entry.normals = vertices_to_normals(entry.vertices, stats);
+    entry.depth = depth;
+    pyramid.push_back(std::move(entry));
+    if (level + 1 < level_count) {
+      depth = halve_depth(depth, stats);
+      level_intrinsics = level_intrinsics.scaled(2);
+    }
+  }
+  return pyramid;
+}
+
+}  // namespace hm::kfusion

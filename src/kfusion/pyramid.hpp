@@ -1,0 +1,44 @@
+// Multi-scale depth pyramid with per-level vertex and normal maps, the
+// input representation of the ICP tracker.
+#pragma once
+
+#include <vector>
+
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::kfusion {
+
+using hm::geometry::DepthImage;
+using hm::geometry::Intrinsics;
+using hm::geometry::NormalMap;
+using hm::geometry::Vec3f;
+using hm::geometry::VertexMap;
+
+struct PyramidLevel {
+  Intrinsics intrinsics;
+  DepthImage depth;
+  VertexMap vertices;  ///< Camera-space points; zero for invalid pixels.
+  NormalMap normals;   ///< Unit normals; zero for invalid pixels.
+};
+
+/// Back-projects a depth map into a camera-space vertex map.
+[[nodiscard]] VertexMap depth_to_vertices(const DepthImage& depth,
+                                          const Intrinsics& intrinsics,
+                                          KernelStats& stats);
+
+/// Normals from central differences of the vertex map (cross product of the
+/// image-space tangents). Pixels whose neighborhood is incomplete get a
+/// zero normal.
+[[nodiscard]] NormalMap vertices_to_normals(const VertexMap& vertices,
+                                            KernelStats& stats);
+
+/// Builds `level_count` levels: level 0 is the (already filtered) input,
+/// each further level halves resolution.
+[[nodiscard]] std::vector<PyramidLevel> build_pyramid(const DepthImage& filtered,
+                                                      const Intrinsics& intrinsics,
+                                                      int level_count,
+                                                      KernelStats& stats);
+
+}  // namespace hm::kfusion

@@ -1,0 +1,90 @@
+#include "kfusion/raycast.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace hm::kfusion {
+
+RaycastResult raycast(const TsdfVolume& volume, const Intrinsics& intrinsics,
+                      const SE3& camera_to_world, double mu,
+                      const RaycastConfig& config, KernelStats& stats,
+                      hm::common::ThreadPool* pool) {
+  RaycastResult result;
+  result.vertices = VertexMap(intrinsics.width, intrinsics.height, Vec3f{});
+  result.normals = NormalMap(intrinsics.width, intrinsics.height, Vec3f{});
+
+  const double coarse_step =
+      std::max(config.step_fraction * mu, volume.voxel_size() * 0.5);
+  std::atomic<std::uint64_t> total_steps{0};
+
+  auto march_rows = [&](std::size_t row_begin, std::size_t row_end) {
+    std::uint64_t steps = 0;
+    for (std::size_t v = row_begin; v < row_end; ++v) {
+      for (int u = 0; u < intrinsics.width; ++u) {
+        const Vec3d dir_camera = intrinsics.ray_direction(u, static_cast<int>(v));
+        const double dir_norm = dir_camera.norm();
+        const Vec3d dir = camera_to_world.rotate(dir_camera / dir_norm);
+        const Vec3d origin = camera_to_world.translation;
+
+        double t = config.near_plane;
+        double previous_t = t;
+        float previous_value = 1.0f;
+        bool have_previous = false;
+        while (t < config.far_plane) {
+          ++steps;
+          const auto value = volume.sample(origin + dir * t);
+          if (!value) {
+            // Unobserved space: step a voxel at a time until re-entering
+            // known space.
+            have_previous = false;
+            t += volume.voxel_size();
+            continue;
+          }
+          if (have_previous && previous_value > 0.0f && *value <= 0.0f) {
+            // Zero crossing between previous_t and t: linear interpolation.
+            const double alpha =
+                static_cast<double>(previous_value) /
+                (static_cast<double>(previous_value) - static_cast<double>(*value));
+            const double t_hit = previous_t + alpha * (t - previous_t);
+            const Vec3d hit = origin + dir * t_hit;
+            const auto grad = volume.gradient(hit);
+            if (grad && grad->squared_norm() > 1e-12f) {
+              result.vertices.at(u, static_cast<int>(v)) =
+                  hm::geometry::to_float(hit);
+              Vec3f n = grad->normalized();
+              // TSDF increases toward free space, so the gradient already
+              // points out of the surface; orient toward the camera.
+              if (n.dot(hm::geometry::to_float(hit - origin)) > 0.0f) n = -n;
+              result.normals.at(u, static_cast<int>(v)) = n;
+            }
+            break;
+          }
+          if (have_previous && previous_value <= 0.0f) {
+            break;  // Started inside the surface; no reliable crossing.
+          }
+          previous_value = *value;
+          previous_t = t;
+          have_previous = true;
+          // Adaptive stepping: far from the surface (tsdf ~ 1) take the full
+          // coarse step; near the surface slow down for a precise crossing.
+          const double scale =
+              std::max(0.25, static_cast<double>(std::abs(*value)));
+          t += std::max(coarse_step * scale, volume.voxel_size() * 0.25);
+        }
+      }
+    }
+    total_steps.fetch_add(steps, std::memory_order_relaxed);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(0, static_cast<std::size_t>(intrinsics.height),
+                              march_rows, /*grain=*/4);
+  } else {
+    march_rows(0, static_cast<std::size_t>(intrinsics.height));
+  }
+  stats.add(Kernel::kRaycast, total_steps.load());
+  return result;
+}
+
+}  // namespace hm::kfusion

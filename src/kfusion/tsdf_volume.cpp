@@ -1,0 +1,198 @@
+#include "kfusion/tsdf_volume.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+namespace hm::kfusion {
+
+TsdfVolume::TsdfVolume(int resolution, double size)
+    : resolution_(resolution),
+      size_(size),
+      voxel_size_(size / resolution),
+      tsdf_(static_cast<std::size_t>(resolution) * resolution * resolution, 1.0f),
+      weight_(static_cast<std::size_t>(resolution) * resolution * resolution, 0.0f) {
+  assert(resolution > 0 && size > 0.0);
+}
+
+void TsdfVolume::clear() {
+  std::fill(tsdf_.begin(), tsdf_.end(), 1.0f);
+  std::fill(weight_.begin(), weight_.end(), 0.0f);
+}
+
+void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics,
+                           const SE3& camera_to_world, double mu,
+                           KernelStats& stats, hm::common::ThreadPool* pool) {
+  const SE3 world_to_camera = camera_to_world.inverse();
+  const float max_weight = 100.0f;
+  const auto mu_f = static_cast<float>(std::max(mu, voxel_size_));
+
+  // Frustum bounding box in voxel coordinates: the camera position plus the
+  // four far-plane corners at the maximum valid depth.
+  float max_depth = 0.0f;
+  for (const float z : depth) max_depth = std::max(max_depth, z);
+  if (max_depth <= 0.0f) return;
+  const double far = static_cast<double>(max_depth) + mu;
+
+  Vec3d box_min = camera_to_world.translation;
+  Vec3d box_max = camera_to_world.translation;
+  const int corners[4][2] = {{0, 0},
+                             {intrinsics.width - 1, 0},
+                             {0, intrinsics.height - 1},
+                             {intrinsics.width - 1, intrinsics.height - 1}};
+  for (const auto& corner : corners) {
+    const Vec3d p =
+        camera_to_world * (intrinsics.ray_direction(corner[0], corner[1]) * far);
+    box_min = {std::min(box_min.x, p.x), std::min(box_min.y, p.y),
+               std::min(box_min.z, p.z)};
+    box_max = {std::max(box_max.x, p.x), std::max(box_max.y, p.y),
+               std::max(box_max.z, p.z)};
+  }
+  const auto clamp_voxel = [&](double w) {
+    return std::clamp(static_cast<int>(std::floor(w / voxel_size_)), 0,
+                      resolution_ - 1);
+  };
+  const int x0 = clamp_voxel(box_min.x), x1 = clamp_voxel(box_max.x);
+  const int y0 = clamp_voxel(box_min.y), y1 = clamp_voxel(box_max.y);
+  const int z0 = clamp_voxel(box_min.z), z1 = clamp_voxel(box_max.z);
+
+  // Row-major world axes of the camera rotation for incremental transforms.
+  const auto& r = world_to_camera.rotation;
+  const Vec3d t = world_to_camera.translation;
+
+  std::atomic<std::uint64_t> visited{0};
+
+  // Single-precision camera constants for the hot loop; the incremental
+  // per-x step uses doubles for the running point to avoid drift across a
+  // 256-voxel row, but projection and the TSDF update run in float.
+  const auto fx = static_cast<float>(intrinsics.fx);
+  const auto fy = static_cast<float>(intrinsics.fy);
+  const auto cx0 = static_cast<float>(intrinsics.cx);
+  const auto cy0 = static_cast<float>(intrinsics.cy);
+  const float width_f = static_cast<float>(intrinsics.width);
+  const float height_f = static_cast<float>(intrinsics.height);
+  const float inv_mu = 1.0f / mu_f;
+  const float* depth_data = depth.data();
+  const int depth_width = intrinsics.width;
+
+  auto integrate_slices = [&](std::size_t z_begin, std::size_t z_end) {
+    std::uint64_t local_visited = 0;
+    for (std::size_t zi = z_begin; zi < z_end; ++zi) {
+      const double wz = (static_cast<double>(zi) + 0.5) * voxel_size_;
+      for (int yi = y0; yi <= y1; ++yi) {
+        const double wy = (static_cast<double>(yi) + 0.5) * voxel_size_;
+        // Camera-space point for (x0, yi, zi); stepping x adds one column of R.
+        double cxd = r(0, 0) * ((x0 + 0.5) * voxel_size_) + r(0, 1) * wy +
+                     r(0, 2) * wz + t.x;
+        double cyd = r(1, 0) * ((x0 + 0.5) * voxel_size_) + r(1, 1) * wy +
+                     r(1, 2) * wz + t.y;
+        double czd = r(2, 0) * ((x0 + 0.5) * voxel_size_) + r(2, 1) * wy +
+                     r(2, 2) * wz + t.z;
+        const double step_x = r(0, 0) * voxel_size_;
+        const double step_y = r(1, 0) * voxel_size_;
+        const double step_z = r(2, 0) * voxel_size_;
+        std::size_t base = index(x0, yi, static_cast<int>(zi));
+        for (int xi = x0; xi <= x1;
+             ++xi, cxd += step_x, cyd += step_y, czd += step_z, ++base) {
+          ++local_visited;
+          const auto cz = static_cast<float>(czd);
+          if (cz <= 1e-6f) continue;  // Behind the camera.
+          // Project; nearest-neighbor depth lookup as in KFusion.
+          const float uf = fx * static_cast<float>(cxd) / cz + cx0;
+          const float vf = fy * static_cast<float>(cyd) / cz + cy0;
+          if (uf < 0.0f || vf < 0.0f || uf >= width_f || vf >= height_f) {
+            continue;
+          }
+          const int u = static_cast<int>(uf);
+          const int v = static_cast<int>(vf);
+          const float measured =
+              depth_data[static_cast<std::size_t>(v) *
+                             static_cast<std::size_t>(depth_width) +
+                         static_cast<std::size_t>(u)];
+          if (measured <= 0.0f) continue;
+          // Signed distance along the ray, point-to-plane approximation.
+          const float sdf = measured - cz;
+          if (sdf < -mu_f) continue;  // Occluded beyond truncation.
+          const float truncated = std::min(1.0f, sdf * inv_mu);
+          float& tsdf_value = tsdf_[base];
+          float& weight_value = weight_[base];
+          tsdf_value = (tsdf_value * weight_value + truncated) /
+                       (weight_value + 1.0f);
+          weight_value = std::min(weight_value + 1.0f, max_weight);
+        }
+      }
+    }
+    visited.fetch_add(local_visited, std::memory_order_relaxed);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(static_cast<std::size_t>(z0),
+                              static_cast<std::size_t>(z1) + 1, integrate_slices,
+                              /*grain=*/2);
+  } else {
+    integrate_slices(static_cast<std::size_t>(z0),
+                     static_cast<std::size_t>(z1) + 1);
+  }
+  stats.add(Kernel::kIntegrate, visited.load());
+}
+
+std::optional<float> TsdfVolume::sample(Vec3d world) const {
+  // Convert to continuous voxel coordinates (voxel centers at +0.5).
+  const double gx = world.x / voxel_size_ - 0.5;
+  const double gy = world.y / voxel_size_ - 0.5;
+  const double gz = world.z / voxel_size_ - 0.5;
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const int z0 = static_cast<int>(std::floor(gz));
+  if (x0 < 0 || y0 < 0 || z0 < 0 || x0 + 1 >= resolution_ ||
+      y0 + 1 >= resolution_ || z0 + 1 >= resolution_) {
+    return std::nullopt;
+  }
+  const double fx = gx - x0, fy = gy - y0, fz = gz - z0;
+  double value = 0.0;
+  for (int dz = 0; dz < 2; ++dz) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        const std::size_t i = index(x0 + dx, y0 + dy, z0 + dz);
+        if (weight_[i] <= 0.0f) return std::nullopt;
+        const double w = (dx != 0 ? fx : 1.0 - fx) * (dy != 0 ? fy : 1.0 - fy) *
+                         (dz != 0 ? fz : 1.0 - fz);
+        value += w * static_cast<double>(tsdf_[i]);
+      }
+    }
+  }
+  return static_cast<float>(value);
+}
+
+std::optional<Vec3f> TsdfVolume::gradient(Vec3d world) const {
+  const double h = voxel_size_;
+  const auto xp = sample({world.x + h, world.y, world.z});
+  const auto xm = sample({world.x - h, world.y, world.z});
+  const auto yp = sample({world.x, world.y + h, world.z});
+  const auto ym = sample({world.x, world.y - h, world.z});
+  const auto zp = sample({world.x, world.y, world.z + h});
+  const auto zm = sample({world.x, world.y, world.z - h});
+  if (!xp || !xm || !yp || !ym || !zp || !zm) return std::nullopt;
+  return Vec3f{*xp - *xm, *yp - *ym, *zp - *zm};
+}
+
+float TsdfVolume::tsdf_at(int x, int y, int z) const {
+  assert(x >= 0 && y >= 0 && z >= 0 && x < resolution_ && y < resolution_ &&
+         z < resolution_);
+  return tsdf_[index(x, y, z)];
+}
+
+float TsdfVolume::weight_at(int x, int y, int z) const {
+  assert(x >= 0 && y >= 0 && z >= 0 && x < resolution_ && y < resolution_ &&
+         z < resolution_);
+  return weight_[index(x, y, z)];
+}
+
+double TsdfVolume::occupancy() const {
+  std::size_t occupied = 0;
+  for (const float w : weight_) occupied += w > 0.0f ? 1 : 0;
+  return static_cast<double>(occupied) / static_cast<double>(weight_.size());
+}
+
+}  // namespace hm::kfusion

@@ -1,0 +1,73 @@
+// Truncated signed distance function volume: the KFusion map representation.
+// Dense voxel grid over a cube [0, size]^3, each voxel holding a truncated
+// signed distance (normalized to [-1, 1] by mu) and an integration weight.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "geometry/camera.hpp"
+#include "geometry/image.hpp"
+#include "geometry/se3.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::kfusion {
+
+using hm::geometry::DepthImage;
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+class TsdfVolume {
+ public:
+  /// `resolution` voxels per axis over a cube of edge `size` meters.
+  TsdfVolume(int resolution, double size);
+
+  [[nodiscard]] int resolution() const noexcept { return resolution_; }
+  [[nodiscard]] double size() const noexcept { return size_; }
+  [[nodiscard]] double voxel_size() const noexcept { return voxel_size_; }
+
+  /// Fuses a depth map taken from `camera_to_world` into the volume using
+  /// the standard weighted-average TSDF update with truncation `mu`.
+  /// Only voxels inside the camera frustum's bounding box are visited; the
+  /// visit count is recorded in `stats` (Kernel::kIntegrate).
+  void integrate(const DepthImage& depth, const Intrinsics& intrinsics,
+                 const SE3& camera_to_world, double mu, KernelStats& stats,
+                 hm::common::ThreadPool* pool = nullptr);
+
+  /// Trilinear TSDF interpolation at a world point; nullopt outside the
+  /// volume or where any support voxel has zero weight.
+  [[nodiscard]] std::optional<float> sample(Vec3d world) const;
+
+  /// TSDF gradient (unnormalized surface normal) by central differences of
+  /// trilinear samples.
+  [[nodiscard]] std::optional<Vec3f> gradient(Vec3d world) const;
+
+  /// Raw voxel access for tests (no bounds clamping; asserts in debug).
+  [[nodiscard]] float tsdf_at(int x, int y, int z) const;
+  [[nodiscard]] float weight_at(int x, int y, int z) const;
+
+  /// Fraction of voxels with non-zero weight (diagnostics).
+  [[nodiscard]] double occupancy() const;
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t index(int x, int y, int z) const noexcept {
+    return (static_cast<std::size_t>(z) * static_cast<std::size_t>(resolution_) +
+            static_cast<std::size_t>(y)) *
+               static_cast<std::size_t>(resolution_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int resolution_;
+  double size_;
+  double voxel_size_;
+  std::vector<float> tsdf_;    ///< Normalized distance in [-1, 1].
+  std::vector<float> weight_;
+};
+
+}  // namespace hm::kfusion

@@ -1,0 +1,132 @@
+#include "rf/forest.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace hm::rf {
+
+void RandomForest::fit(const FeatureMatrix& x, std::span<const double> y,
+                       hm::common::ThreadPool* pool) {
+  assert(x.rows() == y.size());
+  const std::size_t n = x.rows();
+  train_rows_ = n;
+  trees_.assign(config_.tree_count, RegressionTree{});
+  bootstrap_indices_.assign(config_.tree_count, {});
+  if (n == 0) {
+    trees_.clear();
+    bootstrap_indices_.clear();
+    return;
+  }
+
+  const std::size_t draws = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.bootstrap_fraction *
+                                  static_cast<double>(n)));
+
+  // Pre-derive one RNG per tree from the forest seed so results are
+  // independent of scheduling order.
+  hm::common::Rng seeder(config_.seed);
+  std::vector<hm::common::Rng> tree_rngs;
+  tree_rngs.reserve(config_.tree_count);
+  for (std::size_t t = 0; t < config_.tree_count; ++t) {
+    tree_rngs.push_back(seeder.fork());
+  }
+
+  auto fit_tree = [&](std::size_t t) {
+    hm::common::Rng& rng = tree_rngs[t];
+    std::vector<std::size_t>& indices = bootstrap_indices_[t];
+    indices.resize(draws);
+    for (std::size_t i = 0; i < draws; ++i) indices[i] = rng.uniform_index(n);
+    trees_[t].fit(x, y, indices, config_.tree, rng);
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(0, config_.tree_count, fit_tree);
+  } else {
+    for (std::size_t t = 0; t < config_.tree_count; ++t) fit_tree(t);
+  }
+}
+
+double RandomForest::predict(std::span<const double> features) const {
+  assert(trained());
+  double sum = 0.0;
+  for (const RegressionTree& tree : trees_) sum += tree.predict(features);
+  return sum / static_cast<double>(trees_.size());
+}
+
+RandomForest::Prediction RandomForest::predict_with_uncertainty(
+    std::span<const double> features) const {
+  assert(trained());
+  double sum = 0.0, sum_sq = 0.0;
+  for (const RegressionTree& tree : trees_) {
+    const double p = tree.predict(features);
+    sum += p;
+    sum_sq += p * p;
+  }
+  const auto count = static_cast<double>(trees_.size());
+  Prediction out;
+  out.mean = sum / count;
+  const double variance = std::max(0.0, sum_sq / count - out.mean * out.mean);
+  out.stddev = std::sqrt(variance);
+  return out;
+}
+
+std::vector<double> RandomForest::predict_batch(
+    const FeatureMatrix& x, hm::common::ThreadPool* pool) const {
+  assert(trained());
+  std::vector<double> out(x.rows(), 0.0);
+  auto body = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = predict(x.row(i));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(0, x.rows(), body, /*grain=*/256);
+  } else {
+    body(0, x.rows());
+  }
+  return out;
+}
+
+double RandomForest::oob_rmse(const FeatureMatrix& x,
+                              std::span<const double> y) const {
+  if (!trained() || x.rows() != train_rows_) return 0.0;
+  // For each training row, average predictions of trees that never drew it.
+  std::vector<std::vector<bool>> in_bag(trees_.size(),
+                                        std::vector<bool>(train_rows_, false));
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    for (const std::size_t row : bootstrap_indices_[t]) in_bag[t][row] = true;
+  }
+  double sum_sq = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t row = 0; row < train_rows_; ++row) {
+    double sum = 0.0;
+    std::size_t votes = 0;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      if (!in_bag[t][row]) {
+        sum += trees_[t].predict(x.row(row));
+        ++votes;
+      }
+    }
+    if (votes == 0) continue;
+    const double err = sum / static_cast<double>(votes) - y[row];
+    sum_sq += err * err;
+    ++counted;
+  }
+  if (counted == 0) return 0.0;
+  return std::sqrt(sum_sq / static_cast<double>(counted));
+}
+
+std::vector<double> RandomForest::feature_importance(
+    std::size_t feature_count) const {
+  std::vector<double> importance(feature_count, 0.0);
+  for (const RegressionTree& tree : trees_) {
+    tree.accumulate_importance(importance);
+  }
+  double total = 0.0;
+  for (const double v : importance) total += v;
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+}  // namespace hm::rf

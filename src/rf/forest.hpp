@@ -1,0 +1,73 @@
+// Bagged random-forest regressor: the surrogate-model substrate of
+// HyperMapper (one forest per objective, Algorithm 1 in the paper).
+// Fitting and batch prediction parallelize across a ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "rf/matrix.hpp"
+#include "rf/tree.hpp"
+
+namespace hm::rf {
+
+struct ForestConfig {
+  std::size_t tree_count = 64;
+  TreeConfig tree;
+  /// Fraction of the training set drawn (with replacement) per tree.
+  double bootstrap_fraction = 1.0;
+  /// Seed for the forest's private generator; fitting is deterministic for a
+  /// fixed seed and config regardless of thread count.
+  std::uint64_t seed = 1;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(ForestConfig config = {}) : config_(config) {}
+
+  /// Fits `tree_count` trees on bootstrap samples of (x, y). Replaces any
+  /// previous model. Thread-safe with respect to other forests.
+  void fit(const FeatureMatrix& x, std::span<const double> y,
+           hm::common::ThreadPool* pool = nullptr);
+
+  [[nodiscard]] bool trained() const noexcept { return !trees_.empty(); }
+  [[nodiscard]] std::size_t tree_count() const noexcept { return trees_.size(); }
+  [[nodiscard]] const ForestConfig& config() const noexcept { return config_; }
+
+  /// Mean prediction across trees for one feature vector.
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Mean and across-tree standard deviation (a cheap epistemic-uncertainty
+  /// proxy used by the active-learning diagnostics).
+  struct Prediction {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  [[nodiscard]] Prediction predict_with_uncertainty(
+      std::span<const double> features) const;
+
+  /// Batch prediction over all rows of `x`, parallelized over `pool`.
+  [[nodiscard]] std::vector<double> predict_batch(
+      const FeatureMatrix& x, hm::common::ThreadPool* pool = nullptr) const;
+
+  /// Out-of-bag RMSE: each sample predicted only by trees whose bootstrap
+  /// excluded it. Returns 0 if the model is untrained or no sample is OOB.
+  [[nodiscard]] double oob_rmse(const FeatureMatrix& x,
+                                std::span<const double> y) const;
+
+  /// Impurity-based (variance-reduction) feature importance, normalized to
+  /// sum to 1 (all-zero if the forest never split).
+  [[nodiscard]] std::vector<double> feature_importance(
+      std::size_t feature_count) const;
+
+ private:
+  ForestConfig config_;
+  std::vector<RegressionTree> trees_;
+  std::vector<std::vector<std::size_t>> bootstrap_indices_;  ///< Per tree.
+  std::size_t train_rows_ = 0;
+};
+
+}  // namespace hm::rf

@@ -1,0 +1,57 @@
+// Row-major feature matrix for the regression forest. Rows are samples
+// (design-space configurations encoded as numeric features), columns are
+// features.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hm::rf {
+
+class FeatureMatrix {
+ public:
+  FeatureMatrix() = default;
+  explicit FeatureMatrix(std::size_t columns) : columns_(columns) {}
+  FeatureMatrix(std::size_t rows, std::size_t columns)
+      : columns_(columns), data_(rows * columns, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept {
+    return columns_ == 0 ? 0 : data_.size() / columns_;
+  }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_; }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  void add_row(std::span<const double> row) {
+    assert(row.size() == columns_);
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+
+  [[nodiscard]] std::span<const double> row(std::size_t i) const {
+    assert(i < rows());
+    return {data_.data() + i * columns_, columns_};
+  }
+  [[nodiscard]] std::span<double> row(std::size_t i) {
+    assert(i < rows());
+    return {data_.data() + i * columns_, columns_};
+  }
+
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    assert(r < rows() && c < columns_);
+    return data_[r * columns_ + c];
+  }
+  double& at(std::size_t r, std::size_t c) {
+    assert(r < rows() && c < columns_);
+    return data_[r * columns_ + c];
+  }
+
+  void reserve_rows(std::size_t rows) { data_.reserve(rows * columns_); }
+  void clear() { data_.clear(); }
+
+ private:
+  std::size_t columns_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hm::rf

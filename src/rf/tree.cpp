@@ -1,0 +1,200 @@
+#include "rf/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace hm::rf {
+namespace {
+
+struct SplitCandidate {
+  std::int32_t feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;        ///< Total variance reduction (weighted).
+  std::size_t left_count = 0;
+};
+
+/// Scans sorted (value, target) pairs for the split maximizing variance
+/// reduction, honoring the min_samples_leaf constraint.
+SplitCandidate best_split_on_feature(std::span<const std::pair<double, double>> sorted,
+                                     std::int32_t feature,
+                                     std::size_t min_samples_leaf) {
+  SplitCandidate best;
+  best.feature = feature;
+  const std::size_t n = sorted.size();
+  if (n < 2 * min_samples_leaf) return best;
+
+  double total_sum = 0.0;
+  for (const auto& [value, target] : sorted) total_sum += target;
+
+  double left_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    left_sum += sorted[i].second;
+    const std::size_t left_count = i + 1;
+    if (left_count < min_samples_leaf) continue;
+    if (n - left_count < min_samples_leaf) break;
+    if (sorted[i].first == sorted[i + 1].first) continue;  // No boundary here.
+    const double right_sum = total_sum - left_sum;
+    const auto nl = static_cast<double>(left_count);
+    const auto nr = static_cast<double>(n - left_count);
+    // Maximizing variance reduction == maximizing sum of per-side
+    // (sum^2 / count); the parent term is constant across candidates.
+    const double score = left_sum * left_sum / nl + right_sum * right_sum / nr;
+    if (score > best.gain) {
+      best.gain = score;
+      best.threshold = sorted[i].first + (sorted[i + 1].first - sorted[i].first) / 2.0;
+      best.left_count = left_count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void RegressionTree::fit(const FeatureMatrix& x, std::span<const double> y,
+                         std::span<const std::size_t> indices,
+                         const TreeConfig& config, hm::common::Rng& rng) {
+  assert(x.rows() == y.size());
+  nodes_.clear();
+  if (indices.empty()) {
+    nodes_.push_back(Node{});  // Single zero-valued leaf.
+    return;
+  }
+  std::vector<std::size_t> working(indices.begin(), indices.end());
+  nodes_.reserve(working.size());
+  build(x, y, working, 0, working.size(), 0, config, rng);
+}
+
+std::size_t RegressionTree::build(const FeatureMatrix& x, std::span<const double> y,
+                                  std::vector<std::size_t>& indices,
+                                  std::size_t begin, std::size_t end,
+                                  std::size_t depth, const TreeConfig& config,
+                                  hm::common::Rng& rng) {
+  const std::size_t node_index = nodes_.size();
+  nodes_.push_back(Node{});
+
+  const std::size_t count = end - begin;
+  double sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) sum += y[indices[i]];
+  const double node_mean = sum / static_cast<double>(count);
+  nodes_[node_index].value = node_mean;
+
+  double sum_sq_dev = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const double d = y[indices[i]] - node_mean;
+    sum_sq_dev += d * d;
+  }
+
+  const bool stop = depth >= config.max_depth ||
+                    count < config.min_samples_split ||
+                    sum_sq_dev <= 1e-12 * static_cast<double>(count);
+  if (stop) return node_index;
+
+  // Random feature subset without replacement.
+  const std::size_t n_features = x.columns();
+  std::size_t mtry = config.max_features;
+  if (mtry == 0) mtry = (n_features + 2) / 3;
+  mtry = std::min(std::max<std::size_t>(1, mtry), n_features);
+
+  std::vector<std::size_t> features(n_features);
+  std::iota(features.begin(), features.end(), std::size_t{0});
+  for (std::size_t i = 0; i < mtry; ++i) {
+    const std::size_t j = i + rng.uniform_index(n_features - i);
+    std::swap(features[i], features[j]);
+  }
+
+  SplitCandidate best;
+  std::vector<std::pair<double, double>> sorted;
+  sorted.reserve(count);
+  // Baseline score of the unsplit node in the same units as the scan score.
+  const double parent_score = sum * sum / static_cast<double>(count);
+  for (std::size_t f = 0; f < mtry; ++f) {
+    const std::size_t feature = features[f];
+    sorted.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      sorted.emplace_back(x.at(indices[i], feature), y[indices[i]]);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    SplitCandidate candidate = best_split_on_feature(
+        sorted, static_cast<std::int32_t>(feature), config.min_samples_leaf);
+    if (candidate.left_count != 0 && candidate.gain > best.gain) best = candidate;
+  }
+
+  if (best.left_count == 0 || best.gain <= parent_score + 1e-12) {
+    return node_index;  // No useful split found.
+  }
+
+  // Partition the index range in place around the chosen threshold.
+  const auto middle = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::size_t row) {
+        return x.at(row, static_cast<std::size_t>(best.feature)) < best.threshold;
+      });
+  const auto split =
+      static_cast<std::size_t>(middle - indices.begin());
+  if (split == begin || split == end) return node_index;  // Degenerate.
+
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  nodes_[node_index].gain = best.gain - parent_score;
+
+  const std::size_t left = build(x, y, indices, begin, split, depth + 1, config, rng);
+  const std::size_t right = build(x, y, indices, split, end, depth + 1, config, rng);
+  // `left` always equals node_index + 1 (depth-first), so only the right
+  // child index needs storing; we keep `left` and derive right from it.
+  assert(left == node_index + 1);
+  (void)left;
+  nodes_[node_index].right = static_cast<std::uint32_t>(right);
+  return node_index;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  assert(trained());
+  std::size_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[index];
+    if (node.feature == Node::kLeaf) return node.value;
+    if (features[static_cast<std::size_t>(node.feature)] < node.threshold) {
+      index = index + 1;      // Left child is stored immediately after.
+    } else {
+      index = node.right;
+    }
+  }
+}
+
+std::size_t RegressionTree::leaf_count() const noexcept {
+  std::size_t count = 0;
+  for (const Node& node : nodes_) count += node.feature == Node::kLeaf ? 1 : 0;
+  return count;
+}
+
+std::size_t RegressionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the implicit structure.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes_[index];
+    if (node.feature != Node::kLeaf) {
+      stack.emplace_back(index + 1, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+void RegressionTree::accumulate_importance(std::span<double> out) const {
+  for (const Node& node : nodes_) {
+    if (node.feature != Node::kLeaf) {
+      out[static_cast<std::size_t>(node.feature)] += node.gain;
+    }
+  }
+}
+
+}  // namespace hm::rf

@@ -1,0 +1,66 @@
+// CART regression tree with variance-reduction splits and random feature
+// subsets (the randomized decision trees of Breiman's random forest). Flat
+// node storage; prediction is an iterative descent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rf/matrix.hpp"
+
+namespace hm::rf {
+
+struct TreeConfig {
+  std::size_t max_depth = 24;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// Features tried per split; 0 means ceil(n_features / 3) — the standard
+  /// regression-forest default.
+  std::size_t max_features = 0;
+};
+
+class RegressionTree {
+ public:
+  /// Fits on the rows of `x` selected by `indices` (with multiplicity, so a
+  /// bootstrap sample is just a vector of indices with repeats).
+  void fit(const FeatureMatrix& x, std::span<const double> y,
+           std::span<const std::size_t> indices, const TreeConfig& config,
+           hm::common::Rng& rng);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const noexcept { return !nodes_.empty(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+  /// Accumulates, per feature, the total variance reduction contributed by
+  /// splits on that feature (impurity-based importance). `out` must have one
+  /// slot per feature.
+  void accumulate_importance(std::span<double> out) const;
+
+ private:
+  struct Node {
+    // Leaves have feature == kLeaf. For internal nodes, feature < threshold
+    // routes to the left child (always stored at this node's index + 1 in
+    // depth-first order); `right` holds the right child's index.
+    std::int32_t feature = kLeaf;
+    double threshold = 0.0;
+    double value = 0.0;       ///< Leaf prediction (mean of targets).
+    double gain = 0.0;        ///< Variance reduction achieved by this split.
+    std::uint32_t right = 0;  ///< Index of the right child.
+    static constexpr std::int32_t kLeaf = -1;
+  };
+
+  std::size_t build(const FeatureMatrix& x, std::span<const double> y,
+                    std::vector<std::size_t>& indices, std::size_t begin,
+                    std::size_t end, std::size_t depth, const TreeConfig& config,
+                    hm::common::Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace hm::rf

@@ -1,0 +1,167 @@
+// Glue between the SLAM substrates and the HyperMapper optimizer: the two
+// algorithmic design spaces exactly as explored in the paper (Sections
+// III-B and III-C), configuration <-> parameter-struct conversion, and
+// caching evaluators. The cache is keyed by configuration and stores the
+// device-independent measurement (ATE + kernel counts); runtime for a
+// specific device is derived on lookup, which lets multi-device experiments
+// (Fig. 3a/3b, Fig. 5) reuse evaluations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "dataset/sequence.hpp"
+#include "elasticfusion/params.hpp"
+#include "hypermapper/evaluator.hpp"
+#include "hypermapper/space.hpp"
+#include "kfusion/params.hpp"
+#include "slambench/device.hpp"
+#include "slambench/harness.hpp"
+
+namespace hm::slambench {
+
+/// The KFusion algorithmic space (cardinality 1,728,000 — "roughly
+/// 1,800,000" in the paper).
+[[nodiscard]] hm::hypermapper::DesignSpace build_kfusion_space();
+
+/// The ElasticFusion algorithmic space (cardinality 460,800 — "roughly
+/// 450,000" in the paper).
+[[nodiscard]] hm::hypermapper::DesignSpace build_elasticfusion_space();
+
+/// Conversions between optimizer configurations and parameter structs.
+/// Configurations must come from the matching space (values are snapped).
+[[nodiscard]] hm::kfusion::KFusionParams kfusion_params_from_config(
+    const hm::hypermapper::DesignSpace& space,
+    const hm::hypermapper::Configuration& config);
+[[nodiscard]] hm::hypermapper::Configuration kfusion_config_from_params(
+    const hm::hypermapper::DesignSpace& space,
+    const hm::kfusion::KFusionParams& params);
+
+[[nodiscard]] hm::elasticfusion::EFParams ef_params_from_config(
+    const hm::hypermapper::DesignSpace& space,
+    const hm::hypermapper::Configuration& config);
+[[nodiscard]] hm::hypermapper::Configuration ef_config_from_params(
+    const hm::hypermapper::DesignSpace& space,
+    const hm::elasticfusion::EFParams& params);
+
+/// Which ATE statistic drives the accuracy objective (the KFusion figures
+/// plot max ATE; the ElasticFusion table reports the mean).
+enum class AteKind { kMean, kMax };
+
+/// Device-independent evaluation cache, shareable across evaluators.
+class EvaluationCache {
+ public:
+  [[nodiscard]] bool lookup(std::uint64_t key, RunMetrics& out) const;
+  void store(std::uint64_t key, const RunMetrics& metrics);
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t misses() const { return misses_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, RunMetrics> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+/// Objectives returned by both evaluators: [0] = runtime per frame (s) on
+/// the evaluator's device, [1] = ATE (m). Both minimized.
+class KFusionEvaluator final : public hm::hypermapper::Evaluator {
+ public:
+  KFusionEvaluator(std::shared_ptr<const hm::dataset::RGBDSequence> sequence,
+                   DeviceModel device, AteKind ate_kind = AteKind::kMax,
+                   std::shared_ptr<EvaluationCache> cache = nullptr);
+
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+  [[nodiscard]] std::vector<double> evaluate(
+      const hm::hypermapper::Configuration& config) override;
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  /// Full metrics for one configuration (cached like evaluate()).
+  [[nodiscard]] RunMetrics measure(const hm::hypermapper::Configuration& config);
+
+  [[nodiscard]] const hm::hypermapper::DesignSpace& space() const {
+    return space_;
+  }
+  [[nodiscard]] const DeviceModel& device() const { return device_; }
+  [[nodiscard]] std::size_t evaluation_count() const { return evaluations_; }
+  [[nodiscard]] const std::shared_ptr<EvaluationCache>& cache() const {
+    return cache_;
+  }
+
+ private:
+  hm::hypermapper::DesignSpace space_;
+  std::shared_ptr<const hm::dataset::RGBDSequence> sequence_;
+  DeviceModel device_;
+  AteKind ate_kind_;
+  std::shared_ptr<EvaluationCache> cache_;
+  std::atomic<std::size_t> evaluations_{0};
+};
+
+/// Three-objective KFusion evaluator: [0] runtime per frame (s),
+/// [1] max ATE (m), [2] average power (W). Reproduces the
+/// runtime/accuracy/power exploration of the paper's predecessor [40],
+/// whose Pareto points (11.92 FPS at 0.65 W; 29.09 FPS under 1 W) the
+/// paper quotes in its introduction. Shares the device-independent cache
+/// with the two-objective evaluator.
+class KFusionEnergyEvaluator final : public hm::hypermapper::Evaluator {
+ public:
+  KFusionEnergyEvaluator(
+      std::shared_ptr<const hm::dataset::RGBDSequence> sequence,
+      DeviceModel device, AteKind ate_kind = AteKind::kMax,
+      std::shared_ptr<EvaluationCache> cache = nullptr);
+
+  [[nodiscard]] std::size_t objective_count() const override { return 3; }
+  [[nodiscard]] std::vector<double> evaluate(
+      const hm::hypermapper::Configuration& config) override;
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  [[nodiscard]] RunMetrics measure(const hm::hypermapper::Configuration& config);
+
+  [[nodiscard]] const hm::hypermapper::DesignSpace& space() const {
+    return space_;
+  }
+  [[nodiscard]] const DeviceModel& device() const { return device_; }
+
+ private:
+  hm::hypermapper::DesignSpace space_;
+  std::shared_ptr<const hm::dataset::RGBDSequence> sequence_;
+  DeviceModel device_;
+  AteKind ate_kind_;
+  std::shared_ptr<EvaluationCache> cache_;
+};
+
+class ElasticFusionEvaluator final : public hm::hypermapper::Evaluator {
+ public:
+  ElasticFusionEvaluator(
+      std::shared_ptr<const hm::dataset::RGBDSequence> sequence,
+      DeviceModel device, AteKind ate_kind = AteKind::kMean,
+      std::shared_ptr<EvaluationCache> cache = nullptr);
+
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+  [[nodiscard]] std::vector<double> evaluate(
+      const hm::hypermapper::Configuration& config) override;
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  [[nodiscard]] RunMetrics measure(const hm::hypermapper::Configuration& config);
+
+  [[nodiscard]] const hm::hypermapper::DesignSpace& space() const {
+    return space_;
+  }
+  [[nodiscard]] const DeviceModel& device() const { return device_; }
+  [[nodiscard]] std::size_t evaluation_count() const { return evaluations_; }
+
+ private:
+  hm::hypermapper::DesignSpace space_;
+  std::shared_ptr<const hm::dataset::RGBDSequence> sequence_;
+  DeviceModel device_;
+  AteKind ate_kind_;
+  std::shared_ptr<EvaluationCache> cache_;
+  std::atomic<std::size_t> evaluations_{0};
+};
+
+}  // namespace hm::slambench

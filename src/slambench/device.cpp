@@ -1,0 +1,155 @@
+#include "slambench/device.hpp"
+
+namespace hm::slambench {
+
+double DeviceModel::seconds(const KernelStats& stats, std::size_t frames) const {
+  double nanos = 0.0;
+  for (std::size_t k = 0; k < ns_per_op.size(); ++k) {
+    nanos += ns_per_op[k] *
+             static_cast<double>(stats.count(static_cast<Kernel>(k)));
+  }
+  return nanos * 1e-9 + frame_overhead * static_cast<double>(frames);
+}
+
+double DeviceModel::joules(const KernelStats& stats, std::size_t frames) const {
+  double nanojoules = 0.0;
+  for (std::size_t k = 0; k < nj_per_op.size(); ++k) {
+    nanojoules += nj_per_op[k] *
+                  static_cast<double>(stats.count(static_cast<Kernel>(k)));
+  }
+  return nanojoules * 1e-9 + idle_watts * seconds(stats, frames);
+}
+
+double DeviceModel::average_watts(const KernelStats& stats,
+                                  std::size_t frames) const {
+  const double runtime = seconds(stats, frames);
+  if (runtime <= 0.0) return 0.0;
+  return joules(stats, frames) / runtime;
+}
+
+DeviceModel odroid_xu3() {
+  // Mali-T628-MP6 (4-core OpenCL device), calibrated so the default KFusion
+  // configuration lands at ~6 FPS (paper, Section IV-B). Memory-bound
+  // kernels (integrate) dominate; the fixed overhead (~20 ms) models
+  // OpenCL launch + transfer costs and caps the achievable frame rate near
+  // 40 FPS, the ceiling the paper's best configuration approaches.
+  DeviceModel d;
+  d.name = "ODROID-XU3";
+  d.frame_overhead = 0.0235;
+  d.coeff(Kernel::kDownsample) = 10.0;
+  d.coeff(Kernel::kBilateral) = 28.0;
+  d.coeff(Kernel::kPyramid) = 12.0;
+  d.coeff(Kernel::kVertexNormal) = 16.0;
+  d.coeff(Kernel::kIcp) = 55.0;
+  d.coeff(Kernel::kSolve) = 30000.0;
+  d.coeff(Kernel::kIntegrate) = 15.5;
+  d.coeff(Kernel::kRaycast) = 42.0;
+  d.coeff(Kernel::kSurfelFusion) = 60.0;
+  d.coeff(Kernel::kRgbTrack) = 50.0;
+  d.coeff(Kernel::kSo3Prealign) = 45.0;
+  d.coeff(Kernel::kLoopClosure) = 40.0;
+  // Energy: calibrated so the default KFusion configuration sits near the
+  // 2 W embedded budget and light configurations approach the board's idle
+  // draw (the 0.65 W / < 1 W points quoted from [40]).
+  d.idle_watts = 0.45;
+  d.energy_coeff(Kernel::kDownsample) = 8.0;
+  d.energy_coeff(Kernel::kBilateral) = 25.0;
+  d.energy_coeff(Kernel::kPyramid) = 10.0;
+  d.energy_coeff(Kernel::kVertexNormal) = 12.0;
+  d.energy_coeff(Kernel::kIcp) = 30.0;
+  d.energy_coeff(Kernel::kSolve) = 20000.0;
+  d.energy_coeff(Kernel::kIntegrate) = 25.0;
+  d.energy_coeff(Kernel::kRaycast) = 40.0;
+  d.energy_coeff(Kernel::kSurfelFusion) = 30.0;
+  d.energy_coeff(Kernel::kRgbTrack) = 30.0;
+  d.energy_coeff(Kernel::kSo3Prealign) = 25.0;
+  d.energy_coeff(Kernel::kLoopClosure) = 20.0;
+  return d;
+}
+
+DeviceModel asus_t200ta() {
+  // Atom Z3795 with Intel HD Graphics via Beignet: weaker GPU compute but a
+  // shared-memory SoC (cheaper transfers -> lower overhead); ray-marching
+  // style divergent kernels are comparatively worse than on Mali.
+  DeviceModel d;
+  d.name = "ASUS T200TA";
+  d.frame_overhead = 0.014;
+  d.coeff(Kernel::kDownsample) = 12.0;
+  d.coeff(Kernel::kBilateral) = 34.0;
+  d.coeff(Kernel::kPyramid) = 14.0;
+  d.coeff(Kernel::kVertexNormal) = 18.0;
+  d.coeff(Kernel::kIcp) = 70.0;
+  d.coeff(Kernel::kSolve) = 22000.0;
+  d.coeff(Kernel::kIntegrate) = 13.0;
+  d.coeff(Kernel::kRaycast) = 60.0;
+  d.coeff(Kernel::kSurfelFusion) = 70.0;
+  d.coeff(Kernel::kRgbTrack) = 62.0;
+  d.coeff(Kernel::kSo3Prealign) = 55.0;
+  d.coeff(Kernel::kLoopClosure) = 48.0;
+  // Tablet-class SoC: higher idle draw than the ODROID board, similar
+  // dynamic energy per operation.
+  d.idle_watts = 1.1;
+  d.energy_coeff(Kernel::kDownsample) = 9.0;
+  d.energy_coeff(Kernel::kBilateral) = 28.0;
+  d.energy_coeff(Kernel::kPyramid) = 11.0;
+  d.energy_coeff(Kernel::kVertexNormal) = 13.0;
+  d.energy_coeff(Kernel::kIcp) = 34.0;
+  d.energy_coeff(Kernel::kSolve) = 18000.0;
+  d.energy_coeff(Kernel::kIntegrate) = 22.0;
+  d.energy_coeff(Kernel::kRaycast) = 45.0;
+  d.energy_coeff(Kernel::kSurfelFusion) = 32.0;
+  d.energy_coeff(Kernel::kRgbTrack) = 33.0;
+  d.energy_coeff(Kernel::kSo3Prealign) = 28.0;
+  d.energy_coeff(Kernel::kLoopClosure) = 22.0;
+  return d;
+}
+
+DeviceModel nvidia_gtx780ti() {
+  // Desktop discrete GPU: an order of magnitude faster on the dense
+  // kernels. Coefficients are calibrated for the ElasticFusion workload
+  // (the default configuration lands near the paper's 45 FPS); the
+  // tracking and surfel kernels carry most of the per-frame cost, as in
+  // the CUDA implementation.
+  DeviceModel d;
+  d.name = "NVIDIA GTX 780 Ti";
+  d.frame_overhead = 0.005;
+  d.coeff(Kernel::kDownsample) = 2.0;
+  d.coeff(Kernel::kBilateral) = 70.0;
+  d.coeff(Kernel::kPyramid) = 35.0;
+  d.coeff(Kernel::kVertexNormal) = 45.0;
+  d.coeff(Kernel::kIcp) = 300.0;
+  d.coeff(Kernel::kSolve) = 20000.0;
+  d.coeff(Kernel::kIntegrate) = 0.9;
+  d.coeff(Kernel::kRaycast) = 3.5;
+  d.coeff(Kernel::kSurfelFusion) = 160.0;
+  d.coeff(Kernel::kRgbTrack) = 270.0;
+  d.coeff(Kernel::kSo3Prealign) = 2200.0;
+  d.coeff(Kernel::kLoopClosure) = 90.0;
+  // Desktop GPU: the idle draw of the card + host dwarfs the dynamic energy
+  // of this workload; power is not a binding constraint on this platform,
+  // matching the paper's framing (power only matters embedded).
+  d.idle_watts = 68.0;
+  d.energy_coeff(Kernel::kDownsample) = 20.0;
+  d.energy_coeff(Kernel::kBilateral) = 300.0;
+  d.energy_coeff(Kernel::kPyramid) = 150.0;
+  d.energy_coeff(Kernel::kVertexNormal) = 180.0;
+  d.energy_coeff(Kernel::kIcp) = 900.0;
+  d.energy_coeff(Kernel::kSolve) = 50000.0;
+  d.energy_coeff(Kernel::kIntegrate) = 4.0;
+  d.energy_coeff(Kernel::kRaycast) = 15.0;
+  d.energy_coeff(Kernel::kSurfelFusion) = 500.0;
+  d.energy_coeff(Kernel::kRgbTrack) = 800.0;
+  d.energy_coeff(Kernel::kSo3Prealign) = 5000.0;
+  d.energy_coeff(Kernel::kLoopClosure) = 300.0;
+  return d;
+}
+
+DeviceModel device_by_name(const std::string& name) {
+  if (name == "asus" || name == "ASUS" || name == "t200ta") return asus_t200ta();
+  if (name == "nvidia" || name == "gtx780ti" || name == "desktop") {
+    return nvidia_gtx780ti();
+  }
+  return odroid_xu3();
+}
+
+}  // namespace hm::slambench

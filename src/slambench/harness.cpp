@@ -1,0 +1,55 @@
+#include "slambench/harness.hpp"
+
+#include "common/timer.hpp"
+#include "elasticfusion/pipeline.hpp"
+#include "kfusion/pipeline.hpp"
+
+namespace hm::slambench {
+
+RunMetrics run_kfusion(const hm::dataset::RGBDSequence& sequence,
+                       const hm::kfusion::KFusionParams& params,
+                       hm::common::ThreadPool* pool) {
+  RunMetrics metrics;
+  metrics.frames = sequence.frame_count();
+  if (metrics.frames == 0) return metrics;
+
+  hm::common::Timer timer;
+  hm::kfusion::KFusionPipeline pipeline(params, sequence.intrinsics(),
+                                        sequence.frame(0).ground_truth_pose,
+                                        pool);
+  for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
+    const auto frame_result = pipeline.process_frame(sequence.frame(i).depth);
+    if (frame_result.tracking_attempted && !frame_result.tracked) {
+      ++metrics.tracking_failures;
+    }
+  }
+  metrics.wall_seconds = timer.seconds();
+  metrics.stats = pipeline.stats();
+  metrics.ate = compute_ate(pipeline.trajectory(), sequence.ground_truth());
+  return metrics;
+}
+
+RunMetrics run_elasticfusion(const hm::dataset::RGBDSequence& sequence,
+                             const hm::elasticfusion::EFParams& params) {
+  RunMetrics metrics;
+  metrics.frames = sequence.frame_count();
+  if (metrics.frames == 0) return metrics;
+
+  hm::common::Timer timer;
+  hm::elasticfusion::ElasticFusionPipeline pipeline(
+      params, sequence.intrinsics(), sequence.frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
+    const auto& frame = sequence.frame(i);
+    const auto frame_result =
+        pipeline.process_frame(frame.depth, frame.intensity);
+    if (!frame_result.tracked) ++metrics.tracking_failures;
+  }
+  metrics.wall_seconds = timer.seconds();
+  metrics.stats = pipeline.stats();
+  metrics.relocalizations = pipeline.relocalization_count();
+  metrics.loop_closures = pipeline.loop_closure_count();
+  metrics.ate = compute_ate(pipeline.trajectory(), sequence.ground_truth());
+  return metrics;
+}
+
+}  // namespace hm::slambench

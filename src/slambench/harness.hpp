@@ -1,0 +1,40 @@
+// The benchmark harness: runs a SLAM pipeline over an RGB-D sequence and
+// collects the two performance metrics the paper's exploration is driven by
+// (runtime via the device cost model, and ATE against ground truth).
+#pragma once
+
+#include <cstddef>
+
+#include "common/thread_pool.hpp"
+#include "dataset/sequence.hpp"
+#include "elasticfusion/params.hpp"
+#include "kfusion/kernel_stats.hpp"
+#include "kfusion/params.hpp"
+#include "slambench/device.hpp"
+#include "slambench/metrics.hpp"
+
+namespace hm::slambench {
+
+/// Everything measured from one end-to-end run. Runtime on a specific
+/// device is derived from `stats` with DeviceModel::seconds().
+struct RunMetrics {
+  TrajectoryError ate;
+  KernelStats stats;
+  std::size_t frames = 0;
+  double wall_seconds = 0.0;       ///< Host wall-clock, for validation only.
+  std::size_t tracking_failures = 0;
+  std::size_t relocalizations = 0;   ///< ElasticFusion only.
+  std::size_t loop_closures = 0;     ///< ElasticFusion only.
+};
+
+/// Runs KFusion with the given parameters over the whole sequence.
+[[nodiscard]] RunMetrics run_kfusion(const hm::dataset::RGBDSequence& sequence,
+                                     const hm::kfusion::KFusionParams& params,
+                                     hm::common::ThreadPool* pool = nullptr);
+
+/// Runs ElasticFusion with the given parameters over the whole sequence.
+[[nodiscard]] RunMetrics run_elasticfusion(
+    const hm::dataset::RGBDSequence& sequence,
+    const hm::elasticfusion::EFParams& params);
+
+}  // namespace hm::slambench

@@ -1,0 +1,208 @@
+#include "slambench/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace hm::slambench {
+
+using hm::geometry::Mat3d;
+using hm::geometry::Vec3d;
+
+TrajectoryError compute_ate(std::span<const SE3> estimated,
+                            std::span<const SE3> ground_truth) {
+  assert(estimated.size() == ground_truth.size());
+  TrajectoryError error;
+  error.frames = estimated.size();
+  if (estimated.empty()) return error;
+  double sum = 0.0, sum_sq = 0.0;
+  for (std::size_t i = 0; i < estimated.size(); ++i) {
+    const double e =
+        (estimated[i].translation - ground_truth[i].translation).norm();
+    sum += e;
+    sum_sq += e * e;
+    error.max = std::max(error.max, e);
+  }
+  const auto n = static_cast<double>(estimated.size());
+  error.mean = sum / n;
+  error.rmse = std::sqrt(sum_sq / n);
+  error.final_drift =
+      (estimated.back().translation - ground_truth.back().translation).norm();
+  return error;
+}
+
+namespace {
+
+/// Jacobi eigenvalue iteration for a symmetric 4x4 matrix; returns the
+/// eigenvector of the largest eigenvalue.
+std::array<double, 4> dominant_eigenvector_sym4(std::array<double, 16> a) {
+  std::array<double, 16> v{};
+  for (int i = 0; i < 4; ++i) v[static_cast<std::size_t>(i * 4 + i)] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    // Largest off-diagonal element.
+    int p = 0, q = 1;
+    double off_max = 0.0;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        const double value = std::abs(a[static_cast<std::size_t>(i * 4 + j)]);
+        if (value > off_max) {
+          off_max = value;
+          p = i;
+          q = j;
+        }
+      }
+    }
+    if (off_max < 1e-14) break;
+
+    const double app = a[static_cast<std::size_t>(p * 4 + p)];
+    const double aqq = a[static_cast<std::size_t>(q * 4 + q)];
+    const double apq = a[static_cast<std::size_t>(p * 4 + q)];
+    const double theta = (aqq - app) / (2.0 * apq);
+    const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                     (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+    const double c = 1.0 / std::sqrt(t * t + 1.0);
+    const double s = t * c;
+
+    for (int k = 0; k < 4; ++k) {
+      const double akp = a[static_cast<std::size_t>(k * 4 + p)];
+      const double akq = a[static_cast<std::size_t>(k * 4 + q)];
+      a[static_cast<std::size_t>(k * 4 + p)] = c * akp - s * akq;
+      a[static_cast<std::size_t>(k * 4 + q)] = s * akp + c * akq;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const double apk = a[static_cast<std::size_t>(p * 4 + k)];
+      const double aqk = a[static_cast<std::size_t>(q * 4 + k)];
+      a[static_cast<std::size_t>(p * 4 + k)] = c * apk - s * aqk;
+      a[static_cast<std::size_t>(q * 4 + k)] = s * apk + c * aqk;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const double vkp = v[static_cast<std::size_t>(k * 4 + p)];
+      const double vkq = v[static_cast<std::size_t>(k * 4 + q)];
+      v[static_cast<std::size_t>(k * 4 + p)] = c * vkp - s * vkq;
+      v[static_cast<std::size_t>(k * 4 + q)] = s * vkp + c * vkq;
+    }
+  }
+
+  int best = 0;
+  for (int i = 1; i < 4; ++i) {
+    if (a[static_cast<std::size_t>(i * 4 + i)] >
+        a[static_cast<std::size_t>(best * 4 + best)]) {
+      best = i;
+    }
+  }
+  return {v[static_cast<std::size_t>(0 * 4 + best)],
+          v[static_cast<std::size_t>(1 * 4 + best)],
+          v[static_cast<std::size_t>(2 * 4 + best)],
+          v[static_cast<std::size_t>(3 * 4 + best)]};
+}
+
+Mat3d quaternion_to_matrix(double w, double x, double y, double z) {
+  Mat3d m;
+  m(0, 0) = 1 - 2 * (y * y + z * z);
+  m(0, 1) = 2 * (x * y - w * z);
+  m(0, 2) = 2 * (x * z + w * y);
+  m(1, 0) = 2 * (x * y + w * z);
+  m(1, 1) = 1 - 2 * (x * x + z * z);
+  m(1, 2) = 2 * (y * z - w * x);
+  m(2, 0) = 2 * (x * z - w * y);
+  m(2, 1) = 2 * (y * z + w * x);
+  m(2, 2) = 1 - 2 * (x * x + y * y);
+  return m;
+}
+
+}  // namespace
+
+SE3 align_trajectories(std::span<const SE3> estimated,
+                       std::span<const SE3> ground_truth) {
+  assert(estimated.size() == ground_truth.size());
+  SE3 identity;
+  if (estimated.size() < 3) return identity;
+
+  const auto n = static_cast<double>(estimated.size());
+  Vec3d centroid_est{}, centroid_gt{};
+  for (std::size_t i = 0; i < estimated.size(); ++i) {
+    centroid_est += estimated[i].translation;
+    centroid_gt += ground_truth[i].translation;
+  }
+  centroid_est = centroid_est / n;
+  centroid_gt = centroid_gt / n;
+
+  // Cross-covariance of centered positions.
+  Mat3d cov{};
+  for (std::size_t i = 0; i < estimated.size(); ++i) {
+    const Vec3d a = estimated[i].translation - centroid_est;
+    const Vec3d b = ground_truth[i].translation - centroid_gt;
+    cov(0, 0) += a.x * b.x; cov(0, 1) += a.x * b.y; cov(0, 2) += a.x * b.z;
+    cov(1, 0) += a.y * b.x; cov(1, 1) += a.y * b.y; cov(1, 2) += a.y * b.z;
+    cov(2, 0) += a.z * b.x; cov(2, 1) += a.z * b.y; cov(2, 2) += a.z * b.z;
+  }
+
+  // Horn's closed form: the optimal rotation is the dominant eigenvector of
+  // the 4x4 matrix built from the cross-covariance.
+  const double sxx = cov(0, 0), sxy = cov(0, 1), sxz = cov(0, 2);
+  const double syx = cov(1, 0), syy = cov(1, 1), syz = cov(1, 2);
+  const double szx = cov(2, 0), szy = cov(2, 1), szz = cov(2, 2);
+  const std::array<double, 16> horn = {
+      sxx + syy + szz, syz - szy,        szx - sxz,        sxy - syx,
+      syz - szy,       sxx - syy - szz,  sxy + syx,        szx + sxz,
+      szx - sxz,       sxy + syx,        -sxx + syy - szz, syz + szy,
+      sxy - syx,       szx + sxz,        syz + szy,        -sxx - syy + szz};
+  const auto quat = dominant_eigenvector_sym4(horn);
+  const double norm = std::sqrt(quat[0] * quat[0] + quat[1] * quat[1] +
+                                quat[2] * quat[2] + quat[3] * quat[3]);
+  if (norm < 1e-12) return identity;
+
+  SE3 alignment;
+  alignment.rotation = quaternion_to_matrix(quat[0] / norm, quat[1] / norm,
+                                            quat[2] / norm, quat[3] / norm);
+  alignment.translation = centroid_gt - alignment.rotation * centroid_est;
+  return alignment;
+}
+
+RelativePoseError compute_rpe(std::span<const SE3> estimated,
+                              std::span<const SE3> ground_truth,
+                              std::size_t delta) {
+  assert(estimated.size() == ground_truth.size());
+  RelativePoseError error;
+  if (delta == 0 || estimated.size() <= delta) return error;
+
+  double translation_sum = 0.0, translation_sum_sq = 0.0;
+  double rotation_sum = 0.0, rotation_sum_sq = 0.0;
+  for (std::size_t i = 0; i + delta < estimated.size(); ++i) {
+    // Relative motions over the window in each trajectory, then their
+    // discrepancy E = (Q_i^-1 Q_{i+d})^-1 (P_i^-1 P_{i+d}).
+    const SE3 gt_motion = ground_truth[i].inverse() * ground_truth[i + delta];
+    const SE3 est_motion = estimated[i].inverse() * estimated[i + delta];
+    const SE3 discrepancy = gt_motion.inverse() * est_motion;
+    const double t = discrepancy.translation.norm();
+    const double r = hm::geometry::so3_log(discrepancy.rotation).norm();
+    translation_sum += t;
+    translation_sum_sq += t * t;
+    rotation_sum += r;
+    rotation_sum_sq += r * r;
+    error.translation_max = std::max(error.translation_max, t);
+    ++error.windows;
+  }
+  const auto n = static_cast<double>(error.windows);
+  error.translation_mean = translation_sum / n;
+  error.translation_rmse = std::sqrt(translation_sum_sq / n);
+  error.rotation_mean = rotation_sum / n;
+  error.rotation_rmse = std::sqrt(rotation_sum_sq / n);
+  return error;
+}
+
+TrajectoryError compute_aligned_ate(std::span<const SE3> estimated,
+                                    std::span<const SE3> ground_truth) {
+  const SE3 alignment = align_trajectories(estimated, ground_truth);
+  std::vector<SE3> aligned(estimated.begin(), estimated.end());
+  for (SE3& pose : aligned) {
+    pose.translation = alignment * pose.translation;
+    pose.rotation = alignment.rotation * pose.rotation;
+  }
+  return compute_ate(aligned, ground_truth);
+}
+
+}  // namespace hm::slambench

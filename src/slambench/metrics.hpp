@@ -1,0 +1,56 @@
+// Trajectory accuracy metrics, after SLAMBench: the absolute trajectory
+// error (ATE) between an estimated and a ground-truth trajectory, plus an
+// optional Umeyama rigid alignment for trajectories with free gauge.
+#pragma once
+
+#include <span>
+
+#include "geometry/se3.hpp"
+
+namespace hm::slambench {
+
+using hm::geometry::SE3;
+
+struct TrajectoryError {
+  double mean = 0.0;   ///< Mean translational error (m) — SLAMBench's ATE.
+  double max = 0.0;    ///< Max translational error (m) — Fig. 3's axis.
+  double rmse = 0.0;
+  double final_drift = 0.0;  ///< Error at the last frame.
+  std::size_t frames = 0;
+};
+
+/// Per-frame translational ATE. Trajectories must have equal length; the
+/// estimate is compared in the ground-truth frame directly (SLAMBench seeds
+/// the first pose from ground truth, so no alignment is applied).
+[[nodiscard]] TrajectoryError compute_ate(std::span<const SE3> estimated,
+                                          std::span<const SE3> ground_truth);
+
+/// Rigid (rotation + translation, no scale) least-squares alignment of the
+/// estimated trajectory's positions onto the ground truth's (Umeyama /
+/// Horn). Returns the transform to apply to estimated positions. Useful for
+/// systems that do not share the ground-truth gauge.
+[[nodiscard]] SE3 align_trajectories(std::span<const SE3> estimated,
+                                     std::span<const SE3> ground_truth);
+
+/// ATE after applying align_trajectories to the estimate.
+[[nodiscard]] TrajectoryError compute_aligned_ate(std::span<const SE3> estimated,
+                                                  std::span<const SE3> ground_truth);
+
+/// Relative pose error over a fixed frame interval (Sturm et al.): the
+/// local drift metric SLAMBench's successors report alongside the ATE.
+/// For each i, compares the estimated motion over [i, i+delta] with the
+/// ground-truth motion over the same window.
+struct RelativePoseError {
+  double translation_rmse = 0.0;  ///< Meters per window.
+  double translation_mean = 0.0;
+  double translation_max = 0.0;
+  double rotation_rmse = 0.0;     ///< Radians per window.
+  double rotation_mean = 0.0;
+  std::size_t windows = 0;
+};
+
+[[nodiscard]] RelativePoseError compute_rpe(std::span<const SE3> estimated,
+                                            std::span<const SE3> ground_truth,
+                                            std::size_t delta = 1);
+
+}  // namespace hm::slambench

@@ -1,0 +1,64 @@
+#include "slambench/transfer.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "common/stats.hpp"
+
+namespace hm::slambench {
+
+std::vector<double> runtimes_on_device(std::span<const RunMetrics> metrics,
+                                       const DeviceModel& device) {
+  std::vector<double> runtimes;
+  runtimes.reserve(metrics.size());
+  for (const RunMetrics& m : metrics) {
+    runtimes.push_back(device.seconds_per_frame(m.stats, m.frames));
+  }
+  return runtimes;
+}
+
+TransferAnalysis analyze_transfer(std::span<const RunMetrics> metrics,
+                                  std::span<const double> ate,
+                                  const RunMetrics& default_metrics,
+                                  const DeviceModel& source,
+                                  const DeviceModel& target,
+                                  double validity_limit) {
+  assert(metrics.size() == ate.size());
+  TransferAnalysis analysis;
+  if (metrics.empty()) return analysis;
+
+  const std::vector<double> source_runtimes = runtimes_on_device(metrics, source);
+  const std::vector<double> target_runtimes = runtimes_on_device(metrics, target);
+  analysis.pearson = hm::common::pearson(source_runtimes, target_runtimes);
+  analysis.spearman = hm::common::spearman(source_runtimes, target_runtimes);
+
+  // Fastest valid configuration according to each machine.
+  std::size_t source_best = metrics.size();
+  std::size_t target_best = metrics.size();
+  double source_best_runtime = std::numeric_limits<double>::infinity();
+  double target_best_runtime = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (ate[i] >= validity_limit) continue;
+    if (source_runtimes[i] < source_best_runtime) {
+      source_best_runtime = source_runtimes[i];
+      source_best = i;
+    }
+    if (target_runtimes[i] < target_best_runtime) {
+      target_best_runtime = target_runtimes[i];
+      target_best = i;
+    }
+  }
+  if (source_best == metrics.size() || target_best == metrics.size()) {
+    return analysis;  // No valid configuration: regret stays 0.
+  }
+
+  analysis.transfer_regret =
+      target_runtimes[source_best] / target_runtimes[target_best];
+  const double target_default =
+      target.seconds_per_frame(default_metrics.stats, default_metrics.frames);
+  analysis.transferred_speedup =
+      target_default / target_runtimes[source_best];
+  return analysis;
+}
+
+}  // namespace hm::slambench

@@ -1,0 +1,44 @@
+// Cross-machine configuration-transfer analysis (paper, Section IV-D):
+// the crowd-sourcing result rests on a strong Pearson/Spearman correlation
+// between per-configuration runtimes on *similar* machines [43], and the
+// paper notes that zero-shot transfer breaks down between fundamentally
+// different machines. These tools quantify both effects from a single set
+// of device-independent measurements.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "slambench/device.hpp"
+#include "slambench/harness.hpp"
+
+namespace hm::slambench {
+
+struct TransferAnalysis {
+  double pearson = 0.0;    ///< Correlation of per-config runtimes.
+  double spearman = 0.0;   ///< Rank correlation (config ordering agreement).
+  /// Zero-shot quality: runtime of the source machine's fastest *valid*
+  /// configuration when executed on the target, divided by the runtime of
+  /// the target's own fastest valid configuration (>= 1; 1 = perfect
+  /// transfer). 0 when no valid configuration exists.
+  double transfer_regret = 0.0;
+  /// Speedup over the target's default-config runtime achieved by the
+  /// source-selected configuration on the target.
+  double transferred_speedup = 0.0;
+};
+
+/// Analyzes transfer from `source` to `target` over a measured sample set.
+/// `metrics[i]` is the device-independent measurement of configuration i;
+/// `ate[i]` its accuracy value; configurations with ate < `validity_limit`
+/// are eligible for selection. `default_metrics` is the default config's
+/// measurement (for the speedup).
+[[nodiscard]] TransferAnalysis analyze_transfer(
+    std::span<const RunMetrics> metrics, std::span<const double> ate,
+    const RunMetrics& default_metrics, const DeviceModel& source,
+    const DeviceModel& target, double validity_limit = 0.05);
+
+/// Per-configuration runtimes on a device (helper for correlation plots).
+[[nodiscard]] std::vector<double> runtimes_on_device(
+    std::span<const RunMetrics> metrics, const DeviceModel& device);
+
+}  // namespace hm::slambench

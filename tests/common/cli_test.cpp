@@ -1,0 +1,89 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hm::common {
+namespace {
+
+CliArgs make_args(std::vector<const char*> argv,
+                  std::vector<std::string> flags = {}) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), std::move(flags));
+}
+
+TEST(Cli, SpaceSeparatedValue) {
+  const CliArgs args = make_args({"--device", "odroid"});
+  EXPECT_EQ(args.get("device"), std::optional<std::string>{"odroid"});
+}
+
+TEST(Cli, EqualsSeparatedValue) {
+  const CliArgs args = make_args({"--frames=120"});
+  EXPECT_EQ(args.get_or("frames", std::int64_t{0}), 120);
+}
+
+TEST(Cli, KnownFlagConsumesNoValue) {
+  const CliArgs args = make_args({"--paper-scale", "positional"},
+                                 {"paper-scale"});
+  EXPECT_TRUE(args.flag("paper-scale"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional().front(), "positional");
+}
+
+TEST(Cli, FlagAtEndOfArgv) {
+  const CliArgs args = make_args({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+}
+
+TEST(Cli, FlagFollowedByOption) {
+  const CliArgs args = make_args({"--quick", "--frames", "10"});
+  EXPECT_TRUE(args.has("quick"));
+  EXPECT_EQ(args.get_or("frames", std::int64_t{0}), 10);
+}
+
+TEST(Cli, MissingOptionUsesFallback) {
+  const CliArgs args = make_args({});
+  EXPECT_EQ(args.get_or("frames", std::int64_t{42}), 42);
+  EXPECT_DOUBLE_EQ(args.get_or("mu", 0.1), 0.1);
+  EXPECT_EQ(args.get_or("device", std::string("odroid")), "odroid");
+}
+
+TEST(Cli, NumericParseFailureUsesFallback) {
+  const CliArgs args = make_args({"--frames", "abc"});
+  EXPECT_EQ(args.get_or("frames", std::int64_t{7}), 7);
+}
+
+TEST(Cli, DoubleParsing) {
+  const CliArgs args = make_args({"--mu", "0.25"});
+  EXPECT_DOUBLE_EQ(args.get_or("mu", 0.0), 0.25);
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliArgs args = make_args({"input.csv", "--n", "3", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Cli, UnknownReportsUnconsumedOptions) {
+  const CliArgs args = make_args({"--used", "1", "--typo", "2"});
+  EXPECT_EQ(args.get_or("used", std::int64_t{0}), 1);
+  const auto unknown = args.unknown();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown.front(), "typo");
+}
+
+TEST(Cli, HasMarksConsumed) {
+  const CliArgs args = make_args({"--check", "yes"});
+  EXPECT_TRUE(args.has("check"));
+  EXPECT_TRUE(args.unknown().empty());
+}
+
+TEST(Cli, LastDuplicateWins) {
+  const CliArgs args = make_args({"--n", "1", "--n", "2"});
+  EXPECT_EQ(args.get_or("n", std::int64_t{0}), 2);
+}
+
+}  // namespace
+}  // namespace hm::common

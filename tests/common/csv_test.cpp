@@ -1,0 +1,146 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace hm::common {
+namespace {
+
+CsvTable sample_table() {
+  CsvTable table({"name", "value", "note"});
+  table.add_row({"alpha", "1.5", "plain"});
+  table.add_row({"beta", "-2", "has,comma"});
+  table.add_row({"gamma", "3e-4", "has \"quotes\""});
+  table.add_row({"delta", "nan-ish", "multi\nline"});
+  return table;
+}
+
+TEST(Csv, HeaderAndShape) {
+  const CsvTable table = sample_table();
+  EXPECT_EQ(table.column_count(), 3u);
+  EXPECT_EQ(table.row_count(), 4u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(Csv, ColumnLookup) {
+  const CsvTable table = sample_table();
+  EXPECT_EQ(table.column("value"), std::optional<std::size_t>{1});
+  EXPECT_EQ(table.column("missing"), std::nullopt);
+}
+
+TEST(Csv, RoundTripThroughText) {
+  const CsvTable table = sample_table();
+  const std::string text = to_csv(table);
+  const auto parsed = parse_csv(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->row_count(), table.row_count());
+  ASSERT_EQ(parsed->column_count(), table.column_count());
+  for (std::size_t r = 0; r < table.row_count(); ++r) {
+    for (std::size_t c = 0; c < table.column_count(); ++c) {
+      EXPECT_EQ(parsed->cell(r, c), table.cell(r, c)) << r << "," << c;
+    }
+  }
+}
+
+TEST(Csv, QuotingOnlyWhenNeeded) {
+  CsvTable table({"a", "b"});
+  table.add_row({"plain", "with,comma"});
+  const std::string text = to_csv(table);
+  EXPECT_NE(text.find("plain,\"with,comma\""), std::string::npos);
+}
+
+TEST(Csv, ParsesCrLfLineEndings) {
+  const auto parsed = parse_csv("a,b\r\n1,2\r\n3,4\r\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->row_count(), 2u);
+  EXPECT_EQ(parsed->cell(1, 1), "4");
+}
+
+TEST(Csv, ParsesEmbeddedNewlineInQuotes) {
+  const auto parsed = parse_csv("a,b\n\"x\ny\",2\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell(0, 0), "x\ny");
+}
+
+TEST(Csv, ParsesEscapedQuotes) {
+  const auto parsed = parse_csv("a\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cell(0, 0), "say \"hi\"");
+}
+
+TEST(Csv, RejectsRaggedRows) {
+  EXPECT_EQ(parse_csv("a,b\n1,2,3\n"), std::nullopt);
+  EXPECT_EQ(parse_csv("a,b\n1\n"), std::nullopt);
+}
+
+TEST(Csv, RejectsUnterminatedQuote) {
+  EXPECT_EQ(parse_csv("a\n\"oops\n"), std::nullopt);
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  EXPECT_EQ(parse_csv(""), std::nullopt);
+}
+
+TEST(Csv, HeaderOnlyIsValidEmptyTable) {
+  const auto parsed = parse_csv("a,b\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->row_count(), 0u);
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Csv, CellAsDouble) {
+  CsvTable table({"x"});
+  table.add_row({"2.5"});
+  table.add_row({"abc"});
+  table.add_row({"1e3"});
+  EXPECT_EQ(table.cell_as_double(0, 0), std::optional<double>{2.5});
+  EXPECT_EQ(table.cell_as_double(1, 0), std::nullopt);
+  EXPECT_EQ(table.cell_as_double(2, 0), std::optional<double>{1000.0});
+}
+
+TEST(Csv, ColumnAsDoublesUsesZeroForUnparsable) {
+  CsvTable table({"x"});
+  table.add_row({"1"});
+  table.add_row({"oops"});
+  table.add_row({"3"});
+  const std::vector<double> values = table.column_as_doubles(0);
+  EXPECT_EQ(values, (std::vector<double>{1.0, 0.0, 3.0}));
+}
+
+TEST(Csv, FileRoundTrip) {
+  const CsvTable table = sample_table();
+  const std::string path = ::testing::TempDir() + "/hm_csv_test.csv";
+  ASSERT_TRUE(write_csv_file(path, table));
+  const auto loaded = read_csv_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->row_count(), table.row_count());
+  EXPECT_EQ(loaded->cell(2, 2), "has \"quotes\"");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileFails) {
+  EXPECT_EQ(read_csv_file("/nonexistent/dir/file.csv"), std::nullopt);
+}
+
+class FormatDoubleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatDoubleTest, RoundTripsExactly) {
+  const double value = GetParam();
+  const std::string text = format_double(value);
+  EXPECT_EQ(std::stod(text), value) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, FormatDoubleTest,
+    ::testing::Values(0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 1e-300, 1e300, 6.6e-5,
+                      123456.789, -0.000125, 2.5e17));
+
+TEST(FormatDouble, PrefersShortRepresentation) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace hm::common

@@ -1,0 +1,202 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace hm::common {
+namespace {
+
+TEST(SplitMix64, AdvancesStateAndMixes) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = splitmix64_next(state);
+  const std::uint64_t second = splitmix64_next(state);
+  EXPECT_NE(first, second);
+  EXPECT_NE(state, 0u);
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(rng());
+  rng.reseed(77);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.5, 7.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 7.25);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+  Rng rng(8);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+class RngIndexTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngIndexTest, WithinBoundsAndCoversAllValues) {
+  const std::uint64_t n = GetParam();
+  Rng rng(42 + n);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t value = rng.uniform_index(n);
+    ASSERT_LT(value, n);
+    seen.insert(value);
+  }
+  if (n <= 16) EXPECT_EQ(seen.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RngIndexTest,
+                         ::testing::Values(2, 3, 7, 10, 16, 1000, 1 << 20));
+
+TEST(Rng, UniformIndexApproximatelyUniform) {
+  Rng rng(11);
+  constexpr std::uint64_t kBuckets = 10;
+  std::array<int, kBuckets> counts{};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.uniform_index(kBuckets)];
+  for (const int count : counts) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(12);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -2;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  constexpr int kSamples = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kSamples, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kSamples, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaledMoments) {
+  Rng rng(14);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kSamples; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kSamples, 5.0, 0.05);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(15);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, ForkDecorrelatesFromParent) {
+  Rng parent(16);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += parent() == child() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForksAreMutuallyDecorrelated) {
+  Rng parent(17);
+  Rng a = parent.fork();
+  Rng b = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a() == b() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Rng rng(18);
+  std::vector<int> values(100);
+  std::iota(values.begin(), values.end(), 0);
+  std::vector<int> shuffled = values;
+  shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_TRUE(std::is_permutation(values.begin(), values.end(), shuffled.begin()));
+  EXPECT_NE(values, shuffled);  // Astronomically unlikely to be identity.
+}
+
+TEST(Shuffle, DeterministicForFixedSeed) {
+  std::vector<int> a(50), b(50);
+  std::iota(a.begin(), a.end(), 0);
+  std::iota(b.begin(), b.end(), 0);
+  Rng rng_a(19), rng_b(19);
+  shuffle(a.begin(), a.end(), rng_a);
+  shuffle(b.begin(), b.end(), rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Shuffle, EmptyAndSingleElement) {
+  Rng rng(20);
+  std::vector<int> empty;
+  shuffle(empty.begin(), empty.end(), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one.front(), 42);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_EQ(Rng::min(), 0u);
+  EXPECT_EQ(Rng::max(), ~0ULL);
+}
+
+}  // namespace
+}  // namespace hm::common

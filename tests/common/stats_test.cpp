@@ -1,0 +1,179 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hm::common {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, SampleVariance) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(v), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, VarianceOfSingleValueIsZero) {
+  const std::vector<double> v{3.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Stats, QuantileClampsOutOfRangeQ) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 2.0), 2.0);
+}
+
+TEST(Stats, SummarizeKnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p25, 2.0);
+  EXPECT_DOUBLE_EQ(s.p75, 4.0);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Pearson, PerfectPositiveCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{10, 20, 30, 40};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegativeCorrelation) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideYieldsZero) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(1);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Ranks, SimpleOrdering) {
+  const std::vector<double> v{30, 10, 20};
+  const std::vector<double> r = ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+}
+
+TEST(Ranks, TiesShareAverageRank) {
+  const std::vector<double> v{1, 2, 2, 3};
+  const std::vector<double> r = ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Spearman, MonotonicNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 50; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.1 * i));  // Monotonic but nonlinear.
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(-i * i * 1.0);
+  }
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(RSquared, PerfectPrediction) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(truth, truth), 1.0);
+}
+
+TEST(RSquared, MeanPredictionIsZero) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  const std::vector<double> predicted{2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(truth, predicted), 0.0, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative) {
+  const std::vector<double> truth{1, 2, 3, 4};
+  const std::vector<double> predicted{4, 3, 2, 1};
+  EXPECT_LT(r_squared(truth, predicted), 0.0);
+}
+
+TEST(ErrorMetrics, RmseAndMaeKnown) {
+  const std::vector<double> truth{0, 0, 0, 0};
+  const std::vector<double> predicted{1, -1, 1, -1};
+  EXPECT_DOUBLE_EQ(rmse(truth, predicted), 1.0);
+  EXPECT_DOUBLE_EQ(mae(truth, predicted), 1.0);
+}
+
+TEST(ErrorMetrics, RmsePenalizesOutliersMoreThanMae) {
+  const std::vector<double> truth{0, 0, 0, 0};
+  const std::vector<double> predicted{0, 0, 0, 4};
+  EXPECT_GT(rmse(truth, predicted), mae(truth, predicted));
+}
+
+class QuantileSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileSweepTest, MonotonicInQ) {
+  const double q = GetParam();
+  Rng rng(7);
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(rng.uniform(-10, 10));
+  EXPECT_LE(quantile(v, q), quantile(v, std::min(1.0, q + 0.1)) + 1e-12);
+  EXPECT_GE(quantile(v, q), quantile(v, 0.0) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, QuantileSweepTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace hm::common

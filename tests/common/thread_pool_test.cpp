@@ -1,0 +1,136 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hm::common {
+namespace {
+
+TEST(ThreadPool, DefaultSizeIsAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, ExplicitSize) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.submit([&] { value = 42; });
+  future.get();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, SubmitManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter, 100);
+}
+
+struct ForCase {
+  std::size_t begin;
+  std::size_t end;
+  std::size_t threads;
+  std::size_t grain;
+};
+
+class ParallelForTest : public ::testing::TestWithParam<ForCase> {};
+
+TEST_P(ParallelForTest, EachIndexVisitedExactlyOnce) {
+  const ForCase c = GetParam();
+  ThreadPool pool(c.threads);
+  std::vector<std::atomic<int>> visits(c.end);
+  pool.parallel_for(
+      c.begin, c.end, [&](std::size_t i) { ++visits[i]; }, c.grain);
+  for (std::size_t i = 0; i < c.end; ++i) {
+    EXPECT_EQ(visits[i], i >= c.begin ? 1 : 0) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ParallelForTest,
+    ::testing::Values(ForCase{0, 0, 2, 1},       // Empty range.
+                      ForCase{0, 1, 2, 1},       // Single element.
+                      ForCase{0, 100, 1, 1},     // Single thread.
+                      ForCase{0, 100, 4, 1},     // More chunks than threads.
+                      ForCase{0, 1000, 8, 1},    // Many elements.
+                      ForCase{0, 100, 4, 1000},  // Grain exceeds range.
+                      ForCase{5, 37, 3, 4},      // Nonzero begin, odd sizes.
+                      ForCase{0, 7, 16, 2}));    // More threads than work.
+
+TEST(ThreadPool, ParallelForChunksCoverRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  pool.parallel_for_chunks(
+      0, 257,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) ++visits[i];
+      },
+      10);
+  for (std::size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i], 1);
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<long long> values(10000);
+  std::iota(values.begin(), values.end(), 1);
+  std::atomic<long long> parallel_sum{0};
+  pool.parallel_for_chunks(0, values.size(), [&](std::size_t lo, std::size_t hi) {
+    long long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += values[i];
+    parallel_sum += local;
+  });
+  const long long serial =
+      std::accumulate(values.begin(), values.end(), 0LL);
+  EXPECT_EQ(parallel_sum, serial);
+}
+
+TEST(ThreadPool, NestedParallelForFallsBackToSerialWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    // Nested call from a worker thread must complete (serially).
+    pool.parallel_for(0, 10, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total, 40);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.thread_count(), 1u);
+}
+
+TEST(ThreadPool, CallerThreadParticipates) {
+  // With a 1-thread pool, parallel_for still completes (the caller drains).
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 64, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 64);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&] { ++count; }).get();
+    }
+  }  // Destructor joins workers.
+  EXPECT_EQ(count, 20);
+}
+
+}  // namespace
+}  // namespace hm::common

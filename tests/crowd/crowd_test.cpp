@@ -1,0 +1,135 @@
+#include "crowd/crowd_experiment.hpp"
+#include "crowd/device_population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hm::crowd {
+namespace {
+
+using hm::kfusion::Kernel;
+using hm::kfusion::KernelStats;
+
+TEST(Population, DefaultSizeIs83) {
+  const auto devices = generate_population();
+  EXPECT_EQ(devices.size(), 83u);
+}
+
+TEST(Population, DeterministicForSeed) {
+  const auto a = generate_population();
+  const auto b = generate_population();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].frame_overhead, b[i].frame_overhead);
+    EXPECT_EQ(a[i].ns_per_op, b[i].ns_per_op);
+  }
+}
+
+TEST(Population, DifferentSeedsDiffer) {
+  PopulationConfig config;
+  config.seed = 1;
+  const auto a = generate_population(config);
+  config.seed = 2;
+  const auto b = generate_population(config);
+  EXPECT_NE(a[0].ns_per_op, b[0].ns_per_op);
+}
+
+TEST(Population, ContainsMultipleTiers) {
+  const auto devices = generate_population();
+  std::set<std::string> tiers;
+  for (const auto& device : devices) {
+    tiers.insert(device.name.substr(0, device.name.find('-')));
+  }
+  EXPECT_GE(tiers.size(), 3u);
+}
+
+TEST(Population, CoefficientsPositiveAndSpread) {
+  const auto devices = generate_population();
+  double min_integrate = 1e300, max_integrate = 0.0;
+  for (const auto& device : devices) {
+    for (const double coefficient : device.ns_per_op) {
+      EXPECT_GT(coefficient, 0.0);
+    }
+    min_integrate = std::min(min_integrate, device.coeff(Kernel::kIntegrate));
+    max_integrate = std::max(max_integrate, device.coeff(Kernel::kIntegrate));
+  }
+  // Market spread: slowest vs fastest differ by well over 2x.
+  EXPECT_GT(max_integrate / min_integrate, 3.0);
+}
+
+KernelStats make_stats(std::uint64_t integrate, std::uint64_t raycast) {
+  KernelStats stats;
+  stats.add(Kernel::kIntegrate, integrate);
+  stats.add(Kernel::kRaycast, raycast);
+  return stats;
+}
+
+TEST(CrowdExperiment, SpeedupComputedPerDevice) {
+  const auto devices = generate_population();
+  // Tuned configuration does ~10x less counted work.
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  const CrowdResult result =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100);
+  ASSERT_EQ(result.devices.size(), devices.size());
+  for (const DeviceSpeedup& entry : result.devices) {
+    EXPECT_GT(entry.speedup, 1.0);
+    EXPECT_GT(entry.tuned_fps, entry.default_fps);
+    EXPECT_NEAR(entry.speedup, entry.tuned_fps / entry.default_fps, 1e-9);
+  }
+  EXPECT_GE(result.max_speedup, result.median_speedup);
+  EXPECT_GE(result.median_speedup, result.min_speedup);
+  EXPECT_GT(result.mean_speedup, 1.0);
+}
+
+TEST(CrowdExperiment, IdenticalConfigsGiveUnitSpeedup) {
+  const auto devices = generate_population();
+  const KernelStats stats = make_stats(100'000'000, 10'000'000);
+  const CrowdResult result = run_crowd_experiment(devices, stats, stats, 100);
+  for (const DeviceSpeedup& entry : result.devices) {
+    EXPECT_DOUBLE_EQ(entry.speedup, 1.0);
+  }
+}
+
+TEST(CrowdExperiment, SpeedupVariesAcrossDevices) {
+  // Work reduction interacts with per-device overhead and kernel mixes, so
+  // the speedup distribution must have genuine spread.
+  const auto devices = generate_population();
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  const CrowdResult result =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100);
+  EXPECT_GT(result.max_speedup, result.min_speedup * 1.5);
+}
+
+TEST(CrowdExperiment, HistogramCoversAllDevices) {
+  const auto devices = generate_population();
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  const CrowdResult result =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100);
+  const std::string histogram = speedup_histogram(result);
+  EXPECT_FALSE(histogram.empty());
+  // Total '#' marks equals the device count (no bucket exceeds 100).
+  std::size_t marks = 0;
+  for (const char c : histogram) marks += c == '#' ? 1 : 0;
+  EXPECT_EQ(marks, result.devices.size());
+}
+
+TEST(CrowdExperiment, EmptyPopulationHandled) {
+  const KernelStats stats = make_stats(1000, 1000);
+  const CrowdResult result = run_crowd_experiment({}, stats, stats, 10);
+  EXPECT_TRUE(result.devices.empty());
+  EXPECT_TRUE(speedup_histogram(result).empty());
+}
+
+TEST(Population, CustomSize) {
+  PopulationConfig config;
+  config.device_count = 10;
+  EXPECT_EQ(generate_population(config).size(), 10u);
+}
+
+}  // namespace
+}  // namespace hm::crowd

@@ -1,0 +1,183 @@
+#include "dataset/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.hpp"
+#include "dataset/trajectory.hpp"
+
+namespace hm::dataset {
+namespace {
+
+using hm::geometry::DepthImage;
+using hm::geometry::IntensityImage;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+
+TEST(QuaternionConversion, RoundTripsRandomRotations) {
+  hm::common::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto rotation = hm::geometry::so3_exp(
+        {rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)});
+    const auto quaternion = hm::geometry::rotation_to_quaternion(rotation);
+    const auto back = hm::geometry::quaternion_to_rotation(quaternion);
+    for (std::size_t k = 0; k < 9; ++k) {
+      EXPECT_NEAR(back.m[k], rotation.m[k], 1e-10);
+    }
+    // Unit norm, non-negative w.
+    EXPECT_NEAR(quaternion[0] * quaternion[0] + quaternion[1] * quaternion[1] +
+                    quaternion[2] * quaternion[2] + quaternion[3] * quaternion[3],
+                1.0, 1e-12);
+    EXPECT_GE(quaternion[0], 0.0);
+  }
+}
+
+TEST(QuaternionConversion, IdentityAndHalfTurns) {
+  const auto identity_q =
+      hm::geometry::rotation_to_quaternion(hm::geometry::Mat3d::identity());
+  EXPECT_NEAR(identity_q[0], 1.0, 1e-12);
+  // Half turns about each axis exercise the non-trace branches.
+  for (const Vec3d axis : {Vec3d{1, 0, 0}, Vec3d{0, 1, 0}, Vec3d{0, 0, 1}}) {
+    const auto rotation = hm::geometry::so3_exp(axis * M_PI);
+    const auto quaternion = hm::geometry::rotation_to_quaternion(rotation);
+    const auto back = hm::geometry::quaternion_to_rotation(quaternion);
+    for (std::size_t k = 0; k < 9; ++k) {
+      EXPECT_NEAR(back.m[k], rotation.m[k], 1e-9);
+    }
+  }
+}
+
+TEST(Pgm, DepthRoundTrip) {
+  DepthImage depth(7, 5, 0.0f);
+  for (int v = 0; v < 5; ++v) {
+    for (int u = 0; u < 7; ++u) {
+      depth.at(u, v) = 0.5f + 0.1f * static_cast<float>(u + v);
+    }
+  }
+  depth.at(3, 3) = 0.0f;  // Invalid pixel.
+  const std::string pgm = depth_to_pgm(depth);
+  const auto parsed = depth_from_pgm(pgm);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->width(), 7);
+  ASSERT_EQ(parsed->height(), 5);
+  for (int v = 0; v < 5; ++v) {
+    for (int u = 0; u < 7; ++u) {
+      // Quantization to 1/5000 m: 0.2 mm accuracy.
+      EXPECT_NEAR(parsed->at(u, v), depth.at(u, v), 1.01e-4f) << u << "," << v;
+    }
+  }
+  EXPECT_FLOAT_EQ(parsed->at(3, 3), 0.0f);
+}
+
+TEST(Pgm, HeaderFormat) {
+  const DepthImage depth(4, 3, 1.0f);
+  const std::string pgm = depth_to_pgm(depth);
+  EXPECT_EQ(pgm.substr(0, 2), "P5");
+  EXPECT_NE(pgm.find("4 3"), std::string::npos);
+  EXPECT_NE(pgm.find("65535"), std::string::npos);
+}
+
+TEST(Pgm, RejectsMalformedInputs) {
+  EXPECT_FALSE(depth_from_pgm("").has_value());
+  EXPECT_FALSE(depth_from_pgm("P2\n2 2\n65535\nxxx").has_value());  // ASCII PGM.
+  EXPECT_FALSE(depth_from_pgm("P5\n2 2\n255\nxxxx").has_value());   // 8-bit.
+  EXPECT_FALSE(depth_from_pgm("P5\n4 4\n65535\nxx").has_value());   // Truncated.
+}
+
+TEST(Pgm, DepthClampsOutOfRange) {
+  DepthImage depth(1, 1, 100.0f);  // 100 m * 5000 overflows 16 bits.
+  const auto parsed = depth_from_pgm(depth_to_pgm(depth));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(parsed->at(0, 0), 65535.0f / 5000.0f, 1e-4f);
+}
+
+TEST(Pgm, IntensityEncodes8Bit) {
+  IntensityImage intensity(3, 2, 0.0f);
+  intensity.at(0, 0) = 1.0f;
+  intensity.at(1, 0) = 0.5f;
+  const std::string pgm = intensity_to_pgm(intensity);
+  EXPECT_EQ(pgm.substr(0, 2), "P5");
+  EXPECT_NE(pgm.find("255"), std::string::npos);
+  // Payload: last 6 bytes.
+  const auto payload = pgm.substr(pgm.size() - 6);
+  EXPECT_EQ(static_cast<std::uint8_t>(payload[0]), 255);
+  EXPECT_EQ(static_cast<std::uint8_t>(payload[1]), 128);
+}
+
+TEST(Tum, TrajectoryRoundTrip) {
+  TrajectoryConfig config;
+  config.frame_count = 25;
+  const auto poses = generate_trajectory(config);
+  const std::string text = trajectory_to_tum(poses);
+  const auto parsed = trajectory_from_tum(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), poses.size());
+  for (std::size_t i = 0; i < poses.size(); ++i) {
+    EXPECT_LT(hm::geometry::translation_distance((*parsed)[i], poses[i]), 1e-8);
+    EXPECT_LT(hm::geometry::rotation_angle_between((*parsed)[i], poses[i]), 1e-7);
+  }
+}
+
+TEST(Tum, SkipsCommentsAndBlankLines) {
+  const auto parsed = trajectory_from_tum(
+      "# a comment\n\n0.0 1 2 3 0 0 0 1\n# another\n0.033 4 5 6 0 0 0 1\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[1].translation, (Vec3d{4, 5, 6}));
+}
+
+TEST(Tum, RejectsMalformedLine) {
+  EXPECT_FALSE(trajectory_from_tum("0.0 1 2 3 bad 0 0 1\n").has_value());
+  EXPECT_FALSE(trajectory_from_tum("0.0 1 2 3\n").has_value());  // Too short.
+}
+
+TEST(Tum, QuaternionOrderIsXyzw) {
+  // A 90-degree rotation about z: q = (w=c, z=s) -> TUM line ends "0 0 s c".
+  SE3 pose;
+  pose.rotation = hm::geometry::so3_exp({0, 0, M_PI / 2.0});
+  const std::string text = trajectory_to_tum({&pose, 1});
+  const double s = std::sin(M_PI / 4.0);
+  char expected[64];
+  std::snprintf(expected, sizeof(expected), "%.9f %.9f", s, s);
+  EXPECT_NE(text.find(expected), std::string::npos) << text;
+}
+
+TEST(ExportSequence, WritesTumLayout) {
+  const auto sequence = make_benchmark_sequence(3, 16, 12, nullptr, true);
+  const std::string directory = ::testing::TempDir() + "/hm_export_test";
+  ASSERT_TRUE(export_sequence(*sequence, directory));
+  namespace fs = std::filesystem;
+  EXPECT_TRUE(fs::exists(fs::path(directory) / "depth" / "0000.pgm"));
+  EXPECT_TRUE(fs::exists(fs::path(directory) / "depth" / "0002.pgm"));
+  EXPECT_TRUE(fs::exists(fs::path(directory) / "rgb" / "0001.pgm"));
+  EXPECT_TRUE(fs::exists(fs::path(directory) / "groundtruth.txt"));
+
+  // The exported ground truth round-trips through the TUM parser.
+  std::ifstream in(fs::path(directory) / "groundtruth.txt");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto parsed = trajectory_from_tum(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 3u);
+
+  // And the exported depth parses back to the frame's depth.
+  std::ifstream depth_in(fs::path(directory) / "depth" / "0000.pgm",
+                         std::ios::binary);
+  std::string depth_text((std::istreambuf_iterator<char>(depth_in)),
+                         std::istreambuf_iterator<char>());
+  const auto depth = depth_from_pgm(depth_text);
+  ASSERT_TRUE(depth.has_value());
+  EXPECT_EQ(depth->width(), 16);
+  fs::remove_all(directory);
+}
+
+TEST(ExportSequence, FailsOnUnwritableDirectory) {
+  const auto sequence = make_benchmark_sequence(1, 8, 6, nullptr, false);
+  EXPECT_FALSE(export_sequence(*sequence, "/proc/not_writable/here"));
+}
+
+}  // namespace
+}  // namespace hm::dataset

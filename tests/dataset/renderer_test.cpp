@@ -1,0 +1,210 @@
+#include "dataset/renderer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/trajectory.hpp"
+
+namespace hm::dataset {
+namespace {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::Vec3d;
+
+/// A single wall at z = 4 (world), viewed head-on from the origin.
+Scene wall_scene() {
+  Scene scene;
+  scene.add(std::make_unique<BoxSdf>(Vec3d{0, 0, 4.5}, Vec3d{10, 10, 0.5}));
+  return scene;
+}
+
+TEST(Renderer, HeadOnWallDepthMatchesAnalytic) {
+  const Scene scene = wall_scene();
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  const SE3 pose;  // Identity: camera at origin looking down +z.
+  const DepthImage depth = render_depth(scene, camera, pose);
+  // Every ray hits the wall plane z=4; stored z-depth is exactly 4.
+  for (int v = 0; v < depth.height(); ++v) {
+    for (int u = 0; u < depth.width(); ++u) {
+      EXPECT_NEAR(depth.at(u, v), 4.0f, 0.01f) << u << "," << v;
+    }
+  }
+}
+
+TEST(Renderer, MissesProduceInvalidDepth) {
+  Scene scene;
+  scene.add(std::make_unique<SphereSdf>(Vec3d{0, 0, 3}, 0.2));
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  const DepthImage depth = render_depth(scene, camera, SE3{});
+  // Corner rays miss the small sphere.
+  EXPECT_FLOAT_EQ(depth.at(0, 0), 0.0f);
+  // The central ray hits it near z = 2.8.
+  const float center = depth.at(20, 15);
+  EXPECT_NEAR(center, 2.8f, 0.05f);
+}
+
+TEST(Renderer, RespectsMaxDepthCutoff) {
+  const Scene scene = wall_scene();
+  const Intrinsics camera = Intrinsics::kinect(20, 15);
+  RenderConfig config;
+  config.max_depth = 2.0;  // Wall at 4 m is out of range.
+  const DepthImage depth = render_depth(scene, camera, SE3{}, config);
+  for (const float z : depth) EXPECT_FLOAT_EQ(z, 0.0f);
+}
+
+TEST(Renderer, DepthFromOffsetPose) {
+  const Scene scene = wall_scene();
+  const Intrinsics camera = Intrinsics::kinect(20, 15);
+  SE3 pose;
+  pose.translation = {0, 0, 1.0};  // 1 m closer to the wall.
+  const DepthImage depth = render_depth(scene, camera, pose);
+  EXPECT_NEAR(depth.at(10, 7), 3.0f, 0.01f);
+}
+
+TEST(Renderer, IntensityInUnitRange) {
+  const Scene scene = build_living_room();
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  const SE3 pose = look_at({2.4, 1.3, 2.4}, {2.4, 1.3, 0.0});
+  const IntensityImage intensity = render_intensity(scene, camera, pose);
+  int lit = 0;
+  for (const float value : intensity) {
+    EXPECT_GE(value, 0.0f);
+    EXPECT_LE(value, 1.0f);
+    lit += value > 0.0f ? 1 : 0;
+  }
+  EXPECT_GT(lit, static_cast<int>(intensity.size() * 3 / 4));
+}
+
+TEST(Renderer, IntensityShowsCheckerContrast) {
+  const Scene scene = build_living_room();
+  const Intrinsics camera = Intrinsics::kinect(80, 60);
+  const SE3 pose = look_at({2.4, 1.3, 2.4}, {2.4, 1.3, 0.0});
+  const IntensityImage intensity = render_intensity(scene, camera, pose);
+  float min_value = 1.0f, max_value = 0.0f;
+  for (const float value : intensity) {
+    if (value > 0.0f) {
+      min_value = std::min(min_value, value);
+      max_value = std::max(max_value, value);
+    }
+  }
+  EXPECT_GT(max_value - min_value, 0.15f);  // Texture must carry gradients.
+}
+
+TEST(Noise, DisabledLeavesDepthUntouched) {
+  DepthImage depth(10, 10, 2.0f);
+  NoiseConfig config;
+  config.enabled = false;
+  hm::common::Rng rng(1);
+  apply_depth_noise(depth, config, rng);
+  for (const float z : depth) EXPECT_FLOAT_EQ(z, 2.0f);
+}
+
+TEST(Noise, PerturbsDepthProportionallyToRange) {
+  NoiseConfig config;
+  config.dropout_probability = 0.0;
+  config.edge_dropout_probability = 0.0;
+  config.quantization = 0.0;
+
+  DepthImage near_depth(50, 50, 1.0f);
+  DepthImage far_depth(50, 50, 4.0f);
+  hm::common::Rng rng_a(2), rng_b(2);
+  apply_depth_noise(near_depth, config, rng_a);
+  apply_depth_noise(far_depth, config, rng_b);
+
+  double near_dev = 0.0, far_dev = 0.0;
+  for (const float z : near_depth) near_dev += std::abs(z - 1.0f);
+  for (const float z : far_depth) far_dev += std::abs(z - 4.0f);
+  EXPECT_GT(far_dev, near_dev * 4.0);  // Quadratic growth with depth.
+}
+
+TEST(Noise, DropoutRateApproximatelyRespected) {
+  NoiseConfig config;
+  config.dropout_probability = 0.1;
+  config.edge_dropout_probability = 0.1;
+  config.sigma_base = 0.0;
+  config.sigma_quadratic = 0.0;
+  config.quantization = 0.0;
+  DepthImage depth(100, 100, 2.0f);
+  hm::common::Rng rng(3);
+  apply_depth_noise(depth, config, rng);
+  int dropped = 0;
+  for (const float z : depth) dropped += z == 0.0f ? 1 : 0;
+  EXPECT_NEAR(dropped / 10000.0, 0.1, 0.02);
+}
+
+TEST(Noise, EdgePixelsDropMoreOften) {
+  NoiseConfig config;
+  config.dropout_probability = 0.0;
+  config.edge_dropout_probability = 1.0;  // Always drop at edges.
+  config.sigma_base = 0.0;
+  config.sigma_quadratic = 0.0;
+  config.quantization = 0.0;
+  // Two flat regions with a depth discontinuity at u = 10.
+  DepthImage depth(20, 20, 1.0f);
+  for (int v = 0; v < 20; ++v) {
+    for (int u = 10; u < 20; ++u) depth.at(u, v) = 3.0f;
+  }
+  hm::common::Rng rng(4);
+  apply_depth_noise(depth, config, rng);
+  // Pixels adjacent to the jump must be dropped; far pixels kept.
+  for (int v = 1; v < 19; ++v) {
+    EXPECT_FLOAT_EQ(depth.at(9, v), 0.0f);
+    EXPECT_FLOAT_EQ(depth.at(10, v), 0.0f);
+    EXPECT_GT(depth.at(2, v), 0.0f);
+    EXPECT_GT(depth.at(17, v), 0.0f);
+  }
+}
+
+TEST(Noise, QuantizationSnapsToGrid) {
+  NoiseConfig config;
+  config.dropout_probability = 0.0;
+  config.edge_dropout_probability = 0.0;
+  config.sigma_base = 0.0;
+  config.sigma_quadratic = 0.0;
+  config.quantization = 0.01;
+  DepthImage depth(8, 8, 2.0f);
+  hm::common::Rng rng(5);
+  apply_depth_noise(depth, config, rng);
+  const double step = 0.01 * 2.0 * 2.0;  // quantization * z^2.
+  for (const float z : depth) {
+    const double ratio = static_cast<double>(z) / step;
+    EXPECT_NEAR(ratio, std::round(ratio), 1e-3);
+  }
+}
+
+TEST(Noise, DeterministicForSeed) {
+  NoiseConfig config;
+  DepthImage a(30, 30, 2.5f), b(30, 30, 2.5f);
+  hm::common::Rng rng_a(6), rng_b(6);
+  apply_depth_noise(a, config, rng_a);
+  apply_depth_noise(b, config, rng_b);
+  for (int v = 0; v < 30; ++v) {
+    for (int u = 0; u < 30; ++u) EXPECT_EQ(a.at(u, v), b.at(u, v));
+  }
+}
+
+TEST(Noise, InvalidPixelsStayInvalid) {
+  NoiseConfig config;
+  DepthImage depth(10, 10, 0.0f);
+  hm::common::Rng rng(7);
+  apply_depth_noise(depth, config, rng);
+  for (const float z : depth) EXPECT_FLOAT_EQ(z, 0.0f);
+}
+
+TEST(Renderer, ParallelRenderingMatchesSerial) {
+  const Scene scene = build_living_room();
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  const SE3 pose = look_at({2.0, 1.3, 2.0}, {2.4, 1.5, 0.5});
+  const DepthImage serial = render_depth(scene, camera, pose);
+  hm::common::ThreadPool pool(4);
+  const DepthImage parallel = render_depth(scene, camera, pose, {}, &pool);
+  for (int v = 0; v < serial.height(); ++v) {
+    for (int u = 0; u < serial.width(); ++u) {
+      EXPECT_EQ(serial.at(u, v), parallel.at(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hm::dataset

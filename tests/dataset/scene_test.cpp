@@ -1,0 +1,127 @@
+#include "dataset/sdf_scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hm::dataset {
+namespace {
+
+TEST(BoxSdf, SignsAndDistances) {
+  const BoxSdf box({0, 0, 0}, {1, 1, 1});
+  EXPECT_LT(box.distance({0, 0, 0}), 0.0);              // Center: inside.
+  EXPECT_NEAR(box.distance({0, 0, 0}), -1.0, 1e-12);    // 1 m to nearest face.
+  EXPECT_NEAR(box.distance({2, 0, 0}), 1.0, 1e-12);     // 1 m outside a face.
+  EXPECT_NEAR(box.distance({1, 0, 0}), 0.0, 1e-12);     // On the surface.
+  // Corner distance: sqrt(3) from (2,2,2) to corner (1,1,1).
+  EXPECT_NEAR(box.distance({2, 2, 2}), std::sqrt(3.0), 1e-12);
+}
+
+TEST(SphereSdf, ExactDistances) {
+  const SphereSdf sphere({1, 2, 3}, 0.5);
+  EXPECT_NEAR(sphere.distance({1, 2, 3}), -0.5, 1e-12);
+  EXPECT_NEAR(sphere.distance({1, 2, 4}), 0.5, 1e-12);
+  EXPECT_NEAR(sphere.distance({1, 2.5, 3}), 0.0, 1e-12);
+}
+
+TEST(RoomShellSdf, PositiveInsideZeroOnWalls) {
+  const RoomShellSdf room({2, 1, 2}, {2, 1, 2});
+  EXPECT_GT(room.distance({2, 1, 2}), 0.0);             // Room center.
+  EXPECT_NEAR(room.distance({2, 1, 2}), 1.0, 1e-12);    // 1 m to ceiling/floor.
+  EXPECT_NEAR(room.distance({0, 1, 2}), 0.0, 1e-12);    // On the -x wall.
+  EXPECT_NEAR(room.distance({3.5, 1, 2}), 0.5, 1e-12);
+}
+
+TEST(Scene, UnionTakesMinimumDistance) {
+  Scene scene;
+  scene.add(std::make_unique<SphereSdf>(Vec3d{0, 0, 0}, 1.0));
+  scene.add(std::make_unique<SphereSdf>(Vec3d{10, 0, 0}, 1.0));
+  EXPECT_NEAR(scene.distance({2, 0, 0}), 1.0, 1e-12);   // Nearest: sphere 1.
+  EXPECT_NEAR(scene.distance({8, 0, 0}), 1.0, 1e-12);   // Nearest: sphere 2.
+  EXPECT_NEAR(scene.distance({5, 0, 0}), 4.0, 1e-12);   // Midpoint.
+}
+
+TEST(Scene, AlbedoComesFromClosestObject) {
+  Scene scene;
+  scene.add(std::make_unique<SphereSdf>(Vec3d{0, 0, 0}, 1.0, Vec3d{1, 0, 0}));
+  scene.add(std::make_unique<SphereSdf>(Vec3d{10, 0, 0}, 1.0, Vec3d{0, 1, 0}));
+  EXPECT_EQ(scene.albedo({1.5, 0, 0}), (Vec3d{1, 0, 0}));
+  EXPECT_EQ(scene.albedo({8.5, 0, 0}), (Vec3d{0, 1, 0}));
+}
+
+TEST(Scene, NormalsAreUnitAndOutward) {
+  Scene scene;
+  scene.add(std::make_unique<SphereSdf>(Vec3d{0, 0, 0}, 1.0));
+  hm::common::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    Vec3d direction{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    if (direction.squared_norm() < 1e-6) continue;
+    direction = direction.normalized();
+    const Vec3d surface_point = direction * 1.0;
+    const Vec3d normal = scene.normal(surface_point);
+    EXPECT_NEAR(normal.norm(), 1.0, 1e-6);
+    // Outward normal of a sphere is the radial direction.
+    EXPECT_NEAR((normal - direction).norm(), 0.0, 1e-3);
+  }
+}
+
+TEST(LivingRoom, HasFurnitureAndShell) {
+  const Scene scene = build_living_room();
+  EXPECT_GE(scene.size(), 5u);
+}
+
+TEST(LivingRoom, RoomCenterIsFreeSpace) {
+  const Scene scene = build_living_room();
+  EXPECT_GT(scene.distance({2.4, 1.0, 2.4}), 0.2);
+}
+
+TEST(LivingRoom, SceneFitsInKFusionVolume) {
+  // The reconstruction volume is [0, 4.8]^3; the camera orbit region must
+  // see surfaces whose coordinates lie in that box.
+  const Scene scene = build_living_room();
+  hm::common::Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3d p{rng.uniform(0.1, 4.7), rng.uniform(0.1, 2.5),
+                  rng.uniform(0.1, 4.7)};
+    if (scene.distance(p) < 0.0) {
+      // Inside an object: its location must be inside the volume.
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, 4.8);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, 4.8);
+    }
+  }
+}
+
+TEST(LivingRoom, WallAlbedoVariesSpatially) {
+  // The checker pattern must produce image gradients for RGB tracking.
+  const Scene scene = build_living_room();
+  const Vec3d a = scene.albedo({0.0, 1.0, 1.0});
+  const Vec3d b = scene.albedo({0.0, 1.0, 1.7});
+  EXPECT_GT(std::abs(a.x - b.x), 0.01);
+}
+
+TEST(LivingRoom, AlbedoInUnitRange) {
+  const Scene scene = build_living_room();
+  hm::common::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3d p{rng.uniform(0, 4.8), rng.uniform(0, 2.6), rng.uniform(0, 4.8)};
+    const Vec3d albedo = scene.albedo(p);
+    EXPECT_GE(albedo.min_component(), 0.0);
+    EXPECT_LE(albedo.max_component(), 1.0);
+  }
+}
+
+TEST(Scene, NormalOfBoxFaceIsAxisAligned) {
+  Scene scene;
+  scene.add(std::make_unique<BoxSdf>(Vec3d{0, 0, 0}, Vec3d{1, 1, 1}));
+  const Vec3d normal = scene.normal({1.0, 0.2, 0.3});
+  EXPECT_NEAR(normal.x, 1.0, 1e-3);
+  EXPECT_NEAR(normal.y, 0.0, 1e-3);
+  EXPECT_NEAR(normal.z, 0.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace hm::dataset

@@ -1,0 +1,126 @@
+#include "dataset/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hm::dataset {
+namespace {
+
+TEST(Sequence, RendersRequestedFrames) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = 32;
+  config.height = 24;
+  config.trajectory.frame_count = 8;
+  const RGBDSequence sequence(scene, config);
+  EXPECT_EQ(sequence.frame_count(), 8u);
+  EXPECT_EQ(sequence.intrinsics().width, 32);
+  EXPECT_EQ(sequence.intrinsics().height, 24);
+}
+
+TEST(Sequence, FramesContainValidDepth) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = 32;
+  config.height = 24;
+  config.trajectory.frame_count = 4;
+  const RGBDSequence sequence(scene, config);
+  for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
+    const Frame& frame = sequence.frame(i);
+    int valid = 0;
+    for (const float z : frame.depth) valid += z > 0.0f ? 1 : 0;
+    EXPECT_GT(valid, static_cast<int>(frame.depth.size() / 2)) << "frame " << i;
+  }
+}
+
+TEST(Sequence, IntensityOptional) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = 16;
+  config.height = 12;
+  config.trajectory.frame_count = 2;
+  config.render_intensity = false;
+  const RGBDSequence without(scene, config);
+  EXPECT_TRUE(without.frame(0).intensity.empty());
+  config.render_intensity = true;
+  const RGBDSequence with(scene, config);
+  EXPECT_FALSE(with.frame(0).intensity.empty());
+}
+
+TEST(Sequence, GroundTruthMatchesTrajectory) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = 16;
+  config.height = 12;
+  config.trajectory.frame_count = 5;
+  const RGBDSequence sequence(scene, config);
+  const auto ground_truth = sequence.ground_truth();
+  const auto expected = generate_trajectory(config.trajectory);
+  ASSERT_EQ(ground_truth.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(ground_truth[i].translation, expected[i].translation);
+  }
+}
+
+TEST(Sequence, DeterministicNoiseAcrossConstructions) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = 24;
+  config.height = 18;
+  config.trajectory.frame_count = 3;
+  const RGBDSequence a(scene, config);
+  const RGBDSequence b(scene, config);
+  for (std::size_t f = 0; f < 3; ++f) {
+    const auto& depth_a = a.frame(f).depth;
+    const auto& depth_b = b.frame(f).depth;
+    for (int v = 0; v < depth_a.height(); ++v) {
+      for (int u = 0; u < depth_a.width(); ++u) {
+        ASSERT_EQ(depth_a.at(u, v), depth_b.at(u, v));
+      }
+    }
+  }
+}
+
+TEST(Sequence, ParallelRenderMatchesSerial) {
+  const Scene scene = build_living_room();
+  SequenceConfig config;
+  config.width = 24;
+  config.height = 18;
+  config.trajectory.frame_count = 4;
+  const RGBDSequence serial(scene, config, nullptr);
+  hm::common::ThreadPool pool(4);
+  const RGBDSequence parallel(scene, config, &pool);
+  for (std::size_t f = 0; f < 4; ++f) {
+    const auto& depth_a = serial.frame(f).depth;
+    const auto& depth_b = parallel.frame(f).depth;
+    for (int v = 0; v < depth_a.height(); ++v) {
+      for (int u = 0; u < depth_a.width(); ++u) {
+        ASSERT_EQ(depth_a.at(u, v), depth_b.at(u, v))
+            << "frame " << f << " px " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(BenchmarkSequence, ScalesOrbitWithFrameCount) {
+  // Per-frame motion must stay roughly constant between short and long
+  // sequences (the DSE uses short ones, the paper-scale run long ones).
+  const auto short_seq = make_benchmark_sequence(20, 32, 24, nullptr, false);
+  const auto long_seq = make_benchmark_sequence(80, 32, 24, nullptr, false);
+  const auto short_gt = short_seq->ground_truth();
+  const auto long_gt = long_seq->ground_truth();
+  const double short_step =
+      hm::geometry::translation_distance(short_gt[9], short_gt[10]);
+  const double long_step =
+      hm::geometry::translation_distance(long_gt[39], long_gt[40]);
+  EXPECT_NEAR(short_step, long_step, short_step * 0.6 + 1e-5);
+}
+
+TEST(BenchmarkSequence, SharedPointerUsable) {
+  const auto sequence = make_benchmark_sequence(3, 16, 12, nullptr, true);
+  ASSERT_NE(sequence, nullptr);
+  EXPECT_EQ(sequence->frame_count(), 3u);
+  EXPECT_FALSE(sequence->frame(0).intensity.empty());
+}
+
+}  // namespace
+}  // namespace hm::dataset

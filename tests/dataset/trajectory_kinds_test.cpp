@@ -1,0 +1,107 @@
+// Tests for the camera-motion archetypes (the multi-trajectory extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/sdf_scene.hpp"
+#include "dataset/trajectory.hpp"
+
+namespace hm::dataset {
+namespace {
+
+using hm::geometry::Vec3d;
+
+class TrajectoryKindTest : public ::testing::TestWithParam<TrajectoryKind> {};
+
+TEST_P(TrajectoryKindTest, PosesStayInsideFreeSpace) {
+  const Scene scene = build_living_room();
+  TrajectoryConfig config;
+  config.kind = GetParam();
+  config.frame_count = 200;
+  for (const SE3& pose : generate_trajectory(config)) {
+    // Inside the room and at least 15 cm clear of any surface.
+    EXPECT_GT(scene.distance(pose.translation), 0.15)
+        << "at (" << pose.translation.x << ", " << pose.translation.y << ", "
+        << pose.translation.z << ")";
+  }
+}
+
+TEST_P(TrajectoryKindTest, MotionIsSmooth) {
+  TrajectoryConfig config;
+  config.kind = GetParam();
+  config.frame_count = 400;
+  const auto poses = generate_trajectory(config);
+  for (std::size_t i = 1; i < poses.size(); ++i) {
+    EXPECT_LT(hm::geometry::translation_distance(poses[i - 1], poses[i]), 0.08)
+        << "frame " << i;
+    EXPECT_LT(hm::geometry::rotation_angle_between(poses[i - 1], poses[i]), 0.08)
+        << "frame " << i;
+  }
+}
+
+TEST_P(TrajectoryKindTest, RotationsOrthonormal) {
+  TrajectoryConfig config;
+  config.kind = GetParam();
+  config.frame_count = 60;
+  for (const SE3& pose : generate_trajectory(config)) {
+    const auto product = pose.rotation.transposed() * pose.rotation;
+    const auto identity = hm::geometry::Mat3d::identity();
+    for (std::size_t k = 0; k < 9; ++k) {
+      EXPECT_NEAR(product.m[k], identity.m[k], 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TrajectoryKindTest,
+                         ::testing::Values(TrajectoryKind::kOrbit,
+                                           TrajectoryKind::kPan,
+                                           TrajectoryKind::kZigzag,
+                                           TrajectoryKind::kRotationHeavy));
+
+TEST(TrajectoryKinds, KindsProduceDistinctPaths) {
+  TrajectoryConfig config;
+  config.frame_count = 50;
+  config.kind = TrajectoryKind::kOrbit;
+  const auto orbit = generate_trajectory(config);
+  config.kind = TrajectoryKind::kPan;
+  const auto pan = generate_trajectory(config);
+  double max_gap = 0.0;
+  for (std::size_t i = 0; i < orbit.size(); ++i) {
+    max_gap = std::max(
+        max_gap, hm::geometry::translation_distance(orbit[i], pan[i]));
+  }
+  EXPECT_GT(max_gap, 0.3);
+}
+
+TEST(TrajectoryKinds, RotationHeavyRotatesMoreThanItMoves) {
+  TrajectoryConfig config;
+  config.frame_count = 200;
+  config.kind = TrajectoryKind::kRotationHeavy;
+  const auto poses = generate_trajectory(config);
+  double total_translation = 0.0, total_rotation = 0.0;
+  for (std::size_t i = 1; i < poses.size(); ++i) {
+    total_translation +=
+        hm::geometry::translation_distance(poses[i - 1], poses[i]);
+    total_rotation +=
+        hm::geometry::rotation_angle_between(poses[i - 1], poses[i]);
+  }
+  EXPECT_GT(total_rotation, total_translation * 3.0);
+}
+
+TEST(TrajectoryKinds, PanTranslatesMoreThanItRotates) {
+  TrajectoryConfig config;
+  config.frame_count = 200;
+  config.kind = TrajectoryKind::kPan;
+  const auto poses = generate_trajectory(config);
+  double total_translation = 0.0, total_rotation = 0.0;
+  for (std::size_t i = 1; i < poses.size(); ++i) {
+    total_translation +=
+        hm::geometry::translation_distance(poses[i - 1], poses[i]);
+    total_rotation +=
+        hm::geometry::rotation_angle_between(poses[i - 1], poses[i]);
+  }
+  EXPECT_GT(total_translation, total_rotation);
+}
+
+}  // namespace
+}  // namespace hm::dataset

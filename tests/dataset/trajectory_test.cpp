@@ -1,0 +1,144 @@
+#include "dataset/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hm::dataset {
+namespace {
+
+using hm::geometry::Mat3d;
+using hm::geometry::Vec3d;
+
+bool is_orthonormal(const Mat3d& r, double tol = 1e-10) {
+  const Mat3d rtr = r.transposed() * r;
+  const Mat3d identity = Mat3d::identity();
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (std::abs(rtr.m[i] - identity.m[i]) > tol) return false;
+  }
+  return true;
+}
+
+TEST(LookAt, CameraSitsAtEye) {
+  const SE3 pose = look_at({1, 2, 3}, {4, 5, 6});
+  EXPECT_EQ(pose.translation, (Vec3d{1, 2, 3}));
+}
+
+TEST(LookAt, ForwardAxisPointsAtTarget) {
+  const Vec3d eye{1, 1, 1};
+  const Vec3d target{3, 1, 2};
+  const SE3 pose = look_at(eye, target);
+  // Camera +z in world coordinates.
+  const Vec3d forward = pose.rotate({0, 0, 1});
+  const Vec3d expected = (target - eye).normalized();
+  EXPECT_NEAR((forward - expected).norm(), 0.0, 1e-12);
+}
+
+TEST(LookAt, RotationIsOrthonormal) {
+  const SE3 pose = look_at({0, 0, 0}, {1, 2, 3});
+  EXPECT_TRUE(is_orthonormal(pose.rotation));
+}
+
+TEST(LookAt, DownAxisAlignsWithWorldDown) {
+  // Camera y ("down") should have a positive world-y component when
+  // looking horizontally (world +y is down).
+  const SE3 pose = look_at({0, 1, 0}, {1, 1, 0});
+  const Vec3d down = pose.rotate({0, 1, 0});
+  EXPECT_GT(down.y, 0.9);
+}
+
+TEST(LookAt, DegenerateVerticalLookHandled) {
+  const SE3 pose = look_at({0, 0, 0}, {0, 1, 0});  // Straight "down".
+  EXPECT_TRUE(is_orthonormal(pose.rotation));
+}
+
+TEST(Trajectory, ProducesRequestedFrameCount) {
+  TrajectoryConfig config;
+  config.frame_count = 123;
+  EXPECT_EQ(generate_trajectory(config).size(), 123u);
+}
+
+TEST(Trajectory, PosesStayInsideRoom) {
+  TrajectoryConfig config;
+  config.frame_count = 400;
+  for (const SE3& pose : generate_trajectory(config)) {
+    EXPECT_GT(pose.translation.x, 0.2);
+    EXPECT_LT(pose.translation.x, 4.6);
+    EXPECT_GT(pose.translation.y, 0.2);
+    EXPECT_LT(pose.translation.y, 2.4);
+    EXPECT_GT(pose.translation.z, 0.2);
+    EXPECT_LT(pose.translation.z, 4.6);
+  }
+}
+
+TEST(Trajectory, AllRotationsOrthonormal) {
+  TrajectoryConfig config;
+  config.frame_count = 100;
+  for (const SE3& pose : generate_trajectory(config)) {
+    EXPECT_TRUE(is_orthonormal(pose.rotation));
+  }
+}
+
+TEST(Trajectory, InterFrameMotionIsSmooth) {
+  TrajectoryConfig config;
+  config.frame_count = 400;
+  const auto poses = generate_trajectory(config);
+  for (std::size_t i = 1; i < poses.size(); ++i) {
+    const double translation_step =
+        hm::geometry::translation_distance(poses[i - 1], poses[i]);
+    const double rotation_step =
+        hm::geometry::rotation_angle_between(poses[i - 1], poses[i]);
+    EXPECT_LT(translation_step, 0.06) << "frame " << i;  // < 6 cm/frame.
+    EXPECT_LT(rotation_step, 0.05) << "frame " << i;     // < ~3 deg/frame.
+  }
+}
+
+TEST(Trajectory, StartsAndEndsSlow) {
+  // The smoothstep time warp should make boundary steps smaller than the
+  // mid-sequence steps.
+  TrajectoryConfig config;
+  config.frame_count = 200;
+  const auto poses = generate_trajectory(config);
+  const double first_step =
+      hm::geometry::translation_distance(poses[0], poses[1]);
+  const double mid_step = hm::geometry::translation_distance(
+      poses[poses.size() / 2], poses[poses.size() / 2 + 1]);
+  EXPECT_LT(first_step, mid_step);
+}
+
+TEST(Trajectory, OrbitFractionControlsArc) {
+  TrajectoryConfig small_arc;
+  small_arc.frame_count = 100;
+  small_arc.orbit_fraction = 0.1;
+  TrajectoryConfig large_arc = small_arc;
+  large_arc.orbit_fraction = 0.5;
+  const auto small_poses = generate_trajectory(small_arc);
+  const auto large_poses = generate_trajectory(large_arc);
+  const double small_travel = hm::geometry::translation_distance(
+      small_poses.front(), small_poses.back());
+  const double large_travel = hm::geometry::translation_distance(
+      large_poses.front(), large_poses.back());
+  EXPECT_GT(large_travel, small_travel);
+}
+
+TEST(Trajectory, DeterministicAcrossCalls) {
+  TrajectoryConfig config;
+  config.frame_count = 50;
+  const auto a = generate_trajectory(config);
+  const auto b = generate_trajectory(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].translation, b[i].translation);
+  }
+}
+
+TEST(Trajectory, SingleFrameDoesNotDivideByZero) {
+  TrajectoryConfig config;
+  config.frame_count = 1;
+  const auto poses = generate_trajectory(config);
+  ASSERT_EQ(poses.size(), 1u);
+  EXPECT_TRUE(is_orthonormal(poses.front().rotation));
+}
+
+}  // namespace
+}  // namespace hm::dataset

@@ -1,0 +1,147 @@
+#include "elasticfusion/fern_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/renderer.hpp"
+#include "dataset/sdf_scene.hpp"
+#include "dataset/trajectory.hpp"
+
+namespace hm::elasticfusion {
+namespace {
+
+using hm::dataset::build_living_room;
+using hm::dataset::look_at;
+using hm::dataset::render_depth;
+using hm::dataset::render_intensity;
+using hm::geometry::Intrinsics;
+
+struct View {
+  hm::geometry::DepthImage depth;
+  hm::geometry::IntensityImage intensity;
+};
+
+View render_view(double angle) {
+  static const auto scene = build_living_room();
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  const hm::geometry::Vec3d eye{2.4 + 1.1 * std::cos(angle), 1.4,
+                                2.4 + 1.1 * std::sin(angle)};
+  const SE3 pose = look_at(eye, {2.4, 1.6, 2.4});
+  return {render_depth(scene, camera, pose),
+          render_intensity(scene, camera, pose)};
+}
+
+TEST(FernDb, EncodeIsDeterministic) {
+  const FernDatabase db;
+  const View view = render_view(0.0);
+  KernelStats stats;
+  const auto code_a = db.encode(view.depth, view.intensity, stats);
+  const auto code_b = db.encode(view.depth, view.intensity, stats);
+  EXPECT_EQ(code_a, code_b);
+  EXPECT_EQ(code_a.size(), FernDbConfig{}.fern_count);
+}
+
+TEST(FernDb, SelfSimilarityIsOne) {
+  const FernDatabase db;
+  const View view = render_view(0.3);
+  KernelStats stats;
+  const auto code = db.encode(view.depth, view.intensity, stats);
+  EXPECT_DOUBLE_EQ(FernDatabase::similarity(code, code), 1.0);
+}
+
+TEST(FernDb, DifferentViewsLessSimilarThanSameView) {
+  const FernDatabase db;
+  KernelStats stats;
+  const auto code_a =
+      db.encode(render_view(0.0).depth, render_view(0.0).intensity, stats);
+  const auto near_view = render_view(0.05);
+  const auto code_near = db.encode(near_view.depth, near_view.intensity, stats);
+  const auto far_view = render_view(2.5);
+  const auto code_far = db.encode(far_view.depth, far_view.intensity, stats);
+  EXPECT_GT(FernDatabase::similarity(code_a, code_near),
+            FernDatabase::similarity(code_a, code_far));
+}
+
+TEST(FernDb, MaybeAddInsertsNovelFrames) {
+  FernDatabase db;
+  KernelStats stats;
+  const View a = render_view(0.0);
+  const View b = render_view(2.0);
+  EXPECT_TRUE(db.maybe_add(db.encode(a.depth, a.intensity, stats), SE3{}, 0, stats));
+  EXPECT_TRUE(db.maybe_add(db.encode(b.depth, b.intensity, stats), SE3{}, 5, stats));
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(FernDb, MaybeAddRejectsNearDuplicates) {
+  FernDatabase db;
+  KernelStats stats;
+  const View view = render_view(1.0);
+  const auto code = db.encode(view.depth, view.intensity, stats);
+  EXPECT_TRUE(db.maybe_add(code, SE3{}, 0, stats));
+  EXPECT_FALSE(db.maybe_add(code, SE3{}, 1, stats));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(FernDb, BestMatchFindsClosestKeyframe) {
+  FernDatabase db;
+  KernelStats stats;
+  for (int i = 0; i < 5; ++i) {
+    const double angle = 0.6 * i;
+    const View view = render_view(angle);
+    SE3 pose;
+    pose.translation = {angle, 0, 0};  // Tag each keyframe by its angle.
+    (void)db.maybe_add(db.encode(view.depth, view.intensity, stats), pose,
+                       static_cast<std::uint32_t>(i), stats);
+  }
+  ASSERT_GE(db.size(), 3u);
+  // Query near angle 1.2 (keyframe index 2).
+  const View query = render_view(1.25);
+  const auto match =
+      db.best_match(db.encode(query.depth, query.intensity, stats), stats);
+  ASSERT_TRUE(match.has_value());
+  EXPECT_NEAR(db.keyframe(match->keyframe_index).pose.translation.x, 1.2, 0.7);
+  EXPECT_GT(match->similarity, 0.5);
+}
+
+TEST(FernDb, BestMatchOnEmptyDatabase) {
+  const FernDatabase db;
+  KernelStats stats;
+  const View view = render_view(0.0);
+  EXPECT_FALSE(
+      db.best_match(db.encode(view.depth, view.intensity, stats), stats)
+          .has_value());
+}
+
+TEST(FernDb, EncodeWithoutIntensityStillWorks) {
+  const FernDatabase db;
+  const View view = render_view(0.0);
+  KernelStats stats;
+  const auto code = db.encode(view.depth, {}, stats);
+  EXPECT_EQ(code.size(), FernDbConfig{}.fern_count);
+  // Without intensity only the depth bit can be set.
+  for (const auto bits : code) EXPECT_LE(bits, 1);
+}
+
+TEST(FernDb, StatsCountEncodingAndSearch) {
+  FernDatabase db;
+  KernelStats stats;
+  const View view = render_view(0.0);
+  const auto code = db.encode(view.depth, view.intensity, stats);
+  const auto after_encode = stats.count(Kernel::kLoopClosure);
+  EXPECT_GT(after_encode, 0u);
+  (void)db.maybe_add(code, SE3{}, 0, stats);
+  (void)db.best_match(code, stats);
+  EXPECT_GT(stats.count(Kernel::kLoopClosure), after_encode);
+}
+
+TEST(FernDb, DifferentSeedsGiveDifferentCodes) {
+  FernDbConfig config_a, config_b;
+  config_b.seed = 12345;
+  const FernDatabase db_a(config_a), db_b(config_b);
+  const View view = render_view(0.7);
+  KernelStats stats;
+  EXPECT_NE(db_a.encode(view.depth, view.intensity, stats),
+            db_b.encode(view.depth, view.intensity, stats));
+}
+
+}  // namespace
+}  // namespace hm::elasticfusion

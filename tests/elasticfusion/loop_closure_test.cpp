@@ -1,0 +1,109 @@
+// Behavior tests for the loop-closure and relocalization machinery at the
+// pipeline level, including failure injection (sensor blackout).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+#include "elasticfusion/pipeline.hpp"
+
+namespace hm::elasticfusion {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> loop_sequence() {
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(40, 80, 60, nullptr, true);
+  return sequence;
+}
+
+struct Outcome {
+  double mean_error = 0.0;
+  double final_error = 0.0;
+  std::size_t failures = 0;
+  std::size_t relocalizations = 0;
+  std::size_t loop_closures = 0;
+};
+
+Outcome run_with_blackout(const EFParams& params, std::size_t blackout_begin,
+                          std::size_t blackout_length) {
+  const auto sequence = loop_sequence();
+  ElasticFusionPipeline pipeline(params, sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  const hm::geometry::DepthImage dead_depth(80, 60, 0.0f);
+  const hm::geometry::IntensityImage dead_intensity(80, 60, 0.0f);
+  Outcome outcome;
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    const bool dead =
+        i >= blackout_begin && i < blackout_begin + blackout_length;
+    const auto& frame = sequence->frame(i);
+    const auto result =
+        dead ? pipeline.process_frame(dead_depth, dead_intensity)
+             : pipeline.process_frame(frame.depth, frame.intensity);
+    const double error = hm::geometry::translation_distance(
+        result.pose, frame.ground_truth_pose);
+    outcome.mean_error += error;
+    outcome.final_error = error;
+    outcome.failures += result.tracked ? 0 : 1;
+  }
+  outcome.mean_error /= static_cast<double>(sequence->frame_count());
+  outcome.relocalizations = pipeline.relocalization_count();
+  outcome.loop_closures = pipeline.loop_closure_count();
+  return outcome;
+}
+
+TEST(LoopClosure, BlackoutCausesTrackingFailures) {
+  const Outcome outcome = run_with_blackout(EFParams::defaults(), 15, 4);
+  EXPECT_GE(outcome.failures, 4u);
+}
+
+TEST(LoopClosure, RecoversAfterBlackout) {
+  // With relocalization enabled the pipeline should re-lock once data
+  // returns (the camera barely moves over 4 frames).
+  const Outcome outcome = run_with_blackout(EFParams::defaults(), 15, 4);
+  EXPECT_LT(outcome.final_error, 0.08);
+}
+
+TEST(LoopClosure, RelocalisationFlagControlsRecoveryPath) {
+  EFParams with_reloc;
+  with_reloc.relocalisation = true;
+  EFParams without_reloc;
+  without_reloc.relocalisation = false;
+  const Outcome with_outcome = run_with_blackout(with_reloc, 15, 4);
+  const Outcome without_outcome = run_with_blackout(without_reloc, 15, 4);
+  // Relocalization can only help (or match) the final error.
+  EXPECT_LE(with_outcome.final_error, without_outcome.final_error + 0.02);
+}
+
+TEST(LoopClosure, CleanRunHasNoFailures) {
+  const Outcome outcome = run_with_blackout(EFParams::defaults(), 1000, 0);
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_LT(outcome.mean_error, 0.02);
+}
+
+TEST(LoopClosure, OpenLoopNeverClosesLoops) {
+  EFParams open;
+  open.open_loop = true;
+  const Outcome outcome = run_with_blackout(open, 1000, 0);
+  EXPECT_EQ(outcome.loop_closures, 0u);
+}
+
+TEST(LoopClosure, ClosedLoopNotWorseThanOpenLoop) {
+  EFParams open;
+  open.open_loop = true;
+  const Outcome open_outcome = run_with_blackout(open, 1000, 0);
+  const Outcome closed_outcome = run_with_blackout(EFParams::defaults(), 1000, 0);
+  // Loop closure is conservative (gated corrections); it must not make the
+  // trajectory meaningfully worse on a clean run.
+  EXPECT_LE(closed_outcome.mean_error, open_outcome.mean_error + 0.01);
+}
+
+TEST(LoopClosure, BlackoutAtStartIsSurvivable) {
+  // Losing the sensor immediately after bootstrap: the map is tiny and the
+  // fern database has one keyframe; the run must complete without crashing.
+  const Outcome outcome = run_with_blackout(EFParams::defaults(), 1, 3);
+  EXPECT_GE(outcome.failures, 3u);
+  EXPECT_LT(outcome.final_error, 0.15);
+}
+
+}  // namespace
+}  // namespace hm::elasticfusion

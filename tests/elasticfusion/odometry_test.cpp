@@ -1,0 +1,232 @@
+#include "elasticfusion/odometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/renderer.hpp"
+#include "dataset/sdf_scene.hpp"
+#include "dataset/trajectory.hpp"
+#include "kfusion/pyramid.hpp"
+
+namespace hm::elasticfusion {
+namespace {
+
+using hm::dataset::build_living_room;
+using hm::dataset::look_at;
+using hm::dataset::render_depth;
+using hm::dataset::render_intensity;
+using hm::geometry::Intrinsics;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+/// Frame-to-model tracking problem: reference model maps from the true
+/// pose, current frame from the same pose, tracking starts perturbed.
+struct OdometryFixture {
+  Intrinsics camera = Intrinsics::kinect(80, 60);
+  hm::dataset::Scene scene = build_living_room();
+  SE3 true_pose = look_at({2.4, 1.3, 3.6}, {2.4, 1.6, 1.0});
+  KernelStats stats;
+  ModelView model;
+  std::vector<hm::kfusion::PyramidLevel> pyramid;
+  std::vector<IntensityImage> intensity_pyramid;
+  std::vector<IntensityImage> previous_intensity_pyramid;
+
+  OdometryFixture() {
+    const auto depth = render_depth(scene, camera, true_pose);
+    const auto intensity = render_intensity(scene, camera, true_pose);
+    model.vertices = hm::geometry::VertexMap(camera.width, camera.height, Vec3f{});
+    model.normals = hm::geometry::NormalMap(camera.width, camera.height, Vec3f{});
+    model.intensity =
+        hm::geometry::IntensityImage(camera.width, camera.height, -1.0f);
+    for (int v = 0; v < camera.height; ++v) {
+      for (int u = 0; u < camera.width; ++u) {
+        const float z = depth.at(u, v);
+        if (z <= 0.0f) continue;
+        const Vec3d p_world =
+            true_pose * camera.unproject(u, v, static_cast<double>(z));
+        model.vertices.at(u, v) = hm::geometry::to_float(p_world);
+        model.normals.at(u, v) = hm::geometry::to_float(scene.normal(p_world));
+        model.intensity.at(u, v) = intensity.at(u, v);
+      }
+    }
+    pyramid = hm::kfusion::build_pyramid(depth, camera, 3, stats);
+    intensity_pyramid = build_intensity_pyramid(intensity, 3, stats);
+    previous_intensity_pyramid = intensity_pyramid;
+  }
+};
+
+SE3 perturb(const SE3& pose, Vec3d translation, Vec3d rotation) {
+  SE3 delta;
+  delta.rotation = hm::geometry::so3_exp(rotation);
+  delta.translation = translation;
+  return delta * pose;
+}
+
+TEST(IntensityPyramid, LevelsHalveAndAverage) {
+  IntensityImage level0(8, 8, 0.0f);
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      level0.at(u, v) = static_cast<float>(u % 2);  // Checkerboard columns.
+    }
+  }
+  KernelStats stats;
+  const auto pyramid = build_intensity_pyramid(level0, 3, stats);
+  ASSERT_EQ(pyramid.size(), 3u);
+  EXPECT_EQ(pyramid[1].width(), 4);
+  EXPECT_EQ(pyramid[2].width(), 2);
+  EXPECT_FLOAT_EQ(pyramid[1].at(1, 1), 0.5f);  // Average of 0 and 1 columns.
+  EXPECT_GT(stats.count(Kernel::kPyramid), 0u);
+}
+
+TEST(So3Prealign, IdentityForSameFrame) {
+  OdometryFixture fixture;
+  const std::size_t coarse = fixture.pyramid.size() - 1;
+  const auto rotation = so3_prealign(
+      fixture.pyramid[coarse], fixture.intensity_pyramid[coarse],
+      fixture.previous_intensity_pyramid[coarse],
+      fixture.pyramid[coarse].intrinsics, fixture.stats);
+  EXPECT_NEAR(hm::geometry::so3_log(rotation).norm(), 0.0, 5e-3);
+}
+
+TEST(So3Prealign, RecoversSmallRotation) {
+  // Previous frame rendered from a slightly rotated camera: the current
+  // frame's rays map into it under that rotation.
+  OdometryFixture fixture;
+  const Vec3d axis_angle{0.0, 0.02, 0.0};
+  SE3 rotated_pose = fixture.true_pose;
+  rotated_pose.rotation =
+      fixture.true_pose.rotation * hm::geometry::so3_exp(axis_angle);
+  const auto rotated_intensity =
+      render_intensity(fixture.scene, fixture.camera, rotated_pose);
+  KernelStats stats;
+  const auto rotated_pyramid = build_intensity_pyramid(rotated_intensity, 3, stats);
+
+  const std::size_t coarse = fixture.pyramid.size() - 1;
+  const auto recovered = so3_prealign(
+      fixture.pyramid[coarse], fixture.intensity_pyramid[coarse],
+      rotated_pyramid[coarse], fixture.pyramid[coarse].intrinsics, stats);
+  // A current-camera point p appears at R p in the "previous" camera; with
+  // T_prev = T_true * exp(w), R should approximate exp(-w)... the recovered
+  // magnitude is what matters for a warm start.
+  const double recovered_angle = hm::geometry::so3_log(recovered).norm();
+  EXPECT_NEAR(recovered_angle, 0.02, 0.012);
+  EXPECT_GT(stats.count(Kernel::kSo3Prealign), 0u);
+}
+
+TEST(TrackRgbd, ConvergesFromPerturbedStart) {
+  OdometryFixture fixture;
+  const SE3 initial = perturb(fixture.true_pose, {0.02, -0.01, 0.015},
+                              {0.0, 0.01, 0.004});
+  OdometryConfig config;
+  const OdometryResult result = track_rgbd(
+      fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+      fixture.previous_intensity_pyramid, fixture.camera, fixture.true_pose,
+      initial, config, fixture.stats);
+  EXPECT_TRUE(result.tracked);
+  EXPECT_LT(hm::geometry::translation_distance(result.pose, fixture.true_pose),
+            0.008);
+}
+
+TEST(TrackRgbd, FastOdometryUsesFewerOps) {
+  OdometryFixture fixture;
+  const SE3 initial = perturb(fixture.true_pose, {0.01, 0.0, 0.0}, {});
+  OdometryConfig full, fast;
+  fast.fast_odometry = true;
+  full.update_threshold = fast.update_threshold = 0.0;  // Fixed budgets.
+  KernelStats full_stats, fast_stats;
+  (void)track_rgbd(fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+                   fixture.previous_intensity_pyramid, fixture.camera,
+                   fixture.true_pose, initial, full, full_stats);
+  (void)track_rgbd(fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+                   fixture.previous_intensity_pyramid, fixture.camera,
+                   fixture.true_pose, initial, fast, fast_stats);
+  EXPECT_LT(fast_stats.count(Kernel::kIcp) + fast_stats.count(Kernel::kRgbTrack),
+            (full_stats.count(Kernel::kIcp) + full_stats.count(Kernel::kRgbTrack)) / 2);
+}
+
+TEST(TrackRgbd, FastOdometryStillConvergesForSmallMotion) {
+  OdometryFixture fixture;
+  const SE3 initial = perturb(fixture.true_pose, {0.01, 0.005, 0.0}, {});
+  OdometryConfig config;
+  config.fast_odometry = true;
+  const OdometryResult result = track_rgbd(
+      fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+      fixture.previous_intensity_pyramid, fixture.camera, fixture.true_pose,
+      initial, config, fixture.stats);
+  EXPECT_TRUE(result.tracked);
+  EXPECT_LT(hm::geometry::translation_distance(result.pose, fixture.true_pose),
+            0.02);
+}
+
+TEST(TrackRgbd, FrameToFrameModeUsesPreviousIntensity) {
+  OdometryFixture fixture;
+  // Remove the model intensity: frame-to-model RGB is impossible, but
+  // frame-to-frame still has a photometric signal.
+  fixture.model.intensity.fill(-1.0f);
+  const SE3 initial = perturb(fixture.true_pose, {0.015, 0.0, 0.0}, {});
+  OdometryConfig ftf;
+  ftf.frame_to_frame_rgb = true;
+  KernelStats stats;
+  const OdometryResult result = track_rgbd(
+      fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+      fixture.previous_intensity_pyramid, fixture.camera, fixture.true_pose,
+      initial, ftf, stats);
+  EXPECT_TRUE(result.tracked);
+  EXPECT_GT(stats.count(Kernel::kRgbTrack), 0u);
+}
+
+TEST(TrackRgbd, IcpWeightShiftsRelianceOnGeometry) {
+  OdometryFixture fixture;
+  // Corrupt the model intensity with a constant bias: the RGB term now
+  // pulls away from the truth, so a geometry-heavy weight must do better.
+  for (float& value : fixture.model.intensity) {
+    if (value > -0.5f) value = std::min(1.0f, value + 0.3f);
+  }
+  const SE3 initial = perturb(fixture.true_pose, {0.02, 0.0, 0.0}, {});
+  OdometryConfig geometric, photometric;
+  geometric.icp_rgb_weight = 25.0;
+  photometric.icp_rgb_weight = 1.0;
+  KernelStats stats;
+  const OdometryResult geo = track_rgbd(
+      fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+      fixture.previous_intensity_pyramid, fixture.camera, fixture.true_pose,
+      initial, geometric, stats);
+  const OdometryResult photo = track_rgbd(
+      fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+      fixture.previous_intensity_pyramid, fixture.camera, fixture.true_pose,
+      initial, photometric, stats);
+  EXPECT_LE(
+      hm::geometry::translation_distance(geo.pose, fixture.true_pose),
+      hm::geometry::translation_distance(photo.pose, fixture.true_pose) + 1e-4);
+}
+
+TEST(TrackRgbd, EmptyModelFailsTracking) {
+  OdometryFixture fixture;
+  ModelView empty;
+  empty.vertices =
+      hm::geometry::VertexMap(fixture.camera.width, fixture.camera.height, Vec3f{});
+  empty.normals =
+      hm::geometry::NormalMap(fixture.camera.width, fixture.camera.height, Vec3f{});
+  empty.intensity = hm::geometry::IntensityImage(fixture.camera.width,
+                                                 fixture.camera.height, -1.0f);
+  const OdometryResult result = track_rgbd(
+      fixture.pyramid, fixture.intensity_pyramid, empty,
+      fixture.previous_intensity_pyramid, fixture.camera, fixture.true_pose,
+      fixture.true_pose, {}, fixture.stats);
+  EXPECT_FALSE(result.tracked);
+}
+
+TEST(TrackRgbd, CountsIcpAndRgbOpsSeparately) {
+  OdometryFixture fixture;
+  KernelStats stats;
+  (void)track_rgbd(fixture.pyramid, fixture.intensity_pyramid, fixture.model,
+                   fixture.previous_intensity_pyramid, fixture.camera,
+                   fixture.true_pose, fixture.true_pose, {}, stats);
+  EXPECT_GT(stats.count(Kernel::kIcp), 0u);
+  EXPECT_GT(stats.count(Kernel::kRgbTrack), 0u);
+  EXPECT_GT(stats.count(Kernel::kSolve), 0u);
+}
+
+}  // namespace
+}  // namespace hm::elasticfusion

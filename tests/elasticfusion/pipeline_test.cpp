@@ -1,0 +1,150 @@
+#include "elasticfusion/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+
+namespace hm::elasticfusion {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> test_sequence() {
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(30, 80, 60, nullptr, true);
+  return sequence;
+}
+
+struct RunOutcome {
+  double max_error = 0.0;
+  double mean_error = 0.0;
+  std::size_t failures = 0;
+  KernelStats stats;
+  std::size_t surfels = 0;
+  std::size_t loop_closures = 0;
+  std::size_t relocalizations = 0;
+};
+
+RunOutcome run(const EFParams& params, std::size_t frames = 30) {
+  const auto sequence = test_sequence();
+  frames = std::min(frames, sequence->frame_count());
+  ElasticFusionPipeline pipeline(params, sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  RunOutcome outcome;
+  for (std::size_t i = 0; i < frames; ++i) {
+    const auto& frame = sequence->frame(i);
+    const auto result = pipeline.process_frame(frame.depth, frame.intensity);
+    const double error = hm::geometry::translation_distance(
+        result.pose, frame.ground_truth_pose);
+    outcome.max_error = std::max(outcome.max_error, error);
+    outcome.mean_error += error;
+    outcome.failures += result.tracked ? 0 : 1;
+  }
+  outcome.mean_error /= static_cast<double>(frames);
+  outcome.stats = pipeline.stats();
+  outcome.surfels = pipeline.map().size();
+  outcome.loop_closures = pipeline.loop_closure_count();
+  outcome.relocalizations = pipeline.relocalization_count();
+  return outcome;
+}
+
+TEST(EFPipeline, TracksDefaultConfiguration) {
+  const RunOutcome outcome = run(EFParams::defaults());
+  EXPECT_EQ(outcome.failures, 0u);
+  EXPECT_LT(outcome.max_error, 0.05);
+}
+
+TEST(EFPipeline, BuildsSurfelMap) {
+  const RunOutcome outcome = run(EFParams::defaults());
+  EXPECT_GT(outcome.surfels, 500u);
+}
+
+TEST(EFPipeline, StatsCoverAllTrackingKernels) {
+  const RunOutcome outcome = run(EFParams::defaults());
+  EXPECT_GT(outcome.stats.count(Kernel::kIcp), 0u);
+  EXPECT_GT(outcome.stats.count(Kernel::kRgbTrack), 0u);
+  EXPECT_GT(outcome.stats.count(Kernel::kSurfelFusion), 0u);
+  EXPECT_GT(outcome.stats.count(Kernel::kSo3Prealign), 0u);
+  EXPECT_GT(outcome.stats.count(Kernel::kLoopClosure), 0u);
+  EXPECT_GT(outcome.stats.count(Kernel::kBilateral), 0u);
+}
+
+TEST(EFPipeline, DisablingSo3RemovesItsOps) {
+  EFParams params;
+  params.so3_prealign = false;
+  const RunOutcome outcome = run(params);
+  EXPECT_EQ(outcome.stats.count(Kernel::kSo3Prealign), 0u);
+  EXPECT_EQ(outcome.failures, 0u);
+}
+
+TEST(EFPipeline, FastOdometryReducesTrackingOps) {
+  EFParams fast;
+  fast.fast_odometry = true;
+  const RunOutcome fast_outcome = run(fast);
+  const RunOutcome full_outcome = run(EFParams::defaults());
+  EXPECT_LT(fast_outcome.stats.count(Kernel::kIcp),
+            full_outcome.stats.count(Kernel::kIcp));
+  EXPECT_EQ(fast_outcome.failures, 0u);
+}
+
+TEST(EFPipeline, DepthCutoffLimitsObservations) {
+  EFParams near_only;
+  near_only.depth_cutoff = 1.5;
+  const RunOutcome near_outcome = run(near_only);
+  const RunOutcome full_outcome = run(EFParams::defaults());
+  EXPECT_LT(near_outcome.stats.count(Kernel::kSurfelFusion),
+            full_outcome.stats.count(Kernel::kSurfelFusion));
+  EXPECT_LT(near_outcome.surfels, full_outcome.surfels);
+}
+
+TEST(EFPipeline, OpenLoopSkipsLoopClosureWork) {
+  EFParams open;
+  open.open_loop = true;
+  const RunOutcome outcome = run(open);
+  EXPECT_EQ(outcome.loop_closures, 0u);
+}
+
+TEST(EFPipeline, TrajectoryRecorded) {
+  const auto sequence = test_sequence();
+  ElasticFusionPipeline pipeline(EFParams::defaults(), sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto& frame = sequence->frame(i);
+    (void)pipeline.process_frame(frame.depth, frame.intensity);
+  }
+  EXPECT_EQ(pipeline.trajectory().size(), 8u);
+}
+
+TEST(EFPipeline, ConfidenceThresholdChangesModelDensity) {
+  EFParams strict;
+  strict.confidence_threshold = 30.0;
+  EFParams loose;
+  loose.confidence_threshold = 2.0;
+  const RunOutcome strict_outcome = run(strict);
+  const RunOutcome loose_outcome = run(loose);
+  // Both must still track on this easy sequence (the unstable-surfel
+  // window covers young surfels).
+  EXPECT_EQ(strict_outcome.failures, 0u);
+  EXPECT_EQ(loose_outcome.failures, 0u);
+}
+
+TEST(EFPipeline, VeryTightDepthCutoffDegradesAccuracy) {
+  EFParams tight;
+  tight.depth_cutoff = 1.0;  // Nearly everything is beyond 1 m.
+  const RunOutcome tight_outcome = run(tight);
+  const RunOutcome normal_outcome = run(EFParams::defaults());
+  // Either tracking fails outright or the error is clearly worse.
+  EXPECT_TRUE(tight_outcome.failures > 0 ||
+              tight_outcome.mean_error > normal_outcome.mean_error);
+}
+
+TEST(EFPipeline, DeterministicAcrossRuns) {
+  const RunOutcome a = run(EFParams::defaults());
+  const RunOutcome b = run(EFParams::defaults());
+  EXPECT_EQ(a.mean_error, b.mean_error);
+  EXPECT_EQ(a.surfels, b.surfels);
+  EXPECT_EQ(a.stats.total(), b.stats.total());
+}
+
+}  // namespace
+}  // namespace hm::elasticfusion

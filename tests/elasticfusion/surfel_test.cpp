@@ -1,0 +1,322 @@
+#include "elasticfusion/surfel_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hm::elasticfusion {
+namespace {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::IntensityImage;
+using hm::geometry::NormalMap;
+using hm::geometry::VertexMap;
+
+/// A flat wall observed head-on: every pixel has vertex (x, y, 2) and
+/// normal (0, 0, -1) in camera space.
+struct WallFrame {
+  Intrinsics camera = Intrinsics::kinect(20, 15);
+  VertexMap vertices{20, 15, Vec3f{}};
+  NormalMap normals{20, 15, Vec3f{}};
+  IntensityImage intensity{20, 15, 0.5f};
+
+  WallFrame() {
+    for (int v = 0; v < 15; ++v) {
+      for (int u = 0; u < 20; ++u) {
+        vertices.at(u, v) =
+            hm::geometry::to_float(camera.unproject(u, v, 2.0));
+        normals.at(u, v) = Vec3f{0, 0, -1};
+      }
+    }
+  }
+};
+
+TEST(SurfelMap, FirstFusionCreatesSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  EXPECT_GT(map.size(), 0u);
+  EXPECT_LE(map.size(), frame.camera.pixel_count());
+  EXPECT_GT(stats.count(Kernel::kSurfelFusion), 0u);
+}
+
+TEST(SurfelMap, RefusionMergesInsteadOfDuplicating) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  const std::size_t after_first = map.size();
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 1, {}, stats);
+  // Same observation fuses into existing surfels; little to no growth.
+  EXPECT_LE(map.size(), after_first + after_first / 10);
+}
+
+TEST(SurfelMap, ConfidenceGrowsWithObservations) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, i, {}, stats);
+  }
+  double max_confidence = 0.0;
+  for (const Surfel& s : map.surfels()) {
+    max_confidence = std::max(max_confidence, static_cast<double>(s.confidence));
+  }
+  EXPECT_GE(max_confidence, 5.0);
+}
+
+TEST(SurfelMap, StableCountThresholds) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  // Merged pixels give some surfels confidence > 1 already; with threshold 1
+  // everything is stable, with a huge threshold nothing is.
+  EXPECT_EQ(map.stable_count(1.0), map.size());
+  EXPECT_EQ(map.stable_count(1e9), 0u);
+}
+
+TEST(SurfelMap, NormalDisagreementPreventsMerge) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  const std::size_t after_first = map.size();
+  // Same geometry but flipped normals: must create new surfels.
+  WallFrame flipped;
+  for (auto& n : flipped.normals) n = Vec3f{0, 0, 1};
+  map.fuse(flipped.vertices, flipped.normals, flipped.intensity, SE3{}, 1, {},
+           stats);
+  EXPECT_GT(map.size(), after_first + after_first / 2);
+}
+
+TEST(SurfelMap, PoseTransformsObservationsToWorld) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  SE3 pose;
+  pose.translation = {1.0, 2.0, 3.0};
+  map.fuse(frame.vertices, frame.normals, frame.intensity, pose, 0, {}, stats);
+  // All surfels must be near world z = 3 + 2 = 5.
+  for (const Surfel& s : map.surfels()) {
+    EXPECT_NEAR(s.position.z, 5.0f, 0.1f);
+  }
+}
+
+TEST(SurfelMap, ProjectRendersStoredSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, i, {}, stats);
+  }
+  const ModelView view =
+      map.project(frame.camera, SE3{}, 1.0, 3, 0, stats);
+  int filled = 0;
+  for (int v = 0; v < 15; ++v) {
+    for (int u = 0; u < 20; ++u) {
+      const Vec3f vertex = view.vertices.at(u, v);
+      if (vertex == Vec3f{}) continue;
+      ++filled;
+      EXPECT_NEAR(vertex.z, 2.0f, 0.05f);
+      EXPECT_NEAR(view.normals.at(u, v).z, -1.0f, 1e-4f);
+      EXPECT_NEAR(view.intensity.at(u, v), 0.5f, 1e-4f);
+    }
+  }
+  EXPECT_GT(filled, 100);
+}
+
+TEST(SurfelMap, ProjectRespectsConfidenceThreshold) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  // Huge threshold and no unstable window: nothing renders.
+  const ModelView empty_view =
+      map.project(frame.camera, SE3{}, 1e9, 0, 0, stats);
+  for (const Vec3f& vertex : empty_view.vertices) EXPECT_EQ(vertex, Vec3f{});
+}
+
+TEST(SurfelMap, UnstableWindowAdmitsRecentSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 10, {}, stats);
+  // Threshold too high for their confidence, but they were seen at frame 10.
+  const ModelView recent_view =
+      map.project(frame.camera, SE3{}, 1e9, 12, 30, stats);
+  int filled = 0;
+  for (const Vec3f& vertex : recent_view.vertices) {
+    filled += vertex == Vec3f{} ? 0 : 1;
+  }
+  EXPECT_GT(filled, 100);
+  // Far in the future, the window has expired.
+  const ModelView stale_view =
+      map.project(frame.camera, SE3{}, 1e9, 100, 30, stats);
+  for (const Vec3f& vertex : stale_view.vertices) EXPECT_EQ(vertex, Vec3f{});
+}
+
+TEST(SurfelMap, ZBufferKeepsNearestSurfel) {
+  SurfelMap map;
+  KernelStats stats;
+  const Intrinsics camera = Intrinsics::kinect(10, 10);
+  // Two surfels on the same ray at different depths.
+  VertexMap near_vertices(10, 10, Vec3f{});
+  NormalMap normals(10, 10, Vec3f{});
+  IntensityImage near_intensity(10, 10, 0.2f);
+  near_vertices.at(5, 5) = hm::geometry::to_float(camera.unproject(5, 5, 1.0));
+  normals.at(5, 5) = Vec3f{0, 0, -1};
+  map.fuse(near_vertices, normals, near_intensity, SE3{}, 0, {}, stats);
+
+  VertexMap far_vertices(10, 10, Vec3f{});
+  IntensityImage far_intensity(10, 10, 0.9f);
+  far_vertices.at(5, 5) = hm::geometry::to_float(camera.unproject(5, 5, 3.0));
+  map.fuse(far_vertices, normals, far_intensity, SE3{}, 0, {}, stats);
+
+  EXPECT_EQ(map.size(), 2u);
+  const ModelView view = map.project(camera, SE3{}, 0.5, 0, 10, stats);
+  EXPECT_NEAR(view.vertices.at(5, 5).z, 1.0f, 0.01f);
+  EXPECT_NEAR(view.intensity.at(5, 5), 0.2f, 0.01f);
+}
+
+TEST(SurfelMap, TransformMovesAllSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  SE3 shift;
+  shift.translation = {0.5, 0.0, 0.0};
+  std::vector<Vec3f> before;
+  for (const Surfel& s : map.surfels()) before.push_back(s.position);
+  map.transform(shift);
+  for (std::size_t i = 0; i < map.size(); ++i) {
+    EXPECT_NEAR(map.surfels()[i].position.x, before[i].x + 0.5f, 1e-5f);
+  }
+}
+
+TEST(SurfelMap, TransformPreservesAssociationGrid) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  const std::size_t before = map.size();
+  SE3 shift;
+  shift.translation = {0.25, 0.1, 0.0};
+  map.transform(shift);
+  // Re-fusing observations expressed at the shifted pose should merge, not
+  // duplicate: the spatial hash must have been rebuilt.
+  map.fuse(frame.vertices, frame.normals, frame.intensity, shift, 1, {}, stats);
+  EXPECT_LE(map.size(), before + before / 10);
+}
+
+TEST(SurfelMap, PruneRemovesStaleUnstableSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  const std::size_t before = map.size();
+  // Far in the future with a high confidence bar: everything is stale.
+  const std::size_t removed = map.prune(1000, 10, 1e9, stats);
+  EXPECT_EQ(removed, before);
+  EXPECT_EQ(map.size(), 0u);
+}
+
+TEST(SurfelMap, PruneKeepsStableAndRecentSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, i, {}, stats);
+  }
+  // With threshold 3, most surfels are stable; nothing should vanish.
+  EXPECT_EQ(map.prune(100, 10, 3.0, stats), 0u);
+  // Recent surfels survive even a high bar.
+  EXPECT_EQ(map.prune(10, 10, 1e9, stats), 0u);
+  EXPECT_GT(map.size(), 0u);
+}
+
+TEST(SurfelMap, PruneRebuildsAssociationGrid) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  // Stable wall: fused five times at the identity pose.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, i, {}, stats);
+  }
+  const std::size_t stable_before = map.stable_count(4.5);
+  ASSERT_GT(stable_before, 0u);
+  // One-shot noise far away (low confidence, observed once at frame 5).
+  SE3 offset;
+  offset.translation = {10, 10, 10};
+  map.fuse(frame.vertices, frame.normals, frame.intensity, offset, 5, {}, stats);
+  const std::size_t with_noise = map.size();
+
+  // Long after, with a confidence bar the noise never reached.
+  const std::size_t removed = map.prune(500, 50, 4.5, stats);
+  EXPECT_GT(removed, 0u);
+  EXPECT_LT(map.size(), with_noise);
+  EXPECT_EQ(map.stable_count(4.5), stable_before);  // Stable wall intact.
+
+  // Fusion after pruning must still merge correctly (grid rebuilt).
+  const std::size_t after_prune = map.size();
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 6, {}, stats);
+  EXPECT_LE(map.size(), after_prune + after_prune / 2);
+}
+
+TEST(SurfelMap, PlyExportContainsStableSurfels) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, i, {}, stats);
+  }
+  const std::string ply = map.to_ply(1.0);
+  EXPECT_EQ(ply.rfind("ply\nformat ascii 1.0", 0), 0u);
+  // Vertex count in the header equals the stable count.
+  const std::string marker = "element vertex ";
+  const auto pos = ply.find(marker);
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t declared = std::stoul(ply.substr(pos + marker.size()));
+  EXPECT_EQ(declared, map.stable_count(1.0));
+  // One data line per vertex after the header.
+  const auto header_end = ply.find("end_header\n");
+  ASSERT_NE(header_end, std::string::npos);
+  std::size_t lines = 0;
+  for (std::size_t i = header_end + 11; i < ply.size(); ++i) {
+    lines += ply[i] == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, declared);
+}
+
+TEST(SurfelMap, PlyExportThresholdFilters) {
+  WallFrame frame;
+  SurfelMap map;
+  KernelStats stats;
+  map.fuse(frame.vertices, frame.normals, frame.intensity, SE3{}, 0, {}, stats);
+  const std::string all = map.to_ply(0.0);
+  const std::string none = map.to_ply(1e9);
+  EXPECT_GT(all.size(), none.size());
+  EXPECT_NE(none.find("element vertex 0"), std::string::npos);
+}
+
+TEST(SurfelMap, DepthDependentRadius) {
+  SurfelMap map;
+  KernelStats stats;
+  const Intrinsics camera = Intrinsics::kinect(10, 10);
+  VertexMap vertices(10, 10, Vec3f{});
+  NormalMap normals(10, 10, Vec3f{});
+  vertices.at(2, 2) = hm::geometry::to_float(camera.unproject(2, 2, 1.0));
+  vertices.at(7, 7) = hm::geometry::to_float(camera.unproject(7, 7, 4.0));
+  normals.at(2, 2) = normals.at(7, 7) = Vec3f{0, 0, -1};
+  map.fuse(vertices, normals, {}, SE3{}, 0, {}, stats);
+  ASSERT_EQ(map.size(), 2u);
+  float near_radius = 0, far_radius = 0;
+  for (const Surfel& s : map.surfels()) {
+    (s.position.z < 2.0f ? near_radius : far_radius) = s.radius;
+  }
+  EXPECT_GT(far_radius, near_radius * 2.0f);
+}
+
+}  // namespace
+}  // namespace hm::elasticfusion

@@ -1,0 +1,94 @@
+#include "geometry/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hm::geometry {
+namespace {
+
+TEST(Intrinsics, KinectScalesWithResolution) {
+  const Intrinsics full = Intrinsics::kinect(640, 480);
+  const Intrinsics half = Intrinsics::kinect(320, 240);
+  EXPECT_DOUBLE_EQ(full.fx, 481.2);
+  EXPECT_DOUBLE_EQ(half.fx, full.fx / 2.0);
+  EXPECT_DOUBLE_EQ(half.cy, full.cy / 2.0);
+  EXPECT_EQ(half.width, 320);
+  EXPECT_EQ(half.height, 240);
+}
+
+TEST(Intrinsics, ScaledByRatio) {
+  const Intrinsics base = Intrinsics::kinect(80, 60);
+  const Intrinsics quarter = base.scaled(4);
+  EXPECT_EQ(quarter.width, 20);
+  EXPECT_EQ(quarter.height, 15);
+  EXPECT_DOUBLE_EQ(quarter.fx, base.fx / 4.0);
+  EXPECT_DOUBLE_EQ(quarter.cx, base.cx / 4.0);
+}
+
+TEST(Intrinsics, ScaledByOneIsIdentity) {
+  const Intrinsics base = Intrinsics::kinect(80, 60);
+  const Intrinsics same = base.scaled(1);
+  EXPECT_EQ(same.width, base.width);
+  EXPECT_DOUBLE_EQ(same.fx, base.fx);
+}
+
+class ProjectUnprojectTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(ProjectUnprojectTest, RoundTripsToPixelCenter) {
+  const auto [u, v, depth] = GetParam();
+  const Intrinsics camera = Intrinsics::kinect(80, 60);
+  const Vec3d point = camera.unproject(u, v, depth);
+  EXPECT_NEAR(point.z, depth, 1e-12);
+  const auto pixel = camera.project(point);
+  ASSERT_TRUE(pixel.has_value());
+  // project() returns continuous coordinates where the integer value is the
+  // pixel center.
+  EXPECT_NEAR(pixel->x, u, 1e-9);
+  EXPECT_NEAR(pixel->y, v, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pixels, ProjectUnprojectTest,
+    ::testing::Combine(::testing::Values(0, 17, 40, 79),
+                       ::testing::Values(0, 30, 59),
+                       ::testing::Values(0.5, 1.0, 3.7)));
+
+TEST(Intrinsics, ProjectBehindCameraFails) {
+  const Intrinsics camera = Intrinsics::kinect(80, 60);
+  EXPECT_FALSE(camera.project({0, 0, -1}).has_value());
+  EXPECT_FALSE(camera.project({0, 0, 0}).has_value());
+}
+
+TEST(Intrinsics, RayDirectionHasUnitZ) {
+  const Intrinsics camera = Intrinsics::kinect(80, 60);
+  for (int u = 0; u < 80; u += 13) {
+    for (int v = 0; v < 60; v += 11) {
+      EXPECT_DOUBLE_EQ(camera.ray_direction(u, v).z, 1.0);
+    }
+  }
+}
+
+TEST(Intrinsics, CenterRayPointsForward) {
+  const Intrinsics camera = Intrinsics::kinect(80, 60);
+  // cx - 0.5 = 39.4375*... the ray through the principal point has x ~ 0.
+  const Vec3d ray = camera.ray_direction(static_cast<int>(camera.cx), 30);
+  EXPECT_NEAR(ray.x, 0.0, 0.02);
+}
+
+TEST(Intrinsics, ContainsBounds) {
+  const Intrinsics camera = Intrinsics::kinect(80, 60);
+  EXPECT_TRUE(camera.contains(0, 0));
+  EXPECT_TRUE(camera.contains(79, 59));
+  EXPECT_FALSE(camera.contains(-1, 0));
+  EXPECT_FALSE(camera.contains(80, 0));
+  EXPECT_FALSE(camera.contains(0, 60));
+}
+
+TEST(Intrinsics, PixelCount) {
+  EXPECT_EQ(Intrinsics::kinect(80, 60).pixel_count(), 4800u);
+}
+
+}  // namespace
+}  // namespace hm::geometry

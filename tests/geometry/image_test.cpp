@@ -1,0 +1,90 @@
+#include "geometry/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hm::geometry {
+namespace {
+
+TEST(Image, ConstructionAndFill) {
+  Image<float> image(4, 3, 2.5f);
+  EXPECT_EQ(image.width(), 4);
+  EXPECT_EQ(image.height(), 3);
+  EXPECT_EQ(image.size(), 12u);
+  EXPECT_FALSE(image.empty());
+  for (const float v : image) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(Image, DefaultIsEmpty) {
+  const Image<float> image;
+  EXPECT_TRUE(image.empty());
+  EXPECT_EQ(image.size(), 0u);
+}
+
+TEST(Image, RowMajorAddressing) {
+  Image<int> image(3, 2, 0);
+  image.at(2, 1) = 7;
+  EXPECT_EQ(image.data()[1 * 3 + 2], 7);
+  image.data()[0] = 9;
+  EXPECT_EQ(image.at(0, 0), 9);
+}
+
+TEST(Image, Contains) {
+  const Image<float> image(5, 4);
+  EXPECT_TRUE(image.contains(0, 0));
+  EXPECT_TRUE(image.contains(4, 3));
+  EXPECT_FALSE(image.contains(5, 0));
+  EXPECT_FALSE(image.contains(0, 4));
+  EXPECT_FALSE(image.contains(-1, 2));
+}
+
+TEST(Image, FillOverwrites) {
+  Image<float> image(2, 2, 1.0f);
+  image.fill(4.0f);
+  for (const float v : image) EXPECT_FLOAT_EQ(v, 4.0f);
+}
+
+TEST(Image, VectorValuedPixels) {
+  VertexMap map(2, 2, Vec3f{});
+  map.at(1, 0) = Vec3f{1, 2, 3};
+  EXPECT_EQ(map.at(1, 0), (Vec3f{1, 2, 3}));
+  EXPECT_EQ(map.at(0, 0), Vec3f{});
+}
+
+TEST(BilinearSample, ExactOnLinearRamp) {
+  // f(u, v) = u + 10 v is reproduced exactly by bilinear interpolation.
+  Image<float> image(8, 8);
+  for (int v = 0; v < 8; ++v) {
+    for (int u = 0; u < 8; ++u) {
+      image.at(u, v) = static_cast<float>(u + 10 * v);
+    }
+  }
+  const auto sample = sample_bilinear(image, 2.25, 3.5);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_NEAR(*sample, 2.25 + 35.0, 1e-5);
+}
+
+TEST(BilinearSample, AtIntegerCoordinates) {
+  Image<float> image(4, 4, 0.0f);
+  image.at(1, 2) = 5.0f;
+  const auto sample = sample_bilinear(image, 1.0, 2.0);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_FLOAT_EQ(*sample, 5.0f);
+}
+
+TEST(BilinearSample, OutsideDomainFails) {
+  const Image<float> image(4, 4, 1.0f);
+  EXPECT_FALSE(sample_bilinear(image, -0.5, 1.0).has_value());
+  EXPECT_FALSE(sample_bilinear(image, 3.5, 1.0).has_value());  // u0+1 == 4.
+  EXPECT_FALSE(sample_bilinear(image, 1.0, 3.1).has_value());
+}
+
+TEST(BilinearSample, InvalidSupportPixelFails) {
+  Image<float> image(4, 4, 1.0f);
+  image.at(2, 2) = 0.0f;  // Invalid under threshold 0.5.
+  EXPECT_FALSE(sample_bilinear(image, 1.5, 1.5, 0.5f).has_value());
+  // Away from the invalid pixel it still works.
+  EXPECT_TRUE(sample_bilinear(image, 0.5, 0.5, 0.5f).has_value());
+}
+
+}  // namespace
+}  // namespace hm::geometry

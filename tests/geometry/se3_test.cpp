@@ -1,0 +1,183 @@
+#include "geometry/se3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hm::geometry {
+namespace {
+
+void expect_rotation_near(const Mat3d& a, const Mat3d& b, double tol) {
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(a.m[i], b.m[i], tol);
+}
+
+bool is_orthonormal(const Mat3d& r, double tol = 1e-12) {
+  const Mat3d rtr = r.transposed() * r;
+  const Mat3d identity = Mat3d::identity();
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (std::abs(rtr.m[i] - identity.m[i]) > tol) return false;
+  }
+  return true;
+}
+
+TEST(So3, ExpOfZeroIsIdentity) {
+  expect_rotation_near(so3_exp({0, 0, 0}), Mat3d::identity(), 1e-15);
+}
+
+TEST(So3, ExpKnownRotationAboutZ) {
+  const double angle = M_PI / 2.0;
+  const Mat3d r = so3_exp({0, 0, angle});
+  const Vec3d rotated = r * Vec3d{1, 0, 0};
+  EXPECT_NEAR(rotated.x, 0.0, 1e-12);
+  EXPECT_NEAR(rotated.y, 1.0, 1e-12);
+  EXPECT_NEAR(rotated.z, 0.0, 1e-12);
+}
+
+TEST(So3, ExpIsOrthonormal) {
+  hm::common::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3d w{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    EXPECT_TRUE(is_orthonormal(so3_exp(w)));
+  }
+}
+
+class So3RoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(So3RoundTripTest, LogInvertsExp) {
+  const double scale = GetParam();
+  hm::common::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    Vec3d w{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    w = w.normalized() * (scale * rng.uniform(0.1, 1.0));
+    const Vec3d recovered = so3_log(so3_exp(w));
+    EXPECT_NEAR((recovered - w).norm(), 0.0, 1e-8)
+        << "w=(" << w.x << "," << w.y << "," << w.z << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AngleScales, So3RoundTripTest,
+                         ::testing::Values(1e-8, 1e-4, 0.1, 1.0, 2.0, 3.0));
+
+TEST(So3, LogNearPiRecoversAngle) {
+  // Rotation by almost pi about a known axis.
+  const Vec3d axis = Vec3d{1, 2, 3}.normalized();
+  const double angle = M_PI - 1e-7;
+  const Vec3d w = axis * angle;
+  const Vec3d recovered = so3_log(so3_exp(w));
+  EXPECT_NEAR(recovered.norm(), angle, 1e-5);
+  // Axis may flip sign at exactly pi; near pi it should not.
+  EXPECT_NEAR((recovered.normalized() - axis).norm(), 0.0, 1e-3);
+}
+
+TEST(So3, LogOfIdentityIsZero) {
+  EXPECT_NEAR(so3_log(Mat3d::identity()).norm(), 0.0, 1e-15);
+}
+
+TEST(SE3, IdentityLeavesPointsFixed) {
+  const SE3 identity = SE3::identity();
+  const Vec3d p{1, 2, 3};
+  EXPECT_EQ(identity * p, p);
+}
+
+TEST(SE3, InverseComposesToIdentity) {
+  hm::common::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    SE3 pose;
+    pose.rotation = so3_exp(
+        {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)});
+    pose.translation = {rng.uniform(-5, 5), rng.uniform(-5, 5),
+                        rng.uniform(-5, 5)};
+    const SE3 product = pose * pose.inverse();
+    expect_rotation_near(product.rotation, Mat3d::identity(), 1e-12);
+    EXPECT_NEAR(product.translation.norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(SE3, CompositionMatchesPointApplication) {
+  hm::common::Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    SE3 a, b;
+    a.rotation = so3_exp({rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+    a.translation = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    b.rotation = so3_exp({rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+    b.translation = {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const Vec3d p{rng.uniform(-3, 3), rng.uniform(-3, 3), rng.uniform(-3, 3)};
+    const Vec3d via_compose = (a * b) * p;
+    const Vec3d via_apply = a * (b * p);
+    EXPECT_NEAR((via_compose - via_apply).norm(), 0.0, 1e-12);
+  }
+}
+
+class Se3ExpLogTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(Se3ExpLogTest, LogInvertsExp) {
+  const double scale = GetParam();
+  hm::common::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::array<double, 6> twist{};
+    for (double& value : twist) value = scale * rng.uniform(-1, 1);
+    const SE3 pose = SE3::exp(twist);
+    const std::array<double, 6> recovered = pose.log();
+    for (std::size_t k = 0; k < 6; ++k) {
+      EXPECT_NEAR(recovered[k], twist[k], 1e-8 + 1e-6 * scale);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwistScales, Se3ExpLogTest,
+                         ::testing::Values(1e-9, 1e-5, 0.01, 0.5, 2.0));
+
+TEST(SE3, ExpOfPureTranslation) {
+  const SE3 pose = SE3::exp({1, 2, 3, 0, 0, 0});
+  expect_rotation_near(pose.rotation, Mat3d::identity(), 1e-15);
+  EXPECT_EQ(pose.translation, (Vec3d{1, 2, 3}));
+}
+
+TEST(SE3, RotateIgnoresTranslation) {
+  SE3 pose;
+  pose.translation = {100, 100, 100};
+  const Vec3d direction{0, 0, 1};
+  EXPECT_EQ(pose.rotate(direction), direction);
+}
+
+TEST(SE3, DistanceHelpers) {
+  SE3 a, b;
+  b.translation = {3, 4, 0};
+  EXPECT_DOUBLE_EQ(translation_distance(a, b), 5.0);
+  b.rotation = so3_exp({0, 0, 0.5});
+  EXPECT_NEAR(rotation_angle_between(a, b), 0.5, 1e-12);
+}
+
+TEST(SE3, OrthonormalizedRepairsDrift) {
+  Mat3d drifted = so3_exp({0.3, -0.2, 0.9});
+  // Inject numeric drift.
+  for (std::size_t i = 0; i < 9; ++i) drifted.m[i] += 1e-4 * static_cast<double>(i % 3);
+  const Mat3d repaired = orthonormalized(drifted);
+  EXPECT_TRUE(is_orthonormal(repaired, 1e-12));
+}
+
+TEST(SE3, InterpolateEndpoints) {
+  SE3 a, b;
+  b.rotation = so3_exp({0, 1.2, 0});
+  b.translation = {1, 2, 3};
+  const SE3 at0 = interpolate(a, b, 0.0);
+  const SE3 at1 = interpolate(a, b, 1.0);
+  EXPECT_NEAR(translation_distance(at0, a), 0.0, 1e-12);
+  EXPECT_NEAR(rotation_angle_between(at0, a), 0.0, 1e-9);
+  EXPECT_NEAR(translation_distance(at1, b), 0.0, 1e-12);
+  EXPECT_NEAR(rotation_angle_between(at1, b), 0.0, 1e-9);
+}
+
+TEST(SE3, InterpolateMidpointIsGeodesic) {
+  SE3 a, b;
+  b.rotation = so3_exp({0, 0, 1.0});
+  const SE3 mid = interpolate(a, b, 0.5);
+  EXPECT_NEAR(rotation_angle_between(a, mid), 0.5, 1e-12);
+  EXPECT_NEAR(rotation_angle_between(mid, b), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace hm::geometry

@@ -1,0 +1,148 @@
+#include "geometry/solve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hm::geometry {
+namespace {
+
+TEST(Cholesky3, SolvesIdentity) {
+  std::array<double, 9> a{1, 0, 0, 0, 1, 0, 0, 0, 1};
+  std::array<double, 3> b{1, 2, 3};
+  const auto x = solve_cholesky<3>(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-14);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-14);
+  EXPECT_NEAR((*x)[2], 3.0, 1e-14);
+}
+
+TEST(Cholesky3, SolvesKnownSystem) {
+  // A = [[4,2,0],[2,5,1],[0,1,3]] (SPD), x = [1,-1,2] -> b = A x.
+  const std::array<double, 9> a{4, 2, 0, 2, 5, 1, 0, 1, 3};
+  const std::array<double, 3> b{2, -1, 5};
+  const auto x = solve_cholesky<3>(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], -1.0, 1e-12);
+  EXPECT_NEAR((*x)[2], 2.0, 1e-12);
+}
+
+TEST(Cholesky3, RejectsNonPositiveDefinite) {
+  // Negative diagonal entry.
+  const std::array<double, 9> a{-1, 0, 0, 0, 1, 0, 0, 0, 1};
+  EXPECT_FALSE(solve_cholesky<3>(a, {1, 1, 1}).has_value());
+  // Singular (rank 1).
+  const std::array<double, 9> singular{1, 1, 1, 1, 1, 1, 1, 1, 1};
+  EXPECT_FALSE(solve_cholesky<3>(singular, {1, 1, 1}).has_value());
+}
+
+TEST(Cholesky6, RandomSpdSystemsRecoverSolution) {
+  hm::common::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Construct SPD A = L L^T + eps I from a random lower-triangular L.
+    std::array<double, 36> l{};
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c <= r; ++c) {
+        l[r * 6 + c] = rng.uniform(-1, 1);
+      }
+      l[r * 6 + r] += 2.0;  // Keep well-conditioned.
+    }
+    std::array<double, 36> a{};
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) {
+        double value = 0.0;
+        for (std::size_t k = 0; k < 6; ++k) value += l[r * 6 + k] * l[c * 6 + k];
+        a[r * 6 + c] = value;
+      }
+    }
+    std::array<double, 6> x_true{};
+    for (double& value : x_true) value = rng.uniform(-3, 3);
+    std::array<double, 6> b{};
+    for (std::size_t r = 0; r < 6; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) b[r] += a[r * 6 + c] * x_true[c];
+    }
+    const auto x = solve_cholesky<6>(a, b);
+    ASSERT_TRUE(x.has_value());
+    for (std::size_t k = 0; k < 6; ++k) EXPECT_NEAR((*x)[k], x_true[k], 1e-9);
+  }
+}
+
+TEST(NormalEquations, RecoversLeastSquaresSolution) {
+  // Fit y = 2 a + 3 b from exact rows: jacobian (a, b), residual y.
+  NormalEquations<2> equations;
+  hm::common::Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(-1, 1);
+    const double b = rng.uniform(-1, 1);
+    equations.add({a, b}, 2.0 * a + 3.0 * b);
+  }
+  const auto x = equations.solve();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-10);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-10);
+  EXPECT_EQ(equations.count(), 100u);
+}
+
+TEST(NormalEquations, WeightedRowsDominate) {
+  NormalEquations<1> equations;
+  equations.add({1.0}, 10.0, /*weight=*/100.0);
+  equations.add({1.0}, 0.0, /*weight=*/1.0);
+  const auto x = equations.solve();
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1000.0 / 101.0, 1e-12);  // Weighted mean.
+}
+
+TEST(NormalEquations, MergeEqualsSequentialAccumulation) {
+  hm::common::Rng rng(11);
+  NormalEquations<3> whole, part_a, part_b;
+  for (int i = 0; i < 60; ++i) {
+    const std::array<double, 3> j{rng.uniform(-1, 1), rng.uniform(-1, 1),
+                                  rng.uniform(-1, 1)};
+    const double r = rng.uniform(-2, 2);
+    whole.add(j, r);
+    (i % 2 == 0 ? part_a : part_b).add(j, r);
+  }
+  part_a += part_b;
+  EXPECT_EQ(part_a.count(), whole.count());
+  EXPECT_NEAR(part_a.sum_squared_error(), whole.sum_squared_error(), 1e-12);
+  const auto x_whole = whole.solve();
+  const auto x_merged = part_a.solve();
+  ASSERT_TRUE(x_whole.has_value());
+  ASSERT_TRUE(x_merged.has_value());
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR((*x_whole)[k], (*x_merged)[k], 1e-12);
+  }
+}
+
+TEST(NormalEquations, DampingRegularizesDegenerate) {
+  // Only one independent direction observed: undamped solve fails,
+  // damped succeeds.
+  NormalEquations<2> equations;
+  for (int i = 0; i < 10; ++i) equations.add({1.0, 0.0}, 5.0);
+  EXPECT_FALSE(equations.solve(0.0).has_value());
+  const auto damped = equations.solve(1e-6);
+  ASSERT_TRUE(damped.has_value());
+  EXPECT_NEAR((*damped)[0], 5.0, 1e-3);
+  EXPECT_NEAR((*damped)[1], 0.0, 1e-9);
+}
+
+TEST(NormalEquations, ErrorTracking) {
+  NormalEquations<1> equations;
+  equations.add({1.0}, 3.0);
+  equations.add({1.0}, -4.0);
+  EXPECT_DOUBLE_EQ(equations.sum_squared_error(), 25.0);
+  EXPECT_DOUBLE_EQ(equations.mean_squared_error(), 12.5);
+}
+
+TEST(NormalEquations, EmptyHasZeroError) {
+  const NormalEquations<2> equations;
+  EXPECT_EQ(equations.count(), 0u);
+  EXPECT_DOUBLE_EQ(equations.mean_squared_error(), 0.0);
+}
+
+}  // namespace
+}  // namespace hm::geometry

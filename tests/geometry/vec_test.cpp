@@ -1,0 +1,161 @@
+#include "geometry/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace hm::geometry {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3d a{1, 2, 3};
+  const Vec3d b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3d{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Vec3d{2, 4, 6}));
+  EXPECT_EQ(2.0 * a, (Vec3d{2, 4, 6}));
+  EXPECT_EQ(a / 2.0, (Vec3d{0.5, 1, 1.5}));
+  EXPECT_EQ(-a, (Vec3d{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3d v{1, 1, 1};
+  v += Vec3d{1, 2, 3};
+  EXPECT_EQ(v, (Vec3d{2, 3, 4}));
+  v -= Vec3d{1, 1, 1};
+  EXPECT_EQ(v, (Vec3d{1, 2, 3}));
+  v *= 3.0;
+  EXPECT_EQ(v, (Vec3d{3, 6, 9}));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3d a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.squared_norm(), 25.0);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3d v{1, 2, 2};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3, NormalizedZeroIsZero) {
+  EXPECT_EQ(Vec3d{}.normalized(), Vec3d{});
+}
+
+TEST(Vec3, CrossProductBasis) {
+  const Vec3d x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_EQ(x.cross(y), z);
+  EXPECT_EQ(y.cross(z), x);
+  EXPECT_EQ(z.cross(x), y);
+}
+
+TEST(Vec3, CrossProductProperties) {
+  hm::common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const Vec3d a{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3d b{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+    const Vec3d c = a.cross(b);
+    EXPECT_NEAR(c.dot(a), 0.0, 1e-12);          // Orthogonal to both.
+    EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+    const Vec3d anti = b.cross(a);               // Anti-commutative.
+    EXPECT_NEAR((c + anti).norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(Vec3, ComponentExtremes) {
+  const Vec3d v{3, -1, 2};
+  EXPECT_DOUBLE_EQ(v.max_component(), 3.0);
+  EXPECT_DOUBLE_EQ(v.min_component(), -1.0);
+}
+
+TEST(Vec3, CwiseProduct) {
+  const Vec3d a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a.cwise(b), (Vec3d{4, 10, 18}));
+}
+
+TEST(Vec2, BasicOps) {
+  const Vec2d a{3, 4};
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_EQ((a + Vec2d{1, 1}), (Vec2d{4, 5}));
+  EXPECT_DOUBLE_EQ(a.dot({1, 2}), 11.0);
+}
+
+TEST(Vec4, XyzAndDot) {
+  const Vec4f v{1, 2, 3, 4};
+  EXPECT_EQ(v.xyz(), (Vec3f{1, 2, 3}));
+  EXPECT_FLOAT_EQ(v.dot({1, 1, 1, 1}), 10.0f);
+  const Vec4f from3(Vec3f{1, 2, 3}, 9.0f);
+  EXPECT_FLOAT_EQ(from3.w, 9.0f);
+}
+
+TEST(Mat3, IdentityIsNeutral) {
+  const Mat3d identity = Mat3d::identity();
+  const Vec3d v{1, -2, 3};
+  EXPECT_EQ(identity * v, v);
+  Mat3d m;
+  m(0, 1) = 2.0;
+  m(2, 0) = -1.0;
+  const Mat3d left = identity * m;
+  const Mat3d right = m * identity;
+  EXPECT_EQ(left, m);
+  EXPECT_EQ(right, m);
+}
+
+TEST(Mat3, MultiplicationAssociativity) {
+  hm::common::Rng rng(5);
+  auto random_matrix = [&] {
+    Mat3d m;
+    for (std::size_t i = 0; i < 9; ++i) m.m[i] = rng.uniform(-1, 1);
+    return m;
+  };
+  for (int i = 0; i < 20; ++i) {
+    const Mat3d a = random_matrix(), b = random_matrix(), c = random_matrix();
+    const Mat3d ab_c = (a * b) * c;
+    const Mat3d a_bc = a * (b * c);
+    for (std::size_t k = 0; k < 9; ++k) {
+      EXPECT_NEAR(ab_c.m[k], a_bc.m[k], 1e-12);
+    }
+  }
+}
+
+TEST(Mat3, TransposeInvolution) {
+  Mat3d m;
+  m(0, 1) = 5.0;
+  m(2, 0) = -3.0;
+  EXPECT_EQ(m.transposed().transposed(), m);
+  EXPECT_DOUBLE_EQ(m.transposed()(1, 0), 5.0);
+}
+
+TEST(Mat3, Trace) {
+  Mat3d m = Mat3d::identity();
+  EXPECT_DOUBLE_EQ(m.trace(), 3.0);
+  m(1, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.trace(), 9.0);
+}
+
+TEST(Mat3, HatMatrixReproducesCross) {
+  hm::common::Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3d w{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const Vec3d v{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    const Vec3d via_hat = hat(w) * v;
+    const Vec3d via_cross = w.cross(v);
+    EXPECT_NEAR((via_hat - via_cross).norm(), 0.0, 1e-12);
+  }
+}
+
+TEST(Mat3, HatIsSkewSymmetric) {
+  const Mat3d h = hat(Vec3d{1, 2, 3});
+  const Mat3d ht = h.transposed();
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_DOUBLE_EQ(h.m[i], -ht.m[i]);
+}
+
+TEST(Conversions, FloatDoubleRoundTrip) {
+  const Vec3d d{0.5, -1.25, 3.75};  // Exactly representable in float.
+  EXPECT_EQ(to_double(to_float(d)), d);
+}
+
+}  // namespace
+}  // namespace hm::geometry

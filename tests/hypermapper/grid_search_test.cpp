@@ -1,0 +1,174 @@
+#include "hypermapper/grid_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hm::hypermapper {
+namespace {
+
+DesignSpace small_space() {
+  DesignSpace space;
+  space.add(Parameter::ordinal("a", {1, 2, 4, 8, 16}));
+  space.add(Parameter::boolean("b"));
+  space.add(Parameter::integer_range("c", 0, 9));
+  return space;
+}
+
+class CountingEvaluator final : public Evaluator {
+ public:
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+  [[nodiscard]] std::vector<double> evaluate(const Configuration& config) override {
+    ++calls;
+    return {config[0] + config[2], 16.0 - config[0] + config[1]};
+  }
+  std::size_t calls = 0;
+};
+
+TEST(GridSearch, SubgridSizeIsProductOfLevels) {
+  const DesignSpace space = small_space();
+  // levels=3: a -> 3 of 5, b -> 2 of 2, c -> 3 of 10.
+  const auto configs = grid_configurations(space, 3);
+  EXPECT_EQ(configs.size(), 3u * 2u * 3u);
+}
+
+TEST(GridSearch, SubgridIncludesExtremes) {
+  const DesignSpace space = small_space();
+  const auto configs = grid_configurations(space, 3);
+  bool has_min = false, has_max = false;
+  for (const Configuration& config : configs) {
+    has_min |= config[0] == 1 && config[1] == 0 && config[2] == 0;
+    has_max |= config[0] == 16 && config[1] == 1 && config[2] == 9;
+  }
+  EXPECT_TRUE(has_min);
+  EXPECT_TRUE(has_max);
+}
+
+TEST(GridSearch, SubgridConfigsAreDistinct) {
+  const DesignSpace space = small_space();
+  const auto configs = grid_configurations(space, 4);
+  std::set<std::uint64_t> keys;
+  for (const Configuration& config : configs) keys.insert(space.key(config));
+  EXPECT_EQ(keys.size(), configs.size());
+}
+
+TEST(GridSearch, SmallCardinalityUsesAllValues) {
+  DesignSpace space;
+  space.add(Parameter::boolean("flag"));
+  const auto configs = grid_configurations(space, 5);
+  EXPECT_EQ(configs.size(), 2u);
+}
+
+TEST(GridSearch, SingleLevelCollapsesToOnePointPerAxis) {
+  const DesignSpace space = small_space();
+  const auto configs = grid_configurations(space, 1);
+  EXPECT_EQ(configs.size(), 1u);
+}
+
+TEST(GridSearch, EvaluatesWholeSubgridWithoutBudget) {
+  const DesignSpace space = small_space();
+  CountingEvaluator evaluator;
+  const auto result = grid_search(space, evaluator, {3, 0});
+  EXPECT_EQ(result.samples.size(), 18u);
+  EXPECT_EQ(evaluator.calls, 18u);
+  EXPECT_FALSE(result.pareto.empty());
+}
+
+TEST(GridSearch, BudgetStridesTheSubgrid) {
+  const DesignSpace space = small_space();
+  CountingEvaluator evaluator;
+  GridSearchConfig config;
+  config.levels = 4;
+  config.max_evaluations = 10;
+  const auto result = grid_search(space, evaluator, config);
+  EXPECT_EQ(result.samples.size(), 10u);
+  EXPECT_EQ(evaluator.calls, 10u);
+}
+
+TEST(GridSearch, ParetoFrontIsNonDominated) {
+  const DesignSpace space = small_space();
+  CountingEvaluator evaluator;
+  const auto result = grid_search(space, evaluator, {3, 0});
+  for (const std::size_t i : result.pareto) {
+    for (const std::size_t j : result.pareto) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(result.samples[j].objectives,
+                               result.samples[i].objectives));
+      }
+    }
+  }
+}
+
+TEST(GridSearch, AllSamplesAreIterationZero) {
+  const DesignSpace space = small_space();
+  CountingEvaluator evaluator;
+  const auto result = grid_search(space, evaluator, {2, 0});
+  for (const auto& sample : result.samples) EXPECT_EQ(sample.iteration, 0u);
+  EXPECT_EQ(result.random_sample_count(), result.samples.size());
+}
+
+TEST(RunSeeded, ContinuesFromPriorMeasurements) {
+  DesignSpace space;
+  space.add(Parameter::integer_range("x", 0, 31));
+  space.add(Parameter::integer_range("y", 0, 31));
+
+  class Synthetic final : public Evaluator {
+   public:
+    [[nodiscard]] std::size_t objective_count() const override { return 2; }
+    [[nodiscard]] std::vector<double> evaluate(const Configuration& c) override {
+      ++calls;
+      const double x = c[0] / 31.0, y = c[1] / 31.0;
+      return {x, (1 - x) * (1 - x) + 0.3 * (y - 0.5) * (y - 0.5)};
+    }
+    std::size_t calls = 0;
+  };
+
+  // First run produces measurements; the seeded run reuses them.
+  Synthetic first_eval;
+  OptimizerConfig config;
+  config.random_samples = 40;
+  config.max_iterations = 2;
+  config.pool_size = 1024;
+  config.forest.tree_count = 16;
+  Optimizer first(space, first_eval, config);
+  const auto prior = first.run();
+
+  Synthetic seeded_eval;
+  Optimizer seeded(space, seeded_eval, config);
+  const auto result = seeded.run_seeded(prior.samples);
+  // The seed itself costs no evaluations; only AL batches run.
+  EXPECT_EQ(seeded_eval.calls, result.active_sample_count());
+  EXPECT_GE(result.samples.size(), prior.samples.size());
+  EXPECT_FALSE(result.pareto.empty());
+  // Seeds are recorded as iteration 0 with their original objectives.
+  for (std::size_t i = 0; i < prior.samples.size(); ++i) {
+    EXPECT_EQ(result.samples[i].objectives, prior.samples[i].objectives);
+    EXPECT_EQ(result.samples[i].iteration, 0u);
+  }
+}
+
+TEST(RunSeeded, EmptySeedStillRunsActiveLearning) {
+  DesignSpace space;
+  space.add(Parameter::integer_range("x", 0, 15));
+
+  class OneD final : public Evaluator {
+   public:
+    [[nodiscard]] std::size_t objective_count() const override { return 2; }
+    [[nodiscard]] std::vector<double> evaluate(const Configuration& c) override {
+      return {c[0], 15.0 - c[0]};
+    }
+  };
+  OneD evaluator;
+  OptimizerConfig config;
+  config.max_iterations = 1;
+  config.pool_size = 16;
+  config.forest.tree_count = 4;
+  Optimizer optimizer(space, evaluator, config);
+  const auto result = optimizer.run_seeded({});
+  // With no seed the forests cannot train on iteration 1... the loop must
+  // not crash; it may produce zero or more samples.
+  EXPECT_GE(result.samples.size(), 0u);
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

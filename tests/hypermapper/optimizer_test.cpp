@@ -1,0 +1,282 @@
+#include "hypermapper/optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "hypermapper/report.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+/// Synthetic bi-objective problem on a 2-D grid with a known Pareto front:
+/// f0 = x, f1 = (1 - x)^2 + 0.3 (y - 0.5)^2. For fixed x, y = 0.5 is ideal;
+/// the front is swept by x.
+class SyntheticEvaluator final : public Evaluator {
+ public:
+  explicit SyntheticEvaluator(const DesignSpace& space) : space_(space) {}
+
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+
+  [[nodiscard]] std::vector<double> evaluate(const Configuration& config) override {
+    ++calls_;
+    const double x = config[0] / 31.0;
+    const double y = config[1] / 31.0;
+    const double f0 = x;
+    const double f1 = (1.0 - x) * (1.0 - x) + 0.3 * (y - 0.5) * (y - 0.5);
+    return {f0, f1};
+  }
+
+  [[nodiscard]] std::size_t calls() const { return calls_; }
+
+ private:
+  const DesignSpace& space_;
+  std::size_t calls_ = 0;
+};
+
+DesignSpace grid_space() {
+  DesignSpace space;
+  space.add(Parameter::integer_range("x", 0, 31));
+  space.add(Parameter::integer_range("y", 0, 31));
+  return space;
+}
+
+OptimizerConfig small_config() {
+  OptimizerConfig config;
+  config.random_samples = 60;
+  config.max_iterations = 4;
+  config.max_samples_per_iteration = 40;
+  config.pool_size = 1024;  // The whole 32x32 grid.
+  config.forest.tree_count = 24;
+  config.seed = 17;
+  return config;
+}
+
+TEST(Optimizer, BootstrapEvaluatesRequestedSamples) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run_random_only();
+  EXPECT_EQ(result.samples.size(), 60u);
+  EXPECT_EQ(result.random_sample_count(), 60u);
+  EXPECT_EQ(result.active_sample_count(), 0u);
+  EXPECT_FALSE(result.pareto.empty());
+}
+
+TEST(Optimizer, RandomPhaseSamplesAreDistinct) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run_random_only();
+  std::unordered_set<std::uint64_t> keys;
+  for (const SampleRecord& s : result.samples) keys.insert(space.key(s.config));
+  EXPECT_EQ(keys.size(), result.samples.size());
+}
+
+TEST(Optimizer, ActiveLearningAddsSamples) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  EXPECT_GT(result.active_sample_count(), 0u);
+  EXPECT_EQ(result.samples.size(), evaluator.calls());
+  EXPECT_GE(result.iterations.size(), 2u);  // Bootstrap + >= 1 AL iteration.
+}
+
+TEST(Optimizer, NeverEvaluatesSameConfigTwice) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  std::unordered_set<std::uint64_t> keys;
+  for (const SampleRecord& s : result.samples) {
+    EXPECT_TRUE(keys.insert(space.key(s.config)).second)
+        << "duplicate evaluation of " << space.to_string(s.config);
+  }
+}
+
+TEST(Optimizer, ActiveLearningImprovesHypervolumeOverRandomPhase) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+
+  std::vector<Objectives> random_points, all_points;
+  for (const SampleRecord& s : result.samples) {
+    if (s.iteration == 0) random_points.push_back(s.objectives);
+    all_points.push_back(s.objectives);
+  }
+  const Objectives reference{2.0, 2.0};
+  const double random_hv = pareto_hypervolume_2d(random_points, reference);
+  const double final_hv = pareto_hypervolume_2d(all_points, reference);
+  EXPECT_GE(final_hv, random_hv);
+  EXPECT_GT(final_hv, 0.0);
+}
+
+TEST(Optimizer, FindsNearIdealFront) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  // The ideal front at x=1 reaches f1 = 0.3*(y-0.5)^2 >= 0; the optimizer
+  // should find a point with f1 close to 0 at high x.
+  double best_f1_at_high_x = 1e9;
+  for (const std::size_t i : result.pareto) {
+    const Objectives& o = result.samples[i].objectives;
+    if (o[0] > 0.9) best_f1_at_high_x = std::min(best_f1_at_high_x, o[1]);
+  }
+  EXPECT_LT(best_f1_at_high_x, 0.05);
+}
+
+TEST(Optimizer, DeterministicForFixedSeed) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator eval_a(space), eval_b(space);
+  Optimizer opt_a(space, eval_a, small_config());
+  Optimizer opt_b(space, eval_b, small_config());
+  const OptimizationResult a = opt_a.run();
+  const OptimizationResult b = opt_b.run();
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].config, b.samples[i].config);
+    EXPECT_EQ(a.samples[i].objectives, b.samples[i].objectives);
+  }
+}
+
+TEST(Optimizer, DifferentSeedsExploreDifferently) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator eval_a(space), eval_b(space);
+  OptimizerConfig config_a = small_config();
+  OptimizerConfig config_b = small_config();
+  config_b.seed = 999;
+  Optimizer opt_a(space, eval_a, config_a);
+  Optimizer opt_b(space, eval_b, config_b);
+  const OptimizationResult a = opt_a.run_random_only();
+  const OptimizationResult b = opt_b.run_random_only();
+  EXPECT_NE(a.samples.front().config, b.samples.front().config);
+}
+
+TEST(Optimizer, ProgressCallbackInvokedPerIteration) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  std::vector<std::size_t> iterations_seen;
+  optimizer.set_progress([&](const IterationStats& stats) {
+    iterations_seen.push_back(stats.iteration);
+  });
+  const OptimizationResult result = optimizer.run();
+  ASSERT_EQ(iterations_seen.size(), result.iterations.size());
+  EXPECT_EQ(iterations_seen.front(), 0u);
+}
+
+TEST(Optimizer, MaxSamplesPerIterationRespected) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  OptimizerConfig config = small_config();
+  config.max_samples_per_iteration = 5;
+  Optimizer optimizer(space, evaluator, config);
+  const OptimizationResult result = optimizer.run();
+  for (const IterationStats& stats : result.iterations) {
+    if (stats.iteration > 0) EXPECT_LE(stats.new_samples, 5u);
+  }
+}
+
+TEST(Optimizer, ParetoIndicesAreMutuallyNonDominated) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  for (const std::size_t i : result.pareto) {
+    for (const std::size_t j : result.pareto) {
+      if (i == j) continue;
+      EXPECT_FALSE(dominates(result.samples[i].objectives,
+                             result.samples[j].objectives));
+    }
+  }
+}
+
+TEST(Optimizer, ActiveSamplesCarrySurrogatePredictions) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  ASSERT_GT(result.active_sample_count(), 0u);
+  for (const SampleRecord& sample : result.samples) {
+    if (sample.iteration == 0) {
+      EXPECT_TRUE(sample.predicted.empty());
+    } else {
+      ASSERT_EQ(sample.predicted.size(), 2u);
+      // Predictions come from a forest trained on in-range targets, so
+      // they must be at least in the objective ballpark.
+      EXPECT_GE(sample.predicted[0], -0.5);
+      EXPECT_LE(sample.predicted[0], 2.0);
+    }
+  }
+}
+
+TEST(Optimizer, IterationStatsReportPredictionError) {
+  const DesignSpace space = grid_space();
+  SyntheticEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  bool any_reported = false;
+  for (const IterationStats& stats : result.iterations) {
+    if (stats.iteration == 0 || stats.new_samples == 0) continue;
+    ASSERT_EQ(stats.prediction_error.size(), 2u);
+    any_reported = true;
+    for (const double error : stats.prediction_error) {
+      EXPECT_GE(error, 0.0);
+      EXPECT_LT(error, 10.0);  // Relative error, sane magnitude.
+    }
+  }
+  EXPECT_TRUE(any_reported);
+}
+
+TEST(Optimizer, SupportsThreeObjectives) {
+  class ThreeObjectiveEvaluator final : public Evaluator {
+   public:
+    [[nodiscard]] std::size_t objective_count() const override { return 3; }
+    [[nodiscard]] std::vector<double> evaluate(
+        const Configuration& config) override {
+      const double x = config[0] / 31.0;
+      const double y = config[1] / 31.0;
+      return {x, 1.0 - x + 0.1 * y, (x - 0.5) * (x - 0.5) + y};
+    }
+  };
+  const DesignSpace space = grid_space();
+  ThreeObjectiveEvaluator evaluator;
+  Optimizer optimizer(space, evaluator, small_config());
+  const OptimizationResult result = optimizer.run();
+  EXPECT_FALSE(result.pareto.empty());
+  for (const std::size_t i : result.pareto) {
+    ASSERT_EQ(result.samples[i].objectives.size(), 3u);
+    for (const std::size_t j : result.pareto) {
+      if (i != j) {
+        EXPECT_FALSE(dominates(result.samples[j].objectives,
+                               result.samples[i].objectives));
+      }
+    }
+  }
+}
+
+TEST(Optimizer, WorksWithThreadPoolAndThreadSafeEvaluator) {
+  class ThreadSafeEvaluator final : public Evaluator {
+   public:
+    [[nodiscard]] std::size_t objective_count() const override { return 2; }
+    [[nodiscard]] bool thread_safe() const override { return true; }
+    [[nodiscard]] std::vector<double> evaluate(
+        const Configuration& config) override {
+      return {config[0], 31.0 - config[0] + 0.1 * config[1]};
+    }
+  };
+  const DesignSpace space = grid_space();
+  ThreadSafeEvaluator evaluator;
+  hm::common::ThreadPool pool(4);
+  Optimizer optimizer(space, evaluator, small_config(), &pool);
+  const OptimizationResult result = optimizer.run();
+  EXPECT_GT(result.samples.size(), 0u);
+  EXPECT_FALSE(result.pareto.empty());
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

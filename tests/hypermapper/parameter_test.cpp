@@ -1,0 +1,127 @@
+#include "hypermapper/parameter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+TEST(Parameter, OrdinalBasics) {
+  const Parameter p = Parameter::ordinal("mu", {0.1, 0.2, 0.4});
+  EXPECT_EQ(p.kind(), ParameterKind::kOrdinal);
+  EXPECT_EQ(p.cardinality(), 3u);
+  EXPECT_DOUBLE_EQ(p.value_at(0), 0.1);
+  EXPECT_DOUBLE_EQ(p.value_at(2), 0.4);
+  EXPECT_DOUBLE_EQ(p.min_value(), 0.1);
+  EXPECT_DOUBLE_EQ(p.max_value(), 0.4);
+}
+
+TEST(Parameter, OrdinalIndexOfSnapsToNearest) {
+  const Parameter p = Parameter::ordinal("v", {64, 128, 256});
+  EXPECT_EQ(p.index_of(64), std::optional<std::uint64_t>{0});
+  EXPECT_EQ(p.index_of(100), std::optional<std::uint64_t>{1});  // Closer to 128.
+  EXPECT_EQ(p.index_of(90), std::optional<std::uint64_t>{0});   // Closer to 64.
+  EXPECT_EQ(p.index_of(1000), std::optional<std::uint64_t>{2});
+}
+
+TEST(Parameter, IntegerRange) {
+  const Parameter p = Parameter::integer_range("rate", 1, 5);
+  EXPECT_EQ(p.cardinality(), 5u);
+  EXPECT_DOUBLE_EQ(p.value_at(0), 1.0);
+  EXPECT_DOUBLE_EQ(p.value_at(4), 5.0);
+  EXPECT_EQ(p.index_of(3.4), std::optional<std::uint64_t>{2});
+}
+
+TEST(Parameter, Boolean) {
+  const Parameter p = Parameter::boolean("flag");
+  EXPECT_EQ(p.cardinality(), 2u);
+  EXPECT_DOUBLE_EQ(p.value_at(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.value_at(1), 1.0);
+  EXPECT_EQ(p.to_string(1.0), "1");
+  EXPECT_EQ(p.to_string(0.0), "0");
+}
+
+TEST(Parameter, CategoricalLabels) {
+  const Parameter p = Parameter::categorical("impl", {"opencl", "cuda", "cpp"});
+  EXPECT_EQ(p.cardinality(), 3u);
+  EXPECT_DOUBLE_EQ(p.value_at(1), 1.0);
+  EXPECT_EQ(p.to_string(2.0), "cpp");
+}
+
+TEST(Parameter, RealHasZeroCardinality) {
+  const Parameter p = Parameter::real("x", 0.0, 1.0);
+  EXPECT_EQ(p.cardinality(), 0u);
+  EXPECT_EQ(p.index_of(0.5), std::nullopt);
+}
+
+class ParameterSampleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParameterSampleTest, SamplesStayInDomain) {
+  hm::common::Rng rng(GetParam());
+  const Parameter ordinal = Parameter::ordinal("o", {1, 2, 4, 8});
+  const Parameter integer = Parameter::integer_range("i", -3, 3);
+  const Parameter real = Parameter::real("r", 0.5, 2.5);
+  const Parameter log_real = Parameter::real("lr", 1e-6, 1.0, true);
+  for (int i = 0; i < 2000; ++i) {
+    const double o = ordinal.sample(rng);
+    EXPECT_TRUE(o == 1 || o == 2 || o == 4 || o == 8);
+    const double iv = integer.sample(rng);
+    EXPECT_GE(iv, -3);
+    EXPECT_LE(iv, 3);
+    EXPECT_DOUBLE_EQ(iv, std::round(iv));
+    const double r = real.sample(rng);
+    EXPECT_GE(r, 0.5);
+    EXPECT_LT(r, 2.5);
+    const double lr = log_real.sample(rng);
+    EXPECT_GE(lr, 1e-6 * (1 - 1e-12));
+    EXPECT_LE(lr, 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParameterSampleTest, ::testing::Values(1, 2, 3));
+
+TEST(Parameter, LogRealSamplingCoversDecades) {
+  hm::common::Rng rng(77);
+  const Parameter p = Parameter::real("t", 1e-6, 1.0, true);
+  int tiny = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (p.sample(rng) < 1e-3) ++tiny;
+  }
+  // Log-uniform: half the draws below 1e-3 (the geometric midpoint).
+  EXPECT_NEAR(tiny / 2000.0, 0.5, 0.06);
+}
+
+TEST(Parameter, FeatureNormalizesToUnitInterval) {
+  const Parameter p = Parameter::ordinal("o", {10, 20, 30});
+  EXPECT_DOUBLE_EQ(p.feature(10), 0.0);
+  EXPECT_DOUBLE_EQ(p.feature(20), 0.5);
+  EXPECT_DOUBLE_EQ(p.feature(30), 1.0);
+  EXPECT_DOUBLE_EQ(p.feature(100), 1.0);  // Clamped.
+  EXPECT_DOUBLE_EQ(p.feature(-5), 0.0);
+}
+
+TEST(Parameter, LogFeatureBalancesDecades) {
+  const Parameter p =
+      Parameter::ordinal("t", {1e-6, 1e-4, 1e-2, 1.0}, /*log_feature=*/true);
+  EXPECT_DOUBLE_EQ(p.feature(1e-6), 0.0);
+  EXPECT_NEAR(p.feature(1e-4), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.feature(1e-2), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.feature(1.0), 1.0);
+}
+
+TEST(Parameter, SingleValueFeatureIsZero) {
+  const Parameter p = Parameter::ordinal("c", {5.0});
+  EXPECT_DOUBLE_EQ(p.feature(5.0), 0.0);
+  EXPECT_EQ(p.cardinality(), 1u);
+}
+
+TEST(Parameter, ToStringNumeric) {
+  const Parameter p = Parameter::ordinal("mu", {0.125});
+  EXPECT_EQ(p.to_string(0.125), "0.125");
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

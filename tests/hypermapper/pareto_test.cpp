@@ -1,0 +1,180 @@
+#include "hypermapper/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+TEST(Dominates, StrictDominance) {
+  EXPECT_TRUE(dominates(std::vector<double>{1, 1}, std::vector<double>{2, 2}));
+  EXPECT_TRUE(dominates(std::vector<double>{1, 2}, std::vector<double>{2, 2}));
+  EXPECT_TRUE(dominates(std::vector<double>{1, 2}, std::vector<double>{1, 3}));
+}
+
+TEST(Dominates, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(dominates(std::vector<double>{1, 1}, std::vector<double>{1, 1}));
+}
+
+TEST(Dominates, IncomparablePoints) {
+  EXPECT_FALSE(dominates(std::vector<double>{1, 3}, std::vector<double>{2, 2}));
+  EXPECT_FALSE(dominates(std::vector<double>{2, 2}, std::vector<double>{1, 3}));
+}
+
+TEST(Pareto, EmptyInput) {
+  EXPECT_TRUE(pareto_indices({}).empty());
+}
+
+TEST(Pareto, SinglePoint) {
+  const std::vector<Objectives> points{{1.0, 2.0}};
+  EXPECT_EQ(pareto_indices(points), (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, SimpleStaircase) {
+  const std::vector<Objectives> points{
+      {1, 5}, {2, 3}, {3, 4}, {4, 1}, {5, 2}};
+  // Non-dominated: (1,5), (2,3), (4,1). (3,4) dominated by (2,3); (5,2) by (4,1).
+  const auto front = pareto_indices(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, WeaklyDominatedExcluded) {
+  const std::vector<Objectives> points{{1, 1}, {1, 2}, {2, 1}};
+  const auto front = pareto_indices(points);
+  EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(Pareto, ExactDuplicatesAllKept) {
+  const std::vector<Objectives> points{{1, 1}, {1, 1}, {2, 0.5}};
+  const auto front = pareto_indices(points);
+  EXPECT_EQ(front.size(), 3u);
+}
+
+TEST(Pareto, SortedByFirstObjective) {
+  const std::vector<Objectives> points{{5, 1}, {1, 5}, {3, 3}};
+  const auto front = pareto_indices(points);
+  ASSERT_EQ(front.size(), 3u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_LE(points[front[i - 1]][0], points[front[i]][0]);
+  }
+}
+
+/// Brute-force reference: a point is on the front iff nothing dominates it.
+std::vector<std::size_t> brute_force_front(const std::vector<Objectives>& points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  std::sort(front.begin(), front.end(), [&](std::size_t a, std::size_t b) {
+    if (points[a][0] != points[b][0]) return points[a][0] < points[b][0];
+    return a < b;
+  });
+  return front;
+}
+
+class ParetoRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParetoRandomTest, MatchesBruteForceIn2D) {
+  hm::common::Rng rng(GetParam());
+  std::vector<Objectives> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(), rng.uniform()});
+  }
+  auto fast = pareto_indices(points);
+  auto reference = brute_force_front(points);
+  std::sort(fast.begin(), fast.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(fast, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Pareto, QuantizedObjectivesWithTies) {
+  hm::common::Rng rng(99);
+  std::vector<Objectives> points;
+  for (int i = 0; i < 300; ++i) {
+    points.push_back({std::floor(rng.uniform() * 10.0),
+                      std::floor(rng.uniform() * 10.0)});
+  }
+  auto fast = pareto_indices(points);
+  auto reference = brute_force_front(points);
+  std::sort(fast.begin(), fast.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(fast, reference);
+}
+
+TEST(Pareto, ThreeObjectives) {
+  const std::vector<Objectives> points{
+      {1, 2, 3}, {2, 1, 3}, {3, 3, 1}, {2, 2, 2}, {3, 3, 3}};
+  const auto front = pareto_indices(points);
+  // (3,3,3) is dominated by (2,2,2); everything else is non-dominated.
+  EXPECT_EQ(front.size(), 4u);
+  EXPECT_TRUE(std::find(front.begin(), front.end(), 4u) == front.end());
+}
+
+TEST(Hypervolume, SinglePointRectangle) {
+  const std::vector<Objectives> front{{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, {3.0, 3.0}), 4.0);
+}
+
+TEST(Hypervolume, TwoPointStaircase) {
+  const std::vector<Objectives> front{{1.0, 2.0}, {2.0, 1.0}};
+  // Area: (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3.
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, {3.0, 3.0}), 3.0);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored) {
+  const std::vector<Objectives> front{{5.0, 5.0}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(front, {3.0, 3.0}), 0.0);
+}
+
+TEST(Hypervolume, DominatedPointsDoNotChangeVolume) {
+  const std::vector<Objectives> with_dominated{{1, 2}, {2, 1}, {2.5, 2.5}};
+  const std::vector<Objectives> without{{1, 2}, {2, 1}};
+  EXPECT_DOUBLE_EQ(hypervolume_2d(with_dominated, {3, 3}),
+                   hypervolume_2d(without, {3, 3}));
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume_2d({}, {1.0, 1.0}), 0.0);
+}
+
+TEST(Hypervolume, MonotoneUnderFrontImprovement) {
+  const std::vector<Objectives> worse{{2.0, 2.0}};
+  const std::vector<Objectives> better{{1.0, 1.0}};
+  EXPECT_GT(hypervolume_2d(better, {3, 3}), hypervolume_2d(worse, {3, 3}));
+}
+
+TEST(Hypervolume, ParetoHypervolumeExtractsFrontFirst) {
+  const std::vector<Objectives> points{{1, 2}, {2, 1}, {1.5, 1.5}, {2.9, 2.9}};
+  EXPECT_DOUBLE_EQ(
+      pareto_hypervolume_2d(points, {3, 3}),
+      hypervolume_2d(std::vector<Objectives>{{1, 2}, {1.5, 1.5}, {2, 1}},
+                     {3, 3}));
+}
+
+TEST(Hypervolume, AddingFrontPointNeverDecreasesVolume) {
+  hm::common::Rng rng(12);
+  std::vector<Objectives> points;
+  const Objectives reference{1.0, 1.0};
+  double previous = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.uniform(), rng.uniform()});
+    const double volume = pareto_hypervolume_2d(points, reference);
+    EXPECT_GE(volume, previous - 1e-12);
+    previous = volume;
+  }
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

@@ -1,0 +1,142 @@
+#include "hypermapper/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hm::hypermapper {
+namespace {
+
+DesignSpace two_param_space() {
+  DesignSpace space;
+  space.add(Parameter::ordinal("speed", {1, 2, 3}));
+  space.add(Parameter::boolean("flag"));
+  return space;
+}
+
+OptimizationResult sample_result() {
+  OptimizationResult result;
+  // (runtime, error) pairs across two phases.
+  result.samples = {
+      {{1, 0}, {0.10, 0.02}, 0},  // Random phase, valid.
+      {{2, 0}, {0.05, 0.08}, 0},  // Random phase, invalid (error >= 0.05).
+      {{3, 0}, {0.02, 0.04}, 1},  // AL phase, valid.
+      {{1, 1}, {0.30, 0.01}, 1},  // AL phase, valid.
+      {{2, 1}, {0.20, 0.09}, 2},  // AL phase, invalid.
+  };
+  std::vector<Objectives> points;
+  for (const auto& s : result.samples) points.push_back(s.objectives);
+  result.pareto = pareto_indices(points);
+  return result;
+}
+
+TEST(Report, CountValidSplitsByPhase) {
+  const OptimizationResult result = sample_result();
+  const ValidCounts counts = count_valid(result, 1, 0.05);
+  EXPECT_EQ(counts.random_phase, 1u);
+  EXPECT_EQ(counts.active_phase, 2u);
+  EXPECT_EQ(counts.total(), 3u);
+}
+
+TEST(Report, CountValidStrictInequality) {
+  const OptimizationResult result = sample_result();
+  // Exactly 0.08 is not < 0.08, so only {0.02, 0.04, 0.01} qualify.
+  const ValidCounts counts = count_valid(result, 1, 0.08);
+  EXPECT_EQ(counts.total(), 3u);
+  // At 0.09 the 0.08 sample joins.
+  EXPECT_EQ(count_valid(result, 1, 0.0801).total(), 4u);
+}
+
+TEST(Report, BestUnderConstraintPicksFastestValid) {
+  const OptimizationResult result = sample_result();
+  const auto best = best_under_constraint(result, 0, 1, 0.05);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, 2u);  // runtime 0.02 with error 0.04.
+}
+
+TEST(Report, BestUnderConstraintNoneSatisfies) {
+  const OptimizationResult result = sample_result();
+  EXPECT_FALSE(best_under_constraint(result, 0, 1, 0.001).has_value());
+}
+
+TEST(Report, BestObjectiveUnconditional) {
+  const OptimizationResult result = sample_result();
+  const auto best_error = best_objective(result, 1);
+  ASSERT_TRUE(best_error.has_value());
+  EXPECT_EQ(*best_error, 3u);  // error 0.01.
+}
+
+TEST(Report, BestObjectiveEmptyResult) {
+  const OptimizationResult empty;
+  EXPECT_FALSE(best_objective(empty, 0).has_value());
+}
+
+TEST(Report, FrontOfPhaseRestrictsToRandom) {
+  const OptimizationResult result = sample_result();
+  const auto random_front = front_of_phase(result, /*random_phase_only=*/true);
+  for (const std::size_t i : random_front) {
+    EXPECT_EQ(result.samples[i].iteration, 0u);
+  }
+  EXPECT_FALSE(random_front.empty());
+}
+
+TEST(Report, FrontOfPhaseAllSamplesMatchesPareto) {
+  const OptimizationResult result = sample_result();
+  auto full_front = front_of_phase(result, /*random_phase_only=*/false);
+  auto pareto = result.pareto;
+  std::sort(full_front.begin(), full_front.end());
+  std::sort(pareto.begin(), pareto.end());
+  EXPECT_EQ(full_front, pareto);
+}
+
+TEST(Report, SamplesToCsvSchema) {
+  const DesignSpace space = two_param_space();
+  const OptimizationResult result = sample_result();
+  const auto table = samples_to_csv(space, result, {"runtime", "error"});
+  ASSERT_EQ(table.column_count(), 5u);
+  EXPECT_EQ(table.header()[0], "speed");
+  EXPECT_EQ(table.header()[2], "runtime");
+  EXPECT_EQ(table.header()[4], "iteration");
+  EXPECT_EQ(table.row_count(), result.samples.size());
+  EXPECT_EQ(table.cell(2, 4), "1");  // Iteration of sample 2.
+}
+
+TEST(Report, FrontToCsvContainsOnlyFrontRows) {
+  const DesignSpace space = two_param_space();
+  const OptimizationResult result = sample_result();
+  const auto table = front_to_csv(space, result, {"runtime", "error"});
+  EXPECT_EQ(table.row_count(), result.pareto.size());
+  EXPECT_EQ(table.column_count(), 4u);  // No iteration column.
+}
+
+TEST(Report, FrontCsvRoundTripsConfigurations) {
+  const DesignSpace space = two_param_space();
+  const OptimizationResult result = sample_result();
+  const auto table = front_to_csv(space, result, {"runtime", "error"});
+  const auto configs = front_from_csv(space, table);
+  ASSERT_EQ(configs.size(), result.pareto.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(space.key(configs[i]),
+              space.key(result.samples[result.pareto[i]].config));
+  }
+}
+
+TEST(Report, FrontFromCsvSkipsBadRows) {
+  const DesignSpace space = two_param_space();
+  hm::common::CsvTable table({"speed", "flag"});
+  table.add_row({"2", "1"});
+  table.add_row({"oops", "0"});  // Unparsable -> skipped.
+  const auto configs = front_from_csv(space, table);
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_DOUBLE_EQ(configs[0][0], 2.0);
+}
+
+TEST(Report, FrontFromCsvMissingColumnYieldsEmpty) {
+  const DesignSpace space = two_param_space();
+  hm::common::CsvTable table({"speed"});  // "flag" column missing.
+  table.add_row({"2"});
+  EXPECT_TRUE(front_from_csv(space, table).empty());
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

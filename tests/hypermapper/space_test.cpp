@@ -1,0 +1,171 @@
+#include "hypermapper/space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+DesignSpace small_space() {
+  DesignSpace space;
+  space.add(Parameter::ordinal("a", {1, 2, 4}));
+  space.add(Parameter::boolean("b"));
+  space.add(Parameter::integer_range("c", 0, 4));
+  return space;
+}
+
+TEST(DesignSpace, CardinalityIsProduct) {
+  EXPECT_EQ(small_space().cardinality(), 3u * 2u * 5u);
+}
+
+TEST(DesignSpace, CardinalityZeroWithRealParameter) {
+  DesignSpace space = small_space();
+  space.add(Parameter::real("r", 0.0, 1.0));
+  EXPECT_EQ(space.cardinality(), 0u);
+}
+
+TEST(DesignSpace, IndexOfByName) {
+  const DesignSpace space = small_space();
+  EXPECT_EQ(space.index_of("a"), std::optional<std::size_t>{0});
+  EXPECT_EQ(space.index_of("c"), std::optional<std::size_t>{2});
+  EXPECT_EQ(space.index_of("missing"), std::nullopt);
+}
+
+TEST(DesignSpace, AtEnumeratesAllDistinctConfigs) {
+  const DesignSpace space = small_space();
+  std::set<Configuration> seen;
+  for (std::uint64_t i = 0; i < space.cardinality(); ++i) {
+    seen.insert(space.at(i));
+  }
+  EXPECT_EQ(seen.size(), space.cardinality());
+}
+
+TEST(DesignSpace, KeyInvertsAt) {
+  const DesignSpace space = small_space();
+  for (std::uint64_t i = 0; i < space.cardinality(); ++i) {
+    EXPECT_EQ(space.key(space.at(i)), i);
+  }
+}
+
+TEST(DesignSpace, KeySnapsOffGridValues) {
+  const DesignSpace space = small_space();
+  const Configuration on_grid{2, 1, 3};
+  Configuration off_grid{2.2, 0.9, 3.1};
+  EXPECT_EQ(space.key(off_grid), space.key(on_grid));
+}
+
+TEST(DesignSpace, SampleStaysInSpace) {
+  const DesignSpace space = small_space();
+  hm::common::Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const Configuration config = space.sample(rng);
+    ASSERT_EQ(config.size(), 3u);
+    EXPECT_LT(space.key(config), space.cardinality());
+    EXPECT_EQ(space.snap(config), config);
+  }
+}
+
+TEST(DesignSpace, SampleDistinctHasNoDuplicates) {
+  const DesignSpace space = small_space();
+  hm::common::Rng rng(2);
+  const auto samples = space.sample_distinct(20, rng);
+  ASSERT_EQ(samples.size(), 20u);
+  std::unordered_set<std::uint64_t> keys;
+  for (const Configuration& config : samples) keys.insert(space.key(config));
+  EXPECT_EQ(keys.size(), 20u);
+}
+
+TEST(DesignSpace, SampleDistinctDenseRequestStillUniqueAndComplete) {
+  const DesignSpace space = small_space();  // 30 configs.
+  hm::common::Rng rng(3);
+  const auto samples = space.sample_distinct(25, rng);  // > half the space.
+  ASSERT_EQ(samples.size(), 25u);
+  std::unordered_set<std::uint64_t> keys;
+  for (const Configuration& config : samples) keys.insert(space.key(config));
+  EXPECT_EQ(keys.size(), 25u);
+}
+
+TEST(DesignSpace, SampleDistinctWholeSpaceWhenCountExceedsCardinality) {
+  const DesignSpace space = small_space();
+  hm::common::Rng rng(4);
+  const auto samples = space.sample_distinct(1000, rng);
+  EXPECT_EQ(samples.size(), space.cardinality());
+}
+
+TEST(DesignSpace, SampleDistinctDeterministicForSeed) {
+  const DesignSpace space = small_space();
+  hm::common::Rng rng_a(5), rng_b(5);
+  EXPECT_EQ(space.sample_distinct(10, rng_a), space.sample_distinct(10, rng_b));
+}
+
+TEST(DesignSpace, SampleDistinctOnContinuousSpace) {
+  DesignSpace space;
+  space.add(Parameter::real("x", 0.0, 1.0));
+  space.add(Parameter::real("y", -1.0, 1.0));
+  hm::common::Rng rng(6);
+  const auto samples = space.sample_distinct(50, rng);
+  EXPECT_EQ(samples.size(), 50u);
+}
+
+TEST(DesignSpace, FeaturesInUnitCube) {
+  const DesignSpace space = small_space();
+  hm::common::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto features = space.features(space.sample(rng));
+    ASSERT_EQ(features.size(), 3u);
+    for (const double f : features) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(DesignSpace, FeaturesDistinguishConfigs) {
+  const DesignSpace space = small_space();
+  EXPECT_NE(space.features(space.at(0)), space.features(space.at(7)));
+}
+
+TEST(DesignSpace, SnapMovesOffGridToNearest) {
+  const DesignSpace space = small_space();
+  const Configuration snapped = space.snap({3.1, 0.2, 10.0});
+  EXPECT_DOUBLE_EQ(snapped[0], 4.0);  // Nearest of {1,2,4} to 3.1.
+  EXPECT_DOUBLE_EQ(snapped[1], 0.0);
+  EXPECT_DOUBLE_EQ(snapped[2], 4.0);  // Clamped to range end.
+}
+
+TEST(DesignSpace, ToStringContainsNamesAndValues) {
+  const DesignSpace space = small_space();
+  const std::string text = space.to_string({2, 1, 3});
+  EXPECT_NE(text.find("a=2"), std::string::npos);
+  EXPECT_NE(text.find("b=1"), std::string::npos);
+  EXPECT_NE(text.find("c=3"), std::string::npos);
+}
+
+TEST(DesignSpace, LargeSpaceCardinalityMatchesPaperScale) {
+  // The KFusion-like structure used in the experiments.
+  DesignSpace space;
+  space.add(Parameter::ordinal("r", {64, 128, 256}));
+  space.add(Parameter::ordinal("mu", {0.025, 0.05, 0.1, 0.2, 0.3, 0.4}));
+  space.add(Parameter::ordinal("y1", {4, 6, 8, 10, 12, 16}));
+  space.add(Parameter::ordinal("y2", {2, 3, 4, 5, 6}));
+  space.add(Parameter::ordinal("y3", {1, 2, 3, 4}));
+  space.add(Parameter::ordinal("csr", {1, 2, 4, 8}));
+  space.add(Parameter::integer_range("tr", 1, 5));
+  space.add(Parameter::integer_range("ir", 1, 5));
+  space.add(Parameter::ordinal(
+      "icp", {1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0}, true));
+  EXPECT_EQ(space.cardinality(), 1'728'000ULL);
+  // Round-trip a few random mixed-radix indices.
+  hm::common::Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t index = rng.uniform_index(space.cardinality());
+    EXPECT_EQ(space.key(space.at(index)), index);
+  }
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

@@ -1,0 +1,95 @@
+// Integration test: HyperMapper on the ElasticFusion pipeline (small
+// scale) — the qualitative claims behind Fig. 4 / Table I.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+namespace hm {
+namespace {
+
+using hypermapper::OptimizationResult;
+using hypermapper::Optimizer;
+using hypermapper::OptimizerConfig;
+
+struct EfDseFixture {
+  std::shared_ptr<const dataset::RGBDSequence> sequence =
+      dataset::make_benchmark_sequence(25, 80, 60, nullptr, true);
+  slambench::ElasticFusionEvaluator evaluator{sequence,
+                                              slambench::nvidia_gtx780ti()};
+  OptimizerConfig config;
+
+  EfDseFixture() {
+    config.random_samples = 60;
+    config.max_iterations = 2;
+    config.max_samples_per_iteration = 30;
+    config.pool_size = 6000;
+    config.forest.tree_count = 24;
+    config.seed = 23;
+  }
+};
+
+TEST(ElasticFusionDse, EndToEndRunCompletes) {
+  EfDseFixture fixture;
+  Optimizer optimizer(fixture.evaluator.space(), fixture.evaluator,
+                      fixture.config);
+  const OptimizationResult result = optimizer.run();
+  EXPECT_GE(result.samples.size(), 60u);
+  EXPECT_FALSE(result.pareto.empty());
+}
+
+TEST(ElasticFusionDse, FrontContainsPointNotWorseThanDefault) {
+  EfDseFixture fixture;
+  const auto default_config = slambench::ef_config_from_params(
+      fixture.evaluator.space(), elasticfusion::EFParams::defaults());
+  const auto default_objectives = fixture.evaluator.evaluate(default_config);
+
+  Optimizer optimizer(fixture.evaluator.space(), fixture.evaluator,
+                      fixture.config);
+  const OptimizationResult result = optimizer.run();
+  // Table I's claim: the explored front contains a point at least as fast
+  // as the default with no worse accuracy.
+  bool dominating_point_found = false;
+  for (const std::size_t i : result.pareto) {
+    const auto& objectives = result.samples[i].objectives;
+    if (objectives[0] <= default_objectives[0] &&
+        objectives[1] <= default_objectives[1]) {
+      dominating_point_found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(dominating_point_found);
+}
+
+TEST(ElasticFusionDse, FlagsActuallyChangeRuntime) {
+  EfDseFixture fixture;
+  elasticfusion::EFParams with_so3;
+  elasticfusion::EFParams without_so3;
+  without_so3.so3_prealign = false;
+  const auto runtime_with = fixture.evaluator.evaluate(
+      slambench::ef_config_from_params(fixture.evaluator.space(), with_so3))[0];
+  const auto runtime_without = fixture.evaluator.evaluate(
+      slambench::ef_config_from_params(fixture.evaluator.space(), without_so3))[0];
+  EXPECT_LT(runtime_without, runtime_with);
+}
+
+TEST(ElasticFusionDse, ObjectivesDeterministicAcrossOptimizerRuns) {
+  EfDseFixture fixture_a, fixture_b;
+  Optimizer opt_a(fixture_a.evaluator.space(), fixture_a.evaluator,
+                  fixture_a.config);
+  Optimizer opt_b(fixture_b.evaluator.space(), fixture_b.evaluator,
+                  fixture_b.config);
+  const OptimizationResult a = opt_a.run_random_only();
+  const OptimizationResult b = opt_b.run_random_only();
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].objectives, b.samples[i].objectives);
+  }
+}
+
+}  // namespace
+}  // namespace hm

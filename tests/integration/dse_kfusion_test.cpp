@@ -1,0 +1,102 @@
+// Integration test: the full HyperMapper loop on the real KFusion pipeline
+// (small scale). Checks the qualitative properties the paper's Fig. 3
+// rests on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+namespace hm {
+namespace {
+
+using hypermapper::OptimizationResult;
+using hypermapper::Optimizer;
+using hypermapper::OptimizerConfig;
+
+struct DseFixture {
+  std::shared_ptr<const dataset::RGBDSequence> sequence =
+      dataset::make_benchmark_sequence(20, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator{sequence, slambench::odroid_xu3()};
+  OptimizerConfig config;
+
+  DseFixture() {
+    config.random_samples = 40;
+    config.max_iterations = 2;
+    config.max_samples_per_iteration = 25;
+    config.pool_size = 4000;
+    config.forest.tree_count = 24;
+    config.seed = 11;
+  }
+};
+
+TEST(KFusionDse, EndToEndRunCompletes) {
+  DseFixture fixture;
+  Optimizer optimizer(fixture.evaluator.space(), fixture.evaluator,
+                      fixture.config);
+  const OptimizationResult result = optimizer.run();
+  EXPECT_GE(result.samples.size(), 40u);
+  EXPECT_GT(result.active_sample_count(), 0u);
+  EXPECT_FALSE(result.pareto.empty());
+  // Objectives must all be finite and positive.
+  for (const auto& sample : result.samples) {
+    EXPECT_GT(sample.objectives[0], 0.0);
+    EXPECT_GE(sample.objectives[1], 0.0);
+    EXPECT_LT(sample.objectives[0], 10.0);
+    EXPECT_LT(sample.objectives[1], 10.0);
+  }
+}
+
+TEST(KFusionDse, FindsConfigurationsFasterThanDefault) {
+  DseFixture fixture;
+  const auto default_config = slambench::kfusion_config_from_params(
+      fixture.evaluator.space(), kfusion::KFusionParams::defaults());
+  const auto default_objectives = fixture.evaluator.evaluate(default_config);
+
+  Optimizer optimizer(fixture.evaluator.space(), fixture.evaluator,
+                      fixture.config);
+  const OptimizationResult result = optimizer.run();
+
+  // The paper's headline: a several-fold speedup within the 5 cm band.
+  const auto best =
+      hypermapper::best_under_constraint(result, 0, 1, 0.05);
+  ASSERT_TRUE(best.has_value());
+  const double speedup =
+      default_objectives[0] / result.samples[*best].objectives[0];
+  EXPECT_GT(speedup, 2.0);
+}
+
+TEST(KFusionDse, ActiveLearningYieldBeatsRandomYield) {
+  DseFixture fixture;
+  Optimizer optimizer(fixture.evaluator.space(), fixture.evaluator,
+                      fixture.config);
+  const OptimizationResult result = optimizer.run();
+  const auto valid = hypermapper::count_valid(result, 1, 0.05);
+  ASSERT_GT(result.active_sample_count(), 0u);
+  const double random_yield =
+      static_cast<double>(valid.random_phase) /
+      static_cast<double>(result.random_sample_count());
+  const double active_yield =
+      static_cast<double>(valid.active_phase) /
+      static_cast<double>(result.active_sample_count());
+  // AL samples near the predicted front; its valid fraction should beat
+  // uniform sampling comfortably.
+  EXPECT_GT(active_yield, random_yield);
+}
+
+TEST(KFusionDse, CacheAvoidsRedundantPipelineRuns) {
+  DseFixture fixture;
+  Optimizer optimizer(fixture.evaluator.space(), fixture.evaluator,
+                      fixture.config);
+  const OptimizationResult result = optimizer.run();
+  // The optimizer deduplicates configurations, so every evaluation was a
+  // cache miss and the cache holds exactly result.samples.size() entries.
+  EXPECT_EQ(fixture.evaluator.cache()->size(), result.samples.size());
+  EXPECT_EQ(fixture.evaluator.cache()->hits(), 0u);
+}
+
+}  // namespace
+}  // namespace hm

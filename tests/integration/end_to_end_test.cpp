@@ -1,0 +1,103 @@
+// End-to-end test across all layers: DSE on KFusion, transfer of the best
+// configuration to the crowd population (the Fig. 5 workflow), and CSV
+// round-tripping of the front (the "store the Pareto front on the device"
+// deployment story from the paper's introduction).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crowd/crowd_experiment.hpp"
+#include "crowd/device_population.hpp"
+#include "dataset/sequence.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "slambench/adapters.hpp"
+
+namespace hm {
+namespace {
+
+TEST(EndToEnd, DseToCrowdTransferProducesSpeedups) {
+  const auto sequence =
+      dataset::make_benchmark_sequence(20, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator(sequence, slambench::odroid_xu3());
+
+  hypermapper::OptimizerConfig config;
+  config.random_samples = 30;
+  config.max_iterations = 2;
+  config.max_samples_per_iteration = 20;
+  config.pool_size = 3000;
+  config.forest.tree_count = 16;
+  config.seed = 31;
+
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  const auto result = optimizer.run();
+
+  // Best valid (ATE < 5 cm) configuration becomes the app payload.
+  const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
+  ASSERT_TRUE(best.has_value());
+  const auto best_metrics = evaluator.measure(result.samples[*best].config);
+
+  const auto default_config = slambench::kfusion_config_from_params(
+      evaluator.space(), kfusion::KFusionParams::defaults());
+  const auto default_metrics = evaluator.measure(default_config);
+
+  const auto devices = crowd::generate_population();
+  const auto crowd_result = crowd::run_crowd_experiment(
+      devices, default_metrics.stats, best_metrics.stats,
+      default_metrics.frames);
+  ASSERT_EQ(crowd_result.devices.size(), 83u);
+  // Every device benefits; the spread covers at least 2x at the low end.
+  EXPECT_GT(crowd_result.min_speedup, 1.0);
+  EXPECT_GT(crowd_result.median_speedup, 2.0);
+}
+
+TEST(EndToEnd, FrontSurvivesCsvRoundTripAndReevaluation) {
+  const auto sequence =
+      dataset::make_benchmark_sequence(15, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator(sequence, slambench::odroid_xu3());
+
+  hypermapper::OptimizerConfig config;
+  config.random_samples = 25;
+  config.max_iterations = 1;
+  config.max_samples_per_iteration = 15;
+  config.pool_size = 2000;
+  config.forest.tree_count = 16;
+  config.seed = 37;
+
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  const auto result = optimizer.run();
+
+  const auto table = hypermapper::front_to_csv(evaluator.space(), result,
+                                               {"runtime_s", "max_ate_m"});
+  const std::string text = common::to_csv(table);
+  const auto parsed = common::parse_csv(text);
+  ASSERT_TRUE(parsed.has_value());
+  const auto configs = hypermapper::front_from_csv(evaluator.space(), *parsed);
+  ASSERT_EQ(configs.size(), result.pareto.size());
+
+  // Re-evaluating a round-tripped front point reproduces its objectives
+  // exactly (deterministic pipeline + cache keyed by configuration).
+  const auto original = result.samples[result.pareto.front()].objectives;
+  const auto replayed = evaluator.evaluate(configs.front());
+  EXPECT_EQ(original, replayed);
+}
+
+TEST(EndToEnd, RuntimeObjectiveConsistentWithDeviceModel) {
+  const auto sequence =
+      dataset::make_benchmark_sequence(10, 80, 60, nullptr, false);
+  slambench::KFusionEvaluator evaluator(sequence, slambench::odroid_xu3());
+  kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto config =
+      slambench::kfusion_config_from_params(evaluator.space(), params);
+  const auto objectives = evaluator.evaluate(config);
+  const auto metrics = evaluator.measure(config);
+  const auto device = slambench::odroid_xu3();
+  EXPECT_DOUBLE_EQ(objectives[0],
+                   device.seconds_per_frame(metrics.stats, metrics.frames));
+  EXPECT_DOUBLE_EQ(objectives[1], metrics.ate.max);
+}
+
+}  // namespace
+}  // namespace hm

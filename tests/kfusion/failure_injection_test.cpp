@@ -1,0 +1,137 @@
+// Failure injection: sensor dropouts, degenerate frames, and out-of-volume
+// viewpoints must degrade gracefully — the pipeline never crashes, never
+// claims tracking success on garbage, and recovers when data returns.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+#include "kfusion/pipeline.hpp"
+
+namespace hm::kfusion {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> injection_sequence() {
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(24, 80, 60, nullptr, false);
+  return sequence;
+}
+
+KFusionParams light_params() {
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  return params;
+}
+
+TEST(FailureInjection, AllInvalidFrameKeepsPreviousPose) {
+  const auto sequence = injection_sequence();
+  KFusionPipeline pipeline(light_params(), sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 6; ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  const auto pose_before = pipeline.pose();
+  const hm::geometry::DepthImage blackout(80, 60, 0.0f);
+  const auto result = pipeline.process_frame(blackout);
+  EXPECT_FALSE(result.tracked);  // Must not claim success on nothing.
+  EXPECT_NEAR(hm::geometry::translation_distance(result.pose, pose_before),
+              0.0, 1e-12);
+}
+
+TEST(FailureInjection, RecoversAfterShortDropout) {
+  const auto sequence = injection_sequence();
+  KFusionPipeline pipeline(light_params(), sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  const hm::geometry::DepthImage blackout(80, 60, 0.0f);
+  double final_error = 1e9;
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    const bool dropped = i == 8 || i == 9;  // Two dead frames mid-sequence.
+    const auto result =
+        pipeline.process_frame(dropped ? blackout : sequence->frame(i).depth);
+    final_error = hm::geometry::translation_distance(
+        result.pose, sequence->frame(i).ground_truth_pose);
+  }
+  // Motion across a 2-frame gap is small; tracking must re-lock.
+  EXPECT_LT(final_error, 0.06);
+}
+
+TEST(FailureInjection, ConstantDepthFrameDoesNotCrash) {
+  // A wall of constant depth gives degenerate normals at the borders and a
+  // rank-deficient ICP system (lateral sliding); the solve must survive.
+  const auto sequence = injection_sequence();
+  KFusionPipeline pipeline(light_params(), sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  (void)pipeline.process_frame(sequence->frame(0).depth);
+  const hm::geometry::DepthImage flat(80, 60, 2.0f);
+  for (int i = 0; i < 3; ++i) {
+    const auto result = pipeline.process_frame(flat);
+    (void)result;  // Any outcome is fine as long as it terminates.
+  }
+  SUCCEED();
+}
+
+TEST(FailureInjection, SaltNoiseFrameRejectedByGates) {
+  const auto sequence = injection_sequence();
+  KFusionPipeline pipeline(light_params(), sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 5; ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  const auto pose_before = pipeline.pose();
+  // Uncorrelated random depths: valid pixels but garbage geometry.
+  hm::common::Rng rng(3);
+  hm::geometry::DepthImage noise(80, 60, 0.0f);
+  for (float& z : noise) z = static_cast<float>(rng.uniform(0.5, 6.0));
+  const auto result = pipeline.process_frame(noise);
+  // The tracker must either reject the frame or stay close to where it was.
+  const double moved =
+      hm::geometry::translation_distance(pipeline.pose(), pose_before);
+  EXPECT_TRUE(!result.tracked || moved < 0.10);
+}
+
+TEST(FailureInjection, CameraOutsideVolumeIsSafe) {
+  // Initial pose far outside the [0, 4.8]^3 volume: integration finds no
+  // voxels, raycast finds no surface, tracking fails cleanly.
+  const auto sequence = injection_sequence();
+  hm::geometry::SE3 outside;
+  outside.translation = {100.0, 100.0, 100.0};
+  KFusionPipeline pipeline(light_params(), sequence->intrinsics(), outside);
+  for (std::size_t i = 0; i < 4; ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  EXPECT_EQ(pipeline.frames_processed(), 4u);
+  EXPECT_DOUBLE_EQ(pipeline.volume().occupancy(), 0.0);
+}
+
+TEST(FailureInjection, ZeroSizedPipelineInputsHandled) {
+  const auto sequence = injection_sequence();
+  KFusionParams params = light_params();
+  params.compute_size_ratio = 8;  // 10x7 computed resolution.
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 6; ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  EXPECT_EQ(pipeline.frames_processed(), 6u);
+}
+
+TEST(FailureInjection, ExtremeTrackingRateNeverTracksButIntegrates) {
+  const auto sequence = injection_sequence();
+  KFusionParams params = light_params();
+  params.tracking_rate = 100;  // Larger than the sequence: dead-reckoning.
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  std::size_t attempts = 0;
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    attempts +=
+        pipeline.process_frame(sequence->frame(i).depth).tracking_attempted
+            ? 1
+            : 0;
+  }
+  EXPECT_EQ(attempts, 0u);
+  EXPECT_GT(pipeline.volume().occupancy(), 0.0);
+}
+
+}  // namespace
+}  // namespace hm::kfusion

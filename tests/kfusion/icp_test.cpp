@@ -1,0 +1,203 @@
+#include "kfusion/icp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/renderer.hpp"
+#include "dataset/sdf_scene.hpp"
+#include "dataset/trajectory.hpp"
+#include "kfusion/preprocess.hpp"
+
+namespace hm::kfusion {
+namespace {
+
+using hm::dataset::build_living_room;
+using hm::dataset::look_at;
+using hm::dataset::render_depth;
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+/// Builds a synthetic tracking problem: the reference maps come from the
+/// true pose; the current frame is rendered at the same pose, and ICP starts
+/// from a perturbed initial guess. Converging to ~zero error means ICP
+/// recovered the perturbation.
+struct IcpFixture {
+  Intrinsics camera = Intrinsics::kinect(80, 60);
+  hm::dataset::Scene scene = build_living_room();
+  SE3 true_pose = look_at({2.4, 1.3, 3.6}, {2.4, 1.6, 1.0});
+  KernelStats stats;
+  RaycastResult reference;
+  std::vector<PyramidLevel> pyramid;
+
+  IcpFixture() {
+    // World-space reference maps rendered analytically from the true pose.
+    const auto depth = render_depth(scene, camera, true_pose);
+    reference.vertices = VertexMap(camera.width, camera.height, Vec3f{});
+    reference.normals = NormalMap(camera.width, camera.height, Vec3f{});
+    for (int v = 0; v < camera.height; ++v) {
+      for (int u = 0; u < camera.width; ++u) {
+        const float z = depth.at(u, v);
+        if (z <= 0.0f) continue;
+        const Vec3d p_world =
+            true_pose * camera.unproject(u, v, static_cast<double>(z));
+        reference.vertices.at(u, v) = hm::geometry::to_float(p_world);
+        reference.normals.at(u, v) =
+            hm::geometry::to_float(scene.normal(p_world));
+      }
+    }
+    pyramid = build_pyramid(depth, camera, 3, stats);
+  }
+};
+
+SE3 perturb(const SE3& pose, const Vec3d& translation, const Vec3d& rotation) {
+  SE3 delta;
+  delta.rotation = hm::geometry::so3_exp(rotation);
+  delta.translation = translation;
+  return delta * pose;
+}
+
+class IcpConvergenceTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(IcpConvergenceTest, RecoversPerturbedPose) {
+  const auto [translation_mag, rotation_mag] = GetParam();
+  IcpFixture fixture;
+  const SE3 initial = perturb(fixture.true_pose,
+                              {translation_mag, -translation_mag / 2, 0.0},
+                              {0.0, rotation_mag, rotation_mag / 3});
+  IcpConfig config;
+  config.update_threshold = 1e-8;
+  const IcpResult result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, initial, config, fixture.stats);
+  EXPECT_TRUE(result.tracked);
+  EXPECT_LT(hm::geometry::translation_distance(result.pose, fixture.true_pose),
+            0.01)
+      << "t=" << translation_mag << " r=" << rotation_mag;
+  EXPECT_LT(
+      hm::geometry::rotation_angle_between(result.pose, fixture.true_pose),
+      0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Perturbations, IcpConvergenceTest,
+    ::testing::Values(std::pair{0.0, 0.0}, std::pair{0.01, 0.005},
+                      std::pair{0.03, 0.01}, std::pair{0.05, 0.02}));
+
+TEST(Icp, IdentityPerturbationConvergesImmediately) {
+  IcpFixture fixture;
+  IcpConfig config;
+  config.update_threshold = 1e-6;
+  const IcpResult result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, fixture.true_pose, config, fixture.stats);
+  EXPECT_TRUE(result.converged);
+  EXPECT_TRUE(result.tracked);
+  // Early exit: far fewer iterations than the full 10+5+4 budget.
+  EXPECT_LT(result.iterations_run, 10);
+}
+
+TEST(Icp, LargeThresholdStopsEarly) {
+  IcpFixture fixture;
+  const SE3 initial = perturb(fixture.true_pose, {0.03, 0.0, 0.0}, {});
+  IcpConfig strict, loose;
+  strict.update_threshold = 1e-10;
+  loose.update_threshold = 1e-2;
+  KernelStats strict_stats, loose_stats;
+  const IcpResult strict_result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, initial, strict, strict_stats);
+  const IcpResult loose_result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, initial, loose, loose_stats);
+  EXPECT_LT(loose_result.iterations_run, strict_result.iterations_run);
+  EXPECT_LT(loose_stats.count(Kernel::kIcp), strict_stats.count(Kernel::kIcp));
+}
+
+TEST(Icp, FailureDeclaredOnEmptyReference) {
+  IcpFixture fixture;
+  RaycastResult empty;
+  empty.vertices = VertexMap(fixture.camera.width, fixture.camera.height, Vec3f{});
+  empty.normals = NormalMap(fixture.camera.width, fixture.camera.height, Vec3f{});
+  const IcpResult result =
+      icp_track(fixture.pyramid, empty, fixture.camera, fixture.true_pose,
+                fixture.true_pose, {}, fixture.stats);
+  EXPECT_FALSE(result.tracked);
+}
+
+TEST(Icp, FailureDeclaredOnHugeInitialError) {
+  IcpFixture fixture;
+  const SE3 initial =
+      perturb(fixture.true_pose, {1.5, 0.8, -0.5}, {0.0, 1.2, 0.0});
+  const IcpResult result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, initial, {}, fixture.stats);
+  // Either it fails the gates, or (rarely) it recovers; it must not claim
+  // success while far from the truth.
+  if (result.tracked) {
+    EXPECT_LT(
+        hm::geometry::translation_distance(result.pose, fixture.true_pose),
+        0.1);
+  }
+}
+
+TEST(Icp, IterationBudgetRespected) {
+  IcpFixture fixture;
+  IcpConfig config;
+  config.iterations = {2, 2, 2};
+  config.update_threshold = 0.0;  // Never early-exit.
+  const IcpResult result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, fixture.true_pose, config, fixture.stats);
+  EXPECT_EQ(result.iterations_run, 6);
+}
+
+TEST(Icp, OpsScaleWithIterations) {
+  IcpFixture fixture;
+  IcpConfig few, many;
+  few.iterations = {1, 1, 1};
+  few.update_threshold = 0.0;
+  many.iterations = {8, 4, 2};
+  many.update_threshold = 0.0;
+  KernelStats few_stats, many_stats;
+  (void)icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                  fixture.true_pose, fixture.true_pose, few, few_stats);
+  (void)icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                  fixture.true_pose, fixture.true_pose, many, many_stats);
+  EXPECT_GT(many_stats.count(Kernel::kIcp), few_stats.count(Kernel::kIcp) * 3);
+  EXPECT_GT(many_stats.count(Kernel::kSolve), few_stats.count(Kernel::kSolve));
+}
+
+TEST(Icp, InlierFractionHighOnPerfectData) {
+  IcpFixture fixture;
+  const IcpResult result =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, fixture.true_pose, {}, fixture.stats);
+  EXPECT_GT(result.inlier_fraction, 0.5);
+  EXPECT_LT(result.final_rms, 0.02);
+}
+
+TEST(Icp, ParallelReductionMatchesSerial) {
+  IcpFixture fixture;
+  const SE3 initial = perturb(fixture.true_pose, {0.02, 0.0, 0.01}, {});
+  IcpConfig config;
+  const IcpResult serial =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, initial, config, fixture.stats);
+  hm::common::ThreadPool pool(4);
+  KernelStats parallel_stats;
+  const IcpResult parallel =
+      icp_track(fixture.pyramid, fixture.reference, fixture.camera,
+                fixture.true_pose, initial, config, parallel_stats, &pool);
+  // Floating-point reduction order may differ slightly; poses must agree to
+  // sub-millimeter.
+  EXPECT_LT(hm::geometry::translation_distance(serial.pose, parallel.pose),
+            1e-3);
+  EXPECT_EQ(serial.tracked, parallel.tracked);
+}
+
+}  // namespace
+}  // namespace hm::kfusion

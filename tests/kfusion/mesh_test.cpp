@@ -1,0 +1,150 @@
+#include "kfusion/mesh.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/sdf_scene.hpp"
+
+namespace hm::kfusion {
+namespace {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+/// Fills the whole volume analytically from an SDF (synthetic "perfectly
+/// integrated" state) by abusing integrate with a flat wall where needed;
+/// here we instead build the wall volume the same way the TSDF tests do.
+struct WallVolume {
+  TsdfVolume volume{64, 4.8};
+  float wall_z = 2.1f;  // World z of the integrated wall.
+
+  WallVolume() {
+    const Intrinsics camera = Intrinsics::kinect(40, 30);
+    SE3 pose;
+    pose.translation = {2.4, 2.4, 0.1};
+    hm::geometry::DepthImage depth(40, 30, 2.0f);
+    KernelStats stats;
+    for (int i = 0; i < 3; ++i) {
+      volume.integrate(depth, camera, pose, 0.2, stats);
+    }
+  }
+};
+
+TEST(Mesh, EmptyVolumeYieldsEmptyMesh) {
+  const TsdfVolume volume(32, 4.8);
+  const Mesh mesh = extract_mesh(volume);
+  EXPECT_TRUE(mesh.empty());
+  EXPECT_DOUBLE_EQ(mesh.total_area(), 0.0);
+}
+
+TEST(Mesh, WallProducesTriangles) {
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  EXPECT_GT(mesh.size(), 100u);
+}
+
+TEST(Mesh, WallVerticesLieOnTheWallPlane) {
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  ASSERT_FALSE(mesh.empty());
+  for (const Triangle& triangle : mesh.triangles) {
+    for (const Vec3f vertex : {triangle.a, triangle.b, triangle.c}) {
+      EXPECT_NEAR(vertex.z, fixture.wall_z, 0.12f);
+    }
+  }
+}
+
+TEST(Mesh, WallNormalsFaceTheCamera) {
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  ASSERT_FALSE(mesh.empty());
+  std::size_t toward_camera = 0;
+  for (const Triangle& triangle : mesh.triangles) {
+    // The camera is at -z of the wall: outward normals point along -z.
+    toward_camera += triangle.normal().z < 0.0f ? 1 : 0;
+  }
+  EXPECT_GT(toward_camera, mesh.size() * 9 / 10);
+}
+
+TEST(Mesh, WallAreaMatchesObservedPatch) {
+  // The observed wall patch is the camera frustum cross-section at z = 2:
+  // width 2 * (w/2)/fx * z etc. The mesh must not double- or half-cover it
+  // (this catches bad tetrahedral decompositions).
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  const double width = 40.0 / camera.fx * 2.0;
+  const double height = 30.0 / camera.fy * 2.0;
+  const double expected = width * height;
+  EXPECT_GT(mesh.total_area(), expected * 0.6);
+  EXPECT_LT(mesh.total_area(), expected * 1.4);
+}
+
+TEST(Mesh, BoundsCoverTriangles) {
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  const auto bounds = mesh.bounds();
+  EXPECT_LT(bounds.min.x, bounds.max.x);
+  EXPECT_NEAR(bounds.min.z, fixture.wall_z, 0.15f);
+  EXPECT_NEAR(bounds.max.z, fixture.wall_z, 0.15f);
+}
+
+TEST(Mesh, MinWeightFiltersSparselyObservedCells) {
+  WallVolume fixture;
+  const Mesh all = extract_mesh(fixture.volume, 1.0f);
+  const Mesh strict = extract_mesh(fixture.volume, 1000.0f);
+  EXPECT_GT(all.size(), 0u);
+  EXPECT_EQ(strict.size(), 0u);  // Nothing integrated 1000 times.
+}
+
+TEST(Mesh, SurfaceErrorSmallAgainstTrueWall) {
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  const float wall_z = fixture.wall_z;
+  const auto error = surface_error(
+      mesh, [wall_z](Vec3d p) { return p.z - static_cast<double>(wall_z); });
+  ASSERT_GT(error.vertices, 0u);
+  // Sub-voxel accuracy on average (voxel = 7.5 cm at 64^3).
+  EXPECT_LT(error.mean, 0.04);
+  EXPECT_LT(error.max, 0.15);
+}
+
+TEST(Mesh, SurfaceErrorDetectsWrongReference) {
+  WallVolume fixture;
+  const Mesh mesh = extract_mesh(fixture.volume);
+  const auto error =
+      surface_error(mesh, [](Vec3d p) { return p.z - 1.0; });  // Wrong plane.
+  EXPECT_GT(error.mean, 0.8);
+}
+
+TEST(Mesh, ObjSerialization) {
+  WallVolume fixture;
+  Mesh mesh = extract_mesh(fixture.volume);
+  mesh.triangles.resize(2);
+  const std::string obj = to_obj(mesh);
+  // 3 vertices per triangle, then one face line per triangle.
+  std::size_t v_lines = 0, f_lines = 0;
+  for (std::size_t pos = 0; pos < obj.size();) {
+    if (obj.compare(pos, 2, "v ") == 0) ++v_lines;
+    if (obj.compare(pos, 2, "f ") == 0) ++f_lines;
+    pos = obj.find('\n', pos);
+    if (pos == std::string::npos) break;
+    ++pos;
+  }
+  EXPECT_EQ(v_lines, 6u);
+  EXPECT_EQ(f_lines, 2u);
+  EXPECT_NE(obj.find("f 1 2 3"), std::string::npos);
+  EXPECT_NE(obj.find("f 4 5 6"), std::string::npos);
+}
+
+TEST(Mesh, TriangleHelpers) {
+  const Triangle t{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}};
+  EXPECT_FLOAT_EQ(t.area(), 0.5f);
+  EXPECT_NEAR(std::abs(t.normal().z), 1.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace hm::kfusion

@@ -1,0 +1,132 @@
+// Parameterized property sweeps over the KFusion design space: the
+// monotone relationships the cost model and the DSE rely on must hold in
+// the real pipeline for every parameter, not just at the default.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+#include "kfusion/pipeline.hpp"
+
+namespace hm::kfusion {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> sweep_sequence() {
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(12, 80, 60, nullptr, false);
+  return sequence;
+}
+
+KernelStats run_stats(const KFusionParams& params) {
+  const auto sequence = sweep_sequence();
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  return pipeline.stats();
+}
+
+KFusionParams light_base() {
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  return params;
+}
+
+class ResolutionSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResolutionSweepTest, IntegrateOpsGrowCubically) {
+  KFusionParams params = light_base();
+  params.volume_resolution = GetParam();
+  const auto stats = run_stats(params);
+  // Frustum-culled voxel visits: between 10% and 100% of the full volume
+  // per integrated frame.
+  const auto full = static_cast<double>(GetParam()) * GetParam() * GetParam();
+  const auto per_frame =
+      static_cast<double>(stats.count(Kernel::kIntegrate)) / 12.0;
+  EXPECT_GT(per_frame, full * 0.08);
+  EXPECT_LT(per_frame, full * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, ResolutionSweepTest,
+                         ::testing::Values(64, 128, 256));
+
+class RateSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RateSweepTest, IntegrationRateDividesIntegrateWork) {
+  const int rate = GetParam();
+  KFusionParams every = light_base();
+  KFusionParams sparse = light_base();
+  sparse.integration_rate = rate;
+  const auto every_ops =
+      static_cast<double>(run_stats(every).count(Kernel::kIntegrate));
+  const auto sparse_ops =
+      static_cast<double>(run_stats(sparse).count(Kernel::kIntegrate));
+  // 12 frames: every yields 12 integrations, rate r yields ceil(12 / r).
+  const double expected_ratio = 12.0 / std::ceil(12.0 / rate);
+  EXPECT_NEAR(every_ops / sparse_ops, expected_ratio, expected_ratio * 0.35);
+}
+
+TEST_P(RateSweepTest, TrackingRateDividesIcpWork) {
+  const int rate = GetParam();
+  KFusionParams every = light_base();
+  every.icp_threshold = 0.0;  // Fixed iteration budgets for comparability.
+  KFusionParams sparse = every;
+  sparse.tracking_rate = rate;
+  const auto every_ops =
+      static_cast<double>(run_stats(every).count(Kernel::kIcp));
+  const auto sparse_ops =
+      static_cast<double>(run_stats(sparse).count(Kernel::kIcp));
+  EXPECT_GT(every_ops, sparse_ops * (rate - 0.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweepTest, ::testing::Values(2, 3, 5));
+
+class CsrSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrSweepTest, PixelKernelsShrinkQuadratically) {
+  const int ratio = GetParam();
+  KFusionParams full = light_base();
+  KFusionParams reduced = light_base();
+  reduced.compute_size_ratio = ratio;
+  const auto full_stats = run_stats(full);
+  const auto reduced_stats = run_stats(reduced);
+  const double expected = static_cast<double>(ratio) * ratio;
+  const double bilateral_ratio =
+      static_cast<double>(full_stats.count(Kernel::kBilateral)) /
+      static_cast<double>(reduced_stats.count(Kernel::kBilateral));
+  EXPECT_NEAR(bilateral_ratio, expected, expected * 0.4);
+  EXPECT_GT(full_stats.count(Kernel::kRaycast),
+            reduced_stats.count(Kernel::kRaycast));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, CsrSweepTest, ::testing::Values(2, 4, 8));
+
+class MuSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MuSweepTest, LargerMuShortensRaycast) {
+  KFusionParams narrow = light_base();
+  narrow.mu = 0.05;
+  KFusionParams wide = light_base();
+  wide.mu = GetParam();
+  // Wider truncation bands let the ray march in larger steps.
+  EXPECT_LT(run_stats(wide).count(Kernel::kRaycast),
+            run_stats(narrow).count(Kernel::kRaycast));
+}
+
+INSTANTIATE_TEST_SUITE_P(Mus, MuSweepTest, ::testing::Values(0.2, 0.3, 0.4));
+
+TEST(IcpThresholdSweep, LooserThresholdNeverCostsMoreIcp) {
+  std::uint64_t previous = std::numeric_limits<std::uint64_t>::max();
+  for (const double threshold : {1e-7, 1e-5, 1e-3, 1e-1}) {
+    KFusionParams params = light_base();
+    params.icp_threshold = threshold;
+    const auto ops = run_stats(params).count(Kernel::kIcp);
+    EXPECT_LE(ops, previous + previous / 10) << threshold;
+    previous = ops;
+  }
+}
+
+}  // namespace
+}  // namespace hm::kfusion

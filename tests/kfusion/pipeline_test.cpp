@@ -1,0 +1,181 @@
+#include "kfusion/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dataset/sequence.hpp"
+
+namespace hm::kfusion {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> test_sequence() {
+  // Shared across tests in this binary; rendering is the expensive part.
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(30, 80, 60, nullptr, false);
+  return sequence;
+}
+
+double run_and_max_error(const KFusionParams& params,
+                         KFusionPipeline* out_pipeline = nullptr) {
+  const auto sequence = test_sequence();
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  double max_error = 0.0;
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    const auto result = pipeline.process_frame(sequence->frame(i).depth);
+    max_error = std::max(max_error,
+                         hm::geometry::translation_distance(
+                             result.pose, sequence->frame(i).ground_truth_pose));
+  }
+  if (out_pipeline != nullptr) *out_pipeline = std::move(pipeline);
+  return max_error;
+}
+
+TEST(KFusionPipeline, TracksDefaultConfigurationAccurately) {
+  KFusionParams params;
+  params.volume_resolution = 128;  // Keep the unit test fast.
+  const double max_error = run_and_max_error(params);
+  EXPECT_LT(max_error, 0.05);
+}
+
+TEST(KFusionPipeline, TrajectoryLengthMatchesFrames) {
+  const auto sequence = test_sequence();
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 10; ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  EXPECT_EQ(pipeline.trajectory().size(), 10u);
+  EXPECT_EQ(pipeline.frames_processed(), 10u);
+}
+
+TEST(KFusionPipeline, FirstFrameUsesInitialPose) {
+  const auto sequence = test_sequence();
+  KFusionParams params;
+  params.volume_resolution = 64;
+  const auto initial = sequence->frame(0).ground_truth_pose;
+  KFusionPipeline pipeline(params, sequence->intrinsics(), initial);
+  const auto result = pipeline.process_frame(sequence->frame(0).depth);
+  EXPECT_FALSE(result.tracking_attempted);
+  EXPECT_TRUE(result.integrated);
+  EXPECT_NEAR(hm::geometry::translation_distance(result.pose, initial), 0.0,
+              1e-12);
+}
+
+TEST(KFusionPipeline, TrackingRateSkipsLocalization) {
+  const auto sequence = test_sequence();
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  params.tracking_rate = 3;
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  std::size_t attempts = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto result = pipeline.process_frame(sequence->frame(i).depth);
+    attempts += result.tracking_attempted ? 1 : 0;
+  }
+  // Frames 3, 6, 9 attempt tracking (frame 0 never does).
+  EXPECT_EQ(attempts, 3u);
+}
+
+TEST(KFusionPipeline, IntegrationRateSkipsFusion) {
+  const auto sequence = test_sequence();
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  params.integration_rate = 4;
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  std::size_t integrations = 0;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const auto result = pipeline.process_frame(sequence->frame(i).depth);
+    integrations += result.integrated ? 1 : 0;
+  }
+  EXPECT_EQ(integrations, 3u);  // Frames 0, 4, 8.
+}
+
+TEST(KFusionPipeline, ComputeSizeRatioReducesWork) {
+  const auto sequence = test_sequence();
+  KFusionParams full, quarter;
+  full.volume_resolution = quarter.volume_resolution = 64;
+  full.mu = quarter.mu = 0.3;
+  quarter.compute_size_ratio = 4;
+
+  KFusionPipeline full_pipeline(full, sequence->intrinsics(),
+                                sequence->frame(0).ground_truth_pose);
+  KFusionPipeline quarter_pipeline(quarter, sequence->intrinsics(),
+                                   sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 6; ++i) {
+    (void)full_pipeline.process_frame(sequence->frame(i).depth);
+    (void)quarter_pipeline.process_frame(sequence->frame(i).depth);
+  }
+  EXPECT_LT(quarter_pipeline.stats().count(Kernel::kBilateral),
+            full_pipeline.stats().count(Kernel::kBilateral) / 8);
+  EXPECT_LT(quarter_pipeline.stats().count(Kernel::kRaycast),
+            full_pipeline.stats().count(Kernel::kRaycast) / 4);
+}
+
+TEST(KFusionPipeline, IntegrationRateReducesIntegrateOps) {
+  const auto sequence = test_sequence();
+  KFusionParams every, sparse;
+  every.volume_resolution = sparse.volume_resolution = 64;
+  every.mu = sparse.mu = 0.3;
+  sparse.integration_rate = 5;
+  KFusionPipeline every_pipeline(every, sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  KFusionPipeline sparse_pipeline(sparse, sequence->intrinsics(),
+                                  sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 10; ++i) {
+    (void)every_pipeline.process_frame(sequence->frame(i).depth);
+    (void)sparse_pipeline.process_frame(sequence->frame(i).depth);
+  }
+  EXPECT_LT(sparse_pipeline.stats().count(Kernel::kIntegrate),
+            every_pipeline.stats().count(Kernel::kIntegrate) / 2);
+}
+
+TEST(KFusionPipeline, StatsArePopulated) {
+  const auto sequence = test_sequence();
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  KFusionPipeline pipeline(params, sequence->intrinsics(),
+                           sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 5; ++i) {
+    (void)pipeline.process_frame(sequence->frame(i).depth);
+  }
+  const KernelStats& stats = pipeline.stats();
+  EXPECT_GT(stats.count(Kernel::kBilateral), 0u);
+  EXPECT_GT(stats.count(Kernel::kIntegrate), 0u);
+  EXPECT_GT(stats.count(Kernel::kRaycast), 0u);
+  EXPECT_GT(stats.count(Kernel::kIcp), 0u);
+  EXPECT_GT(stats.count(Kernel::kVertexNormal), 0u);
+}
+
+TEST(KFusionPipeline, TinyVolumeWithSmallMuLosesTracking) {
+  // The interaction the DSE exploits: a coarse volume needs a wide
+  // truncation band; with mu = 0.025 at 64^3 tracking degrades badly.
+  KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.025;
+  const double coarse_error = run_and_max_error(params);
+  params.mu = 0.3;
+  const double tuned_error = run_and_max_error(params);
+  EXPECT_LT(tuned_error, coarse_error);
+}
+
+TEST(KFusionPipeline, HigherResolutionImprovesAccuracy) {
+  KFusionParams coarse, fine;
+  coarse.volume_resolution = 64;
+  coarse.mu = 0.1;  // Deliberately poor pairing for 64^3.
+  fine.volume_resolution = 128;
+  fine.mu = 0.1;
+  EXPECT_LT(run_and_max_error(fine), run_and_max_error(coarse));
+}
+
+}  // namespace
+}  // namespace hm::kfusion

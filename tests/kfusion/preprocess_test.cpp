@@ -1,0 +1,172 @@
+#include "kfusion/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace hm::kfusion {
+namespace {
+
+TEST(Downsample, RatioOneIsCopy) {
+  DepthImage input(4, 4, 1.5f);
+  KernelStats stats;
+  const DepthImage output = downsample_depth(input, 1, stats);
+  EXPECT_EQ(output.width(), 4);
+  EXPECT_EQ(output.height(), 4);
+  EXPECT_FLOAT_EQ(output.at(2, 2), 1.5f);
+  EXPECT_EQ(stats.count(Kernel::kDownsample), 16u);
+}
+
+TEST(Downsample, BlockAveragesByRatio) {
+  DepthImage input(4, 4, 0.0f);
+  // Top-left 2x2 block: 1, 2, 3, 4 -> mean 2.5.
+  input.at(0, 0) = 1.0f;
+  input.at(1, 0) = 2.0f;
+  input.at(0, 1) = 3.0f;
+  input.at(1, 1) = 4.0f;
+  KernelStats stats;
+  const DepthImage output = downsample_depth(input, 2, stats);
+  EXPECT_EQ(output.width(), 2);
+  EXPECT_EQ(output.height(), 2);
+  EXPECT_FLOAT_EQ(output.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(output.at(1, 1), 0.0f);  // All-invalid block.
+}
+
+TEST(Downsample, ExcludesInvalidPixelsFromAverage) {
+  DepthImage input(2, 2, 0.0f);
+  input.at(0, 0) = 2.0f;
+  input.at(1, 1) = 4.0f;  // Two valid, two invalid.
+  KernelStats stats;
+  const DepthImage output = downsample_depth(input, 2, stats);
+  EXPECT_FLOAT_EQ(output.at(0, 0), 3.0f);
+}
+
+TEST(Downsample, CountsInputPixelReads) {
+  DepthImage input(8, 8, 1.0f);
+  KernelStats stats;
+  (void)downsample_depth(input, 2, stats);
+  EXPECT_EQ(stats.count(Kernel::kDownsample), 64u);
+}
+
+TEST(Downsample, RatioLargerHalvesMore) {
+  DepthImage input(16, 8, 1.0f);
+  KernelStats stats;
+  const DepthImage output = downsample_depth(input, 4, stats);
+  EXPECT_EQ(output.width(), 4);
+  EXPECT_EQ(output.height(), 2);
+}
+
+TEST(Bilateral, PreservesConstantImage) {
+  DepthImage input(16, 16, 2.0f);
+  KernelStats stats;
+  const DepthImage output = bilateral_filter(input, {}, stats);
+  for (int v = 0; v < 16; ++v) {
+    for (int u = 0; u < 16; ++u) {
+      EXPECT_NEAR(output.at(u, v), 2.0f, 1e-6f);
+    }
+  }
+}
+
+TEST(Bilateral, SmoothsGaussianNoise) {
+  hm::common::Rng rng(1);
+  DepthImage input(32, 32, 0.0f);
+  for (float& z : input) z = 2.0f + static_cast<float>(rng.normal(0.0, 0.01));
+  KernelStats stats;
+  const DepthImage output = bilateral_filter(input, {}, stats);
+  double input_dev = 0.0, output_dev = 0.0;
+  for (int v = 4; v < 28; ++v) {
+    for (int u = 4; u < 28; ++u) {
+      input_dev += std::abs(input.at(u, v) - 2.0f);
+      output_dev += std::abs(output.at(u, v) - 2.0f);
+    }
+  }
+  EXPECT_LT(output_dev, input_dev * 0.6);
+}
+
+TEST(Bilateral, PreservesDepthEdges) {
+  // Step edge: left half 1 m, right half 3 m. The range kernel must keep
+  // the two sides from bleeding into each other.
+  DepthImage input(20, 10, 1.0f);
+  for (int v = 0; v < 10; ++v) {
+    for (int u = 10; u < 20; ++u) input.at(u, v) = 3.0f;
+  }
+  KernelStats stats;
+  const DepthImage output = bilateral_filter(input, {}, stats);
+  EXPECT_NEAR(output.at(9, 5), 1.0f, 0.02f);
+  EXPECT_NEAR(output.at(10, 5), 3.0f, 0.02f);
+}
+
+TEST(Bilateral, InvalidPixelsStayInvalidAndDoNotContribute) {
+  DepthImage input(10, 10, 2.0f);
+  input.at(5, 5) = 0.0f;
+  KernelStats stats;
+  const DepthImage output = bilateral_filter(input, {}, stats);
+  EXPECT_FLOAT_EQ(output.at(5, 5), 0.0f);
+  EXPECT_NEAR(output.at(4, 5), 2.0f, 1e-6f);  // Neighbor unaffected.
+}
+
+TEST(Bilateral, CountsTaps) {
+  DepthImage input(10, 10, 1.0f);
+  KernelStats stats;
+  (void)bilateral_filter(input, {}, stats);
+  // Interior pixels test 25 taps; border pixels fewer. Must be positive and
+  // bounded by 25 per pixel.
+  EXPECT_GT(stats.count(Kernel::kBilateral), 100u * 9u);
+  EXPECT_LE(stats.count(Kernel::kBilateral), 100u * 25u);
+}
+
+TEST(Bilateral, RadiusControlsWindow) {
+  DepthImage input(10, 10, 1.0f);
+  KernelStats stats_small, stats_large;
+  BilateralConfig small_config;
+  small_config.radius = 1;
+  BilateralConfig large_config;
+  large_config.radius = 3;
+  (void)bilateral_filter(input, small_config, stats_small);
+  (void)bilateral_filter(input, large_config, stats_large);
+  EXPECT_GT(stats_large.count(Kernel::kBilateral),
+            stats_small.count(Kernel::kBilateral) * 3);
+}
+
+TEST(HalveDepth, HalvesResolutionAndAverages) {
+  DepthImage input(4, 4, 2.0f);
+  input.at(0, 0) = 4.0f;
+  KernelStats stats;
+  const DepthImage output = halve_depth(input, stats);
+  EXPECT_EQ(output.width(), 2);
+  EXPECT_EQ(output.height(), 2);
+  EXPECT_FLOAT_EQ(output.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(output.at(1, 1), 2.0f);
+  EXPECT_EQ(stats.count(Kernel::kPyramid), 16u);
+}
+
+TEST(HalveDepth, SkipsInvalidInputs) {
+  DepthImage input(2, 2, 0.0f);
+  input.at(1, 0) = 3.0f;
+  KernelStats stats;
+  const DepthImage output = halve_depth(input, stats);
+  EXPECT_FLOAT_EQ(output.at(0, 0), 3.0f);
+}
+
+TEST(KernelStats, AccumulatesAndMerges) {
+  KernelStats a, b;
+  a.add(Kernel::kBilateral, 10);
+  b.add(Kernel::kBilateral, 5);
+  b.add(Kernel::kIntegrate, 7);
+  a += b;
+  EXPECT_EQ(a.count(Kernel::kBilateral), 15u);
+  EXPECT_EQ(a.count(Kernel::kIntegrate), 7u);
+  EXPECT_EQ(a.total(), 22u);
+  a.reset();
+  EXPECT_EQ(a.total(), 0u);
+}
+
+TEST(KernelStats, NamesCoverAllKernels) {
+  EXPECT_EQ(kKernelNames.size(), static_cast<std::size_t>(Kernel::kCount));
+  for (const auto name : kKernelNames) EXPECT_FALSE(name.empty());
+}
+
+}  // namespace
+}  // namespace hm::kfusion

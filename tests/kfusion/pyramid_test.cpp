@@ -1,0 +1,146 @@
+#include "kfusion/pyramid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hm::kfusion {
+namespace {
+
+using hm::geometry::Intrinsics;
+
+DepthImage flat_depth(int width, int height, float z) {
+  return DepthImage(width, height, z);
+}
+
+TEST(VertexMap, BackProjectsDepth) {
+  const Intrinsics camera = Intrinsics::kinect(16, 12);
+  const DepthImage depth = flat_depth(16, 12, 2.0f);
+  KernelStats stats;
+  const VertexMap vertices = depth_to_vertices(depth, camera, stats);
+  for (int v = 0; v < 12; ++v) {
+    for (int u = 0; u < 16; ++u) {
+      const Vec3f vertex = vertices.at(u, v);
+      EXPECT_NEAR(vertex.z, 2.0f, 1e-6f);
+      // Re-projecting must land back on the pixel.
+      const auto pixel =
+          camera.project(hm::geometry::to_double(vertex));
+      ASSERT_TRUE(pixel.has_value());
+      EXPECT_NEAR(pixel->x, u, 1e-4);
+      EXPECT_NEAR(pixel->y, v, 1e-4);
+    }
+  }
+  EXPECT_EQ(stats.count(Kernel::kVertexNormal), depth.size());
+}
+
+TEST(VertexMap, InvalidDepthYieldsZeroVertex) {
+  const Intrinsics camera = Intrinsics::kinect(8, 6);
+  DepthImage depth = flat_depth(8, 6, 1.0f);
+  depth.at(3, 2) = 0.0f;
+  KernelStats stats;
+  const VertexMap vertices = depth_to_vertices(depth, camera, stats);
+  EXPECT_EQ(vertices.at(3, 2), Vec3f{});
+  EXPECT_NE(vertices.at(4, 2), Vec3f{});
+}
+
+TEST(NormalMap, FlatPlaneNormalsPointAtCamera) {
+  const Intrinsics camera = Intrinsics::kinect(16, 12);
+  const DepthImage depth = flat_depth(16, 12, 2.0f);
+  KernelStats stats;
+  const VertexMap vertices = depth_to_vertices(depth, camera, stats);
+  const NormalMap normals = vertices_to_normals(vertices, stats);
+  for (int v = 2; v < 10; ++v) {
+    for (int u = 2; u < 14; ++u) {
+      const Vec3f n = normals.at(u, v);
+      ASSERT_NE(n, Vec3f{});
+      EXPECT_NEAR(n.norm(), 1.0f, 1e-5f);
+      // Plane z=2 facing the camera: normal ~ (0,0,-1).
+      EXPECT_NEAR(n.z, -1.0f, 1e-4f);
+      // Camera-facing: n . p < 0.
+      EXPECT_LT(n.dot(vertices.at(u, v)), 0.0f);
+    }
+  }
+}
+
+TEST(NormalMap, SlopedPlaneNormalTilted) {
+  // Depth increases with u: a plane tilted about the vertical axis.
+  const Intrinsics camera = Intrinsics::kinect(32, 24);
+  DepthImage depth(32, 24, 0.0f);
+  for (int v = 0; v < 24; ++v) {
+    for (int u = 0; u < 32; ++u) {
+      depth.at(u, v) = 1.0f + 0.05f * static_cast<float>(u);
+    }
+  }
+  KernelStats stats;
+  const VertexMap vertices = depth_to_vertices(depth, camera, stats);
+  const NormalMap normals = vertices_to_normals(vertices, stats);
+  const Vec3f n = normals.at(16, 12);
+  ASSERT_NE(n, Vec3f{});
+  // Plane z = a + b x (b > 0): the camera-facing normal is (b, 0, -1)
+  // normalized, so the tilt shows up as a positive lateral component.
+  EXPECT_GT(n.x, 0.1f);
+  EXPECT_LT(n.z, 0.0f);
+}
+
+TEST(NormalMap, BorderAndInvalidNeighborsYieldZero) {
+  const Intrinsics camera = Intrinsics::kinect(8, 6);
+  DepthImage depth = flat_depth(8, 6, 1.0f);
+  depth.at(4, 3) = 0.0f;
+  KernelStats stats;
+  const VertexMap vertices = depth_to_vertices(depth, camera, stats);
+  const NormalMap normals = vertices_to_normals(vertices, stats);
+  EXPECT_EQ(normals.at(0, 0), Vec3f{});           // Border.
+  EXPECT_EQ(normals.at(7, 5), Vec3f{});           // Border.
+  EXPECT_EQ(normals.at(4, 3), Vec3f{});           // Invalid center.
+  EXPECT_EQ(normals.at(5, 3), Vec3f{});           // Invalid neighbor.
+}
+
+TEST(Pyramid, LevelCountAndShapes) {
+  const Intrinsics camera = Intrinsics::kinect(32, 24);
+  const DepthImage depth = flat_depth(32, 24, 2.0f);
+  KernelStats stats;
+  const auto pyramid = build_pyramid(depth, camera, 3, stats);
+  ASSERT_EQ(pyramid.size(), 3u);
+  EXPECT_EQ(pyramid[0].depth.width(), 32);
+  EXPECT_EQ(pyramid[1].depth.width(), 16);
+  EXPECT_EQ(pyramid[2].depth.width(), 8);
+  EXPECT_EQ(pyramid[2].intrinsics.width, 8);
+  EXPECT_DOUBLE_EQ(pyramid[1].intrinsics.fx, camera.fx / 2.0);
+  EXPECT_DOUBLE_EQ(pyramid[2].intrinsics.fx, camera.fx / 4.0);
+}
+
+TEST(Pyramid, VerticesConsistentAcrossLevels) {
+  // A flat plane keeps z = 2 at every pyramid level.
+  const Intrinsics camera = Intrinsics::kinect(32, 24);
+  const DepthImage depth = flat_depth(32, 24, 2.0f);
+  KernelStats stats;
+  const auto pyramid = build_pyramid(depth, camera, 3, stats);
+  for (const PyramidLevel& level : pyramid) {
+    const int cu = level.depth.width() / 2;
+    const int cv = level.depth.height() / 2;
+    EXPECT_NEAR(level.vertices.at(cu, cv).z, 2.0f, 1e-5f);
+  }
+}
+
+TEST(Pyramid, SingleLevelKeepsInput) {
+  const Intrinsics camera = Intrinsics::kinect(16, 12);
+  const DepthImage depth = flat_depth(16, 12, 1.0f);
+  KernelStats stats;
+  const auto pyramid = build_pyramid(depth, camera, 1, stats);
+  ASSERT_EQ(pyramid.size(), 1u);
+  EXPECT_EQ(pyramid[0].depth.width(), 16);
+}
+
+TEST(Pyramid, StatsCountAllLevels) {
+  const Intrinsics camera = Intrinsics::kinect(32, 24);
+  const DepthImage depth = flat_depth(32, 24, 2.0f);
+  KernelStats stats;
+  (void)build_pyramid(depth, camera, 3, stats);
+  // Vertex+normal at every level: 2*(768 + 192 + 48).
+  EXPECT_EQ(stats.count(Kernel::kVertexNormal), 2u * (768u + 192u + 48u));
+  // Pyramid averaging for two halvings: 4 reads per output pixel.
+  EXPECT_EQ(stats.count(Kernel::kPyramid), 4u * (192u + 48u));
+}
+
+}  // namespace
+}  // namespace hm::kfusion

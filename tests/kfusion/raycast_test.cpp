@@ -1,0 +1,193 @@
+#include "kfusion/raycast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hm::kfusion {
+namespace {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+using hm::geometry::Vec3f;
+
+/// Integrates a flat wall at depth `wall_depth` into a fresh volume seen
+/// from `pose`, then raycasts it back.
+struct RaycastFixture {
+  TsdfVolume volume{96, 4.8};
+  Intrinsics camera = Intrinsics::kinect(40, 30);
+  SE3 pose;
+  KernelStats stats;
+  double mu = 0.15;
+  float wall_depth = 2.0f;
+
+  RaycastFixture() {
+    pose.translation = {2.4, 2.4, 0.1};
+    DepthImage depth(40, 30, wall_depth);
+    // Integrate several times so trilinear sampling has full support.
+    for (int i = 0; i < 3; ++i) {
+      volume.integrate(depth, camera, pose, mu, stats);
+    }
+  }
+};
+
+TEST(Raycast, RecoversWallDepth) {
+  RaycastFixture fixture;
+  const RaycastResult result = raycast(fixture.volume, fixture.camera,
+                                       fixture.pose, fixture.mu, {}, fixture.stats);
+  int hits = 0;
+  for (int v = 5; v < 25; ++v) {
+    for (int u = 5; u < 35; ++u) {
+      const Vec3f vertex = result.vertices.at(u, v);
+      if (vertex == Vec3f{}) continue;
+      ++hits;
+      // The wall is at world z = 0.1 + 2.0.
+      EXPECT_NEAR(vertex.z, 2.1f, 0.06f);
+    }
+  }
+  EXPECT_GT(hits, 400);
+}
+
+TEST(Raycast, NormalsFaceTheCamera) {
+  RaycastFixture fixture;
+  const RaycastResult result = raycast(fixture.volume, fixture.camera,
+                                       fixture.pose, fixture.mu, {}, fixture.stats);
+  for (int v = 8; v < 22; ++v) {
+    for (int u = 8; u < 32; ++u) {
+      const Vec3f normal = result.normals.at(u, v);
+      if (normal == Vec3f{}) continue;
+      EXPECT_NEAR(normal.norm(), 1.0f, 1e-4f);
+      // Wall normal should point back along -z toward the camera.
+      EXPECT_LT(normal.z, -0.9f);
+    }
+  }
+}
+
+TEST(Raycast, MissesOutsideReconstructedRegion) {
+  RaycastFixture fixture;
+  // View from the side: most rays never enter observed space.
+  SE3 side_pose;
+  side_pose.translation = {0.3, 2.4, 4.0};
+  side_pose.rotation = hm::geometry::so3_exp({0.0, M_PI / 2.0, 0.0});
+  KernelStats stats;
+  const RaycastResult result = raycast(fixture.volume, fixture.camera,
+                                       side_pose, fixture.mu, {}, stats);
+  int hits = 0;
+  for (const Vec3f& vertex : result.vertices) hits += vertex == Vec3f{} ? 0 : 1;
+  // The observed band is thin; few if any side-view hits are expected.
+  EXPECT_LT(hits, static_cast<int>(result.vertices.size() / 4));
+}
+
+TEST(Raycast, StepCountRecorded) {
+  RaycastFixture fixture;
+  KernelStats stats;
+  (void)raycast(fixture.volume, fixture.camera, fixture.pose, fixture.mu, {},
+                stats);
+  // Every ray must march at least a handful of steps.
+  EXPECT_GT(stats.count(Kernel::kRaycast), fixture.camera.pixel_count() * 3);
+}
+
+TEST(Raycast, NearPlaneSkipsCloseSurfaces) {
+  RaycastFixture fixture;
+  RaycastConfig config;
+  config.near_plane = 3.0;  // Beyond the wall at ray depth ~2.
+  KernelStats stats;
+  const RaycastResult result = raycast(fixture.volume, fixture.camera,
+                                       fixture.pose, fixture.mu, config, stats);
+  int hits = 0;
+  for (const Vec3f& vertex : result.vertices) hits += vertex == Vec3f{} ? 0 : 1;
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Raycast, FarPlaneLimitsMarch) {
+  RaycastFixture fixture;
+  RaycastConfig config;
+  config.far_plane = 1.0;  // Wall out of reach.
+  KernelStats stats;
+  const RaycastResult result = raycast(fixture.volume, fixture.camera,
+                                       fixture.pose, fixture.mu, config, stats);
+  int hits = 0;
+  for (const Vec3f& vertex : result.vertices) hits += vertex == Vec3f{} ? 0 : 1;
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(Raycast, EmptyVolumeProducesNoHits) {
+  TsdfVolume volume(32, 4.8);
+  const Intrinsics camera = Intrinsics::kinect(20, 15);
+  SE3 pose;
+  pose.translation = {2.4, 2.4, 0.1};
+  KernelStats stats;
+  const RaycastResult result = raycast(volume, camera, pose, 0.2, {}, stats);
+  for (const Vec3f& vertex : result.vertices) EXPECT_EQ(vertex, Vec3f{});
+  for (const Vec3f& normal : result.normals) EXPECT_EQ(normal, Vec3f{});
+}
+
+TEST(Raycast, ParallelMatchesSerial) {
+  RaycastFixture fixture;
+  KernelStats serial_stats, parallel_stats;
+  const RaycastResult serial = raycast(fixture.volume, fixture.camera,
+                                       fixture.pose, fixture.mu, {}, serial_stats);
+  hm::common::ThreadPool pool(4);
+  const RaycastResult parallel =
+      raycast(fixture.volume, fixture.camera, fixture.pose, fixture.mu, {},
+              parallel_stats, &pool);
+  for (int v = 0; v < serial.vertices.height(); ++v) {
+    for (int u = 0; u < serial.vertices.width(); ++u) {
+      ASSERT_EQ(serial.vertices.at(u, v), parallel.vertices.at(u, v));
+      ASSERT_EQ(serial.normals.at(u, v), parallel.normals.at(u, v));
+    }
+  }
+  EXPECT_EQ(serial_stats.count(Kernel::kRaycast),
+            parallel_stats.count(Kernel::kRaycast));
+}
+
+TEST(Raycast, SphereNormalsAreRadial) {
+  // Build a sphere by integrating from several viewpoints around it.
+  TsdfVolume volume(96, 4.8);
+  const Intrinsics camera = Intrinsics::kinect(40, 30);
+  KernelStats stats;
+  const Vec3d center{2.4, 2.4, 2.4};
+  // Render analytic sphere depth from the front.
+  SE3 pose;
+  pose.translation = {2.4, 2.4, 0.3};
+  DepthImage depth(40, 30, 0.0f);
+  const double radius = 0.6;
+  for (int v = 0; v < 30; ++v) {
+    for (int u = 0; u < 40; ++u) {
+      // Ray-sphere intersection in camera space (camera at origin,
+      // sphere center at (0,0,2.1)).
+      const Vec3d dir = camera.ray_direction(u, v);
+      const double dir2 = dir.squared_norm();
+      const Vec3d oc{0.0, 0.0, -2.1};
+      const double b = 2.0 * oc.dot(dir);
+      const double c = oc.squared_norm() - radius * radius;
+      const double disc = b * b - 4.0 * dir2 * c;
+      if (disc < 0.0) continue;
+      const double t = (-b - std::sqrt(disc)) / (2.0 * dir2);
+      if (t > 0.0) depth.at(u, v) = static_cast<float>(t);
+    }
+  }
+  for (int i = 0; i < 3; ++i) volume.integrate(depth, camera, pose, 0.15, stats);
+
+  const RaycastResult result = raycast(volume, camera, pose, 0.15, {}, stats);
+  int checked = 0;
+  for (int v = 0; v < 30; ++v) {
+    for (int u = 0; u < 40; ++u) {
+      const Vec3f vertex = result.vertices.at(u, v);
+      const Vec3f normal = result.normals.at(u, v);
+      if (vertex == Vec3f{} || normal == Vec3f{}) continue;
+      const Vec3f radial =
+          (vertex - hm::geometry::to_float(center)).normalized();
+      // Outward radial direction on the camera-facing hemisphere.
+      if (radial.z < -0.5f) {
+        EXPECT_GT(normal.dot(radial), 0.7f);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+}  // namespace
+}  // namespace hm::kfusion

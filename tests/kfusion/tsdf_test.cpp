@@ -1,0 +1,213 @@
+#include "kfusion/tsdf_volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hm::kfusion {
+namespace {
+
+using hm::geometry::Intrinsics;
+using hm::geometry::SE3;
+using hm::geometry::Vec3d;
+
+/// A camera at the volume front center looking down +z onto a wall (flat
+/// depth map). Volume is [0, size]^3.
+struct WallFixture {
+  int resolution = 64;
+  double size = 4.8;
+  float wall_depth = 2.0f;
+  TsdfVolume volume{resolution, size};
+  Intrinsics camera = Intrinsics::kinect(40, 30);
+  SE3 pose;
+  DepthImage depth{40, 30, 2.0f};
+  KernelStats stats;
+
+  WallFixture() {
+    // Camera at the center of the x-y face, at z = 0.1, looking down +z.
+    pose.translation = {size / 2.0, size / 2.0, 0.1};
+    depth.fill(wall_depth);
+  }
+
+  void integrate(double mu = 0.2) {
+    volume.integrate(depth, camera, pose, mu, stats);
+  }
+};
+
+TEST(Tsdf, FreshVolumeIsEmpty) {
+  const TsdfVolume volume(32, 4.8);
+  EXPECT_EQ(volume.resolution(), 32);
+  EXPECT_DOUBLE_EQ(volume.size(), 4.8);
+  EXPECT_DOUBLE_EQ(volume.voxel_size(), 0.15);
+  EXPECT_DOUBLE_EQ(volume.occupancy(), 0.0);
+  EXPECT_FALSE(volume.sample({2.4, 2.4, 2.4}).has_value());
+}
+
+TEST(Tsdf, IntegrationCreatesZeroCrossingAtSurface) {
+  WallFixture fixture;
+  fixture.integrate();
+  // Along the central axis: in front of the wall the TSDF is positive,
+  // behind it negative.
+  const double cx = fixture.size / 2.0;
+  const double wall_z = 0.1 + static_cast<double>(fixture.wall_depth);
+  const auto front = fixture.volume.sample({cx, cx, wall_z - 0.1});
+  const auto behind = fixture.volume.sample({cx, cx, wall_z + 0.1});
+  ASSERT_TRUE(front.has_value());
+  ASSERT_TRUE(behind.has_value());
+  EXPECT_GT(*front, 0.2f);
+  EXPECT_LT(*behind, -0.2f);
+}
+
+TEST(Tsdf, ZeroCrossingLocatedAccurately) {
+  WallFixture fixture;
+  fixture.integrate();
+  const double cx = fixture.size / 2.0;
+  const double wall_z = 0.1 + static_cast<double>(fixture.wall_depth);
+  // Bisect the zero crossing along z.
+  double lo = wall_z - 0.2, hi = wall_z + 0.2;
+  for (int i = 0; i < 40; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    const auto value = fixture.volume.sample({cx, cx, mid});
+    ASSERT_TRUE(value.has_value());
+    (*value > 0.0f ? lo : hi) = mid;
+  }
+  EXPECT_NEAR((lo + hi) / 2.0, wall_z, fixture.volume.voxel_size());
+}
+
+TEST(Tsdf, ValuesStayTruncated) {
+  WallFixture fixture;
+  fixture.integrate(0.1);
+  for (int z = 0; z < fixture.resolution; z += 7) {
+    for (int y = 0; y < fixture.resolution; y += 7) {
+      for (int x = 0; x < fixture.resolution; x += 7) {
+        const float value = fixture.volume.tsdf_at(x, y, z);
+        EXPECT_GE(value, -1.0f);
+        EXPECT_LE(value, 1.0f);
+      }
+    }
+  }
+}
+
+TEST(Tsdf, WeightsGrowWithRepeatedIntegration) {
+  WallFixture fixture;
+  fixture.integrate();
+  const double cx = fixture.size / 2.0;
+  const double wall_z = 0.1 + static_cast<double>(fixture.wall_depth);
+  const int vx = static_cast<int>(cx / fixture.volume.voxel_size());
+  const int vz = static_cast<int>((wall_z - 0.05) / fixture.volume.voxel_size());
+  const float weight_once = fixture.volume.weight_at(vx, vx, vz);
+  EXPECT_GT(weight_once, 0.0f);
+  fixture.integrate();
+  fixture.integrate();
+  EXPECT_GT(fixture.volume.weight_at(vx, vx, vz), weight_once);
+}
+
+TEST(Tsdf, WeightCapRespected) {
+  WallFixture fixture;
+  for (int i = 0; i < 120; ++i) fixture.integrate();
+  const double cx = fixture.size / 2.0;
+  const double wall_z = 0.1 + static_cast<double>(fixture.wall_depth);
+  const int vx = static_cast<int>(cx / fixture.volume.voxel_size());
+  const int vz = static_cast<int>((wall_z - 0.05) / fixture.volume.voxel_size());
+  EXPECT_LE(fixture.volume.weight_at(vx, vx, vz), 100.0f);
+}
+
+TEST(Tsdf, OccludedVoxelsBeyondTruncationUntouched) {
+  WallFixture fixture;
+  fixture.integrate(0.2);
+  const double cx = fixture.size / 2.0;
+  const double wall_z = 0.1 + static_cast<double>(fixture.wall_depth);
+  // Far behind the wall: unobserved (occluded), no weight, sample fails.
+  EXPECT_FALSE(fixture.volume.sample({cx, cx, wall_z + 1.5}).has_value());
+}
+
+TEST(Tsdf, IntegrationCountsFrustumVoxelsOnly) {
+  WallFixture fixture;
+  fixture.integrate();
+  const auto visited = fixture.stats.count(Kernel::kIntegrate);
+  const auto total = static_cast<std::uint64_t>(fixture.resolution) *
+                     fixture.resolution * fixture.resolution;
+  EXPECT_GT(visited, 0u);
+  EXPECT_LT(visited, total);  // Frustum bounding box culls the rest.
+}
+
+TEST(Tsdf, EmptyDepthIsNoOp) {
+  TsdfVolume volume(32, 4.8);
+  const Intrinsics camera = Intrinsics::kinect(16, 12);
+  const DepthImage depth(16, 12, 0.0f);
+  KernelStats stats;
+  SE3 pose;
+  pose.translation = {2.4, 2.4, 0.1};
+  volume.integrate(depth, camera, pose, 0.2, stats);
+  EXPECT_EQ(stats.count(Kernel::kIntegrate), 0u);
+  EXPECT_DOUBLE_EQ(volume.occupancy(), 0.0);
+}
+
+TEST(Tsdf, SampleOutsideVolumeFails) {
+  WallFixture fixture;
+  fixture.integrate();
+  EXPECT_FALSE(fixture.volume.sample({-1.0, 2.4, 2.0}).has_value());
+  EXPECT_FALSE(fixture.volume.sample({2.4, 2.4, 100.0}).has_value());
+}
+
+TEST(Tsdf, GradientPointsTowardFreeSpace) {
+  WallFixture fixture;
+  fixture.integrate();
+  const double cx = fixture.size / 2.0;
+  const double wall_z = 0.1 + static_cast<double>(fixture.wall_depth);
+  const auto gradient = fixture.volume.gradient({cx, cx, wall_z});
+  ASSERT_TRUE(gradient.has_value());
+  // TSDF decreases along +z through the wall: gradient z must be negative,
+  // i.e. pointing back toward the camera (free space).
+  EXPECT_LT(gradient->z, 0.0f);
+  EXPECT_GT(std::abs(gradient->z),
+            std::abs(gradient->x) + std::abs(gradient->y));
+}
+
+TEST(Tsdf, ParallelIntegrationMatchesSerial) {
+  WallFixture serial_fixture, parallel_fixture;
+  serial_fixture.integrate();
+  hm::common::ThreadPool pool(4);
+  parallel_fixture.volume.integrate(parallel_fixture.depth,
+                                    parallel_fixture.camera,
+                                    parallel_fixture.pose, 0.2,
+                                    parallel_fixture.stats, &pool);
+  for (int z = 0; z < 64; z += 3) {
+    for (int y = 0; y < 64; y += 3) {
+      for (int x = 0; x < 64; x += 3) {
+        ASSERT_EQ(serial_fixture.volume.tsdf_at(x, y, z),
+                  parallel_fixture.volume.tsdf_at(x, y, z));
+        ASSERT_EQ(serial_fixture.volume.weight_at(x, y, z),
+                  parallel_fixture.volume.weight_at(x, y, z));
+      }
+    }
+  }
+  EXPECT_EQ(serial_fixture.stats.count(Kernel::kIntegrate),
+            parallel_fixture.stats.count(Kernel::kIntegrate));
+}
+
+TEST(Tsdf, ClearResetsState) {
+  WallFixture fixture;
+  fixture.integrate();
+  EXPECT_GT(fixture.volume.occupancy(), 0.0);
+  fixture.volume.clear();
+  EXPECT_DOUBLE_EQ(fixture.volume.occupancy(), 0.0);
+  EXPECT_FALSE(fixture.volume.sample({2.4, 2.4, 2.0}).has_value());
+}
+
+TEST(Tsdf, HigherResolutionVisitsMoreVoxels) {
+  KernelStats small_stats, large_stats;
+  const Intrinsics camera = Intrinsics::kinect(20, 15);
+  const DepthImage depth(20, 15, 2.0f);
+  SE3 pose;
+  pose.translation = {2.4, 2.4, 0.1};
+  TsdfVolume small_volume(32, 4.8), large_volume(64, 4.8);
+  small_volume.integrate(depth, camera, pose, 0.2, small_stats);
+  large_volume.integrate(depth, camera, pose, 0.2, large_stats);
+  // Doubling the resolution multiplies frustum voxels by ~8.
+  EXPECT_GT(large_stats.count(Kernel::kIntegrate),
+            small_stats.count(Kernel::kIntegrate) * 5);
+}
+
+}  // namespace
+}  // namespace hm::kfusion

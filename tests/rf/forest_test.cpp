@@ -1,0 +1,232 @@
+#include "rf/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace hm::rf {
+namespace {
+
+/// Smooth 2-D test function with interaction terms.
+double target_function(double a, double b) {
+  return std::sin(3.0 * a) + 0.5 * b * b + a * b;
+}
+
+struct Problem {
+  FeatureMatrix x{2};
+  std::vector<double> y;
+};
+
+Problem make_problem(std::size_t n, std::uint64_t seed, double noise = 0.0) {
+  Problem p;
+  hm::common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.uniform();
+    const double b = rng.uniform();
+    p.x.add_row(std::vector<double>{a, b});
+    p.y.push_back(target_function(a, b) + rng.normal(0.0, noise));
+  }
+  return p;
+}
+
+TEST(RandomForest, UntrainedByDefault) {
+  const RandomForest forest;
+  EXPECT_FALSE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), 0u);
+}
+
+TEST(RandomForest, FitsAndPredictsSmoothFunction) {
+  const Problem train = make_problem(600, 21);
+  ForestConfig config;
+  config.tree_count = 48;
+  config.seed = 5;
+  RandomForest forest(config);
+  forest.fit(train.x, train.y);
+  ASSERT_TRUE(forest.trained());
+  EXPECT_EQ(forest.tree_count(), 48u);
+
+  const Problem test = make_problem(200, 22);
+  std::vector<double> predictions;
+  for (std::size_t i = 0; i < test.x.rows(); ++i) {
+    predictions.push_back(forest.predict(test.x.row(i)));
+  }
+  EXPECT_GT(hm::common::r_squared(test.y, predictions), 0.9);
+}
+
+TEST(RandomForest, DeterministicForFixedSeed) {
+  const Problem train = make_problem(200, 23);
+  ForestConfig config;
+  config.tree_count = 16;
+  config.seed = 99;
+  RandomForest a(config), b(config);
+  a.fit(train.x, train.y);
+  b.fit(train.x, train.y);
+  const Problem test = make_problem(50, 24);
+  for (std::size_t i = 0; i < test.x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a.predict(test.x.row(i)), b.predict(test.x.row(i)));
+  }
+}
+
+TEST(RandomForest, ParallelFitMatchesSerialFit) {
+  const Problem train = make_problem(300, 25);
+  ForestConfig config;
+  config.tree_count = 24;
+  config.seed = 7;
+  RandomForest serial(config), parallel(config);
+  serial.fit(train.x, train.y, nullptr);
+  hm::common::ThreadPool pool(4);
+  parallel.fit(train.x, train.y, &pool);
+  const Problem test = make_problem(60, 26);
+  for (std::size_t i = 0; i < test.x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.predict(test.x.row(i)),
+                     parallel.predict(test.x.row(i)));
+  }
+}
+
+TEST(RandomForest, PredictBatchMatchesScalarPredict) {
+  const Problem train = make_problem(200, 27);
+  RandomForest forest;
+  forest.fit(train.x, train.y);
+  const Problem test = make_problem(80, 28);
+  const std::vector<double> batch = forest.predict_batch(test.x);
+  ASSERT_EQ(batch.size(), test.x.rows());
+  for (std::size_t i = 0; i < test.x.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], forest.predict(test.x.row(i)));
+  }
+}
+
+TEST(RandomForest, PredictBatchParallelMatches) {
+  const Problem train = make_problem(200, 29);
+  RandomForest forest;
+  forest.fit(train.x, train.y);
+  const Problem test = make_problem(500, 30);
+  hm::common::ThreadPool pool(4);
+  const std::vector<double> serial = forest.predict_batch(test.x);
+  const std::vector<double> parallel = forest.predict_batch(test.x, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(RandomForest, OobRmseReflectsNoise) {
+  ForestConfig config;
+  config.tree_count = 64;
+  const Problem clean = make_problem(400, 31, 0.0);
+  RandomForest forest_clean(config);
+  forest_clean.fit(clean.x, clean.y);
+  const double oob_clean = forest_clean.oob_rmse(clean.x, clean.y);
+
+  const Problem noisy = make_problem(400, 31, 0.5);
+  RandomForest forest_noisy(config);
+  forest_noisy.fit(noisy.x, noisy.y);
+  const double oob_noisy = forest_noisy.oob_rmse(noisy.x, noisy.y);
+
+  EXPECT_GT(oob_clean, 0.0);
+  EXPECT_GT(oob_noisy, oob_clean);
+}
+
+TEST(RandomForest, OobRmseZeroForMismatchedData) {
+  const Problem train = make_problem(100, 32);
+  RandomForest forest;
+  forest.fit(train.x, train.y);
+  const Problem other = make_problem(50, 33);
+  EXPECT_DOUBLE_EQ(forest.oob_rmse(other.x, other.y), 0.0);
+}
+
+TEST(RandomForest, FeatureImportanceFindsInformativeFeature) {
+  // Feature 0 noise, feature 1 signal, feature 2 weak signal.
+  FeatureMatrix x(3);
+  std::vector<double> y;
+  hm::common::Rng rng(34);
+  for (int i = 0; i < 500; ++i) {
+    const double noise = rng.uniform();
+    const double strong = rng.uniform();
+    const double weak = rng.uniform();
+    x.add_row(std::vector<double>{noise, strong, weak});
+    y.push_back(5.0 * strong + 1.0 * weak);
+  }
+  RandomForest forest;
+  forest.fit(x, y);
+  const std::vector<double> importance = forest.feature_importance(3);
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+  EXPECT_GT(importance[1], importance[2]);
+  EXPECT_GT(importance[2], importance[0]);
+}
+
+TEST(RandomForest, UncertaintyHigherAwayFromData) {
+  // Train only on [0, 0.4]; query inside vs. outside the covered region.
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  hm::common::Rng rng(35);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 0.4);
+    x.add_row({&a, 1});
+    y.push_back(std::sin(10.0 * a));
+  }
+  ForestConfig config;
+  config.bootstrap_fraction = 0.5;
+  RandomForest forest(config);
+  forest.fit(x, y);
+  const auto inside = forest.predict_with_uncertainty(std::vector<double>{0.2});
+  const auto outside = forest.predict_with_uncertainty(std::vector<double>{0.9});
+  // Extrapolation variance across trees should not be smaller than the
+  // in-distribution variance (trees extrapolate from different leaves).
+  EXPECT_GE(outside.stddev + 1e-9, inside.stddev * 0.5);
+  EXPECT_NEAR(inside.mean, std::sin(2.0), 0.2);
+}
+
+TEST(RandomForest, FitOnEmptyDataIsUntrained) {
+  FeatureMatrix x(2);
+  RandomForest forest;
+  forest.fit(x, {});
+  EXPECT_FALSE(forest.trained());
+}
+
+TEST(RandomForest, BootstrapFractionControlsDraws) {
+  const Problem train = make_problem(100, 36);
+  ForestConfig config;
+  config.tree_count = 8;
+  config.bootstrap_fraction = 0.2;
+  RandomForest forest(config);
+  forest.fit(train.x, train.y);
+  // With 20% bootstrap every sample has many OOB trees, so OOB is defined.
+  EXPECT_GT(forest.oob_rmse(train.x, train.y), 0.0);
+}
+
+TEST(RandomForest, SingleTreeForestWorks) {
+  const Problem train = make_problem(100, 37);
+  ForestConfig config;
+  config.tree_count = 1;
+  RandomForest forest(config);
+  forest.fit(train.x, train.y);
+  EXPECT_TRUE(forest.trained());
+  const auto prediction = forest.predict_with_uncertainty(train.x.row(0));
+  EXPECT_DOUBLE_EQ(prediction.stddev, 0.0);  // One tree: no spread.
+}
+
+class ForestSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeTest, MoreTreesNeverHurtMuch) {
+  const std::size_t trees = GetParam();
+  const Problem train = make_problem(300, 38);
+  const Problem test = make_problem(100, 39);
+  ForestConfig config;
+  config.tree_count = trees;
+  RandomForest forest(config);
+  forest.fit(train.x, train.y);
+  std::vector<double> predictions;
+  for (std::size_t i = 0; i < test.x.rows(); ++i) {
+    predictions.push_back(forest.predict(test.x.row(i)));
+  }
+  // Even tiny forests should beat the mean predictor on this smooth target.
+  EXPECT_GT(hm::common::r_squared(test.y, predictions), 0.5) << trees;
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeCounts, ForestSizeTest,
+                         ::testing::Values(2, 8, 32, 128));
+
+}  // namespace
+}  // namespace hm::rf

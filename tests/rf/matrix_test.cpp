@@ -1,0 +1,93 @@
+#include "rf/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hm::rf {
+namespace {
+
+TEST(FeatureMatrix, EmptyByDefault) {
+  const FeatureMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.columns(), 0u);
+}
+
+TEST(FeatureMatrix, ColumnsFixedAtConstruction) {
+  FeatureMatrix m(3);
+  EXPECT_EQ(m.columns(), 3u);
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(FeatureMatrix, PreSizedConstruction) {
+  const FeatureMatrix m(4, 2);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.columns(), 2u);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), 0.0);
+    }
+  }
+}
+
+TEST(FeatureMatrix, AddRowAppends) {
+  FeatureMatrix m(2);
+  m.add_row(std::vector<double>{1.0, 2.0});
+  m.add_row(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3.0);
+}
+
+TEST(FeatureMatrix, RowSpanViewsUnderlyingStorage) {
+  FeatureMatrix m(3);
+  m.add_row(std::vector<double>{1, 2, 3});
+  const auto row = m.row(0);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[2], 3.0);
+  // Mutable row writes through.
+  m.row(0)[1] = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 9.0);
+}
+
+TEST(FeatureMatrix, AtIsWritable) {
+  FeatureMatrix m(1, 1);
+  m.at(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+}
+
+TEST(FeatureMatrix, ClearKeepsColumnCount) {
+  FeatureMatrix m(2);
+  m.add_row(std::vector<double>{1, 2});
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.columns(), 2u);
+  m.add_row(std::vector<double>{3, 4});
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(FeatureMatrix, ReserveDoesNotChangeShape) {
+  FeatureMatrix m(4);
+  m.reserve_rows(100);
+  EXPECT_EQ(m.rows(), 0u);
+  m.add_row(std::vector<double>{1, 2, 3, 4});
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(FeatureMatrix, ManyRowsAddressedCorrectly) {
+  FeatureMatrix m(3);
+  for (int r = 0; r < 200; ++r) {
+    m.add_row(std::vector<double>{r * 3.0, r * 3.0 + 1, r * 3.0 + 2});
+  }
+  EXPECT_EQ(m.rows(), 200u);
+  for (std::size_t r = 0; r < 200; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      ASSERT_DOUBLE_EQ(m.at(r, c), static_cast<double>(r * 3 + c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hm::rf

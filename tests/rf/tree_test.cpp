@@ -1,0 +1,188 @@
+#include "rf/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hm::rf {
+namespace {
+
+std::vector<std::size_t> all_indices(std::size_t n) {
+  std::vector<std::size_t> indices(n);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  return indices;
+}
+
+TEST(RegressionTree, ConstantTargetYieldsSingleLeaf) {
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  for (int i = 0; i < 20; ++i) {
+    const double f = i;
+    x.add_row({&f, 1});
+    y.push_back(7.5);
+  }
+  hm::common::Rng rng(1);
+  RegressionTree tree;
+  tree.fit(x, y, all_indices(20), {}, rng);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{3.0}), 7.5);
+}
+
+TEST(RegressionTree, LearnsStepFunctionExactly) {
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  for (int i = 0; i < 40; ++i) {
+    const double f = i;
+    x.add_row({&f, 1});
+    y.push_back(i < 20 ? -1.0 : 1.0);
+  }
+  hm::common::Rng rng(2);
+  TreeConfig config;
+  config.max_features = 1;
+  RegressionTree tree;
+  tree.fit(x, y, all_indices(40), config, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{5.0}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{35.0}), 1.0);
+  // The split threshold must lie between 19 and 20.
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{19.0}), -1.0);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{20.0}), 1.0);
+}
+
+TEST(RegressionTree, PicksInformativeFeature) {
+  // Feature 0 is noise; feature 1 determines the target.
+  FeatureMatrix x(2);
+  std::vector<double> y;
+  hm::common::Rng data_rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double noise = data_rng.uniform();
+    const double signal = data_rng.uniform();
+    x.add_row(std::vector<double>{noise, signal});
+    y.push_back(signal > 0.5 ? 10.0 : -10.0);
+  }
+  hm::common::Rng rng(4);
+  TreeConfig config;
+  config.max_features = 2;  // Both features available at each split.
+  RegressionTree tree;
+  tree.fit(x, y, all_indices(200), config, rng);
+  std::vector<double> importance(2, 0.0);
+  tree.accumulate_importance(importance);
+  EXPECT_GT(importance[1], importance[0] * 10.0);
+}
+
+TEST(RegressionTree, MaxDepthLimitsDepth) {
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  hm::common::Rng data_rng(5);
+  for (int i = 0; i < 256; ++i) {
+    const double f = i;
+    x.add_row({&f, 1});
+    y.push_back(data_rng.uniform());
+  }
+  hm::common::Rng rng(6);
+  TreeConfig config;
+  config.max_depth = 3;
+  config.min_samples_split = 2;
+  config.min_samples_leaf = 1;
+  RegressionTree tree;
+  tree.fit(x, y, all_indices(256), config, rng);
+  EXPECT_LE(tree.depth(), 4u);  // Root at depth 1, three split levels.
+  EXPECT_LE(tree.leaf_count(), 8u);
+}
+
+TEST(RegressionTree, MinSamplesLeafRespected) {
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  for (int i = 0; i < 10; ++i) {
+    const double f = i;
+    x.add_row({&f, 1});
+    y.push_back(i);
+  }
+  hm::common::Rng rng(7);
+  TreeConfig config;
+  config.min_samples_leaf = 4;
+  config.min_samples_split = 8;
+  RegressionTree tree;
+  tree.fit(x, y, all_indices(10), config, rng);
+  // With 10 samples and min leaf 4, at most one split is possible.
+  EXPECT_LE(tree.leaf_count(), 3u);
+}
+
+TEST(RegressionTree, DeterministicForSameRngState) {
+  FeatureMatrix x(3);
+  std::vector<double> y;
+  hm::common::Rng data_rng(8);
+  for (int i = 0; i < 100; ++i) {
+    x.add_row(std::vector<double>{data_rng.uniform(), data_rng.uniform(),
+                                  data_rng.uniform()});
+    y.push_back(data_rng.uniform());
+  }
+  RegressionTree tree_a, tree_b;
+  hm::common::Rng rng_a(9), rng_b(9);
+  tree_a.fit(x, y, all_indices(100), {}, rng_a);
+  tree_b.fit(x, y, all_indices(100), {}, rng_b);
+  ASSERT_EQ(tree_a.node_count(), tree_b.node_count());
+  hm::common::Rng probe(10);
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> f{probe.uniform(), probe.uniform(),
+                                probe.uniform()};
+    EXPECT_DOUBLE_EQ(tree_a.predict(f), tree_b.predict(f));
+  }
+}
+
+TEST(RegressionTree, EmptyIndicesProduceZeroLeaf) {
+  FeatureMatrix x(1);
+  const double f = 1.0;
+  x.add_row({&f, 1});
+  const std::vector<double> y{5.0};
+  hm::common::Rng rng(11);
+  RegressionTree tree;
+  tree.fit(x, y, {}, {}, rng);
+  EXPECT_TRUE(tree.trained());
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(RegressionTree, DuplicatedIndicesActAsWeights) {
+  // Bootstrap-style repetition shifts the leaf mean.
+  FeatureMatrix x(1);
+  std::vector<double> y;
+  const double f0 = 0.0, f1 = 1.0;
+  x.add_row({&f0, 1});
+  x.add_row({&f1, 1});
+  y = {0.0, 10.0};
+  hm::common::Rng rng(12);
+  TreeConfig config;
+  config.min_samples_split = 100;  // Force a single leaf.
+  RegressionTree tree;
+  const std::vector<std::size_t> weighted{0, 1, 1, 1};
+  tree.fit(x, y, weighted, config, rng);
+  EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.5}), 7.5);
+}
+
+TEST(RegressionTree, PredictionsInterpolateTrainingRange) {
+  // Predictions of a regression tree are means of training targets, so
+  // they can never exceed the target range.
+  FeatureMatrix x(2);
+  std::vector<double> y;
+  hm::common::Rng data_rng(13);
+  for (int i = 0; i < 300; ++i) {
+    x.add_row(std::vector<double>{data_rng.uniform(), data_rng.uniform()});
+    y.push_back(data_rng.uniform(-5.0, 5.0));
+  }
+  hm::common::Rng rng(14);
+  RegressionTree tree;
+  tree.fit(x, y, all_indices(300), {}, rng);
+  hm::common::Rng probe(15);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> f{probe.uniform(-1, 2), probe.uniform(-1, 2)};
+    const double prediction = tree.predict(f);
+    EXPECT_GE(prediction, -5.0);
+    EXPECT_LE(prediction, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace hm::rf

@@ -1,0 +1,194 @@
+#include "slambench/adapters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace hm::slambench {
+namespace {
+
+using hm::hypermapper::Configuration;
+using hm::hypermapper::DesignSpace;
+
+std::shared_ptr<const hm::dataset::RGBDSequence> test_sequence(
+    bool intensity = false) {
+  static const auto depth_only =
+      hm::dataset::make_benchmark_sequence(12, 80, 60, nullptr, false);
+  static const auto with_intensity =
+      hm::dataset::make_benchmark_sequence(12, 80, 60, nullptr, true);
+  return intensity ? with_intensity : depth_only;
+}
+
+TEST(Spaces, KFusionCardinalityMatchesPaper) {
+  EXPECT_EQ(build_kfusion_space().cardinality(), 1'728'000ULL);
+}
+
+TEST(Spaces, ElasticFusionCardinalityMatchesPaper) {
+  EXPECT_EQ(build_elasticfusion_space().cardinality(), 460'800ULL);
+}
+
+TEST(Spaces, DefaultsLieOnTheGrid) {
+  const DesignSpace kf_space = build_kfusion_space();
+  const Configuration kf_default =
+      kfusion_config_from_params(kf_space, hm::kfusion::KFusionParams::defaults());
+  EXPECT_EQ(kf_space.snap(kf_default), kf_default);
+  const auto params = kfusion_params_from_config(kf_space, kf_default);
+  EXPECT_EQ(params.volume_resolution, 256);
+  EXPECT_DOUBLE_EQ(params.mu, 0.1);
+  EXPECT_EQ(params.icp_iterations, (std::array<int, 3>{10, 5, 4}));
+  EXPECT_EQ(params.compute_size_ratio, 1);
+  EXPECT_EQ(params.tracking_rate, 1);
+  EXPECT_EQ(params.integration_rate, 1);
+  EXPECT_DOUBLE_EQ(params.icp_threshold, 1e-5);
+
+  const DesignSpace ef_space = build_elasticfusion_space();
+  const Configuration ef_default =
+      ef_config_from_params(ef_space, hm::elasticfusion::EFParams::defaults());
+  const auto ef_params = ef_params_from_config(ef_space, ef_default);
+  EXPECT_DOUBLE_EQ(ef_params.icp_rgb_weight, 10.0);
+  EXPECT_DOUBLE_EQ(ef_params.depth_cutoff, 3.0);
+  EXPECT_DOUBLE_EQ(ef_params.confidence_threshold, 10.0);
+  EXPECT_TRUE(ef_params.so3_prealign);
+  EXPECT_FALSE(ef_params.open_loop);
+  EXPECT_TRUE(ef_params.relocalisation);
+  EXPECT_FALSE(ef_params.fast_odometry);
+  EXPECT_FALSE(ef_params.frame_to_frame_rgb);
+}
+
+TEST(Spaces, KFusionConfigRoundTrip) {
+  const DesignSpace space = build_kfusion_space();
+  hm::common::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const Configuration config = space.sample(rng);
+    const auto params = kfusion_params_from_config(space, config);
+    const Configuration back = kfusion_config_from_params(space, params);
+    EXPECT_EQ(space.key(back), space.key(config));
+  }
+}
+
+TEST(Spaces, ElasticFusionConfigRoundTrip) {
+  const DesignSpace space = build_elasticfusion_space();
+  hm::common::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const Configuration config = space.sample(rng);
+    const auto params = ef_params_from_config(space, config);
+    const Configuration back = ef_config_from_params(space, params);
+    EXPECT_EQ(space.key(back), space.key(config));
+  }
+}
+
+TEST(Cache, LookupAfterStore) {
+  EvaluationCache cache;
+  RunMetrics metrics;
+  metrics.frames = 7;
+  cache.store(42, metrics);
+  RunMetrics out;
+  EXPECT_TRUE(cache.lookup(42, out));
+  EXPECT_EQ(out.frames, 7u);
+  EXPECT_FALSE(cache.lookup(43, out));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(KFusionEvaluator, ReturnsTwoPositiveObjectives) {
+  KFusionEvaluator evaluator(test_sequence(), odroid_xu3());
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto objectives = evaluator.evaluate(
+      kfusion_config_from_params(evaluator.space(), params));
+  ASSERT_EQ(objectives.size(), 2u);
+  EXPECT_GT(objectives[0], 0.0);  // Runtime per frame.
+  EXPECT_GT(objectives[1], 0.0);  // Max ATE.
+  EXPECT_EQ(evaluator.objective_count(), 2u);
+  EXPECT_TRUE(evaluator.thread_safe());
+}
+
+TEST(KFusionEvaluator, CachesRepeatedEvaluations) {
+  KFusionEvaluator evaluator(test_sequence(), odroid_xu3());
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto config = kfusion_config_from_params(evaluator.space(), params);
+  const auto first = evaluator.evaluate(config);
+  const auto second = evaluator.evaluate(config);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(evaluator.cache()->misses(), 1u);
+  EXPECT_EQ(evaluator.cache()->hits(), 1u);
+  EXPECT_EQ(evaluator.evaluation_count(), 2u);
+}
+
+TEST(KFusionEvaluator, SharedCacheAcrossDevices) {
+  auto cache = std::make_shared<EvaluationCache>();
+  KFusionEvaluator odroid_eval(test_sequence(), odroid_xu3(), AteKind::kMax,
+                               cache);
+  KFusionEvaluator asus_eval(test_sequence(), asus_t200ta(), AteKind::kMax,
+                             cache);
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto config = kfusion_config_from_params(odroid_eval.space(), params);
+  const auto odroid_obj = odroid_eval.evaluate(config);
+  const auto asus_obj = asus_eval.evaluate(config);  // Cache hit: no rerun.
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->hits(), 1u);
+  // Same ATE, different runtimes.
+  EXPECT_EQ(odroid_obj[1], asus_obj[1]);
+  EXPECT_NE(odroid_obj[0], asus_obj[0]);
+}
+
+TEST(KFusionEvaluator, AteKindSelectsStatistic) {
+  auto cache = std::make_shared<EvaluationCache>();
+  KFusionEvaluator max_eval(test_sequence(), odroid_xu3(), AteKind::kMax, cache);
+  KFusionEvaluator mean_eval(test_sequence(), odroid_xu3(), AteKind::kMean,
+                             cache);
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto config = kfusion_config_from_params(max_eval.space(), params);
+  const auto max_obj = max_eval.evaluate(config);
+  const auto mean_obj = mean_eval.evaluate(config);
+  EXPECT_GE(max_obj[1], mean_obj[1]);
+}
+
+TEST(ElasticFusionEvaluator, ReturnsObjectivesAndCaches) {
+  ElasticFusionEvaluator evaluator(test_sequence(true), nvidia_gtx780ti());
+  const auto config = ef_config_from_params(
+      evaluator.space(), hm::elasticfusion::EFParams::defaults());
+  const auto first = evaluator.evaluate(config);
+  const auto second = evaluator.evaluate(config);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_GT(first[0], 0.0);
+  EXPECT_GT(first[1], 0.0);
+  EXPECT_EQ(first, second);
+}
+
+TEST(ElasticFusionEvaluator, MeasureExposesFullMetrics) {
+  ElasticFusionEvaluator evaluator(test_sequence(true), nvidia_gtx780ti());
+  const auto config = ef_config_from_params(
+      evaluator.space(), hm::elasticfusion::EFParams::defaults());
+  const RunMetrics metrics = evaluator.measure(config);
+  EXPECT_EQ(metrics.frames, 12u);
+  EXPECT_GT(metrics.stats.count(hm::kfusion::Kernel::kSurfelFusion), 0u);
+}
+
+TEST(KFusionEvaluator, FasterConfigHasLowerRuntimeObjective) {
+  KFusionEvaluator evaluator(test_sequence(), odroid_xu3());
+  hm::kfusion::KFusionParams heavy;  // Defaults: 256^3, full rate.
+  hm::kfusion::KFusionParams light;
+  light.volume_resolution = 64;
+  light.mu = 0.3;
+  light.compute_size_ratio = 4;
+  light.integration_rate = 5;
+  const auto heavy_obj = evaluator.evaluate(
+      kfusion_config_from_params(evaluator.space(), heavy));
+  const auto light_obj = evaluator.evaluate(
+      kfusion_config_from_params(evaluator.space(), light));
+  EXPECT_GT(heavy_obj[0], light_obj[0] * 3.0);
+}
+
+}  // namespace
+}  // namespace hm::slambench

@@ -1,0 +1,85 @@
+#include "slambench/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hm::slambench {
+namespace {
+
+TEST(Device, SecondsFromCountsAndOverhead) {
+  DeviceModel device;
+  device.frame_overhead = 0.01;
+  device.coeff(Kernel::kIntegrate) = 10.0;  // 10 ns per voxel.
+  device.coeff(Kernel::kIcp) = 100.0;
+  KernelStats stats;
+  stats.add(Kernel::kIntegrate, 1'000'000);  // 10 ms.
+  stats.add(Kernel::kIcp, 10'000);           // 1 ms.
+  const double seconds = device.seconds(stats, 5);
+  EXPECT_NEAR(seconds, 0.010 + 0.001 + 5 * 0.01, 1e-12);
+  EXPECT_NEAR(device.seconds_per_frame(stats, 5), seconds / 5.0, 1e-15);
+}
+
+TEST(Device, ZeroFramesPerFrameIsZero) {
+  const DeviceModel device = odroid_xu3();
+  KernelStats stats;
+  EXPECT_DOUBLE_EQ(device.seconds_per_frame(stats, 0), 0.0);
+}
+
+TEST(Device, UncountedKernelsCostNothing) {
+  DeviceModel device;
+  device.coeff(Kernel::kRaycast) = 50.0;
+  KernelStats stats;
+  stats.add(Kernel::kIntegrate, 1'000'000);  // No coefficient set.
+  EXPECT_DOUBLE_EQ(device.seconds(stats, 0), 0.0);
+}
+
+TEST(Device, PresetsHaveNamesAndPositiveCoefficients) {
+  for (const DeviceModel& device :
+       {odroid_xu3(), asus_t200ta(), nvidia_gtx780ti()}) {
+    EXPECT_FALSE(device.name.empty());
+    EXPECT_GT(device.frame_overhead, 0.0);
+    for (const double coefficient : device.ns_per_op) {
+      EXPECT_GT(coefficient, 0.0) << device.name;
+    }
+  }
+}
+
+TEST(Device, DesktopGpuFasterOnDenseKernels) {
+  const DeviceModel embedded = odroid_xu3();
+  const DeviceModel desktop = nvidia_gtx780ti();
+  KernelStats stats;
+  stats.add(Kernel::kIntegrate, 10'000'000);
+  stats.add(Kernel::kRaycast, 1'000'000);
+  EXPECT_LT(desktop.seconds(stats, 1), embedded.seconds(stats, 1) / 5.0);
+}
+
+TEST(Device, EmbeddedOverheadBoundsFrameRate) {
+  // The paper's best KFusion configs approach ~40 FPS on the ODROID; the
+  // fixed overhead must cap the frame rate near that.
+  const DeviceModel device = odroid_xu3();
+  KernelStats zero_work;
+  const double min_frame_time = device.seconds_per_frame(zero_work, 100);
+  EXPECT_GT(1.0 / min_frame_time, 30.0);
+  EXPECT_LT(1.0 / min_frame_time, 60.0);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(device_by_name("asus").name, "ASUS T200TA");
+  EXPECT_EQ(device_by_name("nvidia").name, "NVIDIA GTX 780 Ti");
+  EXPECT_EQ(device_by_name("odroid").name, "ODROID-XU3");
+  EXPECT_EQ(device_by_name("unknown").name, "ODROID-XU3");  // Fallback.
+}
+
+TEST(Device, KernelMixesDifferAcrossDevices) {
+  // The crowd-sourcing result rests on devices having different *relative*
+  // kernel costs, not just a global scale.
+  const DeviceModel a = odroid_xu3();
+  const DeviceModel b = asus_t200ta();
+  const double ratio_integrate =
+      a.coeff(Kernel::kIntegrate) / b.coeff(Kernel::kIntegrate);
+  const double ratio_raycast =
+      a.coeff(Kernel::kRaycast) / b.coeff(Kernel::kRaycast);
+  EXPECT_NE(ratio_integrate, ratio_raycast);
+}
+
+}  // namespace
+}  // namespace hm::slambench

@@ -1,0 +1,130 @@
+// Tests for the energy/power model and the three-objective evaluator (the
+// power extension reproducing the [40] results the paper quotes).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "slambench/adapters.hpp"
+
+namespace hm::slambench {
+namespace {
+
+using hm::kfusion::Kernel;
+using hm::kfusion::KernelStats;
+
+TEST(Energy, JoulesFromCountsAndIdle) {
+  DeviceModel device;
+  device.frame_overhead = 0.01;                // 10 ms per frame.
+  device.coeff(Kernel::kIntegrate) = 10.0;     // 10 ns/op.
+  device.energy_coeff(Kernel::kIntegrate) = 5.0;  // 5 nJ/op.
+  device.idle_watts = 2.0;
+  KernelStats stats;
+  stats.add(Kernel::kIntegrate, 1'000'000);
+  // Runtime: 10 ms work + 100 ms overhead for 10 frames = 0.11 s.
+  // Energy: 5 mJ dynamic + 2 W * 0.11 s = 0.225 J.
+  EXPECT_NEAR(device.joules(stats, 10), 0.005 + 2.0 * 0.11, 1e-12);
+  EXPECT_NEAR(device.average_watts(stats, 10), (0.005 + 0.22) / 0.11, 1e-9);
+}
+
+TEST(Energy, NoWorkNoRuntimeMeansZeroPower) {
+  DeviceModel device;
+  device.idle_watts = 1.0;
+  KernelStats stats;
+  EXPECT_DOUBLE_EQ(device.average_watts(stats, 0), 0.0);
+}
+
+TEST(Energy, IdleDominatedWhenWorkIsLight) {
+  const DeviceModel device = odroid_xu3();
+  KernelStats light;
+  light.add(Kernel::kIntegrate, 10'000);
+  const double watts = device.average_watts(light, 100);
+  EXPECT_GT(watts, device.idle_watts * 0.9);
+  EXPECT_LT(watts, device.idle_watts * 1.3);
+}
+
+TEST(Energy, HeavyWorkRaisesAveragePower) {
+  const DeviceModel device = odroid_xu3();
+  KernelStats light, heavy;
+  light.add(Kernel::kIntegrate, 100'000);
+  heavy.add(Kernel::kIntegrate, 9'000'000);  // Default-config scale per frame.
+  EXPECT_GT(device.average_watts(heavy, 1), device.average_watts(light, 1));
+}
+
+TEST(Energy, PresetsHaveEnergyCoefficients) {
+  for (const DeviceModel& device :
+       {odroid_xu3(), asus_t200ta(), nvidia_gtx780ti()}) {
+    EXPECT_GT(device.idle_watts, 0.0) << device.name;
+    for (const double coefficient : device.nj_per_op) {
+      EXPECT_GT(coefficient, 0.0) << device.name;
+    }
+  }
+}
+
+TEST(Energy, EmbeddedDefaultNearTwoWattBudget) {
+  // The calibration target: the default KFusion configuration sits near
+  // the 2 W embedded budget on the ODROID model.
+  const DeviceModel device = odroid_xu3();
+  KernelStats default_like;
+  default_like.add(Kernel::kIntegrate, 9'100'000);
+  default_like.add(Kernel::kRaycast, 510'000);
+  default_like.add(Kernel::kBilateral, 110'000);
+  default_like.add(Kernel::kIcp, 12'000);
+  const double watts = device.average_watts(default_like, 1);
+  EXPECT_GT(watts, 1.2);
+  EXPECT_LT(watts, 2.3);
+}
+
+TEST(EnergyEvaluator, ReturnsThreeObjectives) {
+  const auto sequence =
+      hm::dataset::make_benchmark_sequence(10, 80, 60, nullptr, false);
+  KFusionEnergyEvaluator evaluator(sequence, odroid_xu3());
+  EXPECT_EQ(evaluator.objective_count(), 3u);
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto objectives = evaluator.evaluate(
+      kfusion_config_from_params(evaluator.space(), params));
+  ASSERT_EQ(objectives.size(), 3u);
+  EXPECT_GT(objectives[0], 0.0);  // Runtime.
+  EXPECT_GT(objectives[1], 0.0);  // ATE.
+  EXPECT_GT(objectives[2], 0.3);  // Watts, at least near idle.
+  EXPECT_LT(objectives[2], 5.0);
+}
+
+TEST(EnergyEvaluator, SharesCacheWithTwoObjectiveEvaluator) {
+  const auto sequence =
+      hm::dataset::make_benchmark_sequence(10, 80, 60, nullptr, false);
+  auto cache = std::make_shared<EvaluationCache>();
+  KFusionEvaluator two(sequence, odroid_xu3(), AteKind::kMax, cache);
+  KFusionEnergyEvaluator three(sequence, odroid_xu3(), AteKind::kMax, cache);
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const auto config = kfusion_config_from_params(two.space(), params);
+  const auto two_obj = two.evaluate(config);
+  const auto three_obj = three.evaluate(config);  // Cache hit.
+  EXPECT_EQ(cache->misses(), 1u);
+  EXPECT_EQ(cache->hits(), 1u);
+  EXPECT_DOUBLE_EQ(two_obj[0], three_obj[0]);
+  EXPECT_DOUBLE_EQ(two_obj[1], three_obj[1]);
+}
+
+TEST(EnergyEvaluator, LighterConfigDrawsLessPower) {
+  const auto sequence =
+      hm::dataset::make_benchmark_sequence(10, 80, 60, nullptr, false);
+  KFusionEnergyEvaluator evaluator(sequence, odroid_xu3());
+  hm::kfusion::KFusionParams heavy;  // 256^3 default.
+  hm::kfusion::KFusionParams light;
+  light.volume_resolution = 64;
+  light.mu = 0.3;
+  light.compute_size_ratio = 4;
+  light.integration_rate = 5;
+  const auto heavy_obj = evaluator.evaluate(
+      kfusion_config_from_params(evaluator.space(), heavy));
+  const auto light_obj = evaluator.evaluate(
+      kfusion_config_from_params(evaluator.space(), light));
+  EXPECT_GT(heavy_obj[2], light_obj[2]);
+}
+
+}  // namespace
+}  // namespace hm::slambench

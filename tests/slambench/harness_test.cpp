@@ -1,0 +1,82 @@
+#include "slambench/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace hm::slambench {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> test_sequence() {
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(20, 80, 60, nullptr, true);
+  return sequence;
+}
+
+TEST(Harness, KFusionRunProducesFiniteMetrics) {
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const RunMetrics metrics = run_kfusion(*test_sequence(), params);
+  EXPECT_EQ(metrics.frames, 20u);
+  EXPECT_GT(metrics.wall_seconds, 0.0);
+  EXPECT_GE(metrics.ate.mean, 0.0);
+  EXPECT_GE(metrics.ate.max, metrics.ate.mean);
+  EXPECT_GT(metrics.stats.total(), 0u);
+}
+
+TEST(Harness, KFusionAccurateAtGoodConfig) {
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 128;
+  const RunMetrics metrics = run_kfusion(*test_sequence(), params);
+  EXPECT_LT(metrics.ate.max, 0.05);
+  EXPECT_EQ(metrics.tracking_failures, 0u);
+}
+
+TEST(Harness, ElasticFusionRunProducesFiniteMetrics) {
+  const RunMetrics metrics =
+      run_elasticfusion(*test_sequence(), hm::elasticfusion::EFParams::defaults());
+  EXPECT_EQ(metrics.frames, 20u);
+  EXPECT_LT(metrics.ate.max, 0.05);
+  EXPECT_EQ(metrics.tracking_failures, 0u);
+  EXPECT_GT(metrics.stats.count(hm::kfusion::Kernel::kSurfelFusion), 0u);
+}
+
+TEST(Harness, DeviceRuntimeDerivableFromMetrics) {
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const RunMetrics metrics = run_kfusion(*test_sequence(), params);
+  const DeviceModel odroid = odroid_xu3();
+  const DeviceModel nvidia = nvidia_gtx780ti();
+  const double odroid_time = odroid.seconds(metrics.stats, metrics.frames);
+  const double nvidia_time = nvidia.seconds(metrics.stats, metrics.frames);
+  EXPECT_GT(odroid_time, 0.0);
+  EXPECT_LT(nvidia_time, odroid_time);
+}
+
+TEST(Harness, EmptySequenceHandled) {
+  const hm::dataset::Scene scene = hm::dataset::build_living_room();
+  hm::dataset::SequenceConfig config;
+  config.width = 16;
+  config.height = 12;
+  config.trajectory.frame_count = 0;
+  const hm::dataset::RGBDSequence empty(scene, config);
+  const RunMetrics metrics =
+      run_kfusion(empty, hm::kfusion::KFusionParams::defaults());
+  EXPECT_EQ(metrics.frames, 0u);
+  EXPECT_EQ(metrics.stats.total(), 0u);
+}
+
+TEST(Harness, RepeatedRunsAreDeterministic) {
+  hm::kfusion::KFusionParams params;
+  params.volume_resolution = 64;
+  params.mu = 0.3;
+  const RunMetrics a = run_kfusion(*test_sequence(), params);
+  const RunMetrics b = run_kfusion(*test_sequence(), params);
+  EXPECT_EQ(a.ate.mean, b.ate.mean);
+  EXPECT_EQ(a.stats.total(), b.stats.total());
+}
+
+}  // namespace
+}  // namespace hm::slambench

@@ -1,0 +1,133 @@
+#include "slambench/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hm::slambench {
+namespace {
+
+using hm::geometry::Vec3d;
+
+std::vector<SE3> line_trajectory(std::size_t n, Vec3d step) {
+  std::vector<SE3> poses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    poses[i].translation = step * static_cast<double>(i);
+  }
+  return poses;
+}
+
+TEST(Ate, ZeroForIdenticalTrajectories) {
+  const auto poses = line_trajectory(10, {0.1, 0, 0});
+  const TrajectoryError error = compute_ate(poses, poses);
+  EXPECT_DOUBLE_EQ(error.mean, 0.0);
+  EXPECT_DOUBLE_EQ(error.max, 0.0);
+  EXPECT_DOUBLE_EQ(error.rmse, 0.0);
+  EXPECT_EQ(error.frames, 10u);
+}
+
+TEST(Ate, ConstantOffset) {
+  const auto gt = line_trajectory(5, {0.1, 0, 0});
+  auto est = gt;
+  for (SE3& pose : est) pose.translation += Vec3d{0, 0.3, 0.4};
+  const TrajectoryError error = compute_ate(est, gt);
+  EXPECT_NEAR(error.mean, 0.5, 1e-12);
+  EXPECT_NEAR(error.max, 0.5, 1e-12);
+  EXPECT_NEAR(error.rmse, 0.5, 1e-12);
+  EXPECT_NEAR(error.final_drift, 0.5, 1e-12);
+}
+
+TEST(Ate, GrowingDriftStatistics) {
+  const auto gt = line_trajectory(5, {0, 0, 0});
+  auto est = gt;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    est[i].translation = {0.01 * static_cast<double>(i), 0, 0};
+  }
+  const TrajectoryError error = compute_ate(est, gt);
+  EXPECT_NEAR(error.mean, 0.02, 1e-12);       // (0+1+2+3+4)/5 cm.
+  EXPECT_NEAR(error.max, 0.04, 1e-12);
+  EXPECT_NEAR(error.final_drift, 0.04, 1e-12);
+  EXPECT_GT(error.rmse, error.mean);           // RMSE weights the tail.
+}
+
+TEST(Ate, EmptyTrajectories) {
+  const TrajectoryError error = compute_ate({}, {});
+  EXPECT_EQ(error.frames, 0u);
+  EXPECT_DOUBLE_EQ(error.mean, 0.0);
+}
+
+TEST(Align, IdentityForSameTrajectory) {
+  const auto poses = line_trajectory(10, {0.1, 0.05, 0.0});
+  const SE3 alignment = align_trajectories(poses, poses);
+  EXPECT_NEAR(alignment.translation.norm(), 0.0, 1e-9);
+  EXPECT_NEAR(hm::geometry::so3_log(alignment.rotation).norm(), 0.0, 1e-9);
+}
+
+class AlignRecoveryTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignRecoveryTest, RecoversAppliedRigidTransform) {
+  hm::common::Rng rng(GetParam());
+  // A wiggly ground-truth path (not colinear, so rotation is observable).
+  std::vector<SE3> gt(30);
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    const double t = static_cast<double>(i) * 0.2;
+    gt[i].translation = {std::cos(t), 0.3 * t, std::sin(1.3 * t)};
+  }
+  // Apply a random rigid transform to create the "estimated" trajectory.
+  SE3 distortion;
+  distortion.rotation = hm::geometry::so3_exp(
+      {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  distortion.translation = {rng.uniform(-2, 2), rng.uniform(-2, 2),
+                            rng.uniform(-2, 2)};
+  std::vector<SE3> est = gt;
+  for (SE3& pose : est) {
+    pose.translation = distortion * pose.translation;
+    pose.rotation = distortion.rotation * pose.rotation;
+  }
+  // Alignment must undo the distortion: aligned ATE ~ 0.
+  const TrajectoryError aligned = compute_aligned_ate(est, gt);
+  EXPECT_LT(aligned.max, 1e-8);
+  // Unaligned ATE is large.
+  const TrajectoryError raw = compute_ate(est, gt);
+  EXPECT_GT(raw.mean, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignRecoveryTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Align, TooFewPosesReturnsIdentity) {
+  const auto poses = line_trajectory(2, {1, 0, 0});
+  const SE3 alignment = align_trajectories(poses, poses);
+  EXPECT_NEAR(alignment.translation.norm(), 0.0, 1e-12);
+}
+
+TEST(Align, PureTranslationOffset) {
+  const auto gt = line_trajectory(10, {0.1, 0.02, 0.0});
+  auto est = gt;
+  for (SE3& pose : est) pose.translation += Vec3d{1, 2, 3};
+  const TrajectoryError aligned = compute_aligned_ate(est, gt);
+  EXPECT_LT(aligned.max, 1e-10);
+}
+
+TEST(Align, NoiseLimitsButDoesNotBreakAlignment) {
+  hm::common::Rng rng(77);
+  std::vector<SE3> gt(50);
+  for (std::size_t i = 0; i < gt.size(); ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    gt[i].translation = {std::cos(t), t * 0.1, std::sin(t)};
+  }
+  std::vector<SE3> est = gt;
+  for (SE3& pose : est) {
+    pose.translation += Vec3d{rng.normal(0, 0.01), rng.normal(0, 0.01),
+                              rng.normal(0, 0.01)};
+  }
+  const TrajectoryError aligned = compute_aligned_ate(est, gt);
+  EXPECT_LT(aligned.mean, 0.03);
+  EXPECT_GT(aligned.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace hm::slambench

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "slambench/metrics.hpp"
+
+namespace hm::slambench {
+namespace {
+
+using hm::geometry::Vec3d;
+
+std::vector<SE3> line(std::size_t n, Vec3d step) {
+  std::vector<SE3> poses(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    poses[i].translation = step * static_cast<double>(i);
+  }
+  return poses;
+}
+
+TEST(Rpe, ZeroForIdenticalTrajectories) {
+  const auto poses = line(10, {0.1, 0, 0});
+  const RelativePoseError error = compute_rpe(poses, poses);
+  EXPECT_EQ(error.windows, 9u);
+  EXPECT_DOUBLE_EQ(error.translation_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(error.rotation_rmse, 0.0);
+}
+
+TEST(Rpe, ConstantOffsetIsInvisible) {
+  // A rigid offset does not change relative motions: RPE must be zero even
+  // though the ATE is large.
+  const auto gt = line(10, {0.1, 0, 0});
+  auto est = gt;
+  for (SE3& pose : est) pose.translation += Vec3d{5, 5, 5};
+  const RelativePoseError error = compute_rpe(est, gt);
+  EXPECT_NEAR(error.translation_rmse, 0.0, 1e-12);
+  EXPECT_GT(compute_ate(est, gt).mean, 1.0);
+}
+
+TEST(Rpe, UniformDriftPerFrame) {
+  // The estimate moves 1 cm further than truth every frame: each 1-frame
+  // window shows exactly 1 cm of relative error.
+  const auto gt = line(10, {0.1, 0, 0});
+  auto est = gt;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    est[i].translation.x += 0.01 * static_cast<double>(i);
+  }
+  const RelativePoseError error = compute_rpe(est, gt, 1);
+  EXPECT_NEAR(error.translation_mean, 0.01, 1e-12);
+  EXPECT_NEAR(error.translation_max, 0.01, 1e-12);
+}
+
+TEST(Rpe, WindowLengthScalesDrift) {
+  const auto gt = line(20, {0.1, 0, 0});
+  auto est = gt;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    est[i].translation.x += 0.01 * static_cast<double>(i);
+  }
+  const RelativePoseError short_window = compute_rpe(est, gt, 1);
+  const RelativePoseError long_window = compute_rpe(est, gt, 5);
+  EXPECT_NEAR(long_window.translation_mean,
+              5.0 * short_window.translation_mean, 1e-9);
+  EXPECT_EQ(long_window.windows, 15u);
+}
+
+TEST(Rpe, RotationErrorDetected) {
+  const auto gt = line(10, {0.1, 0, 0});
+  auto est = gt;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    est[i].rotation =
+        hm::geometry::so3_exp({0.0, 0.02 * static_cast<double>(i), 0.0});
+  }
+  const RelativePoseError error = compute_rpe(est, gt, 1);
+  EXPECT_NEAR(error.rotation_mean, 0.02, 1e-9);
+}
+
+TEST(Rpe, DegenerateInputs) {
+  const auto poses = line(3, {0.1, 0, 0});
+  EXPECT_EQ(compute_rpe(poses, poses, 0).windows, 0u);
+  EXPECT_EQ(compute_rpe(poses, poses, 3).windows, 0u);
+  EXPECT_EQ(compute_rpe(poses, poses, 5).windows, 0u);
+}
+
+}  // namespace
+}  // namespace hm::slambench

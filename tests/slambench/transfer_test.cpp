@@ -1,0 +1,130 @@
+#include "slambench/transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hm::slambench {
+namespace {
+
+using hm::kfusion::Kernel;
+using hm::kfusion::KernelStats;
+
+/// Builds a RunMetrics with the given integrate/raycast counts.
+RunMetrics make_metrics(std::uint64_t integrate, std::uint64_t raycast,
+                        std::size_t frames = 10) {
+  RunMetrics metrics;
+  metrics.frames = frames;
+  metrics.stats.add(Kernel::kIntegrate, integrate);
+  metrics.stats.add(Kernel::kRaycast, raycast);
+  return metrics;
+}
+
+DeviceModel make_device(double integrate_ns, double raycast_ns,
+                        double overhead = 0.0) {
+  DeviceModel device;
+  device.name = "synthetic";
+  device.frame_overhead = overhead;
+  device.coeff(Kernel::kIntegrate) = integrate_ns;
+  device.coeff(Kernel::kRaycast) = raycast_ns;
+  return device;
+}
+
+TEST(Transfer, RuntimesOnDevice) {
+  const std::vector<RunMetrics> metrics{make_metrics(1'000'000, 0),
+                                        make_metrics(2'000'000, 0)};
+  const DeviceModel device = make_device(10.0, 0.0);
+  const auto runtimes = runtimes_on_device(metrics, device);
+  ASSERT_EQ(runtimes.size(), 2u);
+  EXPECT_DOUBLE_EQ(runtimes[0], 0.01 / 10.0);  // 10ms over 10 frames.
+  EXPECT_DOUBLE_EQ(runtimes[1], 0.02 / 10.0);
+}
+
+TEST(Transfer, IdenticalDevicesCorrelatePerfectly) {
+  std::vector<RunMetrics> metrics;
+  std::vector<double> ate;
+  for (int i = 1; i <= 20; ++i) {
+    metrics.push_back(make_metrics(static_cast<std::uint64_t>(i) * 100'000,
+                                   static_cast<std::uint64_t>(i) * 7'000));
+    ate.push_back(0.01);
+  }
+  const DeviceModel device = make_device(10.0, 20.0);
+  const auto analysis =
+      analyze_transfer(metrics, ate, metrics.front(), device, device);
+  EXPECT_NEAR(analysis.pearson, 1.0, 1e-12);
+  EXPECT_NEAR(analysis.spearman, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(analysis.transfer_regret, 1.0);
+}
+
+TEST(Transfer, ScaledDeviceStillPerfectRankCorrelation) {
+  std::vector<RunMetrics> metrics;
+  std::vector<double> ate;
+  for (int i = 1; i <= 20; ++i) {
+    metrics.push_back(make_metrics(static_cast<std::uint64_t>(i) * 100'000,
+                                   static_cast<std::uint64_t>(21 - i) * 1'000));
+    ate.push_back(0.01);
+  }
+  // Target is a uniformly 3x faster copy: rankings identical.
+  const DeviceModel source = make_device(10.0, 20.0);
+  const DeviceModel target = make_device(10.0 / 3.0, 20.0 / 3.0);
+  const auto analysis =
+      analyze_transfer(metrics, ate, metrics.front(), source, target);
+  EXPECT_NEAR(analysis.spearman, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(analysis.transfer_regret, 1.0);
+}
+
+TEST(Transfer, DivergentKernelMixBreaksTransfer) {
+  // Config A: integrate-heavy; config B: raycast-heavy; both valid.
+  const std::vector<RunMetrics> metrics{make_metrics(10'000'000, 1'000),
+                                        make_metrics(1'000, 10'000'000)};
+  const std::vector<double> ate{0.01, 0.01};
+  // Source charges raycast heavily -> picks config A as its best.
+  const DeviceModel source = make_device(1.0, 100.0);
+  // Target charges integrate heavily -> its own best is config B.
+  const DeviceModel target = make_device(100.0, 1.0);
+  const auto analysis =
+      analyze_transfer(metrics, ate, metrics.front(), source, target);
+  EXPECT_GT(analysis.transfer_regret, 10.0);  // A is terrible on the target.
+  EXPECT_LT(analysis.spearman, 0.0);          // Rankings reversed.
+}
+
+TEST(Transfer, InvalidConfigsExcludedFromSelection) {
+  // The fastest configuration is invalid; selection must skip it.
+  const std::vector<RunMetrics> metrics{make_metrics(1'000, 0),
+                                        make_metrics(5'000'000, 0)};
+  const std::vector<double> ate{0.2, 0.01};  // First is invalid (>= 5 cm).
+  const DeviceModel device = make_device(10.0, 0.0);
+  const auto analysis =
+      analyze_transfer(metrics, ate, metrics[1], device, device, 0.05);
+  EXPECT_DOUBLE_EQ(analysis.transfer_regret, 1.0);
+  EXPECT_DOUBLE_EQ(analysis.transferred_speedup, 1.0);  // Best == default.
+}
+
+TEST(Transfer, NoValidConfigYieldsZeroRegret) {
+  const std::vector<RunMetrics> metrics{make_metrics(1'000, 0)};
+  const std::vector<double> ate{0.5};
+  const DeviceModel device = make_device(10.0, 0.0);
+  const auto analysis =
+      analyze_transfer(metrics, ate, metrics.front(), device, device, 0.05);
+  EXPECT_DOUBLE_EQ(analysis.transfer_regret, 0.0);
+}
+
+TEST(Transfer, EmptyInputHandled) {
+  const DeviceModel device = make_device(1.0, 1.0);
+  const auto analysis = analyze_transfer({}, {}, RunMetrics{}, device, device);
+  EXPECT_DOUBLE_EQ(analysis.pearson, 0.0);
+  EXPECT_DOUBLE_EQ(analysis.transfer_regret, 0.0);
+}
+
+TEST(Transfer, SpeedupAgainstTargetDefault) {
+  const std::vector<RunMetrics> metrics{make_metrics(1'000'000, 0)};
+  const std::vector<double> ate{0.01};
+  const RunMetrics default_metrics = make_metrics(5'000'000, 0);
+  const DeviceModel device = make_device(10.0, 0.0);
+  const auto analysis =
+      analyze_transfer(metrics, ate, default_metrics, device, device);
+  EXPECT_NEAR(analysis.transferred_speedup, 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hm::slambench
