@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_forest"
+  "../bench/ablation_forest.pdb"
+  "CMakeFiles/ablation_forest.dir/ablation_forest.cpp.o"
+  "CMakeFiles/ablation_forest.dir/ablation_forest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

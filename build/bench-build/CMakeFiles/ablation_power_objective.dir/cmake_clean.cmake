@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_power_objective"
+  "../bench/ablation_power_objective.pdb"
+  "CMakeFiles/ablation_power_objective.dir/ablation_power_objective.cpp.o"
+  "CMakeFiles/ablation_power_objective.dir/ablation_power_objective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

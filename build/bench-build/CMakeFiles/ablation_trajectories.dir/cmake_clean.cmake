@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_trajectories"
+  "../bench/ablation_trajectories.pdb"
+  "CMakeFiles/ablation_trajectories.dir/ablation_trajectories.cpp.o"
+  "CMakeFiles/ablation_trajectories.dir/ablation_trajectories.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trajectories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_vs_gridsearch"
+  "../bench/ablation_vs_gridsearch.pdb"
+  "CMakeFiles/ablation_vs_gridsearch.dir/ablation_vs_gridsearch.cpp.o"
+  "CMakeFiles/ablation_vs_gridsearch.dir/ablation_vs_gridsearch.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vs_gridsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

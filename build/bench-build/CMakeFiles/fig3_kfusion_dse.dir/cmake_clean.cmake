@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_kfusion_dse"
+  "../bench/fig3_kfusion_dse.pdb"
+  "CMakeFiles/fig3_kfusion_dse.dir/fig3_kfusion_dse.cpp.o"
+  "CMakeFiles/fig3_kfusion_dse.dir/fig3_kfusion_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kfusion_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

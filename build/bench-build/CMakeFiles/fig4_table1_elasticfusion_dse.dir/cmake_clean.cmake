@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_table1_elasticfusion_dse"
+  "../bench/fig4_table1_elasticfusion_dse.pdb"
+  "CMakeFiles/fig4_table1_elasticfusion_dse.dir/fig4_table1_elasticfusion_dse.cpp.o"
+  "CMakeFiles/fig4_table1_elasticfusion_dse.dir/fig4_table1_elasticfusion_dse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_table1_elasticfusion_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_table1_elasticfusion_dse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_crowdsourcing.cpp" "bench-build/CMakeFiles/fig5_crowdsourcing.dir/fig5_crowdsourcing.cpp.o" "gcc" "bench-build/CMakeFiles/fig5_crowdsourcing.dir/fig5_crowdsourcing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/slambench/CMakeFiles/hm_slambench.dir/DependInfo.cmake"
+  "/root/repo/build/src/crowd/CMakeFiles/hm_crowd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/hm_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/kfusion/CMakeFiles/hm_kfusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hm_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypermapper/CMakeFiles/hypermapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/hm_rf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

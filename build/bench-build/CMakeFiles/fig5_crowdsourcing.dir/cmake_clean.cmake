@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_crowdsourcing"
+  "../bench/fig5_crowdsourcing.pdb"
+  "CMakeFiles/fig5_crowdsourcing.dir/fig5_crowdsourcing.cpp.o"
+  "CMakeFiles/fig5_crowdsourcing.dir/fig5_crowdsourcing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_crowdsourcing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_glance"
+  "../bench/table_glance.pdb"
+  "CMakeFiles/table_glance.dir/table_glance.cpp.o"
+  "CMakeFiles/table_glance.dir/table_glance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_glance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

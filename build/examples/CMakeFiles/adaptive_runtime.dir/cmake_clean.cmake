@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_runtime.dir/adaptive_runtime.cpp.o"
+  "CMakeFiles/adaptive_runtime.dir/adaptive_runtime.cpp.o.d"
+  "adaptive_runtime"
+  "adaptive_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_transfer.dir/crowd_transfer.cpp.o"
+  "CMakeFiles/crowd_transfer.dir/crowd_transfer.cpp.o.d"
+  "crowd_transfer"
+  "crowd_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

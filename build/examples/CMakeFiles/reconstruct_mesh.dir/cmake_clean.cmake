@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruct_mesh.dir/reconstruct_mesh.cpp.o"
+  "CMakeFiles/reconstruct_mesh.dir/reconstruct_mesh.cpp.o.d"
+  "reconstruct_mesh"
+  "reconstruct_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruct_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_elasticfusion.dir/tune_elasticfusion.cpp.o"
+  "CMakeFiles/tune_elasticfusion.dir/tune_elasticfusion.cpp.o.d"
+  "tune_elasticfusion"
+  "tune_elasticfusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_elasticfusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_kfusion.dir/tune_kfusion.cpp.o"
+  "CMakeFiles/tune_kfusion.dir/tune_kfusion.cpp.o.d"
+  "tune_kfusion"
+  "tune_kfusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_kfusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

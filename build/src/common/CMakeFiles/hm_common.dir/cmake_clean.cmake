@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_common.dir/cli.cpp.o"
+  "CMakeFiles/hm_common.dir/cli.cpp.o.d"
+  "CMakeFiles/hm_common.dir/csv.cpp.o"
+  "CMakeFiles/hm_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hm_common.dir/log.cpp.o"
+  "CMakeFiles/hm_common.dir/log.cpp.o.d"
+  "CMakeFiles/hm_common.dir/rng.cpp.o"
+  "CMakeFiles/hm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hm_common.dir/stats.cpp.o"
+  "CMakeFiles/hm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/hm_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hm_common.dir/thread_pool.cpp.o.d"
+  "libhm_common.a"
+  "libhm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

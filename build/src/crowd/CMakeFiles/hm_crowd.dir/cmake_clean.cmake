@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_crowd.dir/crowd_experiment.cpp.o"
+  "CMakeFiles/hm_crowd.dir/crowd_experiment.cpp.o.d"
+  "CMakeFiles/hm_crowd.dir/device_population.cpp.o"
+  "CMakeFiles/hm_crowd.dir/device_population.cpp.o.d"
+  "libhm_crowd.a"
+  "libhm_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

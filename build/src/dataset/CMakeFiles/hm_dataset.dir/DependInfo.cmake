@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/io.cpp" "src/dataset/CMakeFiles/hm_dataset.dir/io.cpp.o" "gcc" "src/dataset/CMakeFiles/hm_dataset.dir/io.cpp.o.d"
+  "/root/repo/src/dataset/renderer.cpp" "src/dataset/CMakeFiles/hm_dataset.dir/renderer.cpp.o" "gcc" "src/dataset/CMakeFiles/hm_dataset.dir/renderer.cpp.o.d"
+  "/root/repo/src/dataset/sdf_scene.cpp" "src/dataset/CMakeFiles/hm_dataset.dir/sdf_scene.cpp.o" "gcc" "src/dataset/CMakeFiles/hm_dataset.dir/sdf_scene.cpp.o.d"
+  "/root/repo/src/dataset/sequence.cpp" "src/dataset/CMakeFiles/hm_dataset.dir/sequence.cpp.o" "gcc" "src/dataset/CMakeFiles/hm_dataset.dir/sequence.cpp.o.d"
+  "/root/repo/src/dataset/trajectory.cpp" "src/dataset/CMakeFiles/hm_dataset.dir/trajectory.cpp.o" "gcc" "src/dataset/CMakeFiles/hm_dataset.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_dataset.dir/io.cpp.o"
+  "CMakeFiles/hm_dataset.dir/io.cpp.o.d"
+  "CMakeFiles/hm_dataset.dir/renderer.cpp.o"
+  "CMakeFiles/hm_dataset.dir/renderer.cpp.o.d"
+  "CMakeFiles/hm_dataset.dir/sdf_scene.cpp.o"
+  "CMakeFiles/hm_dataset.dir/sdf_scene.cpp.o.d"
+  "CMakeFiles/hm_dataset.dir/sequence.cpp.o"
+  "CMakeFiles/hm_dataset.dir/sequence.cpp.o.d"
+  "CMakeFiles/hm_dataset.dir/trajectory.cpp.o"
+  "CMakeFiles/hm_dataset.dir/trajectory.cpp.o.d"
+  "libhm_dataset.a"
+  "libhm_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

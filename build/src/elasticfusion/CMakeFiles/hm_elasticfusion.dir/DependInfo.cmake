@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elasticfusion/fern_db.cpp" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/fern_db.cpp.o" "gcc" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/fern_db.cpp.o.d"
+  "/root/repo/src/elasticfusion/odometry.cpp" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/odometry.cpp.o" "gcc" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/odometry.cpp.o.d"
+  "/root/repo/src/elasticfusion/pipeline.cpp" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/pipeline.cpp.o" "gcc" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/pipeline.cpp.o.d"
+  "/root/repo/src/elasticfusion/surfel_map.cpp" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/surfel_map.cpp.o" "gcc" "src/elasticfusion/CMakeFiles/hm_elasticfusion.dir/surfel_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hm_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/kfusion/CMakeFiles/hm_kfusion.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

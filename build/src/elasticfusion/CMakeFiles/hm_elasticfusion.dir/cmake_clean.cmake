@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_elasticfusion.dir/fern_db.cpp.o"
+  "CMakeFiles/hm_elasticfusion.dir/fern_db.cpp.o.d"
+  "CMakeFiles/hm_elasticfusion.dir/odometry.cpp.o"
+  "CMakeFiles/hm_elasticfusion.dir/odometry.cpp.o.d"
+  "CMakeFiles/hm_elasticfusion.dir/pipeline.cpp.o"
+  "CMakeFiles/hm_elasticfusion.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hm_elasticfusion.dir/surfel_map.cpp.o"
+  "CMakeFiles/hm_elasticfusion.dir/surfel_map.cpp.o.d"
+  "libhm_elasticfusion.a"
+  "libhm_elasticfusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_elasticfusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

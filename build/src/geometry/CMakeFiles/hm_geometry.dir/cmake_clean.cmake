@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_geometry.dir/camera.cpp.o"
+  "CMakeFiles/hm_geometry.dir/camera.cpp.o.d"
+  "CMakeFiles/hm_geometry.dir/se3.cpp.o"
+  "CMakeFiles/hm_geometry.dir/se3.cpp.o.d"
+  "libhm_geometry.a"
+  "libhm_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypermapper/grid_search.cpp" "src/hypermapper/CMakeFiles/hypermapper.dir/grid_search.cpp.o" "gcc" "src/hypermapper/CMakeFiles/hypermapper.dir/grid_search.cpp.o.d"
+  "/root/repo/src/hypermapper/optimizer.cpp" "src/hypermapper/CMakeFiles/hypermapper.dir/optimizer.cpp.o" "gcc" "src/hypermapper/CMakeFiles/hypermapper.dir/optimizer.cpp.o.d"
+  "/root/repo/src/hypermapper/parameter.cpp" "src/hypermapper/CMakeFiles/hypermapper.dir/parameter.cpp.o" "gcc" "src/hypermapper/CMakeFiles/hypermapper.dir/parameter.cpp.o.d"
+  "/root/repo/src/hypermapper/pareto.cpp" "src/hypermapper/CMakeFiles/hypermapper.dir/pareto.cpp.o" "gcc" "src/hypermapper/CMakeFiles/hypermapper.dir/pareto.cpp.o.d"
+  "/root/repo/src/hypermapper/report.cpp" "src/hypermapper/CMakeFiles/hypermapper.dir/report.cpp.o" "gcc" "src/hypermapper/CMakeFiles/hypermapper.dir/report.cpp.o.d"
+  "/root/repo/src/hypermapper/space.cpp" "src/hypermapper/CMakeFiles/hypermapper.dir/space.cpp.o" "gcc" "src/hypermapper/CMakeFiles/hypermapper.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rf/CMakeFiles/hm_rf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypermapper.dir/grid_search.cpp.o"
+  "CMakeFiles/hypermapper.dir/grid_search.cpp.o.d"
+  "CMakeFiles/hypermapper.dir/optimizer.cpp.o"
+  "CMakeFiles/hypermapper.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hypermapper.dir/parameter.cpp.o"
+  "CMakeFiles/hypermapper.dir/parameter.cpp.o.d"
+  "CMakeFiles/hypermapper.dir/pareto.cpp.o"
+  "CMakeFiles/hypermapper.dir/pareto.cpp.o.d"
+  "CMakeFiles/hypermapper.dir/report.cpp.o"
+  "CMakeFiles/hypermapper.dir/report.cpp.o.d"
+  "CMakeFiles/hypermapper.dir/space.cpp.o"
+  "CMakeFiles/hypermapper.dir/space.cpp.o.d"
+  "libhypermapper.a"
+  "libhypermapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypermapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

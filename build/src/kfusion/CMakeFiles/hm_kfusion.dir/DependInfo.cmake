@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kfusion/icp.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/icp.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/icp.cpp.o.d"
+  "/root/repo/src/kfusion/mesh.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/mesh.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/mesh.cpp.o.d"
+  "/root/repo/src/kfusion/pipeline.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/pipeline.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/pipeline.cpp.o.d"
+  "/root/repo/src/kfusion/preprocess.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/preprocess.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/preprocess.cpp.o.d"
+  "/root/repo/src/kfusion/pyramid.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/pyramid.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/pyramid.cpp.o.d"
+  "/root/repo/src/kfusion/raycast.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/raycast.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/raycast.cpp.o.d"
+  "/root/repo/src/kfusion/tsdf_volume.cpp" "src/kfusion/CMakeFiles/hm_kfusion.dir/tsdf_volume.cpp.o" "gcc" "src/kfusion/CMakeFiles/hm_kfusion.dir/tsdf_volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/hm_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_kfusion.dir/icp.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/icp.cpp.o.d"
+  "CMakeFiles/hm_kfusion.dir/mesh.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/mesh.cpp.o.d"
+  "CMakeFiles/hm_kfusion.dir/pipeline.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hm_kfusion.dir/preprocess.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/preprocess.cpp.o.d"
+  "CMakeFiles/hm_kfusion.dir/pyramid.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/pyramid.cpp.o.d"
+  "CMakeFiles/hm_kfusion.dir/raycast.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/raycast.cpp.o.d"
+  "CMakeFiles/hm_kfusion.dir/tsdf_volume.cpp.o"
+  "CMakeFiles/hm_kfusion.dir/tsdf_volume.cpp.o.d"
+  "libhm_kfusion.a"
+  "libhm_kfusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_kfusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

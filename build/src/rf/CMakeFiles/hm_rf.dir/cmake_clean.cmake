@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_rf.dir/forest.cpp.o"
+  "CMakeFiles/hm_rf.dir/forest.cpp.o.d"
+  "CMakeFiles/hm_rf.dir/tree.cpp.o"
+  "CMakeFiles/hm_rf.dir/tree.cpp.o.d"
+  "libhm_rf.a"
+  "libhm_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_slambench.dir/adapters.cpp.o"
+  "CMakeFiles/hm_slambench.dir/adapters.cpp.o.d"
+  "CMakeFiles/hm_slambench.dir/device.cpp.o"
+  "CMakeFiles/hm_slambench.dir/device.cpp.o.d"
+  "CMakeFiles/hm_slambench.dir/harness.cpp.o"
+  "CMakeFiles/hm_slambench.dir/harness.cpp.o.d"
+  "CMakeFiles/hm_slambench.dir/metrics.cpp.o"
+  "CMakeFiles/hm_slambench.dir/metrics.cpp.o.d"
+  "CMakeFiles/hm_slambench.dir/transfer.cpp.o"
+  "CMakeFiles/hm_slambench.dir/transfer.cpp.o.d"
+  "libhm_slambench.a"
+  "libhm_slambench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_slambench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

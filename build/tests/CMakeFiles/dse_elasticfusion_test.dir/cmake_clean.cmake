@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_elasticfusion_test.dir/integration/dse_elasticfusion_test.cpp.o"
+  "CMakeFiles/dse_elasticfusion_test.dir/integration/dse_elasticfusion_test.cpp.o.d"
+  "dse_elasticfusion_test"
+  "dse_elasticfusion_test.pdb"
+  "dse_elasticfusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_elasticfusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_kfusion_test.dir/integration/dse_kfusion_test.cpp.o"
+  "CMakeFiles/dse_kfusion_test.dir/integration/dse_kfusion_test.cpp.o.d"
+  "dse_kfusion_test"
+  "dse_kfusion_test.pdb"
+  "dse_kfusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_kfusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

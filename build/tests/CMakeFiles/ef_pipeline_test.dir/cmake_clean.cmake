@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ef_pipeline_test.dir/elasticfusion/pipeline_test.cpp.o"
+  "CMakeFiles/ef_pipeline_test.dir/elasticfusion/pipeline_test.cpp.o.d"
+  "ef_pipeline_test"
+  "ef_pipeline_test.pdb"
+  "ef_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ef_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fern_test.dir/elasticfusion/fern_test.cpp.o"
+  "CMakeFiles/fern_test.dir/elasticfusion/fern_test.cpp.o.d"
+  "fern_test"
+  "fern_test.pdb"
+  "fern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

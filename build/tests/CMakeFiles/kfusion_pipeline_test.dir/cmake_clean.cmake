@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfusion_pipeline_test.dir/kfusion/pipeline_test.cpp.o"
+  "CMakeFiles/kfusion_pipeline_test.dir/kfusion/pipeline_test.cpp.o.d"
+  "kfusion_pipeline_test"
+  "kfusion_pipeline_test.pdb"
+  "kfusion_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfusion_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_closure_test.dir/elasticfusion/loop_closure_test.cpp.o"
+  "CMakeFiles/loop_closure_test.dir/elasticfusion/loop_closure_test.cpp.o.d"
+  "loop_closure_test"
+  "loop_closure_test.pdb"
+  "loop_closure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

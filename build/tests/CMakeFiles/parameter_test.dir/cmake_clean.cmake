@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_test.dir/hypermapper/parameter_test.cpp.o"
+  "CMakeFiles/parameter_test.dir/hypermapper/parameter_test.cpp.o.d"
+  "parameter_test"
+  "parameter_test.pdb"
+  "parameter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

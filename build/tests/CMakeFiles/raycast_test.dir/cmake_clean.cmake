@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raycast_test.dir/kfusion/raycast_test.cpp.o"
+  "CMakeFiles/raycast_test.dir/kfusion/raycast_test.cpp.o.d"
+  "raycast_test"
+  "raycast_test.pdb"
+  "raycast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raycast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpe_test.dir/slambench/rpe_test.cpp.o"
+  "CMakeFiles/rpe_test.dir/slambench/rpe_test.cpp.o.d"
+  "rpe_test"
+  "rpe_test.pdb"
+  "rpe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/se3_test.dir/geometry/se3_test.cpp.o"
+  "CMakeFiles/se3_test.dir/geometry/se3_test.cpp.o.d"
+  "se3_test"
+  "se3_test.pdb"
+  "se3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/se3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

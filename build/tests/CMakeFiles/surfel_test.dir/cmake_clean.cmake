@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surfel_test.dir/elasticfusion/surfel_test.cpp.o"
+  "CMakeFiles/surfel_test.dir/elasticfusion/surfel_test.cpp.o.d"
+  "surfel_test"
+  "surfel_test.pdb"
+  "surfel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surfel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

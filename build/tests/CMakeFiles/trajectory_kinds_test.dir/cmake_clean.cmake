@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_kinds_test.dir/dataset/trajectory_kinds_test.cpp.o"
+  "CMakeFiles/trajectory_kinds_test.dir/dataset/trajectory_kinds_test.cpp.o.d"
+  "trajectory_kinds_test"
+  "trajectory_kinds_test.pdb"
+  "trajectory_kinds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

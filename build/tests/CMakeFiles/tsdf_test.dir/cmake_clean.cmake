@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsdf_test.dir/kfusion/tsdf_test.cpp.o"
+  "CMakeFiles/tsdf_test.dir/kfusion/tsdf_test.cpp.o.d"
+  "tsdf_test"
+  "tsdf_test.pdb"
+  "tsdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
