@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job: builds the tree with -DHM_SANITIZE=thread and runs the
+# scheduler-sensitive tests (thread pool, harness, optimizer — the targets
+# labeled "tsan" in tests/CMakeLists.txt). Intended as the CI race-check gate;
+# run locally before touching src/common/thread_pool.* or any parallel kernel.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHM_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target thread_pool_test harness_test optimizer_test
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"

@@ -1,12 +1,13 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
+#include <chrono>
 
 namespace hm::common {
 
-thread_local bool ThreadPool::inside_worker_ = false;
+thread_local ThreadPool* ThreadPool::tls_pool_ = nullptr;
+thread_local std::size_t ThreadPool::tls_index_ = 0;
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -14,44 +15,191 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(sleep_mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& thread : threads_) thread.join();
 }
 
-void ThreadPool::worker_loop() {
-  inside_worker_ = true;
+std::function<void()> ThreadPool::pop_local(std::size_t index) {
+  Worker& self = *workers_[index];
+  std::lock_guard lock(self.mutex);
+  if (self.deque.empty()) return nullptr;
+  std::function<void()> task = std::move(self.deque.back());
+  self.deque.pop_back();
+  queued_tasks_.fetch_sub(1);
+  return task;
+}
+
+std::function<void()> ThreadPool::try_steal(std::size_t thief_index) {
+  const std::size_t n = workers_.size();
+  for (std::size_t offset = 1; offset <= n; ++offset) {
+    const std::size_t victim = (thief_index + offset) % n;
+    Worker& other = *workers_[victim];
+    std::lock_guard lock(other.mutex);
+    if (other.deque.empty()) continue;
+    std::function<void()> task = std::move(other.deque.front());
+    other.deque.pop_front();
+    queued_tasks_.fetch_sub(1);
+    stat_steals_.fetch_add(1, std::memory_order_relaxed);
+    return task;
+  }
+  return nullptr;
+}
+
+std::function<void()> ThreadPool::acquire_task() {
+  if (tls_pool_ == this) {
+    if (auto task = pop_local(tls_index_)) return task;
+    return try_steal(tls_index_);
+  }
+  // External threads have no deque of their own; scan from a rotating start.
+  return try_steal(next_victim_.fetch_add(1, std::memory_order_relaxed) %
+                   workers_.size());
+}
+
+void ThreadPool::push_task(std::function<void()> task) {
+  std::size_t target;
+  if (tls_pool_ == this) {
+    target = tls_index_;  // LIFO locality: a worker forks onto its own deque.
+  } else {
+    target = next_victim_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  }
+  {
+    Worker& worker = *workers_[target];
+    std::lock_guard lock(worker.mutex);
+    worker.deque.push_back(std::move(task));
+  }
+  queued_tasks_.fetch_add(1);
+}
+
+void ThreadPool::wake(std::size_t task_hint) {
+  if (sleepers_.load() == 0) return;
+  // The empty critical section orders this wake-up against a worker that is
+  // between its predicate check and the actual sleep (it holds sleep_mutex_
+  // for that whole window), so the notification cannot be lost.
+  { std::lock_guard lock(sleep_mutex_); }
+  if (task_hint <= 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_pool_ = this;
+  tls_index_ = index;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    std::function<void()> task = pop_local(index);
+    if (!task) task = try_steal(index);
+    if (task) {
+      stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      continue;
     }
-    task();
+    std::unique_lock lock(sleep_mutex_);
+    sleepers_.fetch_add(1);
+    cv_.wait(lock, [this] {
+      return stopping_ || queued_tasks_.load() > 0;
+    });
+    sleepers_.fetch_sub(1);
+    if (stopping_ && queued_tasks_.load() == 0) return;
+    // Either new work arrived or we are draining before shutdown; rescan.
   }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
   std::future<void> future = packaged->get_future();
+#ifndef NDEBUG
   {
-    std::lock_guard lock(mutex_);
+    std::lock_guard lock(sleep_mutex_);
     assert(!stopping_);
-    tasks_.emplace([packaged] { (*packaged)(); });
   }
-  cv_.notify_one();
+#endif
+  push_task([packaged] { (*packaged)(); });
+  wake(1);
   return future;
+}
+
+void ThreadPool::fork_join(
+    std::size_t chunk_count,
+    const std::function<std::function<void()>(std::size_t, Join&)>& make_task) {
+  Join join;
+  join.pending.store(chunk_count, std::memory_order_relaxed);
+  for (std::size_t c = 0; c < chunk_count; ++c) {
+    push_task(make_task(c, join));
+  }
+  stat_regions_.fetch_add(1, std::memory_order_relaxed);
+  wake(chunk_count);
+
+  // Help-first join: while our chunks are in flight, execute pending tasks —
+  // ours by LIFO preference, anyone's otherwise — so a blocked caller
+  // (including a worker running a nested loop) stays productive.
+  std::size_t idle_spins = 0;
+  while (join.pending.load(std::memory_order_acquire) != 0) {
+    if (std::function<void()> task = acquire_task()) {
+      stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+      stat_help_.fetch_add(1, std::memory_order_relaxed);
+      task();
+      idle_spins = 0;
+      continue;
+    }
+    // Our remaining chunks are running on other threads; nothing to help
+    // with. Yield, then back off to a short sleep so an oversubscribed or
+    // single-core machine still makes progress.
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body, std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  grain = std::max<std::size_t>(1, grain);
+
+  if (workers_.size() <= 1 || count <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  // Several chunks per worker so stealing can rebalance uneven bodies, but
+  // capped to keep per-chunk overhead negligible.
+  const std::size_t max_chunks = (count + grain - 1) / grain;
+  const std::size_t chunks = std::min(max_chunks, workers_.size() * 8);
+  const std::size_t step = (count + chunks - 1) / chunks;
+  const std::size_t actual_chunks = (count + step - 1) / step;
+
+  fork_join(actual_chunks, [&](std::size_t c, Join& join) {
+    const std::size_t lo = begin + c * step;
+    const std::size_t hi = std::min(lo + step, end);
+    return [&join, &body, lo, hi] {
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(join.error_mutex);
+        if (!join.error) join.error = std::current_exception();
+      }
+      join.pending.fetch_sub(1, std::memory_order_acq_rel);
+    };
+  });
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
@@ -65,40 +213,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       grain);
 }
 
-void ThreadPool::parallel_for_chunks(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& body, std::size_t grain) {
-  if (begin >= end) return;
-  const std::size_t count = end - begin;
-  grain = std::max<std::size_t>(1, grain);
-
-  // Nested parallel_for from inside a worker would block a queue slot while
-  // waiting on tasks that may never be scheduled; run serially instead.
-  if (inside_worker_ || workers_.size() <= 1 || count <= grain) {
-    body(begin, end);
-    return;
-  }
-
-  const std::size_t max_chunks = (count + grain - 1) / grain;
-  const std::size_t chunks = std::min(max_chunks, workers_.size() * 4);
-  const std::size_t step = (count + chunks - 1) / chunks;
-
-  std::atomic<std::size_t> next{begin};
-  auto drain = [&] {
-    for (;;) {
-      const std::size_t lo = next.fetch_add(step);
-      if (lo >= end) break;
-      body(lo, std::min(lo + step, end));
-    }
-  };
-
-  std::vector<std::future<void>> futures;
-  futures.reserve(workers_.size());
-  for (std::size_t i = 0; i + 1 < workers_.size() && i + 1 < chunks; ++i) {
-    futures.push_back(submit(drain));
-  }
-  drain();  // The caller participates instead of idling.
-  for (auto& f : futures) f.get();
+SchedulerStats ThreadPool::stats() const {
+  SchedulerStats snapshot;
+  snapshot.tasks_executed = stat_tasks_.load(std::memory_order_relaxed);
+  snapshot.steals = stat_steals_.load(std::memory_order_relaxed);
+  snapshot.help_joins = stat_help_.load(std::memory_order_relaxed);
+  snapshot.parallel_regions = stat_regions_.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 ThreadPool& ThreadPool::global() {

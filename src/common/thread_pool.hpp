@@ -1,19 +1,37 @@
-// Fixed-size worker pool with a blocking task queue and a chunked
-// parallel_for. This is the single parallel substrate used by every hot loop
-// in the repository (forest training, rendering, TSDF integration, ICP
-// reductions, surrogate pool prediction).
+// Work-stealing fork-join scheduler. This is the single parallel substrate
+// used by every hot loop in the repository (forest training, rendering, TSDF
+// integration, ICP reductions, surrogate pool prediction) and by the DSE
+// batch evaluation that wraps them, so nested parallelism must compose: a
+// worker blocked in a join *helps* — it executes pending tasks instead of
+// idling or serializing — which keeps all threads busy when an outer
+// parallel_for (batch of configurations) fans out into inner kernel loops.
+//
+// Structure: one deque per worker. A worker pushes and pops its own deque at
+// the back (LIFO, cache-warm), thieves steal from the front (FIFO, oldest
+// chunks first). External threads inject round-robin and join by stealing.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace hm::common {
+
+/// Monotonic scheduler counters (process lifetime of the pool). Cheap
+/// relaxed increments; read via ThreadPool::stats() for bench reports.
+struct SchedulerStats {
+  std::uint64_t tasks_executed = 0;   ///< Tasks run by workers and helpers.
+  std::uint64_t steals = 0;           ///< Tasks taken from another deque.
+  std::uint64_t help_joins = 0;       ///< Tasks run by a thread blocked in a join.
+  std::uint64_t parallel_regions = 0; ///< parallel_for / reduce invocations that forked.
+};
 
 class ThreadPool {
  public:
@@ -33,9 +51,11 @@ class ThreadPool {
   /// chunks across the pool (and the calling thread). Blocks until all
   /// iterations finish. `grain` is the minimum iterations per chunk.
   ///
-  /// The body must not itself call parallel_for on the same pool with
-  /// blocking semantics expected; nested calls fall back to serial execution
-  /// on the calling thread to avoid deadlock.
+  /// Safe to call from inside a worker: the nested loop forks its chunks
+  /// onto the caller's own deque and the caller helps while joining, so
+  /// idle or stealing workers pick the chunks up and the nesting composes
+  /// instead of collapsing to serial. The first exception thrown by `body`
+  /// is rethrown on the caller after every chunk has finished.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
@@ -46,18 +66,137 @@ class ThreadPool {
                            const std::function<void(std::size_t, std::size_t)>& body,
                            std::size_t grain = 1);
 
+  /// Deterministic chunked reduction. The range is split into
+  /// ceil((end-begin)/grain) chunks whose boundaries depend only on the
+  /// range and `grain` — never on the thread count — and
+  ///   partial[c] = body(chunk_begin, chunk_end, identity)
+  /// is computed per chunk (in parallel), then folded left-to-right in
+  /// chunk order:
+  ///   result = combine(... combine(identity, partial[0]) ..., partial[k-1]).
+  /// Because both the chunking and the combine order are fixed, the result
+  /// is bitwise identical across thread counts (including the serial
+  /// fallback below), which is what makes ICP poses reproducible.
+  template <typename T, typename Body, typename Combine>
+  T parallel_reduce(std::size_t begin, std::size_t end, T identity, Body&& body,
+                    Combine&& combine, std::size_t grain = 1);
+
+  /// Scheduler counters snapshot (monotonic since construction).
+  [[nodiscard]] SchedulerStats stats() const;
+
   /// Process-wide default pool, sized to hardware concurrency.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  // One per worker thread; heap-allocated so deques never share cache lines.
+  struct alignas(64) Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+  };
 
-  std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  // Join state for one fork-join region (lives on the forking thread's
+  // stack; tasks hold a pointer, and the region outlives them because the
+  // join spins until `pending` reaches zero).
+  struct Join {
+    std::atomic<std::size_t> pending{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+  };
+
+  void worker_loop(std::size_t index);
+  /// Pops the calling worker's own deque (back = newest). Null if empty.
+  std::function<void()> pop_local(std::size_t index);
+  /// Steals the oldest task from some other deque. Null if all are empty.
+  std::function<void()> try_steal(std::size_t thief_index);
+  /// pop_local for workers of this pool, try_steal otherwise.
+  std::function<void()> acquire_task();
+  /// Enqueues `task` (own deque when called from a worker of this pool,
+  /// round-robin otherwise) WITHOUT waking anyone; call wake() after a batch.
+  void push_task(std::function<void()> task);
+  void wake(std::size_t task_hint);
+  /// Forks `chunk_count` tasks built by make_task(c) and helps until all
+  /// complete; rethrows the first task exception.
+  void fork_join(std::size_t chunk_count,
+                 const std::function<std::function<void()>(std::size_t, Join&)>& make_task);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
   std::condition_variable cv_;
-  bool stopping_ = false;
-  static thread_local bool inside_worker_;
+  std::mutex sleep_mutex_;
+  std::atomic<std::size_t> queued_tasks_{0};  ///< Tasks pushed, not yet acquired.
+  std::atomic<std::size_t> sleepers_{0};
+  std::atomic<std::size_t> next_victim_{0};   ///< Round-robin injection cursor.
+  bool stopping_ = false;                     ///< Guarded by sleep_mutex_.
+
+  std::atomic<std::uint64_t> stat_tasks_{0};
+  std::atomic<std::uint64_t> stat_steals_{0};
+  std::atomic<std::uint64_t> stat_help_{0};
+  std::atomic<std::uint64_t> stat_regions_{0};
+
+  static thread_local ThreadPool* tls_pool_;
+  static thread_local std::size_t tls_index_;
 };
+
+namespace detail {
+
+/// Serial reference implementation of the deterministic chunked reduce:
+/// same chunk boundaries, same left-to-right combine order as the parallel
+/// version, so pool-less call sites produce bitwise-identical results.
+template <typename T, typename Body, typename Combine>
+T serial_chunked_reduce(std::size_t begin, std::size_t end, T identity,
+                        Body&& body, Combine&& combine, std::size_t grain) {
+  T result = identity;
+  for (std::size_t lo = begin; lo < end; lo += grain) {
+    const std::size_t hi = lo + grain < end ? lo + grain : end;
+    result = combine(std::move(result), body(lo, hi, identity));
+  }
+  return result;
+}
+
+}  // namespace detail
+
+template <typename T, typename Body, typename Combine>
+T ThreadPool::parallel_reduce(std::size_t begin, std::size_t end, T identity,
+                              Body&& body, Combine&& combine, std::size_t grain) {
+  grain = grain == 0 ? 1 : grain;
+  if (begin >= end) return identity;
+  const std::size_t count = end - begin;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1 || thread_count() <= 1) {
+    return detail::serial_chunked_reduce(begin, end, std::move(identity), body,
+                                         combine, grain);
+  }
+  std::vector<T> partials(chunks, identity);
+  parallel_for(
+      0, chunks,
+      [&](std::size_t c) {
+        const std::size_t lo = begin + c * grain;
+        const std::size_t hi = lo + grain < end ? lo + grain : end;
+        partials[c] = body(lo, hi, identity);
+      },
+      /*grain=*/1);
+  T result = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    result = combine(std::move(result), std::move(partials[c]));
+  }
+  return result;
+}
+
+/// Pool-optional parallel_reduce: every kernel takes `ThreadPool*` that may
+/// be null, and the serial path must match the pooled one bitwise — both go
+/// through the same deterministic chunking.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  T identity, Body&& body, Combine&& combine,
+                  std::size_t grain = 1) {
+  grain = grain == 0 ? 1 : grain;
+  if (pool != nullptr) {
+    return pool->parallel_reduce(begin, end, std::move(identity),
+                                 std::forward<Body>(body),
+                                 std::forward<Combine>(combine), grain);
+  }
+  return detail::serial_chunked_reduce(begin, end, std::move(identity),
+                                       std::forward<Body>(body),
+                                       std::forward<Combine>(combine), grain);
+}
 
 }  // namespace hm::common

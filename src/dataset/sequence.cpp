@@ -20,12 +20,14 @@ RGBDSequence::RGBDSequence(const Scene& scene, const SequenceConfig& config,
   auto render_frame = [&](std::size_t i) {
     Frame& frame = frames_[i];
     frame.ground_truth_pose = poses[i];
-    // Per-frame work is already large; keep the per-pixel loops serial here
-    // and parallelize across frames instead.
-    frame.depth = render_depth(scene, intrinsics_, poses[i], config_.render);
+    // Nested parallelism composes on the work-stealing pool: the per-pixel
+    // renderer loops also fork, so short sequences (fewer frames than
+    // threads) still use every core. Rendering is pure per pixel, so the
+    // frames are identical regardless of threading.
+    frame.depth = render_depth(scene, intrinsics_, poses[i], config_.render, pool);
     if (config_.render_intensity) {
       frame.intensity =
-          render_intensity(scene, intrinsics_, poses[i], config_.render);
+          render_intensity(scene, intrinsics_, poses[i], config_.render, pool);
     }
     apply_depth_noise(frame.depth, config_.noise, frame_rngs[i]);
   };

@@ -106,7 +106,13 @@ OptimizationResult Optimizer::run_seeded(std::span<const SampleRecord> seed) {
 
 void Optimizer::run_active_learning(OptimizationResult& result,
                                     hm::common::Rng& rng) {
-  result.random_phase_pareto = measured_front(result);
+  // Incremental measured front: absorb each batch as it is evaluated instead
+  // of recomputing the front from every sample on every iteration.
+  ParetoArchive archive;
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    archive.insert(result.samples[i].objectives, i);
+  }
+  result.random_phase_pareto = archive.indices();
 
   std::unordered_set<std::uint64_t> evaluated_keys;
   const bool discrete = space_.cardinality() != 0;
@@ -136,7 +142,7 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     IterationStats stats;
     stats.iteration = 0;
     stats.new_samples = result.samples.size();
-    stats.measured_front_size = result.random_phase_pareto.size();
+    stats.measured_front_size = archive.size();
     result.iterations.push_back(stats);
     if (progress_) progress_(stats);
   }
@@ -196,12 +202,16 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     stats.iteration = iteration;
     stats.predicted_front_size = predicted_front.size();
     stats.new_samples = to_evaluate.size();
-    if (n_objectives >= 1) stats.oob_rmse_objective0 = models[0].oob_rmse(train_x, train_y[0]);
-    if (n_objectives >= 2) stats.oob_rmse_objective1 = models[1].oob_rmse(train_x, train_y[1]);
+    if (n_objectives >= 1) {
+      stats.oob_rmse_objective0 = models[0].oob_rmse(train_x, train_y[0], pool_);
+    }
+    if (n_objectives >= 2) {
+      stats.oob_rmse_objective1 = models[1].oob_rmse(train_x, train_y[1], pool_);
+    }
 
     if (to_evaluate.empty()) {
       // Predicted front fully measured: Algorithm 1's termination condition.
-      stats.measured_front_size = measured_front(result).size();
+      stats.measured_front_size = archive.size();
       result.iterations.push_back(stats);
       if (progress_) progress_(stats);
       break;
@@ -209,9 +219,15 @@ void Optimizer::run_active_learning(OptimizationResult& result,
 
     const std::size_t batch_base = result.samples.size();
     evaluate_batch(to_evaluate, iteration, result, &to_evaluate_predicted);
+    for (std::size_t i = batch_base; i < result.samples.size(); ++i) {
+      archive.insert(result.samples[i].objectives, i);
+    }
 
-    // Prediction/measurement discrepancy of this iteration's batch.
+    // Prediction/measurement discrepancy of this iteration's batch. Samples
+    // measured as exactly 0 cannot contribute a relative error, so they are
+    // excluded from both the numerator and the denominator.
     stats.prediction_error.assign(n_objectives, 0.0);
+    std::vector<std::size_t> contributing(n_objectives, 0);
     for (std::size_t i = batch_base; i < result.samples.size(); ++i) {
       const SampleRecord& record = result.samples[i];
       for (std::size_t o = 0; o < n_objectives; ++o) {
@@ -219,14 +235,18 @@ void Optimizer::run_active_learning(OptimizationResult& result,
         if (measured != 0.0) {
           stats.prediction_error[o] +=
               std::abs(record.predicted[o] - measured) / std::abs(measured);
+          ++contributing[o];
         }
       }
     }
-    for (double& err : stats.prediction_error) {
-      err /= static_cast<double>(to_evaluate.size());
+    for (std::size_t o = 0; o < n_objectives; ++o) {
+      stats.prediction_error[o] =
+          contributing[o] == 0
+              ? 0.0
+              : stats.prediction_error[o] / static_cast<double>(contributing[o]);
     }
 
-    stats.measured_front_size = measured_front(result).size();
+    stats.measured_front_size = archive.size();
     result.iterations.push_back(stats);
     if (progress_) progress_(stats);
     hm::common::log_debug() << "iteration " << iteration << ": +"
@@ -234,7 +254,7 @@ void Optimizer::run_active_learning(OptimizationResult& result,
                             << stats.measured_front_size;
   }
 
-  result.pareto = measured_front(result);
+  result.pareto = archive.indices();
 }
 
 }  // namespace hm::hypermapper

@@ -96,6 +96,33 @@ double hypervolume_2d(std::span<const Objectives> front,
   return volume;
 }
 
+bool ParetoArchive::insert(Objectives point, std::size_t tag) {
+  for (const Entry& entry : entries_) {
+    if (dominates(entry.point, point)) return false;
+  }
+  // The newcomer is non-dominated: evict everything it dominates.
+  std::erase_if(entries_, [&](const Entry& entry) {
+    return dominates(point, entry.point);
+  });
+  entries_.push_back(Entry{std::move(point), tag});
+  return true;
+}
+
+std::vector<std::size_t> ParetoArchive::indices() const {
+  std::vector<std::size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double fa = entries_[a].point.empty() ? 0.0 : entries_[a].point[0];
+    const double fb = entries_[b].point.empty() ? 0.0 : entries_[b].point[0];
+    if (fa != fb) return fa < fb;
+    return entries_[a].tag < entries_[b].tag;
+  });
+  std::vector<std::size_t> tags;
+  tags.reserve(order.size());
+  for (const std::size_t i : order) tags.push_back(entries_[i].tag);
+  return tags;
+}
+
 double pareto_hypervolume_2d(std::span<const Objectives> points,
                              const Objectives& reference) {
   const std::vector<std::size_t> front = pareto_indices(points);

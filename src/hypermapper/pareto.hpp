@@ -32,4 +32,33 @@ using Objectives = std::vector<double>;
 [[nodiscard]] double pareto_hypervolume_2d(std::span<const Objectives> points,
                                            const Objectives& reference);
 
+/// Incremental non-dominated archive: absorbs one point at a time and keeps
+/// exactly the points that `pareto_indices` over the full stream would keep
+/// (duplicates of front points included — equal vectors never dominate each
+/// other). Each insert costs O(front size), so absorbing a DSE batch avoids
+/// the O(samples log samples) from-scratch recomputation per iteration that
+/// the active-learning loop used to pay.
+class ParetoArchive {
+ public:
+  /// Absorbs `point`, remembered under the caller-chosen `tag` (typically
+  /// the sample index). Returns true if the point joins the front, false if
+  /// it is dominated by an archived point and discarded.
+  bool insert(Objectives point, std::size_t tag);
+
+  /// Number of points currently on the front.
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// Tags of the current front, sorted by first objective ascending (ties
+  /// broken by tag) — the same presentation order as `pareto_indices`.
+  [[nodiscard]] std::vector<std::size_t> indices() const;
+
+ private:
+  struct Entry {
+    Objectives point;
+    std::size_t tag;
+  };
+  std::vector<Entry> entries_;
+};
+
 }  // namespace hm::hypermapper

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "geometry/solve.hpp"
 
@@ -19,6 +18,13 @@ struct Reduction {
   NormalEquations<6> equations;
   std::uint64_t tested = 0;        ///< Pixels with valid vertex+normal.
   std::uint64_t matched = 0;       ///< Pixels passing all gates.
+
+  Reduction& operator+=(const Reduction& other) {
+    equations += other.equations;
+    tested += other.tested;
+    matched += other.matched;
+    return *this;
+  }
 };
 
 /// One projective data-association + point-to-plane reduction pass over a
@@ -30,11 +36,12 @@ Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference
   const double distance_gate2 = config.distance_gate * config.distance_gate;
   const int height = level.vertices.height();
 
-  Reduction total;
-  std::mutex merge_mutex;
-
-  auto process_rows = [&](std::size_t row_begin, std::size_t row_end) {
-    Reduction local;
+  // Deterministic chunked reduction: row chunks depend only on the image
+  // height and the grain, and partials combine in chunk order, so the
+  // accumulated normal equations — and therefore the solved pose — are
+  // bitwise identical across thread counts (and match the pool-less path).
+  auto process_rows = [&](std::size_t row_begin, std::size_t row_end,
+                          Reduction local) {
     for (std::size_t v = row_begin; v < row_end; ++v) {
       for (int u = 0; u < level.vertices.width(); ++u) {
         const Vec3f vertex = level.vertices.at(u, static_cast<int>(v));
@@ -71,19 +78,16 @@ Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference
         ++local.matched;
       }
     }
-    const std::lock_guard lock(merge_mutex);
-    total.equations += local.equations;
-    total.tested += local.tested;
-    total.matched += local.matched;
+    return local;
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for_chunks(0, static_cast<std::size_t>(height), process_rows,
-                              /*grain=*/8);
-  } else {
-    process_rows(0, static_cast<std::size_t>(height));
-  }
-  return total;
+  return hm::common::parallel_reduce(
+      pool, 0, static_cast<std::size_t>(height), Reduction{}, process_rows,
+      [](Reduction a, const Reduction& b) {
+        a += b;
+        return a;
+      },
+      /*grain=*/8);
 }
 
 }  // namespace

@@ -29,7 +29,8 @@ KFusionPipeline::FrameResult KFusionPipeline::process_frame(
   // --- Preprocessing: compute-size-ratio downsample + bilateral filter. ---
   const DepthImage scaled =
       downsample_depth(raw_depth, params_.compute_size_ratio, stats_);
-  const DepthImage filtered = bilateral_filter(scaled, BilateralConfig{}, stats_);
+  const DepthImage filtered =
+      bilateral_filter(scaled, BilateralConfig{}, stats_, pool_);
 
   // --- Tracking. ---
   const bool do_track =

@@ -39,7 +39,7 @@ DepthImage downsample_depth(const DepthImage& input, int ratio,
 }
 
 DepthImage bilateral_filter(const DepthImage& input, const BilateralConfig& config,
-                            KernelStats& stats) {
+                            KernelStats& stats, hm::common::ThreadPool* pool) {
   const int width = input.width();
   const int height = input.height();
   DepthImage output(width, height, 0.0f);
@@ -58,36 +58,44 @@ DepthImage bilateral_filter(const DepthImage& input, const BilateralConfig& conf
   const double inv_2_sigma_depth2 =
       1.0 / (2.0 * config.sigma_depth * config.sigma_depth);
 
-  std::uint64_t taps = 0;
-  for (int v = 0; v < height; ++v) {
-    for (int u = 0; u < width; ++u) {
-      const float center = input.at(u, v);
-      if (center <= 0.0f) continue;
-      double weight_sum = 0.0;
-      double value_sum = 0.0;
-      for (int dv = -radius; dv <= radius; ++dv) {
-        const int vv = v + dv;
-        if (vv < 0 || vv >= height) continue;
-        for (int du = -radius; du <= radius; ++du) {
-          const int uu = u + du;
-          if (uu < 0 || uu >= width) continue;
-          const float z = input.at(uu, vv);
-          ++taps;
-          if (z <= 0.0f) continue;
-          const double dz = static_cast<double>(z - center);
-          const double w =
-              spatial[static_cast<std::size_t>((dv + radius) * window +
-                                               (du + radius))] *
-              std::exp(-dz * dz * inv_2_sigma_depth2);
-          weight_sum += w;
-          value_sum += w * static_cast<double>(z);
+  // Output rows are independent; only the tap counter needs reducing.
+  const std::uint64_t taps = hm::common::parallel_reduce(
+      pool, 0, static_cast<std::size_t>(height), std::uint64_t{0},
+      [&](std::size_t row_begin, std::size_t row_end, std::uint64_t local_taps) {
+        for (std::size_t row = row_begin; row < row_end; ++row) {
+          const int v = static_cast<int>(row);
+          for (int u = 0; u < width; ++u) {
+            const float center = input.at(u, v);
+            if (center <= 0.0f) continue;
+            double weight_sum = 0.0;
+            double value_sum = 0.0;
+            for (int dv = -radius; dv <= radius; ++dv) {
+              const int vv = v + dv;
+              if (vv < 0 || vv >= height) continue;
+              for (int du = -radius; du <= radius; ++du) {
+                const int uu = u + du;
+                if (uu < 0 || uu >= width) continue;
+                const float z = input.at(uu, vv);
+                ++local_taps;
+                if (z <= 0.0f) continue;
+                const double dz = static_cast<double>(z - center);
+                const double w =
+                    spatial[static_cast<std::size_t>((dv + radius) * window +
+                                                     (du + radius))] *
+                    std::exp(-dz * dz * inv_2_sigma_depth2);
+                weight_sum += w;
+                value_sum += w * static_cast<double>(z);
+              }
+            }
+            if (weight_sum > 0.0) {
+              output.at(u, v) = static_cast<float>(value_sum / weight_sum);
+            }
+          }
         }
-      }
-      if (weight_sum > 0.0) {
-        output.at(u, v) = static_cast<float>(value_sum / weight_sum);
-      }
-    }
-  }
+        return local_taps;
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      /*grain=*/16);
   stats.add(Kernel::kBilateral, taps);
   return output;
 }

@@ -2,6 +2,7 @@
 // depth bilateral filter.
 #pragma once
 
+#include "common/thread_pool.hpp"
 #include "geometry/image.hpp"
 #include "kfusion/kernel_stats.hpp"
 
@@ -22,10 +23,12 @@ struct BilateralConfig {
 };
 
 /// Edge-preserving depth smoothing. Invalid pixels stay invalid and do not
-/// contribute to their neighbors.
+/// contribute to their neighbors. Rows are independent, so the filter
+/// parallelizes over `pool` when one is provided.
 [[nodiscard]] DepthImage bilateral_filter(const DepthImage& input,
                                           const BilateralConfig& config,
-                                          KernelStats& stats);
+                                          KernelStats& stats,
+                                          hm::common::ThreadPool* pool = nullptr);
 
 /// Halves the resolution with a validity-aware 2x2 block average (the
 /// pyramid construction step).

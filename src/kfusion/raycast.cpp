@@ -1,7 +1,6 @@
 #include "kfusion/raycast.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 
 namespace hm::kfusion {
@@ -16,10 +15,9 @@ RaycastResult raycast(const TsdfVolume& volume, const Intrinsics& intrinsics,
 
   const double coarse_step =
       std::max(config.step_fraction * mu, volume.voxel_size() * 0.5);
-  std::atomic<std::uint64_t> total_steps{0};
 
-  auto march_rows = [&](std::size_t row_begin, std::size_t row_end) {
-    std::uint64_t steps = 0;
+  auto march_rows = [&](std::size_t row_begin, std::size_t row_end,
+                        std::uint64_t steps) {
     for (std::size_t v = row_begin; v < row_end; ++v) {
       for (int u = 0; u < intrinsics.width; ++u) {
         const Vec3d dir_camera = intrinsics.ray_direction(u, static_cast<int>(v));
@@ -74,16 +72,16 @@ RaycastResult raycast(const TsdfVolume& volume, const Intrinsics& intrinsics,
         }
       }
     }
-    total_steps.fetch_add(steps, std::memory_order_relaxed);
+    return steps;
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for_chunks(0, static_cast<std::size_t>(intrinsics.height),
-                              march_rows, /*grain=*/4);
-  } else {
-    march_rows(0, static_cast<std::size_t>(intrinsics.height));
-  }
-  stats.add(Kernel::kRaycast, total_steps.load());
+  // Rows write disjoint result pixels; the step counter reduces without an
+  // atomic accumulator.
+  const std::uint64_t total_steps = hm::common::parallel_reduce(
+      pool, 0, static_cast<std::size_t>(intrinsics.height), std::uint64_t{0},
+      march_rows, [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      /*grain=*/4);
+  stats.add(Kernel::kRaycast, total_steps);
   return result;
 }
 

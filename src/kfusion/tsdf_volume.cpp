@@ -1,7 +1,6 @@
 #include "kfusion/tsdf_volume.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cassert>
 #include <cmath>
 
@@ -61,8 +60,6 @@ void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics
   const auto& r = world_to_camera.rotation;
   const Vec3d t = world_to_camera.translation;
 
-  std::atomic<std::uint64_t> visited{0};
-
   // Single-precision camera constants for the hot loop; the incremental
   // per-x step uses doubles for the running point to avoid drift across a
   // 256-voxel row, but projection and the TSDF update run in float.
@@ -76,8 +73,8 @@ void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics
   const float* depth_data = depth.data();
   const int depth_width = intrinsics.width;
 
-  auto integrate_slices = [&](std::size_t z_begin, std::size_t z_end) {
-    std::uint64_t local_visited = 0;
+  auto integrate_slices = [&](std::size_t z_begin, std::size_t z_end,
+                              std::uint64_t local_visited) {
     for (std::size_t zi = z_begin; zi < z_end; ++zi) {
       const double wz = (static_cast<double>(zi) + 0.5) * voxel_size_;
       for (int yi = y0; yi <= y1; ++yi) {
@@ -123,18 +120,17 @@ void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics
         }
       }
     }
-    visited.fetch_add(local_visited, std::memory_order_relaxed);
+    return local_visited;
   };
 
-  if (pool != nullptr) {
-    pool->parallel_for_chunks(static_cast<std::size_t>(z0),
-                              static_cast<std::size_t>(z1) + 1, integrate_slices,
-                              /*grain=*/2);
-  } else {
-    integrate_slices(static_cast<std::size_t>(z0),
-                     static_cast<std::size_t>(z1) + 1);
-  }
-  stats.add(Kernel::kIntegrate, visited.load());
+  // Writes go to disjoint z-slices per chunk; only the visited counter needs
+  // reducing, so the atomic accumulator is gone.
+  const std::uint64_t visited = hm::common::parallel_reduce(
+      pool, static_cast<std::size_t>(z0), static_cast<std::size_t>(z1) + 1,
+      std::uint64_t{0}, integrate_slices,
+      [](std::uint64_t a, std::uint64_t b) { return a + b; },
+      /*grain=*/2);
+  stats.add(Kernel::kIntegrate, visited);
 }
 
 std::optional<float> TsdfVolume::sample(Vec3d world) const {

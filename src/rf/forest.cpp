@@ -86,8 +86,8 @@ std::vector<double> RandomForest::predict_batch(
   return out;
 }
 
-double RandomForest::oob_rmse(const FeatureMatrix& x,
-                              std::span<const double> y) const {
+double RandomForest::oob_rmse(const FeatureMatrix& x, std::span<const double> y,
+                              hm::common::ThreadPool* pool) const {
   if (!trained() || x.rows() != train_rows_) return 0.0;
   // For each training row, average predictions of trees that never drew it.
   std::vector<std::vector<bool>> in_bag(trees_.size(),
@@ -95,24 +95,37 @@ double RandomForest::oob_rmse(const FeatureMatrix& x,
   for (std::size_t t = 0; t < trees_.size(); ++t) {
     for (const std::size_t row : bootstrap_indices_[t]) in_bag[t][row] = true;
   }
-  double sum_sq = 0.0;
-  std::size_t counted = 0;
-  for (std::size_t row = 0; row < train_rows_; ++row) {
-    double sum = 0.0;
-    std::size_t votes = 0;
-    for (std::size_t t = 0; t < trees_.size(); ++t) {
-      if (!in_bag[t][row]) {
-        sum += trees_[t].predict(x.row(row));
-        ++votes;
-      }
-    }
-    if (votes == 0) continue;
-    const double err = sum / static_cast<double>(votes) - y[row];
-    sum_sq += err * err;
-    ++counted;
-  }
-  if (counted == 0) return 0.0;
-  return std::sqrt(sum_sq / static_cast<double>(counted));
+  struct Accumulator {
+    double sum_sq = 0.0;
+    std::size_t counted = 0;
+  };
+  const Accumulator total = hm::common::parallel_reduce(
+      pool, 0, train_rows_, Accumulator{},
+      [&](std::size_t row_begin, std::size_t row_end, Accumulator local) {
+        for (std::size_t row = row_begin; row < row_end; ++row) {
+          double sum = 0.0;
+          std::size_t votes = 0;
+          for (std::size_t t = 0; t < trees_.size(); ++t) {
+            if (!in_bag[t][row]) {
+              sum += trees_[t].predict(x.row(row));
+              ++votes;
+            }
+          }
+          if (votes == 0) continue;
+          const double err = sum / static_cast<double>(votes) - y[row];
+          local.sum_sq += err * err;
+          ++local.counted;
+        }
+        return local;
+      },
+      [](Accumulator a, const Accumulator& b) {
+        a.sum_sq += b.sum_sq;
+        a.counted += b.counted;
+        return a;
+      },
+      /*grain=*/16);
+  if (total.counted == 0) return 0.0;
+  return std::sqrt(total.sum_sq / static_cast<double>(total.counted));
 }
 
 std::vector<double> RandomForest::feature_importance(

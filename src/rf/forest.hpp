@@ -55,8 +55,11 @@ class RandomForest {
 
   /// Out-of-bag RMSE: each sample predicted only by trees whose bootstrap
   /// excluded it. Returns 0 if the model is untrained or no sample is OOB.
+  /// Parallelizes over rows; the reduction is deterministically chunked, so
+  /// the result is identical across thread counts.
   [[nodiscard]] double oob_rmse(const FeatureMatrix& x,
-                                std::span<const double> y) const;
+                                std::span<const double> y,
+                                hm::common::ThreadPool* pool = nullptr) const;
 
   /// Impurity-based (variance-reduction) feature importance, normalized to
   /// sum to 1 (all-zero if the forest never split).

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace hm::common {
@@ -96,14 +101,176 @@ TEST(ThreadPool, ParallelForSumMatchesSerial) {
   EXPECT_EQ(parallel_sum, serial);
 }
 
-TEST(ThreadPool, NestedParallelForFallsBackToSerialWithoutDeadlock) {
+TEST(ThreadPool, NestedParallelForCompletesWithoutDeadlock) {
   ThreadPool pool(2);
   std::atomic<int> inner_total{0};
   pool.parallel_for(0, 4, [&](std::size_t) {
-    // Nested call from a worker thread must complete (serially).
+    // Nested call from a worker thread must complete (the join helps).
     pool.parallel_for(0, 10, [&](std::size_t) { ++inner_total; });
   });
   EXPECT_EQ(inner_total, 40);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> leaf_total{0};
+  pool.parallel_for(0, 3, [&](std::size_t) {
+    pool.parallel_for(0, 3, [&](std::size_t) {
+      pool.parallel_for(0, 3, [&](std::size_t) { ++leaf_total; });
+    });
+  });
+  EXPECT_EQ(leaf_total, 27);
+}
+
+TEST(ThreadPool, NestedParallelForRunsOnMultipleThreads) {
+  // The acceptance criterion for composable nesting: a parallel_for issued
+  // from inside a worker (depth 2) must execute on more than one thread.
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> inner_ids;
+  std::atomic<std::size_t> distinct{0};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  pool.parallel_for(0, 2, [&](std::size_t) {
+    pool.parallel_for(0, 32, [&](std::size_t) {
+      {
+        const std::lock_guard lock(mutex);
+        inner_ids.insert(std::this_thread::get_id());
+        distinct.store(inner_ids.size());
+      }
+      // Park until a second thread shows up (or the deadline passes) so a
+      // fast single worker cannot drain every chunk before anyone wakes.
+      while (distinct.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    });
+  });
+  EXPECT_GE(inner_ids.size(), 2u)
+      << "nested parallel_for collapsed to a single thread";
+}
+
+TEST(ThreadPool, ParallelReduceMatchesSerialSum) {
+  ThreadPool pool(4);
+  const std::size_t n = 100'000;
+  const auto body = [](std::size_t lo, std::size_t hi, long long init) {
+    for (std::size_t i = lo; i < hi; ++i) init += static_cast<long long>(i);
+    return init;
+  };
+  const auto combine = [](long long a, long long b) { return a + b; };
+  const long long expected =
+      static_cast<long long>(n) * static_cast<long long>(n - 1) / 2;
+  EXPECT_EQ(pool.parallel_reduce(0, n, 0LL, body, combine, 64), expected);
+  // Pool-optional front door, both branches.
+  EXPECT_EQ(parallel_reduce(&pool, 0, n, 0LL, body, combine, 64), expected);
+  EXPECT_EQ(parallel_reduce(nullptr, 0, n, 0LL, body, combine, 64), expected);
+  // Empty range returns the identity untouched.
+  EXPECT_EQ(pool.parallel_reduce(5, 5, -7LL, body, combine, 64), -7LL);
+}
+
+TEST(ThreadPool, ParallelReduceBitwiseDeterministicAcrossThreadCounts) {
+  // Chunking and combine order depend only on (range, grain), so a
+  // floating-point reduction is bitwise-identical for any thread count and
+  // for the serial fallback.
+  const std::size_t n = 9973;
+  const auto body = [](std::size_t lo, std::size_t hi, double init) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      init += 1.0 / static_cast<double>(i + 1);
+    }
+    return init;
+  };
+  const auto combine = [](double a, double b) { return a + b; };
+  const double serial = parallel_reduce(nullptr, 0, n, 0.0, body, combine, 17);
+  for (const std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    const double pooled = pool.parallel_reduce(0, n, 0.0, body, combine, 17);
+    EXPECT_EQ(serial, pooled) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          ++executed;
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The join waits for every chunk before rethrowing, so the pool is clean
+  // and reusable afterwards.
+  std::atomic<int> after{0};
+  pool.parallel_for(0, 10, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after, 10);
+}
+
+TEST(ThreadPool, ExceptionPropagatesFromNestedParallelFor) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 2,
+                                 [&](std::size_t) {
+                                   pool.parallel_for(0, 8, [&](std::size_t j) {
+                                     if (j == 3) {
+                                       throw std::runtime_error("inner");
+                                     }
+                                   });
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughSubmitFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, ConcurrentSubmitFromManyThreads) {
+  ThreadPool pool(4);
+  constexpr int kThreads = 8;
+  constexpr int kTasksPerThread = 200;
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      std::vector<std::future<void>> futures;
+      futures.reserve(kTasksPerThread);
+      for (int i = 0; i < kTasksPerThread; ++i) {
+        futures.push_back(pool.submit([&] { ++counter; }));
+      }
+      for (auto& f : futures) f.get();
+    });
+  }
+  for (auto& s : submitters) s.join();
+  EXPECT_EQ(counter, kThreads * kTasksPerThread);
+}
+
+TEST(ThreadPool, ConcurrentParallelForFromManyExternalThreads) {
+  ThreadPool pool(4);
+  constexpr int kThreads = 6;
+  std::atomic<long long> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    callers.emplace_back([&] {
+      pool.parallel_for(0, 1000, [&](std::size_t) { ++total; });
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total, kThreads * 1000LL);
+}
+
+TEST(ThreadPool, SchedulerStatsCountWork) {
+  ThreadPool pool(4);
+  const SchedulerStats before = pool.stats();
+  pool.parallel_for(0, 1024, [](std::size_t) {}, 1);
+  pool.submit([] {}).get();
+  const SchedulerStats after = pool.stats();
+  EXPECT_GT(after.parallel_regions, before.parallel_regions);
+  EXPECT_GT(after.tasks_executed, before.tasks_executed);
+  // Counters are monotonic.
+  EXPECT_GE(after.steals, before.steals);
+  EXPECT_GE(after.help_joins, before.help_joins);
 }
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {

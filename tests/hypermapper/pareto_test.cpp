@@ -176,5 +176,73 @@ TEST(Hypervolume, AddingFrontPointNeverDecreasesVolume) {
   }
 }
 
+/// The incremental archive must hold exactly the indices pareto_indices
+/// would return when recomputed from scratch over everything inserted so far.
+void expect_archive_matches_scratch(const ParetoArchive& archive,
+                                    const std::vector<Objectives>& points) {
+  std::vector<std::size_t> incremental = archive.indices();
+  std::vector<std::size_t> scratch = pareto_indices(points);
+  std::sort(incremental.begin(), incremental.end());
+  std::sort(scratch.begin(), scratch.end());
+  EXPECT_EQ(incremental, scratch);
+}
+
+TEST(ParetoArchive, MatchesScratchRecomputation2d) {
+  hm::common::Rng rng(7);
+  ParetoArchive archive;
+  std::vector<Objectives> points;
+  for (std::size_t i = 0; i < 300; ++i) {
+    points.push_back({rng.uniform(), rng.uniform()});
+    archive.insert(points.back(), i);
+    if (i % 25 == 0) expect_archive_matches_scratch(archive, points);
+  }
+  expect_archive_matches_scratch(archive, points);
+}
+
+TEST(ParetoArchive, MatchesScratchRecomputation3d) {
+  hm::common::Rng rng(21);
+  ParetoArchive archive;
+  std::vector<Objectives> points;
+  for (std::size_t i = 0; i < 200; ++i) {
+    points.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    archive.insert(points.back(), i);
+  }
+  expect_archive_matches_scratch(archive, points);
+}
+
+TEST(ParetoArchive, KeepsDuplicateFrontPointsLikeParetoIndices) {
+  // Coarsely quantized objectives produce exact duplicates, which
+  // pareto_indices keeps (each may map to a distinct configuration).
+  hm::common::Rng rng(3);
+  ParetoArchive archive;
+  std::vector<Objectives> points;
+  for (std::size_t i = 0; i < 400; ++i) {
+    const double f0 = std::floor(rng.uniform() * 4.0);
+    const double f1 = std::floor(rng.uniform() * 4.0);
+    points.push_back({f0, f1});
+    archive.insert(points.back(), i);
+  }
+  expect_archive_matches_scratch(archive, points);
+  EXPECT_GT(archive.size(), 1u);  // Quantization guarantees duplicates.
+}
+
+TEST(ParetoArchive, InsertReportsFrontMembership) {
+  ParetoArchive archive;
+  EXPECT_TRUE(archive.insert({1.0, 1.0}, 0));
+  EXPECT_FALSE(archive.insert({2.0, 2.0}, 1));  // Dominated, discarded.
+  EXPECT_TRUE(archive.insert({0.5, 2.0}, 2));   // Incomparable, kept.
+  EXPECT_TRUE(archive.insert({0.1, 0.1}, 3));   // Dominates everything.
+  EXPECT_EQ(archive.size(), 1u);
+  EXPECT_EQ(archive.indices(), (std::vector<std::size_t>{3}));
+}
+
+TEST(ParetoArchive, IndicesSortedByFirstObjective) {
+  ParetoArchive archive;
+  archive.insert({3.0, 1.0}, 10);
+  archive.insert({1.0, 3.0}, 11);
+  archive.insert({2.0, 2.0}, 12);
+  EXPECT_EQ(archive.indices(), (std::vector<std::size_t>{11, 12, 10}));
+}
+
 }  // namespace
 }  // namespace hm::hypermapper

@@ -192,11 +192,48 @@ TEST(Icp, ParallelReductionMatchesSerial) {
   const IcpResult parallel =
       icp_track(fixture.pyramid, fixture.reference, fixture.camera,
                 fixture.true_pose, initial, config, parallel_stats, &pool);
-  // Floating-point reduction order may differ slightly; poses must agree to
-  // sub-millimeter.
-  EXPECT_LT(hm::geometry::translation_distance(serial.pose, parallel.pose),
-            1e-3);
+  // The reduction is deterministically chunked (chunk boundaries and combine
+  // order depend only on the range and grain), so the serial and pooled
+  // paths produce bitwise-identical poses.
   EXPECT_EQ(serial.tracked, parallel.tracked);
+  EXPECT_EQ(serial.iterations_run, parallel.iterations_run);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_EQ(serial.pose.rotation(r, c), parallel.pose.rotation(r, c));
+    }
+  }
+  EXPECT_EQ(serial.pose.translation.x, parallel.pose.translation.x);
+  EXPECT_EQ(serial.pose.translation.y, parallel.pose.translation.y);
+  EXPECT_EQ(serial.pose.translation.z, parallel.pose.translation.z);
+}
+
+TEST(Icp, PoseBitwiseIdenticalAcrossThreadCounts) {
+  IcpFixture fixture;
+  const SE3 initial =
+      perturb(fixture.true_pose, {0.03, -0.01, 0.01}, {0.0, 0.008, 0.0});
+  IcpConfig config;
+  std::vector<IcpResult> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{7}}) {
+    hm::common::ThreadPool pool(threads);
+    KernelStats stats;
+    results.push_back(icp_track(fixture.pyramid, fixture.reference,
+                                fixture.camera, fixture.true_pose, initial,
+                                config, stats, &pool));
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[0].iterations_run, results[i].iterations_run);
+    EXPECT_EQ(results[0].final_rms, results[i].final_rms);
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_EQ(results[0].pose.rotation(r, c), results[i].pose.rotation(r, c))
+            << "thread-count variant " << i;
+      }
+    }
+    EXPECT_EQ(results[0].pose.translation.x, results[i].pose.translation.x);
+    EXPECT_EQ(results[0].pose.translation.y, results[i].pose.translation.y);
+    EXPECT_EQ(results[0].pose.translation.z, results[i].pose.translation.z);
+  }
 }
 
 }  // namespace
