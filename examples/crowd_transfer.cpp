@@ -2,7 +2,15 @@
 // deploy the best configuration to a whole population of phones and
 // tablets — the paper's crowd-sourcing experiment as an API walkthrough.
 //
-//   ./crowd_transfer [--frames N] [--devices N]
+//   ./crowd_transfer [--frames N] [--devices N] [--installs N]
+//                    [--dropout R] [--noisy R] [--noise SIGMA]
+//
+// --installs models the paper's crowd funnel (2000 installs -> 83 usable):
+// it sets the population size, while --dropout is the fraction of installs
+// that never report a usable measurement and --noisy the fraction whose
+// timings carry log-normal noise of sigma --noise. Noisy devices stay in
+// the pool; the trimmed mean keeps their outliers from skewing the
+// aggregate speedup.
 #include <cstdio>
 #include <vector>
 
@@ -53,15 +61,31 @@ int main(int argc, char** argv) {
           evaluator.space(), kfusion::KFusionParams::defaults()));
 
   crowd::PopulationConfig population_config;
-  population_config.device_count =
-      static_cast<std::size_t>(args.get_or("devices", std::int64_t{83}));
+  const auto installs = args.get_or(
+      "installs", args.get_or("devices", std::int64_t{83}));
+  population_config.device_count = static_cast<std::size_t>(installs);
   const auto devices = crowd::generate_population(population_config);
-  const auto crowd_result = crowd::run_crowd_experiment(
-      devices, default_metrics.stats, tuned_metrics.stats, frames);
 
-  std::printf("\nspeedup across %zu devices: min %.1fx, median %.1fx, max %.1fx\n",
+  crowd::FlakyDeviceModel flaky;
+  flaky.dropout_rate = args.get_or("dropout", 0.0);
+  flaky.noisy_rate = args.get_or("noisy", 0.0);
+  flaky.noise_sigma = args.get_or("noise", flaky.noise_sigma);
+  const auto crowd_result = crowd::run_crowd_experiment(
+      devices, default_metrics.stats, tuned_metrics.stats, frames, flaky);
+
+  std::printf("\ncrowd funnel: %zu installs -> %zu usable "
+              "(%zu dropped, %zu noisy kept)\n",
+              devices.size(), crowd_result.usable_devices,
+              crowd_result.dropped_devices, crowd_result.noisy_devices);
+  if (crowd_result.devices.empty()) {
+    std::fprintf(stderr, "every device dropped out; nothing to aggregate\n");
+    return 1;
+  }
+  std::printf("speedup across %zu devices: min %.1fx, median %.1fx, max %.1fx\n",
               crowd_result.devices.size(), crowd_result.min_speedup,
               crowd_result.median_speedup, crowd_result.max_speedup);
+  std::printf("robust aggregate: trimmed mean %.1fx (mean %.1fx)\n",
+              crowd_result.trimmed_mean_speedup, crowd_result.mean_speedup);
   std::printf("%s", crowd::speedup_histogram(crowd_result).c_str());
 
   // The transfer-learning caveat from the paper: the correlation holds for

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Memory/UB sanitizer job: builds the tree once per sanitizer
+# (-DHM_SANITIZE=address, then undefined) and runs the failure-handling
+# tests (the targets labeled "fault" in tests/CMakeLists.txt) under each.
+# Fault-injection paths deliberately walk error branches that the happy-path
+# suite never touches; this is the gate that proves those branches are clean.
+# Run locally before touching the resilient evaluator, quarantine logic, or
+# the SLAM failure gates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAULT_TARGETS=(resilient_evaluator_test optimizer_test crowd_test
+  failure_injection_test ef_failure_injection_test)
+
+for SAN in address undefined; do
+  BUILD_DIR="build-${SAN}"
+  cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHM_SANITIZE="$SAN"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${FAULT_TARGETS[@]}"
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+    ctest --test-dir "$BUILD_DIR" -L fault --output-on-failure -j "$(nproc)"
+done

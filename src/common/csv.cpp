@@ -47,6 +47,8 @@ std::optional<std::size_t> CsvTable::column(std::string_view name) const {
 void CsvTable::add_row(std::vector<std::string> row) {
   assert(row.size() == header_.size());
   rows_.push_back(std::move(row));
+  // Header on line 1, one line per row unless parse_csv overwrites this.
+  source_lines_.push_back(rows_.size() + 1);
 }
 
 std::optional<double> CsvTable::cell_as_double(std::size_t row, std::size_t col) const {
@@ -58,11 +60,23 @@ std::optional<double> CsvTable::cell_as_double(std::size_t row, std::size_t col)
   return value;
 }
 
-std::vector<double> CsvTable::column_as_doubles(std::size_t col) const {
+std::optional<std::vector<double>> CsvTable::column_as_numbers(
+    std::size_t col, CsvError* error) const {
   std::vector<double> values;
   values.reserve(rows_.size());
   for (std::size_t i = 0; i < rows_.size(); ++i) {
-    values.push_back(cell_as_double(i, col).value_or(0.0));
+    const std::optional<double> value = cell_as_double(i, col);
+    if (!value) {
+      if (error != nullptr) {
+        error->line = source_line(i);
+        error->message = "line " + std::to_string(source_line(i)) +
+                         ": non-numeric cell \"" + rows_[i][col] +
+                         "\" in column " + std::to_string(col) + " (" +
+                         (col < header_.size() ? header_[col] : "?") + ")";
+      }
+      return std::nullopt;
+    }
+    values.push_back(*value);
   }
   return values;
 }
@@ -74,12 +88,24 @@ std::string to_csv(const CsvTable& table) {
   return out;
 }
 
-std::optional<CsvTable> parse_csv(std::string_view text) {
+std::optional<CsvTable> parse_csv(std::string_view text, CsvError* error) {
   std::vector<std::vector<std::string>> records;
+  std::vector<std::size_t> record_lines;  ///< Line each record started on.
   std::vector<std::string> current;
   std::string field;
   bool in_quotes = false;
   bool row_has_content = false;
+  std::size_t line = 1;
+  std::size_t record_line = 1;
+  std::size_t quote_line = 1;
+
+  auto fail = [&](std::size_t at, std::string message) {
+    if (error != nullptr) {
+      error->line = at;
+      error->message = "line " + std::to_string(at) + ": " + std::move(message);
+    }
+    return std::nullopt;
+  };
 
   std::size_t i = 0;
   const std::size_t n = text.size();
@@ -90,6 +116,7 @@ std::optional<CsvTable> parse_csv(std::string_view text) {
   auto end_record = [&] {
     end_field();
     records.push_back(std::move(current));
+    record_lines.push_back(record_line);
     current.clear();
     row_has_content = false;
   };
@@ -105,10 +132,12 @@ std::optional<CsvTable> parse_csv(std::string_view text) {
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
     } else if (c == '"' && field.empty()) {
       in_quotes = true;
+      quote_line = line;
       row_has_content = true;
     } else if (c == ',') {
       end_field();
@@ -116,20 +145,28 @@ std::optional<CsvTable> parse_csv(std::string_view text) {
     } else if (c == '\n' || c == '\r') {
       if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
       if (row_has_content || !field.empty() || !current.empty()) end_record();
+      ++line;
+      record_line = line;
     } else {
       field.push_back(c);
       row_has_content = true;
     }
     ++i;
   }
-  if (in_quotes) return std::nullopt;  // Unterminated quote.
+  if (in_quotes) return fail(quote_line, "unterminated quoted field");
   if (row_has_content || !field.empty() || !current.empty()) end_record();
 
-  if (records.empty()) return std::nullopt;
+  if (records.empty()) return fail(1, "empty input (no header row)");
   CsvTable table(std::move(records.front()));
   for (std::size_t r = 1; r < records.size(); ++r) {
-    if (records[r].size() != table.column_count()) return std::nullopt;  // Ragged.
+    if (records[r].size() != table.column_count()) {
+      return fail(record_lines[r],
+                  "row has " + std::to_string(records[r].size()) +
+                      " columns, expected " +
+                      std::to_string(table.column_count()));
+    }
     table.add_row(std::move(records[r]));
+    table.source_lines_.back() = record_lines[r];
   }
   return table;
 }
@@ -142,12 +179,15 @@ bool write_csv_file(const std::string& path, const CsvTable& table) {
   return static_cast<bool>(out);
 }
 
-std::optional<CsvTable> read_csv_file(const std::string& path) {
+std::optional<CsvTable> read_csv_file(const std::string& path, CsvError* error) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    if (error != nullptr) error->message = "cannot open " + path;
+    return std::nullopt;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return parse_csv(buffer.str());
+  return parse_csv(buffer.str(), error);
 }
 
 std::string format_double(double value) {

@@ -11,6 +11,12 @@
 
 namespace hm::common {
 
+/// A structural or numeric CSV error, located by 1-based source line.
+struct CsvError {
+  std::size_t line = 0;
+  std::string message;
+};
+
 /// An in-memory CSV table: a header row plus data rows of equal width.
 class CsvTable {
  public:
@@ -25,7 +31,8 @@ class CsvTable {
   /// Index of a column by name, if present.
   [[nodiscard]] std::optional<std::size_t> column(std::string_view name) const;
 
-  /// Appends a row; must match the header width (asserted).
+  /// Appends a row; must match the header width (asserted). The row's
+  /// source line defaults to its position assuming one line per row.
   void add_row(std::vector<std::string> row);
 
   [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
@@ -35,28 +42,42 @@ class CsvTable {
     return rows_[row][col];
   }
 
+  /// 1-based source line the row started on (exact for parsed tables, even
+  /// with embedded newlines in quoted fields; positional for built tables).
+  [[nodiscard]] std::size_t source_line(std::size_t row) const {
+    return source_lines_[row];
+  }
+
   /// Cell parsed as double; nullopt if unparsable.
   [[nodiscard]] std::optional<double> cell_as_double(std::size_t row,
                                                      std::size_t col) const;
 
-  /// Whole column parsed as doubles; unparsable cells become 0.
-  [[nodiscard]] std::vector<double> column_as_doubles(std::size_t col) const;
+  /// Whole column parsed as doubles. A non-numeric cell is an error (with
+  /// the offending source line) rather than a silent zero.
+  [[nodiscard]] std::optional<std::vector<double>> column_as_numbers(
+      std::size_t col, CsvError* error = nullptr) const;
 
  private:
+  friend std::optional<CsvTable> parse_csv(std::string_view, CsvError*);
+
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> source_lines_;
 };
 
 /// Serializes a table to CSV text with RFC-4180 quoting.
 [[nodiscard]] std::string to_csv(const CsvTable& table);
 
 /// Parses CSV text (first row is the header). Returns nullopt on structural
-/// errors (ragged rows, unterminated quotes).
-[[nodiscard]] std::optional<CsvTable> parse_csv(std::string_view text);
+/// errors (ragged rows, unterminated quotes), reporting the offending line
+/// through `error` when provided.
+[[nodiscard]] std::optional<CsvTable> parse_csv(std::string_view text,
+                                                CsvError* error = nullptr);
 
 /// Convenience file I/O. Return false / nullopt on I/O failure.
 [[nodiscard]] bool write_csv_file(const std::string& path, const CsvTable& table);
-[[nodiscard]] std::optional<CsvTable> read_csv_file(const std::string& path);
+[[nodiscard]] std::optional<CsvTable> read_csv_file(const std::string& path,
+                                                    CsvError* error = nullptr);
 
 /// Formats a double with enough digits to round-trip.
 [[nodiscard]] std::string format_double(double value);

@@ -35,6 +35,17 @@ double quantile(std::span<const double> values, double q) {
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
+double trimmed_mean(std::span<const double> values, double trim_fraction) {
+  if (values.empty()) return 0.0;
+  trim_fraction = std::clamp(trim_fraction, 0.0, 0.4999);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto trim = static_cast<std::size_t>(
+      std::floor(static_cast<double>(sorted.size()) * trim_fraction));
+  return mean(std::span<const double>(sorted).subspan(
+      trim, sorted.size() - 2 * trim));
+}
+
 Summary summarize(std::span<const double> values) {
   Summary s;
   if (values.empty()) return s;

@@ -34,6 +34,12 @@ struct Summary {
   return quantile(values, 0.5);
 }
 
+/// Mean after discarding floor(n * trim_fraction) values from each tail —
+/// the robust aggregate for noisy crowd measurements. trim_fraction in
+/// [0, 0.5); returns 0 on empty input, plain mean when nothing is trimmed.
+[[nodiscard]] double trimmed_mean(std::span<const double> values,
+                                  double trim_fraction);
+
 /// Pearson product-moment correlation; 0 when either side is constant.
 [[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace hm::crowd {
@@ -11,24 +12,43 @@ namespace hm::crowd {
 CrowdResult run_crowd_experiment(
     const std::vector<hm::slambench::DeviceModel>& devices,
     const hm::kfusion::KernelStats& default_stats,
-    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames) {
+    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames,
+    const FlakyDeviceModel& flaky) {
   CrowdResult result;
   result.devices.reserve(devices.size());
   std::vector<double> speedups;
   speedups.reserve(devices.size());
 
+  // One reliability draw sequence over the device list: deterministic for a
+  // fixed (population, seed) pair, so reruns reproduce the same funnel.
+  hm::common::Rng rng(flaky.seed);
   for (const auto& device : devices) {
+    const bool dropped = rng.bernoulli(flaky.dropout_rate);
+    const bool noisy = rng.bernoulli(flaky.noisy_rate);
+    const double default_noise =
+        noisy ? std::exp(rng.normal(0.0, flaky.noise_sigma)) : 1.0;
+    const double tuned_noise =
+        noisy ? std::exp(rng.normal(0.0, flaky.noise_sigma)) : 1.0;
+    if (dropped) {
+      ++result.dropped_devices;
+      continue;
+    }
     DeviceSpeedup entry;
     entry.device_name = device.name;
-    const double default_seconds = device.seconds(default_stats, frames);
-    const double tuned_seconds = device.seconds(tuned_stats, frames);
+    entry.noisy = noisy;
+    const double default_seconds =
+        device.seconds(default_stats, frames) * default_noise;
+    const double tuned_seconds =
+        device.seconds(tuned_stats, frames) * tuned_noise;
     if (default_seconds <= 0.0 || tuned_seconds <= 0.0) continue;
     entry.default_fps = static_cast<double>(frames) / default_seconds;
     entry.tuned_fps = static_cast<double>(frames) / tuned_seconds;
     entry.speedup = default_seconds / tuned_seconds;
+    result.noisy_devices += noisy ? 1 : 0;
     speedups.push_back(entry.speedup);
     result.devices.push_back(std::move(entry));
   }
+  result.usable_devices = result.devices.size();
 
   if (!speedups.empty()) {
     const auto summary = hm::common::summarize(speedups);
@@ -36,6 +56,8 @@ CrowdResult run_crowd_experiment(
     result.max_speedup = summary.max;
     result.median_speedup = summary.median;
     result.mean_speedup = summary.mean;
+    result.trimmed_mean_speedup =
+        hm::common::trimmed_mean(speedups, flaky.trim_fraction);
   }
   return result;
 }

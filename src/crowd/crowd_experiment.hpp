@@ -1,9 +1,13 @@
 // The crowd-sourcing experiment (paper, Section IV-D / Fig. 5): run a tuned
 // configuration and the default configuration on every device of the
 // population and report the per-device speedup. The app ran only 100 frames
-// on each phone; the harness mirrors that.
+// on each phone; the harness mirrors that — including the in-the-wild
+// funnel (~2000 installs but only 83 usable result sets): the flaky-device
+// model drops devices that never report and perturbs the measurements of
+// unreliable ones, and the aggregates are robust to both.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -17,22 +21,48 @@ struct DeviceSpeedup {
   double default_fps = 0.0;
   double tuned_fps = 0.0;
   double speedup = 0.0;  ///< default runtime / tuned runtime.
+  bool noisy = false;    ///< Measurements carried injected noise.
+};
+
+/// In-the-wild failure model for the device population. Deterministic for a
+/// fixed seed: the same devices drop out and the same devices report noisy
+/// measurements on every run.
+struct FlakyDeviceModel {
+  /// Probability a device never reports a usable result (app crash, killed
+  /// in background, upload failure). Dropped devices are counted, not used.
+  double dropout_rate = 0.0;
+  /// Probability a reporting device's measurements are noisy (thermal
+  /// throttling, background load).
+  double noisy_rate = 0.0;
+  /// Log-normal sigma applied independently to the default and tuned
+  /// runtimes of a noisy device.
+  double noise_sigma = 0.25;
+  /// Per-tail trim fraction of the robust (trimmed-mean) aggregate.
+  double trim_fraction = 0.10;
+  std::uint64_t seed = 2000;  ///< As many installs as the paper reports.
 };
 
 struct CrowdResult {
-  std::vector<DeviceSpeedup> devices;
+  std::vector<DeviceSpeedup> devices;  ///< Usable devices only.
   double min_speedup = 0.0;
   double max_speedup = 0.0;
   double median_speedup = 0.0;
   double mean_speedup = 0.0;
+  /// Robust aggregate: trimmed mean over usable devices (noisy included).
+  double trimmed_mean_speedup = 0.0;
+  std::size_t usable_devices = 0;
+  std::size_t dropped_devices = 0;  ///< Never reported (flaky dropout).
+  std::size_t noisy_devices = 0;    ///< Reported with injected noise.
 };
 
 /// Computes per-device speedups from the measured kernel work of the two
-/// configurations (device-independent counts -> per-device runtimes).
+/// configurations (device-independent counts -> per-device runtimes),
+/// subjecting each device to the flaky-device model first.
 [[nodiscard]] CrowdResult run_crowd_experiment(
     const std::vector<hm::slambench::DeviceModel>& devices,
     const hm::kfusion::KernelStats& default_stats,
-    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames);
+    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames,
+    const FlakyDeviceModel& flaky = {});
 
 /// ASCII histogram of the speedups (one row per bucket), mirroring Fig. 5.
 [[nodiscard]] std::string speedup_histogram(const CrowdResult& result,

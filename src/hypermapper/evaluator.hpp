@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "hypermapper/space.hpp"
@@ -22,6 +23,18 @@ class Evaluator {
   /// device-model sum over counted work).
   [[nodiscard]] virtual std::vector<double> evaluate(
       const Configuration& config) = 0;
+
+  /// Re-evaluates a configuration after a transient failure.
+  /// `retry_nonce` is a deterministic, non-zero perturbation value derived
+  /// from (retry seed, configuration, attempt) by the supervision layer
+  /// (see resilient_evaluator.hpp); evaluators with internal stochasticity
+  /// may fold it into their seeding so a retry explores a different
+  /// schedule. The default ignores the nonce and repeats evaluate().
+  [[nodiscard]] virtual std::vector<double> evaluate_retry(
+      const Configuration& config, std::uint64_t retry_nonce) {
+    (void)retry_nonce;
+    return evaluate(config);
+  }
 
   /// Whether evaluate() may be called concurrently from multiple threads.
   [[nodiscard]] virtual bool thread_safe() const { return false; }

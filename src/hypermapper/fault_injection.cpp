@@ -1,0 +1,117 @@
+#include "hypermapper/fault_injection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "hypermapper/resilient_evaluator.hpp"
+
+namespace hm::hypermapper {
+
+namespace {
+
+/// Maps a 64-bit hash to [0, 1) the same way Rng::uniform does.
+double unit_interval(std::uint64_t hash) noexcept {
+  return static_cast<double>(hash >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjectingEvaluator::FaultInjectingEvaluator(Evaluator& inner,
+                                                 FaultSchedule schedule)
+    : inner_(inner), schedule_(std::move(schedule)) {}
+
+FaultInjectingEvaluator::Decision FaultInjectingEvaluator::decide(
+    const Configuration& config) const {
+  std::uint64_t state = schedule_.seed ^ config_hash(config);
+  const double draw = unit_interval(hm::common::splitmix64_next(state));
+  const std::uint64_t secondary = hm::common::splitmix64_next(state);
+
+  Decision decision;
+  decision.detail = secondary;
+  double band = schedule_.exception_rate;
+  if (draw < band) {
+    decision.fault = Fault::kException;
+    decision.transient =
+        unit_interval(secondary) < schedule_.transient_fraction;
+    return decision;
+  }
+  band += schedule_.nan_rate;
+  if (draw < band) {
+    decision.fault = Fault::kNan;
+    return decision;
+  }
+  band += schedule_.wrong_arity_rate;
+  if (draw < band) {
+    decision.fault = Fault::kWrongArity;
+    return decision;
+  }
+  band += schedule_.slow_rate;
+  if (draw < band) decision.fault = Fault::kSlow;
+  return decision;
+}
+
+bool FaultInjectingEvaluator::faulty(const Configuration& config) const {
+  return decide(config).fault != Fault::kNone;
+}
+
+std::vector<double> FaultInjectingEvaluator::evaluate(
+    const Configuration& config) {
+  return evaluate_impl(config, 0);
+}
+
+std::vector<double> FaultInjectingEvaluator::evaluate_retry(
+    const Configuration& config, std::uint64_t retry_nonce) {
+  return evaluate_impl(config, retry_nonce);
+}
+
+std::vector<double> FaultInjectingEvaluator::evaluate_impl(
+    const Configuration& config, std::uint64_t retry_nonce) {
+  const std::size_t call = ++calls_;
+  if (std::find(schedule_.throw_on_calls.begin(),
+                schedule_.throw_on_calls.end(),
+                call) != schedule_.throw_on_calls.end()) {
+    ++thrown_;
+    throw EvaluationError("injected fault on call " + std::to_string(call),
+                          /*transient=*/true);
+  }
+
+  const Decision decision = decide(config);
+  switch (decision.fault) {
+    case Fault::kException:
+      // Transient faults recover deterministically once the supervision
+      // layer retries with a non-zero nonce.
+      if (decision.transient && retry_nonce != 0) break;
+      ++thrown_;
+      throw EvaluationError(decision.transient ? "injected transient fault"
+                                               : "injected permanent fault",
+                            decision.transient);
+    case Fault::kNan: {
+      ++nans_;
+      std::vector<double> objectives = inner_.evaluate(config);
+      if (!objectives.empty()) {
+        objectives[decision.detail % objectives.size()] =
+            std::numeric_limits<double>::quiet_NaN();
+      }
+      return objectives;
+    }
+    case Fault::kWrongArity: {
+      ++wrong_arity_;
+      return std::vector<double>(inner_.objective_count() + 1, 1.0);
+    }
+    case Fault::kSlow:
+      ++slow_;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(schedule_.slow_seconds));
+      break;
+    case Fault::kNone:
+      break;
+  }
+  return retry_nonce == 0 ? inner_.evaluate(config)
+                          : inner_.evaluate_retry(config, retry_nonce);
+}
+
+}  // namespace hm::hypermapper

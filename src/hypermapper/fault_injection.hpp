@@ -1,0 +1,88 @@
+// Deterministic fault injection for the evaluation-supervision layer: wraps
+// any Evaluator and corrupts a seeded, per-configuration subset of its
+// evaluations (throw, NaN objectives, wrong arity, slow evaluation). The
+// schedule is a pure function of (seed, configuration), so a DSE run over a
+// faulty evaluator is bit-identical across reruns even when evaluations are
+// executed in parallel or retried. An explicit call-index schedule is also
+// supported for "throw on the nth call" unit tests.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hypermapper/evaluator.hpp"
+
+namespace hm::hypermapper {
+
+/// Seeded failure schedule. The per-class rates partition [0, 1): a
+/// configuration whose unit-interval hash lands in a class's band gets that
+/// fault on every evaluation (permanent classes) or until retried with a
+/// non-zero nonce (transient exceptions). Rates must sum to <= 1.
+struct FaultSchedule {
+  double exception_rate = 0.0;
+  /// Fraction of injected exceptions that are transient: they carry
+  /// EvaluationError::transient() == true and vanish on a retry with a
+  /// non-zero nonce (deterministic recovery).
+  double transient_fraction = 0.0;
+  double nan_rate = 0.0;          ///< One objective becomes NaN.
+  double wrong_arity_rate = 0.0;  ///< One objective too many.
+  double slow_rate = 0.0;         ///< Evaluation sleeps slow_seconds.
+  double slow_seconds = 0.05;
+  /// 1-based call indices (across evaluate() and evaluate_retry()) that
+  /// throw a transient EvaluationError regardless of the configuration.
+  std::vector<std::size_t> throw_on_calls;
+  std::uint64_t seed = 0xfa17ULL;
+};
+
+class FaultInjectingEvaluator final : public Evaluator {
+ public:
+  FaultInjectingEvaluator(Evaluator& inner, FaultSchedule schedule = {});
+
+  [[nodiscard]] std::size_t objective_count() const override {
+    return inner_.objective_count();
+  }
+  [[nodiscard]] bool thread_safe() const override {
+    return inner_.thread_safe();
+  }
+
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override;
+  [[nodiscard]] std::vector<double> evaluate_retry(
+      const Configuration& config, std::uint64_t retry_nonce) override;
+
+  /// True if the schedule injects any fault for this configuration.
+  [[nodiscard]] bool faulty(const Configuration& config) const;
+
+  [[nodiscard]] std::size_t call_count() const noexcept { return calls_; }
+  [[nodiscard]] std::size_t injected_exceptions() const noexcept {
+    return thrown_;
+  }
+  [[nodiscard]] std::size_t injected_nans() const noexcept { return nans_; }
+  [[nodiscard]] std::size_t injected_wrong_arity() const noexcept {
+    return wrong_arity_;
+  }
+  [[nodiscard]] std::size_t injected_slow() const noexcept { return slow_; }
+
+ private:
+  enum class Fault { kNone, kException, kNan, kWrongArity, kSlow };
+  struct Decision {
+    Fault fault = Fault::kNone;
+    bool transient = false;
+    std::uint64_t detail = 0;  ///< Secondary hash (e.g. which objective).
+  };
+  [[nodiscard]] Decision decide(const Configuration& config) const;
+  [[nodiscard]] std::vector<double> evaluate_impl(const Configuration& config,
+                                                  std::uint64_t retry_nonce);
+
+  Evaluator& inner_;
+  FaultSchedule schedule_;
+  std::atomic<std::size_t> calls_{0};
+  std::atomic<std::size_t> thrown_{0};
+  std::atomic<std::size_t> nans_{0};
+  std::atomic<std::size_t> wrong_arity_{0};
+  std::atomic<std::size_t> slow_{0};
+};
+
+}  // namespace hm::hypermapper

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cassert>
 #include <unordered_set>
 
 #include "common/log.hpp"
@@ -19,9 +18,19 @@ std::size_t OptimizationResult::active_sample_count() const {
   return samples.size() - random_sample_count();
 }
 
+std::size_t OptimizationResult::failure_count(EvaluationStatus status) const {
+  std::size_t count = 0;
+  for (const QuarantineRecord& q : quarantine) count += q.status == status ? 1 : 0;
+  return count;
+}
+
 Optimizer::Optimizer(const DesignSpace& space, Evaluator& evaluator,
                      OptimizerConfig config, hm::common::ThreadPool* pool)
-    : space_(space), evaluator_(evaluator), config_(config), pool_(pool) {}
+    : space_(space),
+      evaluator_(evaluator),
+      config_(config),
+      supervisor_(evaluator, config.resilience),
+      pool_(pool) {}
 
 std::vector<Configuration> Optimizer::make_pool(hm::common::Rng& rng) const {
   const std::uint64_t total = space_.cardinality();
@@ -40,20 +49,40 @@ std::vector<Configuration> Optimizer::make_pool(hm::common::Rng& rng) const {
 void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
                                std::size_t iteration, OptimizationResult& result,
                                const std::vector<Objectives>* predicted) {
-  const std::size_t base = result.samples.size();
-  result.samples.resize(base + configs.size());
+  // Evaluate into a scratch vector first (supervised, so a failing
+  // configuration yields a typed outcome instead of throwing out of the
+  // pool), then merge sequentially in configuration order: the sample and
+  // quarantine streams stay deterministic under any thread scheduling.
+  std::vector<EvaluationOutcome> outcomes(configs.size());
   auto evaluate_one = [&](std::size_t i) {
-    SampleRecord& record = result.samples[base + i];
-    record.config = configs[i];
-    record.objectives = evaluator_.evaluate(configs[i]);
-    record.iteration = iteration;
-    if (predicted != nullptr) record.predicted = (*predicted)[i];
-    assert(record.objectives.size() == evaluator_.objective_count());
+    outcomes[i] = supervisor_.evaluate_outcome(configs[i]);
   };
   if (pool_ != nullptr && evaluator_.thread_safe()) {
     pool_->parallel_for(0, configs.size(), evaluate_one);
   } else {
     for (std::size_t i = 0; i < configs.size(); ++i) evaluate_one(i);
+  }
+
+  const bool discrete = space_.cardinality() != 0;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EvaluationOutcome& outcome = outcomes[i];
+    if (outcome.ok()) {
+      SampleRecord record;
+      record.config = configs[i];
+      record.objectives = std::move(outcome.objectives);
+      record.iteration = iteration;
+      if (predicted != nullptr) record.predicted = (*predicted)[i];
+      result.samples.push_back(std::move(record));
+    } else {
+      QuarantineRecord record;
+      record.config = configs[i];
+      record.key = discrete ? space_.key(configs[i]) : config_hash(configs[i]);
+      record.status = outcome.status;
+      record.message = std::move(outcome.message);
+      record.iteration = iteration;
+      record.attempts = outcome.attempts;
+      result.quarantine.push_back(std::move(record));
+    }
   }
 }
 
@@ -92,10 +121,26 @@ OptimizationResult Optimizer::run_seeded(std::span<const SampleRecord> seed) {
   hm::common::Rng rng(config_.seed);
   OptimizationResult result;
   result.samples.reserve(seed.size());
+  const bool discrete = space_.cardinality() != 0;
   for (const SampleRecord& record : seed) {
-    assert(record.objectives.size() == evaluator_.objective_count());
+    const Configuration snapped = space_.snap(record.config);
+    // Seed samples come from files and earlier runs: validate them like any
+    // other evaluation instead of trusting them (a malformed CSV row must
+    // not poison the surrogate or the Pareto sweep).
+    if (auto error = validate_objectives(
+            record.objectives, evaluator_.objective_count(),
+            config_.resilience.require_non_negative)) {
+      QuarantineRecord rejected;
+      rejected.config = snapped;
+      rejected.key = discrete ? space_.key(snapped) : config_hash(snapped);
+      rejected.status = EvaluationStatus::kInvalidObjectives;
+      rejected.message = "seed sample rejected: " + std::move(*error);
+      rejected.iteration = 0;
+      result.quarantine.push_back(std::move(rejected));
+      continue;
+    }
     SampleRecord copy;
-    copy.config = space_.snap(record.config);
+    copy.config = snapped;
     copy.objectives = record.objectives;
     copy.iteration = 0;
     result.samples.push_back(std::move(copy));
@@ -120,6 +165,11 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     for (const SampleRecord& s : result.samples) {
       evaluated_keys.insert(space_.key(s.config));
     }
+    // Quarantined configurations count as spent: active learning must never
+    // re-propose a configuration that already failed.
+    for (const QuarantineRecord& q : result.quarantine) {
+      evaluated_keys.insert(q.key);
+    }
   }
 
   const std::size_t n_objectives = evaluator_.objective_count();
@@ -142,6 +192,7 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     IterationStats stats;
     stats.iteration = 0;
     stats.new_samples = result.samples.size();
+    stats.failed_samples = result.quarantine.size();
     stats.measured_front_size = archive.size();
     result.iterations.push_back(stats);
     if (progress_) progress_(stats);
@@ -201,7 +252,6 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     IterationStats stats;
     stats.iteration = iteration;
     stats.predicted_front_size = predicted_front.size();
-    stats.new_samples = to_evaluate.size();
     if (n_objectives >= 1) {
       stats.oob_rmse_objective0 = models[0].oob_rmse(train_x, train_y[0], pool_);
     }
@@ -218,7 +268,10 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     }
 
     const std::size_t batch_base = result.samples.size();
+    const std::size_t quarantine_base = result.quarantine.size();
     evaluate_batch(to_evaluate, iteration, result, &to_evaluate_predicted);
+    stats.new_samples = result.samples.size() - batch_base;
+    stats.failed_samples = result.quarantine.size() - quarantine_base;
     for (std::size_t i = batch_base; i < result.samples.size(); ++i) {
       archive.insert(result.samples[i].objectives, i);
     }

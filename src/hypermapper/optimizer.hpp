@@ -16,6 +16,7 @@
 #include "common/thread_pool.hpp"
 #include "hypermapper/evaluator.hpp"
 #include "hypermapper/pareto.hpp"
+#include "hypermapper/resilient_evaluator.hpp"
 #include "hypermapper/space.hpp"
 #include "rf/forest.hpp"
 
@@ -39,6 +40,9 @@ struct OptimizerConfig {
   /// Surrogate forests (one per objective; seeds are derived per objective
   /// and per iteration).
   hm::rf::ForestConfig forest;
+  /// Evaluation supervision: retries, deadlines, and objective validation.
+  /// Failed configurations are quarantined instead of aborting the run.
+  ResiliencePolicy resilience;
   std::uint64_t seed = 42;
 };
 
@@ -55,10 +59,24 @@ struct SampleRecord {
   Objectives predicted;  ///< Empty for random-phase samples.
 };
 
+/// A configuration whose evaluation failed: kept out of the sample set, the
+/// surrogate training data, and the Pareto computation, and never
+/// re-proposed by active learning.
+struct QuarantineRecord {
+  Configuration config;
+  /// DesignSpace::key for discrete spaces, config_hash otherwise.
+  std::uint64_t key = 0;
+  EvaluationStatus status = EvaluationStatus::kException;
+  std::string message;
+  std::size_t iteration = 0;
+  std::size_t attempts = 1;  ///< Evaluation attempts consumed.
+};
+
 /// Per-iteration progress for ablation studies.
 struct IterationStats {
   std::size_t iteration = 0;
-  std::size_t new_samples = 0;        ///< Evaluations performed this iteration.
+  std::size_t new_samples = 0;        ///< Successful evaluations this iteration.
+  std::size_t failed_samples = 0;     ///< Quarantined evaluations this iteration.
   std::size_t predicted_front_size = 0;
   std::size_t measured_front_size = 0;  ///< Front of all samples so far.
   double oob_rmse_objective0 = 0.0;
@@ -69,13 +87,17 @@ struct IterationStats {
 };
 
 struct OptimizationResult {
-  std::vector<SampleRecord> samples;           ///< All evaluated points, in order.
+  std::vector<SampleRecord> samples;           ///< Successful evaluations, in order.
   std::vector<std::size_t> pareto;             ///< Front indices into samples.
   std::vector<std::size_t> random_phase_pareto;  ///< Front using only iteration-0 samples.
   std::vector<IterationStats> iterations;
+  /// Failed configurations, in evaluation order. Disjoint from samples.
+  std::vector<QuarantineRecord> quarantine;
 
   [[nodiscard]] std::size_t random_sample_count() const;
   [[nodiscard]] std::size_t active_sample_count() const;
+  /// Quarantined configurations with the given failure class.
+  [[nodiscard]] std::size_t failure_count(EvaluationStatus status) const;
 };
 
 class Optimizer {
@@ -116,6 +138,9 @@ class Optimizer {
   const DesignSpace& space_;
   Evaluator& evaluator_;
   OptimizerConfig config_;
+  /// Supervision wrapper around evaluator_; every measurement goes through
+  /// it so failures surface as typed outcomes instead of exceptions.
+  ResilientEvaluator supervisor_;
   hm::common::ThreadPool* pool_;
   ProgressFn progress_;
 };

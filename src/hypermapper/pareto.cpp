@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
 namespace hm::hypermapper {
 
+namespace {
+
+#ifndef NDEBUG
+bool all_finite(std::span<const double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+#endif
+
+}  // namespace
+
 bool dominates(std::span<const double> a, std::span<const double> b) {
   assert(a.size() == b.size());
+  assert(all_finite(a) && all_finite(b));
   bool strictly_better_somewhere = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i] > b[i]) return false;
@@ -21,6 +36,8 @@ namespace {
 
 /// 2-D fast path: sort by (f0 asc, f1 asc) and sweep keeping the running
 /// minimum of f1. Equal-objective duplicates are all retained.
+/// Precondition (asserted by the caller): all coordinates finite — a NaN
+/// makes the sort comparator violate strict weak ordering.
 std::vector<std::size_t> pareto_indices_2d(std::span<const Objectives> points) {
   std::vector<std::size_t> order(points.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
@@ -51,6 +68,9 @@ std::vector<std::size_t> pareto_indices_2d(std::span<const Objectives> points) {
 
 std::vector<std::size_t> pareto_indices(std::span<const Objectives> points) {
   if (points.empty()) return {};
+#ifndef NDEBUG
+  for (const Objectives& p : points) assert(all_finite(p));
+#endif
   const std::size_t dims = points.front().size();
   if (dims == 2) return pareto_indices_2d(points);
 
@@ -97,6 +117,12 @@ double hypervolume_2d(std::span<const Objectives> front,
 }
 
 bool ParetoArchive::insert(Objectives point, std::size_t tag) {
+  for (const double v : point) {
+    if (!std::isfinite(v)) {
+      ++rejected_;  // NaN/Inf can never participate in dominance.
+      return false;
+    }
+  }
   for (const Entry& entry : entries_) {
     if (dominates(entry.point, point)) return false;
   }

@@ -14,11 +14,21 @@ using Objectives = std::vector<double>;
 
 /// True if `a` dominates `b`: a <= b in every objective and a < b in at
 /// least one. Sizes must match.
+///
+/// Precondition: every entry of both vectors is finite. NaN compares false
+/// against everything, which silently breaks dominance (and, inside the 2-D
+/// sweep's sort comparator, violates strict weak ordering — UB). Debug
+/// builds assert the precondition; callers feeding measured objectives
+/// should validate them first (see validate_objectives in
+/// resilient_evaluator.hpp — the optimizer quarantines such samples).
 [[nodiscard]] bool dominates(std::span<const double> a, std::span<const double> b);
 
 /// Indices of the non-dominated points of `points`, sorted by the first
 /// objective ascending. Duplicate objective vectors are all kept (any of
 /// them may map to a distinct configuration).
+///
+/// Precondition: all coordinates finite (see dominates); asserted in debug
+/// builds.
 [[nodiscard]] std::vector<std::size_t> pareto_indices(
     std::span<const Objectives> points);
 
@@ -42,12 +52,16 @@ class ParetoArchive {
  public:
   /// Absorbs `point`, remembered under the caller-chosen `tag` (typically
   /// the sample index). Returns true if the point joins the front, false if
-  /// it is dominated by an archived point and discarded.
+  /// it is dominated by an archived point and discarded. Points with any
+  /// non-finite coordinate are rejected explicitly (returns false and
+  /// counts them in rejected()) — they can never participate in dominance.
   bool insert(Objectives point, std::size_t tag);
 
   /// Number of points currently on the front.
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
   [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  /// Points rejected for carrying non-finite coordinates.
+  [[nodiscard]] std::size_t rejected() const noexcept { return rejected_; }
 
   /// Tags of the current front, sorted by first objective ascending (ties
   /// broken by tag) — the same presentation order as `pareto_indices`.
@@ -59,6 +73,7 @@ class ParetoArchive {
     std::size_t tag;
   };
   std::vector<Entry> entries_;
+  std::size_t rejected_ = 0;
 };
 
 }  // namespace hm::hypermapper

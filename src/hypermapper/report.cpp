@@ -133,4 +133,29 @@ std::vector<Configuration> front_from_csv(const DesignSpace& space,
   return configs;
 }
 
+hm::common::CsvTable quarantine_to_csv(const DesignSpace& space,
+                                       const OptimizationResult& result) {
+  std::vector<std::string> header;
+  for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+    header.push_back(space.parameter(p).name());
+  }
+  header.emplace_back("status");
+  header.emplace_back("message");
+  header.emplace_back("iteration");
+  header.emplace_back("attempts");
+  hm::common::CsvTable table(std::move(header));
+  for (const QuarantineRecord& q : result.quarantine) {
+    std::vector<std::string> row;
+    for (std::size_t p = 0; p < space.parameter_count(); ++p) {
+      row.push_back(hm::common::format_double(q.config[p]));
+    }
+    row.emplace_back(to_string(q.status));
+    row.push_back(q.message);
+    row.push_back(std::to_string(q.iteration));
+    row.push_back(std::to_string(q.attempts));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
 }  // namespace hm::hypermapper

@@ -56,4 +56,10 @@ struct ValidCounts {
 [[nodiscard]] std::vector<Configuration> front_from_csv(
     const DesignSpace& space, const hm::common::CsvTable& table);
 
+/// Serializes the quarantine list: one column per parameter, plus `status`
+/// (failure class), `message`, `iteration`, and `attempts` — the run report
+/// of everything that failed and why.
+[[nodiscard]] hm::common::CsvTable quarantine_to_csv(
+    const DesignSpace& space, const OptimizationResult& result);
+
 }  // namespace hm::hypermapper

@@ -1,0 +1,147 @@
+#include "hypermapper/resilient_evaluator.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace hm::hypermapper {
+
+const char* to_string(EvaluationStatus status) {
+  switch (status) {
+    case EvaluationStatus::kOk:
+      return "ok";
+    case EvaluationStatus::kInvalidObjectives:
+      return "invalid_objectives";
+    case EvaluationStatus::kException:
+      return "exception";
+    case EvaluationStatus::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
+std::uint64_t config_hash(const Configuration& config) noexcept {
+  std::uint64_t state = 0x6b79c35d4f1a9e2bULL + config.size();
+  std::uint64_t hash = 0;
+  for (const double value : config) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    state ^= bits;
+    hash ^= hm::common::splitmix64_next(state);
+  }
+  return hash;
+}
+
+std::optional<std::string> validate_objectives(
+    std::span<const double> objectives, std::size_t expected_arity,
+    bool require_non_negative) {
+  if (objectives.size() != expected_arity) {
+    return "objective arity " + std::to_string(objectives.size()) +
+           " != expected " + std::to_string(expected_arity);
+  }
+  for (std::size_t i = 0; i < objectives.size(); ++i) {
+    if (!std::isfinite(objectives[i])) {
+      return "objective " + std::to_string(i) + " is not finite";
+    }
+    if (require_non_negative && objectives[i] < 0.0) {
+      return "objective " + std::to_string(i) + " is negative (" +
+             std::to_string(objectives[i]) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+ResilientEvaluator::ResilientEvaluator(Evaluator& inner, ResiliencePolicy policy)
+    : inner_(inner), policy_(policy) {}
+
+std::vector<double> ResilientEvaluator::evaluate(const Configuration& config) {
+  EvaluationOutcome outcome = evaluate_outcome(config);
+  if (!outcome.ok()) {
+    throw EvaluationError(
+        std::string(to_string(outcome.status)) + ": " + outcome.message,
+        /*transient=*/false);
+  }
+  return std::move(outcome.objectives);
+}
+
+EvaluationOutcome ResilientEvaluator::evaluate_outcome(
+    const Configuration& config) {
+  using Clock = std::chrono::steady_clock;
+  EvaluationOutcome outcome;
+  const std::size_t max_attempts = policy_.max_attempts < 1
+                                       ? std::size_t{1}
+                                       : policy_.max_attempts;
+  // The nonce stream is a function of (retry seed, configuration, attempt)
+  // only, so reruns with the same seed retry identically regardless of
+  // thread scheduling.
+  std::uint64_t nonce_state = policy_.retry_seed ^ config_hash(config);
+
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    ++outcome.attempts;
+    if (attempt > 0) ++retries_;
+    const std::uint64_t nonce =
+        attempt == 0 ? 0 : hm::common::splitmix64_next(nonce_state);
+    bool transient = false;
+    try {
+      const Clock::time_point start = Clock::now();
+      std::vector<double> objectives =
+          attempt == 0 ? inner_.evaluate(config)
+                       : inner_.evaluate_retry(config, nonce);
+      const double elapsed =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (policy_.deadline_seconds > 0.0 &&
+          elapsed > policy_.deadline_seconds) {
+        outcome.status = EvaluationStatus::kTimeout;
+        outcome.message = "evaluation took " + std::to_string(elapsed) +
+                          " s (deadline " +
+                          std::to_string(policy_.deadline_seconds) + " s)";
+        transient = policy_.retry_timeouts;
+      } else if (auto error =
+                     validate_objectives(objectives, inner_.objective_count(),
+                                         policy_.require_non_negative)) {
+        outcome.status = EvaluationStatus::kInvalidObjectives;
+        outcome.message = std::move(*error);
+        transient = false;  // A deterministic evaluator will misbehave again.
+      } else {
+        outcome.status = EvaluationStatus::kOk;
+        outcome.objectives = std::move(objectives);
+        outcome.message.clear();
+        ++ok_;
+        return outcome;
+      }
+    } catch (const EvaluationError& error) {
+      outcome.status = EvaluationStatus::kException;
+      outcome.message = error.what();
+      transient = error.transient();
+    } catch (const std::exception& error) {
+      outcome.status = EvaluationStatus::kException;
+      outcome.message = error.what();
+      transient = false;
+    } catch (...) {
+      outcome.status = EvaluationStatus::kException;
+      outcome.message = "unknown exception";
+      transient = false;
+    }
+    if (!transient) break;
+  }
+
+  switch (outcome.status) {
+    case EvaluationStatus::kInvalidObjectives:
+      ++invalid_;
+      break;
+    case EvaluationStatus::kException:
+      ++exceptions_;
+      break;
+    case EvaluationStatus::kTimeout:
+      ++timeouts_;
+      break;
+    case EvaluationStatus::kOk:
+      break;
+  }
+  return outcome;
+}
+
+}  // namespace hm::hypermapper

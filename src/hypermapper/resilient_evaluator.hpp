@@ -1,0 +1,141 @@
+// Evaluation supervision: wraps any Evaluator so that exceptions, invalid
+// objective vectors (wrong arity, NaN/Inf, negative runtimes), and deadline
+// overruns become typed, recoverable outcomes instead of aborting a
+// multi-hundred-sample DSE run. This is what makes in-the-wild autotuning
+// (the paper's 2000-installs crowd experiment) survivable: SLAMBench treats
+// per-algorithm failure as a first-class benchmark outcome, and the
+// optimizer quarantines failed configurations instead of crashing on them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "hypermapper/evaluator.hpp"
+#include "hypermapper/pareto.hpp"
+
+namespace hm::hypermapper {
+
+/// Classification of one supervised evaluation.
+enum class EvaluationStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidObjectives,  ///< Wrong arity, non-finite, or negative objectives.
+  kException,          ///< The evaluator threw.
+  kTimeout,            ///< The cooperative deadline was exceeded.
+};
+
+[[nodiscard]] const char* to_string(EvaluationStatus status);
+
+/// Thrown by evaluators that can classify their own failures (the SLAM
+/// adapters do): transient failures (e.g. tracking loss) are eligible for a
+/// deterministic retry with a perturbed seed; permanent ones (e.g. a
+/// parameter-infeasible volume) are quarantined immediately.
+class EvaluationError : public std::runtime_error {
+ public:
+  EvaluationError(const std::string& message, bool transient)
+      : std::runtime_error(message), transient_(transient) {}
+
+  [[nodiscard]] bool transient() const noexcept { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// The typed result of one supervised evaluation.
+struct EvaluationOutcome {
+  EvaluationStatus status = EvaluationStatus::kOk;
+  Objectives objectives;     ///< Validated; empty unless status == kOk.
+  std::string message;       ///< Human-readable failure description.
+  std::size_t attempts = 0;  ///< Evaluation attempts consumed (>= 1).
+
+  [[nodiscard]] bool ok() const noexcept {
+    return status == EvaluationStatus::kOk;
+  }
+};
+
+/// Supervision policy.
+struct ResiliencePolicy {
+  /// Maximum evaluation attempts per configuration. Attempts beyond the
+  /// first happen only for transient failures (EvaluationError with
+  /// transient() == true, or timeouts when retry_timeouts is set) and pass a
+  /// deterministic retry nonce to the evaluator (seed perturbation).
+  std::size_t max_attempts = 3;
+  /// Cooperative per-evaluation deadline in wall-clock seconds; 0 disables.
+  /// The evaluator is never preempted: an overrunning call completes, its
+  /// result is discarded, and the evaluation is classified kTimeout.
+  double deadline_seconds = 0.0;
+  /// Whether timeouts count as transient (retried) or permanent.
+  bool retry_timeouts = false;
+  /// Objectives must always be finite; with this set they must also be
+  /// non-negative (runtime, ATE, and power all are in this repo).
+  bool require_non_negative = true;
+  /// Base seed of the retry-nonce derivation.
+  std::uint64_t retry_seed = 0x5eed5eedULL;
+};
+
+/// Order-independent 64-bit hash of a configuration (bitwise over the
+/// parameter values). Used to key quarantine entries of continuous spaces
+/// and to derive deterministic per-configuration retry nonces and fault
+/// schedules.
+[[nodiscard]] std::uint64_t config_hash(const Configuration& config) noexcept;
+
+/// Validates an objective vector: returns a failure description, or nullopt
+/// if the vector has the expected arity and every entry is finite (and
+/// non-negative when required).
+[[nodiscard]] std::optional<std::string> validate_objectives(
+    std::span<const double> objectives, std::size_t expected_arity,
+    bool require_non_negative);
+
+/// The supervision wrapper. Thread-safe whenever the inner evaluator is;
+/// all counters are atomic.
+class ResilientEvaluator final : public Evaluator {
+ public:
+  explicit ResilientEvaluator(Evaluator& inner, ResiliencePolicy policy = {});
+
+  [[nodiscard]] std::size_t objective_count() const override {
+    return inner_.objective_count();
+  }
+  [[nodiscard]] bool thread_safe() const override {
+    return inner_.thread_safe();
+  }
+
+  /// Evaluator-interface compatibility: returns validated objectives on
+  /// success and throws EvaluationError (permanent) on any failure.
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override;
+
+  /// The supervised entry point: never throws.
+  [[nodiscard]] EvaluationOutcome evaluate_outcome(const Configuration& config);
+
+  [[nodiscard]] const ResiliencePolicy& policy() const noexcept {
+    return policy_;
+  }
+
+  /// Counters over every evaluate_outcome() call so far.
+  [[nodiscard]] std::size_t ok_count() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t failure_count() const noexcept {
+    return invalid_ + exceptions_ + timeouts_;
+  }
+  [[nodiscard]] std::size_t invalid_count() const noexcept { return invalid_; }
+  [[nodiscard]] std::size_t exception_count() const noexcept {
+    return exceptions_;
+  }
+  [[nodiscard]] std::size_t timeout_count() const noexcept { return timeouts_; }
+  /// Attempts beyond the first (i.e. transient-failure retries).
+  [[nodiscard]] std::size_t retry_count() const noexcept { return retries_; }
+
+ private:
+  Evaluator& inner_;
+  ResiliencePolicy policy_;
+  std::atomic<std::size_t> ok_{0};
+  std::atomic<std::size_t> invalid_{0};
+  std::atomic<std::size_t> exceptions_{0};
+  std::atomic<std::size_t> timeouts_{0};
+  std::atomic<std::size_t> retries_{0};
+};
+
+}  // namespace hm::hypermapper

@@ -1,12 +1,39 @@
 #include "slambench/adapters.hpp"
 
 #include <cassert>
+#include <cmath>
+#include <string>
 
 namespace hm::slambench {
 
 using hm::hypermapper::Configuration;
 using hm::hypermapper::DesignSpace;
+using hm::hypermapper::EvaluationError;
 using hm::hypermapper::Parameter;
+
+std::optional<EvaluationError> classify_run(const RunMetrics& metrics,
+                                            const SlamFailureModel& model) {
+  if (!model.enabled) return std::nullopt;
+  if (!std::isfinite(metrics.ate.mean) || !std::isfinite(metrics.ate.max)) {
+    // Parameter-infeasible run: the error metric itself degenerated. No
+    // retry can fix the configuration.
+    return EvaluationError("non-finite ATE (parameter-infeasible run)",
+                           /*transient=*/false);
+  }
+  if (metrics.frames > 0) {
+    const double failed_fraction =
+        static_cast<double>(metrics.tracking_failures) /
+        static_cast<double>(metrics.frames);
+    if (failed_fraction > model.max_tracking_failure_fraction) {
+      // Tracking loss: a different seed/schedule may re-lock, so transient.
+      return EvaluationError(
+          "tracking lost on " + std::to_string(metrics.tracking_failures) +
+              "/" + std::to_string(metrics.frames) + " frames",
+          /*transient=*/true);
+    }
+  }
+  return std::nullopt;
+}
 
 DesignSpace build_kfusion_space() {
   DesignSpace space;
@@ -168,6 +195,7 @@ RunMetrics KFusionEvaluator::measure(const Configuration& config) {
 std::vector<double> KFusionEvaluator::evaluate(const Configuration& config) {
   ++evaluations_;
   const RunMetrics metrics = measure(config);
+  if (auto failure = classify_run(metrics, failures_)) throw *failure;
   const double ate =
       ate_kind_ == AteKind::kMax ? metrics.ate.max : metrics.ate.mean;
   return {device_.seconds_per_frame(metrics.stats, metrics.frames), ate};
@@ -221,6 +249,7 @@ RunMetrics ElasticFusionEvaluator::measure(const Configuration& config) {
 std::vector<double> ElasticFusionEvaluator::evaluate(const Configuration& config) {
   ++evaluations_;
   const RunMetrics metrics = measure(config);
+  if (auto failure = classify_run(metrics, failures_)) throw *failure;
   const double ate =
       ate_kind_ == AteKind::kMax ? metrics.ate.max : metrics.ate.mean;
   return {device_.seconds_per_frame(metrics.stats, metrics.frames), ate};

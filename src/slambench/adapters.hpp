@@ -11,12 +11,14 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "dataset/sequence.hpp"
 #include "elasticfusion/params.hpp"
 #include "hypermapper/evaluator.hpp"
+#include "hypermapper/resilient_evaluator.hpp"
 #include "hypermapper/space.hpp"
 #include "kfusion/params.hpp"
 #include "slambench/device.hpp"
@@ -51,6 +53,26 @@ namespace hm::slambench {
 /// Which ATE statistic drives the accuracy objective (the KFusion figures
 /// plot max ATE; the ElasticFusion table reports the mean).
 enum class AteKind { kMean, kMax };
+
+/// Declares which SLAM run outcomes count as evaluation failures for the
+/// supervision layer, and which of those are transient. Disabled by
+/// default: a failed run then simply reports its (large) ATE, as before.
+struct SlamFailureModel {
+  bool enabled = false;
+  /// Tracking lost on more than this fraction of frames => a *transient*
+  /// "tracking loss" failure: a retry with a perturbed seed (different
+  /// noise schedule / frame subset) may re-lock, so it is worth retrying.
+  double max_tracking_failure_fraction = 0.5;
+  /// Non-finite ATE is always a *permanent* failure when enabled: it means
+  /// the configuration itself is infeasible (e.g. a volume the trajectory
+  /// leaves immediately), and no retry can fix the parameters.
+};
+
+/// Maps run metrics to a classified evaluation failure under `model`, or
+/// nullopt if the run is acceptable. Used by the evaluators below; exposed
+/// for tests and custom adapters.
+[[nodiscard]] std::optional<hm::hypermapper::EvaluationError> classify_run(
+    const RunMetrics& metrics, const SlamFailureModel& model);
 
 /// Device-independent evaluation cache, shareable across evaluators.
 class EvaluationCache {
@@ -93,12 +115,20 @@ class KFusionEvaluator final : public hm::hypermapper::Evaluator {
     return cache_;
   }
 
+  /// Enables failure classification: evaluate() throws EvaluationError for
+  /// runs the model rejects (set before the optimizer starts).
+  void set_failure_model(const SlamFailureModel& model) { failures_ = model; }
+  [[nodiscard]] const SlamFailureModel& failure_model() const {
+    return failures_;
+  }
+
  private:
   hm::hypermapper::DesignSpace space_;
   std::shared_ptr<const hm::dataset::RGBDSequence> sequence_;
   DeviceModel device_;
   AteKind ate_kind_;
   std::shared_ptr<EvaluationCache> cache_;
+  SlamFailureModel failures_;
   std::atomic<std::size_t> evaluations_{0};
 };
 
@@ -155,12 +185,20 @@ class ElasticFusionEvaluator final : public hm::hypermapper::Evaluator {
   [[nodiscard]] const DeviceModel& device() const { return device_; }
   [[nodiscard]] std::size_t evaluation_count() const { return evaluations_; }
 
+  /// Enables failure classification: evaluate() throws EvaluationError for
+  /// runs the model rejects (set before the optimizer starts).
+  void set_failure_model(const SlamFailureModel& model) { failures_ = model; }
+  [[nodiscard]] const SlamFailureModel& failure_model() const {
+    return failures_;
+  }
+
  private:
   hm::hypermapper::DesignSpace space_;
   std::shared_ptr<const hm::dataset::RGBDSequence> sequence_;
   DeviceModel device_;
   AteKind ate_kind_;
   std::shared_ptr<EvaluationCache> cache_;
+  SlamFailureModel failures_;
   std::atomic<std::size_t> evaluations_{0};
 };
 

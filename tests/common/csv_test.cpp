@@ -75,12 +75,37 @@ TEST(Csv, RejectsRaggedRows) {
   EXPECT_EQ(parse_csv("a,b\n1\n"), std::nullopt);
 }
 
+TEST(Csv, RaggedRowErrorCarriesLineNumber) {
+  CsvError error;
+  EXPECT_EQ(parse_csv("a,b\n1,2\n1,2,3\n4,5\n", &error), std::nullopt);
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.message.find("line 3"), std::string::npos);
+  EXPECT_NE(error.message.find("3 columns"), std::string::npos);
+  EXPECT_NE(error.message.find("expected 2"), std::string::npos);
+}
+
+TEST(Csv, RaggedRowLineNumberAccountsForEmbeddedNewlines) {
+  // Row 1 spans lines 2-3 via a quoted newline; the ragged row is line 4.
+  CsvError error;
+  EXPECT_EQ(parse_csv("a,b\n\"x\ny\",2\n1\n", &error), std::nullopt);
+  EXPECT_EQ(error.line, 4u);
+}
+
 TEST(Csv, RejectsUnterminatedQuote) {
   EXPECT_EQ(parse_csv("a\n\"oops\n"), std::nullopt);
 }
 
+TEST(Csv, UnterminatedQuoteErrorCarriesLineNumber) {
+  CsvError error;
+  EXPECT_EQ(parse_csv("a\nfine\n\"oops\n", &error), std::nullopt);
+  EXPECT_EQ(error.line, 3u);
+  EXPECT_NE(error.message.find("unterminated"), std::string::npos);
+}
+
 TEST(Csv, RejectsEmptyInput) {
-  EXPECT_EQ(parse_csv(""), std::nullopt);
+  CsvError error;
+  EXPECT_EQ(parse_csv("", &error), std::nullopt);
+  EXPECT_EQ(error.line, 1u);
 }
 
 TEST(Csv, HeaderOnlyIsValidEmptyTable) {
@@ -100,13 +125,31 @@ TEST(Csv, CellAsDouble) {
   EXPECT_EQ(table.cell_as_double(2, 0), std::optional<double>{1000.0});
 }
 
-TEST(Csv, ColumnAsDoublesUsesZeroForUnparsable) {
+TEST(Csv, ColumnAsNumbersParsesCleanColumn) {
   CsvTable table({"x"});
   table.add_row({"1"});
-  table.add_row({"oops"});
+  table.add_row({"2.5"});
   table.add_row({"3"});
-  const std::vector<double> values = table.column_as_doubles(0);
-  EXPECT_EQ(values, (std::vector<double>{1.0, 0.0, 3.0}));
+  const auto values = table.column_as_numbers(0);
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ(*values, (std::vector<double>{1.0, 2.5, 3.0}));
+}
+
+TEST(Csv, ColumnAsNumbersRejectsNonNumericCellWithLine) {
+  const auto parsed = parse_csv("x\n1\noops\n3\n");
+  ASSERT_TRUE(parsed.has_value());
+  CsvError error;
+  EXPECT_EQ(parsed->column_as_numbers(0, &error), std::nullopt);
+  EXPECT_EQ(error.line, 3u);  // "oops" is on source line 3.
+  EXPECT_NE(error.message.find("oops"), std::string::npos);
+  EXPECT_NE(error.message.find("line 3"), std::string::npos);
+}
+
+TEST(Csv, SourceLinesTrackQuotedNewlines) {
+  const auto parsed = parse_csv("a,b\n\"x\ny\",2\n3,4\n");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->source_line(0), 2u);
+  EXPECT_EQ(parsed->source_line(1), 4u);  // Row 0 consumed lines 2-3.
 }
 
 TEST(Csv, FileRoundTrip) {

@@ -50,6 +50,31 @@ TEST(Stats, QuantileClampsOutOfRangeQ) {
   EXPECT_DOUBLE_EQ(quantile(v, 2.0), 2.0);
 }
 
+TEST(Stats, TrimmedMeanOfKnownValues) {
+  const std::vector<double> v{1, 2, 3, 4, 100};
+  // 10% trim of 5 values drops floor(0.5)=0 per tail: plain mean.
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.1), 22.0);
+  // 20% trim drops 1 per tail: mean of {2,3,4}.
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.2), 3.0);
+}
+
+TEST(Stats, TrimmedMeanResistsOutliers) {
+  std::vector<double> v(20, 2.0);
+  v.push_back(1e6);
+  v.push_back(-1e6);
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.1), 2.0);
+}
+
+TEST(Stats, TrimmedMeanEdgeCases) {
+  EXPECT_DOUBLE_EQ(trimmed_mean({}, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean(std::vector<double>{5.0}, 0.25), 5.0);
+  // Zero trim is the plain mean; an over-large fraction clamps so at least
+  // one value survives.
+  const std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(trimmed_mean(v, 0.9), 2.0);
+}
+
 TEST(Stats, SummarizeKnownValues) {
   const std::vector<double> v{1, 2, 3, 4, 5};
   const Summary s = summarize(v);

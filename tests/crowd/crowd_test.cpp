@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 namespace hm::crowd {
@@ -129,6 +130,111 @@ TEST(Population, CustomSize) {
   PopulationConfig config;
   config.device_count = 10;
   EXPECT_EQ(generate_population(config).size(), 10u);
+}
+
+// --- Flaky-device model (the paper's 2000 installs -> 83 usable funnel) --
+
+TEST(FlakyCrowd, DefaultModelMatchesLegacyBehavior) {
+  const auto devices = generate_population();
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  const CrowdResult clean =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100);
+  const CrowdResult with_default_model = run_crowd_experiment(
+      devices, default_stats, tuned_stats, 100, FlakyDeviceModel{});
+  ASSERT_EQ(clean.devices.size(), with_default_model.devices.size());
+  EXPECT_EQ(clean.dropped_devices, 0u);
+  EXPECT_EQ(clean.noisy_devices, 0u);
+  EXPECT_EQ(clean.usable_devices, devices.size());
+  for (std::size_t i = 0; i < clean.devices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clean.devices[i].speedup,
+                     with_default_model.devices[i].speedup);
+    EXPECT_FALSE(clean.devices[i].noisy);
+  }
+}
+
+TEST(FlakyCrowd, DropoutShrinksUsableSet) {
+  PopulationConfig population;
+  population.device_count = 400;
+  const auto devices = generate_population(population);
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  FlakyDeviceModel flaky;
+  flaky.dropout_rate = 0.4;
+  const CrowdResult result =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100, flaky);
+  EXPECT_GT(result.dropped_devices, 0u);
+  EXPECT_LT(result.usable_devices, devices.size());
+  EXPECT_EQ(result.usable_devices + result.dropped_devices, devices.size());
+  EXPECT_EQ(result.usable_devices, result.devices.size());
+  // Roughly 40% dropout — at least a quarter, at most two thirds.
+  EXPECT_GT(result.dropped_devices, devices.size() / 4);
+  EXPECT_LT(result.dropped_devices, devices.size() * 2 / 3);
+}
+
+TEST(FlakyCrowd, NoisyDevicesCountedAndMeasured) {
+  const auto devices = generate_population();
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  FlakyDeviceModel flaky;
+  flaky.noisy_rate = 0.5;
+  const CrowdResult result =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100, flaky);
+  EXPECT_GT(result.noisy_devices, 0u);
+  EXPECT_LT(result.noisy_devices, devices.size());
+  std::size_t flagged = 0;
+  for (const DeviceSpeedup& entry : result.devices) flagged += entry.noisy;
+  EXPECT_EQ(flagged, result.noisy_devices);
+}
+
+TEST(FlakyCrowd, DeterministicForSeed) {
+  const auto devices = generate_population();
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  FlakyDeviceModel flaky;
+  flaky.dropout_rate = 0.2;
+  flaky.noisy_rate = 0.3;
+  const CrowdResult a =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100, flaky);
+  const CrowdResult b =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100, flaky);
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  EXPECT_EQ(a.dropped_devices, b.dropped_devices);
+  EXPECT_EQ(a.noisy_devices, b.noisy_devices);
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.devices[i].speedup, b.devices[i].speedup);
+  }
+  EXPECT_DOUBLE_EQ(a.trimmed_mean_speedup, b.trimmed_mean_speedup);
+
+  FlakyDeviceModel other = flaky;
+  other.seed = flaky.seed + 1;
+  const CrowdResult c =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100, other);
+  EXPECT_NE(c.devices.size(), 0u);
+  EXPECT_TRUE(c.dropped_devices != a.dropped_devices ||
+              c.devices.size() != a.devices.size() ||
+              c.mean_speedup != a.mean_speedup);
+}
+
+TEST(FlakyCrowd, TrimmedMeanResistsNoiseOutliers) {
+  PopulationConfig population;
+  population.device_count = 200;
+  const auto devices = generate_population(population);
+  const KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  const KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  const CrowdResult clean =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100);
+  FlakyDeviceModel flaky;
+  flaky.noisy_rate = 0.25;
+  flaky.noise_sigma = 1.5;  // Heavy log-normal tails.
+  const CrowdResult noisy =
+      run_crowd_experiment(devices, default_stats, tuned_stats, 100, flaky);
+  // The trimmed mean under noise must land closer to the clean mean than the
+  // raw mean does: that is the whole point of robust aggregation.
+  const double trimmed_bias =
+      std::abs(noisy.trimmed_mean_speedup - clean.mean_speedup);
+  const double raw_bias = std::abs(noisy.mean_speedup - clean.mean_speedup);
+  EXPECT_LT(trimmed_bias, raw_bias);
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+// Failure injection for the ElasticFusion pipeline, symmetric to the
+// KFusion suite: dead sensors, degenerate walls, and salt noise must never
+// crash the pipeline and must never pass as successful tracking.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "dataset/sequence.hpp"
+#include "elasticfusion/pipeline.hpp"
+
+namespace hm::elasticfusion {
+namespace {
+
+std::shared_ptr<const hm::dataset::RGBDSequence> injection_sequence() {
+  static const auto sequence =
+      hm::dataset::make_benchmark_sequence(24, 80, 60, nullptr, true);
+  return sequence;
+}
+
+TEST(EFFailureInjection, BlackoutFrameKeepsPreviousPose) {
+  const auto sequence = injection_sequence();
+  ElasticFusionPipeline pipeline(EFParams::defaults(), sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& frame = sequence->frame(i);
+    (void)pipeline.process_frame(frame.depth, frame.intensity);
+  }
+  const auto pose_before = pipeline.pose();
+  const hm::geometry::DepthImage blackout(80, 60, 0.0f);
+  const hm::geometry::IntensityImage dark(80, 60, 0.0f);
+  const auto result = pipeline.process_frame(blackout, dark);
+  EXPECT_FALSE(result.tracked);  // Must not claim success on nothing.
+  EXPECT_NEAR(hm::geometry::translation_distance(result.pose, pose_before),
+              0.0, 1e-9);
+}
+
+TEST(EFFailureInjection, RecoversAfterShortDropout) {
+  const auto sequence = injection_sequence();
+  ElasticFusionPipeline pipeline(EFParams::defaults(), sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  const hm::geometry::DepthImage blackout(80, 60, 0.0f);
+  const hm::geometry::IntensityImage dark(80, 60, 0.0f);
+  double final_error = 1e9;
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    const bool dropped = i == 8 || i == 9;  // Two dead frames mid-sequence.
+    const auto& frame = sequence->frame(i);
+    const auto result =
+        dropped ? pipeline.process_frame(blackout, dark)
+                : pipeline.process_frame(frame.depth, frame.intensity);
+    final_error = hm::geometry::translation_distance(
+        result.pose, frame.ground_truth_pose);
+  }
+  // Motion across a 2-frame gap is small; tracking must re-lock.
+  EXPECT_LT(final_error, 0.06);
+}
+
+TEST(EFFailureInjection, ConstantDepthFrameDoesNotCrash) {
+  // A featureless wall: degenerate intensity gradients for the RGB term and
+  // a rank-deficient ICP system. Any outcome is fine as long as it
+  // terminates and the map stays finite.
+  const auto sequence = injection_sequence();
+  ElasticFusionPipeline pipeline(EFParams::defaults(), sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  const auto& first = sequence->frame(0);
+  (void)pipeline.process_frame(first.depth, first.intensity);
+  const hm::geometry::DepthImage flat(80, 60, 2.0f);
+  const hm::geometry::IntensityImage gray(80, 60, 0.5f);
+  for (int i = 0; i < 3; ++i) {
+    (void)pipeline.process_frame(flat, gray);
+  }
+  SUCCEED();
+}
+
+TEST(EFFailureInjection, SaltNoiseFrameRejectedByGates) {
+  const auto sequence = injection_sequence();
+  ElasticFusionPipeline pipeline(EFParams::defaults(), sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto& frame = sequence->frame(i);
+    (void)pipeline.process_frame(frame.depth, frame.intensity);
+  }
+  const auto pose_before = pipeline.pose();
+  // Uncorrelated random depth and intensity: valid pixels, garbage geometry.
+  hm::common::Rng rng(3);
+  hm::geometry::DepthImage noise_depth(80, 60, 0.0f);
+  for (float& z : noise_depth) z = static_cast<float>(rng.uniform(0.5, 6.0));
+  hm::geometry::IntensityImage noise_intensity(80, 60, 0.0f);
+  for (float& v : noise_intensity) {
+    v = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  const auto result = pipeline.process_frame(noise_depth, noise_intensity);
+  // The tracker must either reject the frame or stay close to where it was.
+  const double moved =
+      hm::geometry::translation_distance(pipeline.pose(), pose_before);
+  EXPECT_TRUE(!result.tracked || moved < 0.10);
+}
+
+TEST(EFFailureInjection, SustainedGarbageNeverReportsCleanRun) {
+  // Feed garbage for most of the sequence: the run must finish, and the
+  // failure count must reflect that tracking was not continuously healthy.
+  const auto sequence = injection_sequence();
+  ElasticFusionPipeline pipeline(EFParams::defaults(), sequence->intrinsics(),
+                                 sequence->frame(0).ground_truth_pose);
+  const hm::geometry::DepthImage blackout(80, 60, 0.0f);
+  const hm::geometry::IntensityImage dark(80, 60, 0.0f);
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < sequence->frame_count(); ++i) {
+    const auto& frame = sequence->frame(i);
+    const bool garbage = i >= 4;
+    const auto result =
+        garbage ? pipeline.process_frame(blackout, dark)
+                : pipeline.process_frame(frame.depth, frame.intensity);
+    failures += result.tracked ? 0 : 1;
+  }
+  EXPECT_GT(failures, sequence->frame_count() / 2);
+}
+
+}  // namespace
+}  // namespace hm::elasticfusion

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "hypermapper/fault_injection.hpp"
 #include "hypermapper/report.hpp"
 
 namespace hm::hypermapper {
@@ -257,6 +258,198 @@ TEST(Optimizer, SupportsThreeObjectives) {
       }
     }
   }
+}
+
+// --- Fault tolerance (the acceptance scenario of the robustness layer) --
+
+/// Thread-safe variant of the synthetic problem for fault-DSE tests.
+class ThreadSafeSynthetic final : public Evaluator {
+ public:
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+  [[nodiscard]] bool thread_safe() const override { return true; }
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override {
+    const double x = config[0] / 31.0;
+    const double y = config[1] / 31.0;
+    return {x, (1.0 - x) * (1.0 - x) + 0.3 * (y - 0.5) * (y - 0.5)};
+  }
+};
+
+FaultSchedule mixed_faults() {
+  FaultSchedule schedule;
+  // ~10% of configurations misbehave, split across failure classes.
+  schedule.exception_rate = 0.04;
+  schedule.transient_fraction = 0.5;
+  schedule.nan_rate = 0.03;
+  schedule.wrong_arity_rate = 0.01;
+  schedule.slow_rate = 0.02;
+  schedule.slow_seconds = 0.01;
+  return schedule;
+}
+
+OptimizerConfig fault_config() {
+  OptimizerConfig config = small_config();
+  config.resilience.max_attempts = 2;
+  config.resilience.deadline_seconds = 0.004;
+  return config;
+}
+
+TEST(OptimizerFaults, DseCompletesUnderInjectedFailures) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic inner;
+  FaultInjectingEvaluator faulty(inner, mixed_faults());
+  Optimizer optimizer(space, faulty, fault_config());
+  const OptimizationResult result = optimizer.run();
+
+  EXPECT_GT(result.samples.size(), 0u);
+  EXPECT_GT(result.quarantine.size(), 0u) << "schedule injected no faults";
+  EXPECT_FALSE(result.pareto.empty());
+  // Every injected failure class should have been observed at least once
+  // across exception/invalid/timeout (not necessarily each individually).
+  EXPECT_EQ(result.quarantine.size(),
+            result.failure_count(EvaluationStatus::kException) +
+                result.failure_count(EvaluationStatus::kInvalidObjectives) +
+                result.failure_count(EvaluationStatus::kTimeout));
+}
+
+TEST(OptimizerFaults, EachFailedConfigQuarantinedExactlyOnce) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic inner;
+  FaultInjectingEvaluator faulty(inner, mixed_faults());
+  Optimizer optimizer(space, faulty, fault_config());
+  const OptimizationResult result = optimizer.run();
+
+  ASSERT_GT(result.quarantine.size(), 0u);
+  std::unordered_set<std::uint64_t> quarantined;
+  for (const QuarantineRecord& record : result.quarantine) {
+    EXPECT_TRUE(quarantined.insert(record.key).second)
+        << "configuration quarantined twice: "
+        << space.to_string(record.config);
+    EXPECT_FALSE(record.message.empty());
+    EXPECT_GE(record.attempts, 1u);
+  }
+  // Quarantined configs never appear among the successful samples.
+  for (const SampleRecord& sample : result.samples) {
+    EXPECT_EQ(quarantined.count(space.key(sample.config)), 0u)
+        << "failed configuration was re-proposed and evaluated: "
+        << space.to_string(sample.config);
+  }
+}
+
+TEST(OptimizerFaults, BitIdenticalRerunsForFixedSeed) {
+  const DesignSpace space = grid_space();
+  OptimizationResult runs[2];
+  for (int run = 0; run < 2; ++run) {
+    ThreadSafeSynthetic inner;
+    FaultInjectingEvaluator faulty(inner, mixed_faults());
+    Optimizer optimizer(space, faulty, fault_config());
+    runs[run] = optimizer.run();
+  }
+  ASSERT_EQ(runs[0].samples.size(), runs[1].samples.size());
+  for (std::size_t i = 0; i < runs[0].samples.size(); ++i) {
+    EXPECT_EQ(runs[0].samples[i].config, runs[1].samples[i].config);
+    EXPECT_EQ(runs[0].samples[i].objectives, runs[1].samples[i].objectives);
+  }
+  ASSERT_EQ(runs[0].quarantine.size(), runs[1].quarantine.size());
+  for (std::size_t i = 0; i < runs[0].quarantine.size(); ++i) {
+    EXPECT_EQ(runs[0].quarantine[i].key, runs[1].quarantine[i].key);
+    EXPECT_EQ(runs[0].quarantine[i].status, runs[1].quarantine[i].status);
+    EXPECT_EQ(runs[0].quarantine[i].iteration,
+              runs[1].quarantine[i].iteration);
+  }
+  EXPECT_EQ(runs[0].pareto, runs[1].pareto);
+}
+
+TEST(OptimizerFaults, DeterministicUnderParallelEvaluation) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic serial_inner;
+  FaultInjectingEvaluator serial_faulty(serial_inner, mixed_faults());
+  Optimizer serial(space, serial_faulty, fault_config());
+  const OptimizationResult a = serial.run();
+
+  ThreadSafeSynthetic parallel_inner;
+  FaultInjectingEvaluator parallel_faulty(parallel_inner, mixed_faults());
+  hm::common::ThreadPool pool(4);
+  Optimizer threaded(space, parallel_faulty, fault_config(), &pool);
+  const OptimizationResult b = threaded.run();
+
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].config, b.samples[i].config);
+    EXPECT_EQ(a.samples[i].objectives, b.samples[i].objectives);
+  }
+  ASSERT_EQ(a.quarantine.size(), b.quarantine.size());
+  for (std::size_t i = 0; i < a.quarantine.size(); ++i) {
+    EXPECT_EQ(a.quarantine[i].key, b.quarantine[i].key);
+    EXPECT_EQ(a.quarantine[i].status, b.quarantine[i].status);
+  }
+}
+
+TEST(OptimizerFaults, ParetoFrontContainsOnlyFiniteValidatedPoints) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic inner;
+  FaultSchedule schedule = mixed_faults();
+  schedule.nan_rate = 0.15;  // Make NaN corruption common.
+  FaultInjectingEvaluator faulty(inner, schedule);
+  Optimizer optimizer(space, faulty, fault_config());
+  const OptimizationResult result = optimizer.run();
+  ASSERT_GT(faulty.injected_nans(), 0u);
+  for (const SampleRecord& sample : result.samples) {
+    ASSERT_EQ(sample.objectives.size(), 2u);
+    for (const double o : sample.objectives) {
+      EXPECT_TRUE(std::isfinite(o));
+      EXPECT_GE(o, 0.0);
+    }
+  }
+  for (const std::size_t i : result.pareto) {
+    for (const double o : result.samples[i].objectives) {
+      EXPECT_TRUE(std::isfinite(o));
+    }
+  }
+}
+
+TEST(OptimizerFaults, IterationStatsCountFailures) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic inner;
+  FaultInjectingEvaluator faulty(inner, mixed_faults());
+  Optimizer optimizer(space, faulty, fault_config());
+  const OptimizationResult result = optimizer.run();
+  std::size_t failed_total = 0, new_total = 0;
+  for (const IterationStats& stats : result.iterations) {
+    failed_total += stats.failed_samples;
+    new_total += stats.new_samples;
+  }
+  EXPECT_EQ(failed_total, result.quarantine.size());
+  EXPECT_EQ(new_total, result.samples.size());
+}
+
+TEST(OptimizerFaults, TransientFaultsRecoverViaRetry) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic inner;
+  FaultSchedule schedule;
+  schedule.exception_rate = 0.2;
+  schedule.transient_fraction = 1.0;  // Everything recovers on retry.
+  FaultInjectingEvaluator faulty(inner, schedule);
+  OptimizerConfig config = small_config();
+  config.resilience.max_attempts = 2;
+  Optimizer optimizer(space, faulty, config);
+  const OptimizationResult result = optimizer.run();
+  EXPECT_GT(faulty.injected_exceptions(), 0u);
+  EXPECT_TRUE(result.quarantine.empty())
+      << "transient-only faults should all recover on retry";
+}
+
+TEST(OptimizerFaults, QuarantineReportHasRowPerFailure) {
+  const DesignSpace space = grid_space();
+  ThreadSafeSynthetic inner;
+  FaultInjectingEvaluator faulty(inner, mixed_faults());
+  Optimizer optimizer(space, faulty, fault_config());
+  const OptimizationResult result = optimizer.run();
+  ASSERT_GT(result.quarantine.size(), 0u);
+  const hm::common::CsvTable table = quarantine_to_csv(space, result);
+  EXPECT_EQ(table.row_count(), result.quarantine.size());
+  ASSERT_TRUE(table.column("status").has_value());
+  EXPECT_TRUE(table.column("message").has_value());
 }
 
 TEST(Optimizer, WorksWithThreadPoolAndThreadSafeEvaluator) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -242,6 +243,22 @@ TEST(ParetoArchive, IndicesSortedByFirstObjective) {
   archive.insert({1.0, 3.0}, 11);
   archive.insert({2.0, 2.0}, 12);
   EXPECT_EQ(archive.indices(), (std::vector<std::size_t>{11, 12, 10}));
+}
+
+TEST(ParetoArchive, RejectsNonFinitePoints) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  ParetoArchive archive;
+  EXPECT_FALSE(archive.insert({nan, 1.0}, 0));
+  EXPECT_FALSE(archive.insert({1.0, inf}, 1));
+  EXPECT_FALSE(archive.insert({-inf, nan}, 2));
+  EXPECT_EQ(archive.size(), 0u);
+  EXPECT_EQ(archive.rejected(), 3u);
+  // A rejected point must not poison later dominance checks.
+  EXPECT_TRUE(archive.insert({1.0, 1.0}, 3));
+  EXPECT_FALSE(archive.insert({2.0, inf}, 4));
+  EXPECT_EQ(archive.indices(), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(archive.rejected(), 4u);
 }
 
 }  // namespace

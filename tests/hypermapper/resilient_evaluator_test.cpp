@@ -1,0 +1,351 @@
+// The evaluation-supervision layer: every failure mode of an evaluator
+// (exceptions, NaN/Inf objectives, wrong arity, negative runtime, deadline
+// overruns) must become a typed outcome, transient failures must be retried
+// deterministically, and the whole thing must be bit-reproducible.
+#include "hypermapper/resilient_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "hypermapper/fault_injection.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+/// Scriptable evaluator: returns a fixed vector, or throws, per call.
+class ScriptedEvaluator final : public Evaluator {
+ public:
+  explicit ScriptedEvaluator(std::size_t arity = 2) : arity_(arity) {}
+
+  [[nodiscard]] std::size_t objective_count() const override { return arity_; }
+
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override {
+    ++calls_;
+    (void)config;
+    if (throw_transient_remaining_ > 0) {
+      --throw_transient_remaining_;
+      throw EvaluationError("transient hiccup", /*transient=*/true);
+    }
+    if (throw_permanent_) throw EvaluationError("permanent", false);
+    if (throw_plain_) throw std::runtime_error("plain exception");
+    if (sleep_seconds_ > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(sleep_seconds_));
+    }
+    return next_;
+  }
+
+  [[nodiscard]] std::vector<double> evaluate_retry(
+      const Configuration& config, std::uint64_t nonce) override {
+    last_nonce_ = nonce;
+    return evaluate(config);
+  }
+
+  std::size_t arity_;
+  std::vector<double> next_{1.0, 2.0};
+  std::size_t throw_transient_remaining_ = 0;
+  bool throw_permanent_ = false;
+  bool throw_plain_ = false;
+  double sleep_seconds_ = 0.0;
+  std::size_t calls_ = 0;
+  std::uint64_t last_nonce_ = 0;
+};
+
+const Configuration kConfig{3.0, 7.0};
+
+TEST(ValidateObjectives, AcceptsFiniteCorrectArity) {
+  EXPECT_EQ(validate_objectives(std::vector<double>{0.5, 0.0}, 2, true),
+            std::nullopt);
+}
+
+TEST(ValidateObjectives, RejectsWrongArity) {
+  const auto error = validate_objectives(std::vector<double>{1.0}, 2, true);
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->find("arity"), std::string::npos);
+}
+
+TEST(ValidateObjectives, RejectsNonFinite) {
+  EXPECT_TRUE(validate_objectives(
+                  std::vector<double>{std::numeric_limits<double>::quiet_NaN(),
+                                      1.0},
+                  2, true)
+                  .has_value());
+  EXPECT_TRUE(validate_objectives(
+                  std::vector<double>{1.0,
+                                      std::numeric_limits<double>::infinity()},
+                  2, true)
+                  .has_value());
+}
+
+TEST(ValidateObjectives, RejectsNegativeOnlyWhenRequired) {
+  const std::vector<double> negative{-0.5, 1.0};
+  EXPECT_TRUE(validate_objectives(negative, 2, true).has_value());
+  EXPECT_EQ(validate_objectives(negative, 2, false), std::nullopt);
+}
+
+TEST(ConfigHash, DeterministicAndDiscriminating) {
+  EXPECT_EQ(config_hash({1.0, 2.0}), config_hash({1.0, 2.0}));
+  EXPECT_NE(config_hash({1.0, 2.0}), config_hash({2.0, 1.0}));
+  EXPECT_NE(config_hash({1.0}), config_hash({1.0, 0.0}));
+}
+
+TEST(ResilientEvaluator, PassesThroughValidObjectives) {
+  ScriptedEvaluator inner;
+  ResilientEvaluator supervisor(inner);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.objectives, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(supervisor.ok_count(), 1u);
+  EXPECT_EQ(supervisor.failure_count(), 0u);
+}
+
+TEST(ResilientEvaluator, ClassifiesNanAsInvalidObjectives) {
+  ScriptedEvaluator inner;
+  inner.next_ = {std::numeric_limits<double>::quiet_NaN(), 2.0};
+  ResilientEvaluator supervisor(inner);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kInvalidObjectives);
+  EXPECT_TRUE(outcome.objectives.empty());
+  EXPECT_EQ(supervisor.invalid_count(), 1u);
+  // Deterministic misbehavior: no retry for invalid objectives.
+  EXPECT_EQ(outcome.attempts, 1u);
+}
+
+TEST(ResilientEvaluator, ClassifiesWrongArityAsInvalidObjectives) {
+  ScriptedEvaluator inner;
+  inner.next_ = {1.0, 2.0, 3.0};  // Arity 3 from a 2-objective evaluator.
+  ResilientEvaluator supervisor(inner);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kInvalidObjectives);
+  EXPECT_NE(outcome.message.find("arity"), std::string::npos);
+}
+
+TEST(ResilientEvaluator, ClassifiesNegativeRuntimeAsInvalid) {
+  ScriptedEvaluator inner;
+  inner.next_ = {-0.25, 2.0};
+  ResilientEvaluator supervisor(inner);
+  EXPECT_EQ(supervisor.evaluate_outcome(kConfig).status,
+            EvaluationStatus::kInvalidObjectives);
+}
+
+TEST(ResilientEvaluator, RetriesTransientExceptionWithNonce) {
+  ScriptedEvaluator inner;
+  inner.throw_transient_remaining_ = 2;
+  ResiliencePolicy policy;
+  policy.max_attempts = 3;
+  ResilientEvaluator supervisor(inner, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(supervisor.retry_count(), 2u);
+  EXPECT_NE(inner.last_nonce_, 0u);  // Seed perturbation reached the inner.
+}
+
+TEST(ResilientEvaluator, RetryNonceIsDeterministic) {
+  std::uint64_t nonces[2];
+  for (int run = 0; run < 2; ++run) {
+    ScriptedEvaluator inner;
+    inner.throw_transient_remaining_ = 1;
+    ResilientEvaluator supervisor(inner);
+    ASSERT_TRUE(supervisor.evaluate_outcome(kConfig).ok());
+    nonces[run] = inner.last_nonce_;
+  }
+  EXPECT_EQ(nonces[0], nonces[1]);
+}
+
+TEST(ResilientEvaluator, TransientFailureExhaustsAttempts) {
+  ScriptedEvaluator inner;
+  inner.throw_transient_remaining_ = 100;
+  ResiliencePolicy policy;
+  policy.max_attempts = 3;
+  ResilientEvaluator supervisor(inner, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kException);
+  EXPECT_EQ(outcome.attempts, 3u);
+  EXPECT_EQ(inner.calls_, 3u);
+}
+
+TEST(ResilientEvaluator, PermanentExceptionNotRetried) {
+  ScriptedEvaluator inner;
+  inner.throw_permanent_ = true;
+  ResiliencePolicy policy;
+  policy.max_attempts = 5;
+  ResilientEvaluator supervisor(inner, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kException);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_EQ(inner.calls_, 1u);
+}
+
+TEST(ResilientEvaluator, PlainExceptionIsPermanent) {
+  ScriptedEvaluator inner;
+  inner.throw_plain_ = true;
+  ResiliencePolicy policy;
+  policy.max_attempts = 4;
+  ResilientEvaluator supervisor(inner, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kException);
+  EXPECT_EQ(outcome.attempts, 1u);
+  EXPECT_NE(outcome.message.find("plain exception"), std::string::npos);
+}
+
+TEST(ResilientEvaluator, DeadlineOverrunBecomesTimeout) {
+  ScriptedEvaluator inner;
+  inner.sleep_seconds_ = 0.05;
+  ResiliencePolicy policy;
+  policy.deadline_seconds = 0.005;
+  ResilientEvaluator supervisor(inner, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kTimeout);
+  EXPECT_EQ(supervisor.timeout_count(), 1u);
+  EXPECT_EQ(outcome.attempts, 1u);  // retry_timeouts defaults to false.
+}
+
+TEST(ResilientEvaluator, TimeoutRetriedWhenPolicyAllows) {
+  ScriptedEvaluator inner;
+  inner.sleep_seconds_ = 0.05;
+  ResiliencePolicy policy;
+  policy.deadline_seconds = 0.005;
+  policy.retry_timeouts = true;
+  policy.max_attempts = 2;
+  ResilientEvaluator supervisor(inner, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  EXPECT_EQ(outcome.status, EvaluationStatus::kTimeout);
+  EXPECT_EQ(outcome.attempts, 2u);
+}
+
+TEST(ResilientEvaluator, EvaluateInterfaceThrowsOnFailure) {
+  ScriptedEvaluator inner;
+  inner.throw_permanent_ = true;
+  ResilientEvaluator supervisor(inner);
+  EXPECT_THROW((void)supervisor.evaluate(kConfig), EvaluationError);
+}
+
+TEST(StatusToString, CoversAllClasses) {
+  EXPECT_STREQ(to_string(EvaluationStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(EvaluationStatus::kInvalidObjectives),
+               "invalid_objectives");
+  EXPECT_STREQ(to_string(EvaluationStatus::kException), "exception");
+  EXPECT_STREQ(to_string(EvaluationStatus::kTimeout), "timeout");
+}
+
+// --- FaultInjectingEvaluator -------------------------------------------
+
+class ConstantEvaluator final : public Evaluator {
+ public:
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override {
+    return {config[0], config[1]};
+  }
+  [[nodiscard]] bool thread_safe() const override { return true; }
+};
+
+TEST(FaultInjection, ThrowOnNthCall) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.throw_on_calls = {2};
+  FaultInjectingEvaluator faulty(inner, schedule);
+  EXPECT_NO_THROW((void)faulty.evaluate(kConfig));
+  EXPECT_THROW((void)faulty.evaluate(kConfig), EvaluationError);
+  EXPECT_NO_THROW((void)faulty.evaluate(kConfig));
+  EXPECT_EQ(faulty.injected_exceptions(), 1u);
+}
+
+TEST(FaultInjection, ScheduleIsPerConfigurationAndDeterministic) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.nan_rate = 0.3;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  // The same configuration always gets the same fate.
+  for (double x = 0.0; x < 16.0; x += 1.0) {
+    const Configuration config{x, 1.0};
+    const bool first = faulty.faulty(config);
+    for (int repeat = 0; repeat < 3; ++repeat) {
+      EXPECT_EQ(faulty.faulty(config), first);
+    }
+  }
+}
+
+TEST(FaultInjection, RatesSelectSomeButNotAllConfigs) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.nan_rate = 0.25;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  std::size_t hit = 0;
+  const std::size_t total = 200;
+  for (std::size_t i = 0; i < total; ++i) {
+    hit += faulty.faulty({static_cast<double>(i), 0.0}) ? 1 : 0;
+  }
+  EXPECT_GT(hit, total / 8);      // Roughly a quarter...
+  EXPECT_LT(hit, total / 2);      // ...not everything.
+}
+
+TEST(FaultInjection, NanFaultCorruptsOneObjective) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.nan_rate = 1.0;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  const std::vector<double> objectives = faulty.evaluate(kConfig);
+  ASSERT_EQ(objectives.size(), 2u);
+  EXPECT_TRUE(std::isnan(objectives[0]) || std::isnan(objectives[1]));
+}
+
+TEST(FaultInjection, WrongArityFaultChangesSize) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.wrong_arity_rate = 1.0;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  EXPECT_EQ(faulty.evaluate(kConfig).size(), 3u);
+}
+
+TEST(FaultInjection, TransientExceptionRecoversOnRetry) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.exception_rate = 1.0;
+  schedule.transient_fraction = 1.0;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  EXPECT_THROW((void)faulty.evaluate(kConfig), EvaluationError);
+  EXPECT_NO_THROW((void)faulty.evaluate_retry(kConfig, 42));
+
+  // And through the supervision layer: retry succeeds automatically.
+  ResiliencePolicy policy;
+  policy.max_attempts = 2;
+  ResilientEvaluator supervisor(faulty, policy);
+  const EvaluationOutcome outcome = supervisor.evaluate_outcome(kConfig);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.attempts, 2u);
+}
+
+TEST(FaultInjection, PermanentExceptionPersistsOnRetry) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.exception_rate = 1.0;
+  schedule.transient_fraction = 0.0;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  EXPECT_THROW((void)faulty.evaluate(kConfig), EvaluationError);
+  EXPECT_THROW((void)faulty.evaluate_retry(kConfig, 42), EvaluationError);
+}
+
+TEST(FaultInjection, SlowFaultTriggersSupervisorTimeout) {
+  ConstantEvaluator inner;
+  FaultSchedule schedule;
+  schedule.slow_rate = 1.0;
+  schedule.slow_seconds = 0.05;
+  FaultInjectingEvaluator faulty(inner, schedule);
+  ResiliencePolicy policy;
+  policy.deadline_seconds = 0.005;
+  ResilientEvaluator supervisor(faulty, policy);
+  EXPECT_EQ(supervisor.evaluate_outcome(kConfig).status,
+            EvaluationStatus::kTimeout);
+  EXPECT_EQ(faulty.injected_slow(), 1u);
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
+#include <string>
 
 #include "common/rng.hpp"
 
@@ -55,6 +57,53 @@ TEST(Spaces, DefaultsLieOnTheGrid) {
   EXPECT_TRUE(ef_params.relocalisation);
   EXPECT_FALSE(ef_params.fast_odometry);
   EXPECT_FALSE(ef_params.frame_to_frame_rgb);
+}
+
+TEST(FailureModel, DisabledModelAcceptsEverything) {
+  RunMetrics metrics;
+  metrics.ate.mean = std::numeric_limits<double>::quiet_NaN();
+  metrics.ate.max = std::numeric_limits<double>::quiet_NaN();
+  metrics.frames = 10;
+  metrics.tracking_failures = 10;
+  EXPECT_EQ(classify_run(metrics, SlamFailureModel{}), std::nullopt);
+}
+
+TEST(FailureModel, NonFiniteAteIsPermanentFailure) {
+  SlamFailureModel model;
+  model.enabled = true;
+  RunMetrics metrics;
+  metrics.frames = 10;
+  metrics.ate.mean = std::numeric_limits<double>::quiet_NaN();
+  metrics.ate.max = 0.1;
+  const auto failure = classify_run(metrics, model);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_FALSE(failure->transient());
+}
+
+TEST(FailureModel, ExcessiveTrackingLossIsTransientFailure) {
+  SlamFailureModel model;
+  model.enabled = true;
+  model.max_tracking_failure_fraction = 0.5;
+  RunMetrics metrics;
+  metrics.frames = 10;
+  metrics.ate.mean = 0.05;
+  metrics.ate.max = 0.1;
+  metrics.tracking_failures = 6;
+  const auto failure = classify_run(metrics, model);
+  ASSERT_TRUE(failure.has_value());
+  EXPECT_TRUE(failure->transient());
+  EXPECT_NE(std::string(failure->what()).find("tracking"), std::string::npos);
+}
+
+TEST(FailureModel, HealthyRunPasses) {
+  SlamFailureModel model;
+  model.enabled = true;
+  RunMetrics metrics;
+  metrics.frames = 10;
+  metrics.ate.mean = 0.05;
+  metrics.ate.max = 0.1;
+  metrics.tracking_failures = 2;
+  EXPECT_EQ(classify_run(metrics, model), std::nullopt);
 }
 
 TEST(Spaces, KFusionConfigRoundTrip) {
