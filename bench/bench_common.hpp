@@ -7,6 +7,8 @@
 // next to the measured one.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>

@@ -115,6 +115,7 @@ int main(int argc, char** argv) {
       "configs x inner kernel loops)");
 
   const std::size_t hardware =
+      // hm-lint: allow(no-raw-thread) queries hardware_concurrency only; no thread is created
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   std::vector<std::size_t> thread_counts{1, 2, 4, hardware};
   std::sort(thread_counts.begin(), thread_counts.end());

@@ -1,0 +1,34 @@
+# Shared helpers for the scripts/ jobs. Source, don't execute:
+#   source "$(dirname "$0")/common.sh"
+# Provides:
+#   hm_repo_root            — prints the repository root (the scripts/ parent)
+#   hm_configure_build DIR [CMAKE_ARGS...]
+#                           — configure + build DIR with the repo defaults
+#                             (RelWithDebInfo, -j nproc); extra args go to the
+#                             configure step. HM_BUILD_TARGETS, when set, is a
+#                             space-separated target list to build instead of
+#                             everything.
+#   hm_ctest DIR [CTEST_ARGS...]
+#                           — ctest in DIR with --output-on-failure -j nproc
+
+hm_repo_root() {
+  cd "$(dirname "${BASH_SOURCE[1]}")/.." && pwd
+}
+
+hm_configure_build() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  if [[ -n "${HM_BUILD_TARGETS:-}" ]]; then
+    # shellcheck disable=SC2086  # intentional word splitting of target list
+    cmake --build "$build_dir" -j "$(nproc)" --target ${HM_BUILD_TARGETS}
+  else
+    cmake --build "$build_dir" -j "$(nproc)"
+  fi
+}
+
+hm_ctest() {
+  local build_dir="$1"
+  shift
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+}

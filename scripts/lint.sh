@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Static-analysis job: builds the project-native linter (tools/hm_lint) and
+# runs the "lint" ctest label — the hm_lint_self scan of src/ bench/
+# examples/ tests/ tools/ plus the linter's own fixture tests. Exits nonzero
+# on any unsuppressed diagnostic or unused suppression.
+#
+# With HM_CLANG_TIDY=1 (and clang-tidy on PATH) it additionally reconfigures
+# a dedicated build tree with the CMake clang-tidy hook enabled, so the
+# checked-in .clang-tidy checks (bugprone-*, concurrency-*, performance-*)
+# run over every translation unit as it compiles.
+set -euo pipefail
+source "$(dirname "$0")/common.sh"
+cd "$(hm_repo_root)"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+HM_BUILD_TARGETS="hm_lint lint_test" hm_configure_build "$BUILD_DIR"
+hm_ctest "$BUILD_DIR" -L lint
+
+if [[ "${HM_CLANG_TIDY:-0}" != "0" ]]; then
+  if command -v clang-tidy >/dev/null 2>&1; then
+    TIDY_DIR="build-tidy"
+    HM_BUILD_TARGETS="" hm_configure_build "$TIDY_DIR" -DHM_CLANG_TIDY=ON
+  else
+    echo "lint.sh: HM_CLANG_TIDY set but clang-tidy not found; skipping" >&2
+  fi
+fi

@@ -7,18 +7,16 @@
 # Run locally before touching the resilient evaluator, quarantine logic, or
 # the SLAM failure gates.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/common.sh"
+cd "$(hm_repo_root)"
 
-FAULT_TARGETS=(resilient_evaluator_test optimizer_test crowd_test
-  failure_injection_test ef_failure_injection_test)
+export HM_BUILD_TARGETS="resilient_evaluator_test optimizer_test crowd_test
+  failure_injection_test ef_failure_injection_test"
 
 for SAN in address undefined; do
   BUILD_DIR="build-${SAN}"
-  cmake -B "$BUILD_DIR" -S . \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DHM_SANITIZE="$SAN"
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${FAULT_TARGETS[@]}"
+  hm_configure_build "$BUILD_DIR" -DHM_SANITIZE="$SAN"
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-    ctest --test-dir "$BUILD_DIR" -L fault --output-on-failure -j "$(nproc)"
+    hm_ctest "$BUILD_DIR" -L fault
 done

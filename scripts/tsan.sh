@@ -4,14 +4,12 @@
 # labeled "tsan" in tests/CMakeLists.txt). Intended as the CI race-check gate;
 # run locally before touching src/common/thread_pool.* or any parallel kernel.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+source "$(dirname "$0")/common.sh"
+cd "$(hm_repo_root)"
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
-cmake -B "$BUILD_DIR" -S . \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHM_SANITIZE=thread
-cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target thread_pool_test harness_test optimizer_test
+HM_BUILD_TARGETS="thread_pool_test harness_test optimizer_test" \
+  hm_configure_build "$BUILD_DIR" -DHM_SANITIZE=thread
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j "$(nproc)"
+  hm_ctest "$BUILD_DIR" -L tsan

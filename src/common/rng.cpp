@@ -24,6 +24,7 @@ double Rng::normal() noexcept {
     u = uniform(-1.0, 1.0);
     v = uniform(-1.0, 1.0);
     s = u * u + v * v;
+  // hm-lint: allow(no-float-equality) exact rejection of the degenerate polar sample
   } while (s >= 1.0 || s == 0.0);
   const double factor = std::sqrt(-2.0 * std::log(s) / s);
   spare_normal_ = v * factor;

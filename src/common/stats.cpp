@@ -74,6 +74,7 @@ double pearson(std::span<const double> x, std::span<const double> y) {
     sxx += dx * dx;
     syy += dy * dy;
   }
+  // hm-lint: allow(no-float-equality) exact zero guards the constant-input division
   if (sxx == 0.0 || syy == 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }
@@ -114,6 +115,7 @@ double r_squared(std::span<const double> truth, std::span<const double> predicte
     ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
     ss_tot += (truth[i] - m) * (truth[i] - m);
   }
+  // hm-lint: allow(no-float-equality) exact zero guards the degenerate R^2 case
   if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
   return 1.0 - ss_res / ss_tot;
 }

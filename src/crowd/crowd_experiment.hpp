@@ -7,6 +7,7 @@
 // unreliable ones, and the aggregates are robust to both.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -6,6 +6,7 @@
 // distribution of speedups, as in Fig. 5.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -5,7 +5,9 @@
 // truth to measure reconstruction against.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "geometry/vec.hpp"

@@ -5,6 +5,7 @@
 // the fraction of agreeing fern codes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

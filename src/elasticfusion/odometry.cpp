@@ -70,6 +70,7 @@ Mat3d so3_prealign(const PyramidLevel& current_coarse,
     for (int v = 0; v < current_coarse.vertices.height(); ++v) {
       for (int u = 0; u < current_coarse.vertices.width(); ++u) {
         const Vec3f vertex = current_coarse.vertices.at(u, v);
+        // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
         if (vertex == Vec3f{}) continue;
         ++ops;
         // Current-camera point rotated into the previous camera.
@@ -140,6 +141,7 @@ JointReduction reduce_joint(const PyramidLevel& level,
   for (int v = 0; v < level.vertices.height(); ++v) {
     for (int u = 0; u < level.vertices.width(); ++u) {
       const Vec3f vertex = level.vertices.at(u, v);
+      // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
       if (vertex == Vec3f{}) continue;
       const Vec3d p_world = pose * hm::geometry::to_double(vertex);
       const Vec3d p_ref = world_to_reference * p_world;
@@ -151,10 +153,12 @@ JointReduction reduce_joint(const PyramidLevel& level,
 
       // --- Geometric (ICP) term against the projected model. ---
       const Vec3f normal = level.normals.at(u, v);
+      // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
       if (normal != Vec3f{}) {
         ++out.icp_tested;
         const Vec3f ref_vertex = model.vertices.at(ru, rv);
         const Vec3f ref_normal = model.normals.at(ru, rv);
+        // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
         if (ref_vertex != Vec3f{} && ref_normal != Vec3f{}) {
           const Vec3d v_ref = hm::geometry::to_double(ref_vertex);
           const Vec3d n_ref = hm::geometry::to_double(ref_normal);

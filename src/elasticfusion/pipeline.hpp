@@ -4,6 +4,8 @@
 // controlled by one of the eight explored parameters.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -31,8 +33,9 @@ class ElasticFusionPipeline {
   };
 
   /// Processes the next RGB-D frame (depth in meters, intensity in [0,1]).
-  FrameResult process_frame(const hm::geometry::DepthImage& depth,
-                            const hm::geometry::IntensityImage& intensity);
+  [[nodiscard]] FrameResult process_frame(
+      const hm::geometry::DepthImage& depth,
+      const hm::geometry::IntensityImage& intensity);
 
   [[nodiscard]] const SE3& pose() const noexcept { return pose_; }
   [[nodiscard]] const SurfelMap& map() const noexcept { return map_; }

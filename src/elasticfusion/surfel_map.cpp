@@ -46,6 +46,7 @@ void SurfelMap::fuse(const hm::geometry::VertexMap& vertices,
     for (int u = 0; u < vertices.width(); ++u) {
       const Vec3f vertex = vertices.at(u, v);
       const Vec3f normal = normals.at(u, v);
+      // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
       if (vertex == Vec3f{} || normal == Vec3f{}) continue;
 
       const Vec3f p_world = hm::geometry::to_float(

@@ -4,6 +4,7 @@
 // model used for tracking and loop closure.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -103,6 +104,11 @@ class SurfelMap {
 
   double cell_size_;
   std::vector<Surfel> surfels_;
+  // Spatial hash: cell -> surfel indices. Unordered by design and only
+  // ever *looked up* (association, rebuild after transform/prune) — no
+  // export may iterate it. Exports (to_ply) walk the insertion-ordered
+  // `surfels_` vector, which keeps PLY output byte-stable across reruns;
+  // hm-lint's no-unordered-output-iteration rule guards this invariant.
   std::unordered_map<CellKey, std::vector<std::uint32_t>> grid_;
 };
 

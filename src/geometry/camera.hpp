@@ -3,6 +3,7 @@
 // addresses column u, row v; projection uses the pixel-center offset.
 #pragma once
 
+#include <cstddef>
 #include <optional>
 
 #include "geometry/vec.hpp"

@@ -285,6 +285,7 @@ void Optimizer::run_active_learning(OptimizationResult& result,
       const SampleRecord& record = result.samples[i];
       for (std::size_t o = 0; o < n_objectives; ++o) {
         const double measured = record.objectives[o];
+        // hm-lint: allow(no-float-equality) exact zero guards the relative-error divisor
         if (measured != 0.0) {
           stats.prediction_error[o] +=
               std::abs(record.predicted[o] - measured) / std::abs(measured);

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"

@@ -140,6 +140,7 @@ std::string Parameter::to_string(double value) const {
     const auto index = static_cast<std::size_t>(value);
     if (index < labels_.size()) return labels_[index];
   }
+  // hm-lint: allow(no-float-equality) booleans are stored as exact 0.0/1.0
   if (kind_ == ParameterKind::kBoolean) return value != 0.0 ? "1" : "0";
   return hm::common::format_double(value);
 }

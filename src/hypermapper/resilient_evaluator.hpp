@@ -14,6 +14,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "hypermapper/evaluator.hpp"
 #include "hypermapper/pareto.hpp"

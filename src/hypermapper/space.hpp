@@ -3,10 +3,12 @@
 // distinct uniform sampling, and feature encoding for the surrogate models.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"

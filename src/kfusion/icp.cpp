@@ -46,6 +46,7 @@ Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference
       for (int u = 0; u < level.vertices.width(); ++u) {
         const Vec3f vertex = level.vertices.at(u, static_cast<int>(v));
         const Vec3f normal = level.normals.at(u, static_cast<int>(v));
+        // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
         if (vertex == Vec3f{} || normal == Vec3f{}) continue;
         ++local.tested;
 
@@ -60,6 +61,7 @@ Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference
 
         const Vec3f ref_vertex = reference.vertices.at(ru, rv);
         const Vec3f ref_normal = reference.normals.at(ru, rv);
+        // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
         if (ref_vertex == Vec3f{} || ref_normal == Vec3f{}) continue;
 
         const Vec3d v_ref = hm::geometry::to_double(ref_vertex);

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "common/thread_pool.hpp"
 #include "geometry/camera.hpp"

@@ -43,6 +43,7 @@ struct Corner {
 /// Linear interpolation of the zero crossing on a tetrahedron edge.
 Vec3f zero_crossing(const Corner& a, const Corner& b) {
   const float denom = a.value - b.value;
+  // hm-lint: allow(no-float-equality) exact zero guards the interpolation divisor
   const float t = denom == 0.0f ? 0.5f : a.value / denom;
   return a.position + (b.position - a.position) * std::clamp(t, 0.0f, 1.0f);
 }

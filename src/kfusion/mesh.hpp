@@ -9,6 +9,8 @@
 // 256-entry case tables.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -2,6 +2,7 @@
 // raycast, wired to the seven algorithmic parameters of the design space.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 
@@ -36,7 +37,7 @@ class KFusionPipeline {
   };
 
   /// Processes the next depth frame (raw sensor resolution).
-  FrameResult process_frame(const hm::geometry::DepthImage& raw_depth);
+  [[nodiscard]] FrameResult process_frame(const hm::geometry::DepthImage& raw_depth);
 
   [[nodiscard]] const SE3& pose() const noexcept { return pose_; }
   [[nodiscard]] const TsdfVolume& volume() const noexcept { return *volume_; }

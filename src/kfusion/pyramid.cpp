@@ -28,7 +28,9 @@ NormalMap vertices_to_normals(const VertexMap& vertices, KernelStats& stats) {
       const Vec3f right = vertices.at(u + 1, v);
       const Vec3f up = vertices.at(u, v - 1);
       const Vec3f down = vertices.at(u, v + 1);
+      // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
       if (center == Vec3f{} || left == Vec3f{} || right == Vec3f{} ||
+          // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
           up == Vec3f{} || down == Vec3f{}) {
         continue;
       }

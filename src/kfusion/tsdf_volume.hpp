@@ -3,6 +3,7 @@
 // signed distance (normalized to [-1, 1] by mu) and an integration weight.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

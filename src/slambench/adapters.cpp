@@ -1,5 +1,6 @@
 #include "slambench/adapters.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <string>
@@ -126,11 +127,16 @@ hm::elasticfusion::EFParams ef_params_from_config(const DesignSpace& space,
   params.icp_rgb_weight = value_of(space, config, "icp_rgb_weight");
   params.depth_cutoff = value_of(space, config, "depth_cutoff");
   params.confidence_threshold = value_of(space, config, "confidence_threshold");
+  // hm-lint: allow(no-float-equality) snapped boolean values are exact 0.0/1.0
   params.so3_prealign = value_of(space, config, "so3_prealign") != 0.0;
+  // hm-lint: allow(no-float-equality) snapped boolean values are exact 0.0/1.0
   params.open_loop = value_of(space, config, "open_loop") != 0.0;
+  // hm-lint: allow(no-float-equality) snapped boolean values are exact 0.0/1.0
   params.relocalisation = value_of(space, config, "relocalisation") != 0.0;
+  // hm-lint: allow(no-float-equality) snapped boolean values are exact 0.0/1.0
   params.fast_odometry = value_of(space, config, "fast_odometry") != 0.0;
   params.frame_to_frame_rgb =
+      // hm-lint: allow(no-float-equality) snapped boolean values are exact 0.0/1.0
       value_of(space, config, "frame_to_frame_rgb") != 0.0;
   return params;
 }
@@ -160,6 +166,37 @@ bool EvaluationCache::lookup(std::uint64_t key, RunMetrics& out) const {
   ++hits_;
   out = it->second;
   return true;
+}
+
+std::vector<std::pair<std::uint64_t, RunMetrics>>
+EvaluationCache::snapshot_sorted() const {
+  const std::lock_guard lock(mutex_);
+  std::vector<std::pair<std::uint64_t, RunMetrics>> entries;
+  entries.reserve(entries_.size());
+  // hm-lint: allow(no-unordered-output-iteration) collected then sorted; no export sees map order
+  for (const auto& [key, metrics] : entries_) {
+    entries.emplace_back(key, metrics);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+hm::common::CsvTable cache_to_csv(const EvaluationCache& cache) {
+  hm::common::CsvTable table({"config_key", "frames", "ate_mean", "ate_max",
+                              "ate_rmse", "tracking_failures",
+                              "relocalizations", "loop_closures", "total_ops"});
+  for (const auto& [key, metrics] : cache.snapshot_sorted()) {
+    table.add_row({std::to_string(key), std::to_string(metrics.frames),
+                   hm::common::format_double(metrics.ate.mean),
+                   hm::common::format_double(metrics.ate.max),
+                   hm::common::format_double(metrics.ate.rmse),
+                   std::to_string(metrics.tracking_failures),
+                   std::to_string(metrics.relocalizations),
+                   std::to_string(metrics.loop_closures),
+                   std::to_string(metrics.stats.total())});
+  }
+  return table;
 }
 
 void EvaluationCache::store(std::uint64_t key, const RunMetrics& metrics) {

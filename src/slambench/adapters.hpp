@@ -8,13 +8,17 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/csv.hpp"
 #include "dataset/sequence.hpp"
 #include "elasticfusion/params.hpp"
 #include "hypermapper/evaluator.hpp"
@@ -83,12 +87,25 @@ class EvaluationCache {
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }
 
+  /// Snapshot of the cache contents in ascending key order. The backing
+  /// map is unordered, so this sorted view is the only sanctioned way to
+  /// iterate entries for CSV/report export — exports must be byte-stable
+  /// across reruns (enforced by hm-lint's no-unordered-output-iteration).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, RunMetrics>>
+  snapshot_sorted() const;
+
  private:
   mutable std::mutex mutex_;
   std::unordered_map<std::uint64_t, RunMetrics> entries_;
   mutable std::size_t hits_ = 0;
   mutable std::size_t misses_ = 0;
 };
+
+/// Serializes a cache snapshot as CSV, rows in ascending key order:
+/// config_key, frames, ate_mean/max/rmse, tracking_failures,
+/// relocalizations, loop_closures, total_ops. Deterministic for a given
+/// set of evaluations regardless of insertion or thread order.
+[[nodiscard]] hm::common::CsvTable cache_to_csv(const EvaluationCache& cache);
 
 /// Objectives returned by both evaluators: [0] = runtime per frame (s) on
 /// the evaluator's device, [1] = ATE (m). Both minimized.

@@ -3,6 +3,7 @@
 // optional Umeyama rigid alignment for trajectories with free gauge.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "geometry/se3.hpp"

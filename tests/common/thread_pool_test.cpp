@@ -127,6 +127,7 @@ TEST(ThreadPool, NestedParallelForRunsOnMultipleThreads) {
   // from inside a worker (depth 2) must execute on more than one thread.
   ThreadPool pool(4);
   std::mutex mutex;
+  // hm-lint: allow(no-raw-thread) thread ids observed, no thread created
   std::set<std::thread::id> inner_ids;
   std::atomic<std::size_t> distinct{0};
   const auto deadline =
@@ -229,6 +230,7 @@ TEST(ThreadPool, ConcurrentSubmitFromManyThreads) {
   constexpr int kThreads = 8;
   constexpr int kTasksPerThread = 200;
   std::atomic<int> counter{0};
+  // hm-lint: allow(no-raw-thread) external threads are the scenario under test
   std::vector<std::thread> submitters;
   submitters.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
@@ -249,6 +251,7 @@ TEST(ThreadPool, ConcurrentParallelForFromManyExternalThreads) {
   ThreadPool pool(4);
   constexpr int kThreads = 6;
   std::atomic<long long> total{0};
+  // hm-lint: allow(no-raw-thread) external threads are the scenario under test
   std::vector<std::thread> callers;
   callers.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {

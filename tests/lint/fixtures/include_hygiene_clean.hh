@@ -1,0 +1,10 @@
+// Fixture: header includes what it uses — include-hygiene stays quiet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+struct Record {
+  std::string name;
+  std::vector<int> values;
+};

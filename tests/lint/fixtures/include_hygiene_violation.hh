@@ -1,0 +1,10 @@
+// Fixture: header uses std::vector without including <vector> — must trip
+// include-hygiene.
+#pragma once
+
+#include <string>
+
+struct Record {
+  std::string name;
+  std::vector<int> values;
+};

@@ -1,0 +1,4 @@
+// Fixture: epsilon comparison — no-float-equality stays quiet.
+#include <cmath>
+
+bool at_origin(double x) { return std::fabs(x) < 1e-12; }

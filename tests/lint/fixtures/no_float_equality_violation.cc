@@ -1,0 +1,2 @@
+// Fixture: exact float comparison — must trip no-float-equality.
+bool at_origin(double x) { return x == 0.0; }

@@ -1,0 +1,13 @@
+// Fixture: deterministic seed derivation, and a wall clock used for
+// timing (not seeding) — no-nondet-seed stays quiet.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t deterministic_seed(std::uint64_t config_hash) {
+  return 0x9e3779b97f4a7c15ULL ^ config_hash;
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point start) {
+  const auto finish = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(finish - start).count();
+}

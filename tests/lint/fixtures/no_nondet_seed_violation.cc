@@ -1,0 +1,15 @@
+// Fixture: wall clock and hardware entropy feed seeds — must trip
+// no-nondet-seed twice.
+#include <chrono>
+#include <random>
+
+unsigned nondeterministic_seed() {
+  const auto seed = static_cast<unsigned>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return seed;
+}
+
+unsigned entropy_seed() {
+  std::random_device device;
+  return device();
+}

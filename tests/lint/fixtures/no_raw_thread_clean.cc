@@ -1,0 +1,6 @@
+// Fixture: parallelism through the sanctioned substrate — no-raw-thread quiet.
+#include "common/thread_pool.hpp"
+
+void spawn() {
+  hm::common::ThreadPool::global().parallel_for(0, 8, [](std::size_t) {});
+}

@@ -1,0 +1,7 @@
+// Fixture: spawns a raw std::thread — must trip no-raw-thread.
+#include <thread>
+
+void spawn() {
+  std::thread worker([] {});
+  worker.join();
+}

@@ -1,0 +1,17 @@
+// Fixture: same export through a sorted view — rule stays quiet.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+void export_counts(const std::unordered_map<std::uint64_t, double>& values,
+                   std::ofstream& out) {
+  std::vector<std::pair<std::uint64_t, double>> sorted(values.begin(),
+                                                       values.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [key, value] : sorted) {
+    out << key << "," << value << "\n";
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: CSV rows produced in unordered_map iteration order — must trip
+// no-unordered-output-iteration.
+#include <cstdint>
+#include <fstream>
+#include <unordered_map>
+
+void export_counts(const std::unordered_map<std::uint64_t, double>& values,
+                   std::ofstream& out) {
+  for (const auto& [key, value] : values) {
+    out << key << "," << value << "\n";
+  }
+}

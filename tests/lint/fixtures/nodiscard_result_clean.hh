@@ -1,0 +1,8 @@
+// Fixture: the same declaration carrying [[nodiscard]] — rule quiet.
+#pragma once
+
+struct ParseResult {
+  bool ok = false;
+};
+
+[[nodiscard]] ParseResult parse_header(const char* text);

@@ -1,0 +1,9 @@
+// Fixture: value-returning Result-family function without [[nodiscard]] —
+// must trip nodiscard-result.
+#pragma once
+
+struct ParseResult {
+  bool ok = false;
+};
+
+ParseResult parse_header(const char* text);

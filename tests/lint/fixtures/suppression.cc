@@ -1,0 +1,9 @@
+// Fixture: a would-be violation silenced by a line suppression; the file
+// must lint clean with no unused-suppression follow-up.
+bool exact_match(double x) {
+  // hm-lint: allow(no-float-equality) the exact sentinel is this fixture's point
+  return x == 1.0;
+}
+
+// hm-lint: allow(no-float-equality) same-line form
+bool exact_zero(double x) { return x == 0.0; }  // hm-lint: allow(no-float-equality) trailing form

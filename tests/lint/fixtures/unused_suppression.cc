@@ -1,0 +1,6 @@
+// Fixture: a suppression that matches nothing — must produce exactly one
+// unused-suppression diagnostic.
+double halve(double x) {
+  // hm-lint: allow(no-float-equality) nothing below violates the rule
+  return x * 0.5;
+}

@@ -1,0 +1,227 @@
+// Tests for the hm_lint static-analysis tool: each rule has a firing and a
+// quiet fixture (stored as .cc/.hh so the self-lint walk ignores them; they
+// are linted here under synthetic .cpp/.hpp display paths), plus direct
+// tests of the tokenizer, glob matcher, suppression semantics, and
+// companion-header pairing.
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "hm_lint/linter.hpp"
+#include "hm_lint/rule.hpp"
+#include "hm_lint/tokenizer.hpp"
+
+namespace {
+
+using hm::lint::Diagnostic;
+using hm::lint::Token;
+using hm::lint::TokenKind;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(HM_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Lints one fixture under a synthetic display path. The path must not look
+/// like a test file (no `tests/` prefix, no `_test.cpp`) so that rules with
+/// test-file exemptions still apply.
+std::vector<Diagnostic> lint_fixture(const std::string& name,
+                                     const std::string& display_path) {
+  return hm::lint::analyze_source(display_path, read_fixture(name),
+                                  hm::lint::default_rules());
+}
+
+std::size_t count_rule(const std::vector<Diagnostic>& diagnostics,
+                       const std::string& rule_id) {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.rule_id == rule_id; }));
+}
+
+struct RuleFixtureCase {
+  const char* rule_id;
+  const char* violation;      ///< Fixture that must fire the rule.
+  const char* clean;          ///< Fixture that must stay quiet.
+  const char* display_stem;   ///< Synthetic path stem (extension decides
+                              ///< header-only rules).
+  const char* extension;
+};
+
+class RuleFixtureTest : public ::testing::TestWithParam<RuleFixtureCase> {};
+
+TEST_P(RuleFixtureTest, ViolationFires) {
+  const RuleFixtureCase& c = GetParam();
+  const auto diagnostics = lint_fixture(
+      c.violation, std::string("fixture/") + c.display_stem + c.extension);
+  EXPECT_GE(count_rule(diagnostics, c.rule_id), 1u)
+      << c.violation << " did not trip " << c.rule_id;
+  for (const Diagnostic& d : diagnostics) {
+    EXPECT_EQ(d.rule_id, c.rule_id)
+        << "unexpected extra diagnostic in " << c.violation << ": "
+        << d.message;
+  }
+}
+
+TEST_P(RuleFixtureTest, CleanStaysQuiet) {
+  const RuleFixtureCase& c = GetParam();
+  const auto diagnostics = lint_fixture(
+      c.clean, std::string("fixture/") + c.display_stem + c.extension);
+  EXPECT_TRUE(diagnostics.empty())
+      << c.clean << " unexpectedly fired: " << diagnostics.front().message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRules, RuleFixtureTest,
+    ::testing::Values(
+        RuleFixtureCase{"no-raw-thread", "no_raw_thread_violation.cc",
+                        "no_raw_thread_clean.cc", "raw_thread", ".cpp"},
+        RuleFixtureCase{"no-nondet-seed", "no_nondet_seed_violation.cc",
+                        "no_nondet_seed_clean.cc", "nondet_seed", ".cpp"},
+        RuleFixtureCase{"no-unordered-output-iteration",
+                        "no_unordered_output_iteration_violation.cc",
+                        "no_unordered_output_iteration_clean.cc",
+                        "unordered_output", ".cpp"},
+        RuleFixtureCase{"nodiscard-result", "nodiscard_result_violation.hh",
+                        "nodiscard_result_clean.hh", "nodiscard", ".hpp"},
+        RuleFixtureCase{"no-float-equality", "no_float_equality_violation.cc",
+                        "no_float_equality_clean.cc", "float_eq", ".cpp"},
+        RuleFixtureCase{"include-hygiene", "include_hygiene_violation.hh",
+                        "include_hygiene_clean.hh", "hygiene", ".hpp"}),
+    [](const ::testing::TestParamInfo<RuleFixtureCase>& param_info) {
+      std::string name = param_info.param.rule_id;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+TEST(SeedRuleTest, WallClockSeedAndEntropyBothCounted) {
+  const auto diagnostics = lint_fixture("no_nondet_seed_violation.cc",
+                                        "fixture/nondet_seed.cpp");
+  // One for chrono-clock-as-seed, one for std::random_device.
+  EXPECT_EQ(count_rule(diagnostics, "no-nondet-seed"), 2u);
+}
+
+TEST(SuppressionTest, AllowCommentSilencesDiagnostic) {
+  const auto diagnostics =
+      lint_fixture("suppression.cc", "fixture/suppressed.cpp");
+  EXPECT_TRUE(diagnostics.empty())
+      << "suppressed fixture still fired: " << diagnostics.front().message;
+}
+
+TEST(SuppressionTest, UnusedSuppressionIsAnError) {
+  const auto diagnostics =
+      lint_fixture("unused_suppression.cc", "fixture/unused.cpp");
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics.front().rule_id, "unused-suppression");
+  EXPECT_EQ(diagnostics.front().severity, hm::lint::Severity::kError);
+}
+
+TEST(SuppressionTest, SameLineCommentTargetsItsOwnLine) {
+  const auto diagnostics = hm::lint::analyze_source(
+      "fixture/inline.cpp",
+      "bool f(double x) { return x == 2.0; }  "
+      "// hm-lint: allow(no-float-equality) inline\n",
+      hm::lint::default_rules());
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(SuppressionTest, ProseMentioningSyntaxDoesNotRegister) {
+  // A doc comment *about* the marker is not a suppression — it would
+  // otherwise surface as unused-suppression noise.
+  const auto diagnostics = hm::lint::analyze_source(
+      "fixture/prose.cpp",
+      "// Use `hm-lint: allow(no-float-equality)` to silence a line.\n"
+      "int x = 1;\n",
+      hm::lint::default_rules());
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(TokenAwarenessTest, RuleNamesInsideLiteralsAndCommentsDoNotFire) {
+  const auto diagnostics = hm::lint::analyze_source(
+      "fixture/literals.cpp",
+      "// std::thread and std::random_device discussed in a comment.\n"
+      "const char* a = \"std::thread spawn\";\n"
+      "const char* b = R\"(std::random_device entropy)\";\n",
+      hm::lint::default_rules());
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(TokenizerTest, RawStringIsOneToken) {
+  const auto tokens =
+      hm::lint::tokenize("auto s = R\"delim(a \"quoted\" )body)delim\";");
+  const auto string_token =
+      std::find_if(tokens.begin(), tokens.end(), [](const Token& t) {
+        return t.kind == TokenKind::kString;
+      });
+  ASSERT_NE(string_token, tokens.end());
+  EXPECT_NE(string_token->text.find("quoted"), std::string::npos);
+  // Nothing after the raw string's real terminator except the semicolon.
+  EXPECT_EQ(tokens.back().text, ";");
+}
+
+TEST(TokenizerTest, LineNumbersTrackNewlinesInsideComments) {
+  // tokenize() keeps comments in the stream (make_context splits them out
+  // later); the block comment spans lines 1-2 and `int` starts line 3.
+  const auto tokens = hm::lint::tokenize("/* line one\n line two */\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens.front().kind, TokenKind::kComment);
+  EXPECT_EQ(tokens.front().line, 1u);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 3u);
+}
+
+TEST(GlobTest, SegmentAndCrossSegmentWildcards) {
+  EXPECT_TRUE(hm::lint::glob_match("*.cpp", "src/common/csv.cpp"));
+  EXPECT_TRUE(hm::lint::glob_match("src/**/*.hpp", "src/kfusion/icp.hpp"));
+  EXPECT_FALSE(hm::lint::glob_match("src/*.hpp", "src/kfusion/icp.hpp"));
+  EXPECT_TRUE(hm::lint::glob_match("?ain.cpp", "main.cpp"));
+  EXPECT_FALSE(hm::lint::glob_match("*.cpp", "main.hpp"));
+}
+
+TEST(CompanionTest, HeaderMembersVisibleWhenLintingSource) {
+  // The unordered container is declared in the header; the .cpp alone
+  // cannot know `entries_`'s type. Companion pairing must carry it over.
+  const auto header = hm::lint::make_context(
+      "fixture/paired.hpp",
+      "#pragma once\n"
+      "#include <cstdint>\n"
+      "#include <fstream>\n"
+      "#include <unordered_map>\n"
+      "struct Exporter {\n"
+      "  void dump(std::ofstream& out) const;\n"
+      "  std::unordered_map<std::uint64_t, double> entries_;\n"
+      "};\n");
+  const auto diagnostics = hm::lint::analyze_source(
+      "fixture/paired.cpp",
+      "#include <fstream>\n"
+      "#include \"paired.hpp\"\n"
+      "void Exporter::dump(std::ofstream& out) const {\n"
+      "  for (const auto& [key, value] : entries_) {\n"
+      "    out << key << \",\" << value << \"\\n\";\n"
+      "  }\n"
+      "}\n",
+      hm::lint::default_rules(), header);
+  EXPECT_EQ(count_rule(diagnostics, "no-unordered-output-iteration"), 1u);
+}
+
+TEST(RuleFilterTest, EveryRuleHasUniqueIdAndDescription) {
+  const auto rules = hm::lint::default_rules();
+  ASSERT_EQ(rules.size(), 6u);
+  std::vector<std::string> ids;
+  for (const auto& rule : rules) {
+    ids.emplace_back(rule->id());
+    EXPECT_FALSE(rule->description().empty()) << rule->id();
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace

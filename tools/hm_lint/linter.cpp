@@ -1,0 +1,251 @@
+#include "hm_lint/linter.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <sstream>
+#include <string_view>
+#include <system_error>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "hm_lint/suppression.hpp"
+
+namespace hm::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Directory names that are never descended into: build trees and VCS
+/// metadata would otherwise dominate the walk.
+[[nodiscard]] bool skip_directory(const std::string& name) {
+  return name == ".git" || name.rfind("build", 0) == 0;
+}
+
+[[nodiscard]] std::string to_forward_slashes(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+[[nodiscard]] bool matches_any(const std::vector<std::string>& globs,
+                               std::string_view path) {
+  for (const std::string& g : globs) {
+    if (glob_match(g, path)) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+/// Collects the root-relative paths to lint, sorted for determinism.
+[[nodiscard]] std::vector<std::string> collect_files(const LintOptions& options,
+                                                     std::vector<Diagnostic>& io_errors) {
+  std::vector<std::string> files;
+  const fs::path root(options.root);
+  const auto consider = [&](const fs::path& file) {
+    std::string rel = to_forward_slashes(
+        fs::relative(file, root).generic_string());
+    if (!matches_any(options.include_globs, rel)) return;
+    if (matches_any(options.exclude_globs, rel)) return;
+    files.push_back(std::move(rel));
+  };
+  for (const std::string& entry : options.paths) {
+    const fs::path path = root / entry;
+    std::error_code ec;
+    if (fs::is_regular_file(path, ec)) {
+      consider(path);
+      continue;
+    }
+    if (!fs::is_directory(path, ec)) {
+      io_errors.push_back({entry, 0, "io-error",
+                           "path does not exist under the lint root",
+                           Severity::kError});
+      continue;
+    }
+    for (auto it = fs::recursive_directory_iterator(
+             path, fs::directory_options::skip_permission_denied, ec);
+         it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (it->is_directory(ec)) {
+        if (skip_directory(it->path().filename().string())) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      if (it->is_regular_file(ec)) consider(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+[[nodiscard]] std::vector<std::shared_ptr<const Rule>> filter_rules(
+    const std::vector<std::shared_ptr<const Rule>>& rules,
+    const std::vector<std::string>& filter) {
+  if (filter.empty()) return rules;
+  std::vector<std::shared_ptr<const Rule>> kept;
+  for (const auto& rule : rules) {
+    for (const std::string& id : filter) {
+      if (rule->id() == id) {
+        kept.push_back(rule);
+        break;
+      }
+    }
+  }
+  return kept;
+}
+
+struct FileOutcome {
+  std::vector<Diagnostic> diagnostics;
+  std::size_t suppressed = 0;
+};
+
+[[nodiscard]] FileOutcome analyze_context(
+    const FileContext& context,
+    const std::vector<std::shared_ptr<const Rule>>& rules) {
+  FileOutcome outcome;
+  for (const auto& rule : rules) {
+    rule->check(context, outcome.diagnostics);
+  }
+  outcome.suppressed = apply_suppressions(
+      context, collect_suppressions(context), outcome.diagnostics);
+  std::sort(outcome.diagnostics.begin(), outcome.diagnostics.end());
+  return outcome;
+}
+
+}  // namespace
+
+bool LintReport::clean() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+bool glob_match(std::string_view pattern, std::string_view path) {
+  // A pattern without '/' matches against the basename only.
+  if (pattern.find('/') == std::string_view::npos) {
+    const std::size_t slash = path.rfind('/');
+    if (slash != std::string_view::npos) path = path.substr(slash + 1);
+  }
+  // Recursive match with memo-free backtracking; patterns are tiny.
+  const auto match = [](auto&& self, std::string_view p,
+                        std::string_view s) -> bool {
+    while (true) {
+      if (p.empty()) return s.empty();
+      if (p.size() >= 2 && p[0] == '*' && p[1] == '*') {
+        // `**` crosses segments; collapse any following '/'.
+        std::string_view rest = p.substr(2);
+        if (!rest.empty() && rest[0] == '/') rest.remove_prefix(1);
+        for (std::size_t k = 0; k <= s.size(); ++k) {
+          if (self(self, rest, s.substr(k))) return true;
+        }
+        return false;
+      }
+      if (p[0] == '*') {
+        for (std::size_t k = 0; k <= s.size(); ++k) {
+          if (k > 0 && s[k - 1] == '/') break;  // '*' stays in one segment.
+          if (self(self, p.substr(1), s.substr(k))) return true;
+        }
+        return false;
+      }
+      if (s.empty()) return false;
+      if (p[0] == '?' ? s[0] == '/' : p[0] != s[0]) return false;
+      p.remove_prefix(1);
+      s.remove_prefix(1);
+    }
+  };
+  return match(match, pattern, path);
+}
+
+std::shared_ptr<const FileContext> make_context(std::string path,
+                                                std::string source) {
+  auto context = std::make_shared<FileContext>();
+  context->path = std::move(path);
+  context->source = std::move(source);
+  for (Token& token : tokenize(context->source)) {
+    (token.kind == TokenKind::kComment ? context->comments : context->tokens)
+        .push_back(token);
+  }
+  return context;
+}
+
+std::vector<Diagnostic> analyze_source(
+    std::string path, std::string source,
+    const std::vector<std::shared_ptr<const Rule>>& rules,
+    std::shared_ptr<const FileContext> companion) {
+  FileContext context;
+  context.path = std::move(path);
+  context.source = std::move(source);
+  for (Token& token : tokenize(context.source)) {
+    (token.kind == TokenKind::kComment ? context.comments : context.tokens)
+        .push_back(token);
+  }
+  context.companion = std::move(companion);
+  return analyze_context(context, rules).diagnostics;
+}
+
+LintReport run_lint(const LintOptions& options,
+                    const std::vector<std::shared_ptr<const Rule>>& rules,
+                    hm::common::ThreadPool* pool) {
+  LintReport report;
+  const std::vector<std::shared_ptr<const Rule>> active =
+      filter_rules(rules, options.rule_filter);
+  const std::vector<std::string> files = collect_files(options, report.diagnostics);
+  report.files_scanned = files.size();
+
+  std::vector<FileOutcome> outcomes(files.size());
+  const fs::path root(options.root);
+  const auto analyze_one = [&](std::size_t i) {
+    const std::optional<std::string> source = read_file(root / files[i]);
+    if (!source) {
+      outcomes[i].diagnostics.push_back(
+          {files[i], 0, "io-error", "cannot read file", Severity::kError});
+      return;
+    }
+    auto context = std::make_shared<FileContext>();
+    context->path = files[i];
+    context->source = *source;
+    for (Token& token : tokenize(context->source)) {
+      (token.kind == TokenKind::kComment ? context->comments : context->tokens)
+          .push_back(token);
+    }
+    // Pair a .cpp with its sibling header so member declarations are
+    // visible to cross-TU rules (unordered-container members).
+    if (files[i].size() > 4 &&
+        files[i].compare(files[i].size() - 4, 4, ".cpp") == 0) {
+      const std::string header_rel = files[i].substr(0, files[i].size() - 4) + ".hpp";
+      if (std::optional<std::string> header = read_file(root / header_rel)) {
+        context->companion = make_context(header_rel, std::move(*header));
+      }
+    }
+    outcomes[i] = analyze_context(*context, active);
+  };
+
+  if (pool != nullptr && files.size() > 1) {
+    pool->parallel_for(0, files.size(), analyze_one);
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i) analyze_one(i);
+  }
+
+  // Deterministic merge: file order, then the per-file sort from
+  // analyze_context.
+  for (FileOutcome& outcome : outcomes) {
+    report.suppressed += outcome.suppressed;
+    std::move(outcome.diagnostics.begin(), outcome.diagnostics.end(),
+              std::back_inserter(report.diagnostics));
+  }
+  std::sort(report.diagnostics.begin(), report.diagnostics.end());
+  return report;
+}
+
+}  // namespace hm::lint

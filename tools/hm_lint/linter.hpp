@@ -1,0 +1,67 @@
+// The lint driver: walks a tree from a root with include/exclude globs,
+// analyzes files in parallel on the shared hm::common::ThreadPool, applies
+// suppressions, and returns a deterministic report (files visited in
+// sorted order, diagnostics merged in file order and sorted).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hm_lint/diagnostic.hpp"
+#include "hm_lint/rule.hpp"
+
+namespace hm::common {
+class ThreadPool;
+}  // namespace hm::common
+
+namespace hm::lint {
+
+struct LintOptions {
+  std::string root = ".";  ///< Paths and globs are resolved against this.
+  /// Tree entries to lint, relative to root (files or directories).
+  std::vector<std::string> paths = {"."};
+  /// A file is linted if its root-relative path matches any include glob
+  /// (`*` stays within a path segment, `**` crosses segments, `?` matches
+  /// one character; a pattern without '/' is matched against the basename).
+  std::vector<std::string> include_globs = {"*.cpp", "*.hpp"};
+  /// ...and no exclude glob. Build trees are always skipped.
+  std::vector<std::string> exclude_globs;
+  /// When non-empty, only rules with these ids run.
+  std::vector<std::string> rule_filter;
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;  ///< Unsuppressed, sorted.
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;  ///< Diagnostics silenced by allow() comments.
+
+  /// True when nothing error-severity survived suppression.
+  [[nodiscard]] bool clean() const;
+};
+
+/// Gitignore-style glob match (see LintOptions::include_globs).
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view path);
+
+/// Analyzes one in-memory source under a display path. This is the
+/// unit-test entry point: no filesystem involved, suppressions applied.
+[[nodiscard]] std::vector<Diagnostic> analyze_source(
+    std::string path, std::string source,
+    const std::vector<std::shared_ptr<const Rule>>& rules,
+    std::shared_ptr<const FileContext> companion = nullptr);
+
+/// Builds a FileContext (tokenized, comments split out) for reuse by
+/// analyze_source callers that need a companion header.
+[[nodiscard]] std::shared_ptr<const FileContext> make_context(
+    std::string path, std::string source);
+
+/// Walks and lints the tree. `pool` may be null (serial). Deterministic:
+/// the same tree yields the same report regardless of thread count.
+[[nodiscard]] LintReport run_lint(
+    const LintOptions& options,
+    const std::vector<std::shared_ptr<const Rule>>& rules,
+    hm::common::ThreadPool* pool);
+
+}  // namespace hm::lint

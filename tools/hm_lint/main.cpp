@@ -1,0 +1,107 @@
+// hm_lint CLI: the project-native static-analysis pass.
+//
+//   hm_lint [--root DIR] [--include GLOB]... [--exclude GLOB]...
+//           [--rule ID]... [--serial] [--list-rules] [--quiet] [PATH]...
+//
+// PATHs (files or directories, relative to --root, default ".") are walked;
+// every *.cpp / *.hpp under them is tokenized and checked by the rule set.
+// Exit status: 0 when clean, 1 when any unsuppressed error-severity
+// diagnostic (including unused suppressions) survives, 2 on usage errors.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "hm_lint/linter.hpp"
+#include "hm_lint/rule.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: hm_lint [--root DIR] [--include GLOB]... "
+               "[--exclude GLOB]... [--rule ID]... [--serial] [--list-rules] "
+               "[--quiet] [PATH]...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hm::lint::LintOptions options;
+  options.paths.clear();
+  bool quiet = false;
+  bool serial = false;
+  bool list_rules = false;
+
+  const auto rules = hm::lint::default_rules();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hm_lint: %s needs a value\n", argv[i]);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.root = v;
+    } else if (arg == "--include") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.include_globs.push_back(v);
+    } else if (arg == "--exclude") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.exclude_globs.push_back(v);
+    } else if (arg == "--rule") {
+      const char* v = value();
+      if (v == nullptr) return 2;
+      options.rule_filter.push_back(v);
+    } else if (arg == "--serial") {
+      serial = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "hm_lint: unknown option '%s'\n", argv[i]);
+      print_usage();
+      return 2;
+    } else {
+      options.paths.emplace_back(arg);
+    }
+  }
+  if (options.paths.empty()) options.paths.emplace_back(".");
+
+  if (list_rules) {
+    for (const auto& rule : rules) {
+      std::printf("%-32s %s\n", std::string(rule->id()).c_str(),
+                  std::string(rule->description()).c_str());
+    }
+    return 0;
+  }
+
+  hm::common::ThreadPool* pool =
+      serial ? nullptr : &hm::common::ThreadPool::global();
+  const hm::lint::LintReport report =
+      hm::lint::run_lint(options, rules, pool);
+
+  for (const auto& d : report.diagnostics) {
+    std::printf("%s:%zu: %s: [%s] %s\n", d.file.c_str(), d.line,
+                hm::lint::to_string(d.severity), d.rule_id.c_str(),
+                d.message.c_str());
+  }
+  if (!quiet) {
+    std::printf("hm_lint: %zu files, %zu diagnostics (%zu suppressed)\n",
+                report.files_scanned, report.diagnostics.size(),
+                report.suppressed);
+  }
+  return report.clean() ? 0 : 1;
+}

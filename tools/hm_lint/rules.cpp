@@ -1,0 +1,739 @@
+// The initial hm-lint rule set: each rule encodes an invariant the last
+// PRs made load-bearing (single parallel substrate, deterministic seeds,
+// order-stable exports, results that must not be dropped, no accidental
+// float equality, headers that include what they use). Rules work on the
+// token stream, so literals and comments can never trigger them.
+#include "hm_lint/rule.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace hm::lint {
+
+namespace {
+
+[[nodiscard]] bool path_contains(const FileContext& file, std::string_view part) {
+  return file.path.find(part) != std::string::npos;
+}
+
+[[nodiscard]] bool path_starts_with(const FileContext& file,
+                                    std::string_view prefix) {
+  return file.path.rfind(prefix, 0) == 0;
+}
+
+/// Index range [first, last) of the statement enclosing token `i`: from the
+/// token after the previous `;`/`{`/`}` through the next `;`. Used to judge
+/// context ("is there a seed nearby?") without real parsing.
+[[nodiscard]] std::pair<std::size_t, std::size_t> statement_around(
+    const std::vector<Token>& tokens, std::size_t i) {
+  std::size_t first = i;
+  while (first > 0) {
+    const Token& t = tokens[first - 1];
+    if (t.is(";") || t.is("{") || t.is("}")) break;
+    --first;
+  }
+  std::size_t last = i;
+  while (last < tokens.size() && !tokens[last].is(";") &&
+         !tokens[last].is("{")) {
+    ++last;
+  }
+  return {first, last};
+}
+
+[[nodiscard]] std::string lowercase(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: no-raw-thread
+// ---------------------------------------------------------------------------
+
+/// The work-stealing ThreadPool is the single parallel substrate; a stray
+/// std::thread or std::async bypasses its determinism guarantees (chunk
+/// boundaries, helping joins) and its TSan coverage.
+class NoRawThreadRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "no-raw-thread"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "std::thread/std::jthread/std::async outside the ThreadPool "
+           "substrate (src/common/thread_pool.*)";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (path_contains(file, "src/common/thread_pool.")) return;
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!tokens[i].is_identifier("std") || !tokens[i + 1].is("::")) continue;
+      const Token& name = tokens[i + 2];
+      if (name.is_identifier("thread") || name.is_identifier("jthread") ||
+          name.is_identifier("async")) {
+        report(file, tokens[i].line,
+               "raw std::" + std::string(name.text) +
+                   " outside src/common/thread_pool.*; use "
+                   "hm::common::ThreadPool so nested parallelism, "
+                   "determinism, and TSan coverage hold",
+               out);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule 2: no-nondet-seed
+// ---------------------------------------------------------------------------
+
+/// Bit-identical reruns require every RNG seed to be a fixed constant or
+/// derived deterministically (config_hash, retry nonces). Wall-clock or
+/// hardware entropy in a seed silently breaks reproducibility.
+class NoNondetSeedRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override { return "no-nondet-seed"; }
+  [[nodiscard]] std::string_view description() const override {
+    return "time()/random_device/chrono clock used as an RNG seed "
+           "(non-reproducible) outside src/common/timer.hpp and bench/";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (path_contains(file, "src/common/timer.hpp") ||
+        path_starts_with(file, "bench/")) {
+      return;
+    }
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.is_identifier("random_device")) {
+        report(file, t.line,
+               "std::random_device is hardware entropy: seeds must be "
+               "deterministic (fixed constant or config_hash-derived)",
+               out);
+        continue;
+      }
+      if (t.is_identifier("srand") && i + 1 < tokens.size() &&
+          tokens[i + 1].is("(")) {
+        report(file, t.line,
+               "srand() seeds the C RNG non-deterministically by convention; "
+               "use hm::common rngs with explicit seeds",
+               out);
+        continue;
+      }
+      const bool wall_time_call =
+          (t.is_identifier("time") && i + 1 < tokens.size() &&
+           tokens[i + 1].is("(") && (i == 0 || !tokens[i - 1].is(".")) &&
+           (i == 0 || !tokens[i - 1].is("->"))) ||
+          (t.is_identifier("now") && i > 1 && tokens[i - 1].is("::") &&
+           clock_ish(tokens[i - 2].text));
+      if (wall_time_call && seeds_nearby(tokens, i)) {
+        report(file, t.line,
+               "wall-clock value feeds an RNG seed; reruns will not be "
+               "bit-identical — derive the seed deterministically",
+               out);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool clock_ish(std::string_view name) {
+    if (name.size() >= 5 && name.substr(name.size() - 5) == "clock") return true;
+    return name.size() >= 5 && name.substr(name.size() - 5) == "Clock";
+  }
+
+  /// True when the enclosing statement mentions a seed or RNG engine — the
+  /// signal that the clock value is being used as a seed rather than as a
+  /// timestamp/deadline.
+  [[nodiscard]] static bool seeds_nearby(const std::vector<Token>& tokens,
+                                         std::size_t i) {
+    static const std::set<std::string, std::less<>> kEngines = {
+        "mt19937",      "mt19937_64", "default_random_engine",
+        "minstd_rand",  "minstd_rand0", "srand",
+        "Rng",          "rng",        "xoshiro256",
+        "splitmix64"};
+    const auto [first, last] = statement_around(tokens, i);
+    for (std::size_t k = first; k < last; ++k) {
+      if (tokens[k].kind != TokenKind::kIdentifier) continue;
+      if (kEngines.count(tokens[k].text) > 0) return true;
+      if (lowercase(tokens[k].text).find("seed") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule 3: no-unordered-output-iteration
+// ---------------------------------------------------------------------------
+
+/// unordered_map/unordered_set iteration order is unspecified and varies
+/// across standard libraries and (with pointer-ish keys) across runs.
+/// Feeding it into a CSV/report/PLY export makes the artifact
+/// non-reproducible. Fires only in files that actually write such output.
+class NoUnorderedOutputIterationRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-unordered-output-iteration";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "range-for over an unordered container in a file that writes "
+           "CSV/report output; iterate a sorted view instead";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (!writes_output(file.tokens)) return;
+
+    std::set<std::string, std::less<>> names;  // Variables of unordered type.
+    std::set<std::string, std::less<>> types = {"unordered_map",
+                                                "unordered_set"};
+    collect_aliases(file.tokens, types);
+    if (file.companion) collect_aliases(file.companion->tokens, types);
+    collect_variables(file.tokens, types, names);
+    if (file.companion) collect_variables(file.companion->tokens, types, names);
+
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!tokens[i].is_identifier("for") || !tokens[i + 1].is("(")) continue;
+      // Find the `:` of a range-for at parenthesis depth 1 and the matching
+      // close paren.
+      std::size_t depth = 1;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t k = i + 2; k < tokens.size() && depth > 0; ++k) {
+        if (tokens[k].is("(")) ++depth;
+        if (tokens[k].is(")")) {
+          --depth;
+          if (depth == 0) close = k;
+        }
+        if (depth == 1 && colon == 0 && tokens[k].is(":")) colon = k;
+      }
+      if (colon == 0 || close == 0) continue;  // Classic for loop.
+      for (std::size_t k = colon + 1; k < close; ++k) {
+        if (tokens[k].kind != TokenKind::kIdentifier) continue;
+        if (names.count(tokens[k].text) > 0 || types.count(tokens[k].text) > 0) {
+          report(file, tokens[i].line,
+                 "range-for over unordered container '" +
+                     std::string(tokens[k].text) +
+                     "' in a file that writes CSV/report output; iteration "
+                     "order is unspecified — go through a sorted key view",
+                 out);
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool writes_output(const std::vector<Token>& tokens) {
+    static const std::set<std::string, std::less<>> kMarkers = {
+        "to_csv",         "write_csv_file", "samples_to_csv", "front_to_csv",
+        "quarantine_to_csv", "cache_to_csv", "ofstream",      "to_ply",
+        "fopen",          "fprintf"};
+    for (const Token& t : tokens) {
+      if (t.kind == TokenKind::kIdentifier && kMarkers.count(t.text) > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Adds `using Alias = ... unordered_map<...>;` alias names to `types`.
+  static void collect_aliases(const std::vector<Token>& tokens,
+                              std::set<std::string, std::less<>>& types) {
+    for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+      if (!tokens[i].is_identifier("using")) continue;
+      if (tokens[i + 1].kind != TokenKind::kIdentifier || !tokens[i + 2].is("=")) {
+        continue;
+      }
+      for (std::size_t k = i + 3; k < tokens.size() && !tokens[k].is(";"); ++k) {
+        if (tokens[k].is_identifier("unordered_map") ||
+            tokens[k].is_identifier("unordered_set") ||
+            (tokens[k].kind == TokenKind::kIdentifier &&
+             types.count(tokens[k].text) > 0)) {
+          types.insert(std::string(tokens[i + 1].text));
+          break;
+        }
+      }
+    }
+  }
+
+  /// Adds names of variables/members declared with any type in `types`.
+  static void collect_variables(const std::vector<Token>& tokens,
+                                const std::set<std::string, std::less<>>& types,
+                                std::set<std::string, std::less<>>& names) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier ||
+          types.count(tokens[i].text) == 0) {
+        continue;
+      }
+      std::size_t k = i + 1;
+      if (k < tokens.size() && tokens[k].is("<")) {
+        std::size_t depth = 1;
+        for (++k; k < tokens.size() && depth > 0; ++k) {
+          if (tokens[k].is("<")) ++depth;
+          if (tokens[k].is(">")) --depth;
+        }
+      }
+      while (k < tokens.size() &&
+             (tokens[k].is("&") || tokens[k].is("*") ||
+              tokens[k].is_identifier("const"))) {
+        ++k;
+      }
+      if (k + 1 >= tokens.size() || tokens[k].kind != TokenKind::kIdentifier) {
+        continue;
+      }
+      const Token& next = tokens[k + 1];
+      if (next.is(";") || next.is("=") || next.is("{") || next.is(",") ||
+          next.is(")")) {
+        names.insert(std::string(tokens[k].text));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule 4: nodiscard-result
+// ---------------------------------------------------------------------------
+
+/// The fault-tolerance layer only works if nobody silently drops a typed
+/// result: every value-returning function in the Result/Outcome/Error
+/// families must be [[nodiscard]] so the compiler flags dropped results.
+class NodiscardResultRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "nodiscard-result";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "function returning a Result/Outcome/Error-family type by value "
+           "must be [[nodiscard]]";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    // Declarations live in headers, and a C++ attribute belongs on the
+    // first declaration — flagging out-of-line .cpp definitions whose
+    // header declaration already carries [[nodiscard]] would be noise.
+    if (!file.is_header()) return;
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      const Token& type = tokens[i];
+      if (type.kind != TokenKind::kIdentifier || !family_type(type.text)) {
+        continue;
+      }
+      // Not a return type if it's a template argument, a qualified member
+      // access (Foo::kEnum), or part of `enum class X`.
+      if (i > 0 && (tokens[i - 1].is("<") || tokens[i - 1].is(",") ||
+                    tokens[i - 1].is_identifier("class") ||
+                    tokens[i - 1].is_identifier("struct") ||
+                    tokens[i - 1].is_identifier("enum") ||
+                    tokens[i - 1].is_identifier("new") ||
+                    tokens[i - 1].is_identifier("return") ||
+                    tokens[i - 1].is_identifier("const"))) {
+        continue;
+      }
+      // Match `Type [Class::]name (` — a declaration-looking pattern.
+      std::size_t j = i + 1;
+      while (j + 2 < tokens.size() && tokens[j].kind == TokenKind::kIdentifier &&
+             tokens[j + 1].is("::")) {
+        j += 2;
+      }
+      if (j + 1 >= tokens.size() || tokens[j].kind != TokenKind::kIdentifier ||
+          !tokens[j + 1].is("(")) {
+        continue;
+      }
+      if (!declaration_parens(tokens, j + 1)) continue;  // Variable init/call.
+      if (preceded_by_nodiscard(tokens, i)) continue;
+      report(file, type.line,
+             "'" + std::string(tokens[j].text) + "' returns " +
+                 std::string(type.text) +
+                 " by value but is not [[nodiscard]]; dropped results defeat "
+                 "the typed-failure contract",
+             out);
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool family_type(std::string_view name) {
+    static const std::array<std::string_view, 4> kSuffixes = {
+        "Error", "Outcome", "Result", "Status"};
+    for (const std::string_view suffix : kSuffixes) {
+      if (name.size() > suffix.size() &&
+          name.substr(name.size() - suffix.size()) == suffix) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Heuristic: the parenthesized list at `open` looks like a parameter
+  /// list (empty, or mentions const/&/std/auto or two adjacent
+  /// identifiers), not a call-argument list.
+  [[nodiscard]] static bool declaration_parens(const std::vector<Token>& tokens,
+                                               std::size_t open) {
+    std::size_t depth = 1;
+    bool prev_ident = false;
+    for (std::size_t k = open + 1; k < tokens.size() && depth > 0; ++k) {
+      if (tokens[k].is("(")) ++depth;
+      if (tokens[k].is(")")) {
+        --depth;
+        continue;
+      }
+      if (depth == 0) break;
+      if (tokens[k].is_identifier("const") || tokens[k].is("&") ||
+          tokens[k].is("&&") || tokens[k].is_identifier("std") ||
+          tokens[k].is_identifier("auto")) {
+        return true;
+      }
+      const bool ident = tokens[k].kind == TokenKind::kIdentifier;
+      if (ident && prev_ident) return true;
+      prev_ident = ident;
+    }
+    // Empty parens: `Type name()` is a declaration.
+    return open + 1 < tokens.size() && tokens[open + 1].is(")");
+  }
+
+  [[nodiscard]] static bool preceded_by_nodiscard(const std::vector<Token>& tokens,
+                                                  std::size_t i) {
+    // Walk back over qualification (`hm::common::`) and specifiers.
+    std::size_t k = i;
+    while (k >= 2 && tokens[k - 1].is("::") &&
+           tokens[k - 2].kind == TokenKind::kIdentifier) {
+      k -= 2;
+    }
+    while (k > 0 && (tokens[k - 1].is_identifier("virtual") ||
+                     tokens[k - 1].is_identifier("static") ||
+                     tokens[k - 1].is_identifier("inline") ||
+                     tokens[k - 1].is_identifier("constexpr") ||
+                     tokens[k - 1].is_identifier("explicit") ||
+                     tokens[k - 1].is_identifier("friend") ||
+                     tokens[k - 1].is_identifier("extern"))) {
+      --k;
+    }
+    if (k == 0 || !tokens[k - 1].is("]]")) return false;
+    // Scan the attribute for `nodiscard`.
+    for (std::size_t a = k - 1; a > 0; --a) {
+      if (tokens[a - 1].is("[[")) return false;
+      if (tokens[a - 1].is_identifier("nodiscard")) return true;
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule 5: no-float-equality
+// ---------------------------------------------------------------------------
+
+/// ==/!= against a floating-point literal (or a zero-initialized float
+/// vector) is almost always a rounding bug waiting to happen; the rare
+/// intentional exact-sentinel comparisons carry a suppression explaining
+/// themselves. Test trees are exempt — exact comparison against injected
+/// values is the point of many tests.
+class NoFloatEqualityRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-float-equality";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "==/!= on floating-point expressions outside test helpers";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (file.is_test_file()) return;
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 1; i + 1 < tokens.size(); ++i) {
+      if (!tokens[i].is("==") && !tokens[i].is("!=")) continue;
+      const bool flagged =
+          is_float_literal(tokens[i + 1]) || is_float_literal(tokens[i - 1]) ||
+          zero_vector_after(tokens, i) || zero_vector_before(tokens, i);
+      if (flagged) {
+        report(file, tokens[i].line,
+               std::string(tokens[i].text) +
+                   " compares floating-point values exactly; use an epsilon, "
+                   "or suppress with a comment if the exact sentinel is "
+                   "intended",
+               out);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool is_float_literal(const Token& t) {
+    if (t.kind != TokenKind::kNumber) return false;
+    const std::string_view s = t.text;
+    if (s.size() > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+      return false;  // Hex int (hex floats with p-exponents are not used here).
+    }
+    if (s.find('.') != std::string_view::npos) return true;
+    if (s.find('e') != std::string_view::npos ||
+        s.find('E') != std::string_view::npos) {
+      return true;
+    }
+    const char last = s.back();
+    return last == 'f' || last == 'F';
+  }
+
+  [[nodiscard]] static bool float_vector_type(std::string_view name) {
+    static const std::array<std::string_view, 6> kTypes = {
+        "Vec2f", "Vec3f", "Vec4f", "Vec2d", "Vec3d", "Vec4d"};
+    for (const std::string_view t : kTypes) {
+      if (name == t) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] static bool zero_vector_after(const std::vector<Token>& tokens,
+                                              std::size_t i) {
+    return i + 3 < tokens.size() &&
+           tokens[i + 1].kind == TokenKind::kIdentifier &&
+           float_vector_type(tokens[i + 1].text) && tokens[i + 2].is("{") &&
+           tokens[i + 3].is("}");
+  }
+
+  [[nodiscard]] static bool zero_vector_before(const std::vector<Token>& tokens,
+                                               std::size_t i) {
+    return i >= 3 && tokens[i - 1].is("}") && tokens[i - 2].is("{") &&
+           tokens[i - 3].kind == TokenKind::kIdentifier &&
+           float_vector_type(tokens[i - 3].text);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule 6: include-hygiene
+// ---------------------------------------------------------------------------
+
+/// Headers must directly include the standard headers for the std symbols
+/// they use, for a curated symbol→header map. Transitive includes are how
+/// refactors in one header break builds three directories away.
+class IncludeHygieneRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "include-hygiene";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "header uses a std:: symbol without directly including its "
+           "standard header (curated symbol map)";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (!file.is_header()) return;
+    const std::set<std::string, std::less<>> included = includes_of(file.source);
+    const auto& map = symbol_map();
+    const auto& tokens = file.tokens;
+    std::map<std::string, std::pair<std::size_t, std::string>> missing;
+    for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+      if (!tokens[i].is_identifier("std") || !tokens[i + 1].is("::")) continue;
+      const Token& symbol = tokens[i + 2];
+      if (symbol.kind != TokenKind::kIdentifier) continue;
+      const auto it = map.find(symbol.text);
+      if (it == map.end()) continue;
+      if (included.count(it->second) > 0) continue;
+      missing.emplace(it->second,
+                      std::make_pair(symbol.line, std::string(symbol.text)));
+    }
+    for (const auto& [header, use] : missing) {
+      report(file, use.first,
+             "uses std::" + use.second + " but does not directly include <" +
+                 header + ">",
+             out);
+    }
+  }
+
+ private:
+  [[nodiscard]] static std::set<std::string, std::less<>> includes_of(
+      std::string_view source) {
+    std::set<std::string, std::less<>> included;
+    std::size_t pos = 0;
+    while (pos < source.size()) {
+      std::size_t eol = source.find('\n', pos);
+      if (eol == std::string_view::npos) eol = source.size();
+      std::string_view line = source.substr(pos, eol - pos);
+      pos = eol + 1;
+      const std::size_t hash = line.find_first_not_of(" \t");
+      if (hash == std::string_view::npos || line[hash] != '#') continue;
+      const std::size_t inc = line.find("include", hash + 1);
+      if (inc == std::string_view::npos) continue;
+      const std::size_t open = line.find_first_of("<\"", inc + 7);
+      if (open == std::string_view::npos) continue;
+      const char closer = line[open] == '<' ? '>' : '"';
+      const std::size_t close = line.find(closer, open + 1);
+      if (close == std::string_view::npos) continue;
+      included.insert(std::string(line.substr(open + 1, close - open - 1)));
+    }
+    return included;
+  }
+
+  [[nodiscard]] static const std::unordered_map<std::string_view,
+                                                std::string>&
+  symbol_map() {
+    static const std::unordered_map<std::string_view, std::string> kMap = {
+        // Containers and views.
+        {"vector", "vector"},
+        {"string", "string"},
+        {"string_view", "string_view"},
+        {"optional", "optional"},
+        {"unordered_map", "unordered_map"},
+        {"unordered_set", "unordered_set"},
+        {"deque", "deque"},
+        {"array", "array"},
+        {"span", "span"},
+        {"map", "map"},
+        {"set", "set"},
+        {"tuple", "tuple"},
+        {"tie", "tuple"},
+        {"pair", "utility"},
+        {"initializer_list", "initializer_list"},
+        // Utility / memory / functional.
+        {"move", "utility"},
+        {"forward", "utility"},
+        {"swap", "utility"},
+        {"exchange", "utility"},
+        {"declval", "utility"},
+        {"unique_ptr", "memory"},
+        {"shared_ptr", "memory"},
+        {"weak_ptr", "memory"},
+        {"make_unique", "memory"},
+        {"make_shared", "memory"},
+        {"function", "functional"},
+        // Concurrency.
+        {"mutex", "mutex"},
+        {"lock_guard", "mutex"},
+        {"unique_lock", "mutex"},
+        {"scoped_lock", "mutex"},
+        {"condition_variable", "condition_variable"},
+        {"atomic", "atomic"},
+        {"thread", "thread"},
+        {"jthread", "thread"},
+        {"this_thread", "thread"},
+        {"future", "future"},
+        {"promise", "future"},
+        {"async", "future"},
+        {"chrono", "chrono"},
+        // Fixed-width and size types.
+        {"uint8_t", "cstdint"},
+        {"int8_t", "cstdint"},
+        {"uint16_t", "cstdint"},
+        {"int16_t", "cstdint"},
+        {"uint32_t", "cstdint"},
+        {"int32_t", "cstdint"},
+        {"uint64_t", "cstdint"},
+        {"int64_t", "cstdint"},
+        {"size_t", "cstddef"},
+        {"ptrdiff_t", "cstddef"},
+        {"byte", "cstddef"},
+        // Math.
+        {"sqrt", "cmath"},
+        {"fabs", "cmath"},
+        {"floor", "cmath"},
+        {"ceil", "cmath"},
+        {"lround", "cmath"},
+        {"round", "cmath"},
+        {"isfinite", "cmath"},
+        {"isnan", "cmath"},
+        {"isinf", "cmath"},
+        {"pow", "cmath"},
+        {"exp", "cmath"},
+        {"log", "cmath"},
+        {"log2", "cmath"},
+        {"sin", "cmath"},
+        {"cos", "cmath"},
+        {"tan", "cmath"},
+        {"atan2", "cmath"},
+        {"acos", "cmath"},
+        {"asin", "cmath"},
+        {"hypot", "cmath"},
+        {"cbrt", "cmath"},
+        {"fmod", "cmath"},
+        {"lerp", "cmath"},
+        // Algorithms / numerics.
+        {"sort", "algorithm"},
+        {"stable_sort", "algorithm"},
+        {"min", "algorithm"},
+        {"max", "algorithm"},
+        {"clamp", "algorithm"},
+        {"min_element", "algorithm"},
+        {"max_element", "algorithm"},
+        {"fill", "algorithm"},
+        {"copy", "algorithm"},
+        {"find", "algorithm"},
+        {"find_if", "algorithm"},
+        {"transform", "algorithm"},
+        {"all_of", "algorithm"},
+        {"any_of", "algorithm"},
+        {"none_of", "algorithm"},
+        {"count_if", "algorithm"},
+        {"lower_bound", "algorithm"},
+        {"upper_bound", "algorithm"},
+        {"nth_element", "algorithm"},
+        {"partial_sort", "algorithm"},
+        {"remove_if", "algorithm"},
+        {"unique", "algorithm"},
+        {"reverse", "algorithm"},
+        {"accumulate", "numeric"},
+        {"iota", "numeric"},
+        {"reduce", "numeric"},
+        {"inner_product", "numeric"},
+        {"numeric_limits", "limits"},
+        // Errors and I/O.
+        {"runtime_error", "stdexcept"},
+        {"logic_error", "stdexcept"},
+        {"invalid_argument", "stdexcept"},
+        {"out_of_range", "stdexcept"},
+        {"exception", "exception"},
+        {"exception_ptr", "exception"},
+        {"current_exception", "exception"},
+        {"rethrow_exception", "exception"},
+        {"make_exception_ptr", "exception"},
+        {"snprintf", "cstdio"},
+        {"fprintf", "cstdio"},
+        {"printf", "cstdio"},
+        {"memcpy", "cstring"},
+        {"memset", "cstring"},
+        {"strlen", "cstring"},
+        {"ostringstream", "sstream"},
+        {"istringstream", "sstream"},
+        {"stringstream", "sstream"},
+        {"ofstream", "fstream"},
+        {"ifstream", "fstream"},
+        {"cout", "iostream"},
+        {"cerr", "iostream"},
+        {"strtod", "cstdlib"},
+        {"strtoull", "cstdlib"},
+        {"getenv", "cstdlib"},
+        {"from_chars", "charconv"},
+        {"to_chars", "charconv"},
+        {"back_inserter", "iterator"},
+        // Type traits.
+        {"is_same", "type_traits"},
+        {"is_same_v", "type_traits"},
+        {"decay_t", "type_traits"},
+        {"enable_if_t", "type_traits"},
+        {"conditional_t", "type_traits"},
+        {"is_floating_point", "type_traits"},
+        {"is_integral", "type_traits"},
+        {"invoke_result_t", "type_traits"},
+    };
+    return kMap;
+  }
+};
+
+}  // namespace
+
+std::vector<std::shared_ptr<const Rule>> default_rules() {
+  return {
+      std::make_shared<NoRawThreadRule>(),
+      std::make_shared<NoNondetSeedRule>(),
+      std::make_shared<NoUnorderedOutputIterationRule>(),
+      std::make_shared<NodiscardResultRule>(),
+      std::make_shared<NoFloatEqualityRule>(),
+      std::make_shared<IncludeHygieneRule>(),
+  };
+}
+
+}  // namespace hm::lint

@@ -1,0 +1,34 @@
+// Line suppressions: `// hm-lint: allow(rule-a, rule-b) optional reason`.
+// A suppression on a line with code applies to that line; a comment-only
+// line applies to the next line (handy above multi-line statements). Every
+// suppression must actually suppress something — stale ones are reported
+// as `unused-suppression` diagnostics so the allowlist never rots.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hm_lint/diagnostic.hpp"
+#include "hm_lint/rule.hpp"
+
+namespace hm::lint {
+
+struct Suppression {
+  std::size_t comment_line = 0;  ///< Line the comment sits on.
+  std::size_t target_line = 0;   ///< Line whose diagnostics it suppresses.
+  std::string rule_id;
+};
+
+/// Extracts all suppressions from the file's comments.
+[[nodiscard]] std::vector<Suppression> collect_suppressions(
+    const FileContext& file);
+
+/// Removes suppressed diagnostics from `diagnostics` and appends one
+/// `unused-suppression` diagnostic for every suppression that matched
+/// nothing. Returns the number of diagnostics suppressed.
+std::size_t apply_suppressions(const FileContext& file,
+                               std::vector<Suppression> suppressions,
+                               std::vector<Diagnostic>& diagnostics);
+
+}  // namespace hm::lint

@@ -1,0 +1,196 @@
+#include "hm_lint/tokenizer.hpp"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace hm::lint {
+
+namespace {
+
+[[nodiscard]] bool is_identifier_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_identifier_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool is_digit(char c) noexcept {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// True when the identifier just lexed is a raw-string prefix (R, uR, u8R,
+/// LR) and the next character opens a string.
+[[nodiscard]] bool is_raw_string_prefix(std::string_view ident) noexcept {
+  return ident == "R" || ident == "uR" || ident == "u8R" || ident == "LR";
+}
+
+/// Multi-character punctuation, longest first within each length class.
+constexpr std::array<std::string_view, 5> kPunct3 = {"...", "->*", "<=>",
+                                                     "<<=", ">>="};
+constexpr std::array<std::string_view, 19> kPunct2 = {
+    "::", "==", "!=", "<=", ">=", "->", "++", "--", "+=", "-=",
+    "*=", "/=", "%=", "&=", "|=", "^=", "&&", "||", "[["};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  tokens.reserve(source.size() / 6 + 16);
+  std::size_t i = 0;
+  std::size_t line = 1;
+  const std::size_t n = source.size();
+
+  const auto count_lines = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to; ++k) {
+      if (source[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      std::size_t end = i;
+      while (end < n && source[end] != '\n') ++end;
+      tokens.push_back({TokenKind::kComment, source.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      std::size_t end = i + 2;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/')) {
+        ++end;
+      }
+      end = end + 1 < n ? end + 2 : n;
+      tokens.push_back({TokenKind::kComment, source.substr(i, end - i), line});
+      count_lines(i, end);
+      i = end;
+      continue;
+    }
+
+    // Identifiers (and raw-string prefixes).
+    if (is_identifier_start(c)) {
+      std::size_t end = i;
+      while (end < n && is_identifier_char(source[end])) ++end;
+      const std::string_view ident = source.substr(i, end - i);
+      if (is_raw_string_prefix(ident) && end < n && source[end] == '"') {
+        // Raw string: R"delim( ... )delim".
+        std::size_t d = end + 1;
+        while (d < n && source[d] != '(' && source[d] != '"' &&
+               source[d] != '\n') {
+          ++d;
+        }
+        const std::string_view delim = source.substr(end + 1, d - (end + 1));
+        std::size_t close = n;
+        if (d < n && source[d] == '(') {
+          std::string terminator(")");
+          terminator.append(delim);
+          terminator.push_back('"');
+          const std::size_t found = source.find(terminator, d + 1);
+          close = found == std::string_view::npos ? n
+                                                  : found + terminator.size();
+        }
+        tokens.push_back({TokenKind::kString, source.substr(i, close - i), line});
+        count_lines(i, close);
+        i = close;
+        continue;
+      }
+      tokens.push_back({TokenKind::kIdentifier, ident, line});
+      i = end;
+      continue;
+    }
+
+    // Numbers (pp-number: covers 1'000, 0x1f, 1.5e-3f, .5).
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(source[i + 1]))) {
+      std::size_t end = i + 1;
+      while (end < n) {
+        const char d = source[end];
+        if (is_identifier_char(d) || d == '.' ||
+            (d == '\'' && end + 1 < n && is_identifier_char(source[end + 1]))) {
+          ++end;
+          continue;
+        }
+        if ((d == '+' || d == '-') && end > i) {
+          const char prev = source[end - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            ++end;
+            continue;
+          }
+        }
+        break;
+      }
+      tokens.push_back({TokenKind::kNumber, source.substr(i, end - i), line});
+      i = end;
+      continue;
+    }
+
+    // String and character literals.
+    if (c == '"' || c == '\'') {
+      std::size_t end = i + 1;
+      while (end < n && source[end] != c && source[end] != '\n') {
+        end = source[end] == '\\' ? end + 2 : end + 1;
+      }
+      end = end < n && source[end] == c ? end + 1 : end;
+      tokens.push_back({c == '"' ? TokenKind::kString : TokenKind::kCharLiteral,
+                        source.substr(i, end > n ? n - i : end - i), line});
+      i = end > n ? n : end;
+      continue;
+    }
+
+    // Punctuation: longest match first. `]]` is kept whole only after `[[`
+    // would be — both brackets matter for attribute detection, so treat
+    // `]]` as a unit too.
+    if (i + 2 < n) {
+      const std::string_view three = source.substr(i, 3);
+      bool matched = false;
+      for (const std::string_view p : kPunct3) {
+        if (three == p) {
+          tokens.push_back({TokenKind::kPunct, three, line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    if (i + 1 < n) {
+      const std::string_view two = source.substr(i, 2);
+      bool matched = two == "]]";
+      for (const std::string_view p : kPunct2) {
+        matched = matched || two == p;
+      }
+      // Not `<<`/`>>`: keeping angle brackets single makes template-depth
+      // tracking in the rules simpler (`>>` closing two templates would
+      // otherwise need splitting).
+      if (matched && two != "<<" && two != ">>") {
+        tokens.push_back({TokenKind::kPunct, two, line});
+        i += 2;
+        continue;
+      }
+      if ((two == "<<" || two == ">>") && !(i + 2 < n && source[i + 2] == '=')) {
+        tokens.push_back({TokenKind::kPunct, source.substr(i, 1), line});
+        tokens.push_back({TokenKind::kPunct, source.substr(i + 1, 1), line});
+        i += 2;
+        continue;
+      }
+    }
+    tokens.push_back({TokenKind::kPunct, source.substr(i, 1), line});
+    ++i;
+  }
+  return tokens;
+}
+
+}  // namespace hm::lint

@@ -1,0 +1,43 @@
+// Lightweight C++ tokenizer for hm-lint. This is deliberately not a real
+// C++ lexer: it only needs to be precise about the things that would make a
+// text-grep-style rule lie — comments, string/char literals (including raw
+// strings), and multi-character punctuation such as `::`, `==`, `[[`.
+// Rules consume the token stream, so they can never fire on text inside a
+// literal or a comment, and suppression comments are first-class tokens.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hm::lint {
+
+enum class TokenKind : std::uint8_t {
+  kIdentifier,   ///< Identifiers and keywords alike.
+  kNumber,       ///< pp-number (covers int/float literals with suffixes).
+  kString,       ///< Ordinary or raw string literal, prefix included.
+  kCharLiteral,  ///< Character literal.
+  kPunct,        ///< Operators and punctuation (multi-char units kept whole).
+  kComment,      ///< `// ...` or `/* ... */`, delimiters included.
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;  ///< Lexeme, viewing into the tokenized source.
+  std::size_t line = 0;   ///< 1-based line of the lexeme's first character.
+
+  [[nodiscard]] bool is(std::string_view lexeme) const noexcept {
+    return text == lexeme;
+  }
+  [[nodiscard]] bool is_identifier(std::string_view name) const noexcept {
+    return kind == TokenKind::kIdentifier && text == name;
+  }
+};
+
+/// Tokenizes `source`. Views in the result alias `source`, which must
+/// outlive the tokens. Never throws on malformed input: unterminated
+/// literals and comments simply end at end-of-input.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace hm::lint
