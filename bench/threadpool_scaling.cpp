@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/atomic_file.hpp"
 #include "common/cli.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -31,6 +32,15 @@ namespace {
 
 using hm::common::SchedulerStats;
 using hm::common::ThreadPool;
+
+/// snprintf into a std::string; the JSON report is assembled in memory and
+/// written through the atomic writer in one shot.
+template <typename... Args>
+std::string jsonf(const char* format, Args... args) {
+  char buffer[256];
+  const int len = std::snprintf(buffer, sizeof(buffer), format, args...);
+  return std::string(buffer, static_cast<std::size_t>(len));
+}
 
 /// Work skew of the synthetic batch: one dominant configuration plus a tail,
 /// the regime where nested parallelism pays (the dominant config's inner
@@ -171,37 +181,35 @@ int main(int argc, char** argv) {
         "acceptance criterion does not apply on this machine)\n");
   }
 
-  if (std::FILE* f = std::fopen(out.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"threadpool_scaling\",\n");
-    std::fprintf(f, "  \"outer_batch\": %zu,\n", kOuterBatch);
-    std::fprintf(f, "  \"config_weights\": [");
-    for (std::size_t i = 0; i < kOuterBatch; ++i) {
-      std::fprintf(f, "%s%zu", i == 0 ? "" : ", ", kWeights[i]);
-    }
-    std::fprintf(f, "],\n  \"hardware_threads\": %zu,\n  \"results\": [\n",
-                 hardware);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& row = rows[i];
-      std::fprintf(
-          f,
-          "    {\"threads\": %zu, \"serial_inner_seconds\": %.6f, "
-          "\"nested_seconds\": %.6f, \"speedup\": %.4f, "
-          "\"tasks_executed\": %llu, \"steals\": %llu, \"help_joins\": %llu, "
-          "\"parallel_regions\": %llu}%s\n",
-          row.threads, row.serial_inner_seconds, row.nested_seconds,
-          row.speedup,
-          static_cast<unsigned long long>(row.nested_stats.tasks_executed),
-          static_cast<unsigned long long>(row.nested_stats.steals),
-          static_cast<unsigned long long>(row.nested_stats.help_joins),
-          static_cast<unsigned long long>(row.nested_stats.parallel_regions),
-          i + 1 == rows.size() ? "" : ",");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("  wrote %s\n", out.c_str());
-  } else {
-    std::fprintf(stderr, "  failed to open %s for writing\n", out.c_str());
+  std::string json = "{\n  \"bench\": \"threadpool_scaling\",\n";
+  json += jsonf("  \"outer_batch\": %zu,\n", kOuterBatch);
+  json += "  \"config_weights\": [";
+  for (std::size_t i = 0; i < kOuterBatch; ++i) {
+    json += jsonf("%s%zu", i == 0 ? "" : ", ", kWeights[i]);
+  }
+  json += jsonf("],\n  \"hardware_threads\": %zu,\n  \"results\": [\n",
+                         hardware);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json += jsonf(
+        "    {\"threads\": %zu, \"serial_inner_seconds\": %.6f, "
+        "\"nested_seconds\": %.6f, \"speedup\": %.4f, "
+        "\"tasks_executed\": %llu, \"steals\": %llu, \"help_joins\": %llu, "
+        "\"parallel_regions\": %llu}%s\n",
+        row.threads, row.serial_inner_seconds, row.nested_seconds, row.speedup,
+        static_cast<unsigned long long>(row.nested_stats.tasks_executed),
+        static_cast<unsigned long long>(row.nested_stats.steals),
+        static_cast<unsigned long long>(row.nested_stats.help_joins),
+        static_cast<unsigned long long>(row.nested_stats.parallel_regions),
+        i + 1 == rows.size() ? "" : ",");
+  }
+  json += "  ]\n}\n";
+  std::string error;
+  if (!hm::common::write_file_atomic(out, json, &error)) {
+    std::fprintf(stderr, "  failed to write %s: %s\n", out.c_str(),
+                 error.c_str());
     return 1;
   }
+  std::printf("  wrote %s\n", out.c_str());
   return 0;
 }

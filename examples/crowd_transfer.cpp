@@ -4,6 +4,13 @@
 //
 //   ./crowd_transfer [--frames N] [--devices N] [--installs N]
 //                    [--dropout R] [--noisy R] [--noise SIGMA]
+//                    [--journal campaign.wal] [--resume]
+//
+// With --journal, both stages are resumable: the tuning run journals to
+// <path>.tune and the per-device campaign to <path>, so a run killed at
+// any point — mid-tuning or mid-fleet — restarts with --resume and picks
+// up from the last completed evaluation/device. SIGINT stops cleanly at
+// the next boundary.
 //
 // --installs models the paper's crowd funnel (2000 installs -> 83 usable):
 // it sets the population size, while --dropout is the fraction of installs
@@ -12,9 +19,12 @@
 // the pool; the trimmed mean keeps their outliers from skewing the
 // aggregate speedup.
 #include <cstdio>
+#include <optional>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/journal.hpp"
+#include "common/signal.hpp"
 #include "common/stats.hpp"
 #include "crowd/crowd_experiment.hpp"
 #include "crowd/device_population.hpp"
@@ -25,9 +35,15 @@
 
 int main(int argc, char** argv) {
   using namespace hm;
-  const common::CliArgs args(argc, argv);
+  const common::CliArgs args(argc, argv, {"resume"});
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{25}));
+  const auto journal_path = args.get("journal");
+  const bool resume = args.flag("resume");
+  if (resume && !journal_path) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 1;
+  }
 
   const auto sequence =
       dataset::make_benchmark_sequence(frames, 80, 60, nullptr, false);
@@ -42,7 +58,38 @@ int main(int argc, char** argv) {
   config.pool_size = 10'000;
   config.forest.tree_count = 32;
   hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
-  const auto result = optimizer.run();
+  common::JournalWriter tune_journal;
+  if (journal_path) {
+    std::string journal_error;
+    if (!tune_journal.open(*journal_path + ".tune", &journal_error)) {
+      std::fprintf(stderr, "cannot open journal %s.tune: %s\n",
+                   journal_path->c_str(), journal_error.c_str());
+      return 1;
+    }
+    optimizer.attach_journal(&tune_journal);
+    if (!common::install_shutdown_handler()) {
+      std::fprintf(stderr, "warning: cannot install signal handlers\n");
+    }
+    optimizer.set_cancel([] { return common::shutdown_requested(); });
+  }
+  std::optional<hypermapper::OptimizationResult> run_result;
+  if (resume) {
+    run_result = optimizer.resume(*journal_path + ".tune");
+    if (!run_result) {
+      std::fprintf(stderr, "cannot resume tuning from %s.tune\n",
+                   journal_path->c_str());
+      return 1;
+    }
+  } else {
+    run_result = optimizer.run();
+  }
+  const auto& result = *run_result;
+  if (result.interrupted) {
+    std::printf("tuning interrupted after %zu evaluations; rerun with "
+                "--journal %s --resume to finish\n",
+                result.samples.size(), journal_path->c_str());
+    return 130;
+  }
 
   const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
   if (!best) {
@@ -70,8 +117,28 @@ int main(int argc, char** argv) {
   flaky.dropout_rate = args.get_or("dropout", 0.0);
   flaky.noisy_rate = args.get_or("noisy", 0.0);
   flaky.noise_sigma = args.get_or("noise", flaky.noise_sigma);
-  const auto crowd_result = crowd::run_crowd_experiment(
-      devices, default_metrics.stats, tuned_metrics.stats, frames, flaky);
+  crowd::CrowdResult crowd_result;
+  if (journal_path) {
+    crowd::CrowdJournalInfo info;
+    std::string campaign_error;
+    const auto journaled = crowd::run_crowd_experiment_journaled(
+        devices, default_metrics.stats, tuned_metrics.stats, frames, flaky,
+        *journal_path, &info, &campaign_error);
+    if (!journaled) {
+      std::fprintf(stderr, "campaign journal error: %s\n",
+                   campaign_error.c_str());
+      return 1;
+    }
+    crowd_result = *journaled;
+    if (info.replayed_devices > 0) {
+      std::printf("campaign resumed: %zu devices replayed from the journal, "
+                  "%zu measured\n",
+                  info.replayed_devices, info.measured_devices);
+    }
+  } else {
+    crowd_result = crowd::run_crowd_experiment(
+        devices, default_metrics.stats, tuned_metrics.stats, frames, flaky);
+  }
 
   std::printf("\ncrowd funnel: %zu installs -> %zu usable "
               "(%zu dropped, %zu noisy kept)\n",

@@ -6,8 +6,8 @@
 //   ./reconstruct_mesh [--frames N] [--resolution 64|128|256] [--mu X]
 //                      [--out mesh.obj]
 #include <cstdio>
-#include <fstream>
 
+#include "common/atomic_file.hpp"
 #include "common/cli.hpp"
 #include "common/timer.hpp"
 #include "dataset/sequence.hpp"
@@ -63,13 +63,13 @@ int main(int argc, char** argv) {
               static_cast<double>(bounds.max.y), static_cast<double>(bounds.max.z));
 
   const std::string path = args.get_or("out", std::string("reconstruction.obj"));
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+  const std::string obj = kfusion::to_obj(mesh);
+  std::string write_error;
+  if (!common::write_file_atomic(path, obj, &write_error)) {
+    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
+                 write_error.c_str());
     return 1;
   }
-  const std::string obj = kfusion::to_obj(mesh);
-  out.write(obj.data(), static_cast<std::streamsize>(obj.size()));
   std::printf("mesh written to %s (%zu bytes)\n", path.c_str(), obj.size());
   return 0;
 }

@@ -2,9 +2,17 @@
 // comparison of the default configuration against the tuned Pareto points.
 //
 //   ./tune_elasticfusion [--frames N] [--random-samples N] [--iterations N]
+//                        [--journal run.wal] [--resume]
+//
+// --journal/--resume work as in tune_kfusion: evaluations are logged
+// durably, SIGINT stops cleanly at the next evaluation boundary, and
+// --resume finishes an interrupted run to the byte-identical result.
 #include <cstdio>
+#include <optional>
 
 #include "common/cli.hpp"
+#include "common/journal.hpp"
+#include "common/signal.hpp"
 #include "common/timer.hpp"
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
@@ -27,7 +35,7 @@ void print_row(const char* label, double ate, double runtime_total,
 
 int main(int argc, char** argv) {
   using namespace hm;
-  const common::CliArgs args(argc, argv);
+  const common::CliArgs args(argc, argv, {"resume"});
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{40}));
 
@@ -52,7 +60,45 @@ int main(int argc, char** argv) {
 
   common::Timer timer;
   hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
-  const auto result = optimizer.run();
+
+  const auto journal_path = args.get("journal");
+  const bool resume = args.flag("resume");
+  if (resume && !journal_path) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 1;
+  }
+  common::JournalWriter journal;
+  if (journal_path) {
+    std::string journal_error;
+    if (!journal.open(*journal_path, &journal_error)) {
+      std::fprintf(stderr, "cannot open journal %s: %s\n",
+                   journal_path->c_str(), journal_error.c_str());
+      return 1;
+    }
+    optimizer.attach_journal(&journal);
+    if (!common::install_shutdown_handler()) {
+      std::fprintf(stderr, "warning: cannot install signal handlers\n");
+    }
+    optimizer.set_cancel([] { return common::shutdown_requested(); });
+  }
+
+  std::optional<hypermapper::OptimizationResult> run_result;
+  if (resume) {
+    run_result = optimizer.resume(*journal_path);
+    if (!run_result) {
+      std::fprintf(stderr, "cannot resume from %s\n", journal_path->c_str());
+      return 1;
+    }
+  } else {
+    run_result = optimizer.run();
+  }
+  const auto& result = *run_result;
+  if (result.interrupted) {
+    std::printf("interrupted after %zu evaluations; rerun with "
+                "--journal %s --resume to finish\n",
+                result.samples.size(), journal_path->c_str());
+    return 130;
+  }
   std::printf("explored %zu configurations in %.0fs\n", result.samples.size(),
               timer.seconds());
 

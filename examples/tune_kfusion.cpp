@@ -4,9 +4,19 @@
 //
 //   ./tune_kfusion [--device odroid|asus|nvidia] [--frames N]
 //                  [--random-samples N] [--iterations N] [--out front.csv]
+//                  [--journal run.wal] [--resume]
+//
+// With --journal, every completed evaluation and phase transition is
+// appended durably to the write-ahead log, and Ctrl-C (SIGINT) stops the
+// run cleanly at the next evaluation boundary instead of killing it. A
+// stopped or crashed run restarts with --journal run.wal --resume and
+// finishes with the byte-identical result an uninterrupted run produces.
 #include <cstdio>
+#include <optional>
 
 #include "common/cli.hpp"
+#include "common/journal.hpp"
+#include "common/signal.hpp"
 #include "common/timer.hpp"
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
@@ -15,7 +25,7 @@
 
 int main(int argc, char** argv) {
   using namespace hm;
-  const common::CliArgs args(argc, argv);
+  const common::CliArgs args(argc, argv, {"resume"});
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{30}));
   const std::string device_name = args.get_or("device", std::string("odroid"));
@@ -52,7 +62,45 @@ int main(int argc, char** argv) {
                 stats.iteration, stats.new_samples, stats.measured_front_size,
                 timer.seconds());
   });
-  const auto result = optimizer.run();
+
+  const auto journal_path = args.get("journal");
+  const bool resume = args.flag("resume");
+  if (resume && !journal_path) {
+    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    return 1;
+  }
+  common::JournalWriter journal;
+  if (journal_path) {
+    std::string journal_error;
+    if (!journal.open(*journal_path, &journal_error)) {
+      std::fprintf(stderr, "cannot open journal %s: %s\n",
+                   journal_path->c_str(), journal_error.c_str());
+      return 1;
+    }
+    optimizer.attach_journal(&journal);
+    if (!common::install_shutdown_handler()) {
+      std::fprintf(stderr, "warning: cannot install signal handlers\n");
+    }
+    optimizer.set_cancel([] { return common::shutdown_requested(); });
+  }
+
+  std::optional<hypermapper::OptimizationResult> run_result;
+  if (resume) {
+    run_result = optimizer.resume(*journal_path);
+    if (!run_result) {
+      std::fprintf(stderr, "cannot resume from %s\n", journal_path->c_str());
+      return 1;
+    }
+  } else {
+    run_result = optimizer.run();
+  }
+  const auto& result = *run_result;
+  if (result.interrupted) {
+    std::printf("\ninterrupted after %zu evaluations; rerun with "
+                "--journal %s --resume to finish\n",
+                result.samples.size(), journal_path->c_str());
+    return 130;
+  }
 
   std::printf("\nPareto front (%zu points):\n", result.pareto.size());
   std::printf("%-8s %-10s  configuration\n", "FPS", "maxATE(cm)");

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Crash-safety job: builds the optimizer + journal stack and runs the
+# "crash" ctest label — the fork/SIGKILL harness that kills a journaled
+# optimizer run at seeded write points, resumes from the surviving WAL,
+# and asserts the final report is byte-identical to an uninterrupted run
+# (tests/hypermapper/crash_test.cpp), plus the journal corruption matrix
+# (truncated tails, flipped checksum bytes, interleaved garbage).
+# Run locally before touching src/common/atomic_file.*, journal.*,
+# checkpoint.hpp, or the optimizer's journaling/resume path.
+set -euo pipefail
+source "$(dirname "$0")/common.sh"
+cd "$(hm_repo_root)"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+export HM_BUILD_TARGETS="crash_test journal_test atomic_file_test
+  run_journal_test"
+hm_configure_build "$BUILD_DIR"
+# The SIGKILL/resume harness carries the "crash" label; the corruption
+# matrix carries "fault" (so sanitize.sh covers it too) and is selected by
+# suite name here.
+hm_ctest "$BUILD_DIR" -L crash
+hm_ctest "$BUILD_DIR" -R '^(Journal|AtomicFile|RunJournalCodec|ReplayJournal)'

@@ -11,7 +11,8 @@ source "$(dirname "$0")/common.sh"
 cd "$(hm_repo_root)"
 
 export HM_BUILD_TARGETS="resilient_evaluator_test optimizer_test crowd_test
-  failure_injection_test ef_failure_injection_test"
+  failure_injection_test ef_failure_injection_test journal_test
+  atomic_file_test run_journal_test"
 
 for SAN in address undefined; do
   BUILD_DIR="build-${SAN}"

@@ -1,0 +1,93 @@
+#include "common/atomic_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace hm::common {
+
+namespace {
+
+void set_error(std::string* error, const char* step, const std::string& path) {
+  if (error == nullptr) return;
+  *error = std::string(step) + " " + path + ": " + std::strerror(errno);
+}
+
+/// Writes all of `bytes` to `fd`, retrying short writes and EINTR.
+[[nodiscard]] bool write_all(int fd, std::string_view bytes) {
+  const char* cursor = bytes.data();
+  std::size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, cursor, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_file_atomic(const std::string& path, std::string_view bytes,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot create", tmp);
+    return false;
+  }
+  if (!write_all(fd, bytes)) {
+    set_error(error, "cannot write", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    set_error(error, "cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "cannot close", tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "cannot rename over", path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // The rename itself must reach the disk before the write counts as
+  // durable; a failure here leaves a fully-consistent file either way.
+  return sync_parent_directory(path, error);
+}
+
+bool sync_parent_directory(const std::string& path, std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string directory =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
+  const int fd = ::open(directory.c_str(), O_RDONLY);
+  if (fd < 0) {
+    set_error(error, "cannot open directory", directory);
+    return false;
+  }
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+    // EINVAL/EROFS: the filesystem does not support directory fsync; the
+    // rename is still atomic, just not power-loss ordered. Best effort.
+    set_error(error, "cannot fsync directory", directory);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace hm::common

@@ -1,0 +1,30 @@
+// Crash-atomic file replacement: write the full contents to a temporary
+// sibling, flush it to stable storage (fsync), then rename() it over the
+// destination. A reader — or a process restarted after a crash — therefore
+// only ever observes either the complete old file or the complete new file,
+// never a torn write. Every export in the tree (CSV reports, PLY/OBJ
+// meshes, bench JSON) goes through this writer; the hm-lint rule
+// `no-bare-export-stream` enforces it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hm::common {
+
+/// Atomically replaces `path` with `bytes`. The temporary sibling is
+/// `<path>.tmp` (single-writer-per-path assumption; a stale .tmp from a
+/// crashed writer is simply overwritten by the next attempt). On failure
+/// returns false and, when `error` is non-null, describes the failing step
+/// with its errno text. The destination is untouched on any failure.
+[[nodiscard]] bool write_file_atomic(const std::string& path,
+                                     std::string_view bytes,
+                                     std::string* error = nullptr);
+
+/// fsyncs the directory containing `path`, making a preceding rename of a
+/// file inside it durable across power loss. Best-effort on filesystems
+/// that reject directory fsync; returns false only on real errors.
+[[nodiscard]] bool sync_parent_directory(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace hm::common

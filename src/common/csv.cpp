@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.hpp"
+
 namespace hm::common {
 namespace {
 
@@ -172,11 +174,9 @@ std::optional<CsvTable> parse_csv(std::string_view text, CsvError* error) {
 }
 
 bool write_csv_file(const std::string& path, const CsvTable& table) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  const std::string text = to_csv(table);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  return static_cast<bool>(out);
+  // Atomic replacement: a crash mid-export leaves the previous report
+  // intact rather than a torn CSV.
+  return write_file_atomic(path, to_csv(table));
 }
 
 std::optional<CsvTable> read_csv_file(const std::string& path, CsvError* error) {

@@ -1,0 +1,370 @@
+#include "common/journal.hpp"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/atomic_file.hpp"
+
+namespace hm::common {
+
+namespace {
+
+/// Builds the reflected CRC-32 (IEEE 802.3) lookup table at static init.
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  return table;
+}
+
+constexpr std::string_view kMagic = "hmwal";
+
+std::string header_line() {
+  return std::string(kMagic) + " " + std::to_string(kJournalFormatVersion) + "\n";
+}
+
+[[nodiscard]] bool is_hex_digit(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+         (c >= 'A' && c <= 'F');
+}
+
+[[nodiscard]] std::uint32_t hex_value(char c) {
+  if (c >= '0' && c <= '9') return static_cast<std::uint32_t>(c - '0');
+  if (c >= 'a' && c <= 'f') return static_cast<std::uint32_t>(c - 'a' + 10);
+  return static_cast<std::uint32_t>(c - 'A' + 10);
+}
+
+std::string format_crc(std::uint32_t crc) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+/// Unescapes a payload; returns false on an invalid escape sequence.
+[[nodiscard]] bool journal_unescape(std::string_view escaped, std::string* out) {
+  out->clear();
+  out->reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (i + 1 >= escaped.size()) return false;
+    const char next = escaped[++i];
+    switch (next) {
+      case '\\': out->push_back('\\'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      default: return false;
+    }
+  }
+  return true;
+}
+
+/// Formats one complete record line (checksum, type, escaped payload).
+std::string format_record(std::string_view type, std::string_view payload) {
+  std::string body;
+  body.reserve(type.size() + 1 + payload.size());
+  body.append(type);
+  body.push_back(' ');
+  body.append(journal_escape(payload));
+  return format_crc(crc32(body)) + " " + body + "\n";
+}
+
+void add_defect(JournalReadResult* result, std::size_t line, std::size_t offset,
+                JournalDamage damage, std::string message) {
+  if (result->defects.empty()) result->first_damaged_offset = offset;
+  result->defects.push_back(
+      JournalDefect{line, offset, damage, std::move(message)});
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string journal_escape(std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (const char c : payload) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* to_string(JournalDamage damage) {
+  switch (damage) {
+    case JournalDamage::kTruncatedTail: return "truncated tail";
+    case JournalDamage::kBadChecksum: return "bad checksum";
+    case JournalDamage::kMalformedFrame: return "malformed frame";
+    case JournalDamage::kBadEscape: return "bad escape";
+  }
+  return "unknown";
+}
+
+const char* to_string(JournalStatus status) {
+  switch (status) {
+    case JournalStatus::kOk: return "ok";
+    case JournalStatus::kRecovered: return "recovered";
+    case JournalStatus::kEmpty: return "empty";
+    case JournalStatus::kMissing: return "missing";
+    case JournalStatus::kBadMagic: return "bad magic";
+    case JournalStatus::kVersionMismatch: return "version mismatch";
+  }
+  return "unknown";
+}
+
+JournalReadResult parse_journal(std::string_view text) {
+  JournalReadResult result;
+  result.first_damaged_offset = text.size();
+  if (text.empty()) {
+    result.status = JournalStatus::kEmpty;
+    result.first_damaged_offset = 0;
+    return result;
+  }
+
+  // Header: "hmwal <version>\n". A file that does not even start with the
+  // magic is not a journal at all — classify, do not attempt recovery.
+  std::size_t header_end = text.find('\n');
+  const std::string_view header =
+      header_end == std::string_view::npos ? text : text.substr(0, header_end);
+  if (header.substr(0, kMagic.size()) != kMagic ||
+      (header.size() > kMagic.size() && header[kMagic.size()] != ' ')) {
+    result.status = JournalStatus::kBadMagic;
+    result.first_damaged_offset = 0;
+    return result;
+  }
+  std::uint32_t version = 0;
+  bool version_ok = header.size() > kMagic.size() + 1;
+  for (std::size_t i = kMagic.size() + 1; version_ok && i < header.size(); ++i) {
+    const char c = header[i];
+    if (c < '0' || c > '9') {
+      version_ok = false;
+      break;
+    }
+    version = version * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  if (!version_ok) {
+    result.status = JournalStatus::kBadMagic;
+    result.first_damaged_offset = 0;
+    return result;
+  }
+  result.version = version;
+  if (version != kJournalFormatVersion) {
+    result.status = JournalStatus::kVersionMismatch;
+    result.first_damaged_offset = 0;
+    return result;
+  }
+  if (header_end == std::string_view::npos) {
+    // Header written but its newline never reached disk: an empty journal
+    // with a truncated tail. Nothing to replay.
+    result.status = JournalStatus::kRecovered;
+    add_defect(&result, 1, 0, JournalDamage::kTruncatedTail,
+               "header line has no terminating newline");
+    return result;
+  }
+
+  std::size_t offset = header_end + 1;
+  std::size_t line_number = 2;
+  while (offset < text.size()) {
+    const std::size_t newline = text.find('\n', offset);
+    if (newline == std::string_view::npos) {
+      // The record being written when the process died. Expected damage:
+      // report the offset so resume knows exactly where durability ended.
+      add_defect(&result, line_number, offset, JournalDamage::kTruncatedTail,
+                 "record has no terminating newline (crash mid-append)");
+      break;
+    }
+    const std::string_view line = text.substr(offset, newline - offset);
+
+    // Frame: "<8 hex crc> <type> <escaped payload>". Type is non-empty and
+    // space-free; payload may be empty.
+    bool frame_ok = line.size() >= 10 && line[8] == ' ';
+    for (std::size_t i = 0; frame_ok && i < 8; ++i) {
+      if (!is_hex_digit(line[i])) frame_ok = false;
+    }
+    std::size_t type_end = 0;
+    if (frame_ok) {
+      type_end = line.find(' ', 9);
+      if (type_end == std::string_view::npos || type_end == 9) frame_ok = false;
+    }
+    if (!frame_ok) {
+      add_defect(&result, line_number, offset, JournalDamage::kMalformedFrame,
+                 "line is not '<crc32> <type> <payload>'");
+      offset = newline + 1;
+      ++line_number;
+      continue;
+    }
+
+    std::uint32_t stored_crc = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      stored_crc = (stored_crc << 4) | hex_value(line[i]);
+    }
+    const std::string_view body = line.substr(9);
+    if (crc32(body) != stored_crc) {
+      add_defect(&result, line_number, offset, JournalDamage::kBadChecksum,
+                 "checksum mismatch (stored " + std::string(line.substr(0, 8)) +
+                     ", computed " + format_crc(crc32(body)) + ")");
+      offset = newline + 1;
+      ++line_number;
+      continue;
+    }
+
+    JournalRecord record;
+    record.line = line_number;
+    record.type = std::string(line.substr(9, type_end - 9));
+    if (!journal_unescape(line.substr(type_end + 1), &record.payload)) {
+      add_defect(&result, line_number, offset, JournalDamage::kBadEscape,
+                 "payload contains an invalid escape sequence");
+      offset = newline + 1;
+      ++line_number;
+      continue;
+    }
+    result.records.push_back(std::move(record));
+    offset = newline + 1;
+    ++line_number;
+  }
+
+  result.status =
+      result.defects.empty() ? JournalStatus::kOk : JournalStatus::kRecovered;
+  return result;
+}
+
+JournalReadResult read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    JournalReadResult result;
+    result.status = JournalStatus::kMissing;
+    return result;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_journal(buffer.str());
+}
+
+bool JournalWriter::open(const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_ = path;
+  return open_locked(error);
+}
+
+bool JournalWriter::open_locked(std::string* error) {
+  // The journal is the one legitimately append-only stream in the tree:
+  // atomically rewriting the whole file per record would defeat the WAL.
+  // hm-lint: allow(no-bare-export-stream) append-only WAL; durability comes from per-record fsync, compaction rewrites atomically
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open journal " + path_ + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  // A fresh (empty) journal needs its header before any record.
+  if (std::ftell(file_) == 0) {
+    const std::string header = header_line();
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fflush(file_) != 0) {
+      if (error != nullptr) {
+        *error = "cannot write journal header to " + path_;
+      }
+      std::fclose(file_);
+      file_ = nullptr;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool JournalWriter::append(std::string_view type, std::string_view payload) {
+  std::function<void(std::size_t)> hook;
+  std::size_t written_now = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr) return false;
+    const std::string record = format_record(type, payload);
+    if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
+        std::fflush(file_) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return false;
+    }
+    if (fsync_ && ::fsync(::fileno(file_)) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return false;
+    }
+    written_now = ++written_;
+    hook = hook_;
+  }
+  // Invoked outside the lock: the crash harness SIGKILLs from here, and a
+  // hook that never returns must not leave the mutex held in the parent's
+  // memory image semantics (and fork()ed children re-read the journal).
+  if (hook) hook(written_now);
+  return true;
+}
+
+bool JournalWriter::rewrite(
+    std::span<const std::pair<std::string, std::string>> records,
+    std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  std::string contents = header_line();
+  for (const auto& [type, payload] : records) {
+    contents += format_record(type, payload);
+  }
+  if (!write_file_atomic(path_, contents, error)) return false;
+  return open_locked(error);
+}
+
+void JournalWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::size_t JournalWriter::records_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+}  // namespace hm::common

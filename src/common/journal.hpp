@@ -1,0 +1,163 @@
+// Append-only, checksummed write-ahead log. The journal is what survives a
+// SIGKILL mid-run: every record is one text line framed as
+//
+//   <crc32:8 hex> <type> <payload>\n
+//
+// with the CRC computed over "<type> <payload>" (payload newline/backslash
+// escaped, so a record is always exactly one line). The file starts with a
+// magic+version header line ("hmwal 1"). The reader is tolerant by
+// construction: a truncated tail (the record being written when the process
+// died) is detected and reported with its byte offset, and a corrupt record
+// in the middle (flipped bits, interleaved garbage) is skipped with a
+// line-accurate diagnostic while every intact record around it is still
+// returned — recovery never silently drops the readable prefix or suffix.
+//
+// Writers append durably: each record is fwrite + fflush + fsync before
+// append() returns, so an evaluation that was reported complete is on disk.
+// Compaction (folding a prefix of records into a snapshot record) rewrites
+// the whole file through the atomic writer, so a crash mid-compaction
+// leaves either the old journal or the new one, never a hybrid.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hm::common {
+
+/// The journal frame-format version this build reads and writes.
+inline constexpr std::uint32_t kJournalFormatVersion = 1;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+[[nodiscard]] std::uint32_t crc32(std::string_view bytes) noexcept;
+
+/// Escapes a payload so it occupies exactly one line: '\\' -> "\\\\",
+/// '\n' -> "\\n", '\r' -> "\\r".
+[[nodiscard]] std::string journal_escape(std::string_view payload);
+
+/// One intact record, located by its 1-based source line.
+struct JournalRecord {
+  std::size_t line = 0;
+  std::string type;
+  std::string payload;
+};
+
+/// What went wrong with one damaged region of the file.
+enum class JournalDamage : std::uint8_t {
+  kTruncatedTail,   ///< Final record has no newline (crash mid-append).
+  kBadChecksum,     ///< Frame parsed but the CRC does not match.
+  kMalformedFrame,  ///< Line is not "<8 hex> <type> ...".
+  kBadEscape,       ///< Payload contains an invalid escape sequence.
+};
+
+[[nodiscard]] const char* to_string(JournalDamage damage);
+
+/// One damaged region: 1-based line, byte offset of the line start, and a
+/// human-readable description. CsvError-style: precise enough to point a
+/// hex editor at.
+struct JournalDefect {
+  std::size_t line = 0;
+  std::size_t offset = 0;
+  JournalDamage damage = JournalDamage::kMalformedFrame;
+  std::string message;
+};
+
+/// Overall classification of a read attempt.
+enum class JournalStatus : std::uint8_t {
+  kOk = 0,           ///< Every byte accounted for.
+  kRecovered,        ///< Intact records returned; some regions damaged.
+  kEmpty,            ///< Zero-byte file (created but never written).
+  kMissing,          ///< File does not exist / cannot be opened.
+  kBadMagic,         ///< First line is not a journal header.
+  kVersionMismatch,  ///< Header version unsupported by this build.
+};
+
+[[nodiscard]] const char* to_string(JournalStatus status);
+
+struct JournalReadResult {
+  JournalStatus status = JournalStatus::kMissing;
+  std::uint32_t version = 0;             ///< From the header, when present.
+  std::vector<JournalRecord> records;    ///< Intact records, in file order.
+  std::vector<JournalDefect> defects;    ///< Damaged regions, in file order.
+  /// Byte offset of the first damaged byte; equals the file size when the
+  /// whole file is intact.
+  std::size_t first_damaged_offset = 0;
+
+  /// True when the intact prefix (possibly everything) is usable for
+  /// replay: kOk or kRecovered.
+  [[nodiscard]] bool usable() const noexcept {
+    return status == JournalStatus::kOk || status == JournalStatus::kRecovered;
+  }
+};
+
+/// Parses journal text (header line + records). Never throws; damage is
+/// reported through the result.
+[[nodiscard]] JournalReadResult parse_journal(std::string_view text);
+
+/// Reads and parses the journal file at `path`.
+[[nodiscard]] JournalReadResult read_journal(const std::string& path);
+
+/// The append side. Thread-safe: append() may be called concurrently (the
+/// optimizer journals evaluations as they complete on pool workers).
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  ~JournalWriter() { close(); }
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens `path` for appending, writing the header line first if the file
+  /// is new or empty. An existing journal is continued, not truncated.
+  [[nodiscard]] bool open(const std::string& path, std::string* error = nullptr);
+
+  /// Appends one record durably (fsync before returning). `type` must be a
+  /// non-empty identifier (no spaces); `payload` may be anything — it is
+  /// escaped into the frame. Returns false on I/O failure, after which the
+  /// writer is closed (a half-written tail is exactly what the tolerant
+  /// reader recovers from).
+  [[nodiscard]] bool append(std::string_view type, std::string_view payload);
+
+  /// Compaction: atomically rewrites the journal to the header plus exactly
+  /// `records` (type, payload pairs), then reopens for appending. A crash
+  /// anywhere inside leaves either the old or the new journal on disk.
+  [[nodiscard]] bool rewrite(
+      std::span<const std::pair<std::string, std::string>> records,
+      std::string* error = nullptr);
+
+  void close();
+
+  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Records appended through this writer (excludes pre-existing ones).
+  [[nodiscard]] std::size_t records_written() const noexcept;
+
+  /// Disables the per-append fsync (tests that hammer the journal).
+  /// Durability guarantees obviously do not hold while disabled.
+  void set_fsync(bool enabled) noexcept { fsync_ = enabled; }
+
+  /// Test hook, invoked after every durable append with the number of
+  /// records written so far. The crash-injection harness SIGKILLs the
+  /// process from here to simulate death at a seeded record boundary.
+  void set_append_hook(std::function<void(std::size_t)> hook) {
+    hook_ = std::move(hook);
+  }
+
+ private:
+  [[nodiscard]] bool open_locked(std::string* error);
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::size_t written_ = 0;
+  bool fsync_ = true;
+  std::function<void(std::size_t)> hook_;
+};
+
+}  // namespace hm::common

@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <bit>
 #include <cmath>
 
 namespace hm::common {
@@ -30,6 +31,20 @@ double Rng::normal() noexcept {
   spare_normal_ = v * factor;
   have_spare_normal_ = true;
   return u * factor;
+}
+
+RngState Rng::save_state() const noexcept {
+  RngState state;
+  state.words = state_;
+  state.have_spare_normal = have_spare_normal_;
+  state.spare_normal_bits = std::bit_cast<std::uint64_t>(spare_normal_);
+  return state;
+}
+
+void Rng::restore_state(const RngState& state) noexcept {
+  state_ = state.words;
+  have_spare_normal_ = state.have_spare_normal;
+  spare_normal_ = std::bit_cast<double>(state.spare_normal_bits);
 }
 
 }  // namespace hm::common

@@ -24,6 +24,16 @@ namespace hm::common {
   return z ^ (z >> 31);
 }
 
+/// Complete serialized generator state: the four xoshiro words plus the
+/// Marsaglia polar method's cached spare normal (without it, restoring a
+/// generator mid-pair would desynchronize every subsequent normal() draw).
+/// The spare is stored as raw bits so the round trip is byte-exact.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool have_spare_normal = false;
+  std::uint64_t spare_normal_bits = 0;
+};
+
 /// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator, so it can
 /// be used with <random> distributions, though the helpers below are
 /// preferred because their results are identical across standard libraries.
@@ -90,6 +100,14 @@ class Rng {
   /// Forks an independent generator; the child stream is decorrelated from
   /// the parent's continuation. Used to hand per-task RNGs to worker threads.
   [[nodiscard]] Rng fork() noexcept { return Rng((*this)() ^ 0xda3e39cb94b95bdbULL); }
+
+  /// Captures the full generator state for checkpointing. A generator
+  /// restored from this state continues the identical stream — including
+  /// the pending spare normal, so normal() sequences are preserved too.
+  [[nodiscard]] RngState save_state() const noexcept;
+
+  /// Restores state previously captured with save_state().
+  void restore_state(const RngState& state) noexcept;
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

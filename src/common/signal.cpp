@@ -1,0 +1,33 @@
+#include "common/signal.hpp"
+
+#include <csignal>
+
+namespace hm::common {
+
+namespace {
+
+// The only write the handler performs: volatile sig_atomic_t is the
+// async-signal-safe subset the standard guarantees.
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+extern "C" void handle_shutdown_signal(int) { g_shutdown_requested = 1; }
+
+}  // namespace
+
+bool install_shutdown_handler() {
+  struct sigaction action = {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND: the first signal requests cooperative shutdown, a second
+  // one gets the default disposition (terminate) — no way to wedge.
+  action.sa_flags = SA_RESETHAND;
+  if (sigaction(SIGINT, &action, nullptr) != 0) return false;
+  if (sigaction(SIGTERM, &action, nullptr) != 0) return false;
+  return true;
+}
+
+bool shutdown_requested() noexcept { return g_shutdown_requested != 0; }
+
+void reset_shutdown_for_test() noexcept { g_shutdown_requested = 0; }
+
+}  // namespace hm::common

@@ -1,0 +1,23 @@
+// Cooperative shutdown on SIGINT/SIGTERM.
+//
+// The example binaries must not die mid-write: the handler only sets an
+// async-signal-safe flag, and the optimizer polls it between evaluations,
+// flushes the journal, writes a final snapshot, and exits cleanly. A second
+// signal kills the process immediately (SA_RESETHAND restores the default
+// disposition after the first delivery), so a wedged run can still be
+// interrupted the old-fashioned way.
+#pragma once
+
+namespace hm::common {
+
+/// Installs SIGINT and SIGTERM handlers that request cooperative shutdown.
+/// Idempotent. Returns false if sigaction() fails.
+[[nodiscard]] bool install_shutdown_handler();
+
+/// True once a shutdown signal has been received.
+[[nodiscard]] bool shutdown_requested() noexcept;
+
+/// Clears the flag (tests only; real runs exit after shutdown).
+void reset_shutdown_for_test() noexcept;
+
+}  // namespace hm::common

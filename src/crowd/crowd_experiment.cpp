@@ -4,10 +4,167 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/checkpoint.hpp"
+#include "common/journal.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace hm::crowd {
+
+namespace {
+
+/// What happened to one device of the population.
+enum class DeviceOutcome : std::uint64_t {
+  kDropped = 0,   ///< Never reported (flaky dropout).
+  kUsable = 1,    ///< Reported a usable measurement.
+  kUnusable = 2,  ///< Reported, but with non-positive runtimes.
+};
+
+/// One device's reliability draw. The draw order (dropout, noisy, then the
+/// two noise factors when noisy) is part of the campaign's determinism
+/// contract: replay reproduces it exactly from the journaled flags.
+struct ReliabilityDraw {
+  bool dropped = false;
+  bool noisy = false;
+  double default_noise = 1.0;
+  double tuned_noise = 1.0;
+};
+
+ReliabilityDraw draw_reliability(hm::common::Rng& rng,
+                                 const FlakyDeviceModel& flaky) {
+  ReliabilityDraw draw;
+  draw.dropped = rng.bernoulli(flaky.dropout_rate);
+  draw.noisy = rng.bernoulli(flaky.noisy_rate);
+  if (draw.noisy) {
+    draw.default_noise = std::exp(rng.normal(0.0, flaky.noise_sigma));
+    draw.tuned_noise = std::exp(rng.normal(0.0, flaky.noise_sigma));
+  }
+  return draw;
+}
+
+/// Consumes exactly the draws the original pass consumed for a device with
+/// the journaled `noisy` flag, re-aligning the generator during replay.
+void burn_reliability(hm::common::Rng& rng, bool noisy,
+                      const FlakyDeviceModel& flaky) {
+  (void)rng.bernoulli(flaky.dropout_rate);
+  (void)rng.bernoulli(flaky.noisy_rate);
+  if (noisy) {
+    (void)rng.normal(0.0, flaky.noise_sigma);
+    (void)rng.normal(0.0, flaky.noise_sigma);
+  }
+}
+
+DeviceOutcome measure_device(const hm::slambench::DeviceModel& device,
+                             const hm::kfusion::KernelStats& default_stats,
+                             const hm::kfusion::KernelStats& tuned_stats,
+                             std::size_t frames, const ReliabilityDraw& draw,
+                             DeviceSpeedup* entry) {
+  // The noisy flag is set even for dropped/unusable devices: the campaign
+  // journal records it so replay can burn exactly the RNG draws this
+  // device consumed (a noisy device consumed two extra normals regardless
+  // of whether its measurement was ultimately usable).
+  entry->noisy = draw.noisy;
+  if (draw.dropped) return DeviceOutcome::kDropped;
+  const double default_seconds =
+      device.seconds(default_stats, frames) * draw.default_noise;
+  const double tuned_seconds =
+      device.seconds(tuned_stats, frames) * draw.tuned_noise;
+  if (default_seconds <= 0.0 || tuned_seconds <= 0.0) {
+    return DeviceOutcome::kUnusable;
+  }
+  entry->device_name = device.name;
+  entry->default_fps = static_cast<double>(frames) / default_seconds;
+  entry->tuned_fps = static_cast<double>(frames) / tuned_seconds;
+  entry->speedup = default_seconds / tuned_seconds;
+  return DeviceOutcome::kUsable;
+}
+
+/// Folds one device outcome into the accumulating result.
+void apply_outcome(DeviceOutcome outcome, DeviceSpeedup entry,
+                   CrowdResult* result, std::vector<double>* speedups) {
+  switch (outcome) {
+    case DeviceOutcome::kDropped:
+      ++result->dropped_devices;
+      break;
+    case DeviceOutcome::kUnusable:
+      break;
+    case DeviceOutcome::kUsable:
+      result->noisy_devices += entry.noisy ? 1 : 0;
+      speedups->push_back(entry.speedup);
+      result->devices.push_back(std::move(entry));
+      break;
+  }
+}
+
+void finalize_result(CrowdResult* result, const std::vector<double>& speedups,
+                     double trim_fraction) {
+  result->usable_devices = result->devices.size();
+  if (speedups.empty()) return;
+  const auto summary = hm::common::summarize(speedups);
+  result->min_speedup = summary.min;
+  result->max_speedup = summary.max;
+  result->median_speedup = summary.median;
+  result->mean_speedup = summary.mean;
+  result->trimmed_mean_speedup =
+      hm::common::trimmed_mean(speedups, trim_fraction);
+}
+
+// --- Campaign journal schema. Record types: "crowd" (campaign
+// --- fingerprint), "dev" (one device outcome), "done" (campaign
+// --- complete). All doubles are bit-exact (checkpoint.hpp codecs).
+
+std::string encode_campaign(std::size_t device_count, std::size_t frames,
+                            const FlakyDeviceModel& flaky) {
+  using hm::common::encode_double;
+  using hm::common::encode_u64;
+  return hm::common::encode_fields(
+      {encode_u64(device_count), encode_u64(frames), encode_u64(flaky.seed),
+       encode_double(flaky.dropout_rate), encode_double(flaky.noisy_rate),
+       encode_double(flaky.noise_sigma), encode_double(flaky.trim_fraction)});
+}
+
+struct DecodedDevice {
+  std::uint64_t index = 0;
+  DeviceOutcome outcome = DeviceOutcome::kUnusable;
+  DeviceSpeedup entry;
+};
+
+std::string encode_device(std::uint64_t index, DeviceOutcome outcome,
+                          const DeviceSpeedup& entry) {
+  using hm::common::encode_double;
+  using hm::common::encode_u64;
+  return hm::common::encode_fields(
+      {encode_u64(index), encode_u64(static_cast<std::uint64_t>(outcome)),
+       encode_u64(entry.noisy ? 1 : 0), entry.device_name,
+       encode_double(entry.default_fps), encode_double(entry.tuned_fps),
+       encode_double(entry.speedup)});
+}
+
+std::optional<DecodedDevice> decode_device(const std::string& payload) {
+  const auto fields = hm::common::decode_fields(payload);
+  if (!fields || fields->size() != 7) return std::nullopt;
+  DecodedDevice decoded;
+  const auto index = hm::common::decode_u64((*fields)[0]);
+  const auto outcome = hm::common::decode_u64((*fields)[1]);
+  const auto noisy = hm::common::decode_u64((*fields)[2]);
+  const auto default_fps = hm::common::decode_double((*fields)[4]);
+  const auto tuned_fps = hm::common::decode_double((*fields)[5]);
+  const auto speedup = hm::common::decode_double((*fields)[6]);
+  if (!index || !outcome || *outcome > 2 || !noisy || *noisy > 1 ||
+      !default_fps || !tuned_fps || !speedup) {
+    return std::nullopt;
+  }
+  decoded.index = *index;
+  decoded.outcome = static_cast<DeviceOutcome>(*outcome);
+  decoded.entry.device_name = (*fields)[3];
+  decoded.entry.noisy = *noisy == 1;
+  decoded.entry.default_fps = *default_fps;
+  decoded.entry.tuned_fps = *tuned_fps;
+  decoded.entry.speedup = *speedup;
+  return decoded;
+}
+
+}  // namespace
 
 CrowdResult run_crowd_experiment(
     const std::vector<hm::slambench::DeviceModel>& devices,
@@ -23,42 +180,116 @@ CrowdResult run_crowd_experiment(
   // fixed (population, seed) pair, so reruns reproduce the same funnel.
   hm::common::Rng rng(flaky.seed);
   for (const auto& device : devices) {
-    const bool dropped = rng.bernoulli(flaky.dropout_rate);
-    const bool noisy = rng.bernoulli(flaky.noisy_rate);
-    const double default_noise =
-        noisy ? std::exp(rng.normal(0.0, flaky.noise_sigma)) : 1.0;
-    const double tuned_noise =
-        noisy ? std::exp(rng.normal(0.0, flaky.noise_sigma)) : 1.0;
-    if (dropped) {
-      ++result.dropped_devices;
-      continue;
-    }
+    const ReliabilityDraw draw = draw_reliability(rng, flaky);
     DeviceSpeedup entry;
-    entry.device_name = device.name;
-    entry.noisy = noisy;
-    const double default_seconds =
-        device.seconds(default_stats, frames) * default_noise;
-    const double tuned_seconds =
-        device.seconds(tuned_stats, frames) * tuned_noise;
-    if (default_seconds <= 0.0 || tuned_seconds <= 0.0) continue;
-    entry.default_fps = static_cast<double>(frames) / default_seconds;
-    entry.tuned_fps = static_cast<double>(frames) / tuned_seconds;
-    entry.speedup = default_seconds / tuned_seconds;
-    result.noisy_devices += noisy ? 1 : 0;
-    speedups.push_back(entry.speedup);
-    result.devices.push_back(std::move(entry));
+    const DeviceOutcome outcome =
+        measure_device(device, default_stats, tuned_stats, frames, draw, &entry);
+    apply_outcome(outcome, std::move(entry), &result, &speedups);
   }
-  result.usable_devices = result.devices.size();
+  finalize_result(&result, speedups, flaky.trim_fraction);
+  return result;
+}
 
-  if (!speedups.empty()) {
-    const auto summary = hm::common::summarize(speedups);
-    result.min_speedup = summary.min;
-    result.max_speedup = summary.max;
-    result.median_speedup = summary.median;
-    result.mean_speedup = summary.mean;
-    result.trimmed_mean_speedup =
-        hm::common::trimmed_mean(speedups, flaky.trim_fraction);
+std::optional<CrowdResult> run_crowd_experiment_journaled(
+    const std::vector<hm::slambench::DeviceModel>& devices,
+    const hm::kfusion::KernelStats& default_stats,
+    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames,
+    const FlakyDeviceModel& flaky, const std::string& journal_path,
+    CrowdJournalInfo* info, std::string* error) {
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+
+  const hm::common::JournalReadResult parsed =
+      hm::common::read_journal(journal_path);
+  if (parsed.status == hm::common::JournalStatus::kBadMagic ||
+      parsed.status == hm::common::JournalStatus::kVersionMismatch) {
+    // Not a journal we can append to: refusing beats clobbering it.
+    return fail(std::string(journal_path) + " is not a usable campaign journal: " +
+                hm::common::to_string(parsed.status));
   }
+
+  CrowdJournalInfo local;
+  local.journal_defects = parsed.defects.size();
+  CrowdResult result;
+  std::vector<double> speedups;
+  speedups.reserve(devices.size());
+  hm::common::Rng rng(flaky.seed);
+  const std::string campaign = encode_campaign(devices.size(), frames, flaky);
+  std::size_t next_index = 0;
+  bool have_campaign_record = false;
+  bool done = false;
+
+  if (parsed.usable() && !parsed.records.empty()) {
+    if (parsed.records.front().type != "crowd") {
+      return fail("campaign journal does not start with a campaign record");
+    }
+    if (parsed.records.front().payload != campaign) {
+      return fail("campaign journal was written for a different campaign "
+                  "(device population, frame count, or flaky model differ)");
+    }
+    have_campaign_record = true;
+    for (std::size_t i = 1; i < parsed.records.size(); ++i) {
+      const hm::common::JournalRecord& record = parsed.records[i];
+      if (record.type == "done") {
+        done = true;
+        continue;
+      }
+      if (record.type != "dev") {
+        ++local.journal_defects;
+        continue;
+      }
+      const auto decoded = decode_device(record.payload);
+      if (!decoded) {
+        ++local.journal_defects;
+        continue;
+      }
+      if (decoded->index < next_index) continue;  // Duplicate from a resume.
+      if (decoded->index > next_index) {
+        // A gap means a device record was lost to corruption: everything
+        // from the gap on must be re-measured (the RNG cannot be
+        // re-aligned past an unknown outcome).
+        local.journal_defects += parsed.records.size() - i;
+        break;
+      }
+      burn_reliability(rng, decoded->entry.noisy, flaky);
+      apply_outcome(decoded->outcome, decoded->entry, &result, &speedups);
+      ++next_index;
+      ++local.replayed_devices;
+    }
+  }
+
+  if (done && next_index == devices.size()) {
+    finalize_result(&result, speedups, flaky.trim_fraction);
+    if (info != nullptr) *info = local;
+    return result;
+  }
+
+  hm::common::JournalWriter writer;
+  std::string io_error;
+  if (!writer.open(journal_path, &io_error)) {
+    return fail("cannot open campaign journal: " + io_error);
+  }
+  if (!have_campaign_record && !writer.append("crowd", campaign)) {
+    return fail("cannot journal the campaign fingerprint");
+  }
+  for (std::size_t i = next_index; i < devices.size(); ++i) {
+    const ReliabilityDraw draw = draw_reliability(rng, flaky);
+    DeviceSpeedup entry;
+    const DeviceOutcome outcome = measure_device(
+        devices[i], default_stats, tuned_stats, frames, draw, &entry);
+    if (!writer.append("dev", encode_device(i, outcome, entry))) {
+      return fail("cannot journal device " + devices[i].name);
+    }
+    apply_outcome(outcome, std::move(entry), &result, &speedups);
+    ++local.measured_devices;
+  }
+  if (!writer.append("done", "")) {
+    return fail("cannot journal campaign completion");
+  }
+  finalize_result(&result, speedups, flaky.trim_fraction);
+  if (info != nullptr) *info = local;
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,5 +69,29 @@ struct CrowdResult {
 /// ASCII histogram of the speedups (one row per bucket), mirroring Fig. 5.
 [[nodiscard]] std::string speedup_histogram(const CrowdResult& result,
                                             double bucket_width = 1.0);
+
+/// Bookkeeping from a journaled campaign run.
+struct CrowdJournalInfo {
+  std::size_t replayed_devices = 0;  ///< Restored from the journal.
+  std::size_t measured_devices = 0;  ///< Measured (and journaled) this run.
+  std::size_t journal_defects = 0;   ///< Damaged/undecodable records skipped.
+};
+
+/// Journaled variant of run_crowd_experiment: every per-device outcome is
+/// appended durably to the write-ahead log at `journal_path` as it
+/// completes, so a campaign killed mid-population resumes from the next
+/// unmeasured device instead of re-running the fleet. A fresh path starts
+/// a new campaign; an existing journal is replayed first (its fingerprint
+/// must match the requested campaign, or the call refuses and sets
+/// `error`). The result is byte-identical to an uninterrupted
+/// run_crowd_experiment with the same inputs: replay burns the same RNG
+/// draws the original devices consumed, and measured values round-trip
+/// through the journal bit-exactly.
+[[nodiscard]] std::optional<CrowdResult> run_crowd_experiment_journaled(
+    const std::vector<hm::slambench::DeviceModel>& devices,
+    const hm::kfusion::KernelStats& default_stats,
+    const hm::kfusion::KernelStats& tuned_stats, std::size_t frames,
+    const FlakyDeviceModel& flaky, const std::string& journal_path,
+    CrowdJournalInfo* info = nullptr, std::string* error = nullptr);
 
 }  // namespace hm::crowd

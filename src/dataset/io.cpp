@@ -7,6 +7,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
+
 namespace hm::dataset {
 
 using hm::geometry::DepthImage;
@@ -153,10 +155,9 @@ std::optional<std::vector<SE3>> trajectory_from_tum(std::string_view text) {
 namespace {
 
 bool write_file(const std::filesystem::path& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  return static_cast<bool>(out);
+  // Exported frames and trajectories go through the atomic writer so a
+  // crash mid-export never leaves a torn file in the sequence directory.
+  return hm::common::write_file_atomic(path.string(), content);
 }
 
 }  // namespace

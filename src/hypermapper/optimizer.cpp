@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "hypermapper/run_journal.hpp"
 
 namespace hm::hypermapper {
 
@@ -46,6 +47,19 @@ std::vector<Configuration> Optimizer::make_pool(hm::common::Rng& rng) const {
   return space_.sample_distinct(config_.pool_size, rng);
 }
 
+std::uint64_t Optimizer::replay_key(const Configuration& config) const {
+  return space_.cardinality() != 0 ? space_.key(config) : config_hash(config);
+}
+
+void Optimizer::journal_append(const char* type, const std::string& payload) {
+  if (journal_ == nullptr || !journal_started_) return;
+  if (!journal_->append(type, payload)) {
+    hm::common::log_warn() << "journal append to " << journal_->path()
+                           << " failed; journaling disabled for this run";
+    journal_ = nullptr;
+  }
+}
+
 void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
                                std::size_t iteration, OptimizationResult& result,
                                const std::vector<Objectives>* predicted) {
@@ -53,9 +67,23 @@ void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
   // configuration yields a typed outcome instead of throwing out of the
   // pool), then merge sequentially in configuration order: the sample and
   // quarantine streams stay deterministic under any thread scheduling.
+  //
+  // On resume, outcomes the crashed run already journaled are replayed
+  // from the tail map instead of re-evaluated; cooperative cancellation
+  // skips evaluations that have not started (skipped slots are simply not
+  // merged — a resumed run picks them up through the journal tail).
   std::vector<EvaluationOutcome> outcomes(configs.size());
+  std::vector<unsigned char> completed(configs.size(), 0);
+  std::vector<unsigned char> replayed(configs.size(), 0);
   auto evaluate_one = [&](std::size_t i) {
+    if (replay_ != nullptr && replay_->contains(replay_key(configs[i]))) {
+      replayed[i] = 1;
+      completed[i] = 1;
+      return;
+    }
+    if (cancel_requested()) return;
     outcomes[i] = supervisor_.evaluate_outcome(configs[i]);
+    completed[i] = 1;
   };
   if (pool_ != nullptr && evaluator_.thread_safe()) {
     pool_->parallel_for(0, configs.size(), evaluate_one);
@@ -65,6 +93,21 @@ void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
 
   const bool discrete = space_.cardinality() != 0;
   for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (!completed[i]) {
+      result.interrupted = true;
+      continue;
+    }
+    if (replayed[i]) {
+      // Journaled by the crashed run: take the record verbatim (it is
+      // already on disk, so it is not re-journaled either).
+      const ReplayEntry& entry = replay_->at(replay_key(configs[i]));
+      if (entry.ok) {
+        result.samples.push_back(entry.sample);
+      } else {
+        result.quarantine.push_back(entry.failure);
+      }
+      continue;
+    }
     EvaluationOutcome& outcome = outcomes[i];
     if (outcome.ok()) {
       SampleRecord record;
@@ -72,6 +115,7 @@ void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
       record.objectives = std::move(outcome.objectives);
       record.iteration = iteration;
       if (predicted != nullptr) record.predicted = (*predicted)[i];
+      journal_append("eval", encode_eval_record(result.samples.size(), record));
       result.samples.push_back(std::move(record));
     } else {
       QuarantineRecord record;
@@ -81,6 +125,8 @@ void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
       record.message = std::move(outcome.message);
       record.iteration = iteration;
       record.attempts = outcome.attempts;
+      journal_append("fail",
+                     encode_fail_record(result.quarantine.size(), record));
       result.quarantine.push_back(std::move(record));
     }
   }
@@ -105,15 +151,151 @@ OptimizationResult Optimizer::run_random_only() {
   return result;
 }
 
+void Optimizer::finalize_fronts(OptimizationResult& result) const {
+  // Identical insert sequence to the incremental archives in
+  // run_active_learning, so the rebuilt fronts match byte for byte.
+  ParetoArchive archive;
+  ParetoArchive bootstrap_archive;
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    archive.insert(result.samples[i].objectives, i);
+    if (result.samples[i].iteration == 0) {
+      bootstrap_archive.insert(result.samples[i].objectives, i);
+    }
+  }
+  result.pareto = archive.indices();
+  result.random_phase_pareto = bootstrap_archive.indices();
+}
+
+void Optimizer::compact_journal(const OptimizationResult& result,
+                                bool has_phase, std::size_t iteration,
+                                const hm::common::RngState& rng) {
+  if (journal_ == nullptr || !journal_started_) return;
+  // The snapshot IS the compacted journal: the canonical record sequence
+  // reconstructs the exact in-memory state, so compaction just rewrites
+  // the file to that normal form (atomically — a crash mid-compaction
+  // leaves either the old journal or the new one).
+  std::vector<std::pair<std::string, std::string>> records;
+  records.reserve(result.samples.size() + result.quarantine.size() +
+                  result.iterations.size() + 2);
+  records.emplace_back(
+      "run", encode_run_record(make_fingerprint(config_, space_,
+                                                evaluator_.objective_count())));
+  for (std::size_t i = 0; i < result.samples.size(); ++i) {
+    records.emplace_back("eval", encode_eval_record(i, result.samples[i]));
+  }
+  for (std::size_t i = 0; i < result.quarantine.size(); ++i) {
+    records.emplace_back("fail", encode_fail_record(i, result.quarantine[i]));
+  }
+  for (const IterationStats& stats : result.iterations) {
+    records.emplace_back("stat", encode_stat_record(stats));
+  }
+  if (has_phase) {
+    records.emplace_back("phase", encode_phase_record(iteration, rng));
+  }
+  std::string error;
+  if (!journal_->rewrite(records, &error)) {
+    hm::common::log_warn() << "journal compaction failed (" << error
+                           << "); journaling disabled for this run";
+    journal_ = nullptr;
+  }
+}
+
+void Optimizer::journal_phase_boundary(const OptimizationResult& result,
+                                       std::size_t iteration,
+                                       const hm::common::Rng& rng) {
+  if (journal_ == nullptr || !journal_started_) return;
+  const hm::common::RngState state = rng.save_state();
+  // The phase record commits everything journaled so far and captures the
+  // RNG stream exactly where the next iteration's pool draw will resume.
+  journal_append("stat", encode_stat_record(result.iterations.back()));
+  journal_append("phase", encode_phase_record(iteration, state));
+  if (checkpoint_policy_.every_phases != 0 &&
+      ++phases_since_compaction_ >= checkpoint_policy_.every_phases) {
+    phases_since_compaction_ = 0;
+    compact_journal(result, true, iteration, state);
+  }
+}
+
 OptimizationResult Optimizer::run() {
   hm::common::Rng rng(config_.seed);
   OptimizationResult result;
+  journal_started_ = journal_ != nullptr;
+  journal_append("run",
+                 encode_run_record(make_fingerprint(
+                     config_, space_, evaluator_.objective_count())));
 
   // --- Bootstrap: rs distinct random samples, evaluated on "hardware". ---
   const std::vector<Configuration> bootstrap =
       space_.sample_distinct(config_.random_samples, rng);
   evaluate_batch(bootstrap, 0, result);
   run_active_learning(result, rng);
+  journal_started_ = false;
+  return result;
+}
+
+std::optional<OptimizationResult> Optimizer::resume(
+    const std::string& journal_path) {
+  const hm::common::JournalReadResult journal =
+      hm::common::read_journal(journal_path);
+  std::string error;
+  auto replay = replay_journal(journal, space_, &error);
+  if (!replay) {
+    hm::common::log_warn() << "cannot resume from " << journal_path << ": "
+                           << error;
+    return std::nullopt;
+  }
+  if (!(replay->fingerprint ==
+        make_fingerprint(config_, space_, evaluator_.objective_count()))) {
+    hm::common::log_warn() << "cannot resume from " << journal_path
+                           << ": journal was written by a different run "
+                              "configuration";
+    return std::nullopt;
+  }
+  if (!journal.defects.empty()) {
+    hm::common::log_warn() << "journal " << journal_path << " recovered with "
+                           << journal.defects.size()
+                           << " damaged region(s); first damage at byte "
+                           << journal.first_damaged_offset << " (line "
+                           << journal.defects.front().line << ", "
+                           << to_string(journal.defects.front().damage) << ")";
+  }
+  if (replay->malformed_payloads != 0) {
+    hm::common::log_warn() << "journal " << journal_path << ": skipped "
+                           << replay->malformed_payloads
+                           << " record(s) with malformed payloads";
+  }
+
+  OptimizationResult result = std::move(replay->result);
+  if (replay->done) {
+    // The run had already finished; reconstruct the fronts and return.
+    // Critically, no pool is drawn and no RNG advanced — re-running the
+    // loop here would diverge from the uninterrupted run.
+    finalize_fronts(result);
+    return result;
+  }
+
+  journal_started_ = journal_ != nullptr;
+  // Normalize the on-disk journal before appending to it: drops the
+  // damaged tail (if any) and re-frames the replayed state canonically.
+  compact_journal(result, replay->has_phase, replay->completed_iteration,
+                  replay->rng);
+
+  replay_ = &replay->tail;
+  hm::common::Rng rng(config_.seed);
+  if (!replay->has_phase) {
+    // Crash during the bootstrap phase: the same bootstrap set is re-drawn
+    // from the seed, and the journaled tail short-circuits the
+    // evaluations that already completed.
+    const std::vector<Configuration> bootstrap =
+        space_.sample_distinct(config_.random_samples, rng);
+    evaluate_batch(bootstrap, 0, result);
+    run_active_learning(result, rng);
+  } else {
+    rng.restore_state(replay->rng);
+    run_active_learning(result, rng, replay->completed_iteration + 1);
+  }
+  replay_ = nullptr;
+  journal_started_ = false;
   return result;
 }
 
@@ -150,14 +332,27 @@ OptimizationResult Optimizer::run_seeded(std::span<const SampleRecord> seed) {
 }
 
 void Optimizer::run_active_learning(OptimizationResult& result,
-                                    hm::common::Rng& rng) {
+                                    hm::common::Rng& rng,
+                                    std::size_t start_iteration) {
   // Incremental measured front: absorb each batch as it is evaluated instead
   // of recomputing the front from every sample on every iteration.
   ParetoArchive archive;
+  ParetoArchive bootstrap_archive;
   for (std::size_t i = 0; i < result.samples.size(); ++i) {
     archive.insert(result.samples[i].objectives, i);
+    if (result.samples[i].iteration == 0) {
+      bootstrap_archive.insert(result.samples[i].objectives, i);
+    }
   }
-  result.random_phase_pareto = archive.indices();
+  result.random_phase_pareto = bootstrap_archive.indices();
+
+  if (result.interrupted) {
+    // Cooperative shutdown hit during the bootstrap: no phase record is
+    // written (the journal tail already holds every completed evaluation),
+    // and the partial result still gets usable fronts.
+    result.pareto = archive.indices();
+    return;
+  }
 
   std::unordered_set<std::uint64_t> evaluated_keys;
   const bool discrete = space_.cardinality() != 0;
@@ -188,7 +383,9 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     }
   };
 
-  {
+  if (result.iterations.empty()) {
+    // Fresh run (or resume of a crash inside the bootstrap): the bootstrap
+    // phase just completed, so record its stats and its phase boundary.
     IterationStats stats;
     stats.iteration = 0;
     stats.new_samples = result.samples.size();
@@ -196,13 +393,18 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     stats.measured_front_size = archive.size();
     result.iterations.push_back(stats);
     if (progress_) progress_(stats);
+    journal_phase_boundary(result, 0, rng);
   }
 
   // --- Active learning loop. ---
   std::vector<hm::rf::RandomForest> models;
-  for (std::size_t iteration = 1; iteration <= config_.max_iterations;
-       ++iteration) {
+  for (std::size_t iteration = start_iteration;
+       iteration <= config_.max_iterations; ++iteration) {
     if (result.samples.empty()) break;  // Nothing to train a surrogate on.
+    if (cancel_requested()) {
+      result.interrupted = true;
+      break;
+    }
     rebuild_training_set();
 
     // Fit one forest per objective (M_ATE and M_run in the paper).
@@ -261,15 +463,21 @@ void Optimizer::run_active_learning(OptimizationResult& result,
 
     if (to_evaluate.empty()) {
       // Predicted front fully measured: Algorithm 1's termination condition.
+      // No phase record here — this iteration consumed the RNG (pool draw),
+      // so committing it as a resumable boundary would let a resumed run
+      // draw a *different* pool for an iteration the original never ran.
+      // The "done" record after the loop marks the run as finished instead.
       stats.measured_front_size = archive.size();
       result.iterations.push_back(stats);
       if (progress_) progress_(stats);
+      journal_append("stat", encode_stat_record(stats));
       break;
     }
 
     const std::size_t batch_base = result.samples.size();
     const std::size_t quarantine_base = result.quarantine.size();
     evaluate_batch(to_evaluate, iteration, result, &to_evaluate_predicted);
+    if (result.interrupted) break;  // Partial batch: no stats, no boundary.
     stats.new_samples = result.samples.size() - batch_base;
     stats.failed_samples = result.quarantine.size() - quarantine_base;
     for (std::size_t i = batch_base; i < result.samples.size(); ++i) {
@@ -303,12 +511,14 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     stats.measured_front_size = archive.size();
     result.iterations.push_back(stats);
     if (progress_) progress_(stats);
+    journal_phase_boundary(result, iteration, rng);
     hm::common::log_debug() << "iteration " << iteration << ": +"
                             << to_evaluate.size() << " samples, front "
                             << stats.measured_front_size;
   }
 
   result.pareto = archive.indices();
+  if (!result.interrupted) journal_append("done", "");
 }
 
 }  // namespace hm::hypermapper

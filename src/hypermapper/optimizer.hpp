@@ -12,9 +12,12 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/checkpoint.hpp"
+#include "common/journal.hpp"
 #include "common/thread_pool.hpp"
 #include "hypermapper/evaluator.hpp"
 #include "hypermapper/pareto.hpp"
@@ -95,12 +98,19 @@ struct OptimizationResult {
   std::vector<IterationStats> iterations;
   /// Failed configurations, in evaluation order. Disjoint from samples.
   std::vector<QuarantineRecord> quarantine;
+  /// True when the run was stopped by cooperative cancellation (SIGINT via
+  /// Optimizer::set_cancel) before finishing. A journaled interrupted run
+  /// can be continued with Optimizer::resume to the byte-identical result
+  /// an uninterrupted run would have produced.
+  bool interrupted = false;
 
   [[nodiscard]] std::size_t random_sample_count() const;
   [[nodiscard]] std::size_t active_sample_count() const;
   /// Quarantined configurations with the given failure class.
   [[nodiscard]] std::size_t failure_count(EvaluationStatus status) const;
 };
+
+struct ReplayEntry;  // run_journal.hpp
 
 class Optimizer {
  public:
@@ -112,6 +122,39 @@ class Optimizer {
   /// every active-learning iteration.
   using ProgressFn = std::function<void(const IterationStats&)>;
   void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
+
+  /// Attaches a write-ahead journal: every completed evaluation and every
+  /// phase transition of run() is appended durably, so a killed process
+  /// loses at most the evaluations that were in flight. The journal must
+  /// outlive the optimizer's run. For run(), attach a fresh (empty-file)
+  /// journal; to continue a crashed run, open its existing journal and call
+  /// resume(). `policy` controls how often the journal is compacted into a
+  /// snapshot (default: every phase boundary).
+  void attach_journal(hm::common::JournalWriter* journal,
+                      hm::common::CheckpointPolicy policy = {}) {
+    journal_ = journal;
+    checkpoint_policy_ = policy;
+  }
+
+  /// Cooperative cancellation probe, polled between evaluations and between
+  /// iterations. When it returns true the run stops cleanly: completed
+  /// evaluations are already journaled, in-flight ones are skipped, and the
+  /// returned result has `interrupted == true`. Typically wired to
+  /// common::shutdown_requested (SIGINT/SIGTERM).
+  void set_cancel(std::function<bool()> cancel) { cancel_ = std::move(cancel); }
+
+  /// Resumes a journaled run() from its write-ahead log: replays the
+  /// committed prefix (without re-evaluating anything), restores the RNG
+  /// stream at the last phase boundary, re-runs the in-flight iteration
+  /// consulting the journaled tail as a dedupe map, and continues to
+  /// completion. The final result is byte-identical to what an
+  /// uninterrupted run() with the same configuration would have returned.
+  /// Returns nullopt (with a logged reason) when the journal is missing,
+  /// unusable, or was written by a different run configuration. If a
+  /// journal is attached (normally the same file), the resumed run keeps
+  /// journaling — resume after a second crash works the same way.
+  [[nodiscard]] std::optional<OptimizationResult> resume(
+      const std::string& journal_path);
 
   /// Runs Algorithm 1 to completion and returns every measured sample plus
   /// the final measured Pareto front.
@@ -134,8 +177,28 @@ class Optimizer {
                       const std::vector<Objectives>* predicted = nullptr);
   [[nodiscard]] std::vector<std::size_t> measured_front(
       const OptimizationResult& result) const;
-  /// The active-learning phase, continuing from whatever `result` holds.
-  void run_active_learning(OptimizationResult& result, hm::common::Rng& rng);
+  /// The active-learning phase, continuing from whatever `result` holds,
+  /// starting at `start_iteration` (> 1 when resuming past completed
+  /// phases).
+  void run_active_learning(OptimizationResult& result, hm::common::Rng& rng,
+                           std::size_t start_iteration = 1);
+
+  [[nodiscard]] bool cancel_requested() const {
+    return cancel_ && cancel_();
+  }
+  [[nodiscard]] std::uint64_t replay_key(const Configuration& config) const;
+  /// Rebuilds pareto/random_phase_pareto from samples (resume of a
+  /// finished run; identical to the archive-incremental computation).
+  void finalize_fronts(OptimizationResult& result) const;
+  /// Journal helpers; all degrade to no-ops when journaling is off, and
+  /// disable journaling (with a warning) on I/O failure rather than abort
+  /// the optimization.
+  void journal_append(const char* type, const std::string& payload);
+  void journal_phase_boundary(const OptimizationResult& result,
+                              std::size_t iteration,
+                              const hm::common::Rng& rng);
+  void compact_journal(const OptimizationResult& result, bool has_phase,
+                       std::size_t iteration, const hm::common::RngState& rng);
 
   const DesignSpace& space_;
   Evaluator& evaluator_;
@@ -145,6 +208,17 @@ class Optimizer {
   ResilientEvaluator supervisor_;
   hm::common::ThreadPool* pool_;
   ProgressFn progress_;
+  hm::common::JournalWriter* journal_ = nullptr;
+  hm::common::CheckpointPolicy checkpoint_policy_;
+  std::function<bool()> cancel_;
+  /// True only inside run()/resume() after the run record is on disk;
+  /// run_random_only/run_seeded never journal.
+  bool journal_started_ = false;
+  std::uint32_t phases_since_compaction_ = 0;
+  /// Resume only: outcomes journaled by the crashed run's in-flight
+  /// iteration, keyed by configuration identity. evaluate_batch consults
+  /// this before evaluating.
+  const std::unordered_map<std::uint64_t, ReplayEntry>* replay_ = nullptr;
 };
 
 }  // namespace hm::hypermapper

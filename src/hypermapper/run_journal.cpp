@@ -1,0 +1,375 @@
+#include "hypermapper/run_journal.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/checkpoint.hpp"
+#include "hypermapper/resilient_evaluator.hpp"
+
+namespace hm::hypermapper {
+
+using hm::common::decode_double;
+using hm::common::decode_fields;
+using hm::common::decode_rng;
+using hm::common::decode_u64;
+using hm::common::encode_double;
+using hm::common::encode_fields;
+using hm::common::encode_rng;
+using hm::common::encode_u64;
+
+namespace {
+
+/// Appends `values.size()` followed by each value, hex-encoded.
+void push_doubles(std::vector<std::string>* fields,
+                  const std::vector<double>& values) {
+  fields->push_back(encode_u64(values.size()));
+  for (const double v : values) fields->push_back(encode_double(v));
+}
+
+/// Reads a count-prefixed double vector starting at fields[*cursor].
+[[nodiscard]] bool pull_doubles(const std::vector<std::string>& fields,
+                                std::size_t* cursor,
+                                std::vector<double>* values) {
+  if (*cursor >= fields.size()) return false;
+  const auto count = decode_u64(fields[(*cursor)++]);
+  if (!count || *count > fields.size() - *cursor) return false;
+  values->clear();
+  values->reserve(static_cast<std::size_t>(*count));
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto value = decode_double(fields[(*cursor)++]);
+    if (!value) return false;
+    values->push_back(*value);
+  }
+  return true;
+}
+
+[[nodiscard]] bool pull_u64(const std::vector<std::string>& fields,
+                            std::size_t* cursor, std::uint64_t* value) {
+  if (*cursor >= fields.size()) return false;
+  const auto decoded = decode_u64(fields[(*cursor)++]);
+  if (!decoded) return false;
+  *value = *decoded;
+  return true;
+}
+
+}  // namespace
+
+RunFingerprint make_fingerprint(const OptimizerConfig& config,
+                                const DesignSpace& space,
+                                std::size_t objective_count) {
+  RunFingerprint fp;
+  fp.seed = config.seed;
+  fp.random_samples = config.random_samples;
+  fp.max_iterations = config.max_iterations;
+  fp.max_samples_per_iteration = config.max_samples_per_iteration;
+  fp.pool_size = config.pool_size;
+  fp.exhaustive_pool = config.exhaustive_pool;
+  fp.parameter_count = space.parameter_count();
+  fp.objective_count = objective_count;
+  fp.cardinality = space.cardinality();
+  return fp;
+}
+
+std::string encode_run_record(const RunFingerprint& fp) {
+  return encode_fields({encode_u64(fp.seed), encode_u64(fp.random_samples),
+                        encode_u64(fp.max_iterations),
+                        encode_u64(fp.max_samples_per_iteration),
+                        encode_u64(fp.pool_size),
+                        fp.exhaustive_pool ? "1" : "0",
+                        encode_u64(fp.parameter_count),
+                        encode_u64(fp.objective_count),
+                        encode_u64(fp.cardinality)});
+}
+
+std::optional<RunFingerprint> decode_run_record(const std::string& payload) {
+  const auto fields = decode_fields(payload);
+  if (!fields || fields->size() != 9) return std::nullopt;
+  RunFingerprint fp;
+  std::size_t cursor = 0;
+  if (!pull_u64(*fields, &cursor, &fp.seed) ||
+      !pull_u64(*fields, &cursor, &fp.random_samples) ||
+      !pull_u64(*fields, &cursor, &fp.max_iterations) ||
+      !pull_u64(*fields, &cursor, &fp.max_samples_per_iteration) ||
+      !pull_u64(*fields, &cursor, &fp.pool_size)) {
+    return std::nullopt;
+  }
+  const std::string& exhaustive = (*fields)[cursor++];
+  if (exhaustive == "1") {
+    fp.exhaustive_pool = true;
+  } else if (exhaustive == "0") {
+    fp.exhaustive_pool = false;
+  } else {
+    return std::nullopt;
+  }
+  if (!pull_u64(*fields, &cursor, &fp.parameter_count) ||
+      !pull_u64(*fields, &cursor, &fp.objective_count) ||
+      !pull_u64(*fields, &cursor, &fp.cardinality)) {
+    return std::nullopt;
+  }
+  return fp;
+}
+
+std::string encode_eval_record(std::uint64_t seq, const SampleRecord& sample) {
+  std::vector<std::string> fields;
+  fields.push_back(encode_u64(seq));
+  fields.push_back(encode_u64(sample.iteration));
+  push_doubles(&fields, sample.config);
+  push_doubles(&fields, sample.objectives);
+  push_doubles(&fields, sample.predicted);
+  return encode_fields(fields);
+}
+
+std::optional<DecodedEval> decode_eval_record(const std::string& payload) {
+  const auto fields = decode_fields(payload);
+  if (!fields) return std::nullopt;
+  DecodedEval decoded;
+  std::size_t cursor = 0;
+  std::uint64_t iteration = 0;
+  if (!pull_u64(*fields, &cursor, &decoded.seq) ||
+      !pull_u64(*fields, &cursor, &iteration)) {
+    return std::nullopt;
+  }
+  decoded.sample.iteration = static_cast<std::size_t>(iteration);
+  if (!pull_doubles(*fields, &cursor, &decoded.sample.config) ||
+      !pull_doubles(*fields, &cursor, &decoded.sample.objectives) ||
+      !pull_doubles(*fields, &cursor, &decoded.sample.predicted) ||
+      cursor != fields->size()) {
+    return std::nullopt;
+  }
+  return decoded;
+}
+
+std::string encode_fail_record(std::uint64_t seq,
+                               const QuarantineRecord& record) {
+  std::vector<std::string> fields;
+  fields.push_back(encode_u64(seq));
+  fields.push_back(encode_u64(record.iteration));
+  push_doubles(&fields, record.config);
+  fields.push_back(encode_u64(static_cast<std::uint64_t>(record.status)));
+  fields.push_back(encode_u64(record.attempts));
+  fields.push_back(record.message);
+  return encode_fields(fields);
+}
+
+std::optional<DecodedFail> decode_fail_record(const std::string& payload) {
+  const auto fields = decode_fields(payload);
+  if (!fields) return std::nullopt;
+  DecodedFail decoded;
+  QuarantineRecord& record = decoded.failure;
+  std::size_t cursor = 0;
+  std::uint64_t iteration = 0;
+  if (!pull_u64(*fields, &cursor, &decoded.seq) ||
+      !pull_u64(*fields, &cursor, &iteration)) {
+    return std::nullopt;
+  }
+  record.iteration = static_cast<std::size_t>(iteration);
+  if (!pull_doubles(*fields, &cursor, &record.config)) return std::nullopt;
+  std::uint64_t status = 0;
+  std::uint64_t attempts = 0;
+  if (!pull_u64(*fields, &cursor, &status) ||
+      status > static_cast<std::uint64_t>(EvaluationStatus::kTimeout) ||
+      !pull_u64(*fields, &cursor, &attempts) || cursor + 1 != fields->size()) {
+    return std::nullopt;
+  }
+  record.status = static_cast<EvaluationStatus>(status);
+  record.attempts = static_cast<std::size_t>(attempts);
+  record.message = (*fields)[cursor];
+  return decoded;
+}
+
+std::string encode_stat_record(const IterationStats& stats) {
+  std::vector<std::string> fields;
+  fields.push_back(encode_u64(stats.iteration));
+  fields.push_back(encode_u64(stats.new_samples));
+  fields.push_back(encode_u64(stats.failed_samples));
+  fields.push_back(encode_u64(stats.predicted_front_size));
+  fields.push_back(encode_u64(stats.measured_front_size));
+  fields.push_back(encode_double(stats.oob_rmse_objective0));
+  fields.push_back(encode_double(stats.oob_rmse_objective1));
+  push_doubles(&fields, stats.prediction_error);
+  return encode_fields(fields);
+}
+
+std::optional<IterationStats> decode_stat_record(const std::string& payload) {
+  const auto fields = decode_fields(payload);
+  if (!fields) return std::nullopt;
+  IterationStats stats;
+  std::size_t cursor = 0;
+  std::uint64_t iteration = 0, new_samples = 0, failed = 0, predicted = 0,
+                measured = 0;
+  if (!pull_u64(*fields, &cursor, &iteration) ||
+      !pull_u64(*fields, &cursor, &new_samples) ||
+      !pull_u64(*fields, &cursor, &failed) ||
+      !pull_u64(*fields, &cursor, &predicted) ||
+      !pull_u64(*fields, &cursor, &measured)) {
+    return std::nullopt;
+  }
+  stats.iteration = static_cast<std::size_t>(iteration);
+  stats.new_samples = static_cast<std::size_t>(new_samples);
+  stats.failed_samples = static_cast<std::size_t>(failed);
+  stats.predicted_front_size = static_cast<std::size_t>(predicted);
+  stats.measured_front_size = static_cast<std::size_t>(measured);
+  if (cursor + 2 > fields->size()) return std::nullopt;
+  const auto oob0 = decode_double((*fields)[cursor++]);
+  const auto oob1 = decode_double((*fields)[cursor++]);
+  if (!oob0 || !oob1) return std::nullopt;
+  stats.oob_rmse_objective0 = *oob0;
+  stats.oob_rmse_objective1 = *oob1;
+  if (!pull_doubles(*fields, &cursor, &stats.prediction_error) ||
+      cursor != fields->size()) {
+    return std::nullopt;
+  }
+  return stats;
+}
+
+std::string encode_phase_record(std::size_t iteration,
+                                const common::RngState& rng) {
+  return encode_fields({encode_u64(iteration), encode_rng(rng)});
+}
+
+bool decode_phase_record(const std::string& payload, std::size_t* iteration,
+                         common::RngState* rng) {
+  const auto fields = decode_fields(payload);
+  if (!fields || fields->size() != 2) return false;
+  const auto decoded_iteration = decode_u64((*fields)[0]);
+  const auto decoded_rng = decode_rng((*fields)[1]);
+  if (!decoded_iteration || !decoded_rng) return false;
+  *iteration = static_cast<std::size_t>(*decoded_iteration);
+  *rng = *decoded_rng;
+  return true;
+}
+
+std::optional<ReplayState> replay_journal(
+    const common::JournalReadResult& journal, const DesignSpace& space,
+    std::string* error) {
+  if (!journal.usable()) {
+    if (error != nullptr) {
+      *error = std::string("journal not usable: ") + to_string(journal.status);
+    }
+    return std::nullopt;
+  }
+  if (journal.records.empty() || journal.records.front().type != "run") {
+    if (error != nullptr) {
+      *error = "journal does not start with a run record";
+    }
+    return std::nullopt;
+  }
+  const auto fingerprint = decode_run_record(journal.records.front().payload);
+  if (!fingerprint) {
+    if (error != nullptr) *error = "run record payload is malformed";
+    return std::nullopt;
+  }
+
+  ReplayState state;
+  state.fingerprint = *fingerprint;
+  const bool discrete = space.cardinality() != 0;
+
+  // Pending records accumulate until a phase boundary (or the done record)
+  // commits them into the result; whatever is left pending at the end is
+  // the in-flight tail. Commit order is by sequence number, not journal
+  // order: after a resume the journal interleaves the crashed run's tail
+  // with the resumed run's appends.
+  std::vector<DecodedEval> pending_samples;
+  std::vector<DecodedFail> pending_failures;
+  std::vector<IterationStats> pending_stats;
+
+  auto commit_pending = [&] {
+    std::sort(pending_samples.begin(), pending_samples.end(),
+              [](const DecodedEval& a, const DecodedEval& b) {
+                return a.seq < b.seq;
+              });
+    std::sort(pending_failures.begin(), pending_failures.end(),
+              [](const DecodedFail& a, const DecodedFail& b) {
+                return a.seq < b.seq;
+              });
+    for (DecodedEval& eval : pending_samples) {
+      state.result.samples.push_back(std::move(eval.sample));
+    }
+    for (DecodedFail& fail : pending_failures) {
+      state.result.quarantine.push_back(std::move(fail.failure));
+    }
+    for (IterationStats& stats : pending_stats) {
+      state.result.iterations.push_back(std::move(stats));
+    }
+    pending_samples.clear();
+    pending_failures.clear();
+    pending_stats.clear();
+  };
+
+  for (std::size_t i = 1; i < journal.records.size(); ++i) {
+    const common::JournalRecord& record = journal.records[i];
+    if (record.type == "eval") {
+      auto eval = decode_eval_record(record.payload);
+      if (!eval ||
+          eval->sample.config.size() != state.fingerprint.parameter_count ||
+          eval->sample.objectives.size() !=
+              state.fingerprint.objective_count) {
+        ++state.malformed_payloads;
+        continue;
+      }
+      pending_samples.push_back(std::move(*eval));
+    } else if (record.type == "fail") {
+      auto fail = decode_fail_record(record.payload);
+      if (!fail ||
+          fail->failure.config.size() != state.fingerprint.parameter_count) {
+        ++state.malformed_payloads;
+        continue;
+      }
+      fail->failure.key = discrete ? space.key(fail->failure.config)
+                                   : config_hash(fail->failure.config);
+      pending_failures.push_back(std::move(*fail));
+    } else if (record.type == "stat") {
+      auto stats = decode_stat_record(record.payload);
+      if (!stats) {
+        ++state.malformed_payloads;
+        continue;
+      }
+      pending_stats.push_back(std::move(*stats));
+    } else if (record.type == "phase") {
+      std::size_t iteration = 0;
+      common::RngState rng;
+      if (!decode_phase_record(record.payload, &iteration, &rng)) {
+        ++state.malformed_payloads;
+        continue;
+      }
+      commit_pending();
+      state.has_phase = true;
+      state.completed_iteration = iteration;
+      state.rng = rng;
+    } else if (record.type == "done") {
+      commit_pending();
+      state.done = true;
+    } else if (record.type == "run") {
+      // A second run record would mean two runs interleaved in one file;
+      // treat it as damage rather than guessing.
+      ++state.malformed_payloads;
+    } else {
+      // Unknown record type: forward-compatibility, skip.
+      ++state.malformed_payloads;
+    }
+  }
+
+  // The uncommitted tail is the iteration that was in flight at the crash:
+  // resume re-runs that iteration and consults this map instead of
+  // re-evaluating configurations whose outcomes already reached the disk.
+  // Pending stats are dropped — the resumed iteration recomputes them.
+  for (DecodedEval& eval : pending_samples) {
+    const std::uint64_t key = discrete ? space.key(eval.sample.config)
+                                       : config_hash(eval.sample.config);
+    ReplayEntry entry;
+    entry.ok = true;
+    entry.objectives = eval.sample.objectives;
+    entry.sample = std::move(eval.sample);
+    state.tail.emplace(key, std::move(entry));
+  }
+  for (DecodedFail& fail : pending_failures) {
+    const std::uint64_t key = fail.failure.key;
+    ReplayEntry entry;
+    entry.ok = false;
+    entry.failure = std::move(fail.failure);
+    state.tail.emplace(key, std::move(entry));
+  }
+  return state;
+}
+
+}  // namespace hm::hypermapper

@@ -1,0 +1,141 @@
+// Journal schema for optimizer runs: how an Optimizer's write-ahead log
+// (common/journal.hpp) encodes evaluations, phase transitions, and
+// snapshots, and how a crashed run's journal is replayed back into
+// optimizer state.
+//
+// Record types ("type" column of the WAL frame):
+//   run    one per journal; the run fingerprint (config + space shape).
+//          Resume refuses a journal whose fingerprint does not match.
+//   eval   one successful evaluation: iteration, configuration, measured
+//          objectives, surrogate prediction (empty for bootstrap).
+//   fail   one quarantined evaluation: iteration, configuration, typed
+//          failure status, attempts, message.
+//   stat   one completed iteration's IterationStats.
+//   phase  phase boundary: the iteration just completed plus the full RNG
+//          state at the boundary. Everything before the *last* phase record
+//          is committed state; eval/fail records after it are the in-flight
+//          iteration's tail, replayed as a dedupe map so resume re-runs that
+//          iteration without re-evaluating what already completed.
+//   done   terminal record: the run finished (converged or exhausted its
+//          iteration budget). Resuming a done journal reconstructs the
+//          result directly — critically, it does NOT draw another pool,
+//          which would diverge from the uninterrupted run.
+//
+// All doubles are serialized as IEEE-754 bit patterns (checkpoint.hpp), so
+// a replayed run re-trains its surrogates on bit-identical values and
+// every downstream decision (predicted front, proposal order, Pareto
+// dominance) is byte-identical to the uninterrupted run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "common/rng.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/space.hpp"
+
+namespace hm::hypermapper {
+
+/// Identity of a run: optimizer configuration knobs that shape the sample
+/// stream plus the space/objective dimensions. A journal written under one
+/// fingerprint cannot be resumed under another.
+struct RunFingerprint {
+  std::uint64_t seed = 0;
+  std::uint64_t random_samples = 0;
+  std::uint64_t max_iterations = 0;
+  std::uint64_t max_samples_per_iteration = 0;
+  std::uint64_t pool_size = 0;
+  bool exhaustive_pool = false;
+  std::uint64_t parameter_count = 0;
+  std::uint64_t objective_count = 0;
+  std::uint64_t cardinality = 0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+[[nodiscard]] RunFingerprint make_fingerprint(const OptimizerConfig& config,
+                                              const DesignSpace& space,
+                                              std::size_t objective_count);
+
+// --- Record payload codecs (encode never fails; decode returns nullopt on
+// --- malformed payloads, which resume treats like a corrupt record). ---
+
+[[nodiscard]] std::string encode_run_record(const RunFingerprint& fingerprint);
+[[nodiscard]] std::optional<RunFingerprint> decode_run_record(
+    const std::string& payload);
+
+/// eval/fail records carry a sequence number — the index the record
+/// occupies in result.samples / result.quarantine. After a resume, the
+/// journal can hold a crashed run's tail records interleaved with the
+/// resumed run's appends; sorting by sequence at commit time restores the
+/// canonical merge order (which matters: surrogate training is sensitive
+/// to row order), independent of on-disk record order.
+[[nodiscard]] std::string encode_eval_record(std::uint64_t seq,
+                                             const SampleRecord& sample);
+struct DecodedEval {
+  std::uint64_t seq = 0;
+  SampleRecord sample;
+};
+[[nodiscard]] std::optional<DecodedEval> decode_eval_record(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_fail_record(std::uint64_t seq,
+                                             const QuarantineRecord& record);
+struct DecodedFail {
+  std::uint64_t seq = 0;
+  QuarantineRecord failure;
+};
+[[nodiscard]] std::optional<DecodedFail> decode_fail_record(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_stat_record(const IterationStats& stats);
+[[nodiscard]] std::optional<IterationStats> decode_stat_record(
+    const std::string& payload);
+
+[[nodiscard]] std::string encode_phase_record(std::size_t iteration,
+                                              const common::RngState& rng);
+[[nodiscard]] bool decode_phase_record(const std::string& payload,
+                                       std::size_t* iteration,
+                                       common::RngState* rng);
+
+/// One journaled outcome for the in-flight iteration, keyed by
+/// configuration identity: resume consults this before re-evaluating, so a
+/// config that completed before the crash is replayed, not re-measured
+/// (and, for real SLAM evaluators, not re-run for minutes).
+struct ReplayEntry {
+  bool ok = false;
+  Objectives objectives;                                ///< When ok.
+  SampleRecord sample;                                  ///< When ok.
+  QuarantineRecord failure;                             ///< When !ok.
+};
+
+/// Optimizer state reconstructed from a journal.
+struct ReplayState {
+  RunFingerprint fingerprint;
+  /// Committed state: every record up to the last phase boundary (or the
+  /// whole journal when `done`).
+  OptimizationResult result;
+  bool has_phase = false;
+  std::size_t completed_iteration = 0;
+  common::RngState rng;
+  bool done = false;
+  /// In-flight tail: outcomes journaled after the last phase boundary.
+  std::unordered_map<std::uint64_t, ReplayEntry> tail;
+  /// Records whose payload failed to decode (distinct from frame-level
+  /// corruption, which the journal reader already counted).
+  std::size_t malformed_payloads = 0;
+};
+
+/// Replays parsed journal records into optimizer state. Returns nullopt
+/// when the journal is structurally unusable (no run record, or the first
+/// record is not "run"); sets `error` with the reason.
+[[nodiscard]] std::optional<ReplayState> replay_journal(
+    const common::JournalReadResult& journal, const DesignSpace& space,
+    std::string* error = nullptr);
+
+}  // namespace hm::hypermapper

@@ -199,9 +199,19 @@ hm::common::CsvTable cache_to_csv(const EvaluationCache& cache) {
   return table;
 }
 
-void EvaluationCache::store(std::uint64_t key, const RunMetrics& metrics) {
+bool EvaluationCache::store(std::uint64_t key, const RunMetrics& metrics) {
   const std::lock_guard lock(mutex_);
-  entries_[key] = metrics;
+  return entries_.try_emplace(key, metrics).second;
+}
+
+std::size_t EvaluationCache::restore(
+    const std::vector<std::pair<std::uint64_t, RunMetrics>>& entries) {
+  const std::lock_guard lock(mutex_);
+  std::size_t inserted = 0;
+  for (const auto& [key, metrics] : entries) {
+    inserted += entries_.try_emplace(key, metrics).second ? 1 : 0;
+  }
+  return inserted;
 }
 
 std::size_t EvaluationCache::size() const {

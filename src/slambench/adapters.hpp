@@ -82,7 +82,22 @@ struct SlamFailureModel {
 class EvaluationCache {
  public:
   [[nodiscard]] bool lookup(std::uint64_t key, RunMetrics& out) const;
-  void store(std::uint64_t key, const RunMetrics& metrics);
+
+  /// Inserts `metrics` under `key` unless the key is already present —
+  /// first-wins. This matters on resume: entries restored from a journal
+  /// are the canonical measurements, and a live re-measurement of the same
+  /// configuration (e.g. the in-flight iteration racing a replay) must not
+  /// displace them, or the resumed report drifts from the original run.
+  /// Returns true when the entry was inserted, false when an existing
+  /// entry won.
+  bool store(std::uint64_t key, const RunMetrics& metrics);
+
+  /// Bulk first-wins load, for restoring a journaled cache before a
+  /// resumed run starts. Returns the number of entries actually inserted
+  /// (keys already present keep their existing metrics).
+  std::size_t restore(
+      const std::vector<std::pair<std::uint64_t, RunMetrics>>& entries);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t misses() const { return misses_; }

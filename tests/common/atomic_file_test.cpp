@@ -1,0 +1,98 @@
+// Tests for the crash-atomic file writer (ctest label "fault").
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/stat.h>
+
+#include "common/atomic_file.hpp"
+
+namespace hm::common {
+namespace {
+
+std::string temp_path(const std::string& tag) {
+  return ::testing::TempDir() + "atomic_file_test_" + tag;
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+bool exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(AtomicFile, WritesNewFile) {
+  const std::string path = temp_path("new.txt");
+  std::remove(path.c_str());
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, "hello\nworld\n", &error)) << error;
+  EXPECT_EQ(slurp(path), "hello\nworld\n");
+  EXPECT_FALSE(exists(path + ".tmp")) << "temporary sibling left behind";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, ReplacesExistingFileCompletely) {
+  const std::string path = temp_path("replace.txt");
+  std::string error;
+  ASSERT_TRUE(write_file_atomic(path, std::string(4096, 'A'), &error));
+  ASSERT_TRUE(write_file_atomic(path, "short", &error)) << error;
+  // rename() replacement: the new content fully supersedes the old, no
+  // stale tail from the longer previous version.
+  EXPECT_EQ(slurp(path), "short");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, EmptyContentProducesEmptyFile) {
+  const std::string path = temp_path("empty.txt");
+  ASSERT_TRUE(write_file_atomic(path, ""));
+  EXPECT_TRUE(exists(path));
+  EXPECT_EQ(slurp(path), "");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailureLeavesDestinationUntouched) {
+  const std::string path = temp_path("dir_does_not_exist") + "/out.txt";
+  std::string error;
+  EXPECT_FALSE(write_file_atomic(path, "payload", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(exists(path));
+}
+
+TEST(AtomicFile, OverwritesStaleTemporaryFromACrashedWriter) {
+  const std::string path = temp_path("stale.txt");
+  std::remove(path.c_str());
+  // Simulate a writer that died between creating the .tmp and renaming it.
+  {
+    std::FILE* f = std::fopen((path + ".tmp").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("torn half-write from a dead process", f);
+    std::fclose(f);
+  }
+  ASSERT_TRUE(write_file_atomic(path, "fresh"));
+  EXPECT_EQ(slurp(path), "fresh");
+  EXPECT_FALSE(exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, SyncParentDirectorySucceedsForRealFile) {
+  const std::string path = temp_path("synced.txt");
+  ASSERT_TRUE(write_file_atomic(path, "x"));
+  std::string error;
+  EXPECT_TRUE(sync_parent_directory(path, &error)) << error;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hm::common

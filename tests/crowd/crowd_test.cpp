@@ -3,8 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
+#include <optional>
 #include <set>
+#include <string>
+
+#include "common/atomic_file.hpp"
+#include "common/journal.hpp"
 
 namespace hm::crowd {
 namespace {
@@ -235,6 +242,150 @@ TEST(FlakyCrowd, TrimmedMeanResistsNoiseOutliers) {
       std::abs(noisy.trimmed_mean_speedup - clean.mean_speedup);
   const double raw_bias = std::abs(noisy.mean_speedup - clean.mean_speedup);
   EXPECT_LT(trimmed_bias, raw_bias);
+}
+
+// --- Journaled (resumable) campaign ------------------------------------
+
+/// Byte-level equality of two campaign results: every per-device double
+/// compared by bit pattern, not tolerance.
+void expect_identical(const CrowdResult& a, const CrowdResult& b) {
+  ASSERT_EQ(a.devices.size(), b.devices.size());
+  EXPECT_EQ(a.dropped_devices, b.dropped_devices);
+  EXPECT_EQ(a.noisy_devices, b.noisy_devices);
+  EXPECT_EQ(a.usable_devices, b.usable_devices);
+  for (std::size_t i = 0; i < a.devices.size(); ++i) {
+    EXPECT_EQ(a.devices[i].device_name, b.devices[i].device_name);
+    EXPECT_EQ(a.devices[i].noisy, b.devices[i].noisy);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.devices[i].speedup),
+              std::bit_cast<std::uint64_t>(b.devices[i].speedup));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.devices[i].default_fps),
+              std::bit_cast<std::uint64_t>(b.devices[i].default_fps));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.devices[i].tuned_fps),
+              std::bit_cast<std::uint64_t>(b.devices[i].tuned_fps));
+  }
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.trimmed_mean_speedup),
+            std::bit_cast<std::uint64_t>(b.trimmed_mean_speedup));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.median_speedup),
+            std::bit_cast<std::uint64_t>(b.median_speedup));
+}
+
+struct JournaledCampaignFixture {
+  std::vector<hm::slambench::DeviceModel> devices = generate_population();
+  KernelStats default_stats = make_stats(500'000'000, 30'000'000);
+  KernelStats tuned_stats = make_stats(10'000'000, 8'000'000);
+  FlakyDeviceModel flaky;
+  std::string path;
+
+  explicit JournaledCampaignFixture(const std::string& tag)
+      : path(::testing::TempDir() + "crowd_journal_" + tag + ".wal") {
+    flaky.dropout_rate = 0.3;
+    flaky.noisy_rate = 0.3;
+    std::remove(path.c_str());
+  }
+
+  [[nodiscard]] CrowdResult plain() const {
+    return run_crowd_experiment(devices, default_stats, tuned_stats, 100,
+                                flaky);
+  }
+
+  [[nodiscard]] std::optional<CrowdResult> journaled(
+      CrowdJournalInfo* info = nullptr, std::string* error = nullptr) const {
+    return run_crowd_experiment_journaled(devices, default_stats, tuned_stats,
+                                          100, flaky, path, info, error);
+  }
+};
+
+TEST(JournaledCrowd, FreshCampaignMatchesPlainRunExactly) {
+  const JournaledCampaignFixture fixture("fresh");
+  CrowdJournalInfo info;
+  std::string error;
+  const auto result = fixture.journaled(&info, &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  expect_identical(*result, fixture.plain());
+  EXPECT_EQ(info.replayed_devices, 0u);
+  EXPECT_EQ(info.measured_devices, fixture.devices.size());
+  std::remove(fixture.path.c_str());
+}
+
+TEST(JournaledCrowd, InterruptedCampaignResumesWithoutRemeasuring) {
+  const JournaledCampaignFixture fixture("resume");
+  // Simulate a campaign killed mid-population: run only a 30-device prefix
+  // under the same journal (same campaign fingerprint — the full device
+  // list — so the journal must be cut instead). Easiest faithful model:
+  // run the full campaign, then truncate the journal after 30 device
+  // records, as a SIGKILL between appends would have left it.
+  ASSERT_TRUE(fixture.journaled().has_value());
+  const hm::common::JournalReadResult full =
+      hm::common::read_journal(fixture.path);
+  ASSERT_TRUE(full.usable());
+  std::string prefix = "hmwal 1\n";
+  std::size_t kept = 0;
+  {
+    std::FILE* f = std::fopen(fixture.path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string text;
+    char buffer[4096];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      text.append(buffer, got);
+    }
+    std::fclose(f);
+    // Keep the header plus the campaign record plus 30 device records.
+    std::size_t pos = 0;
+    std::size_t lines = 0;
+    while (lines < 32 && pos < text.size()) {
+      pos = text.find('\n', pos) + 1;
+      ++lines;
+    }
+    prefix = text.substr(0, pos);
+    kept = lines;
+  }
+  ASSERT_EQ(kept, 32u);
+  {
+    std::FILE* f = std::fopen(fixture.path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(prefix.data(), 1, prefix.size(), f);
+    std::fclose(f);
+  }
+  CrowdJournalInfo info;
+  std::string error;
+  const auto resumed = fixture.journaled(&info, &error);
+  ASSERT_TRUE(resumed.has_value()) << error;
+  EXPECT_EQ(info.replayed_devices, 30u);
+  EXPECT_EQ(info.measured_devices, fixture.devices.size() - 30u);
+  expect_identical(*resumed, fixture.plain());
+  std::remove(fixture.path.c_str());
+}
+
+TEST(JournaledCrowd, CompletedCampaignReplaysWithoutMeasuring) {
+  const JournaledCampaignFixture fixture("done");
+  ASSERT_TRUE(fixture.journaled().has_value());
+  CrowdJournalInfo info;
+  const auto replayed = fixture.journaled(&info);
+  ASSERT_TRUE(replayed.has_value());
+  EXPECT_EQ(info.measured_devices, 0u);
+  EXPECT_EQ(info.replayed_devices, fixture.devices.size());
+  expect_identical(*replayed, fixture.plain());
+  std::remove(fixture.path.c_str());
+}
+
+TEST(JournaledCrowd, RefusesAJournalFromADifferentCampaign) {
+  JournaledCampaignFixture fixture("mismatch");
+  ASSERT_TRUE(fixture.journaled().has_value());
+  fixture.flaky.seed = 9999;  // Different campaign identity.
+  std::string error;
+  EXPECT_FALSE(fixture.journaled(nullptr, &error).has_value());
+  EXPECT_NE(error.find("different campaign"), std::string::npos) << error;
+  std::remove(fixture.path.c_str());
+}
+
+TEST(JournaledCrowd, RefusesAForeignFile) {
+  const JournaledCampaignFixture fixture("foreign");
+  ASSERT_TRUE(hm::common::write_file_atomic(fixture.path, "not,a,journal\n"));
+  std::string error;
+  EXPECT_FALSE(fixture.journaled(nullptr, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  std::remove(fixture.path.c_str());
 }
 
 }  // namespace

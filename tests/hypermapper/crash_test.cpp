@@ -1,0 +1,305 @@
+// Crash-injection harness for the write-ahead journal and deterministic
+// resume (ctest label "crash").
+//
+// Each case forks the optimizer into a child process whose journal writer
+// SIGKILLs it after the n-th durable append — a real, unhandled process
+// death at a seeded record boundary, not a simulated exception. The parent
+// then resumes from the journal the corpse left behind and requires the
+// final report to be *byte-identical* to a never-killed reference run of
+// the same seed: same samples in the same order, same Pareto front, same
+// quarantine, same per-iteration stats, same RNG-dependent proposal
+// stream. Kill points are swept across the whole journal (bootstrap,
+// phase boundaries, mid-iteration), and one case crashes the resumed run a
+// second time to cover resume-after-resume.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "common/csv.hpp"
+#include "common/journal.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/report.hpp"
+#include "hypermapper/run_journal.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+/// Deterministic bi-objective problem on a 40x40 grid. Roughly 6% of the
+/// grid fails permanently (quarantine coverage: resume must restore the
+/// quarantine byte-for-byte too).
+class CrashEvaluator final : public Evaluator {
+ public:
+  explicit CrashEvaluator(const DesignSpace& space) : space_(space) {}
+
+  [[nodiscard]] std::size_t objective_count() const override { return 2; }
+
+  [[nodiscard]] std::vector<double> evaluate(const Configuration& config) override {
+    const std::uint64_t key = space_.key(config);
+    if (key % 17 == 3) {
+      throw EvaluationError("deterministic failure for key " +
+                                std::to_string(key),
+                            /*transient=*/false);
+    }
+    const double x = config[0] / 39.0;
+    const double y = config[1] / 39.0;
+    const double f0 = x + 0.01 * y;
+    const double f1 = (1.0 - x) * (1.0 - x) + 0.4 * (y - 0.3) * (y - 0.3);
+    return {f0, f1};
+  }
+
+ private:
+  const DesignSpace& space_;
+};
+
+DesignSpace crash_space() {
+  DesignSpace space;
+  space.add(Parameter::integer_range("x", 0, 39));
+  space.add(Parameter::integer_range("y", 0, 39));
+  return space;
+}
+
+OptimizerConfig crash_config() {
+  OptimizerConfig config;
+  config.random_samples = 40;
+  config.max_iterations = 4;
+  config.max_samples_per_iteration = 15;
+  // Smaller than the 1600-config space, so every iteration's pool is a
+  // fresh RNG draw — resume must restore the generator state exactly or
+  // the proposal stream diverges.
+  config.pool_size = 200;
+  config.forest.tree_count = 8;
+  config.seed = 77;
+  return config;
+}
+
+/// Renders everything report-visible about a result into one string:
+/// byte-identity of this string is the acceptance criterion. Stats doubles
+/// go through the journal's bit-exact codec, so even an ULP of drift in
+/// oob-rmse or prediction error fails the comparison.
+std::string render(const DesignSpace& space, const OptimizationResult& result) {
+  const std::vector<std::string> names{"f0", "f1"};
+  std::string out;
+  out += hm::common::to_csv(samples_to_csv(space, result, names));
+  out += hm::common::to_csv(front_to_csv(space, result, names));
+  out += hm::common::to_csv(quarantine_to_csv(space, result));
+  for (const std::size_t i : result.random_phase_pareto) {
+    out += std::to_string(i) + ",";
+  }
+  out += "\n";
+  for (const IterationStats& stats : result.iterations) {
+    out += encode_stat_record(stats) + "\n";
+  }
+  return out;
+}
+
+std::string journal_path_for(const std::string& tag) {
+  return ::testing::TempDir() + "crash_test_" + tag + ".wal";
+}
+
+/// Forks a child that runs the optimizer with a journal and SIGKILLs
+/// itself after `kill_after` durable appends. Returns true if the child
+/// died by SIGKILL (i.e. the kill point was reached).
+bool run_and_kill(const std::string& journal_path, std::size_t kill_after) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Child: no gtest assertions, no return — only _exit or SIGKILL.
+    const DesignSpace space = crash_space();
+    CrashEvaluator evaluator(space);
+    hm::common::JournalWriter writer;
+    if (!writer.open(journal_path)) _exit(3);
+    writer.set_append_hook([kill_after](std::size_t written) {
+      if (written == kill_after) ::raise(SIGKILL);
+    });
+    Optimizer optimizer(space, evaluator, crash_config());
+    optimizer.attach_journal(&writer);
+    (void)optimizer.run();
+    _exit(42);  // Kill point beyond the journal's record count.
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+/// Forks a child that *resumes* from the journal and SIGKILLs itself after
+/// `kill_after` further appends (resume-after-resume coverage).
+bool resume_and_kill(const std::string& journal_path, std::size_t kill_after) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const DesignSpace space = crash_space();
+    CrashEvaluator evaluator(space);
+    hm::common::JournalWriter writer;
+    if (!writer.open(journal_path)) _exit(3);
+    writer.set_append_hook([kill_after](std::size_t written) {
+      if (written == kill_after) ::raise(SIGKILL);
+    });
+    Optimizer optimizer(space, evaluator, crash_config());
+    optimizer.attach_journal(&writer);
+    (void)optimizer.resume(journal_path);
+    _exit(42);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+}
+
+/// Resumes in-process (no kill) and returns the rendered final report.
+std::string resume_to_completion(const std::string& journal_path) {
+  const DesignSpace space = crash_space();
+  CrashEvaluator evaluator(space);
+  hm::common::JournalWriter writer;
+  EXPECT_TRUE(writer.open(journal_path));
+  Optimizer optimizer(space, evaluator, crash_config());
+  optimizer.attach_journal(&writer);
+  const std::optional<OptimizationResult> resumed =
+      optimizer.resume(journal_path);
+  EXPECT_TRUE(resumed.has_value());
+  if (!resumed) return {};
+  EXPECT_FALSE(resumed->interrupted);
+  return render(space, *resumed);
+}
+
+/// The never-killed reference: journaled (to count records) and rendered.
+struct Reference {
+  std::string rendered;
+  std::size_t journal_records = 0;
+};
+
+const Reference& reference_run() {
+  static const Reference reference = [] {
+    const DesignSpace space = crash_space();
+    CrashEvaluator evaluator(space);
+    const std::string path = journal_path_for("reference");
+    std::remove(path.c_str());
+    hm::common::JournalWriter writer;
+    EXPECT_TRUE(writer.open(path));
+    Optimizer optimizer(space, evaluator, crash_config());
+    optimizer.attach_journal(&writer);
+    const OptimizationResult result = optimizer.run();
+    Reference built;
+    built.rendered = render(space, result);
+    built.journal_records = writer.records_written();
+    return built;
+  }();
+  return reference;
+}
+
+TEST(CrashResume, JournalingDoesNotChangeTheResult) {
+  const DesignSpace space = crash_space();
+  CrashEvaluator evaluator(space);
+  Optimizer optimizer(space, evaluator, crash_config());
+  const OptimizationResult bare = optimizer.run();  // No journal attached.
+  EXPECT_EQ(render(space, bare), reference_run().rendered);
+}
+
+TEST(CrashResume, KilledAtSeededPointsThenResumedIsByteIdentical) {
+  const std::size_t total = reference_run().journal_records;
+  ASSERT_GT(total, 10u);
+  // Seeded sweep: the very first durable record, points inside the
+  // bootstrap, points straddling phase boundaries, mid-AL-iteration
+  // points, and the penultimate record.
+  const std::vector<std::size_t> kill_points{
+      1,         total / 5,     (2 * total) / 5,
+      total / 2, (3 * total) / 5, (4 * total) / 5,
+      total - 1};
+  for (const std::size_t kill_after : kill_points) {
+    SCOPED_TRACE("kill point " + std::to_string(kill_after) + " of " +
+                 std::to_string(total));
+    const std::string path =
+        journal_path_for("kill_" + std::to_string(kill_after));
+    std::remove(path.c_str());
+    ASSERT_TRUE(run_and_kill(path, kill_after));
+    EXPECT_EQ(resume_to_completion(path), reference_run().rendered);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(CrashResume, SurvivesCrashDuringResume) {
+  const std::size_t total = reference_run().journal_records;
+  const std::string path = journal_path_for("double_crash");
+  std::remove(path.c_str());
+  // First crash mid-bootstrap, second crash mid-resume, then finish.
+  ASSERT_TRUE(run_and_kill(path, total / 6));
+  ASSERT_TRUE(resume_and_kill(path, total / 3));
+  EXPECT_EQ(resume_to_completion(path), reference_run().rendered);
+  std::remove(path.c_str());
+}
+
+TEST(CrashResume, ResumingAFinishedRunReturnsTheSameResult) {
+  const DesignSpace space = crash_space();
+  CrashEvaluator evaluator(space);
+  const std::string path = journal_path_for("finished");
+  std::remove(path.c_str());
+  {
+    hm::common::JournalWriter writer;
+    ASSERT_TRUE(writer.open(path));
+    Optimizer optimizer(space, evaluator, crash_config());
+    optimizer.attach_journal(&writer);
+    (void)optimizer.run();
+  }
+  // No journal attached for the resume: a finished run is reconstructed
+  // purely from the snapshot, and no RNG is advanced.
+  Optimizer optimizer(space, evaluator, crash_config());
+  const std::optional<OptimizationResult> resumed = optimizer.resume(path);
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(render(space, *resumed), reference_run().rendered);
+  std::remove(path.c_str());
+}
+
+TEST(CrashResume, RefusesAJournalFromADifferentConfiguration) {
+  const DesignSpace space = crash_space();
+  CrashEvaluator evaluator(space);
+  const std::string path = journal_path_for("fingerprint");
+  std::remove(path.c_str());
+  {
+    hm::common::JournalWriter writer;
+    ASSERT_TRUE(writer.open(path));
+    Optimizer optimizer(space, evaluator, crash_config());
+    optimizer.attach_journal(&writer);
+    (void)optimizer.run();
+  }
+  OptimizerConfig other = crash_config();
+  other.seed = 78;  // Different run identity.
+  Optimizer optimizer(space, evaluator, other);
+  EXPECT_FALSE(optimizer.resume(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(CrashResume, TruncatedTailIsRecoveredAndReported) {
+  const std::size_t total = reference_run().journal_records;
+  const std::string path = journal_path_for("truncated");
+  std::remove(path.c_str());
+  ASSERT_TRUE(run_and_kill(path, total / 2));
+  // Chop bytes off the tail, simulating a record that never finished
+  // reaching the disk (the fsync'd prefix survives by construction; this
+  // models the unsynced remainder).
+  const hm::common::JournalReadResult before = hm::common::read_journal(path);
+  ASSERT_TRUE(before.usable());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, 40L);
+    ASSERT_EQ(::ftruncate(::fileno(f), size - 17), 0);
+    std::fclose(f);
+  }
+  const hm::common::JournalReadResult after = hm::common::read_journal(path);
+  ASSERT_TRUE(after.usable());
+  EXPECT_EQ(after.status, hm::common::JournalStatus::kRecovered);
+  ASSERT_FALSE(after.defects.empty());
+  EXPECT_EQ(after.defects.back().damage,
+            hm::common::JournalDamage::kTruncatedTail);
+  // One record was damaged; everything before it replays.
+  EXPECT_EQ(after.records.size() + 1, before.records.size());
+  EXPECT_EQ(resume_to_completion(path), reference_run().rendered);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

@@ -1,0 +1,286 @@
+// Round-trip and replay tests for the optimizer's journal schema
+// (ctest label "fault").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "hypermapper/run_journal.hpp"
+
+namespace hm::hypermapper {
+namespace {
+
+DesignSpace test_space() {
+  DesignSpace space;
+  space.add(Parameter::integer_range("x", 0, 7));
+  space.add(Parameter::integer_range("y", 0, 7));
+  return space;
+}
+
+RunFingerprint test_fingerprint() {
+  OptimizerConfig config;
+  config.seed = 123;
+  config.random_samples = 8;
+  config.max_iterations = 2;
+  config.max_samples_per_iteration = 4;
+  config.pool_size = 16;
+  return make_fingerprint(config, test_space(), 2);
+}
+
+TEST(RunJournalCodec, RunRecordRoundTrips) {
+  const RunFingerprint fingerprint = test_fingerprint();
+  const auto decoded = decode_run_record(encode_run_record(fingerprint));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, fingerprint);
+}
+
+TEST(RunJournalCodec, FingerprintDetectsEveryKnobChange) {
+  const RunFingerprint base = test_fingerprint();
+  RunFingerprint other = base;
+  other.seed = 124;
+  EXPECT_NE(base, other);
+  other = base;
+  other.pool_size = 17;
+  EXPECT_NE(base, other);
+  other = base;
+  other.cardinality = 63;
+  EXPECT_NE(base, other);
+}
+
+TEST(RunJournalCodec, EvalRecordRoundTripsBitExactDoubles) {
+  SampleRecord sample;
+  sample.config = {3.0, 5.0};
+  // Values chosen to break decimal round-tripping: subnormal, an exact
+  // third, negative zero, and an IEEE boundary.
+  sample.objectives = {0.1 + 0.2, std::numeric_limits<double>::denorm_min()};
+  sample.predicted = {-0.0, std::nextafter(1.0, 2.0)};
+  sample.iteration = 7;
+  const auto decoded = decode_eval_record(encode_eval_record(42, sample));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->sample.iteration, 7u);
+  ASSERT_EQ(decoded->sample.config.size(), 2u);
+  ASSERT_EQ(decoded->sample.objectives.size(), 2u);
+  ASSERT_EQ(decoded->sample.predicted.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->sample.objectives[i]),
+              std::bit_cast<std::uint64_t>(sample.objectives[i]));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->sample.predicted[i]),
+              std::bit_cast<std::uint64_t>(sample.predicted[i]));
+  }
+  EXPECT_TRUE(std::signbit(decoded->sample.predicted[0]));
+}
+
+TEST(RunJournalCodec, EvalRecordWithEmptyPredictionRoundTrips) {
+  SampleRecord sample;
+  sample.config = {0.0, 0.0};
+  sample.objectives = {1.0, 2.0};
+  sample.iteration = 0;  // Bootstrap: no surrogate prediction.
+  const auto decoded = decode_eval_record(encode_eval_record(0, sample));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->sample.predicted.empty());
+}
+
+TEST(RunJournalCodec, FailRecordRoundTripsHostileMessages) {
+  QuarantineRecord failure;
+  failure.config = {6.0, 1.0};
+  failure.status = EvaluationStatus::kTimeout;
+  failure.message = "pipe|chars \\ and\nnewlines\r in the exception text";
+  failure.iteration = 3;
+  failure.attempts = 2;
+  const auto decoded = decode_fail_record(encode_fail_record(9, failure));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->failure.status, EvaluationStatus::kTimeout);
+  EXPECT_EQ(decoded->failure.message, failure.message);
+  EXPECT_EQ(decoded->failure.iteration, 3u);
+  EXPECT_EQ(decoded->failure.attempts, 2u);
+}
+
+TEST(RunJournalCodec, StatRecordRoundTrips) {
+  IterationStats stats;
+  stats.iteration = 2;
+  stats.new_samples = 15;
+  stats.failed_samples = 1;
+  stats.predicted_front_size = 6;
+  stats.measured_front_size = 9;
+  stats.oob_rmse_objective0 = 0.12345678901234567;
+  stats.oob_rmse_objective1 = 1e-300;
+  stats.prediction_error = {0.25, 0.5};
+  const auto decoded = decode_stat_record(encode_stat_record(stats));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->iteration, 2u);
+  EXPECT_EQ(decoded->new_samples, 15u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(decoded->oob_rmse_objective1),
+            std::bit_cast<std::uint64_t>(stats.oob_rmse_objective1));
+  ASSERT_EQ(decoded->prediction_error.size(), 2u);
+  EXPECT_EQ(decoded->prediction_error[1], 0.5);
+}
+
+TEST(RunJournalCodec, PhaseRecordRoundTripsRngState) {
+  common::RngState state;
+  state.words = {0xdeadbeefcafef00dULL, 1, 0, UINT64_MAX};
+  state.have_spare_normal = true;
+  state.spare_normal_bits = 0x3ff0000000000000ULL;
+  std::size_t iteration = 0;
+  common::RngState back;
+  ASSERT_TRUE(
+      decode_phase_record(encode_phase_record(11, state), &iteration, &back));
+  EXPECT_EQ(iteration, 11u);
+  EXPECT_EQ(back.words, state.words);
+  EXPECT_TRUE(back.have_spare_normal);
+  EXPECT_EQ(back.spare_normal_bits, state.spare_normal_bits);
+}
+
+TEST(RunJournalCodec, DecodersRejectTruncatedPayloads) {
+  SampleRecord sample;
+  sample.config = {1.0, 2.0};
+  sample.objectives = {3.0, 4.0};
+  const std::string full = encode_eval_record(5, sample);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    // Any strict prefix must decode to nullopt, never to a half-filled
+    // record (a malformed payload after frame+CRC pass means a schema bug,
+    // and replay treats it like corruption).
+    EXPECT_FALSE(decode_eval_record(full.substr(0, cut)).has_value())
+        << "prefix length " << cut;
+  }
+  EXPECT_FALSE(decode_run_record("1|2|3").has_value());
+  EXPECT_FALSE(decode_stat_record("").has_value());
+}
+
+/// Builds parsed-journal input for replay_journal without touching disk.
+common::JournalReadResult make_parsed(
+    const std::vector<std::pair<std::string, std::string>>& records) {
+  common::JournalReadResult parsed;
+  parsed.status = common::JournalStatus::kOk;
+  parsed.version = common::kJournalFormatVersion;
+  std::size_t line = 2;
+  for (const auto& [type, payload] : records) {
+    parsed.records.push_back({line++, type, payload});
+  }
+  return parsed;
+}
+
+SampleRecord make_sample(double x, double y, std::size_t iteration) {
+  SampleRecord sample;
+  sample.config = {x, y};
+  sample.objectives = {x / 7.0, y / 7.0};
+  sample.iteration = iteration;
+  if (iteration > 0) sample.predicted = {x / 7.0, y / 7.0};
+  return sample;
+}
+
+TEST(ReplayJournal, RequiresARunRecordFirst) {
+  const DesignSpace space = test_space();
+  std::string error;
+  EXPECT_FALSE(replay_journal(make_parsed({}), space, &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(replay_journal(
+                   make_parsed({{"eval", encode_eval_record(
+                                             0, make_sample(1, 1, 0))}}),
+                   space, &error)
+                   .has_value());
+}
+
+TEST(ReplayJournal, SplitsCommittedStateFromInFlightTail) {
+  const DesignSpace space = test_space();
+  common::RngState rng;
+  rng.words = {1, 2, 3, 4};
+  IterationStats stats;
+  stats.iteration = 0;
+  stats.new_samples = 2;
+  const auto parsed = make_parsed({
+      {"run", encode_run_record(test_fingerprint())},
+      {"eval", encode_eval_record(0, make_sample(1, 1, 0))},
+      {"eval", encode_eval_record(1, make_sample(2, 2, 0))},
+      {"stat", encode_stat_record(stats)},
+      {"phase", encode_phase_record(0, rng)},
+      // In-flight iteration 1: journaled but past the last phase boundary.
+      {"eval", encode_eval_record(2, make_sample(3, 3, 1))},
+      {"fail", encode_fail_record(0, QuarantineRecord{{4.0, 4.0},
+                                                      0,
+                                                      EvaluationStatus::kException,
+                                                      "boom",
+                                                      1,
+                                                      1})},
+  });
+  const auto replay = replay_journal(parsed, space);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_FALSE(replay->done);
+  EXPECT_TRUE(replay->has_phase);
+  EXPECT_EQ(replay->completed_iteration, 0u);
+  EXPECT_EQ(replay->rng.words, rng.words);
+  // Committed: the two bootstrap evals and the stat record.
+  ASSERT_EQ(replay->result.samples.size(), 2u);
+  EXPECT_EQ(replay->result.samples[0].config[0], 1.0);
+  EXPECT_EQ(replay->result.samples[1].config[0], 2.0);
+  ASSERT_EQ(replay->result.iterations.size(), 1u);
+  EXPECT_TRUE(replay->result.quarantine.empty());
+  // In-flight: both tail outcomes keyed by configuration identity.
+  EXPECT_EQ(replay->tail.size(), 2u);
+  EXPECT_TRUE(replay->tail.contains(space.key({3.0, 3.0})));
+  EXPECT_TRUE(replay->tail.contains(space.key({4.0, 4.0})));
+  EXPECT_TRUE(replay->tail.at(space.key({3.0, 3.0})).ok);
+  EXPECT_FALSE(replay->tail.at(space.key({4.0, 4.0})).ok);
+  EXPECT_EQ(replay->malformed_payloads, 0u);
+}
+
+TEST(ReplayJournal, SortsOutOfOrderSequenceNumbers) {
+  // After a crash-during-resume the on-disk record order interleaves two
+  // runs' appends; the sequence numbers, not file order, define the
+  // canonical sample order.
+  const DesignSpace space = test_space();
+  common::RngState rng;
+  const auto parsed = make_parsed({
+      {"run", encode_run_record(test_fingerprint())},
+      {"eval", encode_eval_record(2, make_sample(3, 3, 0))},
+      {"eval", encode_eval_record(0, make_sample(1, 1, 0))},
+      {"eval", encode_eval_record(1, make_sample(2, 2, 0))},
+      {"phase", encode_phase_record(0, rng)},
+  });
+  const auto replay = replay_journal(parsed, space);
+  ASSERT_TRUE(replay.has_value());
+  ASSERT_EQ(replay->result.samples.size(), 3u);
+  EXPECT_EQ(replay->result.samples[0].config[0], 1.0);
+  EXPECT_EQ(replay->result.samples[1].config[0], 2.0);
+  EXPECT_EQ(replay->result.samples[2].config[0], 3.0);
+}
+
+TEST(ReplayJournal, MalformedPayloadsAreCountedNotFatal) {
+  const DesignSpace space = test_space();
+  common::RngState rng;
+  const auto parsed = make_parsed({
+      {"run", encode_run_record(test_fingerprint())},
+      {"eval", "this is not an eval payload"},
+      {"eval", encode_eval_record(0, make_sample(1, 1, 0))},
+      {"wxyz", "record type from a future schema"},
+      {"phase", encode_phase_record(0, rng)},
+  });
+  const auto replay = replay_journal(parsed, space);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_EQ(replay->result.samples.size(), 1u);
+  EXPECT_EQ(replay->malformed_payloads, 2u);
+}
+
+TEST(ReplayJournal, DoneMarksTheRunFinished) {
+  const DesignSpace space = test_space();
+  common::RngState rng;
+  IterationStats stats;
+  const auto parsed = make_parsed({
+      {"run", encode_run_record(test_fingerprint())},
+      {"eval", encode_eval_record(0, make_sample(1, 1, 0))},
+      {"stat", encode_stat_record(stats)},
+      {"phase", encode_phase_record(0, rng)},
+      {"done", ""},
+  });
+  const auto replay = replay_journal(parsed, space);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->done);
+  EXPECT_TRUE(replay->tail.empty());
+}
+
+}  // namespace
+}  // namespace hm::hypermapper

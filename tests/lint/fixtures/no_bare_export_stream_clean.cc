@@ -1,0 +1,29 @@
+// Fixture: stream usage the no-bare-export-stream rule must not flag —
+// references to already-managed streams and read-only file handles.
+#include <cstddef>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+// Receiving a stream by reference hands around a writer someone else
+// owns (e.g. the atomic writer's staging stream); it is not an export.
+void append_rows(std::ofstream& out, const std::vector<int>& rows) {
+  for (const int row : rows) {
+    out << row << "\n";
+  }
+}
+
+std::string slurp(const char* path) {
+  std::string content;
+  std::FILE* file = std::fopen(path, "rb");
+  if (file != nullptr) {
+    char buffer[256];
+    std::size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+      content.append(buffer, got);
+    }
+    std::fclose(file);
+  }
+  return content;
+}

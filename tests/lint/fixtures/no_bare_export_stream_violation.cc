@@ -1,0 +1,25 @@
+// Fixture: exports written through bare streams, bypassing the
+// crash-atomic temp+fsync+rename path in hm::common::write_file_atomic.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+void export_front(const std::string& path) {
+  std::ofstream out(path);  // Torn file if the process dies mid-write.
+  out << "runtime_s,max_ate_m\n";
+}
+
+void export_mesh(const char* path) {
+  std::FILE* file = std::fopen(path, "wb");
+  if (file != nullptr) {
+    std::fputs("ply\n", file);
+    std::fclose(file);
+  }
+}
+
+void append_log(const char* path) {
+  std::FILE* file = std::fopen(path, "a");
+  if (file != nullptr) {
+    std::fclose(file);
+  }
+}

@@ -95,7 +95,11 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixtureCase{"no-float-equality", "no_float_equality_violation.cc",
                         "no_float_equality_clean.cc", "float_eq", ".cpp"},
         RuleFixtureCase{"include-hygiene", "include_hygiene_violation.hh",
-                        "include_hygiene_clean.hh", "hygiene", ".hpp"}),
+                        "include_hygiene_clean.hh", "hygiene", ".hpp"},
+        RuleFixtureCase{"no-bare-export-stream",
+                        "no_bare_export_stream_violation.cc",
+                        "no_bare_export_stream_clean.cc", "bare_export",
+                        ".cpp"}),
     [](const ::testing::TestParamInfo<RuleFixtureCase>& param_info) {
       std::string name = param_info.param.rule_id;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -214,7 +218,7 @@ TEST(CompanionTest, HeaderMembersVisibleWhenLintingSource) {
 
 TEST(RuleFilterTest, EveryRuleHasUniqueIdAndDescription) {
   const auto rules = hm::lint::default_rules();
-  ASSERT_EQ(rules.size(), 6u);
+  ASSERT_EQ(rules.size(), 7u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.emplace_back(rule->id());

@@ -132,7 +132,7 @@ TEST(Cache, LookupAfterStore) {
   EvaluationCache cache;
   RunMetrics metrics;
   metrics.frames = 7;
-  cache.store(42, metrics);
+  EXPECT_TRUE(cache.store(42, metrics));
   RunMetrics out;
   EXPECT_TRUE(cache.lookup(42, out));
   EXPECT_EQ(out.frames, 7u);
@@ -140,6 +140,48 @@ TEST(Cache, LookupAfterStore) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, StoreIsFirstWins) {
+  // Resume semantics: an entry restored from a journal is the canonical
+  // measurement; a later live re-measurement of the same configuration
+  // must not displace it, or a resumed run's report drifts from the
+  // original.
+  EvaluationCache cache;
+  RunMetrics original;
+  original.frames = 100;
+  original.ate.mean = 0.025;
+  ASSERT_TRUE(cache.store(7, original));
+  RunMetrics remeasured;
+  remeasured.frames = 100;
+  remeasured.ate.mean = 0.026;  // Same config, slightly different run.
+  EXPECT_FALSE(cache.store(7, remeasured));
+  RunMetrics out;
+  ASSERT_TRUE(cache.lookup(7, out));
+  EXPECT_EQ(out.ate.mean, 0.025);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, RestoreIsBulkFirstWins) {
+  EvaluationCache cache;
+  RunMetrics live;
+  live.frames = 50;
+  ASSERT_TRUE(cache.store(2, live));
+  RunMetrics journaled_a;
+  journaled_a.frames = 11;
+  RunMetrics journaled_b;
+  journaled_b.frames = 22;
+  // Key 2 collides with the live entry: the existing entry wins; only the
+  // two new keys land.
+  const std::size_t inserted =
+      cache.restore({{1, journaled_a}, {2, journaled_b}, {3, journaled_b}});
+  EXPECT_EQ(inserted, 2u);
+  EXPECT_EQ(cache.size(), 3u);
+  RunMetrics out;
+  ASSERT_TRUE(cache.lookup(2, out));
+  EXPECT_EQ(out.frames, 50u);
+  ASSERT_TRUE(cache.lookup(1, out));
+  EXPECT_EQ(out.frames, 11u);
 }
 
 TEST(KFusionEvaluator, ReturnsTwoPositiveObjectives) {

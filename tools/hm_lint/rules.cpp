@@ -723,6 +723,92 @@ class IncludeHygieneRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule 7: no-bare-export-stream
+// ---------------------------------------------------------------------------
+
+/// Every artifact export must go through hm::common::write_file_atomic so a
+/// crash mid-write can never leave a torn CSV/mesh/JSON on disk. A bare
+/// std::ofstream construction or a write-mode fopen() bypasses the
+/// temp+fsync+rename discipline. References/parameters of type
+/// `std::ofstream&` are fine (they hand an already-managed stream around);
+/// test trees are exempt (tests fabricate broken files on purpose), as is
+/// the atomic writer itself.
+class NoBareExportStreamRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-bare-export-stream";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "std::ofstream construction or write-mode fopen() outside "
+           "hm::common::write_file_atomic; exports must be crash-atomic";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (file.is_test_file()) return;
+    if (path_contains(file, "src/common/atomic_file.")) return;
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.is_identifier("ofstream") && constructs_stream(tokens, i)) {
+        report(file, t.line,
+               "bare std::ofstream bypasses crash-atomic export; build the "
+               "contents in memory and hand them to "
+               "hm::common::write_file_atomic",
+               out);
+        continue;
+      }
+      if (t.is_identifier("fopen") && i + 1 < tokens.size() &&
+          tokens[i + 1].is("(") && writes_in_mode(tokens, i + 1)) {
+        report(file, t.line,
+               "fopen() with a write/append mode bypasses crash-atomic "
+               "export; use hm::common::write_file_atomic (or the journal "
+               "writer for append-only logs)",
+               out);
+      }
+    }
+  }
+
+ private:
+  /// True when the `ofstream` token at `i` is a construction (named
+  /// variable or temporary), not a reference/pointer type in a signature.
+  [[nodiscard]] static bool constructs_stream(const std::vector<Token>& tokens,
+                                              std::size_t i) {
+    if (i + 1 >= tokens.size()) return false;
+    const Token& next = tokens[i + 1];
+    // `std::ofstream& out` / `std::ofstream* out` pass a managed stream
+    // around; `ofstream>` is a template argument; `ofstream::` is a nested
+    // name (e.g. std::ofstream::failbit).
+    if (next.is("&") || next.is("&&") || next.is("*") || next.is(">") ||
+        next.is("::")) {
+      return false;
+    }
+    // `std::ofstream out(...)`, `std::ofstream out{...}`, `std::ofstream
+    // out;` (opened later), or a temporary `std::ofstream(path)`.
+    if (next.kind == TokenKind::kIdentifier) return true;
+    return next.is("(") || next.is("{");
+  }
+
+  /// True when the fopen() call starting at the `(` token `open` passes a
+  /// write or append mode. The mode is the last string literal of the
+  /// argument list, so a path literal containing 'w' cannot confuse it.
+  [[nodiscard]] static bool writes_in_mode(const std::vector<Token>& tokens,
+                                           std::size_t open) {
+    std::size_t depth = 1;
+    std::string_view mode;
+    for (std::size_t k = open + 1; k < tokens.size() && depth > 0; ++k) {
+      if (tokens[k].is("(")) ++depth;
+      if (tokens[k].is(")")) --depth;
+      if (depth >= 1 && tokens[k].kind == TokenKind::kString) {
+        mode = tokens[k].text;
+      }
+    }
+    if (mode.empty()) return true;  // Computed mode: assume the worst.
+    return mode.find('w') != std::string_view::npos ||
+           mode.find('a') != std::string_view::npos;
+  }
+};
+
 }  // namespace
 
 std::vector<std::shared_ptr<const Rule>> default_rules() {
@@ -733,6 +819,7 @@ std::vector<std::shared_ptr<const Rule>> default_rules() {
       std::make_shared<NodiscardResultRule>(),
       std::make_shared<NoFloatEqualityRule>(),
       std::make_shared<IncludeHygieneRule>(),
+      std::make_shared<NoBareExportStreamRule>(),
   };
 }
 
