@@ -5,6 +5,10 @@
 //   ./crowd_transfer [--frames N] [--devices N] [--installs N]
 //                    [--dropout R] [--noisy R] [--noise SIGMA]
 //                    [--journal campaign.wal] [--resume]
+//                    [--trace out.json] [--metrics out.txt|out.json]
+//
+// --trace/--metrics export the run's spans and counter/histogram snapshot
+// (see tune_kfusion for the formats).
 //
 // With --journal, both stages are resumable: the tuning run journals to
 // <path>.tune and the per-device campaign to <path>, so a run killed at
@@ -31,11 +35,13 @@
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
+#include "observability.hpp"
 #include "slambench/adapters.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm;
   const common::CliArgs args(argc, argv, {"resume"});
+  const auto observability = examples::Observability::from_args(args);
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{25}));
   const auto journal_path = args.get("journal");
@@ -57,7 +63,10 @@ int main(int argc, char** argv) {
   config.max_samples_per_iteration = 40;
   config.pool_size = 10'000;
   config.forest.tree_count = 32;
-  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  // The global pool parallelises batch evaluation (the evaluator is
+  // thread-safe); the merge order keeps the result deterministic.
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config,
+                                   &common::ThreadPool::global());
   common::JournalWriter tune_journal;
   if (journal_path) {
     std::string journal_error;
@@ -167,5 +176,13 @@ int main(int argc, char** argv) {
                   speedups.size(), common::median(speedups));
     }
   }
+
+  // End-of-run report: the kernel-work profiles whose ratio the whole
+  // campaign replays on every device, plus the scheduler counters.
+  std::printf("\n");
+  examples::print_kernel_stats("default configuration", default_metrics.stats);
+  examples::print_kernel_stats("tuned configuration", tuned_metrics.stats);
+  examples::print_scheduler_stats(common::ThreadPool::global());
+  if (!observability.finish(&common::ThreadPool::global())) return 1;
   return 0;
 }

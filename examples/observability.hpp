@@ -1,0 +1,116 @@
+// Shared observability plumbing for the example binaries: parses the
+// --trace=<file> / --metrics=<file> flags, switches the log format to
+// timestamped lines while an observability run is active, and renders the
+// end-of-run report (per-kernel op counts, scheduler counters, metrics
+// summary) plus the exported artifacts. Header-only on purpose — examples
+// are single-file walkthroughs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "kfusion/kernel_stats.hpp"
+
+namespace hm::examples {
+
+/// Prints one run's per-kernel op counts (the paper's counted-work runtime
+/// substrate) as an end-of-run report block.
+inline void print_kernel_stats(const char* label,
+                               const hm::kfusion::KernelStats& stats) {
+  std::printf("%s kernel ops (total %llu):\n", label,
+              static_cast<unsigned long long>(stats.total()));
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(hm::kfusion::Kernel::kCount); ++k) {
+    const std::uint64_t ops = stats.count(static_cast<hm::kfusion::Kernel>(k));
+    if (ops == 0) continue;
+    std::printf("  %-14.*s %llu\n",
+                static_cast<int>(hm::kfusion::kKernelNames[k].size()),
+                hm::kfusion::kKernelNames[k].data(),
+                static_cast<unsigned long long>(ops));
+  }
+}
+
+/// Prints the scheduler counters accumulated by `pool` so far.
+inline void print_scheduler_stats(const hm::common::ThreadPool& pool) {
+  const hm::common::SchedulerStats stats = pool.stats();
+  std::printf("scheduler: %llu tasks, %llu steals, %llu help-joins, "
+              "%llu parallel regions (%zu threads)\n",
+              static_cast<unsigned long long>(stats.tasks_executed),
+              static_cast<unsigned long long>(stats.steals),
+              static_cast<unsigned long long>(stats.help_joins),
+              static_cast<unsigned long long>(stats.parallel_regions),
+              pool.thread_count());
+}
+
+/// The --trace/--metrics flag pair of one example invocation.
+class Observability {
+ public:
+  static Observability from_args(const hm::common::CliArgs& args) {
+    Observability obs;
+    obs.trace_path_ = args.get("trace");
+    obs.metrics_path_ = args.get("metrics");
+    if (obs.active()) {
+      // Timestamp + thread-id prefixes make interleaved worker logs
+      // attributable alongside the trace.
+      hm::common::set_log_format(hm::common::LogFormat::kTimestamped);
+    }
+    if (obs.trace_path_) {
+      hm::common::clear_trace();
+      hm::common::set_trace_enabled(true);
+    }
+    return obs;
+  }
+
+  [[nodiscard]] bool active() const {
+    return trace_path_.has_value() || metrics_path_.has_value();
+  }
+
+  /// End-of-run: folds `pool`'s scheduler counters into the global
+  /// registry, prints the metrics summary, and writes the --trace /
+  /// --metrics files. Returns false if an export failed.
+  [[nodiscard]] bool finish(hm::common::ThreadPool* pool) const {
+    auto& registry = hm::common::MetricsRegistry::global();
+    if (pool != nullptr) pool->publish_stats(registry);
+    if (!active()) return true;
+    const hm::common::MetricsSnapshot snapshot = registry.snapshot();
+    std::printf("\nmetrics summary:\n%s",
+                hm::common::metrics_summary(snapshot).c_str());
+    bool ok = true;
+    std::string error;
+    if (metrics_path_) {
+      if (hm::common::write_metrics_file(snapshot, *metrics_path_, &error)) {
+        std::printf("metrics written to %s\n", metrics_path_->c_str());
+      } else {
+        std::fprintf(stderr, "failed to write metrics %s: %s\n",
+                     metrics_path_->c_str(), error.c_str());
+        ok = false;
+      }
+    }
+    if (trace_path_) {
+      if (hm::common::write_chrome_trace(*trace_path_, &error)) {
+        std::printf("trace written to %s (open in chrome://tracing or "
+                    "https://ui.perfetto.dev)\n",
+                    trace_path_->c_str());
+      } else {
+        std::fprintf(stderr, "failed to write trace %s: %s\n",
+                     trace_path_->c_str(), error.c_str());
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+ private:
+  std::optional<std::string> trace_path_;
+  std::optional<std::string> metrics_path_;
+};
+
+}  // namespace hm::examples

@@ -3,6 +3,10 @@
 //
 //   ./tune_elasticfusion [--frames N] [--random-samples N] [--iterations N]
 //                        [--journal run.wal] [--resume]
+//                        [--trace out.json] [--metrics out.txt|out.json]
+//
+// --trace/--metrics export the run's spans and counter/histogram snapshot
+// (see tune_kfusion for the formats).
 //
 // --journal/--resume work as in tune_kfusion: evaluations are logged
 // durably, SIGINT stops cleanly at the next evaluation boundary, and
@@ -17,6 +21,7 @@
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
+#include "observability.hpp"
 #include "slambench/adapters.hpp"
 
 namespace {
@@ -36,6 +41,7 @@ void print_row(const char* label, double ate, double runtime_total,
 int main(int argc, char** argv) {
   using namespace hm;
   const common::CliArgs args(argc, argv, {"resume"});
+  const auto observability = examples::Observability::from_args(args);
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{40}));
 
@@ -59,7 +65,10 @@ int main(int argc, char** argv) {
   config.forest.tree_count = 48;
 
   common::Timer timer;
-  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  // The global pool parallelises batch evaluation (the evaluator is
+  // thread-safe); the merge order keeps the result deterministic.
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config,
+                                   &common::ThreadPool::global());
 
   const auto journal_path = args.get("journal");
   const bool resume = args.flag("resume");
@@ -128,6 +137,13 @@ int main(int argc, char** argv) {
     std::printf("  -> %.2fx more accurate at %.2fx speedup\n",
                 default_objectives[1] / sample.objectives[1],
                 default_objectives[0] / sample.objectives[0]);
+    // End-of-run report: counted kernel work of the most accurate
+    // configuration plus the scheduler counters for the whole DSE.
+    std::printf("\n");
+    examples::print_kernel_stats("best-accuracy configuration",
+                                 evaluator.measure(sample.config).stats);
   }
+  examples::print_scheduler_stats(common::ThreadPool::global());
+  if (!observability.finish(&common::ThreadPool::global())) return 1;
   return 0;
 }

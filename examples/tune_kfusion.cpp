@@ -5,6 +5,11 @@
 //   ./tune_kfusion [--device odroid|asus|nvidia] [--frames N]
 //                  [--random-samples N] [--iterations N] [--out front.csv]
 //                  [--journal run.wal] [--resume]
+//                  [--trace out.json] [--metrics out.txt|out.json]
+//
+// --trace records every pipeline/DSE span to a Chrome trace-event JSON
+// (open in chrome://tracing or Perfetto); --metrics writes the counter /
+// histogram snapshot (Prometheus text, or JSON with a .json extension).
 //
 // With --journal, every completed evaluation and phase transition is
 // appended durably to the write-ahead log, and Ctrl-C (SIGINT) stops the
@@ -21,11 +26,13 @@
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
+#include "observability.hpp"
 #include "slambench/adapters.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm;
   const common::CliArgs args(argc, argv, {"resume"});
+  const auto observability = examples::Observability::from_args(args);
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{30}));
   const std::string device_name = args.get_or("device", std::string("odroid"));
@@ -56,7 +63,10 @@ int main(int argc, char** argv) {
   config.forest.tree_count = 48;
 
   common::Timer timer;
-  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config);
+  // The global pool parallelises batch evaluation (the evaluator is
+  // thread-safe); the merge order keeps the result deterministic.
+  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config,
+                                   &common::ThreadPool::global());
   optimizer.set_progress([&](const hypermapper::IterationStats& stats) {
     std::printf("  iteration %zu: +%zu samples, measured front %zu (%.0fs)\n",
                 stats.iteration, stats.new_samples, stats.measured_front_size,
@@ -117,7 +127,14 @@ int main(int argc, char** argv) {
     std::printf("\nbest within the 5 cm accuracy limit: %.1f FPS (%.2fx over default)\n",
                 1.0 / sample.objectives[0],
                 default_objectives[0] / sample.objectives[0]);
+    // End-of-run report: the winning configuration's counted kernel work
+    // (re-measured once) plus the scheduler's counters for the whole DSE.
+    std::printf("\n");
+    examples::print_kernel_stats("best configuration",
+                                 evaluator.measure(sample.config).stats);
   }
+  examples::print_scheduler_stats(common::ThreadPool::global());
+  if (!observability.finish(&common::ThreadPool::global())) return 1;
 
   if (const auto out = args.get("out")) {
     const auto table = hypermapper::front_to_csv(evaluator.space(), result,

@@ -1,13 +1,16 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <string>
 
 namespace hm::common {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogFormat> g_format{LogFormat::kPlain};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,15 +23,42 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+std::int64_t unix_now_ms() {
+  // Wall-clock (not steady) time on purpose: log timestamps exist to be
+  // correlated with events outside the process. Never used for
+  // measurement — that is Timer / TraceSpan territory.
+  // hm-lint: allow(no-adhoc-instrumentation) wall-clock log timestamp, not a measurement
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+void set_log_format(LogFormat format) noexcept { g_format.store(format); }
+LogFormat log_format() noexcept { return g_format.load(); }
+
+std::uint32_t log_thread_index() {
+  static std::atomic<std::uint32_t> next_index{0};
+  thread_local const std::uint32_t index =
+      next_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
 void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::string line;
-  line.reserve(message.size() + 16);
+  line.reserve(message.size() + 48);
+  if (g_format.load() == LogFormat::kTimestamped) {
+    line.append(detail::iso8601_utc(unix_now_ms()));
+    line.append(" [t");
+    line.append(std::to_string(log_thread_index()));
+    line.append("] ");
+  }
   line.push_back('[');
   line.append(level_name(level));
   line.append("] ");
@@ -36,5 +66,28 @@ void log_line(LogLevel level, std::string_view message) {
   line.push_back('\n');
   std::fwrite(line.data(), 1, line.size(), stderr);
 }
+
+namespace detail {
+
+std::string iso8601_utc(std::int64_t unix_ms) {
+  // Floor-divide so pre-epoch times still map to the correct second.
+  std::int64_t seconds = unix_ms / 1000;
+  std::int64_t millis = unix_ms % 1000;
+  if (millis < 0) {
+    millis += 1000;
+    seconds -= 1;
+  }
+  std::tm parts{};
+  const std::time_t time = static_cast<std::time_t>(seconds);
+  gmtime_r(&time, &parts);
+  char buffer[80];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                parts.tm_hour, parts.tm_min, parts.tm_sec,
+                static_cast<int>(millis));
+  return buffer;
+}
+
+}  // namespace detail
 
 }  // namespace hm::common

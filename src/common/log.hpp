@@ -3,22 +3,42 @@
 // progress and diagnostics only.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace hm::common {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+/// kPlain: `[LEVEL] message`. kTimestamped: prepends an ISO-8601 UTC
+/// timestamp and the emitting thread's index so interleaved worker logs
+/// are attributable: `2017-05-14T09:30:00.123Z [t0] [LEVEL] message`.
+enum class LogFormat { kPlain = 0, kTimestamped = 1 };
+
 /// Sets / reads the process-wide minimum level that is emitted.
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Emits one line `[LEVEL] message` to stderr if `level` passes the
-/// threshold. Thread-safe (single write call per line).
+/// Sets / reads the process-wide line format (default kPlain).
+void set_log_format(LogFormat format) noexcept;
+[[nodiscard]] LogFormat log_format() noexcept;
+
+/// Small dense index of the calling thread, assigned on first log call
+/// (the main thread normally gets 0). Stable for the thread's lifetime.
+[[nodiscard]] std::uint32_t log_thread_index();
+
+/// Emits one line to stderr if `level` passes the threshold, formatted per
+/// `log_format()`. Thread-safe (single write call per line).
 void log_line(LogLevel level, std::string_view message);
 
 namespace detail {
+/// Formats a Unix timestamp in milliseconds as ISO-8601 UTC with
+/// millisecond precision (`1970-01-01T00:00:00.000Z`). Split out from
+/// log_line so the formatting is testable on fixed inputs.
+[[nodiscard]] std::string iso8601_utc(std::int64_t unix_ms);
+
 class LogStream {
  public:
   explicit LogStream(LogLevel level) : level_(level) {}

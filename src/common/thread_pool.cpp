@@ -4,6 +4,9 @@
 #include <cassert>
 #include <chrono>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace hm::common {
 
 thread_local ThreadPool* ThreadPool::tls_pool_ = nullptr;
@@ -136,6 +139,9 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::fork_join(
     std::size_t chunk_count,
     const std::function<std::function<void()>(std::size_t, Join&)>& make_task) {
+  // Span per parallel region (no-op unless tracing is on); the region is
+  // the fork-to-join window of the calling thread.
+  const TraceSpan region_span("parallel_region", "sched");
   Join join;
   join.pending.store(chunk_count, std::memory_order_relaxed);
   for (std::size_t c = 0; c < chunk_count; ++c) {
@@ -220,6 +226,20 @@ SchedulerStats ThreadPool::stats() const {
   snapshot.help_joins = stat_help_.load(std::memory_order_relaxed);
   snapshot.parallel_regions = stat_regions_.load(std::memory_order_relaxed);
   return snapshot;
+}
+
+void ThreadPool::publish_stats(MetricsRegistry& registry) {
+  const SchedulerStats now = stats();
+  const std::lock_guard<std::mutex> lock(publish_mutex_);
+  registry.counter("hm_scheduler_tasks_total")
+      .increment(now.tasks_executed - published_.tasks_executed);
+  registry.counter("hm_scheduler_steals_total")
+      .increment(now.steals - published_.steals);
+  registry.counter("hm_scheduler_help_joins_total")
+      .increment(now.help_joins - published_.help_joins);
+  registry.counter("hm_scheduler_parallel_regions_total")
+      .increment(now.parallel_regions - published_.parallel_regions);
+  published_ = now;
 }
 
 ThreadPool& ThreadPool::global() {

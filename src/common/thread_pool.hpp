@@ -27,6 +27,8 @@
 
 namespace hm::common {
 
+class MetricsRegistry;
+
 /// Monotonic scheduler counters (process lifetime of the pool). Cheap
 /// relaxed increments; read via ThreadPool::stats() for bench reports.
 struct SchedulerStats {
@@ -86,6 +88,11 @@ class ThreadPool {
   /// Scheduler counters snapshot (monotonic since construction).
   [[nodiscard]] SchedulerStats stats() const;
 
+  /// Folds the counter growth since the previous publish into `registry`
+  /// (`hm_scheduler_*_total` counter family). Safe to call repeatedly —
+  /// each event is counted exactly once across publishes.
+  void publish_stats(MetricsRegistry& registry);
+
   /// Process-wide default pool, sized to hardware concurrency.
   static ThreadPool& global();
 
@@ -134,6 +141,9 @@ class ThreadPool {
   std::atomic<std::uint64_t> stat_steals_{0};
   std::atomic<std::uint64_t> stat_help_{0};
   std::atomic<std::uint64_t> stat_regions_{0};
+
+  std::mutex publish_mutex_;
+  SchedulerStats published_;  ///< Counters already published; guarded by publish_mutex_.
 
   static thread_local ThreadPool* tls_pool_;
   static thread_local std::size_t tls_index_;

@@ -1,0 +1,161 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "common/atomic_file.hpp"
+#include "common/metrics.hpp"
+
+namespace hm::common {
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+/// One thread's span buffer. The owning thread appends under the buffer's
+/// own (uncontended) mutex; snapshot/clear take the same mutex from
+/// outside. Buffers are shared_ptr-owned by the collector so events
+/// survive thread exit.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+/// Intentionally leaked: worker thread_locals may detach after static
+/// destruction starts, and trace export can run from atexit paths.
+Collector& collector() {
+  static Collector* instance = new Collector;
+  return *instance;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>();
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    created->tid = c.next_tid++;
+    c.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void set_trace_enabled(bool enabled) noexcept {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+std::uint32_t trace_thread_id() { return local_buffer().tid; }
+
+void clear_trace() {
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  std::vector<TraceEvent> merged;
+  Collector& c = collector();
+  {
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    for (const auto& buffer : c.buffers) {
+      const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              const int names = std::strcmp(a.name, b.name);
+              if (names != 0) return names < 0;
+              return a.duration_ns < b.duration_ns;
+            });
+  return merged;
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [";
+  char buffer[96];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    out.append("  {\"name\": \"");
+    out.append(json_escape(event.name));
+    out.append("\", \"cat\": \"");
+    out.append(json_escape(event.category));
+    // Complete ("X") events with microsecond timestamps, per the Chrome
+    // trace-event format; pid is constant (single process).
+    std::snprintf(buffer, sizeof(buffer),
+                  "\", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %.3f, \"dur\": %.3f}",
+                  event.tid, static_cast<double>(event.start_ns) / 1e3,
+                  static_cast<double>(event.duration_ns) / 1e3);
+    out.append(buffer);
+  }
+  out.append(events.empty() ? "], " : "\n], ");
+  out.append("\"displayTimeUnit\": \"ms\"}\n");
+  return out;
+}
+
+bool write_chrome_trace(const std::string& path, std::string* error) {
+  return write_file_atomic(path, chrome_trace_json(trace_snapshot()), error);
+}
+
+namespace detail {
+
+std::int64_t trace_now_ns() noexcept {
+  using SteadyClock = std::chrono::steady_clock;
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             SteadyClock::now() - epoch)
+      .count();
+}
+
+void record_span(const char* name, const char* category, std::int64_t start_ns,
+                 std::int64_t duration_ns) {
+  ThreadBuffer& buffer = local_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  buffer.events.push_back(
+      TraceEvent{name, category, buffer.tid, start_ns, duration_ns});
+}
+
+}  // namespace detail
+
+#if HM_TRACE_ENABLED
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  const std::int64_t end_ns = detail::trace_now_ns();
+  const std::int64_t duration_ns = end_ns - start_ns_;
+  if (histogram_ != nullptr) {
+    histogram_->observe(static_cast<double>(duration_ns) * 1e-9);
+  }
+  if (trace_enabled()) {
+    detail::record_span(name_, category_, start_ns_, duration_ns);
+  }
+}
+
+#endif  // HM_TRACE_ENABLED
+
+}  // namespace hm::common

@@ -1,0 +1,104 @@
+// RAII trace spans recorded into per-thread buffers and exported as Chrome
+// trace-event JSON (load in chrome://tracing or Perfetto). Tracing has two
+// gates: a runtime toggle (`set_trace_enabled`, off by default — a disabled
+// span costs one relaxed load) and a compile-time gate (`HM_TRACE_ENABLED`,
+// set by the CMake option `HM_TRACE`; when 0 the span class is an empty
+// no-op and every instrumentation site compiles away).
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the trace buffers): events store the pointers, not copies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef HM_TRACE_ENABLED
+#define HM_TRACE_ENABLED 1
+#endif
+
+namespace hm::common {
+
+class Histogram;
+
+/// One completed span. Times are nanoseconds on the process-local steady
+/// timeline (zero at the first trace operation).
+struct TraceEvent {
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+};
+
+/// Runtime toggle for span recording. Off by default.
+void set_trace_enabled(bool enabled) noexcept;
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Small dense id of the calling thread on the trace timeline (assigned in
+/// first-use order; the first tracing thread — normally main — gets 0).
+[[nodiscard]] std::uint32_t trace_thread_id();
+
+/// Drops all recorded events (buffers of live threads included).
+void clear_trace();
+
+/// Merged copy of every thread's events, sorted by (start, tid, name) so
+/// identical runs serialise identically.
+[[nodiscard]] std::vector<TraceEvent> trace_snapshot();
+
+/// Chrome trace-event JSON (`{"traceEvents": [...]}`), complete "X" events,
+/// microsecond timestamps.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<TraceEvent>& events);
+
+/// Snapshots the trace and writes it atomically to `path`.
+[[nodiscard]] bool write_chrome_trace(const std::string& path,
+                                      std::string* error = nullptr);
+
+namespace detail {
+/// Nanoseconds since the process trace epoch (steady clock).
+[[nodiscard]] std::int64_t trace_now_ns() noexcept;
+/// Appends a completed span to the calling thread's buffer.
+void record_span(const char* name, const char* category, std::int64_t start_ns,
+                 std::int64_t duration_ns);
+}  // namespace detail
+
+#if HM_TRACE_ENABLED
+
+/// Scoped span: records [construction, destruction) when tracing is on,
+/// and/or feeds the elapsed seconds into `histogram` when one is given
+/// (histogram feeding works even with the trace toggle off, so phase
+/// duration metrics do not require trace capture).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "app",
+                     Histogram* histogram = nullptr) noexcept
+      : name_(name), category_(category), histogram_(histogram),
+        armed_(histogram != nullptr || trace_enabled()) {
+    if (armed_) start_ns_ = detail::trace_now_ns();
+  }
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  Histogram* histogram_;
+  bool armed_;
+  std::int64_t start_ns_ = 0;
+};
+
+#else  // HM_TRACE_ENABLED == 0: spans compile to nothing.
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, const char* = "app",
+                     Histogram* = nullptr) noexcept {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif  // HM_TRACE_ENABLED
+
+}  // namespace hm::common

@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "kfusion/preprocess.hpp"
 
 namespace hm::elasticfusion {
+namespace {
+
+/// Per-phase duration histograms
+/// (`hm_elasticfusion_phase_seconds{phase=...}`), resolved once.
+struct PhaseMetrics {
+  hm::common::Histogram* preprocess = nullptr;
+  hm::common::Histogram* tracking = nullptr;
+  hm::common::Histogram* fusion = nullptr;
+  hm::common::Histogram* loop_closure = nullptr;
+  hm::common::Histogram* maintenance = nullptr;
+};
+
+const PhaseMetrics& phase_metrics() {
+  static const PhaseMetrics metrics = [] {
+    auto& registry = hm::common::MetricsRegistry::global();
+    const auto resolve = [&registry](std::string_view phase) {
+      return &registry.histogram("hm_elasticfusion_phase_seconds", "phase",
+                                 phase);
+    };
+    PhaseMetrics resolved;
+    resolved.preprocess = resolve("preprocess");
+    resolved.tracking = resolve("tracking");
+    resolved.fusion = resolve("fusion");
+    resolved.loop_closure = resolve("loop_closure");
+    resolved.maintenance = resolve("maintenance");
+    return resolved;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 ElasticFusionPipeline::ElasticFusionPipeline(const EFParams& params,
                                              const Intrinsics& intrinsics,
@@ -36,11 +69,16 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
     const hm::geometry::IntensityImage& intensity) {
   FrameResult result;
 
-  const hm::geometry::DepthImage filtered = preprocess(depth);
-  const std::vector<PyramidLevel> pyramid =
-      hm::kfusion::build_pyramid(filtered, intrinsics_, 3, stats_);
-  const std::vector<IntensityImage> intensity_pyramid =
-      build_intensity_pyramid(intensity, 3, stats_);
+  hm::geometry::DepthImage filtered;
+  std::vector<PyramidLevel> pyramid;
+  std::vector<IntensityImage> intensity_pyramid;
+  {
+    const hm::common::TraceSpan span("preprocess", "elasticfusion",
+                                     phase_metrics().preprocess);
+    filtered = preprocess(depth);
+    pyramid = hm::kfusion::build_pyramid(filtered, intrinsics_, 3, stats_);
+    intensity_pyramid = build_intensity_pyramid(intensity, 3, stats_);
+  }
 
   if (frame_ == 0) {
     // Bootstrap: fuse the first frame at the initial pose.
@@ -49,48 +87,52 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
     const auto code = ferns_.encode(filtered, intensity, stats_);
     ferns_.maybe_add(code, pose_, frame_, stats_);
   } else {
-    // --- Tracking. ---
-    SE3 initial = pose_;
-    if (params_.so3_prealign && !previous_intensity_pyramid_.empty()) {
-      const std::size_t coarse = pyramid.size() - 1;
-      const hm::geometry::Mat3d delta = so3_prealign(
-          pyramid[coarse], intensity_pyramid[coarse],
-          previous_intensity_pyramid_[coarse], pyramid[coarse].intrinsics,
-          stats_);
-      // A current-camera point p maps to delta*p in the previous camera:
-      // T_cur = T_prev * delta.
-      initial.rotation =
-          hm::geometry::orthonormalized(initial.rotation * delta);
-    }
+    // --- Tracking (with fern relocalization as the fallback). ---
+    {
+      const hm::common::TraceSpan tracking_span("tracking", "elasticfusion",
+                                                phase_metrics().tracking);
+      SE3 initial = pose_;
+      if (params_.so3_prealign && !previous_intensity_pyramid_.empty()) {
+        const std::size_t coarse = pyramid.size() - 1;
+        const hm::geometry::Mat3d delta = so3_prealign(
+            pyramid[coarse], intensity_pyramid[coarse],
+            previous_intensity_pyramid_[coarse], pyramid[coarse].intrinsics,
+            stats_);
+        // A current-camera point p maps to delta*p in the previous camera:
+        // T_cur = T_prev * delta.
+        initial.rotation =
+            hm::geometry::orthonormalized(initial.rotation * delta);
+      }
 
-    const ModelView model =
-        map_.project(intrinsics_, pose_, params_.confidence_threshold, frame_,
-                     kUnstableWindow, stats_);
-    const OdometryResult odom = track_rgbd(
-        pyramid, intensity_pyramid, model, previous_intensity_pyramid_,
-        intrinsics_, pose_, initial, odometry_config_, stats_);
-    result.tracked = odom.tracked;
+      const ModelView model =
+          map_.project(intrinsics_, pose_, params_.confidence_threshold,
+                       frame_, kUnstableWindow, stats_);
+      const OdometryResult odom = track_rgbd(
+          pyramid, intensity_pyramid, model, previous_intensity_pyramid_,
+          intrinsics_, pose_, initial, odometry_config_, stats_);
+      result.tracked = odom.tracked;
 
-    if (odom.tracked) {
-      pose_ = odom.pose;
-    } else if (params_.relocalisation) {
-      // --- Fern relocalization: jump to the best-matching keyframe pose
-      // and re-track against the model from there. ---
-      const auto code = ferns_.encode(filtered, intensity, stats_);
-      const auto match = ferns_.best_match(code, stats_);
-      if (match && match->similarity > 0.6) {
-        const SE3 candidate = ferns_.keyframe(match->keyframe_index).pose;
-        const ModelView reloc_model =
-            map_.project(intrinsics_, candidate, params_.confidence_threshold,
-                         frame_, /*unstable_window=*/0, stats_);
-        const OdometryResult retry = track_rgbd(
-            pyramid, intensity_pyramid, reloc_model, {}, intrinsics_,
-            candidate, candidate, odometry_config_, stats_);
-        if (retry.tracked) {
-          pose_ = retry.pose;
-          result.tracked = true;
-          result.relocalized = true;
-          ++relocalizations_;
+      if (odom.tracked) {
+        pose_ = odom.pose;
+      } else if (params_.relocalisation) {
+        // --- Fern relocalization: jump to the best-matching keyframe pose
+        // and re-track against the model from there. ---
+        const auto code = ferns_.encode(filtered, intensity, stats_);
+        const auto match = ferns_.best_match(code, stats_);
+        if (match && match->similarity > 0.6) {
+          const SE3 candidate = ferns_.keyframe(match->keyframe_index).pose;
+          const ModelView reloc_model = map_.project(
+              intrinsics_, candidate, params_.confidence_threshold, frame_,
+              /*unstable_window=*/0, stats_);
+          const OdometryResult retry = track_rgbd(
+              pyramid, intensity_pyramid, reloc_model, {}, intrinsics_,
+              candidate, candidate, odometry_config_, stats_);
+          if (retry.tracked) {
+            pose_ = retry.pose;
+            result.tracked = true;
+            result.relocalized = true;
+            ++relocalizations_;
+          }
         }
       }
     }
@@ -98,11 +140,15 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
     // --- Local loop closure (model-to-keyframe consistency). ---
     if (!params_.open_loop && result.tracked &&
         frame_ % kLoopCheckInterval == 0) {
+      const hm::common::TraceSpan span("loop_closure", "elasticfusion",
+                                       phase_metrics().loop_closure);
       attempt_loop_closure(pyramid, intensity_pyramid, result);
     }
 
     // --- Fusion: only frames with a trusted pose extend the map. ---
     if (result.tracked) {
+      const hm::common::TraceSpan span("fusion", "elasticfusion",
+                                       phase_metrics().fusion);
       map_.fuse(pyramid[0].vertices, pyramid[0].normals, intensity, pose_,
                 frame_, {}, stats_);
       const auto code = ferns_.encode(filtered, intensity, stats_);
@@ -112,6 +158,8 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
     // --- Map maintenance: drop stale unstable surfels (sensor noise that
     // was never confirmed). ---
     if (frame_ % kLoopCheckInterval == 0) {
+      const hm::common::TraceSpan span("maintenance", "elasticfusion",
+                                       phase_metrics().maintenance);
       (void)map_.prune(frame_, 2 * kUnstableWindow,
                        params_.confidence_threshold, stats_);
     }

@@ -5,9 +5,39 @@
 #include <unordered_set>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "hypermapper/run_journal.hpp"
 
 namespace hm::hypermapper {
+namespace {
+
+/// Global-registry handles for the DSE loop, resolved once.
+struct OptimizerMetrics {
+  hm::common::Counter* iterations = nullptr;
+  hm::common::Counter* surrogate_fits = nullptr;
+  hm::common::Counter* quarantined = nullptr;
+  hm::common::Gauge* front_size = nullptr;
+  hm::common::Histogram* iteration_seconds = nullptr;
+};
+
+const OptimizerMetrics& optimizer_metrics() {
+  static const OptimizerMetrics metrics = [] {
+    auto& registry = hm::common::MetricsRegistry::global();
+    OptimizerMetrics resolved;
+    resolved.iterations = &registry.counter("hm_optimizer_iterations_total");
+    resolved.surrogate_fits =
+        &registry.counter("hm_optimizer_surrogate_fits_total");
+    resolved.quarantined = &registry.counter("hm_quarantine_total");
+    resolved.front_size = &registry.gauge("hm_optimizer_front_size");
+    resolved.iteration_seconds =
+        &registry.histogram("hm_optimizer_iteration_seconds");
+    return resolved;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 std::size_t OptimizationResult::random_sample_count() const {
   std::size_t count = 0;
@@ -72,6 +102,7 @@ void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
   // from the tail map instead of re-evaluated; cooperative cancellation
   // skips evaluations that have not started (skipped slots are simply not
   // merged — a resumed run picks them up through the journal tail).
+  const hm::common::TraceSpan batch_span("evaluate_batch", "dse");
   std::vector<EvaluationOutcome> outcomes(configs.size());
   std::vector<unsigned char> completed(configs.size(), 0);
   std::vector<unsigned char> replayed(configs.size(), 0);
@@ -128,6 +159,7 @@ void Optimizer::evaluate_batch(const std::vector<Configuration>& configs,
       journal_append("fail",
                      encode_fail_record(result.quarantine.size(), record));
       result.quarantine.push_back(std::move(record));
+      optimizer_metrics().quarantined->increment();
     }
   }
 }
@@ -225,9 +257,12 @@ OptimizationResult Optimizer::run() {
                      config_, space_, evaluator_.objective_count())));
 
   // --- Bootstrap: rs distinct random samples, evaluated on "hardware". ---
-  const std::vector<Configuration> bootstrap =
-      space_.sample_distinct(config_.random_samples, rng);
-  evaluate_batch(bootstrap, 0, result);
+  {
+    const hm::common::TraceSpan bootstrap_span("bootstrap", "dse");
+    const std::vector<Configuration> bootstrap =
+        space_.sample_distinct(config_.random_samples, rng);
+    evaluate_batch(bootstrap, 0, result);
+  }
   run_active_learning(result, rng);
   journal_started_ = false;
   return result;
@@ -405,17 +440,24 @@ void Optimizer::run_active_learning(OptimizationResult& result,
       result.interrupted = true;
       break;
     }
+    const hm::common::TraceSpan iteration_span(
+        "iteration", "dse", optimizer_metrics().iteration_seconds);
+    optimizer_metrics().iterations->increment();
     rebuild_training_set();
 
     // Fit one forest per objective (M_ATE and M_run in the paper).
     models.clear();
-    for (std::size_t o = 0; o < n_objectives; ++o) {
-      hm::rf::ForestConfig forest_config = config_.forest;
-      forest_config.seed =
-          config_.seed ^ (0x9e3779b97f4a7c15ULL * (iteration * n_objectives + o + 1));
-      hm::rf::RandomForest model(forest_config);
-      model.fit(train_x, train_y[o], pool_);
-      models.push_back(std::move(model));
+    {
+      const hm::common::TraceSpan fit_span("surrogate_fit", "dse");
+      for (std::size_t o = 0; o < n_objectives; ++o) {
+        hm::rf::ForestConfig forest_config = config_.forest;
+        forest_config.seed =
+            config_.seed ^ (0x9e3779b97f4a7c15ULL * (iteration * n_objectives + o + 1));
+        hm::rf::RandomForest model(forest_config);
+        model.fit(train_x, train_y[o], pool_);
+        models.push_back(std::move(model));
+        optimizer_metrics().surrogate_fits->increment();
+      }
     }
 
     // Predict both objectives over the pool and extract the predicted front.
@@ -425,8 +467,11 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     for (const Configuration& c : pool_configs) pool_x.add_row(space_.features(c));
 
     std::vector<std::vector<double>> predictions(n_objectives);
-    for (std::size_t o = 0; o < n_objectives; ++o) {
-      predictions[o] = models[o].predict_batch(pool_x, pool_);
+    {
+      const hm::common::TraceSpan predict_span("surrogate_predict", "dse");
+      for (std::size_t o = 0; o < n_objectives; ++o) {
+        predictions[o] = models[o].predict_batch(pool_x, pool_);
+      }
     }
     std::vector<Objectives> predicted(pool_configs.size(),
                                       Objectives(n_objectives));
@@ -509,6 +554,8 @@ void Optimizer::run_active_learning(OptimizationResult& result,
     }
 
     stats.measured_front_size = archive.size();
+    optimizer_metrics().front_size->set(
+        static_cast<double>(stats.measured_front_size));
     result.iterations.push_back(stats);
     if (progress_) progress_(stats);
     journal_phase_boundary(result, iteration, rng);

@@ -4,9 +4,40 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace hm::hypermapper {
+namespace {
+
+/// Global-registry handles resolved once; the registry owns the metrics, so
+/// the pointers stay valid for the process lifetime.
+struct EvaluationMetrics {
+  hm::common::Counter* outcomes[4] = {};  ///< Indexed by EvaluationStatus.
+  hm::common::Counter* retries = nullptr;
+  hm::common::Histogram* seconds = nullptr;
+};
+
+const EvaluationMetrics& evaluation_metrics() {
+  static const EvaluationMetrics metrics = [] {
+    auto& registry = hm::common::MetricsRegistry::global();
+    EvaluationMetrics resolved;
+    for (const EvaluationStatus status :
+         {EvaluationStatus::kOk, EvaluationStatus::kInvalidObjectives,
+          EvaluationStatus::kException, EvaluationStatus::kTimeout}) {
+      resolved.outcomes[static_cast<std::size_t>(status)] =
+          &registry.counter("hm_eval_outcomes_total", "status",
+                            to_string(status));
+    }
+    resolved.retries = &registry.counter("hm_eval_retries_total");
+    resolved.seconds = &registry.histogram("hm_eval_seconds");
+    return resolved;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 const char* to_string(EvaluationStatus status) {
   switch (status) {
@@ -81,17 +112,27 @@ EvaluationOutcome ResilientEvaluator::evaluate_outcome(
 
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
     ++outcome.attempts;
-    if (attempt > 0) ++retries_;
+    if (attempt > 0) {
+      ++retries_;
+      evaluation_metrics().retries->increment();
+    }
     const std::uint64_t nonce =
         attempt == 0 ? 0 : hm::common::splitmix64_next(nonce_state);
     bool transient = false;
     try {
+      const hm::common::TraceSpan span("evaluate", "dse");
+      // The raw clock (not Timer / TraceSpan) is load-bearing here: the
+      // elapsed time feeds the kTimeout classification, which must work
+      // identically in an HM_TRACE_ENABLED=0 build.
+      // hm-lint: allow(no-adhoc-instrumentation) deadline classification needs the clock in trace-off builds
       const Clock::time_point start = Clock::now();
       std::vector<double> objectives =
           attempt == 0 ? inner_.evaluate(config)
                        : inner_.evaluate_retry(config, nonce);
       const double elapsed =
+          // hm-lint: allow(no-adhoc-instrumentation) paired end-read of the deadline clock
           std::chrono::duration<double>(Clock::now() - start).count();
+      evaluation_metrics().seconds->observe(elapsed);
       if (policy_.deadline_seconds > 0.0 &&
           elapsed > policy_.deadline_seconds) {
         outcome.status = EvaluationStatus::kTimeout;
@@ -110,6 +151,9 @@ EvaluationOutcome ResilientEvaluator::evaluate_outcome(
         outcome.objectives = std::move(objectives);
         outcome.message.clear();
         ++ok_;
+        evaluation_metrics()
+            .outcomes[static_cast<std::size_t>(EvaluationStatus::kOk)]
+            ->increment();
         return outcome;
       }
     } catch (const EvaluationError& error) {
@@ -140,6 +184,11 @@ EvaluationOutcome ResilientEvaluator::evaluate_outcome(
       break;
     case EvaluationStatus::kOk:
       break;
+  }
+  if (!outcome.ok()) {
+    evaluation_metrics()
+        .outcomes[static_cast<std::size_t>(outcome.status)]
+        ->increment();
   }
   return outcome;
 }

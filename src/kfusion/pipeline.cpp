@@ -1,9 +1,37 @@
 #include "kfusion/pipeline.hpp"
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "kfusion/preprocess.hpp"
 #include "kfusion/pyramid.hpp"
 
 namespace hm::kfusion {
+namespace {
+
+/// Per-phase duration histograms (`hm_kfusion_phase_seconds{phase=...}`),
+/// resolved once from the global registry.
+struct PhaseMetrics {
+  hm::common::Histogram* preprocess = nullptr;
+  hm::common::Histogram* tracking = nullptr;
+  hm::common::Histogram* integration = nullptr;
+};
+
+const PhaseMetrics& phase_metrics() {
+  static const PhaseMetrics metrics = [] {
+    auto& registry = hm::common::MetricsRegistry::global();
+    PhaseMetrics resolved;
+    resolved.preprocess =
+        &registry.histogram("hm_kfusion_phase_seconds", "phase", "preprocess");
+    resolved.tracking =
+        &registry.histogram("hm_kfusion_phase_seconds", "phase", "tracking");
+    resolved.integration =
+        &registry.histogram("hm_kfusion_phase_seconds", "phase", "integration");
+    return resolved;
+  }();
+  return metrics;
+}
+
+}  // namespace
 
 KFusionPipeline::KFusionPipeline(const KFusionParams& params,
                                  const Intrinsics& raw_intrinsics,
@@ -27,16 +55,22 @@ KFusionPipeline::FrameResult KFusionPipeline::process_frame(
   FrameResult result;
 
   // --- Preprocessing: compute-size-ratio downsample + bilateral filter. ---
-  const DepthImage scaled =
-      downsample_depth(raw_depth, params_.compute_size_ratio, stats_);
-  const DepthImage filtered =
-      bilateral_filter(scaled, BilateralConfig{}, stats_, pool_);
+  DepthImage filtered;
+  {
+    const hm::common::TraceSpan span("preprocess", "kfusion",
+                                     phase_metrics().preprocess);
+    const DepthImage scaled =
+        downsample_depth(raw_depth, params_.compute_size_ratio, stats_);
+    filtered = bilateral_filter(scaled, BilateralConfig{}, stats_, pool_);
+  }
 
   // --- Tracking. ---
   const bool do_track =
       frame_ > 0 &&
       (frame_ % static_cast<std::size_t>(params_.tracking_rate)) == 0;
   if (do_track) {
+    const hm::common::TraceSpan span("tracking", "kfusion",
+                                     phase_metrics().tracking);
     result.tracking_attempted = true;
     const std::vector<PyramidLevel> pyramid =
         build_pyramid(filtered, computed_intrinsics_, 3, stats_);
@@ -61,6 +95,8 @@ KFusionPipeline::FrameResult KFusionPipeline::process_frame(
   const bool do_integrate =
       (frame_ % static_cast<std::size_t>(params_.integration_rate)) == 0;
   if (do_integrate) {
+    const hm::common::TraceSpan span("integration", "kfusion",
+                                     phase_metrics().integration);
     // Fuse the filtered (not raw) depth, as KFusion does.
     volume_->integrate(filtered, computed_intrinsics_, pose_, params_.mu,
                        stats_, pool_);

@@ -1,10 +1,40 @@
 #include "slambench/harness.hpp"
 
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "elasticfusion/pipeline.hpp"
 #include "kfusion/pipeline.hpp"
 
 namespace hm::slambench {
+namespace {
+
+/// Bridges a finished run's per-kernel op counts into the global registry
+/// as the `hm_kernel_ops_total{kernel=...}` counter family. Counter handles
+/// are resolved once per process.
+void publish_kernel_stats(const KernelStats& stats) {
+  static const auto counters = [] {
+    auto& registry = hm::common::MetricsRegistry::global();
+    std::array<hm::common::Counter*,
+               static_cast<std::size_t>(hm::kfusion::Kernel::kCount)>
+        resolved{};
+    for (std::size_t k = 0; k < resolved.size(); ++k) {
+      resolved[k] = &registry.counter("hm_kernel_ops_total", "kernel",
+                                      hm::kfusion::kKernelNames[k]);
+    }
+    return resolved;
+  }();
+  for (std::size_t k = 0; k < counters.size(); ++k) {
+    const std::uint64_t ops = stats.count(static_cast<hm::kfusion::Kernel>(k));
+    if (ops != 0) counters[k]->increment(ops);
+  }
+}
+
+hm::common::Histogram& frame_histogram(const char* name) {
+  return hm::common::MetricsRegistry::global().histogram(name);
+}
+
+}  // namespace
 
 RunMetrics run_kfusion(const hm::dataset::RGBDSequence& sequence,
                        const hm::kfusion::KFusionParams& params,
@@ -13,11 +43,15 @@ RunMetrics run_kfusion(const hm::dataset::RGBDSequence& sequence,
   metrics.frames = sequence.frame_count();
   if (metrics.frames == 0) return metrics;
 
+  static hm::common::Histogram& frame_seconds =
+      frame_histogram("hm_kfusion_frame_seconds");
   hm::common::Timer timer;
   hm::kfusion::KFusionPipeline pipeline(params, sequence.intrinsics(),
                                         sequence.frame(0).ground_truth_pose,
                                         pool);
   for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
+    const hm::common::TraceSpan frame_span("kfusion_frame", "slam",
+                                           &frame_seconds);
     const auto frame_result = pipeline.process_frame(sequence.frame(i).depth);
     if (frame_result.tracking_attempted && !frame_result.tracked) {
       ++metrics.tracking_failures;
@@ -25,6 +59,7 @@ RunMetrics run_kfusion(const hm::dataset::RGBDSequence& sequence,
   }
   metrics.wall_seconds = timer.seconds();
   metrics.stats = pipeline.stats();
+  publish_kernel_stats(metrics.stats);
   metrics.ate = compute_ate(pipeline.trajectory(), sequence.ground_truth());
   return metrics;
 }
@@ -35,17 +70,22 @@ RunMetrics run_elasticfusion(const hm::dataset::RGBDSequence& sequence,
   metrics.frames = sequence.frame_count();
   if (metrics.frames == 0) return metrics;
 
+  static hm::common::Histogram& frame_seconds =
+      frame_histogram("hm_elasticfusion_frame_seconds");
   hm::common::Timer timer;
   hm::elasticfusion::ElasticFusionPipeline pipeline(
       params, sequence.intrinsics(), sequence.frame(0).ground_truth_pose);
   for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
     const auto& frame = sequence.frame(i);
+    const hm::common::TraceSpan frame_span("elasticfusion_frame", "slam",
+                                           &frame_seconds);
     const auto frame_result =
         pipeline.process_frame(frame.depth, frame.intensity);
     if (!frame_result.tracked) ++metrics.tracking_failures;
   }
   metrics.wall_seconds = timer.seconds();
   metrics.stats = pipeline.stats();
+  publish_kernel_stats(metrics.stats);
   metrics.relocalizations = pipeline.relocalization_count();
   metrics.loop_closures = pipeline.loop_closure_count();
   metrics.ate = compute_ate(pipeline.trajectory(), sequence.ground_truth());

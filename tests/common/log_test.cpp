@@ -17,6 +17,15 @@ class LogLevelGuard {
   LogLevel saved_;
 };
 
+class LogFormatGuard {
+ public:
+  LogFormatGuard() : saved_(log_format()) {}
+  ~LogFormatGuard() { set_log_format(saved_); }
+
+ private:
+  LogFormat saved_;
+};
+
 TEST(Log, LevelRoundTrip) {
   const LogLevelGuard guard;
   set_log_level(LogLevel::kWarn);
@@ -39,6 +48,46 @@ TEST(Log, StreamFormatting) {
   log_info() << "value=" << 3.5 << " name=" << "x";
   log_warn() << 1 << 2 << 3;
   log_error() << "chain";
+}
+
+TEST(Log, FormatRoundTrip) {
+  const LogFormatGuard guard;
+  set_log_format(LogFormat::kTimestamped);
+  EXPECT_EQ(log_format(), LogFormat::kTimestamped);
+  set_log_format(LogFormat::kPlain);
+  EXPECT_EQ(log_format(), LogFormat::kPlain);
+}
+
+TEST(Log, TimestampedFormatEmitsWithoutCrashing) {
+  const LogLevelGuard level_guard;
+  const LogFormatGuard format_guard;
+  set_log_format(LogFormat::kTimestamped);
+  set_log_level(LogLevel::kOff);  // Exercise formatting, keep output clean.
+  log_line(LogLevel::kError, "timestamped");
+  log_info() << "streamed " << 7;
+}
+
+TEST(Log, Iso8601FixedInputs) {
+  EXPECT_EQ(detail::iso8601_utc(0), "1970-01-01T00:00:00.000Z");
+  EXPECT_EQ(detail::iso8601_utc(1), "1970-01-01T00:00:00.001Z");
+  EXPECT_EQ(detail::iso8601_utc(999), "1970-01-01T00:00:00.999Z");
+  // 2009-02-13T23:31:30.123Z is the classic 1234567890 Unix second.
+  EXPECT_EQ(detail::iso8601_utc(1'234'567'890'123),
+            "2009-02-13T23:31:30.123Z");
+  // Leap-year day.
+  EXPECT_EQ(detail::iso8601_utc(951'782'400'000), "2000-02-29T00:00:00.000Z");
+  // Pre-epoch times floor toward the previous second.
+  EXPECT_EQ(detail::iso8601_utc(-1), "1969-12-31T23:59:59.999Z");
+}
+
+TEST(Log, ThreadIndexIsStablePerThread) {
+  const std::uint32_t mine = log_thread_index();
+  EXPECT_EQ(log_thread_index(), mine);
+  std::uint32_t other = mine;
+  // hm-lint: allow(no-raw-thread) exercises the per-thread index directly
+  std::thread worker([&other] { other = log_thread_index(); });
+  worker.join();
+  EXPECT_NE(other, mine);
 }
 
 TEST(Timer, MeasuresElapsedTime) {

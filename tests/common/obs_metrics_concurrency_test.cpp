@@ -1,0 +1,153 @@
+// Concurrency tests for the metrics/trace layer: counters, histograms, and
+// trace buffers hit from a real worker pool. Carries the ctest "tsan" label
+// so the ThreadSanitizer build exercises these paths (scripts/tsan.sh).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+
+namespace hm::common {
+namespace {
+
+constexpr std::size_t kThreads = 4;
+constexpr std::size_t kItems = 2'000;
+
+TEST(MetricsConcurrency, ConcurrentCounterIncrementsAreExact) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hm_concurrent_total");
+  ThreadPool pool(kThreads);
+  pool.parallel_for(0, kItems, [&counter](std::size_t) {
+    counter.increment();
+    counter.increment(2);
+  });
+  EXPECT_EQ(counter.value(), kItems * 3);
+}
+
+TEST(MetricsConcurrency, ConcurrentRegistryLookupsResolveOneMetric) {
+  MetricsRegistry registry;
+  ThreadPool pool(kThreads);
+  // Every task looks the counter up by name, racing creation on first use.
+  pool.parallel_for(0, kItems, [&registry](std::size_t i) {
+    registry.counter("hm_lookup_total").increment();
+    registry.counter("hm_lookup_total", "shard",
+                     i % 2 == 0 ? "even" : "odd").increment();
+  });
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(registry.counter("hm_lookup_total").value(), kItems);
+  EXPECT_EQ(registry.counter("hm_lookup_total", "shard", "even").value() +
+                registry.counter("hm_lookup_total", "shard", "odd").value(),
+            kItems);
+}
+
+TEST(MetricsConcurrency, ConcurrentHistogramObservesAreExact) {
+  Histogram histogram;
+  ThreadPool pool(kThreads);
+  pool.parallel_for(0, kItems, [&histogram](std::size_t i) {
+    histogram.observe(static_cast<double>(i % 7) * 1e-3);
+  });
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, kItems);
+  std::uint64_t bucketed = 0;
+  for (const std::uint64_t b : snap.buckets) bucketed += b;
+  EXPECT_EQ(bucketed, kItems);
+}
+
+TEST(MetricsConcurrency, PerWorkerShardsMergeToDirectTotals) {
+  // The shard pattern: each worker observes into a private shard, shards
+  // merge at join. The merged result must match single-threaded observes
+  // of the same values, independent of worker interleaving.
+  std::vector<HistogramShard> shards(kThreads);
+  ThreadPool pool(kThreads);
+  pool.parallel_for(0, kThreads, [&shards](std::size_t w) {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      shards[w].observe(static_cast<double>(i % 11) * 1e-4);
+    }
+  });
+  Histogram merged;
+  for (const HistogramShard& shard : shards) merged.merge(shard);
+
+  Histogram direct;
+  for (std::size_t w = 0; w < kThreads; ++w) {
+    for (std::size_t i = 0; i < kItems; ++i) {
+      direct.observe(static_cast<double>(i % 11) * 1e-4);
+    }
+  }
+  const HistogramSnapshot a = merged.snapshot();
+  const HistogramSnapshot b = direct.snapshot();
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_EQ(a.count, b.count);
+  // Bucket counts are exactly order-independent; the float sum is only
+  // near-equal (shard merge adds per-shard subtotals, the direct path one
+  // long chain — different rounding order).
+  EXPECT_NEAR(a.sum, b.sum, 1e-9 * b.sum);
+}
+
+TEST(MetricsConcurrency, PublishStatsCountsEachEventOnce) {
+  ThreadPool pool(kThreads);
+  pool.parallel_for(0, kItems, [](std::size_t) {});
+  MetricsRegistry registry;
+  pool.publish_stats(registry);
+  const std::uint64_t tasks =
+      registry.counter("hm_scheduler_tasks_total").value();
+  const std::uint64_t regions =
+      registry.counter("hm_scheduler_parallel_regions_total").value();
+  EXPECT_GT(tasks, 0u);
+  EXPECT_GT(regions, 0u);
+  // Publishing again with no new work must not double-count.
+  pool.publish_stats(registry);
+  EXPECT_EQ(registry.counter("hm_scheduler_tasks_total").value(), tasks);
+  EXPECT_EQ(registry.counter("hm_scheduler_parallel_regions_total").value(),
+            regions);
+  // New work after a publish adds only the delta.
+  pool.parallel_for(0, kItems, [](std::size_t) {});
+  pool.publish_stats(registry);
+  EXPECT_GT(registry.counter("hm_scheduler_tasks_total").value(), tasks);
+}
+
+#if HM_TRACE_ENABLED
+
+TEST(TraceConcurrency, WorkerSpansAllRecorded) {
+  set_trace_enabled(false);
+  clear_trace();
+  set_trace_enabled(true);
+  constexpr std::size_t kSpans = 500;
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(0, kSpans, [](std::size_t) {
+      const TraceSpan span("unit", "tsan_test");
+    });
+  }
+  // The scheduler adds its own parallel_region spans; count only ours.
+  std::size_t recorded = 0;
+  for (const TraceEvent& event : trace_snapshot()) {
+    if (std::string_view(event.name) == "unit") ++recorded;
+  }
+  EXPECT_EQ(recorded, kSpans);
+  set_trace_enabled(false);
+  clear_trace();
+}
+
+TEST(TraceConcurrency, SpansFeedSharedHistogramFromWorkers) {
+  set_trace_enabled(false);
+  clear_trace();
+  Histogram histogram;
+  constexpr std::size_t kSpans = 500;
+  {
+    ThreadPool pool(kThreads);
+    pool.parallel_for(0, kSpans, [&histogram](std::size_t) {
+      const TraceSpan span("phase", "tsan_test", &histogram);
+    });
+  }
+  EXPECT_EQ(histogram.snapshot().count, kSpans);
+}
+
+#endif  // HM_TRACE_ENABLED
+
+}  // namespace
+}  // namespace hm::common

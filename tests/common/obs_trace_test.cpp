@@ -1,0 +1,407 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace hm::common {
+namespace {
+
+/// Resets the global trace state around each test: the trace buffers and
+/// the runtime toggle are process-wide.
+class TraceGuard {
+ public:
+  TraceGuard() {
+    set_trace_enabled(false);
+    clear_trace();
+  }
+  ~TraceGuard() {
+    set_trace_enabled(false);
+    clear_trace();
+  }
+};
+
+// --- Minimal JSON parser for round-trip validation -----------------------
+//
+// Just enough JSON to re-parse the Chrome trace export: objects, arrays,
+// strings (with escapes), numbers, and the three literals. The point of the
+// test is that the writer emits *well-formed* JSON, so the parser is strict
+// about structure and fails loudly on anything it cannot place.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses one complete document; returns false on any malformation,
+  /// including trailing garbage.
+  bool parse(JsonValue& out) {
+    if (!value(out)) return false;
+    skip_space();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+                return false;
+              }
+            }
+            pos_ += 4;
+            out.push_back('?');  // Code point is irrelevant to the tests.
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Raw control characters must be escaped.
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool number(double& out) {
+    skip_space();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool value(JsonValue& out) {
+    skip_space();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      skip_space();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!string(key) || !consume(':')) return false;
+        JsonValue member;
+        if (!value(member)) return false;
+        out.object.emplace(std::move(key), std::move(member));
+        if (consume(',')) continue;
+        return consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      skip_space();
+      if (consume(']')) return true;
+      while (true) {
+        JsonValue element;
+        if (!value(element)) return false;
+        out.array.push_back(std::move(element));
+        if (consume(',')) continue;
+        return consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.string);
+    }
+    if (c == 't') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return literal("true");
+    }
+    if (c == 'f') {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return literal("false");
+    }
+    if (c == 'n') {
+      out.kind = JsonValue::Kind::kNull;
+      return literal("null");
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return number(out.number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Asserts the Chrome-trace structural contract on a parsed document and
+/// returns the traceEvents array.
+const std::vector<JsonValue>& require_trace_shape(const JsonValue& document) {
+  static const std::vector<JsonValue> empty;
+  EXPECT_EQ(document.kind, JsonValue::Kind::kObject);
+  const auto events = document.object.find("traceEvents");
+  EXPECT_NE(events, document.object.end());
+  if (events == document.object.end()) return empty;
+  EXPECT_EQ(events->second.kind, JsonValue::Kind::kArray);
+  for (const JsonValue& event : events->second.array) {
+    EXPECT_EQ(event.kind, JsonValue::Kind::kObject);
+    const auto field = [&event](const char* name) -> const JsonValue& {
+      static const JsonValue missing;
+      const auto it = event.object.find(name);
+      EXPECT_NE(it, event.object.end()) << "missing field " << name;
+      return it == event.object.end() ? missing : it->second;
+    };
+    EXPECT_EQ(field("name").kind, JsonValue::Kind::kString);
+    EXPECT_EQ(field("cat").kind, JsonValue::Kind::kString);
+    EXPECT_EQ(field("ph").string, "X");
+    EXPECT_EQ(field("pid").number, 1.0);
+    EXPECT_EQ(field("tid").kind, JsonValue::Kind::kNumber);
+    EXPECT_GE(field("ts").number, 0.0);
+    EXPECT_GE(field("dur").number, 0.0);
+  }
+  return events->second.array;
+}
+
+// --- Span recording ------------------------------------------------------
+
+TEST(Trace, EnabledToggleRoundTrip) {
+  const TraceGuard guard;
+  EXPECT_FALSE(trace_enabled());
+  set_trace_enabled(true);
+  EXPECT_TRUE(trace_enabled());
+  set_trace_enabled(false);
+  EXPECT_FALSE(trace_enabled());
+}
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  const TraceGuard guard;
+  {
+    const TraceSpan span("idle", "test");
+  }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+#if HM_TRACE_ENABLED
+
+TEST(Trace, EnabledSpanRecordsNameCategoryAndDuration) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceSpan span("work", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "work");
+  EXPECT_STREQ(events[0].category, "test");
+  EXPECT_GE(events[0].start_ns, 0);
+  EXPECT_GE(events[0].duration_ns, 1'000'000);  // Slept >= 1 ms.
+}
+
+TEST(Trace, ClearDropsRecordedEvents) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  { const TraceSpan span("dropped", "test"); }
+  ASSERT_FALSE(trace_snapshot().empty());
+  clear_trace();
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST(Trace, SnapshotIsSortedByStartTime) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  for (int i = 0; i < 32; ++i) {
+    const TraceSpan span("tick", "test");
+  }
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 32u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+}
+
+TEST(Trace, HistogramFeedingWorksWithTracingOff) {
+  const TraceGuard guard;
+  Histogram histogram;
+  {
+    const TraceSpan span("phase", "test", &histogram);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The span fed the histogram but — with the toggle off — recorded no
+  // trace event, so phase metrics do not require trace capture.
+  const HistogramSnapshot snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GT(snap.sum, 0.0);
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+TEST(Trace, ThreadsGetDistinctTraceIds) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  const std::uint32_t main_tid = trace_thread_id();
+  std::uint32_t other_tid = main_tid;
+  // hm-lint: allow(no-raw-thread) exercises per-thread trace buffers directly
+  std::thread worker([&other_tid] {
+    const TraceSpan span("worker", "test");
+    other_tid = trace_thread_id();
+  });
+  worker.join();
+  EXPECT_NE(other_tid, main_tid);
+  // The worker's buffer outlives the thread: its span is still in the
+  // snapshot after join.
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, other_tid);
+}
+
+#else  // HM_TRACE_ENABLED == 0
+
+TEST(Trace, CompiledOutSpansAreNoOps) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceSpan span("gone", "test");
+  }
+  EXPECT_TRUE(trace_snapshot().empty());
+}
+
+#endif  // HM_TRACE_ENABLED
+
+// --- Chrome trace JSON ---------------------------------------------------
+
+TEST(ChromeTraceJson, EmptyTraceParses) {
+  const std::string json = chrome_trace_json({});
+  JsonValue document;
+  ASSERT_TRUE(JsonParser(json).parse(document)) << json;
+  EXPECT_TRUE(require_trace_shape(document).empty());
+}
+
+TEST(ChromeTraceJson, RoundTripPreservesEvents) {
+  std::vector<TraceEvent> events;
+  events.push_back({"alpha", "cat_a", 0, 1'000, 2'500});
+  events.push_back({"beta \"quoted\"\\slash", "cat_b", 3, 4'000'000, 1});
+  const std::string json = chrome_trace_json(events);
+
+  JsonValue document;
+  ASSERT_TRUE(JsonParser(json).parse(document)) << json;
+  const auto& parsed = require_trace_shape(document);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].object.at("name").string, "alpha");
+  EXPECT_EQ(parsed[0].object.at("cat").string, "cat_a");
+  EXPECT_EQ(parsed[0].object.at("tid").number, 0.0);
+  // ts/dur are microseconds; the inputs were 1000 ns / 2500 ns.
+  EXPECT_DOUBLE_EQ(parsed[0].object.at("ts").number, 1.0);
+  EXPECT_DOUBLE_EQ(parsed[0].object.at("dur").number, 2.5);
+  // Escaped name survives the round trip.
+  EXPECT_EQ(parsed[1].object.at("name").string, "beta \"quoted\"\\slash");
+  EXPECT_EQ(parsed[1].object.at("tid").number, 3.0);
+}
+
+#if HM_TRACE_ENABLED
+
+TEST(ChromeTraceJson, WriteChromeTraceProducesParsableFile) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceSpan outer("outer", "test");
+    const TraceSpan inner("inner", "test");
+  }
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+
+  std::string content;
+  {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(file, nullptr);
+    char buffer[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+      content.append(buffer, n);
+    }
+    std::fclose(file);
+  }
+  std::remove(path.c_str());
+
+  JsonValue document;
+  ASSERT_TRUE(JsonParser(content).parse(document)) << content;
+  const auto& events = require_trace_shape(document);
+  ASSERT_EQ(events.size(), 2u);
+  // Nested spans: sorted by start, the outer span starts first and fully
+  // contains the inner one.
+  EXPECT_EQ(events[0].object.at("name").string, "outer");
+  EXPECT_EQ(events[1].object.at("name").string, "inner");
+}
+
+#endif  // HM_TRACE_ENABLED
+
+TEST(ChromeTraceJson, WriteReportsUnwritablePath) {
+  const TraceGuard guard;
+  std::string error;
+  EXPECT_FALSE(write_chrome_trace("/nonexistent-dir/trace.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace hm::common

@@ -1,0 +1,17 @@
+// Fixture: durations measured through the sanctioned substrate —
+// no-adhoc-instrumentation stays quiet.
+#include <cstdio>
+
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+
+void heavy_work();
+
+void measure_phase() {
+  hm::common::Timer timer;
+  {
+    const hm::common::TraceSpan span("phase", "fixture");
+    heavy_work();
+  }
+  std::printf("phase took %.3f s\n", timer.seconds());
+}

@@ -1,0 +1,15 @@
+// Fixture: hand-rolled timing from direct clock reads — must trip
+// no-adhoc-instrumentation (twice: one read per end of the interval).
+#include <chrono>
+#include <cstdio>
+
+void heavy_work();
+
+void measure_phase() {
+  const auto start = std::chrono::steady_clock::now();
+  heavy_work();
+  const auto stop = std::chrono::steady_clock::now();
+  std::printf("phase took %lld ns\n",
+              static_cast<long long>(
+                  std::chrono::nanoseconds(stop - start).count()));
+}

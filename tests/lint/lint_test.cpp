@@ -99,7 +99,11 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixtureCase{"no-bare-export-stream",
                         "no_bare_export_stream_violation.cc",
                         "no_bare_export_stream_clean.cc", "bare_export",
-                        ".cpp"}),
+                        ".cpp"},
+        RuleFixtureCase{"no-adhoc-instrumentation",
+                        "no_adhoc_instrumentation_violation.cc",
+                        "no_adhoc_instrumentation_clean.cc",
+                        "adhoc_instrumentation", ".cpp"}),
     [](const ::testing::TestParamInfo<RuleFixtureCase>& param_info) {
       std::string name = param_info.param.rule_id;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -218,7 +222,7 @@ TEST(CompanionTest, HeaderMembersVisibleWhenLintingSource) {
 
 TEST(RuleFilterTest, EveryRuleHasUniqueIdAndDescription) {
   const auto rules = hm::lint::default_rules();
-  ASSERT_EQ(rules.size(), 7u);
+  ASSERT_EQ(rules.size(), 8u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.emplace_back(rule->id());

@@ -809,6 +809,59 @@ class NoBareExportStreamRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule 8: no-adhoc-instrumentation
+// ---------------------------------------------------------------------------
+
+/// All duration measurement flows through the timing substrate —
+/// hm::common::Timer (common/timer.hpp) or trace spans (common/trace.cpp),
+/// which feed the metrics histograms and the Chrome trace. A hand-rolled
+/// `steady_clock::now()` pair produces numbers the observability layer
+/// never sees and that the HM_TRACE=OFF build cannot compile away. The two
+/// substrate files are exempt (they *are* the sanctioned clock readers);
+/// test trees are exempt (deadlines and fabricated timestamps are test
+/// mechanics); the rare legitimate site outside them — e.g. deadline
+/// classification that must work in trace-off builds — carries a reasoned
+/// suppression.
+class NoAdhocInstrumentationRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-adhoc-instrumentation";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "direct <clock>::now() call outside common/timer.hpp and "
+           "common/trace.cpp; measure through Timer or TraceSpan";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (file.is_test_file()) return;
+    if (path_contains(file, "src/common/timer.hpp") ||
+        path_contains(file, "src/common/trace.cpp")) {
+      return;
+    }
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+      if (!tokens[i].is_identifier("now") || !tokens[i + 1].is("(")) continue;
+      if (!tokens[i - 1].is("::")) continue;
+      if (!clock_ish(tokens[i - 2].text)) continue;
+      report(file, tokens[i].line,
+             "direct " + std::string(tokens[i - 2].text) +
+                 "::now() bypasses the timing substrate; use "
+                 "hm::common::Timer or a TraceSpan so the duration reaches "
+                 "the metrics/trace layer (or suppress with a reasoned "
+                 "comment)",
+             out);
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool clock_ish(std::string_view name) {
+    if (name.size() < 5) return false;
+    const std::string_view tail = name.substr(name.size() - 5);
+    return tail == "clock" || tail == "Clock";
+  }
+};
+
 }  // namespace
 
 std::vector<std::shared_ptr<const Rule>> default_rules() {
@@ -820,6 +873,7 @@ std::vector<std::shared_ptr<const Rule>> default_rules() {
       std::make_shared<NoFloatEqualityRule>(),
       std::make_shared<IncludeHygieneRule>(),
       std::make_shared<NoBareExportStreamRule>(),
+      std::make_shared<NoAdhocInstrumentationRule>(),
   };
 }
 
