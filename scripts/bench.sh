@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Kernel/scheduler benchmark job: builds the two perf-tracking benches in
+# Release and regenerates the checked-in baselines at the repo root:
+#   BENCH_micro_kernels.json  — scalar-vs-SIMD kernel timings (micro_kernels)
+#   BENCH_threadpool.json     — nested DSE-batch scaling (threadpool_scaling)
+# A fresh run that is >10% slower than the checked-in baseline on any
+# compared point is treated as a regression: the script keeps the baseline,
+# leaves the fresh numbers beside it as <name>.rejected.json, and exits
+# nonzero. Pass --force to overwrite anyway (e.g. after a deliberate
+# trade-off, or when moving to slower hardware). Comparison is stdlib-python
+# only; wall-clock noise on shared machines is why the benches themselves
+# keep best-of-N minima.
+set -euo pipefail
+source "$(dirname "$0")/common.sh"
+cd "$(hm_repo_root)"
+
+BUILD_DIR="${BUILD_DIR:-build-bench}"
+FORCE=0
+for arg in "$@"; do
+  case "$arg" in
+    --force) FORCE=1 ;;
+    *) echo "usage: scripts/bench.sh [--force]" >&2; exit 2 ;;
+  esac
+done
+
+HM_BUILD_TARGETS="micro_kernels threadpool_scaling" \
+  hm_configure_build "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+
+# Compares fresh vs baseline JSON; prints offending points. Exit 0 = accept.
+# Times within 10% (or faster) pass; structural mismatches (new kernels,
+# different thread counts) accept the fresh file — the shape changed on
+# purpose with the code.
+hm_bench_compare() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+
+baseline_path, fresh_path = sys.argv[1], sys.argv[2]
+with open(baseline_path) as f:
+    baseline = json.load(f)
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+def points(doc):
+    out = {}
+    for row in doc.get("results", []):
+        key = row.get("kernel", row.get("threads"))
+        for field, value in row.items():
+            if isinstance(value, (int, float)) and field.endswith("seconds"):
+                out[(key, field)] = float(value)
+    return out
+
+base_points, fresh_points = points(baseline), points(fresh)
+shared = sorted(set(base_points) & set(fresh_points))
+if not shared or set(base_points) != set(fresh_points):
+    print("  baseline/fresh shapes differ; accepting fresh file")
+    sys.exit(0)
+
+worst = []
+for key in shared:
+    old, new = base_points[key], fresh_points[key]
+    if old > 0 and new > old * 1.10:
+        worst.append((key, old, new))
+for (key, field), old, new in worst:
+    print(f"  REGRESSION {key}.{field}: {old*1e3:.3f} ms -> {new*1e3:.3f} ms "
+          f"(+{(new/old-1)*100:.1f}%)")
+sys.exit(1 if worst else 0)
+EOF
+}
+
+# Runs one bench into a temp file, then installs it over the baseline only
+# if it is fresh ground (no baseline), compares clean, or --force.
+hm_bench_run() {
+  local binary="$1" baseline="$2"
+  shift 2
+  local fresh="${baseline%.json}.fresh.json"
+  "./$BUILD_DIR/bench/$binary" "$@" --out "$fresh"
+  if [[ ! -f "$baseline" || "$FORCE" == "1" ]]; then
+    mv "$fresh" "$baseline"
+    echo "  installed $baseline"
+    return 0
+  fi
+  if hm_bench_compare "$baseline" "$fresh"; then
+    mv "$fresh" "$baseline"
+    echo "  updated $baseline"
+  else
+    mv "$fresh" "${baseline%.json}.rejected.json"
+    echo "  kept $baseline; fresh numbers in ${baseline%.json}.rejected.json" >&2
+    echo "  (rerun with --force to overwrite after a deliberate trade-off)" >&2
+    return 1
+  fi
+}
+
+STATUS=0
+hm_bench_run micro_kernels BENCH_micro_kernels.json || STATUS=1
+hm_bench_run threadpool_scaling BENCH_threadpool.json || STATUS=1
+exit "$STATUS"

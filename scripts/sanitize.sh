@@ -1,23 +1,24 @@
 #!/usr/bin/env bash
 # Memory/UB sanitizer job: builds the tree once per sanitizer
 # (-DHM_SANITIZE=address, then undefined) and runs the failure-handling
-# tests (the targets labeled "fault" in tests/CMakeLists.txt) under each.
-# Fault-injection paths deliberately walk error branches that the happy-path
-# suite never touches; this is the gate that proves those branches are clean.
-# Run locally before touching the resilient evaluator, quarantine logic, or
-# the SLAM failure gates.
+# tests (label "fault") plus the SIMD equivalence suite (label "simd")
+# under each. Fault-injection paths deliberately walk error branches that
+# the happy-path suite never touches; the SIMD suite proves the vector
+# kernels' guard-band loads and masked-lane arithmetic are ASan/UBSan-clean.
+# Run locally before touching the resilient evaluator, quarantine logic,
+# the SLAM failure gates, or any *_simd kernel path.
 set -euo pipefail
 source "$(dirname "$0")/common.sh"
 cd "$(hm_repo_root)"
 
 export HM_BUILD_TARGETS="resilient_evaluator_test optimizer_test crowd_test
   failure_injection_test ef_failure_injection_test journal_test
-  atomic_file_test run_journal_test"
+  atomic_file_test run_journal_test simd_test simd_equivalence_test"
 
 for SAN in address undefined; do
   BUILD_DIR="build-${SAN}"
   hm_configure_build "$BUILD_DIR" -DHM_SANITIZE="$SAN"
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-    hm_ctest "$BUILD_DIR" -L fault
+    hm_ctest "$BUILD_DIR" -L 'fault|simd'
 done

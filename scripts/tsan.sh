@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # ThreadSanitizer job: builds the tree with -DHM_SANITIZE=thread and runs the
-# scheduler-sensitive tests (thread pool, harness, optimizer — the targets
-# labeled "tsan" in tests/CMakeLists.txt). Intended as the CI race-check gate;
-# run locally before touching src/common/thread_pool.* or any parallel kernel.
+# scheduler-sensitive tests (label "tsan": thread pool, harness, optimizer)
+# plus the SIMD equivalence suite (label "simd", whose pooled cases drive the
+# parallel kernel paths). Intended as the CI race-check gate; run locally
+# before touching src/common/thread_pool.* or any parallel kernel.
 set -euo pipefail
 source "$(dirname "$0")/common.sh"
 cd "$(hm_repo_root)"
 
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
-HM_BUILD_TARGETS="thread_pool_test harness_test optimizer_test" \
+HM_BUILD_TARGETS="thread_pool_test harness_test optimizer_test
+  simd_equivalence_test" \
   hm_configure_build "$BUILD_DIR" -DHM_SANITIZE=thread
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  hm_ctest "$BUILD_DIR" -L tsan
+  hm_ctest "$BUILD_DIR" -L 'tsan|simd'

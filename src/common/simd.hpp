@@ -1,0 +1,579 @@
+// Portable SIMD abstraction for the dense image/volume kernels.
+//
+// One vector type, `hm::simd::vfloat`, of backend-dependent width kWidth
+// (8 on AVX2, 4 on SSE4.1/NEON, 4 on the scalar fallback), plus the integer
+// and mask companions the kernels need: load/store, fma, min/max, compares,
+// select, masked gather/store and a deterministic lane-order reduction. The
+// backend is chosen at configure time (-DHM_SIMD=ON plus the compiler's
+// target flags); -DHM_SIMD=OFF compiles the scalar-array backend everywhere,
+// so every *_simd kernel path builds even without vector hardware.
+//
+// Scalar mirrors: kernels keep a scalar reference path that must produce
+// bit-identical per-lane results to the vector path (DESIGN.md §9). The
+// mirrors below (`fmadd_s`, `exp_s`, `nearest_i_s`, `pow2i_s`) perform
+// exactly the operation the vector backend performs per lane — fused
+// multiply-add only when the backend fuses, the same polynomial for exp,
+// the same round-to-nearest-even conversion — which is what makes the
+// scalar-vs-SIMD equivalence suite exact instead of tolerance-ridden.
+// vexp/exp_s are maintained as a lockstep pair: edit both or neither.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#if defined(HM_SIMD_ENABLED) && HM_SIMD_ENABLED
+#if defined(__AVX2__)
+#define HM_SIMD_BACKEND_AVX2 1
+#elif defined(__SSE4_1__)
+#define HM_SIMD_BACKEND_SSE 1
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define HM_SIMD_BACKEND_NEON 1
+#else
+#define HM_SIMD_BACKEND_SCALAR 1
+#endif
+#else
+#define HM_SIMD_BACKEND_SCALAR 1
+#endif
+
+#if defined(HM_SIMD_BACKEND_AVX2) || defined(HM_SIMD_BACKEND_SSE)
+#include <immintrin.h>
+#elif defined(HM_SIMD_BACKEND_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace hm::simd {
+
+#if defined(HM_SIMD_BACKEND_AVX2)
+
+inline constexpr int kWidth = 8;
+inline constexpr bool kEnabled = true;
+inline constexpr bool kHasFma = true;
+[[nodiscard]] constexpr const char* backend_name() noexcept { return "avx2"; }
+
+struct vfloat { __m256 v; };
+struct vint { __m256i v; };
+struct vmask { __m256 m; };  ///< All-ones lane bits = true.
+
+[[nodiscard]] inline vfloat vload(const float* p) noexcept { return {_mm256_loadu_ps(p)}; }
+inline void vstore(float* p, vfloat a) noexcept { _mm256_storeu_ps(p, a.v); }
+inline void vstore_masked(float* p, vfloat a, vmask m) noexcept {
+  _mm256_maskstore_ps(p, _mm256_castps_si256(m.m), a.v);
+}
+[[nodiscard]] inline vfloat vbroadcast(float x) noexcept { return {_mm256_set1_ps(x)}; }
+[[nodiscard]] inline vfloat vzero() noexcept { return {_mm256_setzero_ps()}; }
+[[nodiscard]] inline vfloat viota() noexcept {
+  return {_mm256_setr_ps(0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f)};
+}
+[[nodiscard]] inline vfloat operator+(vfloat a, vfloat b) noexcept { return {_mm256_add_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator-(vfloat a, vfloat b) noexcept { return {_mm256_sub_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator*(vfloat a, vfloat b) noexcept { return {_mm256_mul_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator/(vfloat a, vfloat b) noexcept { return {_mm256_div_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vfma(vfloat a, vfloat b, vfloat c) noexcept {
+  return {_mm256_fmadd_ps(a.v, b.v, c.v)};
+}
+[[nodiscard]] inline vfloat vmin(vfloat a, vfloat b) noexcept { return {_mm256_min_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vmax(vfloat a, vfloat b) noexcept { return {_mm256_max_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vabs(vfloat a) noexcept {
+  return {_mm256_andnot_ps(_mm256_set1_ps(-0.0f), a.v)};
+}
+[[nodiscard]] inline vfloat vsqrt(vfloat a) noexcept { return {_mm256_sqrt_ps(a.v)}; }
+[[nodiscard]] inline vfloat vfloor(vfloat a) noexcept { return {_mm256_floor_ps(a.v)}; }
+[[nodiscard]] inline vmask cmp_lt(vfloat a, vfloat b) noexcept { return {_mm256_cmp_ps(a.v, b.v, _CMP_LT_OQ)}; }
+[[nodiscard]] inline vmask cmp_le(vfloat a, vfloat b) noexcept { return {_mm256_cmp_ps(a.v, b.v, _CMP_LE_OQ)}; }
+[[nodiscard]] inline vmask cmp_gt(vfloat a, vfloat b) noexcept { return {_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ)}; }
+[[nodiscard]] inline vmask cmp_ge(vfloat a, vfloat b) noexcept { return {_mm256_cmp_ps(a.v, b.v, _CMP_GE_OQ)}; }
+[[nodiscard]] inline vmask cmp_eq(vfloat a, vfloat b) noexcept { return {_mm256_cmp_ps(a.v, b.v, _CMP_EQ_OQ)}; }
+[[nodiscard]] inline vmask mask_and(vmask a, vmask b) noexcept { return {_mm256_and_ps(a.m, b.m)}; }
+[[nodiscard]] inline vmask mask_or(vmask a, vmask b) noexcept { return {_mm256_or_ps(a.m, b.m)}; }
+[[nodiscard]] inline vmask mask_andnot(vmask a, vmask b) noexcept {
+  return {_mm256_andnot_ps(b.m, a.m)};  // a & ~b
+}
+[[nodiscard]] inline int mask_bits(vmask m) noexcept { return _mm256_movemask_ps(m.m); }
+[[nodiscard]] inline vfloat vselect(vmask m, vfloat a, vfloat b) noexcept {
+  return {_mm256_blendv_ps(b.v, a.v, m.m)};
+}
+[[nodiscard]] inline vint vbroadcast_i(std::int32_t x) noexcept { return {_mm256_set1_epi32(x)}; }
+[[nodiscard]] inline vint vload_i(const std::int32_t* p) noexcept {
+  return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+}
+[[nodiscard]] inline vint vadd_i(vint a, vint b) noexcept { return {_mm256_add_epi32(a.v, b.v)}; }
+[[nodiscard]] inline vint vmul_i(vint a, vint b) noexcept { return {_mm256_mullo_epi32(a.v, b.v)}; }
+[[nodiscard]] inline vint vtrunc_i(vfloat a) noexcept { return {_mm256_cvttps_epi32(a.v)}; }
+[[nodiscard]] inline vint vnearest_i(vfloat a) noexcept { return {_mm256_cvtps_epi32(a.v)}; }
+[[nodiscard]] inline vfloat vto_float(vint a) noexcept { return {_mm256_cvtepi32_ps(a.v)}; }
+[[nodiscard]] inline vfloat vpow2i(vint n) noexcept {
+  return {_mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_add_epi32(n.v, _mm256_set1_epi32(127)), 23))};
+}
+[[nodiscard]] inline vfloat vgather_masked(const float* base, vint idx, vmask m) noexcept {
+  return {_mm256_mask_i32gather_ps(_mm256_setzero_ps(), base, idx.v, m.m, 4)};
+}
+
+#elif defined(HM_SIMD_BACKEND_SSE)
+
+inline constexpr int kWidth = 4;
+inline constexpr bool kEnabled = true;
+inline constexpr bool kHasFma = false;
+[[nodiscard]] constexpr const char* backend_name() noexcept { return "sse4.1"; }
+
+struct vfloat { __m128 v; };
+struct vint { __m128i v; };
+struct vmask { __m128 m; };
+
+[[nodiscard]] inline vfloat vload(const float* p) noexcept { return {_mm_loadu_ps(p)}; }
+inline void vstore(float* p, vfloat a) noexcept { _mm_storeu_ps(p, a.v); }
+[[nodiscard]] inline int mask_bits(vmask m) noexcept { return _mm_movemask_ps(m.m); }
+inline void vstore_masked(float* p, vfloat a, vmask m) noexcept {
+  alignas(16) float lanes[4];
+  _mm_store_ps(lanes, a.v);
+  const int bits = mask_bits(m);
+  for (int i = 0; i < 4; ++i) {
+    if ((bits >> i) & 1) p[i] = lanes[i];
+  }
+}
+[[nodiscard]] inline vfloat vbroadcast(float x) noexcept { return {_mm_set1_ps(x)}; }
+[[nodiscard]] inline vfloat vzero() noexcept { return {_mm_setzero_ps()}; }
+[[nodiscard]] inline vfloat viota() noexcept { return {_mm_setr_ps(0.0f, 1.0f, 2.0f, 3.0f)}; }
+[[nodiscard]] inline vfloat operator+(vfloat a, vfloat b) noexcept { return {_mm_add_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator-(vfloat a, vfloat b) noexcept { return {_mm_sub_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator*(vfloat a, vfloat b) noexcept { return {_mm_mul_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator/(vfloat a, vfloat b) noexcept { return {_mm_div_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vfma(vfloat a, vfloat b, vfloat c) noexcept {
+  // No fused op on this backend: the scalar mirror is a plain mul+add too.
+  return {_mm_add_ps(_mm_mul_ps(a.v, b.v), c.v)};
+}
+[[nodiscard]] inline vfloat vmin(vfloat a, vfloat b) noexcept { return {_mm_min_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vmax(vfloat a, vfloat b) noexcept { return {_mm_max_ps(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vabs(vfloat a) noexcept {
+  return {_mm_andnot_ps(_mm_set1_ps(-0.0f), a.v)};
+}
+[[nodiscard]] inline vfloat vsqrt(vfloat a) noexcept { return {_mm_sqrt_ps(a.v)}; }
+[[nodiscard]] inline vfloat vfloor(vfloat a) noexcept { return {_mm_floor_ps(a.v)}; }
+[[nodiscard]] inline vmask cmp_lt(vfloat a, vfloat b) noexcept { return {_mm_cmplt_ps(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_le(vfloat a, vfloat b) noexcept { return {_mm_cmple_ps(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_gt(vfloat a, vfloat b) noexcept { return {_mm_cmpgt_ps(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_ge(vfloat a, vfloat b) noexcept { return {_mm_cmpge_ps(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_eq(vfloat a, vfloat b) noexcept { return {_mm_cmpeq_ps(a.v, b.v)}; }
+[[nodiscard]] inline vmask mask_and(vmask a, vmask b) noexcept { return {_mm_and_ps(a.m, b.m)}; }
+[[nodiscard]] inline vmask mask_or(vmask a, vmask b) noexcept { return {_mm_or_ps(a.m, b.m)}; }
+[[nodiscard]] inline vmask mask_andnot(vmask a, vmask b) noexcept { return {_mm_andnot_ps(b.m, a.m)}; }
+[[nodiscard]] inline vfloat vselect(vmask m, vfloat a, vfloat b) noexcept {
+  return {_mm_blendv_ps(b.v, a.v, m.m)};
+}
+[[nodiscard]] inline vint vbroadcast_i(std::int32_t x) noexcept { return {_mm_set1_epi32(x)}; }
+[[nodiscard]] inline vint vload_i(const std::int32_t* p) noexcept {
+  return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+}
+[[nodiscard]] inline vint vadd_i(vint a, vint b) noexcept { return {_mm_add_epi32(a.v, b.v)}; }
+[[nodiscard]] inline vint vmul_i(vint a, vint b) noexcept { return {_mm_mullo_epi32(a.v, b.v)}; }
+[[nodiscard]] inline vint vtrunc_i(vfloat a) noexcept { return {_mm_cvttps_epi32(a.v)}; }
+[[nodiscard]] inline vint vnearest_i(vfloat a) noexcept { return {_mm_cvtps_epi32(a.v)}; }
+[[nodiscard]] inline vfloat vto_float(vint a) noexcept { return {_mm_cvtepi32_ps(a.v)}; }
+[[nodiscard]] inline vfloat vpow2i(vint n) noexcept {
+  return {_mm_castsi128_ps(
+      _mm_slli_epi32(_mm_add_epi32(n.v, _mm_set1_epi32(127)), 23))};
+}
+[[nodiscard]] inline vfloat vgather_masked(const float* base, vint idx, vmask m) noexcept {
+  alignas(16) std::int32_t indices[4];
+  _mm_store_si128(reinterpret_cast<__m128i*>(indices), idx.v);
+  alignas(16) float lanes[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+  const int bits = mask_bits(m);
+  for (int i = 0; i < 4; ++i) {
+    if ((bits >> i) & 1) lanes[i] = base[indices[i]];
+  }
+  return {_mm_load_ps(lanes)};
+}
+
+#elif defined(HM_SIMD_BACKEND_NEON)
+
+inline constexpr int kWidth = 4;
+inline constexpr bool kEnabled = true;
+inline constexpr bool kHasFma = true;
+[[nodiscard]] constexpr const char* backend_name() noexcept { return "neon"; }
+
+struct vfloat { float32x4_t v; };
+struct vint { int32x4_t v; };
+struct vmask { uint32x4_t m; };
+
+[[nodiscard]] inline vfloat vload(const float* p) noexcept { return {vld1q_f32(p)}; }
+inline void vstore(float* p, vfloat a) noexcept { vst1q_f32(p, a.v); }
+[[nodiscard]] inline int mask_bits(vmask m) noexcept {
+  std::uint32_t lanes[4];
+  vst1q_u32(lanes, m.m);
+  int bits = 0;
+  for (int i = 0; i < 4; ++i) bits |= (lanes[i] != 0u ? 1 : 0) << i;
+  return bits;
+}
+inline void vstore_masked(float* p, vfloat a, vmask m) noexcept {
+  float lanes[4];
+  vst1q_f32(lanes, a.v);
+  const int bits = mask_bits(m);
+  for (int i = 0; i < 4; ++i) {
+    if ((bits >> i) & 1) p[i] = lanes[i];
+  }
+}
+[[nodiscard]] inline vfloat vbroadcast(float x) noexcept { return {vdupq_n_f32(x)}; }
+[[nodiscard]] inline vfloat vzero() noexcept { return {vdupq_n_f32(0.0f)}; }
+[[nodiscard]] inline vfloat viota() noexcept {
+  const float lanes[4] = {0.0f, 1.0f, 2.0f, 3.0f};
+  return {vld1q_f32(lanes)};
+}
+[[nodiscard]] inline vfloat operator+(vfloat a, vfloat b) noexcept { return {vaddq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator-(vfloat a, vfloat b) noexcept { return {vsubq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator*(vfloat a, vfloat b) noexcept { return {vmulq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vfloat operator/(vfloat a, vfloat b) noexcept { return {vdivq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vfma(vfloat a, vfloat b, vfloat c) noexcept {
+  return {vfmaq_f32(c.v, a.v, b.v)};  // Fused, like the scalar mirror's std::fma.
+}
+[[nodiscard]] inline vfloat vmin(vfloat a, vfloat b) noexcept { return {vminq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vmax(vfloat a, vfloat b) noexcept { return {vmaxq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vfloat vabs(vfloat a) noexcept { return {vabsq_f32(a.v)}; }
+[[nodiscard]] inline vfloat vsqrt(vfloat a) noexcept { return {vsqrtq_f32(a.v)}; }
+[[nodiscard]] inline vfloat vfloor(vfloat a) noexcept { return {vrndmq_f32(a.v)}; }
+[[nodiscard]] inline vmask cmp_lt(vfloat a, vfloat b) noexcept { return {vcltq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_le(vfloat a, vfloat b) noexcept { return {vcleq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_gt(vfloat a, vfloat b) noexcept { return {vcgtq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_ge(vfloat a, vfloat b) noexcept { return {vcgeq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vmask cmp_eq(vfloat a, vfloat b) noexcept { return {vceqq_f32(a.v, b.v)}; }
+[[nodiscard]] inline vmask mask_and(vmask a, vmask b) noexcept { return {vandq_u32(a.m, b.m)}; }
+[[nodiscard]] inline vmask mask_or(vmask a, vmask b) noexcept { return {vorrq_u32(a.m, b.m)}; }
+[[nodiscard]] inline vmask mask_andnot(vmask a, vmask b) noexcept { return {vbicq_u32(a.m, b.m)}; }
+[[nodiscard]] inline vfloat vselect(vmask m, vfloat a, vfloat b) noexcept {
+  return {vbslq_f32(m.m, a.v, b.v)};
+}
+[[nodiscard]] inline vint vbroadcast_i(std::int32_t x) noexcept { return {vdupq_n_s32(x)}; }
+[[nodiscard]] inline vint vload_i(const std::int32_t* p) noexcept { return {vld1q_s32(p)}; }
+[[nodiscard]] inline vint vadd_i(vint a, vint b) noexcept { return {vaddq_s32(a.v, b.v)}; }
+[[nodiscard]] inline vint vmul_i(vint a, vint b) noexcept { return {vmulq_s32(a.v, b.v)}; }
+[[nodiscard]] inline vint vtrunc_i(vfloat a) noexcept { return {vcvtq_s32_f32(a.v)}; }
+[[nodiscard]] inline vint vnearest_i(vfloat a) noexcept { return {vcvtnq_s32_f32(a.v)}; }
+[[nodiscard]] inline vfloat vto_float(vint a) noexcept { return {vcvtq_f32_s32(a.v)}; }
+[[nodiscard]] inline vfloat vpow2i(vint n) noexcept {
+  return {vreinterpretq_f32_s32(
+      vshlq_n_s32(vaddq_s32(n.v, vdupq_n_s32(127)), 23))};
+}
+[[nodiscard]] inline vfloat vgather_masked(const float* base, vint idx, vmask m) noexcept {
+  std::int32_t indices[4];
+  vst1q_s32(indices, idx.v);
+  float lanes[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+  const int bits = mask_bits(m);
+  for (int i = 0; i < 4; ++i) {
+    if ((bits >> i) & 1) lanes[i] = base[indices[i]];
+  }
+  return {vld1q_f32(lanes)};
+}
+
+#else  // HM_SIMD_BACKEND_SCALAR
+
+inline constexpr int kWidth = 4;
+inline constexpr bool kEnabled = false;
+inline constexpr bool kHasFma = false;
+[[nodiscard]] constexpr const char* backend_name() noexcept { return "scalar"; }
+
+struct vfloat { float lanes[4]; };
+struct vint { std::int32_t lanes[4]; };
+struct vmask { bool lanes[4]; };
+
+[[nodiscard]] inline vfloat vload(const float* p) noexcept {
+  return {{p[0], p[1], p[2], p[3]}};
+}
+inline void vstore(float* p, vfloat a) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = a.lanes[i];
+}
+inline void vstore_masked(float* p, vfloat a, vmask m) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    if (m.lanes[i]) p[i] = a.lanes[i];
+  }
+}
+[[nodiscard]] inline vfloat vbroadcast(float x) noexcept { return {{x, x, x, x}}; }
+[[nodiscard]] inline vfloat vzero() noexcept { return {{0.0f, 0.0f, 0.0f, 0.0f}}; }
+[[nodiscard]] inline vfloat viota() noexcept { return {{0.0f, 1.0f, 2.0f, 3.0f}}; }
+namespace detail {
+template <typename Op>
+[[nodiscard]] inline vfloat lanewise(vfloat a, vfloat b, Op op) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = op(a.lanes[i], b.lanes[i]);
+  return out;
+}
+template <typename Op>
+[[nodiscard]] inline vmask lanecmp(vfloat a, vfloat b, Op op) noexcept {
+  vmask out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = op(a.lanes[i], b.lanes[i]);
+  return out;
+}
+}  // namespace detail
+[[nodiscard]] inline vfloat operator+(vfloat a, vfloat b) noexcept {
+  return detail::lanewise(a, b, [](float x, float y) { return x + y; });
+}
+[[nodiscard]] inline vfloat operator-(vfloat a, vfloat b) noexcept {
+  return detail::lanewise(a, b, [](float x, float y) { return x - y; });
+}
+[[nodiscard]] inline vfloat operator*(vfloat a, vfloat b) noexcept {
+  return detail::lanewise(a, b, [](float x, float y) { return x * y; });
+}
+[[nodiscard]] inline vfloat operator/(vfloat a, vfloat b) noexcept {
+  return detail::lanewise(a, b, [](float x, float y) { return x / y; });
+}
+[[nodiscard]] inline vfloat vfma(vfloat a, vfloat b, vfloat c) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = a.lanes[i] * b.lanes[i] + c.lanes[i];
+  return out;
+}
+[[nodiscard]] inline vfloat vmin(vfloat a, vfloat b) noexcept {
+  // x86 minps semantics: a < b ? a : b (second operand on unordered input).
+  return detail::lanewise(a, b, [](float x, float y) { return x < y ? x : y; });
+}
+[[nodiscard]] inline vfloat vmax(vfloat a, vfloat b) noexcept {
+  return detail::lanewise(a, b, [](float x, float y) { return x > y ? x : y; });
+}
+[[nodiscard]] inline vfloat vabs(vfloat a) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = std::fabs(a.lanes[i]);
+  return out;
+}
+[[nodiscard]] inline vfloat vsqrt(vfloat a) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = std::sqrt(a.lanes[i]);
+  return out;
+}
+[[nodiscard]] inline vfloat vfloor(vfloat a) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = std::floor(a.lanes[i]);
+  return out;
+}
+[[nodiscard]] inline vmask cmp_lt(vfloat a, vfloat b) noexcept {
+  return detail::lanecmp(a, b, [](float x, float y) { return x < y; });
+}
+[[nodiscard]] inline vmask cmp_le(vfloat a, vfloat b) noexcept {
+  return detail::lanecmp(a, b, [](float x, float y) { return x <= y; });
+}
+[[nodiscard]] inline vmask cmp_gt(vfloat a, vfloat b) noexcept {
+  return detail::lanecmp(a, b, [](float x, float y) { return x > y; });
+}
+[[nodiscard]] inline vmask cmp_ge(vfloat a, vfloat b) noexcept {
+  return detail::lanecmp(a, b, [](float x, float y) { return x >= y; });
+}
+[[nodiscard]] inline vmask cmp_eq(vfloat a, vfloat b) noexcept {
+  return detail::lanecmp(a, b, [](float x, float y) { return x == y; });
+}
+[[nodiscard]] inline vmask mask_and(vmask a, vmask b) noexcept {
+  vmask out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = a.lanes[i] && b.lanes[i];
+  return out;
+}
+[[nodiscard]] inline vmask mask_or(vmask a, vmask b) noexcept {
+  vmask out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = a.lanes[i] || b.lanes[i];
+  return out;
+}
+[[nodiscard]] inline vmask mask_andnot(vmask a, vmask b) noexcept {
+  vmask out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = a.lanes[i] && !b.lanes[i];
+  return out;
+}
+[[nodiscard]] inline int mask_bits(vmask m) noexcept {
+  int bits = 0;
+  for (int i = 0; i < 4; ++i) bits |= (m.lanes[i] ? 1 : 0) << i;
+  return bits;
+}
+[[nodiscard]] inline vfloat vselect(vmask m, vfloat a, vfloat b) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = m.lanes[i] ? a.lanes[i] : b.lanes[i];
+  return out;
+}
+[[nodiscard]] inline vint vbroadcast_i(std::int32_t x) noexcept { return {{x, x, x, x}}; }
+[[nodiscard]] inline vint vload_i(const std::int32_t* p) noexcept {
+  return {{p[0], p[1], p[2], p[3]}};
+}
+// Integer lane ops wrap modulo 2^32 (like paddd/pmulld); float->int
+// conversions return INT_MIN for NaN/out-of-range inputs (like cvttps).
+// Kernels only consume such lanes behind masks, but the scalar backend must
+// not invoke UB computing them.
+[[nodiscard]] inline vint vadd_i(vint a, vint b) noexcept {
+  vint out{};
+  for (int i = 0; i < 4; ++i) {
+    out.lanes[i] = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(a.lanes[i]) +
+        static_cast<std::uint32_t>(b.lanes[i]));
+  }
+  return out;
+}
+[[nodiscard]] inline vint vmul_i(vint a, vint b) noexcept {
+  vint out{};
+  for (int i = 0; i < 4; ++i) {
+    out.lanes[i] = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(a.lanes[i]) *
+        static_cast<std::uint32_t>(b.lanes[i]));
+  }
+  return out;
+}
+[[nodiscard]] inline vint vtrunc_i(vfloat a) noexcept {
+  vint out{};
+  for (int i = 0; i < 4; ++i) {
+    const float f = a.lanes[i];
+    out.lanes[i] = (f >= -2147483648.0f && f < 2147483648.0f)
+                       ? static_cast<std::int32_t>(f)
+                       : std::numeric_limits<std::int32_t>::min();
+  }
+  return out;
+}
+[[nodiscard]] inline vint vnearest_i(vfloat a) noexcept {
+  vint out{};
+  for (int i = 0; i < 4; ++i) {
+    const float f = std::nearbyintf(a.lanes[i]);
+    out.lanes[i] = (f >= -2147483648.0f && f < 2147483648.0f)
+                       ? static_cast<std::int32_t>(f)
+                       : std::numeric_limits<std::int32_t>::min();
+  }
+  return out;
+}
+[[nodiscard]] inline vfloat vto_float(vint a) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = static_cast<float>(a.lanes[i]);
+  return out;
+}
+[[nodiscard]] inline vfloat vpow2i(vint n) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) {
+    out.lanes[i] = std::bit_cast<float>((n.lanes[i] + 127) << 23);
+  }
+  return out;
+}
+[[nodiscard]] inline vfloat vgather_masked(const float* base, vint idx, vmask m) noexcept {
+  vfloat out{};
+  for (int i = 0; i < 4; ++i) out.lanes[i] = m.lanes[i] ? base[idx.lanes[i]] : 0.0f;
+  return out;
+}
+
+#endif  // backend selection
+
+// --- Backend-independent helpers built on the primitive ops. -------------
+
+/// Extracts lane `i` (0 <= i < kWidth). Not for hot loops.
+[[nodiscard]] inline float lane(vfloat a, int i) noexcept {
+  float lanes[kWidth];
+  vstore(lanes, a);
+  return lanes[i];
+}
+
+[[nodiscard]] inline bool mask_any(vmask m) noexcept { return mask_bits(m) != 0; }
+[[nodiscard]] inline bool mask_all(vmask m) noexcept {
+  return mask_bits(m) == (1 << kWidth) - 1;
+}
+[[nodiscard]] inline bool mask_none(vmask m) noexcept { return mask_bits(m) == 0; }
+[[nodiscard]] inline int mask_popcount(vmask m) noexcept {
+  return __builtin_popcount(static_cast<unsigned>(mask_bits(m)));
+}
+/// Mask with the first n lanes set (tail handling).
+[[nodiscard]] inline vmask mask_first_n(int n) noexcept {
+  return cmp_lt(viota(), vbroadcast(static_cast<float>(n)));
+}
+
+/// Deterministic lane-order reduction: lanes summed left-to-right, exactly
+/// as a scalar loop over the same values would — the property the ICP
+/// row-flush relies on for its documented tolerance bound.
+[[nodiscard]] inline float vreduce_add(vfloat a) noexcept {
+  float lanes[kWidth];
+  vstore(lanes, a);
+  float sum = 0.0f;
+  for (int i = 0; i < kWidth; ++i) sum += lanes[i];
+  return sum;
+}
+
+/// Lane-order reduction into double (used when the accumulation target is
+/// double-precision normal equations).
+[[nodiscard]] inline double vreduce_add_d(vfloat a) noexcept {
+  float lanes[kWidth];
+  vstore(lanes, a);
+  double sum = 0.0;
+  for (int i = 0; i < kWidth; ++i) sum += static_cast<double>(lanes[i]);
+  return sum;
+}
+
+// --- Scalar mirrors: one lane of the vector backend, exactly. ------------
+
+/// a*b + c with the same rounding the backend's vfma produces per lane.
+[[nodiscard]] inline float fmadd_s(float a, float b, float c) noexcept {
+  if constexpr (kHasFma) {
+    return std::fma(a, b, c);
+  } else {
+    return a * b + c;
+  }
+}
+
+/// min/max mirroring vmin/vmax lane semantics (x86 minps/maxps: the second
+/// operand wins ties and unordered comparisons).
+[[nodiscard]] inline float min_s(float a, float b) noexcept { return a < b ? a : b; }
+[[nodiscard]] inline float max_s(float a, float b) noexcept { return a > b ? a : b; }
+
+/// Round-to-nearest-even float->int, mirroring vnearest_i (NaN and
+/// out-of-range inputs produce INT_MIN, like cvtps2dq).
+[[nodiscard]] inline std::int32_t nearest_i_s(float x) noexcept {
+  const float f = std::nearbyintf(x);
+  return (f >= -2147483648.0f && f < 2147483648.0f)
+             ? static_cast<std::int32_t>(f)
+             : std::numeric_limits<std::int32_t>::min();
+}
+
+/// 2^n by exponent-bit construction, mirroring vpow2i.
+[[nodiscard]] inline float pow2i_s(std::int32_t n) noexcept {
+  return std::bit_cast<float>((n + 127) << 23);
+}
+
+namespace detail {
+inline constexpr float kExpLog2e = 1.44269504088896341f;
+inline constexpr float kExpLn2 = 0.693147180559945286f;
+inline constexpr float kExpLo = -87.0f;
+inline constexpr float kExpHi = 88.0f;
+inline constexpr float kExpC0 = 1.9875691500e-4f;
+inline constexpr float kExpC1 = 1.3981999507e-3f;
+inline constexpr float kExpC2 = 8.3334519073e-3f;
+inline constexpr float kExpC3 = 4.1665795894e-2f;
+inline constexpr float kExpC4 = 1.6666665459e-1f;
+inline constexpr float kExpC5 = 5.0000001201e-1f;
+}  // namespace detail
+
+/// Vector e^x (Cephes-style polynomial, ~1e-7 relative error on [-87, 88];
+/// inputs are clamped to that range). Lockstep mirror: exp_s below.
+[[nodiscard]] inline vfloat vexp(vfloat x) noexcept {
+  using namespace detail;
+  x = vmax(x, vbroadcast(kExpLo));
+  x = vmin(x, vbroadcast(kExpHi));
+  const vfloat z = x * vbroadcast(kExpLog2e);
+  const vint n = vnearest_i(z);
+  const vfloat r = z - vto_float(n);  // Exact: |z| < 2^7 and |r| <= 0.5.
+  const vfloat t = r * vbroadcast(kExpLn2);
+  vfloat p = vbroadcast(kExpC0);
+  p = vfma(p, t, vbroadcast(kExpC1));
+  p = vfma(p, t, vbroadcast(kExpC2));
+  p = vfma(p, t, vbroadcast(kExpC3));
+  p = vfma(p, t, vbroadcast(kExpC4));
+  p = vfma(p, t, vbroadcast(kExpC5));
+  const vfloat y = vfma(p, t * t, t + vbroadcast(1.0f));
+  return y * vpow2i(n);
+}
+
+/// Scalar e^x identical per-lane to vexp (same polynomial, same op order,
+/// same fused-or-not multiply-adds). Lockstep mirror: edit with vexp.
+[[nodiscard]] inline float exp_s(float x) noexcept {
+  using namespace detail;
+  x = x < kExpLo ? kExpLo : x;
+  x = x > kExpHi ? kExpHi : x;
+  const float z = x * kExpLog2e;
+  const std::int32_t n = nearest_i_s(z);
+  const float r = z - static_cast<float>(n);
+  const float t = r * kExpLn2;
+  float p = kExpC0;
+  p = fmadd_s(p, t, kExpC1);
+  p = fmadd_s(p, t, kExpC2);
+  p = fmadd_s(p, t, kExpC3);
+  p = fmadd_s(p, t, kExpC4);
+  p = fmadd_s(p, t, kExpC5);
+  const float y = fmadd_s(p, t * t, t + 1.0f);
+  return y * pow2i_s(n);
+}
+
+}  // namespace hm::simd

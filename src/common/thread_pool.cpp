@@ -20,6 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
   }
+  stat_slots_ = std::make_unique<StatSlot[]>(threads + 1);
   threads_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     threads_.emplace_back([this, i] { worker_loop(i); });
@@ -55,7 +56,7 @@ std::function<void()> ThreadPool::try_steal(std::size_t thief_index) {
     std::function<void()> task = std::move(other.deque.front());
     other.deque.pop_front();
     queued_tasks_.fetch_sub(1);
-    stat_steals_.fetch_add(1, std::memory_order_relaxed);
+    stat_slot().steals.fetch_add(1, std::memory_order_relaxed);
     return task;
   }
   return nullptr;
@@ -107,7 +108,7 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::function<void()> task = pop_local(index);
     if (!task) task = try_steal(index);
     if (task) {
-      stat_tasks_.fetch_add(1, std::memory_order_relaxed);
+      stat_slot().tasks.fetch_add(1, std::memory_order_relaxed);
       task();
       continue;
     }
@@ -147,7 +148,7 @@ void ThreadPool::fork_join(
   for (std::size_t c = 0; c < chunk_count; ++c) {
     push_task(make_task(c, join));
   }
-  stat_regions_.fetch_add(1, std::memory_order_relaxed);
+  stat_slot().regions.fetch_add(1, std::memory_order_relaxed);
   wake(chunk_count);
 
   // Help-first join: while our chunks are in flight, execute pending tasks —
@@ -156,8 +157,9 @@ void ThreadPool::fork_join(
   std::size_t idle_spins = 0;
   while (join.pending.load(std::memory_order_acquire) != 0) {
     if (std::function<void()> task = acquire_task()) {
-      stat_tasks_.fetch_add(1, std::memory_order_relaxed);
-      stat_help_.fetch_add(1, std::memory_order_relaxed);
+      StatSlot& slot = stat_slot();
+      slot.tasks.fetch_add(1, std::memory_order_relaxed);
+      slot.help.fetch_add(1, std::memory_order_relaxed);
       task();
       idle_spins = 0;
       continue;
@@ -219,12 +221,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       grain);
 }
 
+ThreadPool::StatSlot& ThreadPool::stat_slot() noexcept {
+  return stat_slots_[tls_pool_ == this ? tls_index_ : workers_.size()];
+}
+
 SchedulerStats ThreadPool::stats() const {
   SchedulerStats snapshot;
-  snapshot.tasks_executed = stat_tasks_.load(std::memory_order_relaxed);
-  snapshot.steals = stat_steals_.load(std::memory_order_relaxed);
-  snapshot.help_joins = stat_help_.load(std::memory_order_relaxed);
-  snapshot.parallel_regions = stat_regions_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i <= workers_.size(); ++i) {
+    const StatSlot& slot = stat_slots_[i];
+    snapshot.tasks_executed += slot.tasks.load(std::memory_order_relaxed);
+    snapshot.steals += slot.steals.load(std::memory_order_relaxed);
+    snapshot.help_joins += slot.help.load(std::memory_order_relaxed);
+    snapshot.parallel_regions += slot.regions.load(std::memory_order_relaxed);
+  }
   return snapshot;
 }
 

@@ -128,19 +128,37 @@ class ThreadPool {
   void fork_join(std::size_t chunk_count,
                  const std::function<std::function<void()>(std::size_t, Join&)>& make_task);
 
+  /// Per-thread scheduler counters, one cache line each: concurrent relaxed
+  /// increments from different workers land on different lines instead of
+  /// bouncing one shared line around (the false-sharing fix measured by
+  /// bench/threadpool_scaling). Slot i belongs to worker i; the extra slot
+  /// at index thread_count() absorbs external (non-worker) threads.
+  struct alignas(64) StatSlot {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> help{0};
+    std::atomic<std::uint64_t> regions{0};
+  };
+  static_assert(alignof(StatSlot) == 64,
+                "stat slots must start on their own cache line");
+  static_assert(sizeof(StatSlot) == 64,
+                "stat slots must occupy exactly one cache line");
+
+  /// The calling thread's slot (worker slot, or the shared external slot).
+  [[nodiscard]] StatSlot& stat_slot() noexcept;
+
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  std::unique_ptr<StatSlot[]> stat_slots_;  ///< thread_count() + 1 entries.
   std::condition_variable cv_;
   std::mutex sleep_mutex_;
-  std::atomic<std::size_t> queued_tasks_{0};  ///< Tasks pushed, not yet acquired.
-  std::atomic<std::size_t> sleepers_{0};
-  std::atomic<std::size_t> next_victim_{0};   ///< Round-robin injection cursor.
+  // Each hot shared atomic gets its own cache line; without the padding,
+  // queued_tasks_ (every push/pop) and next_victim_ (every external
+  // injection) share a line and contend.
+  alignas(64) std::atomic<std::size_t> queued_tasks_{0};  ///< Tasks pushed, not yet acquired.
+  alignas(64) std::atomic<std::size_t> sleepers_{0};
+  alignas(64) std::atomic<std::size_t> next_victim_{0};   ///< Round-robin injection cursor.
   bool stopping_ = false;                     ///< Guarded by sleep_mutex_.
-
-  std::atomic<std::uint64_t> stat_tasks_{0};
-  std::atomic<std::uint64_t> stat_steals_{0};
-  std::atomic<std::uint64_t> stat_help_{0};
-  std::atomic<std::uint64_t> stat_regions_{0};
 
   std::mutex publish_mutex_;
   SchedulerStats published_;  ///< Counters already published; guarded by publish_mutex_.

@@ -56,8 +56,11 @@ hm::geometry::DepthImage ElasticFusionPipeline::preprocess(
   // computing vertex/normal maps).
   hm::geometry::DepthImage cut = raw;
   const auto cutoff = static_cast<float>(params_.depth_cutoff);
-  for (float& z : cut) {
-    if (z > cutoff) z = 0.0f;
+  for (int v = 0; v < cut.height(); ++v) {
+    float* row = cut.row(v);
+    for (int u = 0; u < cut.width(); ++u) {
+      if (row[u] > cutoff) row[u] = 0.0f;
+    }
   }
   hm::kfusion::BilateralConfig filter;
   filter.radius = 1;  // EF's filter window is smaller than KFusion's.

@@ -155,8 +155,8 @@ ModelView SurfelMap::project(const Intrinsics& intrinsics, const SE3& pose,
     const auto z = static_cast<float>(p_camera.z);
     if (z >= zbuffer.at(u, v)) continue;
     zbuffer.at(u, v) = z;
-    view.vertices.at(u, v) = s.position;
-    view.normals.at(u, v) = s.normal;
+    view.vertices.set(u, v, s.position);
+    view.normals.set(u, v, s.normal);
     view.intensity.at(u, v) = s.intensity;
   }
   stats.add(Kernel::kSurfelFusion, ops);

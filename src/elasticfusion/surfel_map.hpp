@@ -13,6 +13,7 @@
 #include "geometry/camera.hpp"
 #include "geometry/image.hpp"
 #include "geometry/se3.hpp"
+#include "geometry/soa.hpp"
 #include "kfusion/kernel_stats.hpp"
 
 namespace hm::elasticfusion {

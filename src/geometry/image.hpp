@@ -1,11 +1,26 @@
-// 2D image container used for depth maps, intensity images, vertex maps and
-// normal maps. Row-major contiguous storage, value semantics.
+// 2D image container used for depth maps, intensity images and the scalar
+// planes of the SoA vertex/normal maps (geometry/soa.hpp). Value semantics.
+//
+// Storage is laid out for the SIMD kernels (src/common/simd.hpp):
+//   - 64-byte aligned allocation, so row starts sit on cache-line (and
+//     vector-register) boundaries;
+//   - a padded row pitch (elements per row step, >= width + 16 and a
+//     multiple of 16), so an unaligned vector load that starts inside the
+//     payload may safely overhang the row end;
+//   - a 16-element guard band before row 0, so window kernels (bilateral,
+//     radius <= 16) may read `row(v) + u - radius` for u >= 0 without
+//     undershooting the allocation.
+// Guard and slack elements are value-initialized (T{}) and never written by
+// at()/fill(), which keeps out-of-row lanes at the invalid-pixel sentinel.
+// Iteration must therefore go through at()/row() — there are deliberately
+// no begin()/end(): a flat walk would visit padding.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
+#include <new>
 #include <optional>
 #include <vector>
 
@@ -13,21 +28,62 @@
 
 namespace hm::geometry {
 
+/// Minimal aligned allocator so std::vector storage lands on `Alignment`.
+template <typename T, std::size_t Alignment>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
 template <typename T>
 class Image {
  public:
+  /// Guard elements before row 0 and minimum row slack after each row end;
+  /// also the pitch granularity. 16 floats = one cache line on each side.
+  static constexpr int kGuard = 16;
+
   Image() = default;
   Image(int width, int height, T fill = T{})
-      : width_(width), height_(height),
-        data_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
-              fill) {
+      : width_(width),
+        height_(height),
+        pitch_((width + kGuard - 1) / kGuard * kGuard + kGuard),
+        data_(static_cast<std::size_t>(kGuard) +
+                  static_cast<std::size_t>(pitch_) *
+                      static_cast<std::size_t>(height),
+              T{}) {
     assert(width >= 0 && height >= 0);
+    this->fill(fill);
   }
 
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] int height() const noexcept { return height_; }
-  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  /// Elements (not bytes) from one row start to the next.
+  [[nodiscard]] int pitch() const noexcept { return pitch_; }
+  /// Logical element count (width * height, excluding padding).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
 
   [[nodiscard]] bool contains(int u, int v) const noexcept {
     return u >= 0 && v >= 0 && u < width_ && v < height_;
@@ -35,34 +91,49 @@ class Image {
 
   [[nodiscard]] T& at(int u, int v) {
     assert(contains(u, v));
-    return data_[static_cast<std::size_t>(v) * static_cast<std::size_t>(width_) +
-                 static_cast<std::size_t>(u)];
+    return data_[offset(u, v)];
   }
   [[nodiscard]] const T& at(int u, int v) const {
     assert(contains(u, v));
-    return data_[static_cast<std::size_t>(v) * static_cast<std::size_t>(width_) +
-                 static_cast<std::size_t>(u)];
+    return data_[offset(u, v)];
   }
 
-  [[nodiscard]] T* data() noexcept { return data_.data(); }
-  [[nodiscard]] const T* data() const noexcept { return data_.data(); }
-  [[nodiscard]] auto begin() noexcept { return data_.begin(); }
-  [[nodiscard]] auto end() noexcept { return data_.end(); }
-  [[nodiscard]] auto begin() const noexcept { return data_.begin(); }
-  [[nodiscard]] auto end() const noexcept { return data_.end(); }
+  /// Pointer to the first payload element of row v. Reads may range over
+  /// [row(v) - kGuard, row(v) + pitch()); only [row(v), row(v) + width())
+  /// may be written.
+  [[nodiscard]] T* row(int v) noexcept { return data_.data() + offset(0, v); }
+  [[nodiscard]] const T* row(int v) const noexcept {
+    return data_.data() + offset(0, v);
+  }
 
-  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+  /// Payload start (== row(0)). The layout is PITCHED: element (u, v) lives
+  /// at data()[v * pitch() + u], not v * width() + u.
+  [[nodiscard]] T* data() noexcept { return row(0); }
+  [[nodiscard]] const T* data() const noexcept { return row(0); }
+
+  /// Fills the payload; guard and slack elements stay T{}.
+  void fill(T value) {
+    for (int v = 0; v < height_; ++v) {
+      T* r = row(v);
+      std::fill(r, r + width_, value);
+    }
+  }
 
  private:
+  [[nodiscard]] std::size_t offset(int u, int v) const noexcept {
+    return static_cast<std::size_t>(kGuard) +
+           static_cast<std::size_t>(v) * static_cast<std::size_t>(pitch_) +
+           static_cast<std::size_t>(u);
+  }
+
   int width_ = 0;
   int height_ = 0;
-  std::vector<T> data_;
+  int pitch_ = 0;
+  std::vector<T, AlignedAllocator<T, 64>> data_;
 };
 
 using DepthImage = Image<float>;       ///< Meters; <= 0 marks invalid pixels.
 using IntensityImage = Image<float>;   ///< Grayscale in [0, 1].
-using VertexMap = Image<Vec3f>;        ///< Camera- or world-space points.
-using NormalMap = Image<Vec3f>;        ///< Unit normals; zero marks invalid.
 
 /// Bilinear sample of a scalar image at continuous (u, v); nullopt outside
 /// the valid interpolation domain or when any support pixel is invalid

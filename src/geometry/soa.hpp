@@ -1,0 +1,70 @@
+// Structure-of-arrays Vec3f maps: three aligned, pitched float planes
+// (geometry/image.hpp) instead of one interleaved Image<Vec3f>. This is the
+// layout the SIMD kernels want — loading eight consecutive pixels' x
+// components is one contiguous vector load per plane, and the reference-map
+// gathers in the ICP reduction index a single float plane per component.
+//
+// The zero vector stays the invalid-pixel sentinel, exactly as it was for
+// Image<Vec3f>: at(u, v) == Vec3f{} means "no data here".
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+
+#include "geometry/image.hpp"
+#include "geometry/vec.hpp"
+
+namespace hm::geometry {
+
+class SoaVec3Map {
+ public:
+  SoaVec3Map() = default;
+  SoaVec3Map(int width, int height, Vec3f fill = Vec3f{})
+      : x_(width, height, fill.x),
+        y_(width, height, fill.y),
+        z_(width, height, fill.z) {}
+
+  [[nodiscard]] int width() const noexcept { return x_.width(); }
+  [[nodiscard]] int height() const noexcept { return x_.height(); }
+  [[nodiscard]] int pitch() const noexcept { return x_.pitch(); }
+  [[nodiscard]] std::size_t size() const noexcept { return x_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return x_.empty(); }
+  [[nodiscard]] bool contains(int u, int v) const noexcept {
+    return x_.contains(u, v);
+  }
+
+  /// Gathers one pixel into an AoS value (by value — there is no Vec3f in
+  /// memory to reference). Write through set().
+  [[nodiscard]] Vec3f at(int u, int v) const {
+    return {x_.at(u, v), y_.at(u, v), z_.at(u, v)};
+  }
+  void set(int u, int v, Vec3f value) {
+    x_.at(u, v) = value.x;
+    y_.at(u, v) = value.y;
+    z_.at(u, v) = value.z;
+  }
+
+  /// Component planes for kernels that load/gather lanes directly.
+  [[nodiscard]] Image<float>& x() noexcept { return x_; }
+  [[nodiscard]] Image<float>& y() noexcept { return y_; }
+  [[nodiscard]] Image<float>& z() noexcept { return z_; }
+  [[nodiscard]] const Image<float>& x() const noexcept { return x_; }
+  [[nodiscard]] const Image<float>& y() const noexcept { return y_; }
+  [[nodiscard]] const Image<float>& z() const noexcept { return z_; }
+
+  void fill(Vec3f value) {
+    x_.fill(value.x);
+    y_.fill(value.y);
+    z_.fill(value.z);
+  }
+
+ private:
+  Image<float> x_;
+  Image<float> y_;
+  Image<float> z_;
+};
+
+using VertexMap = SoaVec3Map;  ///< Camera- or world-space points.
+using NormalMap = SoaVec3Map;  ///< Unit normals; zero marks invalid.
+
+}  // namespace hm::geometry

@@ -63,6 +63,22 @@ class NormalEquations {
     ++count_;
   }
 
+  /// Merges externally accumulated sums: row-major upper-triangle of J^T J
+  /// (r <= c), J^T r, summed squared error, and the number of rows they
+  /// represent. Used by the SIMD ICP reduction, which accumulates lanes in
+  /// float vectors and flushes them here once per image row.
+  void add_normal_system(const std::array<double, N*(N + 1) / 2>& jtj_upper,
+                         const std::array<double, N>& jtr, double error,
+                         std::size_t count) {
+    std::size_t k = 0;
+    for (std::size_t r = 0; r < N; ++r) {
+      for (std::size_t c = r; c < N; ++c, ++k) jtj_[r * N + c] += jtj_upper[k];
+    }
+    for (std::size_t i = 0; i < N; ++i) jtr_[i] += jtr[i];
+    error_ += error;
+    count_ += count;
+  }
+
   NormalEquations& operator+=(const NormalEquations& other) {
     for (std::size_t i = 0; i < N * N; ++i) jtj_[i] += other.jtj_[i];
     for (std::size_t i = 0; i < N; ++i) jtr_[i] += other.jtr_[i];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/simd.hpp"
 #include "geometry/solve.hpp"
 
 namespace hm::kfusion {
@@ -11,6 +12,8 @@ using hm::geometry::NormalEquations;
 using hm::geometry::SE3;
 using hm::geometry::Vec3d;
 using hm::geometry::Vec3f;
+
+namespace s = hm::simd;
 
 namespace {
 
@@ -27,14 +30,324 @@ struct Reduction {
   }
 };
 
+/// Single-precision per-call constants for the association/residual math.
+/// The transform, projection and gate arithmetic runs in float on both
+/// paths with explicit fmadd_s/vfma shapes so the scalar reference and the
+/// SIMD lanes make bit-identical gate decisions (DESIGN.md §9). Association
+/// rounds to nearest-even (cvtps2dq semantics) rather than lround's
+/// half-away-from-zero; at half-pixel ties this picks the even neighbor.
+struct IcpConstants {
+  float r00, r01, r02, r10, r11, r12, r20, r21, r22;  ///< pose rotation
+  float tx, ty, tz;                                   ///< pose translation
+  float w00, w01, w02, w10, w11, w12, w20, w21, w22;  ///< world->reference
+  float wtx, wty, wtz;
+  float fx, fy, cxm, cym;  ///< cxm/cym absorb the -0.5 pixel-center shift.
+  float zmin;              ///< Minimum reference-camera depth (project()).
+  float gate2;             ///< Squared correspondence distance gate.
+  float ngate;             ///< Minimum normal cosine.
+  int ref_width, ref_height, ref_pitch;
+};
+
+IcpConstants make_constants(const SE3& pose, const SE3& world_to_reference,
+                            const Intrinsics& reference_intrinsics,
+                            const RaycastResult& reference,
+                            const IcpConfig& config) {
+  IcpConstants k{};
+  const auto& r = pose.rotation;
+  k.r00 = static_cast<float>(r(0, 0)), k.r01 = static_cast<float>(r(0, 1));
+  k.r02 = static_cast<float>(r(0, 2)), k.r10 = static_cast<float>(r(1, 0));
+  k.r11 = static_cast<float>(r(1, 1)), k.r12 = static_cast<float>(r(1, 2));
+  k.r20 = static_cast<float>(r(2, 0)), k.r21 = static_cast<float>(r(2, 1));
+  k.r22 = static_cast<float>(r(2, 2));
+  k.tx = static_cast<float>(pose.translation.x);
+  k.ty = static_cast<float>(pose.translation.y);
+  k.tz = static_cast<float>(pose.translation.z);
+  const auto& w = world_to_reference.rotation;
+  k.w00 = static_cast<float>(w(0, 0)), k.w01 = static_cast<float>(w(0, 1));
+  k.w02 = static_cast<float>(w(0, 2)), k.w10 = static_cast<float>(w(1, 0));
+  k.w11 = static_cast<float>(w(1, 1)), k.w12 = static_cast<float>(w(1, 2));
+  k.w20 = static_cast<float>(w(2, 0)), k.w21 = static_cast<float>(w(2, 1));
+  k.w22 = static_cast<float>(w(2, 2));
+  k.wtx = static_cast<float>(world_to_reference.translation.x);
+  k.wty = static_cast<float>(world_to_reference.translation.y);
+  k.wtz = static_cast<float>(world_to_reference.translation.z);
+  k.fx = static_cast<float>(reference_intrinsics.fx);
+  k.fy = static_cast<float>(reference_intrinsics.fy);
+  k.cxm = static_cast<float>(reference_intrinsics.cx - 0.5);
+  k.cym = static_cast<float>(reference_intrinsics.cy - 0.5);
+  k.zmin = 1e-9f;
+  k.gate2 = static_cast<float>(config.distance_gate * config.distance_gate);
+  k.ngate = static_cast<float>(config.normal_gate);
+  k.ref_width = reference_intrinsics.width;
+  k.ref_height = reference_intrinsics.height;
+  k.ref_pitch = reference.vertices.pitch();
+  return k;
+}
+
+/// One pixel of the scalar reference — the LOCKSTEP MIRROR of an icp_row_simd
+/// lane: same fmadd shapes, same nearest-even association, same gate order.
+/// Also serves the ragged row tail of the SIMD path, which keeps the
+/// tested/matched counts bit-identical across paths.
+struct PixelContribution {
+  bool tested = false;
+  bool matched = false;
+  std::array<float, 6> jacobian{};
+  float residual = 0.0f;
+};
+
+PixelContribution icp_pixel(const IcpConstants& k, const PyramidLevel& level,
+                            const RaycastResult& reference, int u, int v) {
+  PixelContribution out;
+  const Vec3f vert = level.vertices.at(u, v);
+  const Vec3f norm = level.normals.at(u, v);
+  // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
+  if (vert == Vec3f{} || norm == Vec3f{}) return out;
+  out.tested = true;
+
+  const float px =
+      s::fmadd_s(k.r00, vert.x, s::fmadd_s(k.r01, vert.y, s::fmadd_s(k.r02, vert.z, k.tx)));
+  const float py =
+      s::fmadd_s(k.r10, vert.x, s::fmadd_s(k.r11, vert.y, s::fmadd_s(k.r12, vert.z, k.ty)));
+  const float pz =
+      s::fmadd_s(k.r20, vert.x, s::fmadd_s(k.r21, vert.y, s::fmadd_s(k.r22, vert.z, k.tz)));
+  // Associate through the fixed reference camera.
+  const float qx =
+      s::fmadd_s(k.w00, px, s::fmadd_s(k.w01, py, s::fmadd_s(k.w02, pz, k.wtx)));
+  const float qy =
+      s::fmadd_s(k.w10, px, s::fmadd_s(k.w11, py, s::fmadd_s(k.w12, pz, k.wty)));
+  const float qz =
+      s::fmadd_s(k.w20, px, s::fmadd_s(k.w21, py, s::fmadd_s(k.w22, pz, k.wtz)));
+  if (!(qz > k.zmin)) return out;
+  const float pu = s::fmadd_s(k.fx, qx / qz, k.cxm);
+  const float pv = s::fmadd_s(k.fy, qy / qz, k.cym);
+  const int ru = s::nearest_i_s(pu);
+  const int rv = s::nearest_i_s(pv);
+  if (ru < 0 || rv < 0 || ru >= k.ref_width || rv >= k.ref_height) return out;
+
+  const Vec3f rvert = reference.vertices.at(ru, rv);
+  const Vec3f rnorm = reference.normals.at(ru, rv);
+  // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
+  if (rvert == Vec3f{} || rnorm == Vec3f{}) return out;
+
+  const float dx = rvert.x - px;
+  const float dy = rvert.y - py;
+  const float dz = rvert.z - pz;
+  const float dist2 = s::fmadd_s(dx, dx, s::fmadd_s(dy, dy, dz * dz));
+  if (!(dist2 <= k.gate2)) return out;
+  const float ncx = s::fmadd_s(k.r00, norm.x, s::fmadd_s(k.r01, norm.y, k.r02 * norm.z));
+  const float ncy = s::fmadd_s(k.r10, norm.x, s::fmadd_s(k.r11, norm.y, k.r12 * norm.z));
+  const float ncz = s::fmadd_s(k.r20, norm.x, s::fmadd_s(k.r21, norm.y, k.r22 * norm.z));
+  const float ndot = s::fmadd_s(rnorm.x, ncx, s::fmadd_s(rnorm.y, ncy, rnorm.z * ncz));
+  if (!(ndot >= k.ngate)) return out;
+
+  // Point-to-plane residual r = n_ref . (v_ref - p_world); the
+  // left-multiplied twist update gives J = [n_ref; p_world x n_ref].
+  out.matched = true;
+  out.residual = s::fmadd_s(rnorm.x, dx, s::fmadd_s(rnorm.y, dy, rnorm.z * dz));
+  out.jacobian = {rnorm.x,
+                  rnorm.y,
+                  rnorm.z,
+                  py * rnorm.z - pz * rnorm.y,
+                  pz * rnorm.x - px * rnorm.z,
+                  px * rnorm.y - py * rnorm.x};
+  return out;
+}
+
+void icp_row_scalar(const IcpConstants& k, const PyramidLevel& level,
+                    const RaycastResult& reference, int v, Reduction& local) {
+  const int width = level.vertices.width();
+  for (int u = 0; u < width; ++u) {
+    const PixelContribution pc = icp_pixel(k, level, reference, u, v);
+    local.tested += pc.tested ? 1 : 0;
+    if (!pc.matched) continue;
+    ++local.matched;
+    local.equations.add({pc.jacobian[0], pc.jacobian[1], pc.jacobian[2],
+                         pc.jacobian[3], pc.jacobian[4], pc.jacobian[5]},
+                        pc.residual);
+  }
+}
+
+/// Number of float lane accumulators per row: 21 upper-triangle J^T J terms,
+/// 6 J^T r terms, 1 squared error.
+constexpr int kIcpAccumulators = 28;
+
+/// SIMD lanes run across u; the six SoA planes of the current level load as
+/// contiguous vectors and the reference maps are gathered at the associated
+/// pixels. Per-lane products accumulate in float vectors and flush into the
+/// double NormalEquations once per row (lane-order reduction), so equations
+/// agree with the scalar path to a documented tolerance while the gate
+/// decisions — and therefore tested/matched — are bit-identical.
+void icp_row_simd(const IcpConstants& k, const PyramidLevel& level,
+                  const RaycastResult& reference, int v, Reduction& local) {
+  const int width = level.vertices.width();
+  const float* vx_row = level.vertices.x().row(v);
+  const float* vy_row = level.vertices.y().row(v);
+  const float* vz_row = level.vertices.z().row(v);
+  const float* nx_row = level.normals.x().row(v);
+  const float* ny_row = level.normals.y().row(v);
+  const float* nz_row = level.normals.z().row(v);
+  const float* ref_vx = reference.vertices.x().data();
+  const float* ref_vy = reference.vertices.y().data();
+  const float* ref_vz = reference.vertices.z().data();
+  const float* ref_nx = reference.normals.x().data();
+  const float* ref_ny = reference.normals.y().data();
+  const float* ref_nz = reference.normals.z().data();
+
+  const s::vfloat zero = s::vzero();
+  const s::vmask full = s::mask_first_n(s::kWidth);
+  const s::vfloat R00 = s::vbroadcast(k.r00), R01 = s::vbroadcast(k.r01),
+                  R02 = s::vbroadcast(k.r02), R10 = s::vbroadcast(k.r10),
+                  R11 = s::vbroadcast(k.r11), R12 = s::vbroadcast(k.r12),
+                  R20 = s::vbroadcast(k.r20), R21 = s::vbroadcast(k.r21),
+                  R22 = s::vbroadcast(k.r22);
+  const s::vfloat TX = s::vbroadcast(k.tx), TY = s::vbroadcast(k.ty),
+                  TZ = s::vbroadcast(k.tz);
+  const s::vfloat W00 = s::vbroadcast(k.w00), W01 = s::vbroadcast(k.w01),
+                  W02 = s::vbroadcast(k.w02), W10 = s::vbroadcast(k.w10),
+                  W11 = s::vbroadcast(k.w11), W12 = s::vbroadcast(k.w12),
+                  W20 = s::vbroadcast(k.w20), W21 = s::vbroadcast(k.w21),
+                  W22 = s::vbroadcast(k.w22);
+  const s::vfloat WTX = s::vbroadcast(k.wtx), WTY = s::vbroadcast(k.wty),
+                  WTZ = s::vbroadcast(k.wtz);
+  const s::vfloat FX = s::vbroadcast(k.fx), FY = s::vbroadcast(k.fy),
+                  CXM = s::vbroadcast(k.cxm), CYM = s::vbroadcast(k.cym);
+  const s::vfloat ZMIN = s::vbroadcast(k.zmin), GATE2 = s::vbroadcast(k.gate2),
+                  NGATE = s::vbroadcast(k.ngate);
+  const s::vfloat REFW = s::vbroadcast(static_cast<float>(k.ref_width));
+  const s::vfloat REFH = s::vbroadcast(static_cast<float>(k.ref_height));
+  const s::vint PITCH = s::vbroadcast_i(k.ref_pitch);
+
+  s::vfloat acc[kIcpAccumulators];
+  for (auto& a : acc) a = zero;
+  std::uint64_t vec_matched = 0;
+
+  int u = 0;
+  for (; u + s::kWidth <= width; u += s::kWidth) {
+    const s::vfloat vx = s::vload(vx_row + u);
+    const s::vfloat vy = s::vload(vy_row + u);
+    const s::vfloat vz = s::vload(vz_row + u);
+    const s::vfloat nx = s::vload(nx_row + u);
+    const s::vfloat ny = s::vload(ny_row + u);
+    const s::vfloat nz = s::vload(nz_row + u);
+    const s::vmask vert_zero = s::mask_and(
+        s::mask_and(s::cmp_eq(vx, zero), s::cmp_eq(vy, zero)), s::cmp_eq(vz, zero));
+    const s::vmask norm_zero = s::mask_and(
+        s::mask_and(s::cmp_eq(nx, zero), s::cmp_eq(ny, zero)), s::cmp_eq(nz, zero));
+    const s::vmask active = s::mask_andnot(full, s::mask_or(vert_zero, norm_zero));
+    local.tested += static_cast<std::uint64_t>(s::mask_popcount(active));
+    if (s::mask_none(active)) continue;
+
+    const s::vfloat px = s::vfma(R00, vx, s::vfma(R01, vy, s::vfma(R02, vz, TX)));
+    const s::vfloat py = s::vfma(R10, vx, s::vfma(R11, vy, s::vfma(R12, vz, TY)));
+    const s::vfloat pz = s::vfma(R20, vx, s::vfma(R21, vy, s::vfma(R22, vz, TZ)));
+    const s::vfloat qx = s::vfma(W00, px, s::vfma(W01, py, s::vfma(W02, pz, WTX)));
+    const s::vfloat qy = s::vfma(W10, px, s::vfma(W11, py, s::vfma(W12, pz, WTY)));
+    const s::vfloat qz = s::vfma(W20, px, s::vfma(W21, py, s::vfma(W22, pz, WTZ)));
+    s::vmask assoc = s::mask_and(active, s::cmp_gt(qz, ZMIN));
+    // Rejected lanes may divide by ~0 here; inf/NaN fails the bounds
+    // compares below and the gather never touches those lanes.
+    const s::vfloat pu = s::vfma(FX, qx / qz, CXM);
+    const s::vfloat pv = s::vfma(FY, qy / qz, CYM);
+    const s::vint ru_i = s::vnearest_i(pu);
+    const s::vint rv_i = s::vnearest_i(pv);
+    const s::vfloat ruf = s::vto_float(ru_i);
+    const s::vfloat rvf = s::vto_float(rv_i);
+    assoc = s::mask_and(assoc, s::cmp_ge(ruf, zero));
+    assoc = s::mask_and(assoc, s::cmp_ge(rvf, zero));
+    assoc = s::mask_and(assoc, s::cmp_lt(ruf, REFW));
+    assoc = s::mask_and(assoc, s::cmp_lt(rvf, REFH));
+    if (s::mask_none(assoc)) continue;
+    const s::vint idx = s::vadd_i(s::vmul_i(rv_i, PITCH), ru_i);
+
+    const s::vfloat rvx = s::vgather_masked(ref_vx, idx, assoc);
+    const s::vfloat rvy = s::vgather_masked(ref_vy, idx, assoc);
+    const s::vfloat rvz = s::vgather_masked(ref_vz, idx, assoc);
+    const s::vfloat rnx = s::vgather_masked(ref_nx, idx, assoc);
+    const s::vfloat rny = s::vgather_masked(ref_ny, idx, assoc);
+    const s::vfloat rnz = s::vgather_masked(ref_nz, idx, assoc);
+    // Reference sentinel: gathered zeros on masked lanes also land here.
+    const s::vmask rvert_zero = s::mask_and(
+        s::mask_and(s::cmp_eq(rvx, zero), s::cmp_eq(rvy, zero)), s::cmp_eq(rvz, zero));
+    const s::vmask rnorm_zero = s::mask_and(
+        s::mask_and(s::cmp_eq(rnx, zero), s::cmp_eq(rny, zero)), s::cmp_eq(rnz, zero));
+    assoc = s::mask_andnot(assoc, s::mask_or(rvert_zero, rnorm_zero));
+
+    const s::vfloat dx = rvx - px;
+    const s::vfloat dy = rvy - py;
+    const s::vfloat dz = rvz - pz;
+    const s::vfloat dist2 = s::vfma(dx, dx, s::vfma(dy, dy, dz * dz));
+    assoc = s::mask_and(assoc, s::cmp_le(dist2, GATE2));
+    const s::vfloat ncx = s::vfma(R00, nx, s::vfma(R01, ny, R02 * nz));
+    const s::vfloat ncy = s::vfma(R10, nx, s::vfma(R11, ny, R12 * nz));
+    const s::vfloat ncz = s::vfma(R20, nx, s::vfma(R21, ny, R22 * nz));
+    const s::vfloat ndot = s::vfma(rnx, ncx, s::vfma(rny, ncy, rnz * ncz));
+    assoc = s::mask_and(assoc, s::cmp_ge(ndot, NGATE));
+    const int match_bits = s::mask_popcount(assoc);
+    if (match_bits == 0) continue;
+    vec_matched += static_cast<std::uint64_t>(match_bits);
+
+    const s::vfloat residual =
+        s::vfma(rnx, dx, s::vfma(rny, dy, rnz * dz));
+    const s::vfloat j[6] = {
+        s::vselect(assoc, rnx, zero),
+        s::vselect(assoc, rny, zero),
+        s::vselect(assoc, rnz, zero),
+        s::vselect(assoc, py * rnz - pz * rny, zero),
+        s::vselect(assoc, pz * rnx - px * rnz, zero),
+        s::vselect(assoc, px * rny - py * rnx, zero),
+    };
+    const s::vfloat r_sel = s::vselect(assoc, residual, zero);
+    int a = 0;
+    for (int row = 0; row < 6; ++row) {
+      for (int col = row; col < 6; ++col, ++a) {
+        acc[a] = s::vfma(j[row], j[col], acc[a]);
+      }
+    }
+    for (int i = 0; i < 6; ++i) {
+      acc[21 + i] = s::vfma(j[i], r_sel, acc[21 + i]);
+    }
+    acc[27] = s::vfma(r_sel, r_sel, acc[27]);
+  }
+
+  // Ragged tail: the scalar mirror produces the same per-pixel values; its
+  // contributions go straight into the double accumulator.
+  for (; u < width; ++u) {
+    const PixelContribution pc = icp_pixel(k, level, reference, u, v);
+    local.tested += pc.tested ? 1 : 0;
+    if (!pc.matched) continue;
+    ++local.matched;
+    local.equations.add({pc.jacobian[0], pc.jacobian[1], pc.jacobian[2],
+                         pc.jacobian[3], pc.jacobian[4], pc.jacobian[5]},
+                        pc.residual);
+  }
+
+  if (vec_matched == 0) return;
+  local.matched += vec_matched;
+  std::array<double, 21> jtj{};
+  std::array<double, 6> jtr{};
+  for (int i = 0; i < 21; ++i) jtj[static_cast<std::size_t>(i)] = s::vreduce_add_d(acc[i]);
+  for (int i = 0; i < 6; ++i) jtr[static_cast<std::size_t>(i)] = s::vreduce_add_d(acc[21 + i]);
+  local.equations.add_normal_system(jtj, jtr, s::vreduce_add_d(acc[27]),
+                                    static_cast<std::size_t>(vec_matched));
+}
+
+/// Rows per parallel chunk (grain table in DESIGN.md §9). Fixed constant —
+/// chunk boundaries must not depend on the thread count.
+constexpr std::size_t kIcpGrain = 8;
+
 /// One projective data-association + point-to-plane reduction pass over a
 /// pyramid level under the pose estimate `pose`.
 Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference,
                        const Intrinsics& reference_intrinsics,
                        const SE3& world_to_reference, const SE3& pose,
-                       const IcpConfig& config, hm::common::ThreadPool* pool) {
-  const double distance_gate2 = config.distance_gate * config.distance_gate;
+                       const IcpConfig& config, hm::common::ThreadPool* pool,
+                       KernelPath path) {
+  const IcpConstants constants =
+      make_constants(pose, world_to_reference, reference_intrinsics, reference,
+                     config);
   const int height = level.vertices.height();
+  const bool use_simd =
+      path == KernelPath::kSimd || (path == KernelPath::kAuto && s::kEnabled);
 
   // Deterministic chunked reduction: row chunks depend only on the image
   // height and the grain, and partials combine in chunk order, so the
@@ -43,41 +356,10 @@ Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference
   auto process_rows = [&](std::size_t row_begin, std::size_t row_end,
                           Reduction local) {
     for (std::size_t v = row_begin; v < row_end; ++v) {
-      for (int u = 0; u < level.vertices.width(); ++u) {
-        const Vec3f vertex = level.vertices.at(u, static_cast<int>(v));
-        const Vec3f normal = level.normals.at(u, static_cast<int>(v));
-        // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
-        if (vertex == Vec3f{} || normal == Vec3f{}) continue;
-        ++local.tested;
-
-        const Vec3d p_world = pose * hm::geometry::to_double(vertex);
-        // Associate through the fixed reference camera.
-        const auto pixel =
-            reference_intrinsics.project(world_to_reference * p_world);
-        if (!pixel) continue;
-        const int ru = static_cast<int>(std::lround(pixel->x));
-        const int rv = static_cast<int>(std::lround(pixel->y));
-        if (!reference_intrinsics.contains(ru, rv)) continue;
-
-        const Vec3f ref_vertex = reference.vertices.at(ru, rv);
-        const Vec3f ref_normal = reference.normals.at(ru, rv);
-        // hm-lint: allow(no-float-equality) exact zero is the empty-pixel sentinel
-        if (ref_vertex == Vec3f{} || ref_normal == Vec3f{}) continue;
-
-        const Vec3d v_ref = hm::geometry::to_double(ref_vertex);
-        const Vec3d n_ref = hm::geometry::to_double(ref_normal);
-        const Vec3d diff = v_ref - p_world;
-        if (diff.squared_norm() > distance_gate2) continue;
-        const Vec3d n_cur_world = pose.rotate(hm::geometry::to_double(normal));
-        if (n_ref.dot(n_cur_world) < config.normal_gate) continue;
-
-        // Point-to-plane residual r = n_ref . (v_ref - p_world); the
-        // left-multiplied twist update gives J = [n_ref; p_world x n_ref].
-        const double residual = n_ref.dot(diff);
-        const Vec3d moment = p_world.cross(n_ref);
-        local.equations.add(
-            {n_ref.x, n_ref.y, n_ref.z, moment.x, moment.y, moment.z}, residual);
-        ++local.matched;
+      if (use_simd) {
+        icp_row_simd(constants, level, reference, static_cast<int>(v), local);
+      } else {
+        icp_row_scalar(constants, level, reference, static_cast<int>(v), local);
       }
     }
     return local;
@@ -89,7 +371,7 @@ Reduction reduce_level(const PyramidLevel& level, const RaycastResult& reference
         a += b;
         return a;
       },
-      /*grain=*/8);
+      kIcpGrain);
 }
 
 }  // namespace
@@ -99,7 +381,7 @@ IcpResult icp_track(const std::vector<PyramidLevel>& pyramid,
                     const Intrinsics& reference_intrinsics,
                     const SE3& reference_pose, const SE3& initial_pose,
                     const IcpConfig& config, KernelStats& stats,
-                    hm::common::ThreadPool* pool) {
+                    hm::common::ThreadPool* pool, KernelPath path) {
   IcpResult result;
   result.pose = initial_pose;
 
@@ -117,7 +399,7 @@ IcpResult icp_track(const std::vector<PyramidLevel>& pyramid,
     for (int iteration = 0; iteration < iterations; ++iteration) {
       const Reduction pass =
           reduce_level(level, reference, reference_intrinsics,
-                       world_to_reference, result.pose, config, pool);
+                       world_to_reference, result.pose, config, pool, path);
       icp_ops += pass.tested;
       ++result.iterations_run;
 

@@ -43,11 +43,18 @@ struct IcpResult {
 /// data association projects through the fixed reference camera while the
 /// pose estimate (initialized to `initial_pose`, normally == reference_pose)
 /// is refined coarse-to-fine.
+///
+/// `path` selects the reduction implementation. Gate decisions (and hence
+/// tested/matched counts) are bit-identical across paths; the accumulated
+/// normal equations differ only in summation order (SIMD flushes float lane
+/// accumulators per row), so poses agree to a documented tolerance
+/// (DESIGN.md §9).
 [[nodiscard]] IcpResult icp_track(
     const std::vector<PyramidLevel>& pyramid, const RaycastResult& reference,
     const Intrinsics& reference_intrinsics,
     const hm::geometry::SE3& reference_pose,
     const hm::geometry::SE3& initial_pose, const IcpConfig& config,
-    KernelStats& stats, hm::common::ThreadPool* pool = nullptr);
+    KernelStats& stats, hm::common::ThreadPool* pool = nullptr,
+    KernelPath path = KernelPath::kAuto);
 
 }  // namespace hm::kfusion

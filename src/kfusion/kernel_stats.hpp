@@ -13,6 +13,16 @@
 
 namespace hm::kfusion {
 
+/// Which implementation of a vectorizable kernel to run. kAuto resolves to
+/// the SIMD path when the build has a vector backend (hm::simd::kEnabled)
+/// and to the scalar reference otherwise; the explicit values exist for the
+/// scalar-vs-SIMD equivalence tests and the micro-benchmarks.
+enum class KernelPath {
+  kAuto = 0,
+  kScalar,
+  kSimd,
+};
+
 /// Kernel classes across both pipelines. Keep in sync with kKernelNames.
 enum class Kernel : std::size_t {
   kDownsample = 0,    ///< Compute-size-ratio block averaging (per input pixel).

@@ -1,8 +1,10 @@
 #include "kfusion/preprocess.hpp"
 
-#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
+
+#include "common/simd.hpp"
 
 namespace hm::kfusion {
 
@@ -38,64 +40,171 @@ DepthImage downsample_depth(const DepthImage& input, int ratio,
   return output;
 }
 
+namespace {
+
+/// Shared per-call constants; the float spatial table and range coefficient
+/// are used verbatim by both the scalar and the SIMD path.
+struct BilateralParams {
+  int radius = 0;
+  int window = 0;
+  std::vector<float> spatial;  ///< (2r+1)^2 float spatial weights.
+  float neg_inv_2_sigma_depth2 = 0.0f;
+};
+
+BilateralParams make_bilateral_params(const BilateralConfig& config) {
+  BilateralParams params;
+  params.radius = config.radius;
+  params.window = 2 * config.radius + 1;
+  params.spatial.resize(static_cast<std::size_t>(params.window) * params.window);
+  for (int dv = -params.radius; dv <= params.radius; ++dv) {
+    for (int du = -params.radius; du <= params.radius; ++du) {
+      const double d2 = static_cast<double>(du * du + dv * dv);
+      params.spatial[static_cast<std::size_t>(
+          (dv + params.radius) * params.window + (du + params.radius))] =
+          static_cast<float>(
+              std::exp(-d2 / (2.0 * config.sigma_space * config.sigma_space)));
+    }
+  }
+  params.neg_inv_2_sigma_depth2 = static_cast<float>(
+      -1.0 / (2.0 * config.sigma_depth * config.sigma_depth));
+  return params;
+}
+
+/// One output pixel of the scalar reference. LOCKSTEP MIRROR of the lane
+/// arithmetic in bilateral_row_simd: same float spatial table, same
+/// exp_s/vexp polynomial, same multiply-add shapes — a SIMD lane computing
+/// pixel (u, v) produces this value bit-for-bit.
+float bilateral_pixel_scalar(const DepthImage& input, const BilateralParams& p,
+                             int u, int v, std::uint64_t& taps) {
+  const float center = input.at(u, v);
+  if (center <= 0.0f) return 0.0f;
+  const int width = input.width();
+  const int height = input.height();
+  float weight_sum = 0.0f;
+  float value_sum = 0.0f;
+  for (int dv = -p.radius; dv <= p.radius; ++dv) {
+    const int vv = v + dv;
+    if (vv < 0 || vv >= height) continue;
+    const float* in_row = input.row(vv);
+    const float* spatial_row =
+        p.spatial.data() + static_cast<std::size_t>((dv + p.radius) * p.window);
+    for (int du = -p.radius; du <= p.radius; ++du) {
+      const int uu = u + du;
+      if (uu < 0 || uu >= width) continue;
+      ++taps;
+      const float z = in_row[uu];
+      if (z <= 0.0f) continue;
+      const float dz = z - center;
+      const float w = spatial_row[du + p.radius] *
+                      hm::simd::exp_s((dz * dz) * p.neg_inv_2_sigma_depth2);
+      weight_sum = weight_sum + w;
+      value_sum = hm::simd::fmadd_s(w, z, value_sum);
+    }
+  }
+  return weight_sum > 0.0f ? value_sum / weight_sum : 0.0f;
+}
+
+void bilateral_row_scalar(const DepthImage& input, DepthImage& output,
+                          const BilateralParams& p, int v, std::uint64_t& taps) {
+  float* out_row = output.row(v);
+  for (int u = 0; u < input.width(); ++u) {
+    out_row[u] = bilateral_pixel_scalar(input, p, u, v, taps);
+  }
+}
+
+/// Vector path: kWidth consecutive output pixels per iteration, full
+/// vectors only — the ragged tail falls back to the (bit-identical) scalar
+/// pixel. Neighbor loads may overhang the row into the guard/slack bands
+/// (value 0, masked out), which is what the padded pitch is for.
+void bilateral_row_simd(const DepthImage& input, DepthImage& output,
+                        const BilateralParams& p, int v, std::uint64_t& taps) {
+  namespace s = hm::simd;
+  const int width = input.width();
+  const int height = input.height();
+  const float* in_row_v = input.row(v);
+  float* out_row = output.row(v);
+  const s::vfloat zero = s::vzero();
+  const s::vfloat width_f = s::vbroadcast(static_cast<float>(width));
+  const s::vfloat neg_inv = s::vbroadcast(p.neg_inv_2_sigma_depth2);
+  const s::vfloat iota = s::viota();
+
+  int u = 0;
+  for (; u + s::kWidth <= width; u += s::kWidth) {
+    const s::vfloat center = s::vload(in_row_v + u);
+    const s::vmask active = s::cmp_gt(center, zero);
+    if (s::mask_none(active)) continue;  // Output stays 0 for the whole group.
+    s::vfloat weight_sum = zero;
+    s::vfloat value_sum = zero;
+    for (int dv = -p.radius; dv <= p.radius; ++dv) {
+      const int vv = v + dv;
+      if (vv < 0 || vv >= height) continue;
+      const float* in_row = input.row(vv);
+      const float* spatial_row = p.spatial.data() +
+                                 static_cast<std::size_t>(
+                                     (dv + p.radius) * p.window);
+      for (int du = -p.radius; du <= p.radius; ++du) {
+        // Per-lane column bounds: uu = u + lane + du must be in [0, width).
+        const s::vfloat uu_f =
+            iota + s::vbroadcast(static_cast<float>(u + du));
+        const s::vmask bounds =
+            s::mask_and(s::cmp_ge(uu_f, zero), s::cmp_lt(uu_f, width_f));
+        const s::vmask counted = s::mask_and(active, bounds);
+        taps += static_cast<std::uint64_t>(s::mask_popcount(counted));
+        const s::vfloat z = s::vload(in_row + u + du);
+        const s::vmask valid = s::mask_and(counted, s::cmp_gt(z, zero));
+        const s::vfloat dz = z - center;
+        const s::vfloat e = s::vexp((dz * dz) * neg_inv);
+        s::vfloat w = s::vbroadcast(spatial_row[du + p.radius]) * e;
+        w = s::vselect(valid, w, zero);
+        weight_sum = weight_sum + w;
+        value_sum = s::vfma(w, z, value_sum);
+      }
+    }
+    const s::vmask has_weight = s::mask_and(active, s::cmp_gt(weight_sum, zero));
+    const s::vfloat out = s::vselect(has_weight, value_sum / weight_sum, zero);
+    s::vstore(out_row + u, out);
+  }
+  for (; u < width; ++u) {
+    out_row[u] = bilateral_pixel_scalar(input, p, u, v, taps);
+  }
+}
+
+/// Rows per parallel chunk. SIMD rows are ~6x cheaper than the old scalar
+/// rows, so chunks stay coarse to keep scheduling overhead negligible
+/// (grain table in DESIGN.md §9). Fixed constant — chunk boundaries must
+/// not depend on the thread count or results stop being reproducible.
+constexpr std::size_t kBilateralGrain = 16;
+
+}  // namespace
+
 DepthImage bilateral_filter(const DepthImage& input, const BilateralConfig& config,
-                            KernelStats& stats, hm::common::ThreadPool* pool) {
+                            KernelStats& stats, hm::common::ThreadPool* pool,
+                            KernelPath path) {
   const int width = input.width();
   const int height = input.height();
   DepthImage output(width, height, 0.0f);
-
-  // Precomputed spatial weights for the window.
-  const int radius = config.radius;
-  const int window = 2 * radius + 1;
-  std::vector<double> spatial(static_cast<std::size_t>(window) * window);
-  for (int dv = -radius; dv <= radius; ++dv) {
-    for (int du = -radius; du <= radius; ++du) {
-      const double d2 = static_cast<double>(du * du + dv * dv);
-      spatial[static_cast<std::size_t>((dv + radius) * window + (du + radius))] =
-          std::exp(-d2 / (2.0 * config.sigma_space * config.sigma_space));
-    }
-  }
-  const double inv_2_sigma_depth2 =
-      1.0 / (2.0 * config.sigma_depth * config.sigma_depth);
+  const BilateralParams params = make_bilateral_params(config);
+  const bool use_simd =
+      path == KernelPath::kSimd ||
+      (path == KernelPath::kAuto && hm::simd::kEnabled);
 
   // Output rows are independent; only the tap counter needs reducing.
   const std::uint64_t taps = hm::common::parallel_reduce(
       pool, 0, static_cast<std::size_t>(height), std::uint64_t{0},
       [&](std::size_t row_begin, std::size_t row_end, std::uint64_t local_taps) {
         for (std::size_t row = row_begin; row < row_end; ++row) {
-          const int v = static_cast<int>(row);
-          for (int u = 0; u < width; ++u) {
-            const float center = input.at(u, v);
-            if (center <= 0.0f) continue;
-            double weight_sum = 0.0;
-            double value_sum = 0.0;
-            for (int dv = -radius; dv <= radius; ++dv) {
-              const int vv = v + dv;
-              if (vv < 0 || vv >= height) continue;
-              for (int du = -radius; du <= radius; ++du) {
-                const int uu = u + du;
-                if (uu < 0 || uu >= width) continue;
-                const float z = input.at(uu, vv);
-                ++local_taps;
-                if (z <= 0.0f) continue;
-                const double dz = static_cast<double>(z - center);
-                const double w =
-                    spatial[static_cast<std::size_t>((dv + radius) * window +
-                                                     (du + radius))] *
-                    std::exp(-dz * dz * inv_2_sigma_depth2);
-                weight_sum += w;
-                value_sum += w * static_cast<double>(z);
-              }
-            }
-            if (weight_sum > 0.0) {
-              output.at(u, v) = static_cast<float>(value_sum / weight_sum);
-            }
+          if (use_simd) {
+            bilateral_row_simd(input, output, params, static_cast<int>(row),
+                               local_taps);
+          } else {
+            bilateral_row_scalar(input, output, params, static_cast<int>(row),
+                                 local_taps);
           }
         }
         return local_taps;
       },
       [](std::uint64_t a, std::uint64_t b) { return a + b; },
-      /*grain=*/16);
+      kBilateralGrain);
   stats.add(Kernel::kBilateral, taps);
   return output;
 }

@@ -24,11 +24,14 @@ struct BilateralConfig {
 
 /// Edge-preserving depth smoothing. Invalid pixels stay invalid and do not
 /// contribute to their neighbors. Rows are independent, so the filter
-/// parallelizes over `pool` when one is provided.
+/// parallelizes over `pool` when one is provided. The scalar and SIMD paths
+/// (`path`) are bit-exact against each other, including the tap counts
+/// (DESIGN.md §9).
 [[nodiscard]] DepthImage bilateral_filter(const DepthImage& input,
                                           const BilateralConfig& config,
                                           KernelStats& stats,
-                                          hm::common::ThreadPool* pool = nullptr);
+                                          hm::common::ThreadPool* pool = nullptr,
+                                          KernelPath path = KernelPath::kAuto);
 
 /// Halves the resolution with a validity-aware 2x2 block average (the
 /// pyramid construction step).

@@ -11,8 +11,8 @@ VertexMap depth_to_vertices(const DepthImage& depth, const Intrinsics& intrinsic
     for (int u = 0; u < depth.width(); ++u) {
       const float z = depth.at(u, v);
       if (z <= 0.0f) continue;
-      vertices.at(u, v) =
-          hm::geometry::to_float(intrinsics.unproject(u, v, static_cast<double>(z)));
+      vertices.set(u, v, hm::geometry::to_float(
+                             intrinsics.unproject(u, v, static_cast<double>(z))));
     }
   }
   stats.add(Kernel::kVertexNormal, depth.size());
@@ -42,7 +42,7 @@ NormalMap vertices_to_normals(const VertexMap& vertices, KernelStats& stats) {
       n = n / norm;
       // Orient toward the camera (camera-space origin): n . p must be < 0.
       if (n.dot(center) > 0.0f) n = -n;
-      normals.at(u, v) = n;
+      normals.set(u, v, n);
     }
   }
   stats.add(Kernel::kVertexNormal, vertices.size());

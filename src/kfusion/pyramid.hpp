@@ -6,6 +6,7 @@
 
 #include "geometry/camera.hpp"
 #include "geometry/image.hpp"
+#include "geometry/soa.hpp"
 #include "kfusion/kernel_stats.hpp"
 
 namespace hm::kfusion {

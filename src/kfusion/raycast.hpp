@@ -5,8 +5,8 @@
 
 #include "common/thread_pool.hpp"
 #include "geometry/camera.hpp"
-#include "geometry/image.hpp"
 #include "geometry/se3.hpp"
+#include "geometry/soa.hpp"
 #include "kfusion/kernel_stats.hpp"
 #include "kfusion/tsdf_volume.hpp"
 
@@ -31,11 +31,15 @@ struct RaycastConfig {
 /// Marches every pixel's ray through the volume from `camera_to_world`,
 /// finds the positive-to-negative zero crossing, refines it by linear
 /// interpolation, and reports world-space position and normal.
-/// Total ray steps are recorded as Kernel::kRaycast.
+/// Total ray steps are recorded as Kernel::kRaycast. The march itself is
+/// shared code; `path` selects the trilinear-sample implementation
+/// (TsdfVolume::sample_f), whose scalar and SIMD variants are bit-exact —
+/// so the whole raycast is bit-exact across paths, step counts included.
 [[nodiscard]] RaycastResult raycast(const TsdfVolume& volume,
                                     const Intrinsics& intrinsics,
                                     const SE3& camera_to_world, double mu,
                                     const RaycastConfig& config, KernelStats& stats,
-                                    hm::common::ThreadPool* pool = nullptr);
+                                    hm::common::ThreadPool* pool = nullptr,
+                                    KernelPath path = KernelPath::kAuto);
 
 }  // namespace hm::kfusion

@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "common/simd.hpp"
 
 namespace hm::kfusion {
+
+namespace s = hm::simd;
 
 TsdfVolume::TsdfVolume(int resolution, double size)
     : resolution_(resolution),
@@ -13,6 +18,13 @@ TsdfVolume::TsdfVolume(int resolution, double size)
       tsdf_(static_cast<std::size_t>(resolution) * resolution * resolution, 1.0f),
       weight_(static_cast<std::size_t>(resolution) * resolution * resolution, 0.0f) {
   assert(resolution > 0 && size > 0.0);
+  // resolution^3 must fit in the int32 gather indices of the SIMD sample.
+  assert(resolution <= 1024);
+  const std::int32_t res = resolution;
+  const std::int32_t res2 = res * res;
+  // Lane order lane = dz*4 + dy*2 + dx, dx fastest.
+  corner_offsets_ = {0,    1,        res,        res + 1,
+                     res2, res2 + 1, res2 + res, res2 + res + 1};
 }
 
 void TsdfVolume::clear() {
@@ -22,7 +34,8 @@ void TsdfVolume::clear() {
 
 void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics,
                            const SE3& camera_to_world, double mu,
-                           KernelStats& stats, hm::common::ThreadPool* pool) {
+                           KernelStats& stats, hm::common::ThreadPool* pool,
+                           KernelPath path) {
   const SE3 world_to_camera = camera_to_world.inverse();
   const float max_weight = 100.0f;
   const auto mu_f = static_cast<float>(std::max(mu, voxel_size_));
@@ -30,7 +43,12 @@ void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics
   // Frustum bounding box in voxel coordinates: the camera position plus the
   // four far-plane corners at the maximum valid depth.
   float max_depth = 0.0f;
-  for (const float z : depth) max_depth = std::max(max_depth, z);
+  for (int v = 0; v < depth.height(); ++v) {
+    const float* row = depth.row(v);
+    for (int u = 0; u < depth.width(); ++u) {
+      max_depth = std::max(max_depth, row[u]);
+    }
+  }
   if (max_depth <= 0.0f) return;
   const double far = static_cast<double>(max_depth) + mu;
 
@@ -56,13 +74,20 @@ void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics
   const int y0 = clamp_voxel(box_min.y), y1 = clamp_voxel(box_max.y);
   const int z0 = clamp_voxel(box_min.z), z1 = clamp_voxel(box_max.z);
 
-  // Row-major world axes of the camera rotation for incremental transforms.
+  // Single-precision pose and camera constants. The whole per-voxel chain
+  // (world point -> camera point -> projection -> TSDF update) runs in
+  // float with explicit fmadd_s/vfma shapes so the scalar reference and the
+  // SIMD lanes are bit-identical (DESIGN.md §9).
   const auto& r = world_to_camera.rotation;
   const Vec3d t = world_to_camera.translation;
-
-  // Single-precision camera constants for the hot loop; the incremental
-  // per-x step uses doubles for the running point to avoid drift across a
-  // 256-voxel row, but projection and the TSDF update run in float.
+  const auto r00 = static_cast<float>(r(0, 0)), r01 = static_cast<float>(r(0, 1)),
+             r02 = static_cast<float>(r(0, 2));
+  const auto r10 = static_cast<float>(r(1, 0)), r11 = static_cast<float>(r(1, 1)),
+             r12 = static_cast<float>(r(1, 2));
+  const auto r20 = static_cast<float>(r(2, 0)), r21 = static_cast<float>(r(2, 1)),
+             r22 = static_cast<float>(r(2, 2));
+  const auto tx = static_cast<float>(t.x), ty = static_cast<float>(t.y),
+             tz = static_cast<float>(t.z);
   const auto fx = static_cast<float>(intrinsics.fx);
   const auto fy = static_cast<float>(intrinsics.fy);
   const auto cx0 = static_cast<float>(intrinsics.cx);
@@ -70,61 +95,135 @@ void TsdfVolume::integrate(const DepthImage& depth, const Intrinsics& intrinsics
   const float width_f = static_cast<float>(intrinsics.width);
   const float height_f = static_cast<float>(intrinsics.height);
   const float inv_mu = 1.0f / mu_f;
+  const float voxel_f = static_cast<float>(voxel_size_);
   const float* depth_data = depth.data();
-  const int depth_width = intrinsics.width;
+  const int depth_pitch = depth.pitch();
+
+  const bool use_simd =
+      path == KernelPath::kSimd || (path == KernelPath::kAuto && s::kEnabled);
+
+  // Scalar mirror of one SIMD lane: same fmadd/min shapes, same truncating
+  // float->int conversion. Used by the scalar path and the ragged row tail.
+  const auto update_voxel = [&](int xi, float Kx, float Ky, float Kz,
+                                std::size_t base) {
+    const float wx = (static_cast<float>(xi) + 0.5f) * voxel_f;
+    const float cx = s::fmadd_s(r00, wx, Kx);
+    const float cy = s::fmadd_s(r10, wx, Ky);
+    const float cz = s::fmadd_s(r20, wx, Kz);
+    if (cz <= 1e-6f) return;  // Behind the camera.
+    // Project; nearest-neighbor depth lookup as in KFusion.
+    const float uf = s::fmadd_s(fx, cx / cz, cx0);
+    const float vf = s::fmadd_s(fy, cy / cz, cy0);
+    if (uf < 0.0f || vf < 0.0f || uf >= width_f || vf >= height_f) return;
+    const int u = static_cast<int>(uf);
+    const int v = static_cast<int>(vf);
+    const float measured =
+        depth_data[static_cast<std::size_t>(v) *
+                       static_cast<std::size_t>(depth_pitch) +
+                   static_cast<std::size_t>(u)];
+    if (measured <= 0.0f) return;
+    // Signed distance along the ray, point-to-plane approximation.
+    const float sdf = measured - cz;
+    if (sdf < -mu_f) return;  // Occluded beyond truncation.
+    const float truncated = s::min_s(1.0f, sdf * inv_mu);
+    const float t_old = tsdf_[base];
+    const float w_old = weight_[base];
+    tsdf_[base] = s::fmadd_s(t_old, w_old, truncated) / (w_old + 1.0f);
+    weight_[base] = s::min_s(w_old + 1.0f, max_weight);
+  };
+
+  const s::vfloat r00B = s::vbroadcast(r00), r10B = s::vbroadcast(r10),
+                  r20B = s::vbroadcast(r20);
+  const s::vfloat fxB = s::vbroadcast(fx), fyB = s::vbroadcast(fy);
+  const s::vfloat cx0B = s::vbroadcast(cx0), cy0B = s::vbroadcast(cy0);
+  const s::vfloat widthB = s::vbroadcast(width_f), heightB = s::vbroadcast(height_f);
+  const s::vfloat zeroB = s::vzero(), oneB = s::vbroadcast(1.0f);
+  const s::vfloat halfB = s::vbroadcast(0.5f), voxelB = s::vbroadcast(voxel_f);
+  const s::vfloat epsB = s::vbroadcast(1e-6f), neg_muB = s::vbroadcast(-mu_f);
+  const s::vfloat inv_muB = s::vbroadcast(inv_mu), maxwB = s::vbroadcast(max_weight);
+  const s::vint pitchB = s::vbroadcast_i(depth_pitch);
+  const s::vfloat iota = s::viota();
+
+  // kWidth voxels along x per iteration. Invalid lanes are masked out of
+  // the depth gather and blended back to their old voxel values; stores are
+  // full-width but stay inside the row (x1 bounds the group) and each
+  // parallel chunk owns whole z-slices, so no write crosses a chunk.
+  const auto integrate_row_simd = [&](float Kx, float Ky, float Kz,
+                                      std::size_t row_base) {
+    const s::vfloat KxB = s::vbroadcast(Kx);
+    const s::vfloat KyB = s::vbroadcast(Ky);
+    const s::vfloat KzB = s::vbroadcast(Kz);
+    int xi = x0;
+    std::size_t base = row_base;
+    for (; xi + s::kWidth <= x1 + 1; xi += s::kWidth, base += s::kWidth) {
+      const s::vfloat xi_f = iota + s::vbroadcast(static_cast<float>(xi));
+      const s::vfloat wx = (xi_f + halfB) * voxelB;
+      const s::vfloat cx = s::vfma(r00B, wx, KxB);
+      const s::vfloat cy = s::vfma(r10B, wx, KyB);
+      const s::vfloat cz = s::vfma(r20B, wx, KzB);
+      s::vmask valid = s::cmp_gt(cz, epsB);
+      if (s::mask_none(valid)) continue;
+      // Lanes with cz ~ 0 produce inf/NaN here; the bounds compares reject
+      // them (NaN compares false), and the gather never dereferences them.
+      const s::vfloat uf = s::vfma(fxB, cx / cz, cx0B);
+      const s::vfloat vf = s::vfma(fyB, cy / cz, cy0B);
+      valid = s::mask_and(valid, s::cmp_ge(uf, zeroB));
+      valid = s::mask_and(valid, s::cmp_ge(vf, zeroB));
+      valid = s::mask_and(valid, s::cmp_lt(uf, widthB));
+      valid = s::mask_and(valid, s::cmp_lt(vf, heightB));
+      const s::vint u_i = s::vtrunc_i(uf);
+      const s::vint v_i = s::vtrunc_i(vf);
+      const s::vint idx = s::vadd_i(s::vmul_i(v_i, pitchB), u_i);
+      const s::vfloat measured = s::vgather_masked(depth_data, idx, valid);
+      valid = s::mask_and(valid, s::cmp_gt(measured, zeroB));
+      const s::vfloat sdf = measured - cz;
+      valid = s::mask_and(valid, s::cmp_ge(sdf, neg_muB));
+      if (s::mask_none(valid)) continue;
+      const s::vfloat truncated = s::vmin(oneB, sdf * inv_muB);
+      float* tsdf_ptr = tsdf_.data() + base;
+      float* weight_ptr = weight_.data() + base;
+      const s::vfloat t_old = s::vload(tsdf_ptr);
+      const s::vfloat w_old = s::vload(weight_ptr);
+      const s::vfloat t_new = s::vfma(t_old, w_old, truncated) / (w_old + oneB);
+      const s::vfloat w_new = s::vmin(w_old + oneB, maxwB);
+      s::vstore(tsdf_ptr, s::vselect(valid, t_new, t_old));
+      s::vstore(weight_ptr, s::vselect(valid, w_new, w_old));
+    }
+    for (; xi <= x1; ++xi, ++base) {
+      update_voxel(xi, Kx, Ky, Kz, base);
+    }
+  };
 
   auto integrate_slices = [&](std::size_t z_begin, std::size_t z_end,
                               std::uint64_t local_visited) {
+    const auto row_len = static_cast<std::uint64_t>(x1 - x0 + 1);
     for (std::size_t zi = z_begin; zi < z_end; ++zi) {
-      const double wz = (static_cast<double>(zi) + 0.5) * voxel_size_;
+      const float wz = (static_cast<float>(zi) + 0.5f) * voxel_f;
       for (int yi = y0; yi <= y1; ++yi) {
-        const double wy = (static_cast<double>(yi) + 0.5) * voxel_size_;
-        // Camera-space point for (x0, yi, zi); stepping x adds one column of R.
-        double cxd = r(0, 0) * ((x0 + 0.5) * voxel_size_) + r(0, 1) * wy +
-                     r(0, 2) * wz + t.x;
-        double cyd = r(1, 0) * ((x0 + 0.5) * voxel_size_) + r(1, 1) * wy +
-                     r(1, 2) * wz + t.y;
-        double czd = r(2, 0) * ((x0 + 0.5) * voxel_size_) + r(2, 1) * wy +
-                     r(2, 2) * wz + t.z;
-        const double step_x = r(0, 0) * voxel_size_;
-        const double step_y = r(1, 0) * voxel_size_;
-        const double step_z = r(2, 0) * voxel_size_;
-        std::size_t base = index(x0, yi, static_cast<int>(zi));
-        for (int xi = x0; xi <= x1;
-             ++xi, cxd += step_x, cyd += step_y, czd += step_z, ++base) {
-          ++local_visited;
-          const auto cz = static_cast<float>(czd);
-          if (cz <= 1e-6f) continue;  // Behind the camera.
-          // Project; nearest-neighbor depth lookup as in KFusion.
-          const float uf = fx * static_cast<float>(cxd) / cz + cx0;
-          const float vf = fy * static_cast<float>(cyd) / cz + cy0;
-          if (uf < 0.0f || vf < 0.0f || uf >= width_f || vf >= height_f) {
-            continue;
+        const float wy = (static_cast<float>(yi) + 0.5f) * voxel_f;
+        // Per-row camera-space constants: c = R*(wx, wy, wz) + t with the
+        // wx term left for the inner loop. Computed once in scalar float,
+        // broadcast into the vector path.
+        const float Kx = s::fmadd_s(r01, wy, s::fmadd_s(r02, wz, tx));
+        const float Ky = s::fmadd_s(r11, wy, s::fmadd_s(r12, wz, ty));
+        const float Kz = s::fmadd_s(r21, wy, s::fmadd_s(r22, wz, tz));
+        const std::size_t row_base = index(x0, yi, static_cast<int>(zi));
+        if (use_simd) {
+          integrate_row_simd(Kx, Ky, Kz, row_base);
+        } else {
+          std::size_t base = row_base;
+          for (int xi = x0; xi <= x1; ++xi, ++base) {
+            update_voxel(xi, Kx, Ky, Kz, base);
           }
-          const int u = static_cast<int>(uf);
-          const int v = static_cast<int>(vf);
-          const float measured =
-              depth_data[static_cast<std::size_t>(v) *
-                             static_cast<std::size_t>(depth_width) +
-                         static_cast<std::size_t>(u)];
-          if (measured <= 0.0f) continue;
-          // Signed distance along the ray, point-to-plane approximation.
-          const float sdf = measured - cz;
-          if (sdf < -mu_f) continue;  // Occluded beyond truncation.
-          const float truncated = std::min(1.0f, sdf * inv_mu);
-          float& tsdf_value = tsdf_[base];
-          float& weight_value = weight_[base];
-          tsdf_value = (tsdf_value * weight_value + truncated) /
-                       (weight_value + 1.0f);
-          weight_value = std::min(weight_value + 1.0f, max_weight);
         }
+        local_visited += row_len;
       }
     }
     return local_visited;
   };
 
   // Writes go to disjoint z-slices per chunk; only the visited counter needs
-  // reducing, so the atomic accumulator is gone.
+  // reducing. Fixed grain: chunk boundaries must not depend on thread count.
   const std::uint64_t visited = hm::common::parallel_reduce(
       pool, static_cast<std::size_t>(z0), static_cast<std::size_t>(z1) + 1,
       std::uint64_t{0}, integrate_slices,
@@ -161,6 +260,113 @@ std::optional<float> TsdfVolume::sample(Vec3d world) const {
   return static_cast<float>(value);
 }
 
+namespace {
+
+/// Continuous voxel coordinates plus the integer cell, shared by both
+/// sample_f paths so their setup is identical by construction.
+struct SampleSetup {
+  bool inside = false;
+  int x0 = 0, y0 = 0, z0 = 0;
+  float fx = 0.0f, fy = 0.0f, fz = 0.0f;
+};
+
+SampleSetup sample_setup(Vec3f world, float voxel_f, int resolution) {
+  SampleSetup out;
+  const float gx = world.x / voxel_f - 0.5f;
+  const float gy = world.y / voxel_f - 0.5f;
+  const float gz = world.z / voxel_f - 0.5f;
+  const float fgx = std::floor(gx);
+  const float fgy = std::floor(gy);
+  const float fgz = std::floor(gz);
+  // Bounds-check in float before any int conversion (NaN compares false).
+  const float max_cell = static_cast<float>(resolution - 2);
+  if (!(fgx >= 0.0f && fgx <= max_cell && fgy >= 0.0f && fgy <= max_cell &&
+        fgz >= 0.0f && fgz <= max_cell)) {
+    return out;
+  }
+  out.inside = true;
+  out.x0 = static_cast<int>(fgx);
+  out.y0 = static_cast<int>(fgy);
+  out.z0 = static_cast<int>(fgz);
+  out.fx = gx - fgx;
+  out.fy = gy - fgy;
+  out.fz = gz - fgz;
+  return out;
+}
+
+// Corner parity tables in lane order (dx fastest): 1.0 where the corner is
+// on the +1 side of the axis. Loaded as vectors to build the weight selects.
+alignas(64) constexpr float kCornerDx[8] = {0, 1, 0, 1, 0, 1, 0, 1};
+alignas(64) constexpr float kCornerDy[8] = {0, 0, 1, 1, 0, 0, 1, 1};
+alignas(64) constexpr float kCornerDz[8] = {0, 0, 0, 0, 1, 1, 1, 1};
+
+}  // namespace
+
+std::optional<float> TsdfVolume::sample_f_scalar(Vec3f world) const {
+  const SampleSetup c =
+      sample_setup(world, static_cast<float>(voxel_size_), resolution_);
+  if (!c.inside) return std::nullopt;
+  const std::size_t base = index(c.x0, c.y0, c.z0);
+  // LOCKSTEP MIRROR of sample_f_simd's corner loop: same corner order, same
+  // (wx*wy)*wz product shape, same sequential sum over lane-order products.
+  float value = 0.0f;
+  for (int lane = 0; lane < 8; ++lane) {
+    const std::size_t i = base + static_cast<std::size_t>(corner_offsets_[lane]);
+    if (weight_[i] <= 0.0f) return std::nullopt;
+    const float wx = (lane & 1) != 0 ? c.fx : 1.0f - c.fx;
+    const float wy = (lane & 2) != 0 ? c.fy : 1.0f - c.fy;
+    const float wz = (lane & 4) != 0 ? c.fz : 1.0f - c.fz;
+    const float w = (wx * wy) * wz;
+    value = value + w * tsdf_[i];
+  }
+  return value;
+}
+
+std::optional<float> TsdfVolume::sample_f_simd(Vec3f world) const {
+  const SampleSetup c =
+      sample_setup(world, static_cast<float>(voxel_size_), resolution_);
+  if (!c.inside) return std::nullopt;
+  const auto base = static_cast<std::int32_t>(index(c.x0, c.y0, c.z0));
+  const s::vfloat zero = s::vzero();
+  const s::vfloat one = s::vbroadcast(1.0f);
+  const s::vfloat fxB = s::vbroadcast(c.fx);
+  const s::vfloat fyB = s::vbroadcast(c.fy);
+  const s::vfloat fzB = s::vbroadcast(c.fz);
+  const s::vmask all = s::mask_first_n(s::kWidth);
+  const s::vint baseB = s::vbroadcast_i(base);
+  // The 8 trilinear corners in groups of kWidth lanes (1 group on AVX2,
+  // 2 on the 4-wide backends). Zero-weight support voxels abort the sample,
+  // exactly like the scalar reference.
+  float value = 0.0f;
+  for (int g = 0; g < 8; g += s::kWidth) {
+    const s::vint idx = s::vadd_i(baseB, s::vload_i(corner_offsets_.data() + g));
+    const s::vfloat wv = s::vgather_masked(weight_.data(), idx, all);
+    if (!s::mask_all(s::cmp_gt(wv, zero))) return std::nullopt;
+    const s::vfloat tv = s::vgather_masked(tsdf_.data(), idx, all);
+    const s::vfloat wx =
+        s::vselect(s::cmp_gt(s::vload(kCornerDx + g), zero), fxB, one - fxB);
+    const s::vfloat wy =
+        s::vselect(s::cmp_gt(s::vload(kCornerDy + g), zero), fyB, one - fyB);
+    const s::vfloat wz =
+        s::vselect(s::cmp_gt(s::vload(kCornerDz + g), zero), fzB, one - fzB);
+    const s::vfloat prod = ((wx * wy) * wz) * tv;
+    // Sequential lane-order sum so the result is bit-identical to the
+    // scalar mirror (vreduce_add starts at 0; chain through `value`).
+    float lanes[s::kWidth];
+    s::vstore(lanes, prod);
+    for (int lane = 0; lane < s::kWidth; ++lane) {
+      value = value + lanes[lane];
+    }
+  }
+  return value;
+}
+
+std::optional<float> TsdfVolume::sample_f(Vec3f world, KernelPath path) const {
+  const bool use_simd =
+      path == KernelPath::kSimd || (path == KernelPath::kAuto && s::kEnabled);
+  return use_simd ? sample_f_simd(world) : sample_f_scalar(world);
+}
+
 std::optional<Vec3f> TsdfVolume::gradient(Vec3d world) const {
   const double h = voxel_size_;
   const auto xp = sample({world.x + h, world.y, world.z});
@@ -169,6 +375,18 @@ std::optional<Vec3f> TsdfVolume::gradient(Vec3d world) const {
   const auto ym = sample({world.x, world.y - h, world.z});
   const auto zp = sample({world.x, world.y, world.z + h});
   const auto zm = sample({world.x, world.y, world.z - h});
+  if (!xp || !xm || !yp || !ym || !zp || !zm) return std::nullopt;
+  return Vec3f{*xp - *xm, *yp - *ym, *zp - *zm};
+}
+
+std::optional<Vec3f> TsdfVolume::gradient_f(Vec3f world, KernelPath path) const {
+  const float h = voxel_size_f();
+  const auto xp = sample_f({world.x + h, world.y, world.z}, path);
+  const auto xm = sample_f({world.x - h, world.y, world.z}, path);
+  const auto yp = sample_f({world.x, world.y + h, world.z}, path);
+  const auto ym = sample_f({world.x, world.y - h, world.z}, path);
+  const auto zp = sample_f({world.x, world.y, world.z + h}, path);
+  const auto zm = sample_f({world.x, world.y, world.z - h}, path);
   if (!xp || !xm || !yp || !ym || !zp || !zm) return std::nullopt;
   return Vec3f{*xp - *xm, *yp - *ym, *zp - *zm};
 }

@@ -1,8 +1,12 @@
 // Truncated signed distance function volume: the KFusion map representation.
 // Dense voxel grid over a cube [0, size]^3, each voxel holding a truncated
 // signed distance (normalized to [-1, 1] by mu) and an integration weight.
+// Storage is 64-byte aligned and x-contiguous so the SIMD integrate path
+// can load/store runs of voxels directly (resolutions are multiples of the
+// vector width in practice; ragged tails fall back to the scalar mirror).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -30,22 +34,38 @@ class TsdfVolume {
   [[nodiscard]] int resolution() const noexcept { return resolution_; }
   [[nodiscard]] double size() const noexcept { return size_; }
   [[nodiscard]] double voxel_size() const noexcept { return voxel_size_; }
+  [[nodiscard]] float voxel_size_f() const noexcept {
+    return static_cast<float>(voxel_size_);
+  }
 
   /// Fuses a depth map taken from `camera_to_world` into the volume using
   /// the standard weighted-average TSDF update with truncation `mu`.
   /// Only voxels inside the camera frustum's bounding box are visited; the
-  /// visit count is recorded in `stats` (Kernel::kIntegrate).
+  /// visit count is recorded in `stats` (Kernel::kIntegrate). The scalar
+  /// and SIMD paths are bit-exact against each other (DESIGN.md §9).
   void integrate(const DepthImage& depth, const Intrinsics& intrinsics,
                  const SE3& camera_to_world, double mu, KernelStats& stats,
-                 hm::common::ThreadPool* pool = nullptr);
+                 hm::common::ThreadPool* pool = nullptr,
+                 KernelPath path = KernelPath::kAuto);
 
   /// Trilinear TSDF interpolation at a world point; nullopt outside the
-  /// volume or where any support voxel has zero weight.
+  /// volume or where any support voxel has zero weight. Double-precision
+  /// reference used by tests and diagnostics.
   [[nodiscard]] std::optional<float> sample(Vec3d world) const;
+
+  /// Single-precision trilinear sample used by the raycaster. The scalar
+  /// mirror and the SIMD (8-corner gather) path are bit-exact against each
+  /// other; `path` selects between them.
+  [[nodiscard]] std::optional<float> sample_f(
+      Vec3f world, KernelPath path = KernelPath::kAuto) const;
 
   /// TSDF gradient (unnormalized surface normal) by central differences of
   /// trilinear samples.
   [[nodiscard]] std::optional<Vec3f> gradient(Vec3d world) const;
+
+  /// Single-precision gradient by central differences of sample_f.
+  [[nodiscard]] std::optional<Vec3f> gradient_f(
+      Vec3f world, KernelPath path = KernelPath::kAuto) const;
 
   /// Raw voxel access for tests (no bounds clamping; asserts in debug).
   [[nodiscard]] float tsdf_at(int x, int y, int z) const;
@@ -64,11 +84,17 @@ class TsdfVolume {
            static_cast<std::size_t>(x);
   }
 
+  [[nodiscard]] std::optional<float> sample_f_scalar(Vec3f world) const;
+  [[nodiscard]] std::optional<float> sample_f_simd(Vec3f world) const;
+
   int resolution_;
   double size_;
   double voxel_size_;
-  std::vector<float> tsdf_;    ///< Normalized distance in [-1, 1].
-  std::vector<float> weight_;
+  /// Linear offsets of the 8 trilinear corners in lane order
+  /// (lane = dz*4 + dy*2 + dx): {0, 1, res, res+1, res^2, ...}.
+  std::array<std::int32_t, 8> corner_offsets_{};
+  std::vector<float, hm::geometry::AlignedAllocator<float, 64>> tsdf_;
+  std::vector<float, hm::geometry::AlignedAllocator<float, 64>> weight_;
 };
 
 }  // namespace hm::kfusion

@@ -1,0 +1,328 @@
+// Op-level contract tests for the portable SIMD layer: every backend
+// (AVX2/SSE/NEON/scalar) must satisfy the same lane semantics, and every
+// scalar mirror (fmadd_s, min_s, exp_s, nearest_i_s, pow2i_s) must be
+// bit-identical to one lane of its vector counterpart — that identity is
+// what the kernel equivalence suite builds on.
+#include "common/simd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace hm::simd {
+namespace {
+
+std::vector<float> lanes_of(vfloat a) {
+  std::vector<float> out(kWidth);
+  vstore(out.data(), a);
+  return out;
+}
+
+std::vector<float> iota_values(float base, float step) {
+  std::vector<float> out(kWidth);
+  for (int i = 0; i < kWidth; ++i) out[i] = base + step * static_cast<float>(i);
+  return out;
+}
+
+/// Bitwise lane equality (distinguishes -0.0f from 0.0f, tolerates no ULP).
+void expect_lanes_bitwise(vfloat actual, const std::vector<float>& expected) {
+  const auto lanes = lanes_of(actual);
+  ASSERT_EQ(lanes.size(), expected.size());
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(lanes[i]),
+              std::bit_cast<std::uint32_t>(expected[i]))
+        << "lane " << i << ": " << lanes[i] << " vs " << expected[i];
+  }
+}
+
+TEST(SimdBackend, WidthAndNameAreConsistent) {
+  EXPECT_TRUE(kWidth == 4 || kWidth == 8);
+  EXPECT_STRNE(backend_name(), "");
+  if (!kEnabled) {
+    EXPECT_STREQ(backend_name(), "scalar");
+    EXPECT_EQ(kWidth, 4);
+  }
+}
+
+TEST(SimdOps, LoadStoreRoundTrip) {
+  const auto values = iota_values(1.5f, 0.25f);
+  std::vector<float> out(kWidth, 0.0f);
+  vstore(out.data(), vload(values.data()));
+  EXPECT_EQ(out, values);
+}
+
+TEST(SimdOps, BroadcastZeroIota) {
+  expect_lanes_bitwise(vbroadcast(3.25f), std::vector<float>(kWidth, 3.25f));
+  expect_lanes_bitwise(vzero(), std::vector<float>(kWidth, 0.0f));
+  expect_lanes_bitwise(viota(), iota_values(0.0f, 1.0f));
+}
+
+TEST(SimdOps, ArithmeticMatchesScalarPerLane) {
+  const auto a = iota_values(-2.0f, 0.7f);
+  const auto b = iota_values(1.1f, -0.3f);
+  const vfloat va = vload(a.data());
+  const vfloat vb = vload(b.data());
+  std::vector<float> add(kWidth), sub(kWidth), mul(kWidth), div(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    add[i] = a[i] + b[i];
+    sub[i] = a[i] - b[i];
+    mul[i] = a[i] * b[i];
+    div[i] = a[i] / b[i];
+  }
+  expect_lanes_bitwise(va + vb, add);
+  expect_lanes_bitwise(va - vb, sub);
+  expect_lanes_bitwise(va * vb, mul);
+  expect_lanes_bitwise(va / vb, div);
+}
+
+TEST(SimdOps, FmaMatchesScalarMirrorBitwise) {
+  const auto a = iota_values(0.3f, 1.31f);
+  const auto b = iota_values(-5.0f, 2.13f);
+  const auto c = iota_values(100.0f, -7.7f);
+  const vfloat r = vfma(vload(a.data()), vload(b.data()), vload(c.data()));
+  std::vector<float> expected(kWidth);
+  for (int i = 0; i < kWidth; ++i) expected[i] = fmadd_s(a[i], b[i], c[i]);
+  expect_lanes_bitwise(r, expected);
+}
+
+TEST(SimdOps, MinMaxMirrorSecondOperandNanSemantics) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // x86 minps/maxps return the SECOND operand when the compare is
+  // unordered; min_s/max_s and every backend must agree.
+  EXPECT_EQ(min_s(nan, 1.0f), 1.0f);
+  EXPECT_TRUE(std::isnan(min_s(1.0f, nan)));
+  EXPECT_EQ(max_s(nan, 1.0f), 1.0f);
+  EXPECT_TRUE(std::isnan(max_s(1.0f, nan)));
+
+  std::vector<float> a(kWidth, 2.0f), b(kWidth, 5.0f);
+  a[0] = nan;
+  b[kWidth - 1] = nan;
+  const auto vmin_lanes = lanes_of(vmin(vload(a.data()), vload(b.data())));
+  const auto vmax_lanes = lanes_of(vmax(vload(a.data()), vload(b.data())));
+  for (int i = 0; i < kWidth; ++i) {
+    const float ms = min_s(a[i], b[i]);
+    const float xs = max_s(a[i], b[i]);
+    if (std::isnan(ms)) {
+      EXPECT_TRUE(std::isnan(vmin_lanes[i])) << "lane " << i;
+    } else {
+      EXPECT_EQ(vmin_lanes[i], ms) << "lane " << i;
+    }
+    if (std::isnan(xs)) {
+      EXPECT_TRUE(std::isnan(vmax_lanes[i])) << "lane " << i;
+    } else {
+      EXPECT_EQ(vmax_lanes[i], xs) << "lane " << i;
+    }
+  }
+}
+
+TEST(SimdOps, AbsSqrtFloorMatchStdPerLane) {
+  const auto a = iota_values(-3.75f, 1.3f);
+  std::vector<float> abs_e(kWidth), floor_e(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    abs_e[i] = std::fabs(a[i]);
+    floor_e[i] = std::floor(a[i]);
+  }
+  expect_lanes_bitwise(vabs(vload(a.data())), abs_e);
+  expect_lanes_bitwise(vfloor(vload(a.data())), floor_e);
+
+  const auto pos = iota_values(0.25f, 2.0f);
+  std::vector<float> sqrt_e(kWidth);
+  for (int i = 0; i < kWidth; ++i) sqrt_e[i] = std::sqrt(pos[i]);
+  expect_lanes_bitwise(vsqrt(vload(pos.data())), sqrt_e);
+}
+
+TEST(SimdMasks, CompareSelectAndBits) {
+  const auto a = iota_values(0.0f, 1.0f);           // 0, 1, 2, ...
+  const vfloat va = vload(a.data());
+  const vfloat threshold = vbroadcast(1.5f);
+  const vmask gt = cmp_gt(va, threshold);
+  // Lanes 2.. are > 1.5.
+  EXPECT_EQ(mask_bits(gt), ((1 << kWidth) - 1) & ~0b11);
+  EXPECT_EQ(mask_popcount(gt), kWidth - 2);
+  EXPECT_TRUE(mask_any(gt));
+  EXPECT_FALSE(mask_all(gt));
+  EXPECT_FALSE(mask_none(gt));
+
+  const auto selected =
+      lanes_of(vselect(gt, vbroadcast(1.0f), vbroadcast(-1.0f)));
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(selected[i], a[i] > 1.5f ? 1.0f : -1.0f) << "lane " << i;
+  }
+
+  const vmask lt = cmp_lt(va, threshold);
+  EXPECT_EQ(mask_bits(mask_and(gt, lt)), 0);
+  EXPECT_EQ(mask_bits(mask_or(gt, lt)), (1 << kWidth) - 1);
+  EXPECT_EQ(mask_bits(mask_andnot(mask_or(gt, lt), gt)), 0b11);
+}
+
+TEST(SimdMasks, FirstNCoversTailCases) {
+  EXPECT_TRUE(mask_none(mask_first_n(0)));
+  EXPECT_TRUE(mask_all(mask_first_n(kWidth)));
+  for (int n = 1; n < kWidth; ++n) {
+    EXPECT_EQ(mask_bits(mask_first_n(n)), (1 << n) - 1) << "n=" << n;
+  }
+}
+
+TEST(SimdOps, MaskedGatherReadsOnlyActiveLanes) {
+  std::vector<float> table(64);
+  for (int i = 0; i < 64; ++i) table[i] = static_cast<float>(i) * 1.5f;
+  std::vector<std::int32_t> idx(kWidth);
+  for (int i = 0; i < kWidth; ++i) idx[i] = 63 - i * 3;
+  const vmask m = mask_first_n(kWidth - 1);  // Last lane inactive.
+  const auto got =
+      lanes_of(vgather_masked(table.data(), vload_i(idx.data()), m));
+  for (int i = 0; i < kWidth - 1; ++i) {
+    EXPECT_EQ(got[i], table[static_cast<std::size_t>(idx[i])]) << "lane " << i;
+  }
+  EXPECT_EQ(got[kWidth - 1], 0.0f);  // Inactive lanes gather zero.
+}
+
+TEST(SimdOps, MaskedStoreWritesOnlyActiveLanes) {
+  std::vector<float> out(kWidth, -9.0f);
+  vstore_masked(out.data(), vbroadcast(7.0f), mask_first_n(2));
+  EXPECT_EQ(out[0], 7.0f);
+  EXPECT_EQ(out[1], 7.0f);
+  for (int i = 2; i < kWidth; ++i) EXPECT_EQ(out[i], -9.0f);
+}
+
+TEST(SimdConvert, TruncationTowardZero) {
+  const std::vector<float> values = {2.9f, -2.9f, 0.5f, -0.5f};
+  std::vector<float> in(kWidth);
+  for (int i = 0; i < kWidth; ++i) in[i] = values[static_cast<std::size_t>(i) % 4];
+  float lanes[8];
+  std::int32_t out[8];
+  vstore(lanes, vto_float(vtrunc_i(vload(in.data()))));
+  for (int i = 0; i < kWidth; ++i) {
+    out[i] = static_cast<std::int32_t>(lanes[i]);
+  }
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int32_t>(in[i])) << "lane " << i;
+  }
+}
+
+TEST(SimdConvert, NearestIsRoundToNearestEven) {
+  // Ties go to even — the hardware cvtps2dq behavior the scalar mirror and
+  // the scalar backend must reproduce (NOT lround's away-from-zero).
+  EXPECT_EQ(nearest_i_s(2.5f), 2);
+  EXPECT_EQ(nearest_i_s(3.5f), 4);
+  EXPECT_EQ(nearest_i_s(-2.5f), -2);
+  EXPECT_EQ(nearest_i_s(-3.5f), -4);
+  EXPECT_EQ(nearest_i_s(2.4999f), 2);
+  EXPECT_EQ(nearest_i_s(2.5001f), 3);
+
+  std::vector<float> in(kWidth);
+  const std::vector<float> probes = {2.5f, 3.5f, -2.5f, -0.49f};
+  for (int i = 0; i < kWidth; ++i) in[i] = probes[static_cast<std::size_t>(i) % 4];
+  float back[8];
+  vstore(back, vto_float(vnearest_i(vload(in.data()))));
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(static_cast<std::int32_t>(back[i]), nearest_i_s(in[i]))
+        << "lane " << i;
+  }
+}
+
+TEST(SimdConvert, OutOfRangeConversionSaturatesToIntMin) {
+  constexpr std::int32_t kIntMin = std::numeric_limits<std::int32_t>::min();
+  EXPECT_EQ(nearest_i_s(3.0e9f), kIntMin);
+  EXPECT_EQ(nearest_i_s(-3.0e9f), kIntMin);
+  EXPECT_EQ(nearest_i_s(std::numeric_limits<float>::quiet_NaN()), kIntMin);
+
+  std::vector<float> in(kWidth, 3.0e9f);
+  in[0] = std::numeric_limits<float>::quiet_NaN();
+  // Verify through vto_float: INT_MIN converts back to -2^31 exactly.
+  float back[8];
+  vstore(back, vto_float(vnearest_i(vload(in.data()))));
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(back[i], -2147483648.0f) << "lane " << i;
+  }
+  vstore(back, vto_float(vtrunc_i(vload(in.data()))));
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(back[i], -2147483648.0f) << "lane " << i;
+  }
+}
+
+TEST(SimdInt, AddMulWrapModulo32) {
+  constexpr std::int32_t kIntMax = std::numeric_limits<std::int32_t>::max();
+  std::vector<std::int32_t> a(kWidth, kIntMax);
+  std::vector<std::int32_t> b(kWidth, 1);
+  const vint sum = vadd_i(vload_i(a.data()), vload_i(b.data()));
+  float back[8];
+  vstore(back, vto_float(sum));
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(back[i], -2147483648.0f) << "lane " << i;  // Wrapped to INT_MIN.
+  }
+  std::vector<std::int32_t> c(kWidth, 1 << 16);
+  vstore(back, vto_float(vmul_i(vload_i(c.data()), vload_i(c.data()))));
+  for (int i = 0; i < kWidth; ++i) {
+    EXPECT_EQ(back[i], 0.0f) << "lane " << i;  // 2^32 wraps to 0.
+  }
+}
+
+TEST(SimdOps, Pow2MatchesScalarMirror) {
+  for (std::int32_t n = -12; n <= 12; ++n) {
+    EXPECT_EQ(pow2i_s(n), std::ldexp(1.0f, n)) << "n=" << n;
+    const auto lanes = lanes_of(vpow2i(vbroadcast_i(n)));
+    for (int i = 0; i < kWidth; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(lanes[i]),
+                std::bit_cast<std::uint32_t>(pow2i_s(n)))
+          << "n=" << n << " lane " << i;
+    }
+  }
+}
+
+TEST(SimdExp, VectorAndScalarMirrorAreBitIdentical) {
+  // vexp/exp_s are a lockstep pair: any divergence breaks the bilateral
+  // scalar-vs-SIMD bit-exactness, so this is an exact comparison.
+  for (float x = -90.0f; x <= 90.0f; x += 0.37f) {
+    auto in = iota_values(x, 0.013f);
+    const auto lanes = lanes_of(vexp(vload(in.data())));
+    for (int i = 0; i < kWidth; ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(lanes[i]),
+                std::bit_cast<std::uint32_t>(exp_s(in[static_cast<std::size_t>(i)])))
+          << "x=" << in[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+TEST(SimdExp, AccurateAgainstStdExp) {
+  for (float x = -20.0f; x <= 20.0f; x += 0.111f) {
+    const double reference = std::exp(static_cast<double>(x));
+    const double got = static_cast<double>(exp_s(x));
+    EXPECT_NEAR(got / reference, 1.0, 2e-6) << "x=" << x;
+  }
+  // The bilateral filter only ever evaluates exp of non-positive inputs;
+  // check the deep-negative tail degrades gracefully (clamped, positive).
+  EXPECT_GT(exp_s(-200.0f), 0.0f);
+  EXPECT_LT(exp_s(-200.0f), 1e-30f);
+}
+
+TEST(SimdReduce, LaneOrderIsSequential) {
+  // Values chosen so float addition is order-sensitive: the contract is a
+  // left-to-right lane fold, bitwise equal to the equivalent scalar loop.
+  std::vector<float> in(kWidth);
+  for (int i = 0; i < kWidth; ++i) {
+    in[i] = (i % 2 == 0) ? 3.3e7f : -1.0f / 3.0f;
+  }
+  float expected = 0.0f;
+  for (int i = 0; i < kWidth; ++i) expected += in[i];
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(vreduce_add(vload(in.data()))),
+            std::bit_cast<std::uint32_t>(expected));
+
+  double expected_d = 0.0;
+  for (int i = 0; i < kWidth; ++i) expected_d += static_cast<double>(in[i]);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(vreduce_add_d(vload(in.data()))),
+            std::bit_cast<std::uint64_t>(expected_d));
+}
+
+TEST(SimdOps, LaneExtraction) {
+  const auto values = iota_values(10.0f, 1.0f);
+  const vfloat v = vload(values.data());
+  for (int i = 0; i < kWidth; ++i) EXPECT_EQ(lane(v, i), values[i]);
+}
+
+}  // namespace
+}  // namespace hm::simd

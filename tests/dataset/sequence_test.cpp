@@ -27,7 +27,12 @@ TEST(Sequence, FramesContainValidDepth) {
   for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
     const Frame& frame = sequence.frame(i);
     int valid = 0;
-    for (const float z : frame.depth) valid += z > 0.0f ? 1 : 0;
+    for (int v = 0; v < frame.depth.height(); ++v) {
+      const float* row = frame.depth.row(v);
+      for (int u = 0; u < frame.depth.width(); ++u) {
+        valid += row[u] > 0.0f ? 1 : 0;
+      }
+    }
     EXPECT_GT(valid, static_cast<int>(frame.depth.size() / 2)) << "frame " << i;
   }
 }

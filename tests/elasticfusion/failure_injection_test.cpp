@@ -84,10 +84,16 @@ TEST(EFFailureInjection, SaltNoiseFrameRejectedByGates) {
   // Uncorrelated random depth and intensity: valid pixels, garbage geometry.
   hm::common::Rng rng(3);
   hm::geometry::DepthImage noise_depth(80, 60, 0.0f);
-  for (float& z : noise_depth) z = static_cast<float>(rng.uniform(0.5, 6.0));
+  for (int v = 0; v < 60; ++v) {
+    for (int u = 0; u < 80; ++u) {
+      noise_depth.at(u, v) = static_cast<float>(rng.uniform(0.5, 6.0));
+    }
+  }
   hm::geometry::IntensityImage noise_intensity(80, 60, 0.0f);
-  for (float& v : noise_intensity) {
-    v = static_cast<float>(rng.uniform(0.0, 1.0));
+  for (int v = 0; v < 60; ++v) {
+    for (int u = 0; u < 80; ++u) {
+      noise_intensity.at(u, v) = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
   }
   const auto result = pipeline.process_frame(noise_depth, noise_intensity);
   // The tracker must either reject the frame or stay close to where it was.

@@ -45,8 +45,8 @@ struct OdometryFixture {
         if (z <= 0.0f) continue;
         const Vec3d p_world =
             true_pose * camera.unproject(u, v, static_cast<double>(z));
-        model.vertices.at(u, v) = hm::geometry::to_float(p_world);
-        model.normals.at(u, v) = hm::geometry::to_float(scene.normal(p_world));
+        model.vertices.set(u, v, hm::geometry::to_float(p_world));
+        model.normals.set(u, v, hm::geometry::to_float(scene.normal(p_world)));
         model.intensity.at(u, v) = intensity.at(u, v);
       }
     }
@@ -180,8 +180,11 @@ TEST(TrackRgbd, IcpWeightShiftsRelianceOnGeometry) {
   OdometryFixture fixture;
   // Corrupt the model intensity with a constant bias: the RGB term now
   // pulls away from the truth, so a geometry-heavy weight must do better.
-  for (float& value : fixture.model.intensity) {
-    if (value > -0.5f) value = std::min(1.0f, value + 0.3f);
+  for (int v = 0; v < fixture.model.intensity.height(); ++v) {
+    float* row = fixture.model.intensity.row(v);
+    for (int u = 0; u < fixture.model.intensity.width(); ++u) {
+      if (row[u] > -0.5f) row[u] = std::min(1.0f, row[u] + 0.3f);
+    }
   }
   const SE3 initial = perturb(fixture.true_pose, {0.02, 0.0, 0.0}, {});
   OdometryConfig geometric, photometric;

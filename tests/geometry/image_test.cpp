@@ -1,9 +1,22 @@
 #include "geometry/image.hpp"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
+
+#include "geometry/soa.hpp"
 
 namespace hm::geometry {
 namespace {
+
+void expect_payload(const Image<float>& image, float expected) {
+  for (int v = 0; v < image.height(); ++v) {
+    const float* row = image.row(v);
+    for (int u = 0; u < image.width(); ++u) {
+      EXPECT_FLOAT_EQ(row[u], expected) << "(" << u << ", " << v << ")";
+    }
+  }
+}
 
 TEST(Image, ConstructionAndFill) {
   Image<float> image(4, 3, 2.5f);
@@ -11,7 +24,7 @@ TEST(Image, ConstructionAndFill) {
   EXPECT_EQ(image.height(), 3);
   EXPECT_EQ(image.size(), 12u);
   EXPECT_FALSE(image.empty());
-  for (const float v : image) EXPECT_FLOAT_EQ(v, 2.5f);
+  expect_payload(image, 2.5f);
 }
 
 TEST(Image, DefaultIsEmpty) {
@@ -20,12 +33,57 @@ TEST(Image, DefaultIsEmpty) {
   EXPECT_EQ(image.size(), 0u);
 }
 
-TEST(Image, RowMajorAddressing) {
+TEST(Image, PitchedRowAddressing) {
   Image<int> image(3, 2, 0);
   image.at(2, 1) = 7;
-  EXPECT_EQ(image.data()[1 * 3 + 2], 7);
+  // data() is the pitched payload origin: row v starts at data() + v*pitch.
+  EXPECT_EQ(image.data()[1 * image.pitch() + 2], 7);
   image.data()[0] = 9;
   EXPECT_EQ(image.at(0, 0), 9);
+  EXPECT_EQ(image.row(1)[2], 7);
+}
+
+TEST(Image, PitchPadsToGuardMultipleWithSlack) {
+  // pitch = round_up(width, kGuard) + kGuard: a multiple of the guard
+  // width, with at least kGuard elements of slack past each row so a full
+  // SIMD vector load at the last pixel stays inside the allocation.
+  const Image<float> narrow(3, 2);
+  EXPECT_EQ(narrow.pitch() % Image<float>::kGuard, 0);
+  EXPECT_GE(narrow.pitch(), narrow.width() + Image<float>::kGuard);
+  const Image<float> exact(16, 1);
+  EXPECT_EQ(exact.pitch(), 16 + Image<float>::kGuard);
+}
+
+TEST(Image, RowsAreCacheLineAligned) {
+  const Image<float> image(5, 3);
+  for (int v = 0; v < image.height(); ++v) {
+    const auto address = reinterpret_cast<std::uintptr_t>(image.row(v)) -
+                         static_cast<std::uintptr_t>(Image<float>::kGuard) *
+                             sizeof(float);
+    EXPECT_EQ(address % 64, 0u) << "row " << v;
+  }
+}
+
+TEST(Image, GuardBandsReadAsValueInitialized) {
+  // Overhanging neighbor loads (e.g. the bilateral window at u = 0) read
+  // the guard before the row and the slack after it; both must be T{} so
+  // masked lanes see benign values.
+  const Image<float> image(4, 2, 3.0f);
+  for (int v = 0; v < image.height(); ++v) {
+    const float* row = image.row(v);
+    for (int i = 1; i <= Image<float>::kGuard; ++i) {
+      EXPECT_FLOAT_EQ(row[-i], 0.0f);
+      EXPECT_FLOAT_EQ(row[image.width() + i - 1], 0.0f);
+    }
+  }
+}
+
+TEST(Image, FillLeavesGuardZero) {
+  Image<float> image(2, 2, 1.0f);
+  image.fill(4.0f);
+  expect_payload(image, 4.0f);
+  EXPECT_FLOAT_EQ(image.row(0)[-1], 0.0f);
+  EXPECT_FLOAT_EQ(image.row(0)[image.width()], 0.0f);
 }
 
 TEST(Image, Contains) {
@@ -37,17 +95,25 @@ TEST(Image, Contains) {
   EXPECT_FALSE(image.contains(-1, 2));
 }
 
-TEST(Image, FillOverwrites) {
-  Image<float> image(2, 2, 1.0f);
-  image.fill(4.0f);
-  for (const float v : image) EXPECT_FLOAT_EQ(v, 4.0f);
-}
-
-TEST(Image, VectorValuedPixels) {
+TEST(SoaVec3Map, SetAndGather) {
   VertexMap map(2, 2, Vec3f{});
-  map.at(1, 0) = Vec3f{1, 2, 3};
+  map.set(1, 0, Vec3f{1, 2, 3});
   EXPECT_EQ(map.at(1, 0), (Vec3f{1, 2, 3}));
   EXPECT_EQ(map.at(0, 0), Vec3f{});
+}
+
+TEST(SoaVec3Map, PlanesShareGeometryWithComponents) {
+  VertexMap map(5, 3, Vec3f{1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(map.width(), 5);
+  EXPECT_EQ(map.height(), 3);
+  EXPECT_EQ(map.pitch(), map.x().pitch());
+  EXPECT_FLOAT_EQ(map.x().at(4, 2), 1.0f);
+  EXPECT_FLOAT_EQ(map.y().at(4, 2), 2.0f);
+  EXPECT_FLOAT_EQ(map.z().at(4, 2), 3.0f);
+  map.set(2, 1, Vec3f{7.0f, 8.0f, 9.0f});
+  EXPECT_FLOAT_EQ(map.x().row(1)[2], 7.0f);
+  EXPECT_FLOAT_EQ(map.y().row(1)[2], 8.0f);
+  EXPECT_FLOAT_EQ(map.z().row(1)[2], 9.0f);
 }
 
 TEST(BilinearSample, ExactOnLinearRamp) {

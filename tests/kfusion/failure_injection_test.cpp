@@ -82,7 +82,12 @@ TEST(FailureInjection, SaltNoiseFrameRejectedByGates) {
   // Uncorrelated random depths: valid pixels but garbage geometry.
   hm::common::Rng rng(3);
   hm::geometry::DepthImage noise(80, 60, 0.0f);
-  for (float& z : noise) z = static_cast<float>(rng.uniform(0.5, 6.0));
+  for (int v = 0; v < noise.height(); ++v) {
+    float* row = noise.row(v);
+    for (int u = 0; u < noise.width(); ++u) {
+      row[u] = static_cast<float>(rng.uniform(0.5, 6.0));
+    }
+  }
   const auto result = pipeline.process_frame(noise);
   // The tracker must either reject the frame or stay close to where it was.
   const double moved =

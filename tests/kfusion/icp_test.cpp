@@ -43,9 +43,9 @@ struct IcpFixture {
         if (z <= 0.0f) continue;
         const Vec3d p_world =
             true_pose * camera.unproject(u, v, static_cast<double>(z));
-        reference.vertices.at(u, v) = hm::geometry::to_float(p_world);
-        reference.normals.at(u, v) =
-            hm::geometry::to_float(scene.normal(p_world));
+        reference.vertices.set(u, v, hm::geometry::to_float(p_world));
+        reference.normals.set(u, v,
+                              hm::geometry::to_float(scene.normal(p_world)));
       }
     }
     pyramid = build_pyramid(depth, camera, 3, stats);

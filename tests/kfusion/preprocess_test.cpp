@@ -72,7 +72,12 @@ TEST(Bilateral, PreservesConstantImage) {
 TEST(Bilateral, SmoothsGaussianNoise) {
   hm::common::Rng rng(1);
   DepthImage input(32, 32, 0.0f);
-  for (float& z : input) z = 2.0f + static_cast<float>(rng.normal(0.0, 0.01));
+  for (int v = 0; v < input.height(); ++v) {
+    float* row = input.row(v);
+    for (int u = 0; u < input.width(); ++u) {
+      row[u] = 2.0f + static_cast<float>(rng.normal(0.0, 0.01));
+    }
+  }
   KernelStats stats;
   const DepthImage output = bilateral_filter(input, {}, stats);
   double input_dev = 0.0, output_dev = 0.0;

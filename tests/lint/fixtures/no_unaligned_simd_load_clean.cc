@@ -1,0 +1,25 @@
+// Fixture: vector memory access through the hm::simd wrappers (which own
+// the alignment contract), plus the explicitly-unaligned intrinsic form —
+// no-unaligned-simd-load stays quiet.
+#include <immintrin.h>
+
+#include "common/simd.hpp"
+
+namespace fixture {
+
+void scale_row(const float* input, float* output, float factor) {
+  namespace s = hm::simd;
+  const s::vfloat gain = s::vbroadcast(factor);
+  s::vstore(output, s::vload(input) * gain);
+}
+
+float first_lane_unaligned(const float* data) {
+  // The `u` forms carry no alignment precondition; the rule is about
+  // alignment faults, not about intrinsics per se.
+  const __m256 v = _mm256_loadu_ps(data);
+  float lanes[8];
+  _mm256_storeu_ps(lanes, v);
+  return lanes[0];
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: raw aligned-load intrinsics and vector-type casts on pointers
+// whose alignment nobody proved — each vector-memory touch must trip
+// no-unaligned-simd-load (four sites: load, store, stream, cast).
+#include <immintrin.h>
+
+namespace fixture {
+
+void scale_row(const float* input, float* output, float factor) {
+  const __m256 gain = _mm256_set1_ps(factor);
+  const __m256 v = _mm256_load_ps(input);
+  _mm256_store_ps(output, _mm256_mul_ps(v, gain));
+  _mm256_stream_ps(output + 8, gain);
+}
+
+float first_lane_via_cast(const float* data) {
+  const __m256* lanes = reinterpret_cast<const __m256*>(data);
+  return reinterpret_cast<const float*>(lanes)[0];
+}
+
+}  // namespace fixture

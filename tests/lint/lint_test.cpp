@@ -103,7 +103,11 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixtureCase{"no-adhoc-instrumentation",
                         "no_adhoc_instrumentation_violation.cc",
                         "no_adhoc_instrumentation_clean.cc",
-                        "adhoc_instrumentation", ".cpp"}),
+                        "adhoc_instrumentation", ".cpp"},
+        RuleFixtureCase{"no-unaligned-simd-load",
+                        "no_unaligned_simd_load_violation.cc",
+                        "no_unaligned_simd_load_clean.cc", "unaligned_simd",
+                        ".cpp"}),
     [](const ::testing::TestParamInfo<RuleFixtureCase>& param_info) {
       std::string name = param_info.param.rule_id;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -115,6 +119,15 @@ TEST(SeedRuleTest, WallClockSeedAndEntropyBothCounted) {
                                         "fixture/nondet_seed.cpp");
   // One for chrono-clock-as-seed, one for std::random_device.
   EXPECT_EQ(count_rule(diagnostics, "no-nondet-seed"), 2u);
+}
+
+TEST(SimdLoadRuleTest, EveryAlignedTouchCountedAndUnalignedFormsExempt) {
+  const auto diagnostics = lint_fixture("no_unaligned_simd_load_violation.cc",
+                                        "fixture/unaligned_simd.cpp");
+  // Aligned load + store + stream intrinsics, plus the vector-type cast;
+  // the loadu/storeu forms in the clean fixture carry no alignment
+  // precondition and must not count (CleanStaysQuiet covers that side).
+  EXPECT_EQ(count_rule(diagnostics, "no-unaligned-simd-load"), 4u);
 }
 
 TEST(SuppressionTest, AllowCommentSilencesDiagnostic) {
@@ -222,7 +235,7 @@ TEST(CompanionTest, HeaderMembersVisibleWhenLintingSource) {
 
 TEST(RuleFilterTest, EveryRuleHasUniqueIdAndDescription) {
   const auto rules = hm::lint::default_rules();
-  ASSERT_EQ(rules.size(), 8u);
+  ASSERT_EQ(rules.size(), 9u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.emplace_back(rule->id());

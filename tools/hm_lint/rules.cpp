@@ -862,6 +862,93 @@ class NoAdhocInstrumentationRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule 9: no-unaligned-simd-load
+// ---------------------------------------------------------------------------
+
+/// Aligned SIMD load/store intrinsics (_mm*_load_*, _mm*_store_*,
+/// _mm*_stream_*) fault — or, worse, silently misread — when the pointer is
+/// not 16/32-byte aligned, and a reinterpret_cast to a raw vector type makes
+/// the same promise implicitly. Only src/common/simd.hpp may make that
+/// promise: its vload/vstore wrappers are written against the containers'
+/// alignment contract (64-byte row starts, guard-band padding) and use
+/// unaligned instructions wherever that contract does not reach. Everywhere
+/// else, vector memory access goes through hm::simd.
+class NoUnalignedSimdLoadRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-unaligned-simd-load";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "raw SIMD load/store intrinsic or reinterpret_cast to a vector "
+           "type outside src/common/simd.hpp; go through hm::simd::vload/"
+           "vstore, which encode the alignment contract";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (path_contains(file, "src/common/simd.hpp")) return;
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (aligned_memory_intrinsic(t.text)) {
+        report(file, t.line,
+               "raw " + std::string(t.text) +
+                   " assumes pointer alignment nobody proved; use "
+                   "hm::simd::vload/vstore (the wrappers pair every access "
+                   "with the Image/volume alignment contract)",
+               out);
+        continue;
+      }
+      if (t.is_identifier("reinterpret_cast") && i + 1 < tokens.size() &&
+          tokens[i + 1].is("<")) {
+        const std::string_view vec = vector_type_in_cast(tokens, i + 1);
+        if (!vec.empty()) {
+          report(file, t.line,
+                 "reinterpret_cast to " + std::string(vec) +
+                     " asserts vector alignment implicitly; only "
+                     "src/common/simd.hpp may reinterpret memory as vector "
+                     "lanes",
+                 out);
+        }
+      }
+    }
+  }
+
+ private:
+  /// x86 aligned (or streaming, which is also alignment-requiring) vector
+  /// memory intrinsics: `_mm…_load_…` / `_mm…_store_…` / `_mm…_stream_…`.
+  /// The unaligned forms spell it `loadu`/`storeu`, so the underscore-bounded
+  /// substring match cannot confuse them.
+  [[nodiscard]] static bool aligned_memory_intrinsic(std::string_view name) {
+    if (name.rfind("_mm", 0) != 0) return false;
+    return name.find("_load_") != std::string_view::npos ||
+           name.find("_store_") != std::string_view::npos ||
+           name.find("_stream_") != std::string_view::npos;
+  }
+
+  /// If the template argument list opening at `open` (`<`) names a raw
+  /// vector type, returns that type name; empty view otherwise.
+  [[nodiscard]] static std::string_view vector_type_in_cast(
+      const std::vector<Token>& tokens, std::size_t open) {
+    static const std::array<std::string_view, 15> kVectorTypes = {
+        "__m128",      "__m128d",     "__m128i",    "__m256",     "__m256d",
+        "__m256i",     "__m512",      "__m512d",    "__m512i",
+        "float32x4_t", "float32x2_t", "int32x4_t",  "uint32x4_t",
+        "int16x8_t",   "uint8x16_t"};
+    std::size_t depth = 1;
+    for (std::size_t k = open + 1; k < tokens.size() && depth > 0; ++k) {
+      if (tokens[k].is("<")) ++depth;
+      if (tokens[k].is(">")) --depth;
+      if (tokens[k].kind != TokenKind::kIdentifier) continue;
+      for (const std::string_view type : kVectorTypes) {
+        if (tokens[k].text == type) return type;
+      }
+    }
+    return {};
+  }
+};
+
 }  // namespace
 
 std::vector<std::shared_ptr<const Rule>> default_rules() {
@@ -874,6 +961,7 @@ std::vector<std::shared_ptr<const Rule>> default_rules() {
       std::make_shared<IncludeHygieneRule>(),
       std::make_shared<NoBareExportStreamRule>(),
       std::make_shared<NoAdhocInstrumentationRule>(),
+      std::make_shared<NoUnalignedSimdLoadRule>(),
   };
 }
 
