@@ -5,7 +5,13 @@
 //   ./crowd_transfer [--frames N] [--devices N] [--installs N]
 //                    [--dropout R] [--noisy R] [--noise SIGMA]
 //                    [--journal campaign.wal] [--resume]
+//                    [--sandbox] [--eval-timeout SECONDS]
+//                    [--eval-mem-limit MB]
 //                    [--trace out.json] [--metrics out.txt|out.json]
+//
+// --sandbox/--eval-timeout/--eval-mem-limit run the tuning stage's
+// evaluations in forked worker processes with hard kill and resource caps
+// (see tune_kfusion).
 //
 // --trace/--metrics export the run's spans and counter/histogram snapshot
 // (see tune_kfusion for the formats).
@@ -36,11 +42,12 @@
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
 #include "observability.hpp"
+#include "sandbox_cli.hpp"
 #include "slambench/adapters.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm;
-  const common::CliArgs args(argc, argv, {"resume"});
+  const common::CliArgs args(argc, argv, {"resume", "sandbox"});
   const auto observability = examples::Observability::from_args(args);
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{25}));
@@ -63,9 +70,11 @@ int main(int argc, char** argv) {
   config.max_samples_per_iteration = 40;
   config.pool_size = 10'000;
   config.forest.tree_count = 32;
+  auto sandbox = examples::SandboxCli::from_args(args);
+  hypermapper::Evaluator& tuned_evaluator = sandbox.wrap(evaluator);
   // The global pool parallelises batch evaluation (the evaluator is
   // thread-safe); the merge order keeps the result deterministic.
-  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config,
+  hypermapper::Optimizer optimizer(evaluator.space(), tuned_evaluator, config,
                                    &common::ThreadPool::global());
   common::JournalWriter tune_journal;
   if (journal_path) {
@@ -97,8 +106,12 @@ int main(int argc, char** argv) {
     std::printf("tuning interrupted after %zu evaluations; rerun with "
                 "--journal %s --resume to finish\n",
                 result.samples.size(), journal_path->c_str());
+    sandbox.report_and_shutdown();
     return 130;
   }
+  // The tuning stage is where untrusted configurations run; the fleet
+  // replay below only re-measures the chosen one.
+  sandbox.report_and_shutdown();
 
   const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
   if (!best) {

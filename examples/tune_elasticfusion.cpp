@@ -3,6 +3,8 @@
 //
 //   ./tune_elasticfusion [--frames N] [--random-samples N] [--iterations N]
 //                        [--journal run.wal] [--resume]
+//                        [--sandbox] [--eval-timeout SECONDS]
+//                        [--eval-mem-limit MB]
 //                        [--trace out.json] [--metrics out.txt|out.json]
 //
 // --trace/--metrics export the run's spans and counter/histogram snapshot
@@ -11,6 +13,10 @@
 // --journal/--resume work as in tune_kfusion: evaluations are logged
 // durably, SIGINT stops cleanly at the next evaluation boundary, and
 // --resume finishes an interrupted run to the byte-identical result.
+//
+// --sandbox/--eval-timeout/--eval-mem-limit also work as in tune_kfusion:
+// evaluations run in forked worker processes with hard kill and resource
+// caps, and crashing configurations are quarantined.
 #include <cstdio>
 #include <optional>
 
@@ -22,6 +28,7 @@
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
 #include "observability.hpp"
+#include "sandbox_cli.hpp"
 #include "slambench/adapters.hpp"
 
 namespace {
@@ -40,7 +47,7 @@ void print_row(const char* label, double ate, double runtime_total,
 
 int main(int argc, char** argv) {
   using namespace hm;
-  const common::CliArgs args(argc, argv, {"resume"});
+  const common::CliArgs args(argc, argv, {"resume", "sandbox"});
   const auto observability = examples::Observability::from_args(args);
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{40}));
@@ -64,10 +71,13 @@ int main(int argc, char** argv) {
   config.pool_size = 20'000;
   config.forest.tree_count = 48;
 
+  auto sandbox = examples::SandboxCli::from_args(args);
+  hypermapper::Evaluator& tuned_evaluator = sandbox.wrap(evaluator);
+
   common::Timer timer;
   // The global pool parallelises batch evaluation (the evaluator is
   // thread-safe); the merge order keeps the result deterministic.
-  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config,
+  hypermapper::Optimizer optimizer(evaluator.space(), tuned_evaluator, config,
                                    &common::ThreadPool::global());
 
   const auto journal_path = args.get("journal");
@@ -106,8 +116,10 @@ int main(int argc, char** argv) {
     std::printf("interrupted after %zu evaluations; rerun with "
                 "--journal %s --resume to finish\n",
                 result.samples.size(), journal_path->c_str());
+    sandbox.report_and_shutdown();
     return 130;
   }
+  sandbox.report_and_shutdown();
   std::printf("explored %zu configurations in %.0fs\n", result.samples.size(),
               timer.seconds());
 

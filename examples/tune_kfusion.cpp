@@ -5,6 +5,7 @@
 //   ./tune_kfusion [--device odroid|asus|nvidia] [--frames N]
 //                  [--random-samples N] [--iterations N] [--out front.csv]
 //                  [--journal run.wal] [--resume]
+//                  [--sandbox] [--eval-timeout SECONDS] [--eval-mem-limit MB]
 //                  [--trace out.json] [--metrics out.txt|out.json]
 //
 // --trace records every pipeline/DSE span to a Chrome trace-event JSON
@@ -16,6 +17,12 @@
 // run cleanly at the next evaluation boundary instead of killing it. A
 // stopped or crashed run restarts with --journal run.wal --resume and
 // finishes with the byte-identical result an uninterrupted run produces.
+//
+// --sandbox evaluates configurations in forked worker processes, so a
+// segfaulting or runaway corner of the design space is killed and
+// quarantined instead of crashing the run; --eval-timeout and
+// --eval-mem-limit add a hard per-evaluation wall-clock deadline and an
+// RLIMIT_AS ceiling (either cap implies --sandbox).
 #include <cstdio>
 #include <optional>
 
@@ -27,11 +34,12 @@
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
 #include "observability.hpp"
+#include "sandbox_cli.hpp"
 #include "slambench/adapters.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm;
-  const common::CliArgs args(argc, argv, {"resume"});
+  const common::CliArgs args(argc, argv, {"resume", "sandbox"});
   const auto observability = examples::Observability::from_args(args);
   const auto frames =
       static_cast<std::size_t>(args.get_or("frames", std::int64_t{30}));
@@ -62,10 +70,13 @@ int main(int argc, char** argv) {
   config.pool_size = 20'000;
   config.forest.tree_count = 48;
 
+  auto sandbox = examples::SandboxCli::from_args(args);
+  hypermapper::Evaluator& tuned_evaluator = sandbox.wrap(evaluator);
+
   common::Timer timer;
   // The global pool parallelises batch evaluation (the evaluator is
   // thread-safe); the merge order keeps the result deterministic.
-  hypermapper::Optimizer optimizer(evaluator.space(), evaluator, config,
+  hypermapper::Optimizer optimizer(evaluator.space(), tuned_evaluator, config,
                                    &common::ThreadPool::global());
   optimizer.set_progress([&](const hypermapper::IterationStats& stats) {
     std::printf("  iteration %zu: +%zu samples, measured front %zu (%.0fs)\n",
@@ -109,8 +120,10 @@ int main(int argc, char** argv) {
     std::printf("\ninterrupted after %zu evaluations; rerun with "
                 "--journal %s --resume to finish\n",
                 result.samples.size(), journal_path->c_str());
+    sandbox.report_and_shutdown();
     return 130;
   }
+  sandbox.report_and_shutdown();
 
   std::printf("\nPareto front (%zu points):\n", result.pareto.size());
   std::printf("%-8s %-10s  configuration\n", "FPS", "maxATE(cm)");

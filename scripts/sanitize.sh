@@ -4,21 +4,24 @@
 # tests (label "fault") plus the SIMD equivalence suite (label "simd")
 # under each. Fault-injection paths deliberately walk error branches that
 # the happy-path suite never touches; the SIMD suite proves the vector
-# kernels' guard-band loads and masked-lane arithmetic are ASan/UBSan-clean.
+# kernels' guard-band loads and masked-lane arithmetic are ASan/UBSan-clean;
+# the sandbox suite walks the fork/kill/recovery supervision paths (its
+# RLIMIT_AS case self-skips under ASan, which reserves shadow address space).
 # Run locally before touching the resilient evaluator, quarantine logic,
-# the SLAM failure gates, or any *_simd kernel path.
+# the SLAM failure gates, the sandbox supervisor, or any *_simd kernel path.
 set -euo pipefail
 source "$(dirname "$0")/common.sh"
 cd "$(hm_repo_root)"
 
 export HM_BUILD_TARGETS="resilient_evaluator_test optimizer_test crowd_test
   failure_injection_test ef_failure_injection_test journal_test
-  atomic_file_test run_journal_test simd_test simd_equivalence_test"
+  atomic_file_test run_journal_test simd_test simd_equivalence_test
+  sandbox_protocol_test sandbox_test"
 
 for SAN in address undefined; do
   BUILD_DIR="build-${SAN}"
   hm_configure_build "$BUILD_DIR" -DHM_SANITIZE="$SAN"
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-    hm_ctest "$BUILD_DIR" -L 'fault|simd'
+    hm_ctest "$BUILD_DIR" -L 'fault|simd|sandbox'
 done

@@ -2,8 +2,10 @@
 # ThreadSanitizer job: builds the tree with -DHM_SANITIZE=thread and runs the
 # scheduler-sensitive tests (label "tsan": thread pool, harness, optimizer)
 # plus the SIMD equivalence suite (label "simd", whose pooled cases drive the
-# parallel kernel paths). Intended as the CI race-check gate; run locally
-# before touching src/common/thread_pool.* or any parallel kernel.
+# parallel kernel paths) and the sandbox suite (label "sandbox", whose
+# concurrent-batch case leases pooled workers from ThreadPool threads).
+# Intended as the CI race-check gate; run locally before touching
+# src/common/thread_pool.*, the sandbox supervisor, or any parallel kernel.
 set -euo pipefail
 source "$(dirname "$0")/common.sh"
 cd "$(hm_repo_root)"
@@ -11,7 +13,7 @@ cd "$(hm_repo_root)"
 BUILD_DIR="${BUILD_DIR:-build-tsan}"
 
 HM_BUILD_TARGETS="thread_pool_test harness_test optimizer_test
-  simd_equivalence_test" \
+  simd_equivalence_test sandbox_protocol_test sandbox_test" \
   hm_configure_build "$BUILD_DIR" -DHM_SANITIZE=thread
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  hm_ctest "$BUILD_DIR" -L 'tsan|simd'
+  hm_ctest "$BUILD_DIR" -L 'tsan|simd|sandbox'

@@ -17,8 +17,16 @@ void set_error(std::string* error, const char* step, const std::string& path) {
   *error = std::string(step) + " " + path + ": " + std::strerror(errno);
 }
 
-/// Writes all of `bytes` to `fd`, retrying short writes and EINTR.
-[[nodiscard]] bool write_all(int fd, std::string_view bytes) {
+}  // namespace
+
+int open_retry(const char* path, int flags, int mode) {
+  for (;;) {
+    const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+bool write_fd_all(int fd, std::string_view bytes) {
   const char* cursor = bytes.data();
   std::size_t remaining = bytes.size();
   while (remaining > 0) {
@@ -33,29 +41,40 @@ void set_error(std::string* error, const char* step, const std::string& path) {
   return true;
 }
 
-}  // namespace
+bool fsync_retry(int fd) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) return false;
+  }
+  return true;
+}
+
+bool close_relaxed(int fd) {
+  // POSIX leaves the descriptor state unspecified after EINTR; Linux closes
+  // it, so retrying could close a descriptor another thread just opened.
+  return ::close(fd) == 0 || errno == EINTR;
+}
 
 bool write_file_atomic(const std::string& path, std::string_view bytes,
                        std::string* error) {
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     set_error(error, "cannot create", tmp);
     return false;
   }
-  if (!write_all(fd, bytes)) {
+  if (!write_fd_all(fd, bytes)) {
     set_error(error, "cannot write", tmp);
-    ::close(fd);
+    close_relaxed(fd);
     ::unlink(tmp.c_str());
     return false;
   }
-  if (::fsync(fd) != 0) {
+  if (!fsync_retry(fd)) {
     set_error(error, "cannot fsync", tmp);
-    ::close(fd);
+    close_relaxed(fd);
     ::unlink(tmp.c_str());
     return false;
   }
-  if (::close(fd) != 0) {
+  if (!close_relaxed(fd)) {
     set_error(error, "cannot close", tmp);
     ::unlink(tmp.c_str());
     return false;
@@ -74,19 +93,19 @@ bool sync_parent_directory(const std::string& path, std::string* error) {
   const std::size_t slash = path.find_last_of('/');
   const std::string directory =
       slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
-  const int fd = ::open(directory.c_str(), O_RDONLY);
+  const int fd = open_retry(directory.c_str(), O_RDONLY);
   if (fd < 0) {
     set_error(error, "cannot open directory", directory);
     return false;
   }
-  if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+  if (!fsync_retry(fd) && errno != EINVAL && errno != EROFS) {
     // EINVAL/EROFS: the filesystem does not support directory fsync; the
     // rename is still atomic, just not power-loss ordered. Best effort.
     set_error(error, "cannot fsync directory", directory);
-    ::close(fd);
+    close_relaxed(fd);
     return false;
   }
-  ::close(fd);
+  close_relaxed(fd);
   return true;
 }
 

@@ -27,4 +27,24 @@ namespace hm::common {
 [[nodiscard]] bool sync_parent_directory(const std::string& path,
                                          std::string* error = nullptr);
 
+// EINTR-hardened syscall wrappers. Sandboxed runs are signal-heavy (worker
+// SIGKILLs, SIGCHLD, the cooperative SIGTERM handler), and a signal landing
+// mid-export must never surface as a spurious I/O failure. Every raw
+// descriptor syscall in the tree goes through these (enforced by the
+// hm-lint rule `no-unguarded-syscall` outside src/common/ + src/sandbox/).
+
+/// `::open` retried on EINTR. Returns the descriptor or -1 (errno set).
+[[nodiscard]] int open_retry(const char* path, int flags, int mode = 0);
+
+/// Writes all of `bytes` to `fd`, retrying short writes and EINTR.
+[[nodiscard]] bool write_fd_all(int fd, std::string_view bytes);
+
+/// `::fsync` retried on EINTR.
+[[nodiscard]] bool fsync_retry(int fd);
+
+/// `::close` treating EINTR as success: on Linux the descriptor is closed
+/// even when close() is interrupted, and retrying would race a reuse of
+/// the same descriptor number. Returns false only on non-EINTR errors.
+bool close_relaxed(int fd);
+
 }  // namespace hm::common

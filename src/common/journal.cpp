@@ -98,6 +98,35 @@ void add_defect(JournalReadResult* result, std::size_t line, std::size_t offset,
       JournalDefect{line, offset, damage, std::move(message)});
 }
 
+/// fwrite retried across EINTR-induced short writes. Sandboxed runs take
+/// SIGCHLD/SIGTERM mid-append; a signal must not look like a dead journal.
+[[nodiscard]] bool fwrite_all(std::FILE* file, std::string_view bytes) {
+  const char* cursor = bytes.data();
+  std::size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const std::size_t written = std::fwrite(cursor, 1, remaining, file);
+    if (written == 0) {
+      if (errno == EINTR) {
+        std::clearerr(file);
+        continue;
+      }
+      return false;
+    }
+    cursor += written;
+    remaining -= written;
+  }
+  return true;
+}
+
+/// fflush retried on EINTR (it writes buffered bytes with plain write()).
+[[nodiscard]] bool fflush_retry(std::FILE* file) {
+  while (std::fflush(file) != 0) {
+    if (errno != EINTR) return false;
+    std::clearerr(file);
+  }
+  return true;
+}
+
 }  // namespace
 
 std::uint32_t crc32(std::string_view bytes) noexcept {
@@ -297,8 +326,7 @@ bool JournalWriter::open_locked(std::string* error) {
   // A fresh (empty) journal needs its header before any record.
   if (std::ftell(file_) == 0) {
     const std::string header = header_line();
-    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-        std::fflush(file_) != 0) {
+    if (!fwrite_all(file_, header) || !fflush_retry(file_)) {
       if (error != nullptr) {
         *error = "cannot write journal header to " + path_;
       }
@@ -317,13 +345,12 @@ bool JournalWriter::append(std::string_view type, std::string_view payload) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (file_ == nullptr) return false;
     const std::string record = format_record(type, payload);
-    if (std::fwrite(record.data(), 1, record.size(), file_) != record.size() ||
-        std::fflush(file_) != 0) {
+    if (!fwrite_all(file_, record) || !fflush_retry(file_)) {
       std::fclose(file_);
       file_ = nullptr;
       return false;
     }
-    if (fsync_ && ::fsync(::fileno(file_)) != 0) {
+    if (fsync_ && !fsync_retry(::fileno(file_))) {
       std::fclose(file_);
       file_ = nullptr;
       return false;

@@ -15,6 +15,7 @@ namespace hm::common {
 namespace {
 
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_span_histograms_enabled{true};
 
 /// One thread's span buffer. The owning thread appends under the buffer's
 /// own (uncontended) mutex; snapshot/clear take the same mutex from
@@ -55,6 +56,14 @@ ThreadBuffer& local_buffer() {
 
 void set_trace_enabled(bool enabled) noexcept {
   g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_span_histograms_enabled(bool enabled) noexcept {
+  g_span_histograms_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool span_histograms_enabled() noexcept {
+  return g_span_histograms_enabled.load(std::memory_order_relaxed);
 }
 
 bool trace_enabled() noexcept {

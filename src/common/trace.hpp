@@ -35,6 +35,15 @@ struct TraceEvent {
 void set_trace_enabled(bool enabled) noexcept;
 [[nodiscard]] bool trace_enabled() noexcept;
 
+/// Runtime toggle for the span -> duration-histogram feed. On by default
+/// (phase duration metrics do not require trace capture); turning it off
+/// makes HM_TRACE_SPAN sites skip the histogram-argument evaluation
+/// entirely, collapsing a fully disabled span to two relaxed loads. Used
+/// by the trace_overhead bench to separate histogram cost from trace
+/// recording cost.
+void set_span_histograms_enabled(bool enabled) noexcept;
+[[nodiscard]] bool span_histograms_enabled() noexcept;
+
 /// Small dense id of the calling thread on the trace timeline (assigned in
 /// first-use order; the first tracing thread — normally main — gets 0).
 [[nodiscard]] std::uint32_t trace_thread_id();
@@ -73,8 +82,10 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "app",
                      Histogram* histogram = nullptr) noexcept
+      // Check the cheap runtime toggle before the pointer: on the hot
+      // disabled path this short-circuits to a single relaxed load.
       : name_(name), category_(category), histogram_(histogram),
-        armed_(histogram != nullptr || trace_enabled()) {
+        armed_(trace_enabled() || histogram != nullptr) {
     if (armed_) start_ns_ = detail::trace_now_ns();
   }
   ~TraceSpan();
@@ -102,3 +113,20 @@ class TraceSpan {
 #endif  // HM_TRACE_ENABLED
 
 }  // namespace hm::common
+
+/// Hot-path span: evaluates `histogram_expr` only when the span can
+/// actually use it — after the runtime toggles — so a fully disabled site
+/// costs two relaxed loads and never touches the metrics registry. Use
+/// this (rather than constructing TraceSpan directly) on per-frame and
+/// per-kernel paths; one-per-evaluation spans can keep the plain form.
+/// `var` names the scoped span object.
+#if HM_TRACE_ENABLED
+#define HM_TRACE_SPAN(var, name, category, histogram_expr)       \
+  const hm::common::TraceSpan var(                               \
+      name, category,                                            \
+      hm::common::span_histograms_enabled() ? (histogram_expr)   \
+                                            : nullptr)
+#else
+#define HM_TRACE_SPAN(var, name, category, histogram_expr) \
+  const hm::common::TraceSpan var(name, category, nullptr)
+#endif

@@ -76,8 +76,8 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
   std::vector<PyramidLevel> pyramid;
   std::vector<IntensityImage> intensity_pyramid;
   {
-    const hm::common::TraceSpan span("preprocess", "elasticfusion",
-                                     phase_metrics().preprocess);
+    HM_TRACE_SPAN(span, "preprocess", "elasticfusion",
+                  phase_metrics().preprocess);
     filtered = preprocess(depth);
     pyramid = hm::kfusion::build_pyramid(filtered, intrinsics_, 3, stats_);
     intensity_pyramid = build_intensity_pyramid(intensity, 3, stats_);
@@ -92,8 +92,8 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
   } else {
     // --- Tracking (with fern relocalization as the fallback). ---
     {
-      const hm::common::TraceSpan tracking_span("tracking", "elasticfusion",
-                                                phase_metrics().tracking);
+      HM_TRACE_SPAN(tracking_span, "tracking", "elasticfusion",
+                    phase_metrics().tracking);
       SE3 initial = pose_;
       if (params_.so3_prealign && !previous_intensity_pyramid_.empty()) {
         const std::size_t coarse = pyramid.size() - 1;
@@ -143,15 +143,14 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
     // --- Local loop closure (model-to-keyframe consistency). ---
     if (!params_.open_loop && result.tracked &&
         frame_ % kLoopCheckInterval == 0) {
-      const hm::common::TraceSpan span("loop_closure", "elasticfusion",
-                                       phase_metrics().loop_closure);
+      HM_TRACE_SPAN(span, "loop_closure", "elasticfusion",
+                    phase_metrics().loop_closure);
       attempt_loop_closure(pyramid, intensity_pyramid, result);
     }
 
     // --- Fusion: only frames with a trusted pose extend the map. ---
     if (result.tracked) {
-      const hm::common::TraceSpan span("fusion", "elasticfusion",
-                                       phase_metrics().fusion);
+      HM_TRACE_SPAN(span, "fusion", "elasticfusion", phase_metrics().fusion);
       map_.fuse(pyramid[0].vertices, pyramid[0].normals, intensity, pose_,
                 frame_, {}, stats_);
       const auto code = ferns_.encode(filtered, intensity, stats_);
@@ -161,8 +160,8 @@ ElasticFusionPipeline::FrameResult ElasticFusionPipeline::process_frame(
     // --- Map maintenance: drop stale unstable surfels (sensor noise that
     // was never confirmed). ---
     if (frame_ % kLoopCheckInterval == 0) {
-      const hm::common::TraceSpan span("maintenance", "elasticfusion",
-                                       phase_metrics().maintenance);
+      HM_TRACE_SPAN(span, "maintenance", "elasticfusion",
+                    phase_metrics().maintenance);
       (void)map_.prune(frame_, 2 * kUnstableWindow,
                        params_.confidence_threshold, stats_);
     }

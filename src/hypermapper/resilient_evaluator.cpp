@@ -156,6 +156,12 @@ EvaluationOutcome ResilientEvaluator::evaluate_outcome(
             ->increment();
         return outcome;
       }
+    } catch (const EvaluationTimeout& error) {
+      // A hard (sandbox-enforced) deadline overrun: same classification
+      // and retry policy as a cooperative one.
+      outcome.status = EvaluationStatus::kTimeout;
+      outcome.message = error.what();
+      transient = policy_.retry_timeouts;
     } catch (const EvaluationError& error) {
       outcome.status = EvaluationStatus::kException;
       outcome.message = error.what();

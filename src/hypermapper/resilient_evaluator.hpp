@@ -46,6 +46,16 @@ class EvaluationError : public std::runtime_error {
   bool transient_;
 };
 
+/// Thrown by supervision layers that enforce *hard* deadlines (the process
+/// sandbox, src/sandbox/): the evaluation was forcibly terminated at the
+/// wall-clock limit. Classified kTimeout, with retry eligibility decided
+/// by ResiliencePolicy::retry_timeouts exactly like cooperative timeouts.
+class EvaluationTimeout : public EvaluationError {
+ public:
+  explicit EvaluationTimeout(const std::string& message)
+      : EvaluationError(message, /*transient=*/false) {}
+};
+
 /// The typed result of one supervised evaluation.
 struct EvaluationOutcome {
   EvaluationStatus status = EvaluationStatus::kOk;

@@ -57,8 +57,7 @@ KFusionPipeline::FrameResult KFusionPipeline::process_frame(
   // --- Preprocessing: compute-size-ratio downsample + bilateral filter. ---
   DepthImage filtered;
   {
-    const hm::common::TraceSpan span("preprocess", "kfusion",
-                                     phase_metrics().preprocess);
+    HM_TRACE_SPAN(span, "preprocess", "kfusion", phase_metrics().preprocess);
     const DepthImage scaled =
         downsample_depth(raw_depth, params_.compute_size_ratio, stats_);
     filtered = bilateral_filter(scaled, BilateralConfig{}, stats_, pool_);
@@ -69,8 +68,7 @@ KFusionPipeline::FrameResult KFusionPipeline::process_frame(
       frame_ > 0 &&
       (frame_ % static_cast<std::size_t>(params_.tracking_rate)) == 0;
   if (do_track) {
-    const hm::common::TraceSpan span("tracking", "kfusion",
-                                     phase_metrics().tracking);
+    HM_TRACE_SPAN(span, "tracking", "kfusion", phase_metrics().tracking);
     result.tracking_attempted = true;
     const std::vector<PyramidLevel> pyramid =
         build_pyramid(filtered, computed_intrinsics_, 3, stats_);
@@ -95,8 +93,7 @@ KFusionPipeline::FrameResult KFusionPipeline::process_frame(
   const bool do_integrate =
       (frame_ % static_cast<std::size_t>(params_.integration_rate)) == 0;
   if (do_integrate) {
-    const hm::common::TraceSpan span("integration", "kfusion",
-                                     phase_metrics().integration);
+    HM_TRACE_SPAN(span, "integration", "kfusion", phase_metrics().integration);
     // Fuse the filtered (not raw) depth, as KFusion does.
     volume_->integrate(filtered, computed_intrinsics_, pose_, params_.mu,
                        stats_, pool_);

@@ -1,0 +1,225 @@
+#include "sandbox/protocol.hpp"
+
+#include <cerrno>
+#include <cmath>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/atomic_file.hpp"
+#include "common/checkpoint.hpp"
+#include "common/journal.hpp"
+#include "common/timer.hpp"
+
+namespace hm::sandbox {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 8;
+
+void put_u32le(char* out, std::uint32_t value) {
+  out[0] = static_cast<char>(value & 0xFFu);
+  out[1] = static_cast<char>((value >> 8) & 0xFFu);
+  out[2] = static_cast<char>((value >> 16) & 0xFFu);
+  out[3] = static_cast<char>((value >> 24) & 0xFFu);
+}
+
+[[nodiscard]] std::uint32_t get_u32le(const char* in) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(in[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(in[3])) << 24);
+}
+
+enum class ExactStatus : std::uint8_t { kOk, kEof, kTimeout, kError };
+
+/// Reads exactly `count` bytes. The deadline is shared across the whole
+/// frame via `timer`; EINTR recomputes the remaining budget and resumes.
+/// `*bytes_read` reports progress so the caller can tell a clean EOF at a
+/// frame boundary from one that tears a frame in half.
+[[nodiscard]] ExactStatus read_exact(int fd, char* out, std::size_t count,
+                                     const hm::common::Timer& timer,
+                                     double deadline_seconds,
+                                     std::size_t* bytes_read) {
+  *bytes_read = 0;
+  while (*bytes_read < count) {
+    int timeout_ms = -1;
+    if (deadline_seconds > 0.0) {
+      const double remaining = deadline_seconds - timer.seconds();
+      if (remaining <= 0.0) return ExactStatus::kTimeout;
+      timeout_ms = static_cast<int>(std::ceil(remaining * 1e3));
+      if (timeout_ms < 1) timeout_ms = 1;
+    }
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return ExactStatus::kError;
+    }
+    if (ready == 0) return ExactStatus::kTimeout;
+    // POLLHUP without POLLIN still requires a read(): the pipe may hold
+    // buffered bytes the dead writer flushed before exiting.
+    const ssize_t got = ::read(fd, out + *bytes_read, count - *bytes_read);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return ExactStatus::kError;
+    }
+    if (got == 0) return ExactStatus::kEof;
+    *bytes_read += static_cast<std::size_t>(got);
+  }
+  return ExactStatus::kOk;
+}
+
+}  // namespace
+
+const char* to_string(FrameStatus status) {
+  switch (status) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kEof: return "eof";
+    case FrameStatus::kTimeout: return "timeout";
+    case FrameStatus::kCorrupt: return "corrupt";
+    case FrameStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  std::string frame(kHeaderBytes, '\0');
+  put_u32le(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32le(frame.data() + 4, hm::common::crc32(payload));
+  frame.append(payload);
+  // One buffered write keeps the frame contiguous in the pipe; pipes only
+  // guarantee atomicity up to PIPE_BUF, so the reader still reassembles.
+  return hm::common::write_fd_all(fd, frame);
+}
+
+FrameStatus read_frame(int fd, std::string* payload, double deadline_seconds) {
+  const hm::common::Timer timer;
+  char header[kHeaderBytes];
+  std::size_t got = 0;
+  switch (read_exact(fd, header, kHeaderBytes, timer, deadline_seconds, &got)) {
+    case ExactStatus::kOk: break;
+    case ExactStatus::kEof:
+      // EOF before any byte is an orderly close; inside the header it is a
+      // torn frame.
+      return got == 0 ? FrameStatus::kEof : FrameStatus::kCorrupt;
+    case ExactStatus::kTimeout: return FrameStatus::kTimeout;
+    case ExactStatus::kError: return FrameStatus::kError;
+  }
+  const std::uint32_t length = get_u32le(header);
+  const std::uint32_t expected_crc = get_u32le(header + 4);
+  if (length > kMaxFramePayload) return FrameStatus::kCorrupt;
+  payload->assign(length, '\0');
+  if (length > 0) {
+    switch (read_exact(fd, payload->data(), length, timer, deadline_seconds,
+                       &got)) {
+      case ExactStatus::kOk: break;
+      case ExactStatus::kEof: return FrameStatus::kCorrupt;
+      case ExactStatus::kTimeout: return FrameStatus::kTimeout;
+      case ExactStatus::kError: return FrameStatus::kError;
+    }
+  }
+  if (hm::common::crc32(*payload) != expected_crc) return FrameStatus::kCorrupt;
+  return FrameStatus::kOk;
+}
+
+std::string encode_request(const EvalRequest& request) {
+  std::vector<std::string> fields;
+  fields.reserve(3 + request.config.size());
+  fields.emplace_back("ev");
+  fields.push_back(hm::common::encode_u64(request.nonce));
+  fields.push_back(hm::common::encode_u64(request.config.size()));
+  for (const double value : request.config) {
+    fields.push_back(hm::common::encode_double(value));
+  }
+  return hm::common::encode_fields(fields);
+}
+
+std::optional<EvalRequest> decode_request(std::string_view payload) {
+  const auto fields = hm::common::decode_fields(payload);
+  if (!fields || fields->size() < 3 || (*fields)[0] != "ev") {
+    return std::nullopt;
+  }
+  const auto nonce = hm::common::decode_u64((*fields)[1]);
+  const auto count = hm::common::decode_u64((*fields)[2]);
+  if (!nonce || !count || fields->size() != 3 + *count) return std::nullopt;
+  EvalRequest request;
+  request.nonce = *nonce;
+  request.config.reserve(*count);
+  for (std::size_t i = 0; i < *count; ++i) {
+    const auto value = hm::common::decode_double((*fields)[3 + i]);
+    if (!value) return std::nullopt;
+    request.config.push_back(*value);
+  }
+  return request;
+}
+
+std::string encode_response(const EvalResponse& response) {
+  std::vector<std::string> fields;
+  if (response.ok) {
+    fields.reserve(2 + response.objectives.size() +
+                   2 * response.counter_deltas.size() + 1);
+    fields.emplace_back("ok");
+    fields.push_back(hm::common::encode_u64(response.objectives.size()));
+    for (const double value : response.objectives) {
+      fields.push_back(hm::common::encode_double(value));
+    }
+    fields.push_back(hm::common::encode_u64(response.counter_deltas.size()));
+    for (const auto& [name, delta] : response.counter_deltas) {
+      fields.push_back(name);
+      fields.push_back(hm::common::encode_u64(delta));
+    }
+  } else {
+    fields.emplace_back("err");
+    fields.emplace_back(response.transient ? "1" : "0");
+    fields.push_back(response.message);
+  }
+  return hm::common::encode_fields(fields);
+}
+
+std::optional<EvalResponse> decode_response(std::string_view payload) {
+  const auto fields = hm::common::decode_fields(payload);
+  if (!fields || fields->empty()) return std::nullopt;
+  EvalResponse response;
+  if ((*fields)[0] == "err") {
+    if (fields->size() != 3) return std::nullopt;
+    if ((*fields)[1] == "1") {
+      response.transient = true;
+    } else if ((*fields)[1] != "0") {
+      return std::nullopt;
+    }
+    response.message = (*fields)[2];
+    response.ok = false;
+    return response;
+  }
+  if ((*fields)[0] != "ok" || fields->size() < 2) return std::nullopt;
+  const auto objective_count = hm::common::decode_u64((*fields)[1]);
+  if (!objective_count || fields->size() < 2 + *objective_count + 1) {
+    return std::nullopt;
+  }
+  response.objectives.reserve(*objective_count);
+  for (std::size_t i = 0; i < *objective_count; ++i) {
+    const auto value = hm::common::decode_double((*fields)[2 + i]);
+    if (!value) return std::nullopt;
+    response.objectives.push_back(*value);
+  }
+  const std::size_t deltas_at = 2 + *objective_count;
+  const auto delta_count = hm::common::decode_u64((*fields)[deltas_at]);
+  if (!delta_count || fields->size() != deltas_at + 1 + 2 * *delta_count) {
+    return std::nullopt;
+  }
+  response.counter_deltas.reserve(*delta_count);
+  for (std::size_t i = 0; i < *delta_count; ++i) {
+    const std::string& name = (*fields)[deltas_at + 1 + 2 * i];
+    const auto delta = hm::common::decode_u64((*fields)[deltas_at + 2 + 2 * i]);
+    if (!delta) return std::nullopt;
+    response.counter_deltas.emplace_back(name, *delta);
+  }
+  response.ok = true;
+  return response;
+}
+
+}  // namespace hm::sandbox

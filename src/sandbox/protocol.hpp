@@ -1,0 +1,83 @@
+// Wire protocol between the evaluation supervisor and its forked workers:
+// length-framed, crc-checked messages over a pair of pipes. The payload
+// codecs reuse the journal's bit-exact field encoding (checkpoint.hpp), so
+// an objective vector crosses the process boundary with the identical
+// IEEE-754 bits it would have in-process — the determinism guarantee the
+// optimizer's byte-identical resume depends on. This protocol is the seed
+// of the `hm_serve` request/reply daemon the ROADMAP targets: a worker is
+// simply a client whose transport is a pipe instead of a socket.
+//
+// Frame layout (all integers little-endian):
+//   [u32 payload length][u32 crc32(payload)][payload bytes]
+//
+// A frame is only ever acted on after its checksum verifies; anything else
+// — a short read, an oversized length, a crc mismatch — classifies the
+// stream as corrupt and the supervisor kills and replaces the worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hm::sandbox {
+
+/// Upper bound on a frame payload. A length field above this is corruption
+/// (or a hostile worker), not a real message; reject before allocating.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 24;
+
+/// Result of one framed read.
+enum class FrameStatus : std::uint8_t {
+  kOk = 0,
+  kEof,      ///< Orderly EOF at a frame boundary (peer closed / died idle).
+  kTimeout,  ///< The deadline expired before a complete frame arrived.
+  kCorrupt,  ///< Bad length, bad checksum, or EOF inside a frame.
+  kError,    ///< A non-retryable read/poll error (errno describes it).
+};
+
+[[nodiscard]] const char* to_string(FrameStatus status);
+
+/// Writes one complete frame, retrying EINTR and short writes. Returns
+/// false on any hard error (typically EPIPE: the peer is gone).
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+/// Reads one complete frame. `deadline_seconds` bounds the whole frame
+/// (header + payload) in wall-clock time; <= 0 blocks indefinitely. EINTR
+/// never aborts the read — the remaining budget is recomputed and the wait
+/// resumes, so signal-heavy supervisors cannot mis-classify a live worker.
+[[nodiscard]] FrameStatus read_frame(int fd, std::string* payload,
+                                     double deadline_seconds);
+
+/// One evaluation request: the configuration vector plus the deterministic
+/// retry nonce (0 means a first attempt — `Evaluator::evaluate`; non-zero
+/// routes to `evaluate_retry`).
+struct EvalRequest {
+  std::vector<double> config;
+  std::uint64_t nonce = 0;
+};
+
+/// One evaluation response. On success the objective vector is bit-exact
+/// and `counter_deltas` carries the worker's metric increments (kernel op
+/// counts, evaluator counters) for the supervisor to fold into its own
+/// registry. On failure the transient flag preserves the evaluator's
+/// transient-vs-permanent classification across the process boundary.
+struct EvalResponse {
+  bool ok = false;
+  std::vector<double> objectives;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  bool transient = false;
+  std::string message;
+};
+
+[[nodiscard]] std::string encode_request(const EvalRequest& request);
+[[nodiscard]] std::optional<EvalRequest> decode_request(
+    std::string_view payload);
+
+[[nodiscard]] std::string encode_response(const EvalResponse& response);
+[[nodiscard]] std::optional<EvalResponse> decode_response(
+    std::string_view payload);
+
+}  // namespace hm::sandbox

@@ -50,8 +50,7 @@ RunMetrics run_kfusion(const hm::dataset::RGBDSequence& sequence,
                                         sequence.frame(0).ground_truth_pose,
                                         pool);
   for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
-    const hm::common::TraceSpan frame_span("kfusion_frame", "slam",
-                                           &frame_seconds);
+    HM_TRACE_SPAN(frame_span, "kfusion_frame", "slam", &frame_seconds);
     const auto frame_result = pipeline.process_frame(sequence.frame(i).depth);
     if (frame_result.tracking_attempted && !frame_result.tracked) {
       ++metrics.tracking_failures;
@@ -77,8 +76,8 @@ RunMetrics run_elasticfusion(const hm::dataset::RGBDSequence& sequence,
       params, sequence.intrinsics(), sequence.frame(0).ground_truth_pose);
   for (std::size_t i = 0; i < sequence.frame_count(); ++i) {
     const auto& frame = sequence.frame(i);
-    const hm::common::TraceSpan frame_span("elasticfusion_frame", "slam",
-                                           &frame_seconds);
+    HM_TRACE_SPAN(frame_span, "elasticfusion_frame", "slam",
+                  &frame_seconds);
     const auto frame_result =
         pipeline.process_frame(frame.depth, frame.intensity);
     if (!frame_result.tracked) ++metrics.tracking_failures;

@@ -23,9 +23,11 @@
 
 #include "common/csv.hpp"
 #include "common/journal.hpp"
+#include "common/signal.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
 #include "hypermapper/run_journal.hpp"
+#include "sandbox/sandbox.hpp"
 
 namespace hm::hypermapper {
 namespace {
@@ -297,6 +299,65 @@ TEST(CrashResume, TruncatedTailIsRecoveredAndReported) {
             hm::common::JournalDamage::kTruncatedTail);
   // One record was damaged; everything before it replays.
   EXPECT_EQ(after.records.size() + 1, before.records.size());
+  EXPECT_EQ(resume_to_completion(path), reference_run().rendered);
+  std::remove(path.c_str());
+}
+
+/// Forks a child that runs the optimizer through a SandboxedEvaluator and
+/// raises SIGTERM from the sandbox dispatch hook at the `sigterm_at`-th
+/// request — the signal lands while a worker batch is in flight. The child
+/// must drain its workers, leave a *clean* journal behind, and exit 130
+/// (the drivers' interrupted-exit convention). Returns the child's exit
+/// code, or -1 if it died abnormally.
+int run_sandboxed_and_sigterm(const std::string& journal_path,
+                              std::size_t sigterm_at) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    if (!hm::common::install_shutdown_handler()) _exit(2);
+    const DesignSpace space = crash_space();
+    CrashEvaluator evaluator(space);
+    hm::sandbox::SandboxPolicy sandbox_policy;
+    sandbox_policy.workers = 2;
+    hm::sandbox::SandboxedEvaluator sandboxed(evaluator, sandbox_policy);
+    sandboxed.set_dispatch_hook([sigterm_at](std::size_t dispatched) {
+      if (dispatched == sigterm_at) ::raise(SIGTERM);
+    });
+    hm::common::JournalWriter writer;
+    if (!writer.open(journal_path)) _exit(3);
+    Optimizer optimizer(space, sandboxed, crash_config());
+    optimizer.attach_journal(&writer);
+    optimizer.set_cancel([] { return hm::common::shutdown_requested(); });
+    const OptimizationResult result = optimizer.run();
+    // Drain: every worker reaped before we report the interruption.
+    sandboxed.shutdown();
+    _exit(result.interrupted ? 130 : 4);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CrashResume, SigtermDuringSandboxedBatchDrainsAndResumesByteIdentical) {
+  const std::string path = journal_path_for("sandbox_sigterm");
+  std::remove(path.c_str());
+  // Dispatch 45 is inside the first active-learning batch (the bootstrap
+  // dispatches 40): the SIGTERM lands mid-batch, after the bootstrap's
+  // phase boundary has been journaled.
+  ASSERT_EQ(run_sandboxed_and_sigterm(path, 45), 130);
+  // The shutdown was cooperative, not a crash: the journal parses clean
+  // end to end (no truncation, no damaged regions) and the committed
+  // prefix includes a phase record to resume from.
+  const hm::common::JournalReadResult journal = hm::common::read_journal(path);
+  EXPECT_EQ(journal.status, hm::common::JournalStatus::kOk);
+  EXPECT_TRUE(journal.defects.empty());
+  bool has_phase_record = false;
+  for (const hm::common::JournalRecord& record : journal.records) {
+    has_phase_record = has_phase_record || record.type == "phase";
+  }
+  EXPECT_TRUE(has_phase_record);
+  // Resuming the interrupted sandboxed run in-process must land on the
+  // byte-identical reference: objectives crossed the worker pipe with
+  // their exact bits, and every quarantine message was deterministic.
   EXPECT_EQ(resume_to_completion(path), reference_run().rendered);
   std::remove(path.c_str());
 }

@@ -1,0 +1,19 @@
+// Fixture: raw POSIX process and fd calls with no EINTR handling, no
+// short-write loop, and no child reaping discipline — must trip
+// no-unguarded-syscall (five times: fork, write, read, close, waitpid).
+#include <sys/wait.h>
+#include <unistd.h>
+
+int launch_and_collect(int fd, const char* payload, int length) {
+  const int pid = fork();
+  if (pid == 0) {
+    (void)::write(fd, payload, static_cast<unsigned>(length));
+    char ack = 0;
+    (void)::read(fd, &ack, 1);
+    ::close(fd);
+    return 0;
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}

@@ -107,6 +107,10 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixtureCase{"no-unaligned-simd-load",
                         "no_unaligned_simd_load_violation.cc",
                         "no_unaligned_simd_load_clean.cc", "unaligned_simd",
+                        ".cpp"},
+        RuleFixtureCase{"no-unguarded-syscall",
+                        "no_unguarded_syscall_violation.cc",
+                        "no_unguarded_syscall_clean.cc", "unguarded_syscall",
                         ".cpp"}),
     [](const ::testing::TestParamInfo<RuleFixtureCase>& param_info) {
       std::string name = param_info.param.rule_id;
@@ -235,7 +239,7 @@ TEST(CompanionTest, HeaderMembersVisibleWhenLintingSource) {
 
 TEST(RuleFilterTest, EveryRuleHasUniqueIdAndDescription) {
   const auto rules = hm::lint::default_rules();
-  ASSERT_EQ(rules.size(), 9u);
+  ASSERT_EQ(rules.size(), 10u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.emplace_back(rule->id());

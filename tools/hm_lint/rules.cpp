@@ -951,6 +951,86 @@ class NoUnalignedSimdLoadRule final : public Rule {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Rule 10: no-unguarded-syscall
+// ---------------------------------------------------------------------------
+
+/// Raw POSIX I/O and process-control calls are where EINTR bugs and orphan
+/// processes come from: a bare write() can return short, a bare close()
+/// races fd reuse, a bare fork() without the sandbox's fd hygiene leaks
+/// sibling pipe ends into children and defeats EOF-based death detection.
+/// The EINTR-hardened wrappers (common/atomic_file: open_retry,
+/// write_fd_all, fsync_retry, close_relaxed) and the sandbox supervision
+/// layer (src/sandbox/) are the two sanctioned homes for these calls; test
+/// trees are exempt (fork/kill choreography *is* the crash harness).
+class NoUnguardedSyscallRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-unguarded-syscall";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "bare fork/waitpid/read/write/close/fsync outside src/common/ "
+           "and src/sandbox/; use the EINTR-hardened wrappers in "
+           "common/atomic_file or the sandbox supervision layer";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (file.is_test_file()) return;
+    if (path_contains(file, "src/common/") ||
+        path_contains(file, "src/sandbox/")) {
+      return;
+    }
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind != TokenKind::kIdentifier) continue;
+      if (!tokens[i + 1].is("(")) continue;
+      const std::string_view name = tokens[i].text;
+      const bool globally_qualified =
+          i >= 1 && tokens[i - 1].is("::") &&
+          (i < 2 || tokens[i - 2].kind != TokenKind::kIdentifier ||
+           control_keyword(tokens[i - 2].text));
+      const bool member_access =
+          i >= 1 && (tokens[i - 1].is(".") || tokens[i - 1].is("->") ||
+                     tokens[i - 1].is("::"));
+      // fd-level I/O names collide with ordinary method names, so they
+      // only count when written as a global-scope call (::write(fd, ...)).
+      const bool is_io = io_syscall(name) && globally_qualified;
+      // A declarator (`Seeder fork()`) names a method, not the syscall:
+      // an identifier immediately before the name is its return type.
+      const bool declaration =
+          i >= 1 && tokens[i - 1].kind == TokenKind::kIdentifier;
+      // Process-control names are distinctive enough to flag even bare.
+      const bool is_proc = process_syscall(name) &&
+                           (globally_qualified ||
+                            (!member_access && !declaration));
+      if (!is_io && !is_proc) continue;
+      report(file, tokens[i].line,
+             "unguarded ::" + std::string(name) +
+                 "() outside src/common/ and src/sandbox/; EINTR, short "
+                 "writes, and child reaping belong to the hardened wrappers "
+                 "(common/atomic_file) or the sandbox supervision layer "
+                 "(or suppress with a reasoned comment)",
+             out);
+    }
+  }
+
+ private:
+  [[nodiscard]] static bool io_syscall(std::string_view name) {
+    return name == "read" || name == "write" || name == "pread" ||
+           name == "pwrite" || name == "close" || name == "fsync" ||
+           name == "fdatasync" || name == "pipe" || name == "kill";
+  }
+  [[nodiscard]] static bool process_syscall(std::string_view name) {
+    return name == "fork" || name == "vfork" || name == "waitpid";
+  }
+  /// Keywords lex as identifiers; `return ::fork()` is still a
+  /// global-scope call, not a qualified name.
+  [[nodiscard]] static bool control_keyword(std::string_view name) {
+    return name == "return" || name == "co_return" || name == "throw" ||
+           name == "case" || name == "else" || name == "do";
+  }
+};
+
 std::vector<std::shared_ptr<const Rule>> default_rules() {
   return {
       std::make_shared<NoRawThreadRule>(),
@@ -962,6 +1042,7 @@ std::vector<std::shared_ptr<const Rule>> default_rules() {
       std::make_shared<NoBareExportStreamRule>(),
       std::make_shared<NoAdhocInstrumentationRule>(),
       std::make_shared<NoUnalignedSimdLoadRule>(),
+      std::make_shared<NoUnguardedSyscallRule>(),
   };
 }
 
