@@ -4,6 +4,12 @@
 # examples/ tests/ tools/ plus the linter's own fixture tests. Exits nonzero
 # on any unsuppressed diagnostic or unused suppression.
 #
+# With --update-baseline, instead of gating it rewrites the checked-in
+# baseline (tools/hm_lint/baseline.txt) to the current unsuppressed
+# findings — use after deliberately landing a new cross-file rule whose
+# findings are being staged, then burn the entries down. The rewritten
+# file must be committed.
+#
 # With HM_CLANG_TIDY=1 (and clang-tidy on PATH) it additionally reconfigures
 # a dedicated build tree with the CMake clang-tidy hook enabled, so the
 # checked-in .clang-tidy checks (bugprone-*, concurrency-*, performance-*)
@@ -14,7 +20,23 @@ cd "$(hm_repo_root)"
 
 BUILD_DIR="${BUILD_DIR:-build}"
 
-HM_BUILD_TARGETS="hm_lint lint_test" hm_configure_build "$BUILD_DIR"
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    *) echo "lint.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+HM_BUILD_TARGETS="hm_lint lint_test index_test" hm_configure_build "$BUILD_DIR"
+
+if [[ "$UPDATE_BASELINE" == "1" ]]; then
+  "$BUILD_DIR"/tools/hm_lint/hm_lint --root . \
+      --baseline tools/hm_lint/baseline.txt --update-baseline \
+      src bench examples tests tools
+  exit 0
+fi
+
 hm_ctest "$BUILD_DIR" -L lint
 
 if [[ "${HM_CLANG_TIDY:-0}" != "0" ]]; then

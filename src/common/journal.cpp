@@ -303,12 +303,19 @@ JournalReadResult read_journal(const std::string& path) {
 }
 
 bool JournalWriter::open(const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_for_flush(lock);
   if (file_ != nullptr) {
+    // hm-lint: allow(blocking-under-lock) (re)initialization must exclude appenders: the FILE is being replaced under them
     std::fclose(file_);
     file_ = nullptr;
   }
+  // Un-flushed records belong to the file being abandoned; callers must
+  // not race open() against append() (same contract as before).
+  pending_.clear();
+  enqueued_ = written_;
   path_ = path;
+  // hm-lint: allow(blocking-under-lock) initialization must exclude appenders until the header is durable
   return open_locked(error);
 }
 
@@ -340,50 +347,85 @@ bool JournalWriter::open_locked(std::string* error) {
 
 bool JournalWriter::append(std::string_view type, std::string_view payload) {
   std::function<void(std::size_t)> hook;
-  std::size_t written_now = 0;
+  std::size_t my_seq = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (file_ == nullptr) return false;
-    const std::string record = format_record(type, payload);
-    if (!fwrite_all(file_, record) || !fflush_retry(file_)) {
-      std::fclose(file_);
-      file_ = nullptr;
-      return false;
-    }
-    if (fsync_ && !fsync_retry(::fileno(file_))) {
-      std::fclose(file_);
-      file_ = nullptr;
-      return false;
-    }
-    written_now = ++written_;
+    pending_ += format_record(type, payload);
+    my_seq = ++enqueued_;
     hook = hook_;
+    // Group commit. Whoever finds the batch unclaimed becomes the leader:
+    // it takes ownership of `file_` (flushing_), drains the whole pending
+    // buffer with the mutex RELEASED, then publishes the new durable
+    // sequence. Everyone else sleeps on the cv and piggybacks on the
+    // leader's fsync — one disk flush per batch, and the lock is never
+    // held across blocking IO.
+    while (written_ < my_seq) {
+      if (file_ == nullptr) return false;  // a leader hit an IO error
+      if (!flushing_ && !pending_.empty()) {
+        flushing_ = true;
+        std::string batch;
+        batch.swap(pending_);
+        const std::size_t batch_end = enqueued_;
+        std::FILE* file = file_;
+        const bool do_fsync = fsync_;
+        lock.unlock();
+        bool ok = fwrite_all(file, batch) && fflush_retry(file);
+        if (ok && do_fsync) ok = fsync_retry(::fileno(file));
+        lock.lock();
+        flushing_ = false;
+        if (!ok) {
+          // hm-lint: allow(blocking-under-lock) IO-error teardown: the dead FILE must be invalidated before any appender can observe it
+          std::fclose(file_);
+          file_ = nullptr;
+          commit_cv_.notify_all();
+          return false;
+        }
+        written_ = batch_end;
+        commit_cv_.notify_all();
+      } else {
+        commit_cv_.wait(lock);
+      }
+    }
   }
   // Invoked outside the lock: the crash harness SIGKILLs from here, and a
   // hook that never returns must not leave the mutex held in the parent's
   // memory image semantics (and fork()ed children re-read the journal).
-  if (hook) hook(written_now);
+  if (hook) hook(my_seq);
   return true;
+}
+
+void JournalWriter::wait_for_flush(std::unique_lock<std::mutex>& lock) {
+  while (flushing_) commit_cv_.wait(lock);
 }
 
 bool JournalWriter::rewrite(
     std::span<const std::pair<std::string, std::string>> records,
     std::string* error) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_for_flush(lock);
   if (file_ != nullptr) {
+    // hm-lint: allow(blocking-under-lock) compaction must exclude appenders while the file is swapped out from under them
     std::fclose(file_);
     file_ = nullptr;
   }
+  pending_.clear();
+  enqueued_ = written_;
   std::string contents = header_line();
   for (const auto& [type, payload] : records) {
     contents += format_record(type, payload);
   }
+  // hm-lint: allow(blocking-under-lock) compaction must exclude appenders: a concurrent append would be lost in the rewrite
   if (!write_file_atomic(path_, contents, error)) return false;
+  // hm-lint: allow(blocking-under-lock) compaction must exclude appenders until the new journal accepts records
   return open_locked(error);
 }
 
 void JournalWriter::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  wait_for_flush(lock);
   if (file_ != nullptr) {
+    // hm-lint: allow(blocking-under-lock) teardown must exclude appenders; any still-pending record is intentionally dropped with the FILE
     std::fclose(file_);
     file_ = nullptr;
   }

@@ -12,13 +12,19 @@
 // line-accurate diagnostic while every intact record around it is still
 // returned — recovery never silently drops the readable prefix or suffix.
 //
-// Writers append durably: each record is fwrite + fflush + fsync before
+// Writers append durably: a record is fwrite + fflush + fsync'd before
 // append() returns, so an evaluation that was reported complete is on disk.
+// Appends group-commit: records are formatted and sequenced under the
+// writer mutex, but the IO itself runs with the mutex released — one
+// "leader" thread drains the pending batch while contemporaries piggyback
+// on its fsync, so concurrent appenders pay one disk flush, not N, and no
+// thread ever blocks on the disk while holding the lock.
 // Compaction (folding a prefix of records into a snapshot record) rewrites
 // the whole file through the atomic writer, so a crash mid-compaction
 // leaves either the old journal or the new one, never a hybrid.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -121,7 +127,9 @@ class JournalWriter {
   /// non-empty identifier (no spaces); `payload` may be anything — it is
   /// escaped into the frame. Returns false on I/O failure, after which the
   /// writer is closed (a half-written tail is exactly what the tolerant
-  /// reader recovers from).
+  /// reader recovers from). Concurrent appends group-commit: the record is
+  /// durable when this returns, but may have been flushed by another
+  /// appender's fsync.
   [[nodiscard]] bool append(std::string_view type, std::string_view payload);
 
   /// Compaction: atomically rewrites the journal to the header plus exactly
@@ -133,7 +141,10 @@ class JournalWriter {
 
   void close();
 
-  [[nodiscard]] bool is_open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] bool is_open() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return file_ != nullptr;
+  }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
   /// Records appended through this writer (excludes pre-existing ones).
   [[nodiscard]] std::size_t records_written() const noexcept;
@@ -151,11 +162,25 @@ class JournalWriter {
 
  private:
   [[nodiscard]] bool open_locked(std::string* error);
+  /// Blocks until no group-commit leader holds the file (see append()).
+  /// Must be called before touching `file_` from open/rewrite/close.
+  void wait_for_flush(std::unique_lock<std::mutex>& lock);
 
   mutable std::mutex mutex_;
-  std::FILE* file_ = nullptr;
+  /// Signalled when a group-commit batch lands (or fails) and when a
+  /// leader finishes, so open/rewrite/close can proceed.
+  std::condition_variable commit_cv_;
+  std::FILE* file_ = nullptr;  // hm-guarded-by(mutex_)
   std::string path_;
-  std::size_t written_ = 0;
+  /// Formatted records accepted but not yet flushed (the next batch).
+  std::string pending_;  // hm-guarded-by(mutex_)
+  /// Sequence number of the last record accepted into `pending_`.
+  std::size_t enqueued_ = 0;  // hm-guarded-by(mutex_)
+  /// Records durable on disk; append(seq) may return once written_ >= seq.
+  std::size_t written_ = 0;  // hm-guarded-by(mutex_)
+  /// True while a leader performs IO with `mutex_` released; `file_` is
+  /// owned by that leader until it clears the flag.
+  bool flushing_ = false;  // hm-guarded-by(mutex_)
   bool fsync_ = true;
   std::function<void(std::size_t)> hook_;
 };

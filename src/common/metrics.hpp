@@ -178,9 +178,12 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+      counters_;  // hm-guarded-by(mutex_)
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+      gauges_;  // hm-guarded-by(mutex_)
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;  // hm-guarded-by(mutex_)
 };
 
 /// Builds the canonical labeled identity `name{key="value"}`.

@@ -100,7 +100,7 @@ class ThreadPool {
   // One per worker thread; heap-allocated so deques never share cache lines.
   struct alignas(64) Worker {
     std::mutex mutex;
-    std::deque<std::function<void()>> deque;
+    std::deque<std::function<void()>> deque;  // hm-guarded-by(mutex)
   };
 
   // Join state for one fork-join region (lives on the forking thread's
@@ -158,10 +158,11 @@ class ThreadPool {
   alignas(64) std::atomic<std::size_t> queued_tasks_{0};  ///< Tasks pushed, not yet acquired.
   alignas(64) std::atomic<std::size_t> sleepers_{0};
   alignas(64) std::atomic<std::size_t> next_victim_{0};   ///< Round-robin injection cursor.
-  bool stopping_ = false;                     ///< Guarded by sleep_mutex_.
+  bool stopping_ = false;  // hm-guarded-by(sleep_mutex_)
 
   std::mutex publish_mutex_;
-  SchedulerStats published_;  ///< Counters already published; guarded by publish_mutex_.
+  /// Counters already published (delta-publishing state).
+  SchedulerStats published_;  // hm-guarded-by(publish_mutex_)
 
   static thread_local ThreadPool* tls_pool_;
   static thread_local std::size_t tls_index_;

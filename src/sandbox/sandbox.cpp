@@ -212,6 +212,7 @@ SandboxStats SandboxedEvaluator::stats() const {
 }
 
 void SandboxedEvaluator::shutdown() {
+  // hm-lint: allow(guarded-by) the workers_ vector is structurally frozen after construction; only the pointed-to Workers mutate, and destroy_worker locks mutex_ around those field updates
   for (auto& worker : workers_) {
     destroy_worker(*worker, /*force_kill=*/false);
   }
@@ -247,7 +248,9 @@ std::vector<double> SandboxedEvaluator::fallback_evaluate(
   // The optimizer saw thread_safe() == true and dispatches concurrently;
   // a non-thread-safe inner evaluator must be serialized here.
   const std::lock_guard<std::mutex> lock(fallback_mutex_);
+  // hm-lint: allow(blocking-under-lock) fallback_mutex_ exists precisely to serialize the blocking evaluation of a non-thread-safe inner evaluator
   return nonce == 0 ? inner_.evaluate(config)
+                    // hm-lint: allow(blocking-under-lock) same serialization contract as the line above
                     : inner_.evaluate_retry(config, nonce);
 }
 
@@ -299,6 +302,10 @@ bool SandboxedEvaluator::spawn_worker(Worker& worker,
   return true;
 }
 
+// hm-signal-safe [[noreturn]] child entry point: single-threaded after
+// fork, never returns (every path ends in ::_exit), and the evaluator it
+// drives was constructed before any sibling thread could hold a lock the
+// child would inherit frozen.
 void SandboxedEvaluator::worker_main(int request_fd, int response_fd) {
   g_worker_response_fd = response_fd;
   // Lifecycle belongs to the supervisor: ignore the cooperative SIGINT /

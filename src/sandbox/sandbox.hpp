@@ -139,11 +139,11 @@ class SandboxedEvaluator final : public hm::hypermapper::Evaluator {
 
  private:
   struct Worker {
-    pid_t pid = -1;
+    pid_t pid = -1;  // hm-guarded-by(mutex_)
     int to_child = -1;    ///< Request pipe, write end.
     int from_child = -1;  ///< Response pipe, read end.
     std::size_t served = 0;
-    bool busy = false;
+    bool busy = false;  // hm-guarded-by(mutex_)
     bool fresh = true;  ///< No request delivered since spawn.
     std::string span_name;
   };
@@ -176,18 +176,18 @@ class SandboxedEvaluator final : public hm::hypermapper::Evaluator {
 
   mutable std::mutex mutex_;
   std::condition_variable worker_available_;
-  std::vector<std::unique_ptr<Worker>> workers_;
-  std::size_t spawn_failures_in_a_row_ = 0;
-  bool circuit_open_ = false;
-  std::size_t dispatch_count_ = 0;
-  std::function<void(std::size_t)> dispatch_hook_;
+  std::vector<std::unique_ptr<Worker>> workers_;  // hm-guarded-by(mutex_)
+  std::size_t spawn_failures_in_a_row_ = 0;  // hm-guarded-by(mutex_)
+  bool circuit_open_ = false;  // hm-guarded-by(mutex_)
+  std::size_t dispatch_count_ = 0;  // hm-guarded-by(mutex_)
+  std::function<void(std::size_t)> dispatch_hook_;  // hm-guarded-by(mutex_)
 
   /// Serializes fallback evaluations when the inner evaluator is not
   /// thread-safe but the optimizer dispatches concurrently.
   std::mutex fallback_mutex_;
 
   mutable std::mutex stats_mutex_;
-  SandboxStats stats_;
+  SandboxStats stats_;  // hm-guarded-by(stats_mutex_)
 };
 
 /// Inside a worker process: the response-pipe descriptor of the running

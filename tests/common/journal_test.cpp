@@ -11,7 +11,10 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/journal.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hm::common {
 namespace {
@@ -232,6 +235,42 @@ TEST(JournalWriterTest, RewriteCompactsAtomicallyAndKeepsAppending) {
   EXPECT_EQ(result.records[0].type, "run");
   EXPECT_EQ(result.records[1].type, "snap");
   EXPECT_EQ(result.records[2].payload, "post-compaction");
+  std::remove(path.c_str());
+}
+
+TEST(JournalWriterTest, ConcurrentAppendsAreAllDurableAndIntact) {
+  // Group-commit path: appenders race, one becomes the batch leader and
+  // writes while followers wait; every record must land exactly once and
+  // every frame must stay intact (no interleaved partial writes).
+  const std::string path = temp_path("concurrent");
+  std::remove(path.c_str());
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kRecords = 200;
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open(path));
+    writer.set_fsync(false);
+    ThreadPool pool(kThreads);
+    pool.parallel_for(0, kRecords, [&writer](std::size_t i) {
+      EXPECT_TRUE(writer.append("eval", "payload " + std::to_string(i)));
+    });
+    EXPECT_EQ(writer.records_written(), kRecords);
+  }
+  const JournalReadResult result = read_journal(path);
+  EXPECT_EQ(result.status, JournalStatus::kOk);
+  ASSERT_EQ(result.records.size(), kRecords);
+  std::vector<std::string> payloads;
+  payloads.reserve(kRecords);
+  for (const auto& record : result.records) {
+    EXPECT_EQ(record.type, "eval");
+    payloads.push_back(record.payload);
+  }
+  std::sort(payloads.begin(), payloads.end());
+  EXPECT_EQ(std::unique(payloads.begin(), payloads.end()), payloads.end());
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    EXPECT_TRUE(std::binary_search(payloads.begin(), payloads.end(),
+                                   "payload " + std::to_string(i)));
+  }
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,31 @@
+// blocking-under-lock clean fixture: the IO is staged outside the
+// critical section — state is copied under the lock, the lock is released
+// (unique_lock::unlock), and only then does the write happen.
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace fix {
+
+class Store {
+ public:
+  void save();
+
+ private:
+  std::mutex mutex_;
+  std::string pending_;
+  std::FILE* file_ = nullptr;
+};
+
+void Store::save() {
+  std::string batch;
+  std::FILE* file = nullptr;
+  std::unique_lock<std::mutex> lock(mutex_);
+  batch.swap(pending_);
+  file = file_;
+  lock.unlock();
+  std::fwrite(batch.data(), 1, batch.size(), file);
+  std::fflush(file);
+}
+
+}  // namespace fix

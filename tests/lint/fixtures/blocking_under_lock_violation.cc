@@ -1,0 +1,35 @@
+// blocking-under-lock fixture: flush() fsyncs while holding mutex_, and
+// save() reaches fwrite through a helper while holding it transitively.
+#include <cstdio>
+#include <mutex>
+
+namespace fix {
+
+bool write_all(std::FILE* file, const char* bytes, int n);
+
+class Store {
+ public:
+  void flush();
+  void save();
+
+ private:
+  std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+};
+
+bool write_all(std::FILE* file, const char* bytes, int n) {
+  return std::fwrite(bytes, 1, static_cast<size_t>(n), file) ==
+         static_cast<size_t>(n);
+}
+
+void Store::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ::fsync(1);  // must fire: blocking syscall with mutex_ held
+}
+
+void Store::save() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_all(file_, "x", 1);  // must fire: fwrite reached through a callee
+}
+
+}  // namespace fix

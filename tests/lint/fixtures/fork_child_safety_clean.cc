@@ -1,0 +1,24 @@
+// fork-child-safety clean fixture: the child closes inherited descriptors
+// (async-signal-safe), then hands off to an hm-signal-safe entry point
+// that the rule trusts as the termination boundary.
+#include <unistd.h>
+
+namespace fix {
+
+void child_main(int fd);
+
+// hm-signal-safe never returns; every path ends in _exit
+void child_main(int fd) {
+  ::write(fd, "ok", 2);
+  ::_exit(0);
+}
+
+void spawn(int keep_fd) {
+  if (::fork() == 0) {
+    ::close(0);
+    ::dup2(keep_fd, 1);
+    child_main(keep_fd);
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,24 @@
+// fork-child-safety fixture: the child branch calls an async-signal-unsafe
+// helper (snprintf-level formatting through an unindexed call) and falls
+// through without reaching _exit or exec.
+#include <string>
+#include <unistd.h>
+
+namespace fix {
+
+std::string format_banner();
+
+std::string format_banner() {
+  std::string s = "worker";
+  s += std::to_string(42);  // allocates: not async-signal-safe
+  return s;
+}
+
+void spawn() {
+  if (::fork() == 0) {
+    format_banner();   // must fire: reaches std::string allocation
+    ::printf("child"); // must fire: printf is not on the allowlist
+  }                    // must fire: falls through into parent code
+}
+
+}  // namespace fix

@@ -1,0 +1,33 @@
+// guarded-by clean fixture: every touch of count_ either holds mutex_
+// directly or happens in a _locked helper whose only indexed caller holds
+// it (the transitive caller-holds path the rule must accept).
+#include <mutex>
+
+namespace fix {
+
+class Tally {
+ public:
+  void bump();
+  void bump_twice();
+
+ private:
+  void bump_locked();
+
+  std::mutex mutex_;
+  int count_ = 0;  // hm-guarded-by(mutex_)
+};
+
+void Tally::bump() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += 1;
+}
+
+void Tally::bump_twice() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bump_locked();
+  bump_locked();
+}
+
+void Tally::bump_locked() { count_ += 1; }
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// guarded-by fixture: count_ is annotated as guarded by mutex_, but
+// unsafe_bump() touches it with no lock held and no caller holding one.
+#include <mutex>
+
+namespace fix {
+
+class Tally {
+ public:
+  void bump();
+  void unsafe_bump();
+
+ private:
+  std::mutex mutex_;
+  int count_ = 0;  // hm-guarded-by(mutex_)
+};
+
+void Tally::bump() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  count_ += 1;
+}
+
+void Tally::unsafe_bump() {
+  count_ += 1;  // no lock: must fire
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Two-TU deadlock fixture, TU A: transfer() locks ledger_mutex_ then
+// audit_mutex_. TU B locks them in the opposite order.
+#include <mutex>
+
+namespace fix {
+
+class Ledger {
+ public:
+  void transfer();
+  void reconcile();
+
+ private:
+  std::mutex ledger_mutex_;
+  std::mutex audit_mutex_;
+  int balance_ = 0;
+};
+
+void Ledger::transfer() {
+  std::lock_guard<std::mutex> outer(ledger_mutex_);
+  balance_ += 1;
+  std::lock_guard<std::mutex> inner(audit_mutex_);
+  balance_ += 1;
+}
+
+}  // namespace fix

@@ -1,0 +1,26 @@
+// Two-TU deadlock fixture, TU B: reconcile() — defined out-of-line in a
+// second TU, as method definitions split across files are in real code —
+// locks audit_mutex_ then ledger_mutex_, the reverse of transfer() in TU A.
+#include <mutex>
+
+namespace fix {
+
+class Ledger {
+ public:
+  void transfer();
+  void reconcile();
+
+ private:
+  std::mutex ledger_mutex_;
+  std::mutex audit_mutex_;
+  int balance_ = 0;
+};
+
+void Ledger::reconcile() {
+  std::lock_guard<std::mutex> outer(audit_mutex_);
+  balance_ += 1;
+  std::lock_guard<std::mutex> inner(ledger_mutex_);
+  balance_ += 1;
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Clean counterpart of the two-TU deadlock fixture: both TUs take
+// ledger_mutex_ before audit_mutex_, so no cycle exists.
+#include <mutex>
+
+namespace fix {
+
+class Ledger {
+ public:
+  void transfer();
+  void reconcile();
+
+ private:
+  std::mutex ledger_mutex_;
+  std::mutex audit_mutex_;
+  int balance_ = 0;
+};
+
+void Ledger::transfer() {
+  std::lock_guard<std::mutex> outer(ledger_mutex_);
+  balance_ += 1;
+  std::lock_guard<std::mutex> inner(audit_mutex_);
+  balance_ += 1;
+}
+
+}  // namespace fix

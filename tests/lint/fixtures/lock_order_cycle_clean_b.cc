@@ -1,0 +1,25 @@
+// Clean counterpart, TU B: reconcile() takes the locks in the same
+// ledger-then-audit order as transfer() in TU A.
+#include <mutex>
+
+namespace fix {
+
+class Ledger {
+ public:
+  void transfer();
+  void reconcile();
+
+ private:
+  std::mutex ledger_mutex_;
+  std::mutex audit_mutex_;
+  int balance_ = 0;
+};
+
+void Ledger::reconcile() {
+  std::lock_guard<std::mutex> outer(ledger_mutex_);
+  balance_ += 1;
+  std::lock_guard<std::mutex> inner(audit_mutex_);
+  balance_ += 1;
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// fork-child-safety (handler leg) clean fixture: the cooperative-shutdown
+// idiom — the handler only stores a flag and re-raises nothing.
+#include <csignal>
+
+namespace fix {
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+}  // namespace
+
+void on_term(int /*sig*/);
+
+void on_term(int sig) { g_stop = sig; }
+
+void install() { std::signal(SIGTERM, on_term); }
+
+}  // namespace fix

@@ -1,0 +1,23 @@
+// fork-child-safety (handler leg) fixture: a handler registered through
+// std::signal calls into allocating code.
+#include <csignal>
+#include <string>
+
+namespace fix {
+
+std::string describe();
+void on_term(int sig);
+
+std::string describe() {
+  std::string s = "sig";
+  s += std::to_string(15);  // allocates
+  return s;
+}
+
+void on_term(int /*sig*/) {
+  describe();  // must fire: allocation reachable from a signal handler
+}
+
+void install() { std::signal(SIGTERM, on_term); }
+
+}  // namespace fix

@@ -203,6 +203,58 @@ TEST(TokenizerTest, LineNumbersTrackNewlinesInsideComments) {
   EXPECT_EQ(tokens[1].line, 3u);
 }
 
+TEST(TokenizerTest, LineCommentContinuesAcrossBackslashNewline) {
+  // A backslash-newline splice extends a // comment onto the next physical
+  // line (the classic `// comment \` footgun). The spliced run must be ONE
+  // comment token — `hidden()` below is commented out, not code.
+  const auto tokens =
+      hm::lint::tokenize("// note \\\nhidden();\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens.front().kind, TokenKind::kComment);
+  EXPECT_NE(tokens.front().text.find("hidden"), std::string_view::npos);
+  EXPECT_EQ(tokens[1].text, "int");
+  EXPECT_EQ(tokens[1].line, 3u);  // the splice consumed line 2
+}
+
+TEST(TokenizerTest, CrLfBackslashSpliceAlsoContinuesComment) {
+  const auto tokens = hm::lint::tokenize("// a \\\r\nb();\nint x;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens.front().kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, "int");
+}
+
+TEST(TokenizerTest, RawStringContainingQuotesAndDelimiters) {
+  // Raw strings terminate only at )delim" — embedded quotes, parens, and
+  // a fake `)"`, must not end the literal early.
+  const auto tokens = hm::lint::tokenize(
+      "const char* s = R\"x(quote \" paren ) close )\" still)x\";\nint y;");
+  const auto str = std::find_if(
+      tokens.begin(), tokens.end(),
+      [](const Token& t) { return t.kind == TokenKind::kString; });
+  ASSERT_NE(str, tokens.end());
+  EXPECT_NE(str->text.find("still"), std::string_view::npos);
+  const auto ident = std::find_if(
+      tokens.begin(), tokens.end(),
+      [](const Token& t) { return t.text == "y"; });
+  EXPECT_NE(ident, tokens.end());
+}
+
+TEST(TokenizerTest, OperatorCallSyntaxStaysIntact) {
+  // `operator()(int)` — the `operator` keyword followed by `()` then the
+  // parameter list. The tokenizer must not fuse or drop the punctuators
+  // (the index builder relies on this shape to detect call-operator
+  // definitions).
+  const auto tokens = hm::lint::tokenize("void F::operator()(int x) {}");
+  std::vector<std::string> texts;
+  for (const Token& t : tokens) texts.emplace_back(t.text);
+  const auto it = std::find(texts.begin(), texts.end(), "operator");
+  ASSERT_NE(it, texts.end());
+  ASSERT_GE(texts.end() - it, 4);
+  EXPECT_EQ(*(it + 1), "(");
+  EXPECT_EQ(*(it + 2), ")");
+  EXPECT_EQ(*(it + 3), "(");
+}
+
 TEST(GlobTest, SegmentAndCrossSegmentWildcards) {
   EXPECT_TRUE(hm::lint::glob_match("*.cpp", "src/common/csv.cpp"));
   EXPECT_TRUE(hm::lint::glob_match("src/**/*.hpp", "src/kfusion/icp.hpp"));

@@ -1,0 +1,72 @@
+#include "hm_lint/baseline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hm::lint {
+
+std::optional<Baseline> parse_baseline(std::string_view text) {
+  Baseline baseline;
+  std::size_t i = 0;
+  while (i <= text.size()) {
+    const std::size_t end = text.find('\n', i);
+    std::string_view line = text.substr(
+        i, end == std::string_view::npos ? text.size() - i : end - i);
+    i = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t tab1 = line.find('\t');
+    if (tab1 == std::string_view::npos) return std::nullopt;
+    const std::size_t tab2 = line.find('\t', tab1 + 1);
+    if (tab2 == std::string_view::npos) return std::nullopt;
+    ++baseline.entries[{std::string(line.substr(0, tab1)),
+                        std::string(line.substr(tab1 + 1, tab2 - tab1 - 1)),
+                        std::string(line.substr(tab2 + 1))}];
+  }
+  return baseline;
+}
+
+std::string serialize_baseline(const std::vector<Diagnostic>& diagnostics) {
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t>
+      entries;
+  for (const Diagnostic& d : diagnostics) {
+    ++entries[{d.rule_id, d.file, d.message}];
+  }
+  std::ostringstream out;
+  out << "# hm_lint baseline — known findings CI must not fail on.\n"
+      << "# One finding per line: <rule>\\t<file>\\t<message>. Line numbers\n"
+      << "# are deliberately omitted so unrelated edits don't invalidate\n"
+      << "# entries. Regenerate with scripts/lint.sh --update-baseline;\n"
+      << "# shrink it whenever a finding is fixed (stale entries are\n"
+      << "# reported). Prefer fixing or suppress-with-reason over\n"
+      << "# baselining: this file is for staged adoption, not a landfill.\n";
+  for (const auto& [key, count] : entries) {
+    const auto& [rule, file, message] = key;
+    for (std::size_t k = 0; k < count; ++k) {
+      out << rule << '\t' << file << '\t' << message << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::size_t apply_baseline(Baseline& baseline,
+                           std::vector<Diagnostic>& diagnostics) {
+  std::size_t filtered = 0;
+  const auto matched = [&](const Diagnostic& d) {
+    const auto it = baseline.entries.find({d.rule_id, d.file, d.message});
+    if (it == baseline.entries.end() || it->second == 0) return false;
+    --it->second;
+    ++filtered;
+    return true;
+  };
+  diagnostics.erase(
+      std::remove_if(diagnostics.begin(), diagnostics.end(), matched),
+      diagnostics.end());
+  // Drop exhausted entries so what's left is exactly the stale residue.
+  for (auto it = baseline.entries.begin(); it != baseline.entries.end();) {
+    it = it->second == 0 ? baseline.entries.erase(it) : std::next(it);
+  }
+  return filtered;
+}
+
+}  // namespace hm::lint

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file
+/// Baseline gating: a checked-in snapshot of known findings so CI fails
+/// only on *new* diagnostics. Entries are keyed on (rule, file, message) —
+/// deliberately not on line numbers, so unrelated edits that shift code
+/// don't invalidate the baseline. Matching is multiset-style: two
+/// identical findings need two entries.
+///
+/// Format (one entry per line, tab-separated; '#' lines are comments):
+///
+///   <rule-id>\t<file>\t<message>
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <vector>
+
+#include "hm_lint/diagnostic.hpp"
+
+namespace hm::lint {
+
+struct Baseline {
+  /// (rule, file, message) -> number of allowed occurrences.
+  std::map<std::tuple<std::string, std::string, std::string>, std::size_t>
+      entries;
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& [key, count] : entries) n += count;
+    return n;
+  }
+};
+
+/// Parses baseline text. Malformed lines (fewer than three fields) make
+/// the whole parse fail — a silently half-read baseline would un-gate CI.
+[[nodiscard]] std::optional<Baseline> parse_baseline(std::string_view text);
+
+/// Serializes diagnostics as baseline text, sorted and deduplicated into
+/// counted entries, with a header documenting the workflow.
+[[nodiscard]] std::string serialize_baseline(
+    const std::vector<Diagnostic>& diagnostics);
+
+/// Removes baselined diagnostics (multiset matching). Returns how many
+/// were filtered out. Entries that matched nothing are left in `baseline`
+/// with their residual counts so callers can report staleness.
+std::size_t apply_baseline(Baseline& baseline,
+                           std::vector<Diagnostic>& diagnostics);
+
+}  // namespace hm::lint

@@ -10,7 +10,9 @@
 #include <system_error>
 #include <utility>
 
+#include "common/atomic_file.hpp"
 #include "common/thread_pool.hpp"
+#include "hm_lint/index.hpp"
 #include "hm_lint/suppression.hpp"
 
 namespace hm::lint {
@@ -104,6 +106,23 @@ namespace {
   return kept;
 }
 
+[[nodiscard]] std::vector<std::shared_ptr<const IndexRule>>
+filter_index_rules(
+    const std::vector<std::shared_ptr<const IndexRule>>& rules,
+    const std::vector<std::string>& filter) {
+  if (filter.empty()) return rules;
+  std::vector<std::shared_ptr<const IndexRule>> kept;
+  for (const auto& rule : rules) {
+    for (const std::string& id : filter) {
+      if (rule->id() == id) {
+        kept.push_back(rule);
+        break;
+      }
+    }
+  }
+  return kept;
+}
+
 struct FileOutcome {
   std::vector<Diagnostic> diagnostics;
   std::size_t suppressed = 0;
@@ -120,6 +139,71 @@ struct FileOutcome {
       context, collect_suppressions(context), outcome.diagnostics);
   std::sort(outcome.diagnostics.begin(), outcome.diagnostics.end());
   return outcome;
+}
+
+/// Pass-1 result for one file: pre-suppression diagnostics plus the
+/// context (kept alive for suppression application after pass 2) and the
+/// file's semantic index.
+struct PassOneOutcome {
+  std::shared_ptr<const FileContext> context;
+  std::vector<Diagnostic> diagnostics;  ///< per-file rules, unsuppressed
+  FileIndex index;
+};
+
+[[nodiscard]] PassOneOutcome pass_one(
+    std::shared_ptr<const FileContext> context,
+    const std::vector<std::shared_ptr<const Rule>>& rules, bool build_index) {
+  PassOneOutcome outcome;
+  for (const auto& rule : rules) {
+    rule->check(*context, outcome.diagnostics);
+  }
+  if (build_index) outcome.index = build_file_index(*context);
+  outcome.context = std::move(context);
+  return outcome;
+}
+
+/// Pass 2 + suppression merge shared by run_lint and analyze_project:
+/// runs the index rules over the merged index, distributes every
+/// diagnostic to its file, applies that file's suppressions (so a line
+/// suppression covers cross-file findings too, and unused suppressions
+/// are judged against the union), and returns the sorted total.
+[[nodiscard]] std::vector<Diagnostic> finish_passes(
+    std::vector<PassOneOutcome>& outcomes,
+    const std::vector<std::shared_ptr<const IndexRule>>& index_rules,
+    bool cross_file, std::size_t& suppressed_total) {
+  std::vector<Diagnostic> index_diagnostics;
+  if (cross_file) {
+    std::vector<FileIndex> indexes;
+    indexes.reserve(outcomes.size());
+    for (PassOneOutcome& o : outcomes) indexes.push_back(std::move(o.index));
+    const ProjectIndex project = ProjectIndex::merge(std::move(indexes));
+    for (const auto& rule : index_rules) {
+      rule->check(project, index_diagnostics);
+    }
+  }
+
+  std::vector<Diagnostic> all;
+  for (PassOneOutcome& outcome : outcomes) {
+    std::vector<Diagnostic> mine = std::move(outcome.diagnostics);
+    for (const Diagnostic& d : index_diagnostics) {
+      if (d.file == outcome.context->path) mine.push_back(d);
+    }
+    suppressed_total += apply_suppressions(
+        *outcome.context, collect_suppressions(*outcome.context), mine);
+    std::sort(mine.begin(), mine.end());
+    std::move(mine.begin(), mine.end(), std::back_inserter(all));
+  }
+  // Cross-file diagnostics pointing at files outside the walked set (never
+  // the case today, but cheap to keep correct).
+  for (const Diagnostic& d : index_diagnostics) {
+    bool owned = false;
+    for (const PassOneOutcome& outcome : outcomes) {
+      owned = owned || outcome.context->path == d.file;
+    }
+    if (!owned) all.push_back(d);
+  }
+  std::sort(all.begin(), all.end());
+  return all;
 }
 
 }  // namespace
@@ -194,20 +278,45 @@ std::vector<Diagnostic> analyze_source(
   return analyze_context(context, rules).diagnostics;
 }
 
+std::vector<Diagnostic> analyze_project(
+    std::vector<std::pair<std::string, std::string>> files,
+    const std::vector<std::shared_ptr<const Rule>>& rules,
+    const std::vector<std::shared_ptr<const IndexRule>>& index_rules) {
+  std::vector<PassOneOutcome> outcomes;
+  outcomes.reserve(files.size());
+  for (auto& [path, source] : files) {
+    outcomes.push_back(pass_one(
+        make_context(std::move(path), std::move(source)), rules, true));
+  }
+  std::size_t suppressed = 0;
+  return finish_passes(outcomes, index_rules, true, suppressed);
+}
+
 LintReport run_lint(const LintOptions& options,
                     const std::vector<std::shared_ptr<const Rule>>& rules,
-                    hm::common::ThreadPool* pool) {
+                    hm::common::ThreadPool* pool,
+                    const std::vector<std::shared_ptr<const IndexRule>>&
+                        index_rules) {
   LintReport report;
   const std::vector<std::shared_ptr<const Rule>> active =
       filter_rules(rules, options.rule_filter);
-  const std::vector<std::string> files = collect_files(options, report.diagnostics);
+  const std::vector<std::shared_ptr<const IndexRule>> active_index =
+      filter_index_rules(index_rules, options.rule_filter);
+  // With an explicit --rule filter naming only per-file rules, pass 2 has
+  // nothing to run and the index build is wasted work — unless the caller
+  // asked to persist indexes.
+  const bool run_pass_two = options.cross_file && !active_index.empty();
+  const bool cross_file = run_pass_two || !options.index_dir.empty();
+  const std::vector<std::string> files =
+      collect_files(options, report.diagnostics);
   report.files_scanned = files.size();
 
-  std::vector<FileOutcome> outcomes(files.size());
+  std::vector<PassOneOutcome> outcomes(files.size());
   const fs::path root(options.root);
   const auto analyze_one = [&](std::size_t i) {
     const std::optional<std::string> source = read_file(root / files[i]);
     if (!source) {
+      outcomes[i].context = make_context(files[i], "");
       outcomes[i].diagnostics.push_back(
           {files[i], 0, "io-error", "cannot read file", Severity::kError});
       return;
@@ -228,7 +337,7 @@ LintReport run_lint(const LintOptions& options,
         context->companion = make_context(header_rel, std::move(*header));
       }
     }
-    outcomes[i] = analyze_context(*context, active);
+    outcomes[i] = pass_one(std::move(context), active, cross_file);
   };
 
   if (pool != nullptr && files.size() > 1) {
@@ -237,13 +346,26 @@ LintReport run_lint(const LintOptions& options,
     for (std::size_t i = 0; i < files.size(); ++i) analyze_one(i);
   }
 
-  // Deterministic merge: file order, then the per-file sort from
-  // analyze_context.
-  for (FileOutcome& outcome : outcomes) {
-    report.suppressed += outcome.suppressed;
-    std::move(outcome.diagnostics.begin(), outcome.diagnostics.end(),
-              std::back_inserter(report.diagnostics));
+  if (!options.index_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(options.index_dir, ec);
+    for (const PassOneOutcome& outcome : outcomes) {
+      std::string name = outcome.index.path;
+      std::replace(name.begin(), name.end(), '/', '_');
+      const std::string target =
+          (fs::path(options.index_dir) / (name + ".idx")).string();
+      if (!hm::common::write_file_atomic(target, serialize(outcome.index))) {
+        report.diagnostics.push_back({outcome.index.path, 0, "io-error",
+                                      "cannot write index file " + target,
+                                      Severity::kError});
+      }
+    }
   }
+
+  std::vector<Diagnostic> merged =
+      finish_passes(outcomes, active_index, run_pass_two, report.suppressed);
+  std::move(merged.begin(), merged.end(),
+            std::back_inserter(report.diagnostics));
   std::sort(report.diagnostics.begin(), report.diagnostics.end());
   return report;
 }

@@ -1,16 +1,27 @@
-// The lint driver: walks a tree from a root with include/exclude globs,
-// analyzes files in parallel on the shared hm::common::ThreadPool, applies
-// suppressions, and returns a deterministic report (files visited in
-// sorted order, diagnostics merged in file order and sorted).
+// The lint driver, now two passes:
+//
+//   pass 1 (parallel, per file): tokenize, run the per-file rules, build
+//     the semantic index for the file, collect suppressions;
+//   pass 2 (serial): merge the per-TU indexes deterministically, run the
+//     cross-file index rules (lock-order-cycle, guarded-by,
+//     blocking-under-lock, fork-child-safety) over the merged index.
+//
+// Suppressions are applied after both passes, so a line suppression works
+// identically for per-file and cross-file diagnostics, and unused
+// suppressions are detected against the union. The report is
+// deterministic: files visited in sorted order, diagnostics merged in
+// file order and sorted.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "hm_lint/diagnostic.hpp"
+#include "hm_lint/index_rules.hpp"
 #include "hm_lint/rule.hpp"
 
 namespace hm::common {
@@ -29,8 +40,16 @@ struct LintOptions {
   std::vector<std::string> include_globs = {"*.cpp", "*.hpp"};
   /// ...and no exclude glob. Build trees are always skipped.
   std::vector<std::string> exclude_globs;
-  /// When non-empty, only rules with these ids run.
+  /// When non-empty, only rules with these ids run (applies to per-file
+  /// and cross-file rules alike).
   std::vector<std::string> rule_filter;
+  /// Run the cross-file index rules (pass 2). Disabling this restores the
+  /// PR 3 single-pass behavior.
+  bool cross_file = true;
+  /// When non-empty, each file's serialized semantic index is persisted
+  /// here (atomically) as `<path-with-slashes-as-__>.idx` for debugging
+  /// and diffing.
+  std::string index_dir;
 };
 
 struct LintReport {
@@ -57,11 +76,22 @@ struct LintReport {
 [[nodiscard]] std::shared_ptr<const FileContext> make_context(
     std::string path, std::string source);
 
+/// Analyzes a set of in-memory sources as one project: per-file rules,
+/// merged semantic index, cross-file rules, then suppressions over the
+/// union. This is the multi-TU unit-test entry point (the two-TU deadlock
+/// fixtures drive it).
+[[nodiscard]] std::vector<Diagnostic> analyze_project(
+    std::vector<std::pair<std::string, std::string>> files,
+    const std::vector<std::shared_ptr<const Rule>>& rules,
+    const std::vector<std::shared_ptr<const IndexRule>>& index_rules);
+
 /// Walks and lints the tree. `pool` may be null (serial). Deterministic:
 /// the same tree yields the same report regardless of thread count.
 [[nodiscard]] LintReport run_lint(
     const LintOptions& options,
     const std::vector<std::shared_ptr<const Rule>>& rules,
-    hm::common::ThreadPool* pool);
+    hm::common::ThreadPool* pool,
+    const std::vector<std::shared_ptr<const IndexRule>>& index_rules =
+        default_index_rules());
 
 }  // namespace hm::lint

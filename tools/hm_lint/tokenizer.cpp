@@ -61,11 +61,27 @@ std::vector<Token> tokenize(std::string_view source) {
       continue;
     }
 
-    // Comments.
+    // Comments. A `//` comment whose line ends in a backslash continues on
+    // the next line (the preprocessor splices the lines before comment
+    // recognition), so the whole spliced run is one comment token — code on
+    // the continued lines must not be tokenized as code.
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
       std::size_t end = i;
-      while (end < n && source[end] != '\n') ++end;
+      while (end < n) {
+        if (source[end] != '\n') {
+          ++end;
+          continue;
+        }
+        std::size_t back = end;
+        if (back > i && source[back - 1] == '\r') --back;
+        if (back > i && source[back - 1] == '\\') {
+          ++end;  // Spliced: the comment swallows this newline.
+          continue;
+        }
+        break;
+      }
       tokens.push_back({TokenKind::kComment, source.substr(i, end - i), line});
+      count_lines(i, end);
       i = end;
       continue;
     }
