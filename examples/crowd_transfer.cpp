@@ -145,7 +145,8 @@ int main(int argc, char** argv) {
     std::string campaign_error;
     const auto journaled = crowd::run_crowd_experiment_journaled(
         devices, default_metrics.stats, tuned_metrics.stats, frames, flaky,
-        *journal_path, &info, &campaign_error);
+        *journal_path, &info, &campaign_error,
+        [] { return common::shutdown_requested(); });
     if (!journaled) {
       std::fprintf(stderr, "campaign journal error: %s\n",
                    campaign_error.c_str());
@@ -156,6 +157,14 @@ int main(int argc, char** argv) {
       std::printf("campaign resumed: %zu devices replayed from the journal, "
                   "%zu measured\n",
                   info.replayed_devices, info.measured_devices);
+    }
+    if (crowd_result.interrupted) {
+      // The same cooperative-shutdown code every driver (and hm_serve)
+      // exits with; the journal resumes the fleet from the next device.
+      std::printf("campaign interrupted after %zu devices; rerun with "
+                  "--journal %s --resume to finish\n",
+                  info.measured_devices, journal_path->c_str());
+      return 130;
     }
   } else {
     crowd_result = crowd::run_crowd_experiment(

@@ -1,0 +1,114 @@
+// hm_client: example client for the hm_serve tuning daemon.
+//
+//   ./hm_client --socket /tmp/hm_serve.sock --scenario scenario.json
+//   ./hm_client --port 7421 --resume my-campaign [--report out.txt]
+//   ./hm_client --port 7421 --ping
+//
+// Submits one scenario (or resumes one campaign by id), follows progress
+// frames, and writes the final report to --report (atomic) or stdout.
+//
+// Exit codes: 0 report received, 2 typed-busy shed (retry later), 3 parked
+// (resume later), 130 on SIGINT/SIGTERM before the report arrived, 1 on
+// any other error — consistent with every driver binary in the repo.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.hpp"
+#include "common/cli.hpp"
+#include "common/signal.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+[[nodiscard]] std::string read_file_or_inline(const std::string& value) {
+  // A value that parses as a path to a readable file is read; otherwise it
+  // is treated as inline JSON.
+  std::ifstream in(value, std::ios::binary);
+  if (!in) return value;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv, {"ping"});
+  if (!common::install_shutdown_handler()) {
+    std::fprintf(stderr, "warning: cannot install signal handlers\n");
+  }
+
+  const double wait = args.get_or("connect-timeout", 5.0);
+  const double reply_deadline = args.get_or("reply-timeout", 60.0);
+  std::string error;
+  std::optional<serve::Client> client;
+  if (const auto socket_path = args.get("socket")) {
+    client = serve::Client::connect_unix_path(*socket_path, wait, &error);
+  } else if (const auto port = args.get("port")) {
+    client = serve::Client::connect_port(
+        static_cast<std::uint16_t>(args.get_or("port", std::int64_t{0})), wait,
+        &error);
+  } else {
+    std::fprintf(stderr, "hm_client: need --socket PATH or --port N\n");
+    return 1;
+  }
+  if (!client) {
+    std::fprintf(stderr, "hm_client: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (args.flag("ping")) {
+    const bool alive = client->ping(reply_deadline);
+    std::printf("hm_client: daemon %s\n", alive ? "alive" : "unreachable");
+    client->bye();
+    return alive ? 0 : 1;
+  }
+
+  serve::ClientResult result;
+  if (const auto id = args.get("resume")) {
+    result = client->resume_campaign(*id, reply_deadline);
+  } else if (const auto scenario = args.get("scenario")) {
+    result = client->run_scenario(read_file_or_inline(*scenario),
+                                  reply_deadline);
+  } else {
+    std::fprintf(stderr,
+                 "hm_client: need --scenario JSON|PATH or --resume ID\n");
+    return 1;
+  }
+
+  switch (result.status) {
+    case serve::ClientResult::Status::kReport: {
+      std::printf("hm_client: campaign %s done (%zu progress frames%s)\n",
+                  result.campaign_id.c_str(), result.progress_frames,
+                  result.interrupted ? ", interrupted" : "");
+      if (const auto report_path = args.get("report")) {
+        if (!common::write_file_atomic(*report_path, result.report, &error)) {
+          std::fprintf(stderr, "hm_client: cannot write %s: %s\n",
+                       report_path->c_str(), error.c_str());
+          return 1;
+        }
+      } else {
+        std::fwrite(result.report.data(), 1, result.report.size(), stdout);
+      }
+      client->bye();
+      return 0;
+    }
+    case serve::ClientResult::Status::kBusy:
+      std::fprintf(stderr, "hm_client: server busy: %s\n",
+                   result.message.c_str());
+      return 2;
+    case serve::ClientResult::Status::kParked:
+      std::fprintf(stderr, "hm_client: campaign %s parked: %s\n",
+                   result.campaign_id.c_str(), result.message.c_str());
+      return 3;
+    case serve::ClientResult::Status::kError:
+      if (common::shutdown_requested()) return 130;
+      std::fprintf(stderr, "hm_client: %s\n", result.message.c_str());
+      return 1;
+  }
+  return 1;
+}

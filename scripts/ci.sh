@@ -5,7 +5,7 @@
 #              only NEW findings (or stale baseline entries surfaced by the
 #              lint ctest) fail the gate
 #   3. tsan:   scripts/tsan.sh — the "tsan"-labeled concurrency suite (plus
-#              simd/sandbox labels) under ThreadSanitizer
+#              simd/sandbox/serve labels) under ThreadSanitizer
 # Each stage reuses its standard build tree (build/, build-tsan/), so local
 # runs are incremental. HM_CI_SKIP_TSAN=1 skips stage 3 (e.g. on hosts
 # where TSan is unavailable).

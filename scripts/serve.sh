@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Serving job: builds the hm_serve daemon + hm_client and runs the "serve"
+# ctest label (socket framing matrix, scenario surface, daemon lifecycle,
+# forked-daemon SIGKILL recovery), then drives the real binaries end to end:
+#   1. smoke:    daemon up, client submits a campaign, report comes back,
+#                SIGTERM drains the daemon and it exits 130
+#   2. recovery: kill -9 the daemon mid-campaign, restart it over the same
+#                journal directory, resume the campaign from another client,
+#                and require the recovered report to be byte-identical to
+#                the uninterrupted one
+# Run locally before touching src/serve/, the batch-async optimizer driver,
+# or the frame protocol in src/sandbox/protocol.*.
+set -euo pipefail
+source "$(dirname "$0")/common.sh"
+cd "$(hm_repo_root)"
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+export HM_BUILD_TARGETS="hm_serve hm_client serve_protocol_test serve_test
+  serve_recovery_test"
+hm_configure_build "$BUILD_DIR"
+hm_ctest "$BUILD_DIR" -L serve
+
+HM_SERVE="$BUILD_DIR/src/serve/hm_serve"
+HM_CLIENT="$BUILD_DIR/examples/hm_client"
+WORK="$(mktemp -d)"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+# Hang-slowed so the kill -9 below reliably lands mid-campaign; the hangs
+# change timing only, never an objective value, so the reference report from
+# the uninterrupted run is the byte-identity target for the recovered one.
+SCENARIO='{"name": "smoke", "seed": 7,
+  "space": [{"kind": "integer", "name": "x", "lo": 0, "hi": 19},
+            {"kind": "integer", "name": "y", "lo": 0, "hi": 19}],
+  "budget": {"random_samples": 12, "max_iterations": 2,
+             "max_samples_per_iteration": 6, "pool_size": 60,
+             "tree_count": 4},
+  "evaluator": {"kind": "grid", "fail_modulo": 17, "fail_remainder": 3,
+                "hang_modulo": 2, "hang_remainder": 0,
+                "hang_seconds": 0.2}}'
+
+echo "== serve: daemon + client smoke, SIGTERM drain =="
+"$HM_SERVE" --dir "$WORK/reference" --socket "$WORK/ref.sock" &
+REF_PID=$!
+"$HM_CLIENT" --socket "$WORK/ref.sock" --scenario "$SCENARIO" \
+    --report "$WORK/reference.txt"
+test -s "$WORK/reference.txt"
+kill -TERM "$REF_PID"
+set +e; wait "$REF_PID"; DRAIN_RC=$?; set -e
+if [[ "$DRAIN_RC" != 130 ]]; then
+  echo "serve: expected exit 130 after SIGTERM drain, got $DRAIN_RC" >&2
+  exit 1
+fi
+
+echo "== serve: kill -9 mid-campaign, restart, byte-identical recovery =="
+"$HM_SERVE" --dir "$WORK/crash" --socket "$WORK/crash.sock" &
+CRASH_PID=$!
+"$HM_CLIENT" --socket "$WORK/crash.sock" --scenario "$SCENARIO" \
+    --report "$WORK/never-written.txt" &
+CLIENT_PID=$!
+# Wait for the campaign's write-ahead log to hold durable records, let a
+# few more land, then kill the daemon the hard way.
+for _ in $(seq 1 100); do
+  [[ -s "$WORK/crash/smoke.wal" ]] && break
+  sleep 0.1
+done
+test -s "$WORK/crash/smoke.wal"
+sleep 0.3
+kill -9 "$CRASH_PID"
+set +e
+wait "$CRASH_PID"
+wait "$CLIENT_PID"   # Loses its connection mid-campaign; failure expected.
+set -e
+test ! -s "$WORK/never-written.txt"
+
+"$HM_SERVE" --dir "$WORK/crash" --socket "$WORK/crash.sock" &
+RECOVER_PID=$!
+"$HM_CLIENT" --socket "$WORK/crash.sock" --resume smoke \
+    --report "$WORK/recovered.txt"
+cmp "$WORK/reference.txt" "$WORK/recovered.txt"
+kill -TERM "$RECOVER_PID"
+set +e; wait "$RECOVER_PID"; DRAIN_RC=$?; set -e
+if [[ "$DRAIN_RC" != 130 ]]; then
+  echo "serve: expected exit 130 after SIGTERM drain, got $DRAIN_RC" >&2
+  exit 1
+fi
+
+echo "== serve: recovered report is byte-identical; all gates passed =="

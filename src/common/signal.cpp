@@ -1,16 +1,23 @@
 #include "common/signal.hpp"
 
+#include <atomic>
 #include <csignal>
 
 namespace hm::common {
 
 namespace {
 
-// The only write the handler performs: volatile sig_atomic_t is the
-// async-signal-safe subset the standard guarantees.
-volatile std::sig_atomic_t g_shutdown_requested = 0;
+// The only write the handler performs. A lock-free atomic is both
+// async-signal-safe (like volatile sig_atomic_t) and safe to read from a
+// thread other than the one the signal landed on — hm_serve polls this
+// flag from its event-loop thread.
+std::atomic<int> g_shutdown_requested{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
 
-extern "C" void handle_shutdown_signal(int) { g_shutdown_requested = 1; }
+extern "C" void handle_shutdown_signal(int) {
+  g_shutdown_requested.store(1, std::memory_order_relaxed);
+}
 
 }  // namespace
 
@@ -26,8 +33,12 @@ bool install_shutdown_handler() {
   return true;
 }
 
-bool shutdown_requested() noexcept { return g_shutdown_requested != 0; }
+bool shutdown_requested() noexcept {
+  return g_shutdown_requested.load(std::memory_order_relaxed) != 0;
+}
 
-void reset_shutdown_for_test() noexcept { g_shutdown_requested = 0; }
+void reset_shutdown_for_test() noexcept {
+  g_shutdown_requested.store(0, std::memory_order_relaxed);
+}
 
 }  // namespace hm::common

@@ -195,7 +195,8 @@ std::optional<CrowdResult> run_crowd_experiment_journaled(
     const hm::kfusion::KernelStats& default_stats,
     const hm::kfusion::KernelStats& tuned_stats, std::size_t frames,
     const FlakyDeviceModel& flaky, const std::string& journal_path,
-    CrowdJournalInfo* info, std::string* error) {
+    CrowdJournalInfo* info, std::string* error,
+    const std::function<bool()>& cancel) {
   const auto fail = [&](const std::string& message) {
     if (error != nullptr) *error = message;
     return std::nullopt;
@@ -275,6 +276,14 @@ std::optional<CrowdResult> run_crowd_experiment_journaled(
     return fail("cannot journal the campaign fingerprint");
   }
   for (std::size_t i = next_index; i < devices.size(); ++i) {
+    if (cancel && cancel()) {
+      // Device boundary: every measured device is already durable, and no
+      // "done" record is written, so a rerun resumes from device i.
+      result.interrupted = true;
+      finalize_result(&result, speedups, flaky.trim_fraction);
+      if (info != nullptr) *info = local;
+      return result;
+    }
     const ReliabilityDraw draw = draw_reliability(rng, flaky);
     DeviceSpeedup entry;
     const DeviceOutcome outcome = measure_device(

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -55,6 +56,11 @@ struct CrowdResult {
   std::size_t usable_devices = 0;
   std::size_t dropped_devices = 0;  ///< Never reported (flaky dropout).
   std::size_t noisy_devices = 0;    ///< Reported with injected noise.
+  /// True when a journaled campaign stopped at a device boundary because
+  /// its cancel probe fired (SIGINT/SIGTERM). The journal holds every
+  /// measured device; rerunning with the same path resumes to the
+  /// byte-identical complete result.
+  bool interrupted = false;
 };
 
 /// Computes per-device speedups from the measured kernel work of the two
@@ -87,11 +93,18 @@ struct CrowdJournalInfo {
 /// run_crowd_experiment with the same inputs: replay burns the same RNG
 /// draws the original devices consumed, and measured values round-trip
 /// through the journal bit-exactly.
+///
+/// `cancel` is the cooperative shutdown probe (typically
+/// common::shutdown_requested), polled between devices: when it fires the
+/// campaign stops cleanly at the boundary and returns the partial result
+/// with `interrupted == true` — callers exit 130, the repo-wide
+/// cooperative-shutdown code.
 [[nodiscard]] std::optional<CrowdResult> run_crowd_experiment_journaled(
     const std::vector<hm::slambench::DeviceModel>& devices,
     const hm::kfusion::KernelStats& default_stats,
     const hm::kfusion::KernelStats& tuned_stats, std::size_t frames,
     const FlakyDeviceModel& flaky, const std::string& journal_path,
-    CrowdJournalInfo* info = nullptr, std::string* error = nullptr);
+    CrowdJournalInfo* info = nullptr, std::string* error = nullptr,
+    const std::function<bool()>& cancel = {});
 
 }  // namespace hm::crowd

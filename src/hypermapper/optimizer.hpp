@@ -4,15 +4,28 @@
 // pool, evaluate the predicted-front points that have not been measured yet,
 // refit, and repeat until the predicted front is fully measured or budgets
 // are exhausted.
+//
+// The search core is batch-asynchronous: Optimizer::AsyncRun proposes one
+// candidate batch at a time and folds evaluation outcomes back in as they
+// land, in any order and from any thread. run()/resume()/run_seeded() are
+// thin synchronous drivers over it; hm_serve drives many AsyncRuns from one
+// event loop, dispatching their batches on the shared ThreadPool. The
+// result stream stays deterministic regardless of completion order because
+// outcomes are merged in slot order at batch commit, which is also the
+// journal's seq order — a served, crashed, resumed campaign reproduces the
+// uninterrupted run byte for byte.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -111,6 +124,20 @@ struct OptimizationResult {
 };
 
 struct ReplayEntry;  // run_journal.hpp
+struct ReplayState;  // run_journal.hpp
+
+/// One batch of configurations proposed by the batch-async engine. Slots
+/// are positions in `configs`; `pending` lists the slots the driver must
+/// evaluate (the rest were already replayed from a journal tail and need no
+/// work). A proposal with an empty `pending` list is legal — the driver
+/// just asks for the next batch.
+struct BatchProposal {
+  std::size_t iteration = 0;           ///< 0 = random bootstrap batch.
+  std::vector<Configuration> configs;  ///< Slot-indexed candidate set.
+  /// Surrogate predictions per slot; empty for the bootstrap batch.
+  std::vector<Objectives> predicted;
+  std::vector<std::size_t> pending;    ///< Slots awaiting ingest()/skip().
+};
 
 class Optimizer {
  public:
@@ -170,18 +197,53 @@ class Optimizer {
   [[nodiscard]] OptimizationResult run_seeded(
       std::span<const SampleRecord> seed);
 
+  /// Batch-asynchronous tuning session. The driver loop is:
+  ///
+  ///   auto session = optimizer.start_async();
+  ///   while (auto batch = session->next_batch()) {
+  ///     for (slot : batch->pending)          // dispatch anywhere, any order
+  ///       session->ingest(slot, outcome);    // thread-safe
+  ///   }
+  ///   OptimizationResult result = session->finish();
+  ///
+  /// next_batch()/interrupt()/finish() must be called from one driver
+  /// thread; ingest()/skip() may be called concurrently from any thread
+  /// (ThreadPool workers, a server's completion queue). next_batch()
+  /// commits the previous batch — merging resolved slots in slot order, so
+  /// the sample/quarantine/journal streams are identical no matter what
+  /// order outcomes landed in — then proposes the next one. A batch with
+  /// unresolved slots at commit time marks the run interrupted, exactly
+  /// like cooperative cancellation in the synchronous drivers.
+  class AsyncRun;
+
+  /// Starts a fresh batch-async run (the journaled run() path). At most one
+  /// AsyncRun per Optimizer may be live at a time.
+  [[nodiscard]] std::unique_ptr<AsyncRun> start_async();
+
+  /// Batch-async resume of a journaled run; same validation and semantics
+  /// as resume(). Returns nullptr (with a logged reason) when the journal
+  /// is unusable. A journal whose run already finished yields a session
+  /// that is immediately done — finish() returns the reconstructed result.
+  [[nodiscard]] std::unique_ptr<AsyncRun> resume_async(
+      const std::string& journal_path);
+
+  /// The supervision wrapper around the evaluator (retries, deadlines,
+  /// typed outcomes). External drivers of AsyncRun dispatch through this so
+  /// failures land as outcomes instead of exceptions.
+  [[nodiscard]] ResilientEvaluator& supervised_evaluator() noexcept {
+    return supervisor_;
+  }
+
  private:
+  friend class AsyncRun;
+
   std::vector<Configuration> make_pool(hm::common::Rng& rng) const;
-  void evaluate_batch(const std::vector<Configuration>& configs,
-                      std::size_t iteration, OptimizationResult& result,
-                      const std::vector<Objectives>* predicted = nullptr);
   [[nodiscard]] std::vector<std::size_t> measured_front(
       const OptimizationResult& result) const;
-  /// The active-learning phase, continuing from whatever `result` holds,
-  /// starting at `start_iteration` (> 1 when resuming past completed
-  /// phases).
-  void run_active_learning(OptimizationResult& result, hm::common::Rng& rng,
-                           std::size_t start_iteration = 1);
+  /// Synchronous driver over an AsyncRun: dispatches every pending slot
+  /// (on the ThreadPool when the evaluator allows), honoring the
+  /// cooperative cancellation probe.
+  void drive(AsyncRun& session);
 
   [[nodiscard]] bool cancel_requested() const {
     return cancel_ && cancel_();
@@ -211,14 +273,126 @@ class Optimizer {
   hm::common::JournalWriter* journal_ = nullptr;
   hm::common::CheckpointPolicy checkpoint_policy_;
   std::function<bool()> cancel_;
-  /// True only inside run()/resume() after the run record is on disk;
+  /// True only inside a journaled session after the run record is on disk;
   /// run_random_only/run_seeded never journal.
   bool journal_started_ = false;
   std::uint32_t phases_since_compaction_ = 0;
-  /// Resume only: outcomes journaled by the crashed run's in-flight
-  /// iteration, keyed by configuration identity. evaluate_batch consults
-  /// this before evaluating.
-  const std::unordered_map<std::uint64_t, ReplayEntry>* replay_ = nullptr;
+};
+
+class Optimizer::AsyncRun {
+ public:
+  ~AsyncRun();
+  AsyncRun(const AsyncRun&) = delete;
+  AsyncRun& operator=(const AsyncRun&) = delete;
+
+  /// Commits the in-flight batch (if any) and proposes the next one.
+  /// Returns nullopt when the run is over: converged, budget exhausted, or
+  /// interrupted. Driver thread only; every pending slot of the previous
+  /// batch must have been resolved via ingest()/skip() first — committing
+  /// with unresolved slots marks the run interrupted.
+  [[nodiscard]] std::optional<BatchProposal> next_batch();
+
+  /// Folds one evaluation outcome into the current batch. Thread-safe;
+  /// out-of-order and duplicate-safe (a slot resolves at most once).
+  void ingest(std::size_t slot, EvaluationOutcome outcome);
+  /// Resolves a slot as never-evaluated (cooperative cancellation). The
+  /// batch commit will mark the run interrupted. Thread-safe.
+  void skip(std::size_t slot);
+
+  /// True when no proposed slot is still awaiting ingest()/skip().
+  [[nodiscard]] bool batch_resolved() const;
+  /// Pending slots of the current batch not yet resolved.
+  [[nodiscard]] std::size_t outstanding() const;
+
+  /// Stops the run: commits the in-flight batch (a fully resolved batch
+  /// commits normally — stats, phase boundary — exactly like the loop-top
+  /// cancellation in the synchronous driver) and marks the result
+  /// interrupted unless the run had already completed. Driver thread only.
+  void interrupt();
+
+  /// Finalizes and returns the result (computes the fronts, appends the
+  /// terminal journal record on a completed run). Implicitly interrupts a
+  /// run that is still mid-flight. Driver thread only; call at most once.
+  [[nodiscard]] OptimizationResult finish();
+
+  [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
+  [[nodiscard]] bool interrupted() const { return result_.interrupted; }
+  [[nodiscard]] std::size_t iteration() const { return iteration_; }
+  [[nodiscard]] std::size_t sample_count() const {
+    return result_.samples.size();
+  }
+  /// Size of the measured Pareto front so far (driver thread only).
+  [[nodiscard]] std::size_t front_size() const { return archive_.size(); }
+
+ private:
+  friend class Optimizer;
+
+  enum class Phase : std::uint8_t { kBootstrap, kActive, kDone };
+  /// Slot lifecycle within one batch.
+  static constexpr unsigned char kSlotPending = 0;
+  static constexpr unsigned char kSlotIngested = 1;
+  static constexpr unsigned char kSlotReplayed = 2;
+  static constexpr unsigned char kSlotSkipped = 3;
+
+  /// Construction recipe shared by run()/resume()/run_seeded()/serve.
+  struct Start {
+    OptimizationResult initial;
+    bool needs_bootstrap = true;
+    std::size_t start_iteration = 1;
+    bool has_rng_state = false;
+    hm::common::RngState rng_state;
+    bool record_stats = true;     ///< False only for run_random_only.
+    bool bootstrap_only = false;  ///< Stop after the bootstrap batch.
+    bool already_finished = false;  ///< Resume of a done journal.
+    bool journaling = false;
+    std::unique_ptr<ReplayState> replay;  ///< Crashed run's journal tail.
+  };
+
+  AsyncRun(Optimizer& owner, Start start);
+
+  /// Bootstrap finished (or was skipped): record its stats and boundary,
+  /// build the dedupe key set, transition to the active-learning phase.
+  void enter_active();
+  /// Merges the in-flight batch in slot order and advances the phase
+  /// machine (stats, archive, journal boundary). Driver thread only.
+  void commit_batch();
+  [[nodiscard]] std::optional<BatchProposal> propose_bootstrap();
+  /// One active-learning proposal: fit surrogates, predict the pool front,
+  /// select unmeasured front points. Sets kDone on the termination
+  /// conditions instead of returning a batch.
+  [[nodiscard]] std::optional<BatchProposal> propose_iteration();
+  void open_batch(std::vector<Configuration> configs,
+                  std::vector<Objectives> predicted, std::size_t iteration);
+  [[nodiscard]] BatchProposal make_proposal() const;
+
+  Optimizer& opt_;
+  OptimizationResult result_;
+  hm::common::Rng rng_;
+  ParetoArchive archive_;
+  ParetoArchive bootstrap_archive_;
+  std::unordered_set<std::uint64_t> evaluated_keys_;
+  std::unique_ptr<ReplayState> replay_;
+  Phase phase_ = Phase::kBootstrap;
+  std::size_t iteration_ = 1;  ///< Next active-learning iteration to propose.
+  bool record_stats_ = true;
+  bool bootstrap_only_ = false;
+  bool already_finished_ = false;
+  bool finished_ = false;
+
+  // In-flight batch. The proposal-shape members are driver-thread state
+  // (written at open, read at commit; no evaluation is outstanding at
+  // either point). Slot resolution state is shared with ingest()/skip()
+  // callers and lives under batch_mutex_.
+  bool batch_open_ = false;
+  std::size_t batch_iteration_ = 0;
+  std::vector<Configuration> batch_configs_;
+  std::vector<Objectives> batch_predicted_;
+  IterationStats pending_stats_;
+
+  mutable std::mutex batch_mutex_;
+  std::vector<EvaluationOutcome> outcomes_;  // hm-guarded-by(batch_mutex_)
+  std::vector<unsigned char> slot_state_;    // hm-guarded-by(batch_mutex_)
+  std::size_t unresolved_ = 0;               // hm-guarded-by(batch_mutex_)
 };
 
 }  // namespace hm::hypermapper

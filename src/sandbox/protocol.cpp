@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cmath>
+#include <iterator>
 
 #include <poll.h>
 #include <unistd.h>
@@ -85,6 +86,14 @@ const char* to_string(FrameStatus status) {
   return "unknown";
 }
 
+// Socket-use audit (hm_serve shares these entry points with the pipe
+// transport): write_fd_all retries EINTR and short writes, and surfaces
+// EPIPE/ECONNRESET as a clean `false` — callers must have SIGPIPE ignored
+// (the sandbox supervisor and the serve event loop both do). read_exact
+// below retries EINTR with the remaining deadline recomputed from a shared
+// Timer, treats POLLHUP as "drain the buffered bytes first", and reports
+// partial progress so a half-closed peer mid-frame classifies kCorrupt,
+// not kEof. Nothing here assumes pipe semantics.
 bool write_frame(int fd, std::string_view payload) {
   if (payload.size() > kMaxFramePayload) return false;
   std::string frame(kHeaderBytes, '\0');
@@ -220,6 +229,30 @@ std::optional<EvalResponse> decode_response(std::string_view payload) {
   }
   response.ok = true;
   return response;
+}
+
+std::string encode_serve_frame(const ServeFrame& frame) {
+  std::vector<std::string> fields;
+  fields.reserve(3 + frame.fields.size());
+  fields.emplace_back("sv");
+  fields.push_back(frame.kind);
+  fields.push_back(hm::common::encode_u64(frame.fields.size()));
+  for (const std::string& field : frame.fields) fields.push_back(field);
+  return hm::common::encode_fields(fields);
+}
+
+std::optional<ServeFrame> decode_serve_frame(std::string_view payload) {
+  auto fields = hm::common::decode_fields(payload);
+  if (!fields || fields->size() < 3 || (*fields)[0] != "sv") {
+    return std::nullopt;
+  }
+  const auto count = hm::common::decode_u64((*fields)[2]);
+  if (!count || fields->size() != 3 + *count) return std::nullopt;
+  ServeFrame frame;
+  frame.kind = std::move((*fields)[1]);
+  frame.fields.assign(std::make_move_iterator(fields->begin() + 3),
+                      std::make_move_iterator(fields->end()));
+  return frame;
 }
 
 }  // namespace hm::sandbox

@@ -80,4 +80,42 @@ struct EvalResponse {
 [[nodiscard]] std::optional<EvalResponse> decode_response(
     std::string_view payload);
 
+// --- hm_serve control-plane messages. ---
+//
+// The daemon speaks the same frame layout over a stream socket (UNIX or
+// TCP); read_frame/write_frame are already transport-agnostic — poll-based,
+// EINTR-retrying, short-transfer-safe — so sockets need no new I/O code,
+// only new payload types. A serve frame is a tagged message: a short kind
+// string plus positional string fields (doubles, when present, use the
+// bit-exact hex codec like every other payload in this file).
+//
+// Kinds, client -> server:
+//   hello   [client_name, protocol_version]
+//   submit  [scenario_json]         open a new campaign
+//   resume  [campaign_id]           reattach a parked or recovered campaign
+//   ping    [seq]                   liveness probe
+//   bye     []                      orderly detach (campaign keeps running)
+//
+// Kinds, server -> client:
+//   welcome  [server_name, protocol_version, max_campaigns]
+//   accepted [campaign_id]          admission granted, campaign running
+//   busy     [reason]               typed overload shed — never a silent drop
+//   error    [message]              malformed scenario / unknown campaign / ...
+//   progress [campaign_id, iteration, samples, front_size]
+//   report   [campaign_id, interrupted, report_bytes]  final rendered report
+//   parked   [campaign_id, reason]  campaign parked (drain, dead client)
+//   pong     [seq]
+struct ServeFrame {
+  std::string kind;
+  std::vector<std::string> fields;
+};
+
+/// Current serve protocol version; `hello`/`welcome` carry it so a client
+/// from a different build fails the handshake explicitly.
+inline constexpr std::uint64_t kServeProtocolVersion = 1;
+
+[[nodiscard]] std::string encode_serve_frame(const ServeFrame& frame);
+[[nodiscard]] std::optional<ServeFrame> decode_serve_frame(
+    std::string_view payload);
+
 }  // namespace hm::sandbox

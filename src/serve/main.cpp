@@ -1,0 +1,68 @@
+// hm_serve: the supervised multi-campaign tuning daemon.
+//
+//   ./hm_serve --dir campaigns/ [--socket /tmp/hm_serve.sock | --port N]
+//              [--max-campaigns N] [--max-connections N]
+//              [--idle-timeout SECONDS] [--pool N] [--auto-resume]
+//              [--port-file PATH]
+//
+// Clients connect over the UNIX socket (or loopback TCP), submit JSON
+// scenarios (see serve/scenario.hpp for the schema), and receive progress
+// frames and the final report. Campaigns journal into --dir; kill -9 the
+// daemon mid-campaign, restart it on the same --dir, and a client `resume`
+// continues every unfinished campaign to a byte-identical report.
+//
+// Exit codes: 0 after stop, 130 after a SIGINT/SIGTERM drain (the repo-wide
+// cooperative-shutdown code — every driver binary agrees), 1 on startup
+// failure.
+#include <cstdio>
+#include <string>
+
+#include "common/atomic_file.hpp"
+#include "common/cli.hpp"
+#include "common/signal.hpp"
+#include "serve/server.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const common::CliArgs args(argc, argv, {"auto-resume"});
+  serve::ServerConfig config;
+  config.journal_dir = args.get_or("dir", std::string("campaigns"));
+  config.socket_path = args.get_or("socket", std::string());
+  config.tcp_port =
+      static_cast<std::uint16_t>(args.get_or("port", std::int64_t{0}));
+  config.max_campaigns =
+      static_cast<std::size_t>(args.get_or("max-campaigns", std::int64_t{4}));
+  config.max_connections = static_cast<std::size_t>(
+      args.get_or("max-connections", std::int64_t{32}));
+  config.client_idle_seconds = args.get_or("idle-timeout", 30.0);
+  config.pool_threads =
+      static_cast<std::size_t>(args.get_or("pool", std::int64_t{0}));
+  config.auto_resume = args.flag("auto-resume");
+
+  if (!common::install_shutdown_handler()) {
+    std::fprintf(stderr, "warning: cannot install signal handlers\n");
+  }
+
+  serve::Server server(std::move(config));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "hm_serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (const auto port_file = args.get("port-file")) {
+    // Atomic: a watcher (serve.sh) never reads a torn port number.
+    if (!common::write_file_atomic(*port_file,
+                                   std::to_string(server.port()) + "\n",
+                                   &error)) {
+      std::fprintf(stderr, "hm_serve: cannot write %s: %s\n",
+                   port_file->c_str(), error.c_str());
+      return 1;
+    }
+  }
+  std::printf("hm_serve: listening on %s\n",
+              args.has("socket")
+                  ? args.get_or("socket", std::string()).c_str()
+                  : ("127.0.0.1:" + std::to_string(server.port())).c_str());
+  std::fflush(stdout);
+  return server.run();
+}

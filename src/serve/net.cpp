@@ -1,0 +1,267 @@
+#include "serve/net.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/atomic_file.hpp"
+#include "common/timer.hpp"
+
+namespace hm::serve {
+
+namespace {
+
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// connect() with EINTR restart; on EINTR after the SYN is in flight the
+/// socket keeps connecting, so a second connect() reporting EISCONN is
+/// success, not an error.
+[[nodiscard]] bool connect_once(int fd, const struct sockaddr* addr,
+                                socklen_t len) {
+  while (::connect(fd, addr, len) != 0) {
+    if (errno == EINTR) {
+      struct pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      if (poll_retry(&pfd, 1, -1) < 0) return false;
+      int soerr = 0;
+      socklen_t soerr_len = sizeof(soerr);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+        return false;
+      }
+      if (soerr != 0) {
+        errno = soerr;
+        return false;
+      }
+      return true;
+    }
+    if (errno == EISCONN) return true;
+    return false;
+  }
+  return true;
+}
+
+/// Retries a connect attempt while the daemon may still be binding: the
+/// socket file may not exist yet (ENOENT) or the listener backlog may not
+/// be up (ECONNREFUSED). Each attempt uses a fresh socket — a failed
+/// connect leaves an fd in an undefined state.
+template <typename MakeAttempt>
+[[nodiscard]] int connect_with_retry(MakeAttempt&& attempt,
+                                     double wait_seconds,
+                                     std::string* error) {
+  const hm::common::Timer timer;
+  while (true) {
+    const int fd = attempt(error);
+    if (fd >= 0) return fd;
+    const bool transient = errno == ECONNREFUSED || errno == ENOENT;
+    if (!transient || timer.seconds() >= wait_seconds) return -1;
+    struct timespec nap{};
+    nap.tv_nsec = 20L * 1000L * 1000L;  // 20ms between attempts.
+    ::nanosleep(&nap, nullptr);
+  }
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path, int backlog, std::string* error) {
+  struct sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_message("socket");
+    return -1;
+  }
+  ::unlink(path.c_str());  // The daemon owns its rendezvous path.
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    if (error != nullptr) *error = errno_message("bind/listen");
+    close_socket(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int listen_tcp(std::uint16_t port, int backlog, std::uint16_t* bound_port,
+               std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = errno_message("socket");
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    if (error != nullptr) *error = errno_message("bind/listen");
+    close_socket(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    struct sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&actual), &len) !=
+        0) {
+      if (error != nullptr) *error = errno_message("getsockname");
+      close_socket(fd);
+      return -1;
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+int connect_unix(const std::string& path, double wait_seconds,
+                 std::string* error) {
+  struct sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) *error = "socket path too long: " + path;
+    return -1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return connect_with_retry(
+      [&](std::string* attempt_error) -> int {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+          if (attempt_error != nullptr) *attempt_error = errno_message("socket");
+          return -1;
+        }
+        if (!connect_once(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                          sizeof(addr))) {
+          const int saved = errno;
+          if (attempt_error != nullptr) {
+            *attempt_error = errno_message("connect");
+          }
+          close_socket(fd);
+          errno = saved;
+          return -1;
+        }
+        return fd;
+      },
+      wait_seconds, error);
+}
+
+int connect_tcp(std::uint16_t port, double wait_seconds, std::string* error) {
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return connect_with_retry(
+      [&](std::string* attempt_error) -> int {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) {
+          if (attempt_error != nullptr) *attempt_error = errno_message("socket");
+          return -1;
+        }
+        if (!connect_once(fd, reinterpret_cast<const struct sockaddr*>(&addr),
+                          sizeof(addr))) {
+          const int saved = errno;
+          if (attempt_error != nullptr) {
+            *attempt_error = errno_message("connect");
+          }
+          close_socket(fd);
+          errno = saved;
+          return -1;
+        }
+        return fd;
+      },
+      wait_seconds, error);
+}
+
+int accept_retry(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    // ECONNABORTED: the peer gave up while queued — not a listener fault;
+    // report it like a spurious wakeup and let the event loop re-poll.
+    if (errno == ECONNABORTED) errno = EAGAIN;
+    return -1;
+  }
+}
+
+int poll_retry(struct pollfd* fds, unsigned long count, int timeout_ms) {
+  const hm::common::Timer timer;
+  while (true) {
+    int remaining = timeout_ms;
+    if (timeout_ms >= 0) {
+      const double elapsed_ms = timer.seconds() * 1e3;
+      remaining = timeout_ms - static_cast<int>(elapsed_ms);
+      if (remaining < 0) remaining = 0;
+    }
+    const int ready = ::poll(fds, static_cast<nfds_t>(count), remaining);
+    if (ready >= 0) return ready;
+    if (errno != EINTR) return -1;
+    if (timeout_ms >= 0 && timer.seconds() * 1e3 >= timeout_ms) return 0;
+  }
+}
+
+bool set_send_timeout(int fd, double seconds) {
+  struct timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - std::floor(seconds)) * 1e6);
+  return ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+void ignore_sigpipe() {
+  struct sigaction action{};
+  action.sa_handler = SIG_IGN;
+  ::sigaction(SIGPIPE, &action, nullptr);
+}
+
+void close_socket(int fd) {
+  if (fd >= 0) hm::common::close_relaxed(fd);
+}
+
+bool make_wake_pipe(int fds[2]) {
+  if (::pipe(fds) != 0) return false;
+  // Non-blocking on both ends: a full pipe must not block a pool thread,
+  // and draining must not block the loop.
+  for (int i = 0; i < 2; ++i) {
+    const int flags = ::fcntl(fds[i], F_GETFL, 0);
+    if (flags >= 0) ::fcntl(fds[i], F_SETFL, flags | O_NONBLOCK);
+  }
+  return true;
+}
+
+void wake(int write_fd) {
+  const char byte = 'w';
+  while (::write(write_fd, &byte, 1) < 0) {
+    if (errno != EINTR) return;  // EAGAIN: pipe full, loop wakes anyway.
+  }
+}
+
+void drain_wake(int read_fd) {
+  char buffer[256];
+  while (true) {
+    const ssize_t got = ::read(read_fd, buffer, sizeof(buffer));
+    if (got > 0) continue;
+    if (got < 0 && errno == EINTR) continue;
+    return;  // EAGAIN (drained) or EOF.
+  }
+}
+
+}  // namespace hm::serve

@@ -1,0 +1,654 @@
+#include "serve/scenario.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+
+#include "hypermapper/resilient_evaluator.hpp"
+
+namespace hm::serve {
+
+namespace {
+
+using hm::hypermapper::Configuration;
+using hm::hypermapper::DesignSpace;
+using hm::hypermapper::EvaluationError;
+using hm::hypermapper::Evaluator;
+using hm::hypermapper::Parameter;
+
+class JsonParser {
+ public:
+  JsonParser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  [[nodiscard]] std::optional<JsonValue> parse() {
+    skip_whitespace();
+    JsonValue value;
+    if (!parse_value(value)) return std::nullopt;
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      fail("trailing bytes after JSON document");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void fail(const std::string& message) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = message + " (at byte " + std::to_string(pos_) + ")";
+    }
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    fail(std::string("expected '") + expected + "'");
+    return false;
+  }
+
+  [[nodiscard]] bool parse_value(JsonValue& out) {
+    if (++depth_ > kMaxDepth) {
+      fail("nesting too deep");
+      return false;
+    }
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{': ok = parse_object(out); break;
+      case '[': ok = parse_array(out); break;
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        ok = parse_string(out.string);
+        break;
+      case 't':
+      case 'f': ok = parse_literal(out); break;
+      case 'n': ok = parse_literal(out); break;
+      default: ok = parse_number(out); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  [[nodiscard]] bool parse_literal(JsonValue& out) {
+    const auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) != word) return false;
+      pos_ += word.size();
+      return true;
+    };
+    if (match("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    fail("invalid literal");
+    return false;
+  }
+
+  [[nodiscard]] bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("invalid number");
+      return false;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      fail("invalid number '" + token + "'");
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = value;
+    return true;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("invalid \\u escape");
+              return false;
+            }
+          }
+          if (code > 0x7F) {
+            fail("\\u escape beyond ASCII is not supported");
+            return false;
+          }
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          fail("invalid escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  [[nodiscard]] bool parse_array(JsonValue& out) {
+    if (!consume('[')) return false;
+    out.kind = JsonValue::Kind::kArray;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_whitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  [[nodiscard]] bool parse_object(JsonValue& out) {
+    if (!consume('{')) return false;
+    out.kind = JsonValue::Kind::kObject;
+    skip_whitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_whitespace();
+      if (!consume(':')) return false;
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object[std::move(key)] = std::move(value);
+      skip_whitespace();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  static constexpr int kMaxDepth = 32;
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+/// Scenario-decode helpers: every failure path sets `error` exactly once.
+[[nodiscard]] bool get_number(const JsonValue& object, const std::string& key,
+                              double* out, std::string* error) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return true;  // Optional key; keep the default.
+  if (value->kind != JsonValue::Kind::kNumber) {
+    *error = "'" + key + "' must be a number";
+    return false;
+  }
+  *out = value->number;
+  return true;
+}
+
+[[nodiscard]] bool get_count(const JsonValue& object, const std::string& key,
+                             std::size_t* out, std::string* error) {
+  double number = static_cast<double>(*out);
+  if (!get_number(object, key, &number, error)) return false;
+  if (number < 0.0 || number != std::floor(number) || number > 1e9) {
+    *error = "'" + key + "' must be a small non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::size_t>(number);
+  return true;
+}
+
+[[nodiscard]] bool get_u64(const JsonValue& object, const std::string& key,
+                           std::uint64_t* out, std::string* error) {
+  double number = static_cast<double>(*out);
+  if (!get_number(object, key, &number, error)) return false;
+  if (number < 0.0 || number != std::floor(number) || number > 1e15) {
+    *error = "'" + key + "' must be a non-negative integer";
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(number);
+  return true;
+}
+
+[[nodiscard]] bool valid_campaign_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (const char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] bool parse_parameter(const JsonValue& spec, DesignSpace* space,
+                                   std::string* error) {
+  if (spec.kind != JsonValue::Kind::kObject) {
+    *error = "space entries must be objects";
+    return false;
+  }
+  const JsonValue* kind = spec.find("kind");
+  const JsonValue* name = spec.find("name");
+  if (kind == nullptr || kind->kind != JsonValue::Kind::kString ||
+      name == nullptr || name->kind != JsonValue::Kind::kString ||
+      name->string.empty()) {
+    *error = "parameter needs string 'kind' and 'name'";
+    return false;
+  }
+  if (space->index_of(name->string).has_value()) {
+    *error = "duplicate parameter name '" + name->string + "'";
+    return false;
+  }
+  const JsonValue* log = spec.find("log");
+  const bool log_feature =
+      log != nullptr && log->kind == JsonValue::Kind::kBool && log->boolean;
+  if (kind->string == "integer") {
+    double lo = 0.0;
+    double hi = -1.0;
+    if (!get_number(spec, "lo", &lo, error) ||
+        !get_number(spec, "hi", &hi, error)) {
+      return false;
+    }
+    if (lo != std::floor(lo) || hi != std::floor(hi) || hi < lo) {
+      *error = "integer parameter '" + name->string + "' needs lo <= hi";
+      return false;
+    }
+    space->add(Parameter::integer_range(name->string,
+                                        static_cast<std::int64_t>(lo),
+                                        static_cast<std::int64_t>(hi)));
+    return true;
+  }
+  if (kind->string == "ordinal") {
+    const JsonValue* values = spec.find("values");
+    if (values == nullptr || values->kind != JsonValue::Kind::kArray ||
+        values->array.empty()) {
+      *error = "ordinal parameter '" + name->string + "' needs 'values'";
+      return false;
+    }
+    std::vector<double> list;
+    list.reserve(values->array.size());
+    for (const JsonValue& entry : values->array) {
+      if (entry.kind != JsonValue::Kind::kNumber) {
+        *error = "ordinal values must be numbers";
+        return false;
+      }
+      list.push_back(entry.number);
+    }
+    space->add(Parameter::ordinal(name->string, std::move(list), log_feature));
+    return true;
+  }
+  if (kind->string == "boolean") {
+    space->add(Parameter::boolean(name->string));
+    return true;
+  }
+  if (kind->string == "categorical") {
+    const JsonValue* labels = spec.find("labels");
+    if (labels == nullptr || labels->kind != JsonValue::Kind::kArray ||
+        labels->array.empty()) {
+      *error = "categorical parameter '" + name->string + "' needs 'labels'";
+      return false;
+    }
+    std::vector<std::string> list;
+    list.reserve(labels->array.size());
+    for (const JsonValue& entry : labels->array) {
+      if (entry.kind != JsonValue::Kind::kString) {
+        *error = "categorical labels must be strings";
+        return false;
+      }
+      list.push_back(entry.string);
+    }
+    space->add(Parameter::categorical(name->string, std::move(list)));
+    return true;
+  }
+  if (kind->string == "real") {
+    double lo = 0.0;
+    double hi = -1.0;
+    if (!get_number(spec, "lo", &lo, error) ||
+        !get_number(spec, "hi", &hi, error)) {
+      return false;
+    }
+    if (!(lo < hi)) {
+      *error = "real parameter '" + name->string + "' needs lo < hi";
+      return false;
+    }
+    space->add(Parameter::real(name->string, lo, hi, log_feature));
+    return true;
+  }
+  *error = "unknown parameter kind '" + kind->string + "'";
+  return false;
+}
+
+/// The "grid" evaluator: the crash_test problem, generalized to any space.
+/// Objectives are smooth functions of the first two features, with a
+/// deterministic permanent-failure band keyed by configuration (and an
+/// optional hang band for chaos tests). Deterministic and thread-safe.
+class GridEvaluator final : public Evaluator {
+ public:
+  GridEvaluator(const DesignSpace& space, const Scenario& scenario)
+      : space_(space),
+        objective_count_(scenario.objective_names.size()),
+        fail_modulo_(scenario.fail_modulo),
+        fail_remainder_(scenario.fail_remainder),
+        hang_modulo_(scenario.hang_modulo),
+        hang_remainder_(scenario.hang_remainder),
+        hang_seconds_(scenario.hang_seconds) {}
+
+  [[nodiscard]] std::size_t objective_count() const override {
+    return objective_count_;
+  }
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override {
+    const std::uint64_t key = space_.cardinality() > 0
+                                  ? space_.key(config)
+                                  : hm::hypermapper::config_hash(config);
+    if (hang_modulo_ != 0 && key % hang_modulo_ == hang_remainder_) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(hang_seconds_));
+    }
+    if (fail_modulo_ != 0 && key % fail_modulo_ == fail_remainder_) {
+      throw EvaluationError(
+          "deterministic failure for key " + std::to_string(key),
+          /*transient=*/false);
+    }
+    const std::vector<double> features = space_.features(config);
+    const double x = features[0];
+    const double y = features.size() > 1 ? features[1] : 0.0;
+    std::vector<double> objectives;
+    objectives.push_back(x + 0.01 * y);
+    if (objective_count_ > 1) {
+      objectives.push_back((1.0 - x) * (1.0 - x) +
+                           0.4 * (y - 0.3) * (y - 0.3));
+    }
+    return objectives;
+  }
+
+ private:
+  const DesignSpace& space_;
+  std::size_t objective_count_;
+  std::uint64_t fail_modulo_;
+  std::uint64_t fail_remainder_;
+  std::uint64_t hang_modulo_;
+  std::uint64_t hang_remainder_;
+  double hang_seconds_;
+};
+
+/// The "synthetic" evaluator: a smooth multimodal surface over all features
+/// (no failure injection unless requested). Deterministic and thread-safe.
+class SyntheticEvaluator final : public Evaluator {
+ public:
+  SyntheticEvaluator(const DesignSpace& space, const Scenario& scenario)
+      : space_(space),
+        objective_count_(scenario.objective_names.size()),
+        fail_modulo_(scenario.fail_modulo),
+        fail_remainder_(scenario.fail_remainder) {}
+
+  [[nodiscard]] std::size_t objective_count() const override {
+    return objective_count_;
+  }
+  [[nodiscard]] bool thread_safe() const override { return true; }
+
+  [[nodiscard]] std::vector<double> evaluate(
+      const Configuration& config) override {
+    const std::uint64_t key = space_.cardinality() > 0
+                                  ? space_.key(config)
+                                  : hm::hypermapper::config_hash(config);
+    if (fail_modulo_ != 0 && key % fail_modulo_ == fail_remainder_) {
+      throw EvaluationError(
+          "deterministic failure for key " + std::to_string(key),
+          /*transient=*/false);
+    }
+    const std::vector<double> features = space_.features(config);
+    double sum = 0.0;
+    double ripple = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      const double f = features[i];
+      sum += f;
+      ripple += 0.5 * (1.0 + std::sin(6.28318 * f * double(i + 1))) /
+                double(features.size());
+    }
+    const double mean = sum / double(features.size());
+    std::vector<double> objectives;
+    objectives.push_back(mean + 0.1 * ripple);
+    if (objective_count_ > 1) {
+      objectives.push_back((1.0 - mean) * (1.0 - mean) + 0.1 * ripple);
+    }
+    return objectives;
+  }
+
+ private:
+  const DesignSpace& space_;
+  std::size_t objective_count_;
+  std::uint64_t fail_modulo_;
+  std::uint64_t fail_remainder_;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  JsonParser parser(text, error);
+  return parser.parse();
+}
+
+std::optional<Scenario> parse_scenario(std::string_view text,
+                                       std::string* error) {
+  std::string parse_error;
+  const auto document = parse_json(text, &parse_error);
+  if (!document) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (document->kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) *error = "scenario must be a JSON object";
+    return std::nullopt;
+  }
+  std::string local_error;
+  std::string* err = error != nullptr ? error : &local_error;
+
+  Scenario scenario;
+  scenario.raw.assign(text);
+
+  const JsonValue* name = document->find("name");
+  if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+      !valid_campaign_name(name->string)) {
+    *err = "scenario needs a 'name' matching [A-Za-z0-9._-]{1,64}";
+    return std::nullopt;
+  }
+  scenario.name = name->string;
+
+  const JsonValue* space = document->find("space");
+  if (space == nullptr || space->kind != JsonValue::Kind::kArray ||
+      space->array.empty()) {
+    *err = "scenario needs a non-empty 'space' array";
+    return std::nullopt;
+  }
+  for (const JsonValue& spec : space->array) {
+    if (!parse_parameter(spec, &scenario.space, err)) return std::nullopt;
+  }
+
+  scenario.objective_names = {"f0", "f1"};
+  if (const JsonValue* objectives = document->find("objectives")) {
+    if (objectives->kind != JsonValue::Kind::kArray ||
+        objectives->array.empty() || objectives->array.size() > 2) {
+      *err = "'objectives' must list 1 or 2 names";
+      return std::nullopt;
+    }
+    scenario.objective_names.clear();
+    for (const JsonValue& entry : objectives->array) {
+      if (entry.kind != JsonValue::Kind::kString || entry.string.empty()) {
+        *err = "objective names must be non-empty strings";
+        return std::nullopt;
+      }
+      scenario.objective_names.push_back(entry.string);
+    }
+  }
+
+  // Small-by-default budget: a served smoke campaign should finish in
+  // seconds; clients opt into larger budgets explicitly.
+  scenario.config.random_samples = 40;
+  scenario.config.max_iterations = 4;
+  scenario.config.max_samples_per_iteration = 15;
+  scenario.config.pool_size = 200;
+  scenario.config.forest.tree_count = 8;
+  if (!get_u64(*document, "seed", &scenario.config.seed, err)) {
+    return std::nullopt;
+  }
+  if (const JsonValue* budget = document->find("budget")) {
+    if (budget->kind != JsonValue::Kind::kObject) {
+      *err = "'budget' must be an object";
+      return std::nullopt;
+    }
+    if (!get_count(*budget, "random_samples", &scenario.config.random_samples,
+                   err) ||
+        !get_count(*budget, "max_iterations", &scenario.config.max_iterations,
+                   err) ||
+        !get_count(*budget, "max_samples_per_iteration",
+                   &scenario.config.max_samples_per_iteration, err) ||
+        !get_count(*budget, "pool_size", &scenario.config.pool_size, err) ||
+        !get_count(*budget, "tree_count", &scenario.config.forest.tree_count,
+                   err)) {
+      return std::nullopt;
+    }
+    if (scenario.config.random_samples == 0) {
+      *err = "'random_samples' must be >= 1";
+      return std::nullopt;
+    }
+  }
+
+  if (const JsonValue* evaluator = document->find("evaluator")) {
+    if (evaluator->kind != JsonValue::Kind::kObject) {
+      *err = "'evaluator' must be an object";
+      return std::nullopt;
+    }
+    if (const JsonValue* kind = evaluator->find("kind")) {
+      if (kind->kind != JsonValue::Kind::kString) {
+        *err = "evaluator 'kind' must be a string";
+        return std::nullopt;
+      }
+      scenario.evaluator_kind = kind->string;
+    }
+    if (!get_u64(*evaluator, "fail_modulo", &scenario.fail_modulo, err) ||
+        !get_u64(*evaluator, "fail_remainder", &scenario.fail_remainder, err) ||
+        !get_u64(*evaluator, "hang_modulo", &scenario.hang_modulo, err) ||
+        !get_u64(*evaluator, "hang_remainder", &scenario.hang_remainder, err) ||
+        !get_number(*evaluator, "hang_seconds", &scenario.hang_seconds, err)) {
+      return std::nullopt;
+    }
+  }
+  if (scenario.evaluator_kind != "grid" &&
+      scenario.evaluator_kind != "synthetic") {
+    *err = "unknown evaluator kind '" + scenario.evaluator_kind + "'";
+    return std::nullopt;
+  }
+
+  if (const JsonValue* sandbox = document->find("sandbox")) {
+    if (sandbox->kind != JsonValue::Kind::kBool) {
+      *err = "'sandbox' must be a boolean";
+      return std::nullopt;
+    }
+    scenario.sandbox = sandbox->boolean;
+  }
+  if (const JsonValue* deadlines = document->find("deadlines")) {
+    if (deadlines->kind != JsonValue::Kind::kObject) {
+      *err = "'deadlines' must be an object";
+      return std::nullopt;
+    }
+    if (!get_number(*deadlines, "eval_seconds",
+                    &scenario.eval_deadline_seconds, err) ||
+        !get_number(*deadlines, "campaign_seconds",
+                    &scenario.campaign_deadline_seconds, err)) {
+      return std::nullopt;
+    }
+    if (scenario.eval_deadline_seconds < 0.0 ||
+        scenario.campaign_deadline_seconds < 0.0) {
+      *err = "deadlines must be non-negative";
+      return std::nullopt;
+    }
+  }
+  return scenario;
+}
+
+std::unique_ptr<hm::hypermapper::Evaluator> make_scenario_evaluator(
+    const Scenario& scenario) {
+  if (scenario.evaluator_kind == "grid") {
+    return std::make_unique<GridEvaluator>(scenario.space, scenario);
+  }
+  if (scenario.evaluator_kind == "synthetic") {
+    return std::make_unique<SyntheticEvaluator>(scenario.space, scenario);
+  }
+  return nullptr;
+}
+
+}  // namespace hm::serve

@@ -1,0 +1,121 @@
+// A *scenario* is the serialized form of one tuning campaign: design space,
+// optimizer budget, seed, objective names, and which evaluator to run —
+// everything hm_serve needs to open (or re-open, after a crash) a campaign
+// from bytes alone. The wire format is a small JSON object; a sidecar copy
+// of the submitted text is persisted next to the campaign's journal so
+// restart recovery can rebuild the campaign without the client.
+//
+// The JSON reader here is deliberately minimal (objects, arrays, strings,
+// numbers, booleans, null — no escapes beyond \" \\ \/ \n \t \r \b \f and
+// \uXXXX for ASCII) and self-contained: the repo takes no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hypermapper/evaluator.hpp"
+#include "hypermapper/optimizer.hpp"
+#include "hypermapper/space.hpp"
+
+namespace hm::serve {
+
+/// A parsed JSON value. Object keys keep submission order irrelevant
+/// (std::map), which also makes error messages deterministic.
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Returns nullopt with `error` describing the first failure.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error);
+
+/// One campaign description, decoded and validated.
+struct Scenario {
+  std::string name;  ///< Campaign id; unique among active campaigns.
+  std::string raw;   ///< The submitted JSON text, byte-for-byte (sidecar).
+  hm::hypermapper::DesignSpace space;
+  hm::hypermapper::OptimizerConfig config;
+  std::vector<std::string> objective_names;
+  /// Built-in evaluator selector ("grid" or "synthetic") plus its knobs.
+  std::string evaluator_kind = "grid";
+  /// Failure injection: keys with key % fail_modulo == fail_remainder throw
+  /// a permanent EvaluationError. fail_modulo == 0 disables.
+  std::uint64_t fail_modulo = 0;
+  std::uint64_t fail_remainder = 0;
+  /// Hang injection (chaos tests): evaluations of keys with
+  /// key % hang_modulo == hang_remainder sleep hang_seconds.
+  std::uint64_t hang_modulo = 0;
+  std::uint64_t hang_remainder = 0;
+  double hang_seconds = 0.0;
+  /// Run evaluations inside the process sandbox (forked workers with
+  /// SIGKILL deadline escalation) instead of in-process.
+  bool sandbox = false;
+  /// Per-evaluation wall-clock deadline; 0 disables. Cooperative without
+  /// the sandbox, a hard SIGKILL with it.
+  double eval_deadline_seconds = 0.0;
+  /// Whole-campaign wall-clock deadline enforced by the server; on overrun
+  /// the campaign is parked (journal intact, resumable). 0 disables.
+  double campaign_deadline_seconds = 0.0;
+};
+
+/// Decodes and validates a scenario JSON document. The accepted schema:
+///
+///   {
+///     "name": "demo",                       // required, [A-Za-z0-9._-]+
+///     "seed": 77,
+///     "objectives": ["f0", "f1"],           // 1 or 2 names
+///     "space": [                            // required, >= 1 parameter
+///       {"kind": "integer", "name": "x", "lo": 0, "hi": 39},
+///       {"kind": "ordinal", "name": "r", "values": [1, 2, 4], "log": true},
+///       {"kind": "boolean", "name": "b"},
+///       {"kind": "categorical", "name": "c", "labels": ["lo", "hi"]},
+///       {"kind": "real", "name": "t", "lo": 0.0, "hi": 1.0}
+///     ],
+///     "budget": {"random_samples": 40, "max_iterations": 4,
+///                "max_samples_per_iteration": 15, "pool_size": 200,
+///                "tree_count": 8},           // all optional
+///     "evaluator": {"kind": "grid",          // or "synthetic"
+///                   "fail_modulo": 17, "fail_remainder": 3,
+///                   "hang_modulo": 0, "hang_remainder": 0,
+///                   "hang_seconds": 0.0},    // all optional
+///     "sandbox": false,                      // optional
+///     "deadlines": {"eval_seconds": 0.0,
+///                   "campaign_seconds": 0.0} // optional
+///   }
+[[nodiscard]] std::optional<Scenario> parse_scenario(std::string_view text,
+                                                     std::string* error);
+
+/// Instantiates the scenario's built-in evaluator. Deterministic: the same
+/// scenario text always produces the same objective function, which is what
+/// makes a recovered campaign's report byte-identical to an uninterrupted
+/// one. The evaluator references `scenario.space` — the scenario must stay
+/// alive (and unmoved) while it runs. Returns nullptr for an unknown kind.
+[[nodiscard]] std::unique_ptr<hm::hypermapper::Evaluator>
+make_scenario_evaluator(const Scenario& scenario);
+
+}  // namespace hm::serve

@@ -1,0 +1,517 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/signal.hpp"
+#include "serve/net.hpp"
+
+namespace hm::serve {
+
+namespace {
+
+using hm::sandbox::FrameStatus;
+using hm::sandbox::ServeFrame;
+
+constexpr const char* kServerName = "hm_serve";
+
+[[nodiscard]] ServeFrame frame_of(std::string kind,
+                                  std::vector<std::string> fields = {}) {
+  ServeFrame frame;
+  frame.kind = std::move(kind);
+  frame.fields = std::move(fields);
+  return frame;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() {
+  for (Connection& conn : connections_) close_socket(conn.fd);
+  close_socket(listen_fd_);
+  close_socket(wake_fds_[0]);
+  close_socket(wake_fds_[1]);
+}
+
+bool Server::start(std::string* error) {
+  ignore_sigpipe();
+  std::error_code ec;
+  std::filesystem::create_directories(config_.journal_dir, ec);
+  if (ec) {
+    if (error != nullptr) {
+      *error = "cannot create journal dir " + config_.journal_dir + ": " +
+               ec.message();
+    }
+    return false;
+  }
+  if (!make_wake_pipe(wake_fds_)) {
+    if (error != nullptr) *error = "cannot create wake pipe";
+    return false;
+  }
+  if (!config_.socket_path.empty()) {
+    listen_fd_ = listen_unix(config_.socket_path, 16, error);
+  } else {
+    listen_fd_ = listen_tcp(config_.tcp_port, 16, &bound_port_, error);
+  }
+  if (listen_fd_ < 0) return false;
+  pool_ = std::make_unique<hm::common::ThreadPool>(config_.pool_threads);
+
+  // Restart recovery: every scenario sidecar in the journal directory is a
+  // campaign this daemon (or a predecessor) admitted. They stay parked
+  // until a client resumes them, unless auto_resume re-opens them now.
+  recoverable_ = Campaign::scan(config_.journal_dir);
+  if (!recoverable_.empty()) {
+    hm::common::log_info() << "hm_serve: " << recoverable_.size()
+                           << " recoverable campaign(s) in "
+                           << config_.journal_dir;
+  }
+  if (config_.auto_resume) {
+    for (const std::string& id : recoverable_) {
+      std::string recover_error;
+      auto campaign =
+          Campaign::recover(config_.journal_dir, id, &recover_error);
+      if (campaign == nullptr) {
+        hm::common::log_warn()
+            << "hm_serve: cannot auto-resume " << id << ": " << recover_error;
+        continue;
+      }
+      std::shared_ptr<Campaign> shared(std::move(campaign));
+      campaigns_[id] = shared;
+      if (shared->state() == Campaign::State::kDone) {
+        ++dones_;
+      } else {
+        pump_campaign(shared);
+      }
+    }
+    recoverable_.clear();
+  }
+  return true;
+}
+
+int Server::run() {
+  bool signalled = false;
+  while (true) {
+    if (hm::common::shutdown_requested()) {
+      signalled = true;
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_relaxed)) break;
+
+    std::vector<struct pollfd> fds;
+    fds.reserve(2 + connections_.size());
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const Connection& conn : connections_) {
+      fds.push_back({conn.fd, POLLIN, 0});
+    }
+    const int tick_ms =
+        std::max(1, static_cast<int>(config_.tick_seconds * 1e3));
+    if (poll_retry(fds.data(), fds.size(), tick_ms) < 0) break;
+
+    if ((fds[1].revents & POLLIN) != 0) drain_wake(wake_fds_[0]);
+    drain_completions();
+    if ((fds[0].revents & POLLIN) != 0) accept_new_connection();
+
+    // Service readable connections. fds[2 + i] maps to connections_[i]
+    // for the first `polled` entries only: accept_new_connection() above
+    // may have appended a connection that has no pollfd this round — it
+    // is picked up next tick.
+    const std::size_t polled = fds.size() - 2;
+    std::vector<int> closing;
+    for (std::size_t i = 0; i < polled; ++i) {
+      const short revents = fds[2 + i].revents;
+      if (revents == 0) continue;
+      if (!service_connection(connections_[i])) {
+        closing.push_back(static_cast<int>(i));
+      }
+    }
+    for (auto it = closing.rbegin(); it != closing.rend(); ++it) {
+      close_socket(connections_[static_cast<std::size_t>(*it)].fd);
+      connections_.erase(connections_.begin() + *it);
+    }
+    enforce_deadlines();
+  }
+  drain(signalled);
+  return signalled ? 130 : 0;
+}
+
+void Server::stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  wake(wake_fds_[1]);
+}
+
+std::size_t Server::active_campaigns() const {
+  std::size_t active = 0;
+  for (const auto& [id, campaign] : campaigns_) {
+    const Campaign::State state = campaign->state();
+    if (state == Campaign::State::kRunning ||
+        state == Campaign::State::kParking) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+void Server::accept_new_connection() {
+  const int fd = accept_retry(listen_fd_);
+  if (fd < 0) return;
+  (void)set_send_timeout(fd, config_.send_timeout_seconds);
+  if (connections_.size() >= config_.max_connections) {
+    // Typed shed: tell the client why before closing, never just drop.
+    ++sheds_;
+    (void)send(fd, frame_of("busy", {"connection limit reached"}));
+    close_socket(fd);
+    return;
+  }
+  Connection conn;
+  conn.fd = fd;
+  conn.last_activity = clock_.seconds();
+  connections_.push_back(std::move(conn));
+}
+
+bool Server::service_connection(Connection& conn) {
+  std::string payload;
+  const FrameStatus status =
+      hm::sandbox::read_frame(conn.fd, &payload, config_.frame_read_seconds);
+  switch (status) {
+    case FrameStatus::kOk: break;
+    case FrameStatus::kEof:
+      abandon_connection(conn, "client closed without bye");
+      return false;
+    case FrameStatus::kTimeout:
+      abandon_connection(conn, "client stalled mid-frame");
+      return false;
+    case FrameStatus::kCorrupt:
+      abandon_connection(conn, "corrupt frame from client");
+      return false;
+    case FrameStatus::kError:
+      abandon_connection(conn, "socket error");
+      return false;
+  }
+  conn.last_activity = clock_.seconds();
+  const auto frame = hm::sandbox::decode_serve_frame(payload);
+  if (!frame) {
+    (void)send(conn.fd, frame_of("error", {"undecodable frame"}));
+    abandon_connection(conn, "undecodable frame");
+    return false;
+  }
+  return handle_frame(conn, *frame);
+}
+
+bool Server::handle_frame(Connection& conn, const ServeFrame& frame) {
+  if (frame.kind == "hello") {
+    if (frame.fields.size() != 2 ||
+        frame.fields[1] !=
+            std::to_string(hm::sandbox::kServeProtocolVersion)) {
+      (void)send(conn.fd, frame_of("error", {"protocol version mismatch"}));
+      return false;
+    }
+    conn.greeted = true;
+    return send(
+        conn.fd,
+        frame_of("welcome",
+                 {kServerName,
+                  std::to_string(hm::sandbox::kServeProtocolVersion),
+                  std::to_string(config_.max_campaigns)}));
+  }
+  if (frame.kind == "ping") {
+    const std::string seq = frame.fields.empty() ? "" : frame.fields[0];
+    return send(conn.fd, frame_of("pong", {seq}));
+  }
+  if (frame.kind == "bye") {
+    // Orderly detach: the campaign (if any) keeps running; its report is
+    // retrievable later via `resume`.
+    conn.campaign.reset();
+    return false;
+  }
+  if (frame.kind == "submit") {
+    if (frame.fields.size() != 1) {
+      (void)send(conn.fd, frame_of("error", {"submit needs one field"}));
+      return true;
+    }
+    return handle_submit(conn, frame.fields[0]);
+  }
+  if (frame.kind == "resume") {
+    if (frame.fields.size() != 1) {
+      (void)send(conn.fd, frame_of("error", {"resume needs one field"}));
+      return true;
+    }
+    return handle_resume(conn, frame.fields[0]);
+  }
+  (void)send(conn.fd, frame_of("error", {"unknown frame kind " + frame.kind}));
+  return true;
+}
+
+bool Server::handle_submit(Connection& conn, const std::string& scenario_json) {
+  if (active_campaigns() >= config_.max_campaigns) {
+    ++sheds_;
+    return send(conn.fd, frame_of("busy", {"campaign limit reached"}));
+  }
+  std::string error;
+  auto scenario = parse_scenario(scenario_json, &error);
+  if (!scenario) {
+    return send(conn.fd, frame_of("error", {error}));
+  }
+  const std::string id = scenario->name;
+  const auto existing = campaigns_.find(id);
+  if (existing != campaigns_.end() &&
+      existing->second->state() != Campaign::State::kDone) {
+    return send(conn.fd, frame_of("error", {"campaign " + id + " is active"}));
+  }
+  auto campaign =
+      Campaign::open(config_.journal_dir, std::move(*scenario), &error);
+  if (campaign == nullptr) {
+    return send(conn.fd, frame_of("error", {error}));
+  }
+  if (!send(conn.fd, frame_of("accepted", {id}))) return false;
+  return attach_and_pump(conn, std::shared_ptr<Campaign>(std::move(campaign)));
+}
+
+bool Server::handle_resume(Connection& conn, const std::string& id) {
+  const auto existing = campaigns_.find(id);
+  if (existing != campaigns_.end()) {
+    const std::shared_ptr<Campaign>& campaign = existing->second;
+    switch (campaign->state()) {
+      case Campaign::State::kDone:
+        // Report cache: a reconnecting client gets the same bytes.
+        return send(conn.fd,
+                    frame_of("report", {id,
+                                        campaign->interrupted() ? "1" : "0",
+                                        campaign->report()}));
+      case Campaign::State::kRunning:
+      case Campaign::State::kParking: {
+        Connection* attached = connection_for(campaign.get());
+        if (attached != nullptr && attached != &conn) {
+          return send(conn.fd,
+                      frame_of("error", {"campaign " + id +
+                                         " is attached to another client"}));
+        }
+        // Orphan (client died / said bye): re-attach live.
+        conn.campaign = campaign;
+        return send(conn.fd, frame_of("accepted", {id}));
+      }
+      case Campaign::State::kAdmitted:
+      case Campaign::State::kParked: break;  // Re-open from disk below.
+    }
+  }
+  const bool on_disk =
+      existing != campaigns_.end() ||
+      std::find(recoverable_.begin(), recoverable_.end(), id) !=
+          recoverable_.end() ||
+      std::filesystem::exists(
+          Campaign::sidecar_path(config_.journal_dir, id));
+  if (!on_disk) {
+    return send(conn.fd, frame_of("error", {"unknown campaign " + id}));
+  }
+  if (active_campaigns() >= config_.max_campaigns) {
+    ++sheds_;
+    return send(conn.fd, frame_of("busy", {"campaign limit reached"}));
+  }
+  std::string error;
+  auto campaign = Campaign::recover(config_.journal_dir, id, &error);
+  if (campaign == nullptr) {
+    return send(conn.fd, frame_of("error", {error}));
+  }
+  if (!send(conn.fd, frame_of("accepted", {id}))) return false;
+  return attach_and_pump(conn, std::shared_ptr<Campaign>(std::move(campaign)));
+}
+
+bool Server::attach_and_pump(Connection& conn,
+                             std::shared_ptr<Campaign> campaign) {
+  campaigns_[campaign->id()] = campaign;
+  recoverable_.erase(
+      std::remove(recoverable_.begin(), recoverable_.end(), campaign->id()),
+      recoverable_.end());
+  conn.campaign = campaign;
+  if (campaign->state() == Campaign::State::kDone) {
+    // Resume of an already-finished journal: report immediately.
+    on_campaign_settled(campaign);
+    return true;
+  }
+  pump_campaign(campaign);
+  if (campaign->state() != Campaign::State::kRunning) {
+    on_campaign_settled(campaign);
+  }
+  return true;
+}
+
+void Server::pump_campaign(const std::shared_ptr<Campaign>& campaign) {
+  const std::vector<Campaign::Dispatch> dispatches = campaign->pump();
+  for (const Campaign::Dispatch& dispatch : dispatches) {
+    // The lambda owns a shared_ptr: a campaign with work in flight cannot
+    // be destroyed out from under a pool thread, no matter what the
+    // connection does.
+    pool_->submit([this, campaign, dispatch]() {
+      Completion completion;
+      completion.campaign = campaign;
+      completion.slot = dispatch.slot;
+      completion.outcome = campaign->evaluate(dispatch.config);
+      {
+        const std::lock_guard<std::mutex> lock(completion_mutex_);
+        completions_.push_back(std::move(completion));
+      }
+      wake(wake_fds_[1]);
+    });
+  }
+}
+
+void Server::drain_completions() {
+  std::deque<Completion> batch;
+  {
+    const std::lock_guard<std::mutex> lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  std::vector<std::shared_ptr<Campaign>> touched;
+  for (Completion& completion : batch) {
+    completion.campaign->deliver(completion.slot,
+                                 std::move(completion.outcome));
+    if (std::find(touched.begin(), touched.end(), completion.campaign) ==
+        touched.end()) {
+      touched.push_back(completion.campaign);
+    }
+  }
+  for (const std::shared_ptr<Campaign>& campaign : touched) {
+    if (campaign->state() == Campaign::State::kRunning &&
+        campaign->outstanding() == 0) {
+      pump_campaign(campaign);  // Commits the batch, proposes the next.
+      if (campaign->state() == Campaign::State::kRunning) {
+        if (Connection* conn = connection_for(campaign.get())) {
+          (void)send(conn->fd,
+                     frame_of("progress",
+                              {campaign->id(),
+                               std::to_string(campaign->iteration()),
+                               std::to_string(campaign->sample_count()),
+                               std::to_string(campaign->front_size())}));
+        }
+      }
+    }
+    if (campaign->state() == Campaign::State::kDone ||
+        campaign->state() == Campaign::State::kParked) {
+      on_campaign_settled(campaign);
+    }
+  }
+}
+
+void Server::on_campaign_settled(const std::shared_ptr<Campaign>& campaign) {
+  Connection* conn = connection_for(campaign.get());
+  if (campaign->state() == Campaign::State::kDone) {
+    ++dones_;
+    if (conn != nullptr) {
+      (void)send(conn->fd,
+                 frame_of("report", {campaign->id(),
+                                     campaign->interrupted() ? "1" : "0",
+                                     campaign->report()}));
+      conn->campaign.reset();
+    }
+    return;
+  }
+  if (campaign->state() == Campaign::State::kParked) {
+    ++parks_;
+    if (conn != nullptr) {
+      (void)send(conn->fd,
+                 frame_of("parked",
+                          {campaign->id(), campaign->park_reason()}));
+      conn->campaign.reset();
+    }
+  }
+}
+
+void Server::abandon_connection(Connection& conn, const std::string& reason) {
+  if (conn.campaign == nullptr) return;
+  const Campaign::State state = conn.campaign->state();
+  if (state == Campaign::State::kRunning ||
+      state == Campaign::State::kParking) {
+    hm::common::log_info() << "hm_serve: parking campaign "
+                           << conn.campaign->id() << " (" << reason << ")";
+    conn.campaign->park(reason);
+    if (conn.campaign->state() == Campaign::State::kParked) ++parks_;
+    // With evaluations still in flight the park finalizes later, inside
+    // drain_completions, and is counted there.
+  }
+  conn.campaign.reset();
+}
+
+void Server::enforce_deadlines() {
+  const double now = clock_.seconds();
+  // Idle clients: the campaign is parked, the socket closed.
+  if (config_.client_idle_seconds > 0.0) {
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if (now - it->last_activity > config_.client_idle_seconds) {
+        abandon_connection(*it, "client idle timeout");
+        close_socket(it->fd);
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Campaign wall-clock deadlines.
+  for (const auto& [id, campaign] : campaigns_) {
+    if (campaign->state() == Campaign::State::kRunning &&
+        campaign->deadline_expired()) {
+      campaign->park("campaign deadline exceeded");
+      if (campaign->state() == Campaign::State::kParked) {
+        on_campaign_settled(campaign);
+      }
+    }
+  }
+}
+
+void Server::drain(bool from_signal) {
+  // Stop admitting first: close the listener (and unlink the UNIX path so
+  // a replacement daemon can bind immediately).
+  close_socket(listen_fd_);
+  listen_fd_ = -1;
+  if (!config_.socket_path.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(config_.socket_path, ec);
+  }
+  for (const auto& [id, campaign] : campaigns_) {
+    if (campaign->state() == Campaign::State::kRunning) {
+      campaign->park("daemon drain");
+      if (campaign->state() == Campaign::State::kParked) {
+        on_campaign_settled(campaign);
+      }
+    }
+  }
+  // Wait for in-flight evaluations to land so every parking campaign
+  // finalizes its journal. Bounded: pool evaluations always terminate (the
+  // sandbox SIGKILLs overruns; cooperative deadlines classify them).
+  while (true) {
+    bool outstanding = false;
+    for (const auto& [id, campaign] : campaigns_) {
+      if (campaign->state() == Campaign::State::kParking) outstanding = true;
+    }
+    if (!outstanding) break;
+    struct pollfd pfd{};
+    pfd.fd = wake_fds_[0];
+    pfd.events = POLLIN;
+    if (poll_retry(&pfd, 1, 100) > 0) drain_wake(wake_fds_[0]);
+    drain_completions();
+  }
+  for (Connection& conn : connections_) {
+    conn.campaign.reset();
+    close_socket(conn.fd);
+  }
+  connections_.clear();
+  hm::common::log_info() << "hm_serve: drained ("
+                         << (from_signal ? "signal" : "stop") << "): "
+                         << dones_ << " done, " << parks_ << " parked, "
+                         << sheds_ << " shed";
+}
+
+bool Server::send(int fd, const ServeFrame& frame) {
+  return hm::sandbox::write_frame(fd, hm::sandbox::encode_serve_frame(frame));
+}
+
+Server::Connection* Server::connection_for(const Campaign* campaign) {
+  for (Connection& conn : connections_) {
+    if (conn.campaign.get() == campaign) return &conn;
+  }
+  return nullptr;
+}
+
+}  // namespace hm::serve

@@ -1,16 +1,19 @@
 // fork-child-safety (handler leg) clean fixture: the cooperative-shutdown
-// idiom — the handler only stores a flag and re-raises nothing.
+// idiom — the handler only stores a flag and re-raises nothing. The atomic
+// store covers the lock-free-atomic allowlist (safe to read from another
+// thread, unlike volatile sig_atomic_t).
+#include <atomic>
 #include <csignal>
 
 namespace fix {
 
 namespace {
-volatile std::sig_atomic_t g_stop = 0;
+std::atomic<int> g_stop{0};
 }  // namespace
 
 void on_term(int /*sig*/);
 
-void on_term(int sig) { g_stop = sig; }
+void on_term(int sig) { g_stop.store(sig, std::memory_order_relaxed); }
 
 void install() { std::signal(SIGTERM, on_term); }
 

@@ -648,7 +648,20 @@ class ForkChildSafetyRule final : public IndexRule {
       for (char& c : lower) c = static_cast<char>(std::tolower(c));
       return lower.find("clock") != std::string::npos;
     }
-    if (!q.empty() && q != "::" && q != "std") return false;
+    // Lock-free std::atomic operations are async-signal-safe; the index
+    // carries no variable types, so match the distinctive member-op names
+    // on object-style calls (deliberately excludes ambiguous names like
+    // `clear`, which containers share).
+    static const std::set<std::string_view> kAtomicOps = {
+        "store",        "load",
+        "exchange",     "fetch_add",
+        "fetch_sub",    "fetch_or",
+        "fetch_and",    "fetch_xor",
+        "test_and_set", "compare_exchange_weak",
+        "compare_exchange_strong"};
+    if (!q.empty() && q != "::" && q != "std") {
+      return kAtomicOps.count(call.callee) > 0;
+    }
     return kAllow.count(call.callee) > 0;
   }
 
