@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "common/log.hpp"
 
 namespace {
 
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   const auto result = optimizer.run();
   const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
   if (!best) {
-    std::fprintf(stderr, "no valid configuration on the reference trajectory\n");
+    hm::common::log_error() << "no valid configuration on the reference trajectory";
     return 1;
   }
   const auto tuned_config = result.samples[*best].config;

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bench/bench_common.hpp"
+#include "common/log.hpp"
 #include "crowd/crowd_experiment.hpp"
 #include "crowd/device_population.hpp"
 
@@ -36,7 +37,7 @@ int main(int argc, char** argv) {
   const auto result = optimizer.run();
   const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
   if (!best) {
-    std::fprintf(stderr, "no valid configuration found\n");
+    hm::common::log_error() << "no valid configuration found";
     return 1;
   }
   std::printf("tuned on %s in %.0fs: %s\n", evaluator.device().name.c_str(),

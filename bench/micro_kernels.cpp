@@ -20,6 +20,7 @@
 #include "bench/bench_common.hpp"
 #include "common/atomic_file.hpp"
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/timer.hpp"
@@ -357,8 +358,7 @@ int run_simd_comparison(const common::CliArgs& args) {
   json += "  ]\n}\n";
   std::string error;
   if (!hm::common::write_file_atomic(out, json, &error)) {
-    std::fprintf(stderr, "  failed to write %s: %s\n", out.c_str(),
-                 error.c_str());
+    hm::common::log_error() << "failed to write " << out << ": " << error;
     return 1;
   }
   std::printf("  wrote %s\n", out.c_str());

@@ -24,6 +24,7 @@
 
 #include "common/atomic_file.hpp"
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "bench/bench_common.hpp"
@@ -206,8 +207,7 @@ int main(int argc, char** argv) {
   json += "  ]\n}\n";
   std::string error;
   if (!hm::common::write_file_atomic(out, json, &error)) {
-    std::fprintf(stderr, "  failed to write %s: %s\n", out.c_str(),
-                 error.c_str());
+    hm::common::log_error() << "failed to write " << out << ": " << error;
     return 1;
   }
   std::printf("  wrote %s\n", out.c_str());

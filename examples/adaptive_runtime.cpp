@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
     // Load a front produced by tune_kfusion --out and re-measure it.
     const auto table = common::read_csv_file(*path);
     if (!table) {
-      std::fprintf(stderr, "cannot read %s\n", path->c_str());
+      hm::common::log_error() << "cannot read " << *path;
       return 1;
     }
     for (const Configuration& config :
@@ -104,7 +105,7 @@ int main(int argc, char** argv) {
     std::printf("computed a %zu-point front\n", front.size());
   }
   if (front.empty()) {
-    std::fprintf(stderr, "empty front\n");
+    hm::common::log_error() << "empty front";
     return 1;
   }
 

@@ -34,6 +34,7 @@
 
 #include "common/cli.hpp"
 #include "common/journal.hpp"
+#include "common/log.hpp"
 #include "common/signal.hpp"
 #include "common/stats.hpp"
 #include "crowd/crowd_experiment.hpp"
@@ -41,6 +42,7 @@
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
+#include "kernel_report.hpp"
 #include "observability.hpp"
 #include "sandbox_cli.hpp"
 #include "slambench/adapters.hpp"
@@ -54,7 +56,7 @@ int main(int argc, char** argv) {
   const auto journal_path = args.get("journal");
   const bool resume = args.flag("resume");
   if (resume && !journal_path) {
-    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    hm::common::log_error() << "--resume requires --journal PATH";
     return 1;
   }
 
@@ -80,13 +82,13 @@ int main(int argc, char** argv) {
   if (journal_path) {
     std::string journal_error;
     if (!tune_journal.open(*journal_path + ".tune", &journal_error)) {
-      std::fprintf(stderr, "cannot open journal %s.tune: %s\n",
-                   journal_path->c_str(), journal_error.c_str());
+      hm::common::log_error() << "cannot open journal " << *journal_path
+                              << ".tune: " << journal_error;
       return 1;
     }
     optimizer.attach_journal(&tune_journal);
     if (!common::install_shutdown_handler()) {
-      std::fprintf(stderr, "warning: cannot install signal handlers\n");
+      hm::common::log_warn() << "cannot install signal handlers";
     }
     optimizer.set_cancel([] { return common::shutdown_requested(); });
   }
@@ -94,8 +96,8 @@ int main(int argc, char** argv) {
   if (resume) {
     run_result = optimizer.resume(*journal_path + ".tune");
     if (!run_result) {
-      std::fprintf(stderr, "cannot resume tuning from %s.tune\n",
-                   journal_path->c_str());
+      hm::common::log_error() << "cannot resume tuning from "
+                              << *journal_path << ".tune";
       return 1;
     }
   } else {
@@ -115,7 +117,7 @@ int main(int argc, char** argv) {
 
   const auto best = hypermapper::best_under_constraint(result, 0, 1, 0.05);
   if (!best) {
-    std::fprintf(stderr, "no configuration within the 5 cm limit\n");
+    hm::common::log_error() << "no configuration within the 5 cm limit";
     return 1;
   }
   std::printf("best valid configuration on the reference device: %.1f FPS\n",
@@ -148,8 +150,8 @@ int main(int argc, char** argv) {
         *journal_path, &info, &campaign_error,
         [] { return common::shutdown_requested(); });
     if (!journaled) {
-      std::fprintf(stderr, "campaign journal error: %s\n",
-                   campaign_error.c_str());
+      hm::common::log_error() << "campaign journal error: "
+                              << campaign_error;
       return 1;
     }
     crowd_result = *journaled;
@@ -176,7 +178,8 @@ int main(int argc, char** argv) {
               devices.size(), crowd_result.usable_devices,
               crowd_result.dropped_devices, crowd_result.noisy_devices);
   if (crowd_result.devices.empty()) {
-    std::fprintf(stderr, "every device dropped out; nothing to aggregate\n");
+    hm::common::log_error()
+        << "every device dropped out; nothing to aggregate";
     return 1;
   }
   std::printf("speedup across %zu devices: min %.1fx, median %.1fx, max %.1fx\n",

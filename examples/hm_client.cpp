@@ -3,9 +3,14 @@
 //   ./hm_client --socket /tmp/hm_serve.sock --scenario scenario.json
 //   ./hm_client --port 7421 --resume my-campaign [--report out.txt]
 //   ./hm_client --port 7421 --ping
+//   ./hm_client --port 7421 --scenario s.json --trace trace.json
 //
 // Submits one scenario (or resumes one campaign by id), follows progress
 // frames, and writes the final report to --report (atomic) or stdout.
+// With --trace, a trace id is generated and propagated on every frame; the
+// daemon ships back its campaign spans (including sandbox-worker spans) and
+// the written Chrome trace is the merged cross-process timeline. --metrics
+// exports the client-side metrics snapshot.
 //
 // Exit codes: 0 report received, 2 typed-busy shed (retry later), 3 parked
 // (resume later), 130 on SIGINT/SIGTERM before the report arrived, 1 on
@@ -18,7 +23,11 @@
 
 #include "common/atomic_file.hpp"
 #include "common/cli.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/signal.hpp"
+#include "common/trace.hpp"
+#include "observability.hpp"
 #include "serve/client.hpp"
 
 namespace {
@@ -38,8 +47,9 @@ namespace {
 int main(int argc, char** argv) {
   using namespace hm;
   const common::CliArgs args(argc, argv, {"ping"});
+  const auto observability = examples::Observability::from_args(args);
   if (!common::install_shutdown_handler()) {
-    std::fprintf(stderr, "warning: cannot install signal handlers\n");
+    common::log_warn() << "cannot install signal handlers";
   }
 
   const double wait = args.get_or("connect-timeout", 5.0);
@@ -53,12 +63,17 @@ int main(int argc, char** argv) {
         static_cast<std::uint16_t>(args.get_or("port", std::int64_t{0})), wait,
         &error);
   } else {
-    std::fprintf(stderr, "hm_client: need --socket PATH or --port N\n");
+    common::log_error() << "hm_client: need --socket PATH or --port N";
     return 1;
   }
   if (!client) {
-    std::fprintf(stderr, "hm_client: %s\n", error.c_str());
+    common::log_error() << "hm_client: " << error;
     return 1;
+  }
+  if (observability.trace_active()) {
+    // Propagate one trace id across the daemon and its sandbox workers;
+    // the written trace is the merged cross-process timeline.
+    client->set_trace_id(common::generate_trace_id());
   }
 
   if (args.flag("ping")) {
@@ -75,8 +90,8 @@ int main(int argc, char** argv) {
     result = client->run_scenario(read_file_or_inline(*scenario),
                                   reply_deadline);
   } else {
-    std::fprintf(stderr,
-                 "hm_client: need --scenario JSON|PATH or --resume ID\n");
+    common::log_error()
+        << "hm_client: need --scenario JSON|PATH or --resume ID";
     return 1;
   }
 
@@ -87,27 +102,36 @@ int main(int argc, char** argv) {
                   result.interrupted ? ", interrupted" : "");
       if (const auto report_path = args.get("report")) {
         if (!common::write_file_atomic(*report_path, result.report, &error)) {
-          std::fprintf(stderr, "hm_client: cannot write %s: %s\n",
-                       report_path->c_str(), error.c_str());
+          common::log_error() << "hm_client: cannot write " << *report_path
+                              << ": " << error;
           return 1;
         }
       } else {
         std::fwrite(result.report.data(), 1, result.report.size(), stdout);
       }
+      // Client-side series for --metrics, labeled like the daemon's
+      // exporter so one dashboard can join both ends of a campaign.
+      auto& registry = common::MetricsRegistry::global();
+      registry
+          .counter("hm_client_progress_frames", "campaign",
+                   result.campaign_id)
+          .increment(result.progress_frames);
+      registry
+          .counter("hm_client_report_bytes", "campaign", result.campaign_id)
+          .increment(result.report.size());
       client->bye();
-      return 0;
+      return observability.finish(nullptr) ? 0 : 1;
     }
     case serve::ClientResult::Status::kBusy:
-      std::fprintf(stderr, "hm_client: server busy: %s\n",
-                   result.message.c_str());
+      common::log_error() << "hm_client: server busy: " << result.message;
       return 2;
     case serve::ClientResult::Status::kParked:
-      std::fprintf(stderr, "hm_client: campaign %s parked: %s\n",
-                   result.campaign_id.c_str(), result.message.c_str());
+      common::log_error() << "hm_client: campaign " << result.campaign_id
+                          << " parked: " << result.message;
       return 3;
     case serve::ClientResult::Status::kError:
       if (common::shutdown_requested()) return 130;
-      std::fprintf(stderr, "hm_client: %s\n", result.message.c_str());
+      common::log_error() << "hm_client: " << result.message;
       return 1;
   }
   return 1;

@@ -1,13 +1,12 @@
-// Shared observability plumbing for the example binaries: parses the
-// --trace=<file> / --metrics=<file> flags, switches the log format to
-// timestamped lines while an observability run is active, and renders the
-// end-of-run report (per-kernel op counts, scheduler counters, metrics
-// summary) plus the exported artifacts. Header-only on purpose — examples
-// are single-file walkthroughs.
+// Shared observability plumbing for the driver binaries (examples plus the
+// serve daemon/client): parses the --trace=<file> / --metrics=<file> flags,
+// switches the log format to timestamped lines while an observability run
+// is active, and renders the end-of-run report (scheduler counters, metrics
+// summary) plus the exported artifacts. Per-kernel op reporting lives in
+// kernel_report.hpp so this header has no kfusion dependency. Header-only
+// on purpose — examples are single-file walkthroughs.
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -17,26 +16,8 @@
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
-#include "kfusion/kernel_stats.hpp"
 
 namespace hm::examples {
-
-/// Prints one run's per-kernel op counts (the paper's counted-work runtime
-/// substrate) as an end-of-run report block.
-inline void print_kernel_stats(const char* label,
-                               const hm::kfusion::KernelStats& stats) {
-  std::printf("%s kernel ops (total %llu):\n", label,
-              static_cast<unsigned long long>(stats.total()));
-  for (std::size_t k = 0;
-       k < static_cast<std::size_t>(hm::kfusion::Kernel::kCount); ++k) {
-    const std::uint64_t ops = stats.count(static_cast<hm::kfusion::Kernel>(k));
-    if (ops == 0) continue;
-    std::printf("  %-14.*s %llu\n",
-                static_cast<int>(hm::kfusion::kKernelNames[k].size()),
-                hm::kfusion::kKernelNames[k].data(),
-                static_cast<unsigned long long>(ops));
-  }
-}
 
 /// Prints the scheduler counters accumulated by `pool` so far.
 inline void print_scheduler_stats(const hm::common::ThreadPool& pool) {
@@ -73,6 +54,9 @@ class Observability {
     return trace_path_.has_value() || metrics_path_.has_value();
   }
 
+  /// True when --trace was given (tracing is enabled process-wide).
+  [[nodiscard]] bool trace_active() const { return trace_path_.has_value(); }
+
   /// End-of-run: folds `pool`'s scheduler counters into the global
   /// registry, prints the metrics summary, and writes the --trace /
   /// --metrics files. Returns false if an export failed.
@@ -89,8 +73,8 @@ class Observability {
       if (hm::common::write_metrics_file(snapshot, *metrics_path_, &error)) {
         std::printf("metrics written to %s\n", metrics_path_->c_str());
       } else {
-        std::fprintf(stderr, "failed to write metrics %s: %s\n",
-                     metrics_path_->c_str(), error.c_str());
+        hm::common::log_error() << "failed to write metrics "
+                                << *metrics_path_ << ": " << error;
         ok = false;
       }
     }
@@ -100,8 +84,8 @@ class Observability {
                     "https://ui.perfetto.dev)\n",
                     trace_path_->c_str());
       } else {
-        std::fprintf(stderr, "failed to write trace %s: %s\n",
-                     trace_path_->c_str(), error.c_str());
+        hm::common::log_error() << "failed to write trace " << *trace_path_
+                                << ": " << error;
         ok = false;
       }
     }

@@ -9,6 +9,7 @@
 
 #include "common/atomic_file.hpp"
 #include "common/cli.hpp"
+#include "common/log.hpp"
 #include "common/timer.hpp"
 #include "dataset/sequence.hpp"
 #include "kfusion/mesh.hpp"
@@ -44,7 +45,7 @@ int main(int argc, char** argv) {
   std::printf("mesh: %zu triangles, %.2f m^2 surface (%.1fs)\n", mesh.size(),
               mesh.total_area(), timer.seconds());
   if (mesh.empty()) {
-    std::fprintf(stderr, "empty reconstruction\n");
+    hm::common::log_error() << "empty reconstruction";
     return 1;
   }
 
@@ -66,8 +67,8 @@ int main(int argc, char** argv) {
   const std::string obj = kfusion::to_obj(mesh);
   std::string write_error;
   if (!common::write_file_atomic(path, obj, &write_error)) {
-    std::fprintf(stderr, "cannot write %s: %s\n", path.c_str(),
-                 write_error.c_str());
+    hm::common::log_error() << "cannot write " << path << ": "
+                            << write_error;
     return 1;
   }
   std::printf("mesh written to %s (%zu bytes)\n", path.c_str(), obj.size());

@@ -22,11 +22,13 @@
 
 #include "common/cli.hpp"
 #include "common/journal.hpp"
+#include "common/log.hpp"
 #include "common/signal.hpp"
 #include "common/timer.hpp"
 #include "dataset/sequence.hpp"
 #include "hypermapper/optimizer.hpp"
 #include "hypermapper/report.hpp"
+#include "kernel_report.hpp"
 #include "observability.hpp"
 #include "sandbox_cli.hpp"
 #include "slambench/adapters.hpp"
@@ -83,20 +85,20 @@ int main(int argc, char** argv) {
   const auto journal_path = args.get("journal");
   const bool resume = args.flag("resume");
   if (resume && !journal_path) {
-    std::fprintf(stderr, "--resume requires --journal PATH\n");
+    hm::common::log_error() << "--resume requires --journal PATH";
     return 1;
   }
   common::JournalWriter journal;
   if (journal_path) {
     std::string journal_error;
     if (!journal.open(*journal_path, &journal_error)) {
-      std::fprintf(stderr, "cannot open journal %s: %s\n",
-                   journal_path->c_str(), journal_error.c_str());
+      hm::common::log_error() << "cannot open journal " << *journal_path
+                              << ": " << journal_error;
       return 1;
     }
     optimizer.attach_journal(&journal);
     if (!common::install_shutdown_handler()) {
-      std::fprintf(stderr, "warning: cannot install signal handlers\n");
+      hm::common::log_warn() << "cannot install signal handlers";
     }
     optimizer.set_cancel([] { return common::shutdown_requested(); });
   }
@@ -105,7 +107,7 @@ int main(int argc, char** argv) {
   if (resume) {
     run_result = optimizer.resume(*journal_path);
     if (!run_result) {
-      std::fprintf(stderr, "cannot resume from %s\n", journal_path->c_str());
+      hm::common::log_error() << "cannot resume from " << *journal_path;
       return 1;
     }
   } else {

@@ -9,9 +9,12 @@
 # RLIMIT_AS case self-skips under ASan, which reserves shadow address space);
 # the serve suite (label "serve") walks the daemon's socket error branches
 # (corrupt frames, stalled writers, vanished clients) and the SIGKILLed-
-# daemon recovery path. Run locally before touching the resilient evaluator,
-# quarantine logic, the SLAM failure gates, the sandbox supervisor,
-# src/serve/, or any *_simd kernel path.
+# daemon recovery path; the observability suite (label "obs") walks the
+# scrape-endpoint chaos matrix (slow-loris readers, half-closes, oversized
+# requests), the flight-recorder ring, and the span-bundle codecs. Run
+# locally before touching the resilient evaluator, quarantine logic, the
+# SLAM failure gates, the sandbox supervisor, src/serve/, or any *_simd
+# kernel path.
 set -euo pipefail
 source "$(dirname "$0")/common.sh"
 cd "$(hm_repo_root)"
@@ -20,12 +23,13 @@ export HM_BUILD_TARGETS="resilient_evaluator_test optimizer_test crowd_test
   failure_injection_test ef_failure_injection_test journal_test
   atomic_file_test run_journal_test simd_test simd_equivalence_test
   sandbox_protocol_test sandbox_test serve_protocol_test serve_test
-  serve_recovery_test"
+  serve_recovery_test serve_obs_test obs_metrics_test obs_trace_test
+  flight_recorder_test"
 
 for SAN in address undefined; do
   BUILD_DIR="build-${SAN}"
   hm_configure_build "$BUILD_DIR" -DHM_SANITIZE="$SAN"
   ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-    hm_ctest "$BUILD_DIR" -L 'fault|simd|sandbox|serve'
+    hm_ctest "$BUILD_DIR" -L 'fault|simd|sandbox|serve|obs'
 done

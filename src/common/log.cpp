@@ -49,6 +49,19 @@ std::uint32_t log_thread_index() {
   return index;
 }
 
+namespace {
+std::string& context_slot() {
+  thread_local std::string context;
+  return context;
+}
+}  // namespace
+
+void set_log_context(std::string_view context) {
+  context_slot().assign(context);
+}
+
+const std::string& log_context() noexcept { return context_slot(); }
+
 void log_line(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::string line;
@@ -58,6 +71,12 @@ void log_line(LogLevel level, std::string_view message) {
     line.append(" [t");
     line.append(std::to_string(log_thread_index()));
     line.append("] ");
+    const std::string& context = log_context();
+    if (!context.empty()) {
+      line.append("[c:");
+      line.append(context);
+      line.append("] ");
+    }
   }
   line.push_back('[');
   line.append(level_name(level));

@@ -29,6 +29,30 @@ void set_log_format(LogFormat format) noexcept;
 /// (the main thread normally gets 0). Stable for the thread's lifetime.
 [[nodiscard]] std::uint32_t log_thread_index();
 
+/// Thread-local context tag (e.g. a campaign id) rendered into the
+/// timestamped prefix as `[c:<tag>]` between the thread index and the
+/// level: `2017-05-14T09:30:00.123Z [t0] [c:smoke] [INFO] ...`. Empty
+/// (the default) renders nothing.
+void set_log_context(std::string_view context);
+[[nodiscard]] const std::string& log_context() noexcept;
+
+/// Scoped log context: installs `context` for the guard's lifetime and
+/// restores the previous tag on exit, so pool threads that interleave work
+/// for several campaigns attribute each line correctly.
+class LogContextScope {
+ public:
+  explicit LogContextScope(std::string_view context)
+      : saved_(log_context()) {
+    set_log_context(context);
+  }
+  ~LogContextScope() { set_log_context(saved_); }
+  LogContextScope(const LogContextScope&) = delete;
+  LogContextScope& operator=(const LogContextScope&) = delete;
+
+ private:
+  std::string saved_;
+};
+
 /// Emits one line to stderr if `level` passes the threshold, formatted per
 /// `log_format()`. Thread-safe (single write call per line).
 void log_line(LogLevel level, std::string_view message);

@@ -166,6 +166,11 @@ Counter& MetricsRegistry::counter(std::string_view name, std::string_view key,
   return counter(labeled_metric(name, key, value));
 }
 
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  std::vector<MetricLabel> labels) {
+  return counter(labeled_metric(name, std::move(labels)));
+}
+
 Gauge& MetricsRegistry::gauge(std::string_view name) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto it = gauges_.find(name);
@@ -178,6 +183,11 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
 Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view key,
                               std::string_view value) {
   return gauge(labeled_metric(name, key, value));
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name,
+                              std::vector<MetricLabel> labels) {
+  return gauge(labeled_metric(name, std::move(labels)));
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
@@ -197,6 +207,12 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::string_view value,
                                       HistogramLayout layout) {
   return histogram(labeled_metric(name, key, value), layout);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<MetricLabel> labels,
+                                      HistogramLayout layout) {
+  return histogram(labeled_metric(name, std::move(labels)), layout);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
@@ -222,6 +238,20 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string labeled_metric(std::string_view name, std::string_view key,
                            std::string_view value) {
   std::string identity;
@@ -230,8 +260,31 @@ std::string labeled_metric(std::string_view name, std::string_view key,
   identity.push_back('{');
   identity.append(key);
   identity.append("=\"");
-  identity.append(value);
+  identity.append(prometheus_escape(value));
   identity.append("\"}");
+  return identity;
+}
+
+std::string labeled_metric(std::string_view name,
+                           std::vector<MetricLabel> labels) {
+  // Sort by key so identity is independent of caller label ordering; ties
+  // break on value to keep the result deterministic even for (unusual)
+  // duplicate keys.
+  std::sort(labels.begin(), labels.end(),
+            [](const MetricLabel& a, const MetricLabel& b) {
+              return a.key != b.key ? a.key < b.key : a.value < b.value;
+            });
+  std::string identity;
+  identity.append(name);
+  identity.push_back('{');
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) identity.push_back(',');
+    identity.append(labels[i].key);
+    identity.append("=\"");
+    identity.append(prometheus_escape(labels[i].value));
+    identity.push_back('"');
+  }
+  identity.push_back('}');
   return identity;
 }
 

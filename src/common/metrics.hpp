@@ -138,6 +138,15 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// One label pair for the multi-label metric surface. Values may contain
+/// arbitrary bytes; rendering escapes them per the Prometheus exposition
+/// format. Keys are expected to be plain `[a-zA-Z_][a-zA-Z0-9_]*` metric
+/// label names and are rendered verbatim.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+
 /// One registry snapshot: every metric, sorted by identity.
 struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
@@ -161,14 +170,21 @@ class MetricsRegistry {
   [[nodiscard]] Counter& counter(std::string_view name);
   [[nodiscard]] Counter& counter(std::string_view name, std::string_view key,
                                  std::string_view value);
+  [[nodiscard]] Counter& counter(std::string_view name,
+                                 std::vector<MetricLabel> labels);
   [[nodiscard]] Gauge& gauge(std::string_view name);
   [[nodiscard]] Gauge& gauge(std::string_view name, std::string_view key,
                              std::string_view value);
+  [[nodiscard]] Gauge& gauge(std::string_view name,
+                             std::vector<MetricLabel> labels);
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      HistogramLayout layout = HistogramLayout{});
   [[nodiscard]] Histogram& histogram(std::string_view name,
                                      std::string_view key,
                                      std::string_view value,
+                                     HistogramLayout layout = HistogramLayout{});
+  [[nodiscard]] Histogram& histogram(std::string_view name,
+                                     std::vector<MetricLabel> labels,
                                      HistogramLayout layout = HistogramLayout{});
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
@@ -186,10 +202,22 @@ class MetricsRegistry {
       histograms_;  // hm-guarded-by(mutex_)
 };
 
-/// Builds the canonical labeled identity `name{key="value"}`.
+/// Escapes a label value for the Prometheus exposition format:
+/// `\` -> `\\`, `"` -> `\"`, newline -> `\n`.
+[[nodiscard]] std::string prometheus_escape(std::string_view value);
+
+/// Builds the canonical labeled identity `name{key="value"}` with the value
+/// Prometheus-escaped.
 [[nodiscard]] std::string labeled_metric(std::string_view name,
                                          std::string_view key,
                                          std::string_view value);
+
+/// Builds the canonical multi-label identity `name{k1="v1",k2="v2",...}`:
+/// labels are sorted by key (so identical label sets always produce the
+/// same identity regardless of caller ordering) and values are
+/// Prometheus-escaped.
+[[nodiscard]] std::string labeled_metric(std::string_view name,
+                                         std::vector<MetricLabel> labels);
 
 /// Escapes `\`, `"`, control characters for embedding in a JSON string.
 [[nodiscard]] std::string json_escape(std::string_view text);

@@ -1,5 +1,7 @@
 #include "common/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -7,8 +9,11 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string_view>
 
 #include "common/atomic_file.hpp"
+#include "common/checkpoint.hpp"
 #include "common/metrics.hpp"
 
 namespace hm::common {
@@ -16,6 +21,8 @@ namespace {
 
 std::atomic<bool> g_trace_enabled{false};
 std::atomic<bool> g_span_histograms_enabled{true};
+
+thread_local std::uint64_t t_trace_id = 0;
 
 /// One thread's span buffer. The owning thread appends under the buffer's
 /// own (uncontended) mutex; snapshot/clear take the same mutex from
@@ -30,6 +37,7 @@ struct ThreadBuffer {
 struct Collector {
   std::mutex mutex;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<RemoteTraceEvent> foreign;  // hm-guarded-by(mutex)
   std::uint32_t next_tid = 0;
 };
 
@@ -52,6 +60,35 @@ ThreadBuffer& local_buffer() {
   return *buffer;
 }
 
+/// The process trace epoch: a (steady, wall-clock) anchor pair captured
+/// once. The steady side defines span timestamps; the wall-clock side lets
+/// another process rebase our timestamps onto its own timeline (clocks on
+/// one machine agree; steady epochs do not).
+struct TraceEpoch {
+  std::chrono::steady_clock::time_point steady;
+  std::int64_t unix_ns = 0;
+};
+
+const TraceEpoch& trace_epoch() noexcept {
+  static const TraceEpoch epoch = [] {
+    TraceEpoch anchor;
+    anchor.steady = std::chrono::steady_clock::now();
+    anchor.unix_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count();
+    return anchor;
+  }();
+  return epoch;
+}
+
+/// splitmix64 finaliser: full-avalanche mixing for trace-id generation.
+std::uint64_t mix_u64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 void set_trace_enabled(bool enabled) noexcept {
@@ -72,6 +109,24 @@ bool trace_enabled() noexcept {
 
 std::uint32_t trace_thread_id() { return local_buffer().tid; }
 
+std::uint64_t current_trace_id() noexcept { return t_trace_id; }
+
+void set_current_trace_id(std::uint64_t trace_id) noexcept {
+  t_trace_id = trace_id;
+}
+
+std::uint64_t generate_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(trace_epoch().unix_ns) ^
+      (static_cast<std::uint64_t>(::getpid()) << 40) ^
+      counter.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t id = mix_u64(seed);
+  return id != 0 ? id : 1;  // 0 means "no trace context".
+}
+
+void init_trace_epoch() noexcept { (void)trace_epoch(); }
+
 void clear_trace() {
   Collector& c = collector();
   const std::lock_guard<std::mutex> lock(c.mutex);
@@ -79,6 +134,7 @@ void clear_trace() {
     const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     buffer->events.clear();
   }
+  c.foreign.clear();
 }
 
 std::vector<TraceEvent> trace_snapshot() {
@@ -103,50 +159,187 @@ std::vector<TraceEvent> trace_snapshot() {
   return merged;
 }
 
+namespace {
+
+/// Shared body for both JSON overloads: one complete ("X") event with
+/// microsecond timestamps, keyed by (pid, tid); nonzero trace ids become a
+/// decimal-string `trace_id` arg (doubles cannot hold a full u64).
+void append_chrome_event(std::string& out, std::string_view name,
+                         std::string_view category, std::uint32_t pid,
+                         std::uint32_t tid, std::int64_t start_ns,
+                         std::int64_t duration_ns, std::uint64_t trace_id) {
+  char buffer[160];
+  out.append("  {\"name\": \"");
+  out.append(json_escape(name));
+  out.append("\", \"cat\": \"");
+  out.append(json_escape(category));
+  std::snprintf(buffer, sizeof(buffer),
+                "\", \"ph\": \"X\", \"pid\": %u, \"tid\": %u, "
+                "\"ts\": %.3f, \"dur\": %.3f",
+                pid, tid, static_cast<double>(start_ns) / 1e3,
+                static_cast<double>(duration_ns) / 1e3);
+  out.append(buffer);
+  if (trace_id != 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  ", \"args\": {\"trace_id\": \"%llu\"}",
+                  static_cast<unsigned long long>(trace_id));
+    out.append(buffer);
+  }
+  out.push_back('}');
+}
+
+std::uint32_t local_pid() noexcept {
+  return static_cast<std::uint32_t>(::getpid());
+}
+
+}  // namespace
+
 std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
   std::string out = "{\"traceEvents\": [";
-  char buffer[96];
+  const std::uint32_t pid = local_pid();
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& event = events[i];
     out.append(i == 0 ? "\n" : ",\n");
-    out.append("  {\"name\": \"");
-    out.append(json_escape(event.name));
-    out.append("\", \"cat\": \"");
-    out.append(json_escape(event.category));
-    // Complete ("X") events with microsecond timestamps, per the Chrome
-    // trace-event format; pid is constant (single process).
-    std::snprintf(buffer, sizeof(buffer),
-                  "\", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
-                  "\"ts\": %.3f, \"dur\": %.3f}",
-                  event.tid, static_cast<double>(event.start_ns) / 1e3,
-                  static_cast<double>(event.duration_ns) / 1e3);
-    out.append(buffer);
+    append_chrome_event(out, event.name, event.category, pid, event.tid,
+                        event.start_ns, event.duration_ns, event.trace_id);
   }
   out.append(events.empty() ? "], " : "\n], ");
   out.append("\"displayTimeUnit\": \"ms\"}\n");
   return out;
 }
 
+std::string chrome_trace_json(const std::vector<RemoteTraceEvent>& events) {
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const RemoteTraceEvent& event = events[i];
+    out.append(i == 0 ? "\n" : ",\n");
+    append_chrome_event(out, event.name, event.category, event.process_id,
+                        event.tid,
+                        event.start_ns, event.duration_ns, event.trace_id);
+  }
+  out.append(events.empty() ? "], " : "\n], ");
+  out.append("\"displayTimeUnit\": \"ms\"}\n");
+  return out;
+}
+
+std::vector<RemoteTraceEvent> merged_trace_snapshot() {
+  std::vector<RemoteTraceEvent> merged;
+  const std::uint32_t pid = local_pid();
+  for (const TraceEvent& event : trace_snapshot()) {
+    merged.push_back(RemoteTraceEvent{event.name, event.category, pid,
+                                      event.tid, event.start_ns,
+                                      event.duration_ns, event.trace_id});
+  }
+  {
+    Collector& c = collector();
+    const std::lock_guard<std::mutex> lock(c.mutex);
+    merged.insert(merged.end(), c.foreign.begin(), c.foreign.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const RemoteTraceEvent& a, const RemoteTraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.process_id != b.process_id) {
+                return a.process_id < b.process_id;
+              }
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.name != b.name) return a.name < b.name;
+              return a.duration_ns < b.duration_ns;
+            });
+  return merged;
+}
+
+std::string encode_span_bundle(std::uint64_t trace_id_filter) {
+  std::vector<RemoteTraceEvent> events = merged_trace_snapshot();
+  std::vector<std::string> fields;
+  fields.reserve(4 + events.size() * 7);
+  fields.emplace_back("spans");
+  fields.push_back(encode_u64(local_pid()));
+  fields.push_back(
+      encode_u64(static_cast<std::uint64_t>(detail::trace_epoch_unix_ns())));
+  std::size_t count = 0;
+  const std::size_t count_slot = fields.size();
+  fields.emplace_back();  // Patched with the filtered count below.
+  for (const RemoteTraceEvent& event : events) {
+    if (trace_id_filter != 0 && event.trace_id != trace_id_filter) continue;
+    fields.push_back(event.name);
+    fields.push_back(event.category);
+    fields.push_back(encode_u64(event.process_id));
+    fields.push_back(encode_u64(event.tid));
+    fields.push_back(encode_u64(static_cast<std::uint64_t>(event.start_ns)));
+    fields.push_back(
+        encode_u64(static_cast<std::uint64_t>(event.duration_ns)));
+    fields.push_back(encode_u64(event.trace_id));
+    ++count;
+  }
+  fields[count_slot] = encode_u64(count);
+  return encode_fields(fields);
+}
+
+bool ingest_span_bundle(std::string_view payload) {
+  const std::optional<std::vector<std::string>> fields =
+      decode_fields(payload);
+  if (!fields || fields->size() < 4 || (*fields)[0] != "spans") return false;
+  const std::optional<std::uint64_t> pid = decode_u64((*fields)[1]);
+  const std::optional<std::uint64_t> sender_epoch = decode_u64((*fields)[2]);
+  const std::optional<std::uint64_t> count = decode_u64((*fields)[3]);
+  if (!pid || !sender_epoch || !count) return false;
+  if (fields->size() != 4 + *count * 7) return false;
+  // Rebase: sender timestamps are relative to the sender's epoch; shifting
+  // by the wall-clock anchor difference lands them on our timeline. For a
+  // forked child that inherited our epoch the shift is exactly zero.
+  const std::int64_t shift_ns =
+      static_cast<std::int64_t>(*sender_epoch) - detail::trace_epoch_unix_ns();
+  std::vector<RemoteTraceEvent> decoded;
+  decoded.reserve(*count);
+  for (std::uint64_t k = 0; k < *count; ++k) {
+    const std::size_t at = 4 + k * 7;
+    RemoteTraceEvent event;
+    event.name = (*fields)[at];
+    event.category = (*fields)[at + 1];
+    const std::optional<std::uint64_t> event_pid = decode_u64((*fields)[at + 2]);
+    const std::optional<std::uint64_t> tid = decode_u64((*fields)[at + 3]);
+    const std::optional<std::uint64_t> start = decode_u64((*fields)[at + 4]);
+    const std::optional<std::uint64_t> duration =
+        decode_u64((*fields)[at + 5]);
+    const std::optional<std::uint64_t> trace_id =
+        decode_u64((*fields)[at + 6]);
+    if (!event_pid || !tid || !start || !duration || !trace_id) return false;
+    event.process_id = static_cast<std::uint32_t>(*event_pid);
+    event.tid = static_cast<std::uint32_t>(*tid);
+    event.start_ns = static_cast<std::int64_t>(*start) + shift_ns;
+    event.duration_ns = static_cast<std::int64_t>(*duration);
+    event.trace_id = *trace_id;
+    decoded.push_back(std::move(event));
+  }
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  c.foreign.insert(c.foreign.end(),
+                   std::make_move_iterator(decoded.begin()),
+                   std::make_move_iterator(decoded.end()));
+  return true;
+}
+
 bool write_chrome_trace(const std::string& path, std::string* error) {
-  return write_file_atomic(path, chrome_trace_json(trace_snapshot()), error);
+  return write_file_atomic(path, chrome_trace_json(merged_trace_snapshot()),
+                           error);
 }
 
 namespace detail {
 
 std::int64_t trace_now_ns() noexcept {
-  using SteadyClock = std::chrono::steady_clock;
-  static const SteadyClock::time_point epoch = SteadyClock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             SteadyClock::now() - epoch)
+             std::chrono::steady_clock::now() - trace_epoch().steady)
       .count();
 }
+
+std::int64_t trace_epoch_unix_ns() noexcept { return trace_epoch().unix_ns; }
 
 void record_span(const char* name, const char* category, std::int64_t start_ns,
                  std::int64_t duration_ns) {
   ThreadBuffer& buffer = local_buffer();
   const std::lock_guard<std::mutex> lock(buffer.mutex);
-  buffer.events.push_back(
-      TraceEvent{name, category, buffer.tid, start_ns, duration_ns});
+  buffer.events.push_back(TraceEvent{name, category, buffer.tid, start_ns,
+                                     duration_ns, t_trace_id});
 }
 
 }  // namespace detail

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #ifndef HM_TRACE_ENABLED
@@ -22,13 +23,29 @@ namespace hm::common {
 class Histogram;
 
 /// One completed span. Times are nanoseconds on the process-local steady
-/// timeline (zero at the first trace operation).
+/// timeline (zero at the first trace operation). `trace_id` is the
+/// request-scoped correlation id that was current on the recording thread
+/// (0 = no request context).
 struct TraceEvent {
   const char* name = "";
   const char* category = "";
   std::uint32_t tid = 0;
   std::int64_t start_ns = 0;
   std::int64_t duration_ns = 0;
+  std::uint64_t trace_id = 0;
+};
+
+/// One span in a cross-process merged timeline: owned strings (the source
+/// process's literals are not addressable here), an explicit process id,
+/// and times rebased onto the receiving process's trace timeline.
+struct RemoteTraceEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t process_id = 0;
+  std::uint32_t tid = 0;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  std::uint64_t trace_id = 0;
 };
 
 /// Runtime toggle for span recording. Off by default.
@@ -48,26 +65,90 @@ void set_span_histograms_enabled(bool enabled) noexcept;
 /// first-use order; the first tracing thread — normally main — gets 0).
 [[nodiscard]] std::uint32_t trace_thread_id();
 
-/// Drops all recorded events (buffers of live threads included).
+/// The trace id currently attached to the calling thread (0 = none). Spans
+/// recorded on this thread carry it; propagate it across process hops so a
+/// request's spans correlate end to end.
+[[nodiscard]] std::uint64_t current_trace_id() noexcept;
+void set_current_trace_id(std::uint64_t trace_id) noexcept;
+
+/// Scoped trace context: installs `trace_id` as the calling thread's
+/// current id for the guard's lifetime, restoring the previous id on exit.
+/// Use around each unit of request-scoped work (a campaign evaluation, a
+/// sandbox child's eval) so concurrent requests on a shared pool do not
+/// bleed ids into each other's spans.
+class TraceContext {
+ public:
+  explicit TraceContext(std::uint64_t trace_id) noexcept
+      : saved_(current_trace_id()) {
+    set_current_trace_id(trace_id);
+  }
+  ~TraceContext() { set_current_trace_id(saved_); }
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  std::uint64_t saved_;
+};
+
+/// Generates a process-unique nonzero trace id (pid / wall-clock / counter
+/// mix through an avalanche hash).
+[[nodiscard]] std::uint64_t generate_trace_id() noexcept;
+
+/// Forces trace-epoch capture now. Call before fork(): a forked child
+/// inherits the parent's (steady, wall-clock) anchor pair, so cross-process
+/// time rebasing degenerates to the identity for sandbox workers.
+void init_trace_epoch() noexcept;
+
+/// Drops all recorded events (buffers of live threads and the foreign-span
+/// store included).
 void clear_trace();
 
 /// Merged copy of every thread's events, sorted by (start, tid, name) so
 /// identical runs serialise identically.
 [[nodiscard]] std::vector<TraceEvent> trace_snapshot();
 
+/// Serialises this process's spans — local buffers plus any already-ingested
+/// foreign spans — into a self-describing bundle for shipping over the
+/// framed pipe/socket protocols. When `trace_id_filter` is nonzero only
+/// spans carrying that id are included. Times stay on the sender's
+/// timeline; the bundle carries the sender's wall-clock anchor so the
+/// receiver can rebase.
+[[nodiscard]] std::string encode_span_bundle(std::uint64_t trace_id_filter = 0);
+
+/// Decodes a bundle produced by `encode_span_bundle` in another process and
+/// appends its spans to this process's foreign-span store, rebasing start
+/// times onto the local trace timeline via the wall-clock anchors. Returns
+/// false (ignoring the payload) on malformed input.
+bool ingest_span_bundle(std::string_view payload);
+
+/// Local events (tagged with this process's pid) plus ingested foreign
+/// events, merged and sorted by (start, pid, tid, name).
+[[nodiscard]] std::vector<RemoteTraceEvent> merged_trace_snapshot();
+
 /// Chrome trace-event JSON (`{"traceEvents": [...]}`), complete "X" events,
-/// microsecond timestamps.
+/// microsecond timestamps, keyed by this process's pid.
 [[nodiscard]] std::string chrome_trace_json(
     const std::vector<TraceEvent>& events);
 
-/// Snapshots the trace and writes it atomically to `path`.
+/// Chrome trace-event JSON for a cross-process merged timeline: events keep
+/// their originating pid, and nonzero trace ids are emitted as a
+/// `"trace_id"` arg (decimal string) so Perfetto can group one request's
+/// spans across processes.
+[[nodiscard]] std::string chrome_trace_json(
+    const std::vector<RemoteTraceEvent>& events);
+
+/// Snapshots the merged timeline (local + ingested foreign spans) and
+/// writes it atomically to `path`.
 [[nodiscard]] bool write_chrome_trace(const std::string& path,
                                       std::string* error = nullptr);
 
 namespace detail {
 /// Nanoseconds since the process trace epoch (steady clock).
 [[nodiscard]] std::int64_t trace_now_ns() noexcept;
-/// Appends a completed span to the calling thread's buffer.
+/// Wall-clock time (unix nanoseconds) of the process trace epoch.
+[[nodiscard]] std::int64_t trace_epoch_unix_ns() noexcept;
+/// Appends a completed span (tagged with the thread's current trace id) to
+/// the calling thread's buffer.
 void record_span(const char* name, const char* category, std::int64_t start_ns,
                  std::int64_t duration_ns);
 }  // namespace detail

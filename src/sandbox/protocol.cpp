@@ -137,9 +137,10 @@ FrameStatus read_frame(int fd, std::string* payload, double deadline_seconds) {
 
 std::string encode_request(const EvalRequest& request) {
   std::vector<std::string> fields;
-  fields.reserve(3 + request.config.size());
+  fields.reserve(4 + request.config.size());
   fields.emplace_back("ev");
   fields.push_back(hm::common::encode_u64(request.nonce));
+  fields.push_back(hm::common::encode_u64(request.trace_id));
   fields.push_back(hm::common::encode_u64(request.config.size()));
   for (const double value : request.config) {
     fields.push_back(hm::common::encode_double(value));
@@ -149,17 +150,21 @@ std::string encode_request(const EvalRequest& request) {
 
 std::optional<EvalRequest> decode_request(std::string_view payload) {
   const auto fields = hm::common::decode_fields(payload);
-  if (!fields || fields->size() < 3 || (*fields)[0] != "ev") {
+  if (!fields || fields->size() < 4 || (*fields)[0] != "ev") {
     return std::nullopt;
   }
   const auto nonce = hm::common::decode_u64((*fields)[1]);
-  const auto count = hm::common::decode_u64((*fields)[2]);
-  if (!nonce || !count || fields->size() != 3 + *count) return std::nullopt;
+  const auto trace_id = hm::common::decode_u64((*fields)[2]);
+  const auto count = hm::common::decode_u64((*fields)[3]);
+  if (!nonce || !trace_id || !count || fields->size() != 4 + *count) {
+    return std::nullopt;
+  }
   EvalRequest request;
   request.nonce = *nonce;
+  request.trace_id = *trace_id;
   request.config.reserve(*count);
   for (std::size_t i = 0; i < *count; ++i) {
-    const auto value = hm::common::decode_double((*fields)[3 + i]);
+    const auto value = hm::common::decode_double((*fields)[4 + i]);
     if (!value) return std::nullopt;
     request.config.push_back(*value);
   }
@@ -170,7 +175,7 @@ std::string encode_response(const EvalResponse& response) {
   std::vector<std::string> fields;
   if (response.ok) {
     fields.reserve(2 + response.objectives.size() +
-                   2 * response.counter_deltas.size() + 1);
+                   2 * response.counter_deltas.size() + 2);
     fields.emplace_back("ok");
     fields.push_back(hm::common::encode_u64(response.objectives.size()));
     for (const double value : response.objectives) {
@@ -181,10 +186,12 @@ std::string encode_response(const EvalResponse& response) {
       fields.push_back(name);
       fields.push_back(hm::common::encode_u64(delta));
     }
+    fields.push_back(response.span_bundle);
   } else {
     fields.emplace_back("err");
     fields.emplace_back(response.transient ? "1" : "0");
     fields.push_back(response.message);
+    fields.push_back(response.span_bundle);
   }
   return hm::common::encode_fields(fields);
 }
@@ -194,13 +201,14 @@ std::optional<EvalResponse> decode_response(std::string_view payload) {
   if (!fields || fields->empty()) return std::nullopt;
   EvalResponse response;
   if ((*fields)[0] == "err") {
-    if (fields->size() != 3) return std::nullopt;
+    if (fields->size() != 4) return std::nullopt;
     if ((*fields)[1] == "1") {
       response.transient = true;
     } else if ((*fields)[1] != "0") {
       return std::nullopt;
     }
     response.message = (*fields)[2];
+    response.span_bundle = (*fields)[3];
     response.ok = false;
     return response;
   }
@@ -217,7 +225,8 @@ std::optional<EvalResponse> decode_response(std::string_view payload) {
   }
   const std::size_t deltas_at = 2 + *objective_count;
   const auto delta_count = hm::common::decode_u64((*fields)[deltas_at]);
-  if (!delta_count || fields->size() != deltas_at + 1 + 2 * *delta_count) {
+  if (!delta_count ||
+      fields->size() != deltas_at + 1 + 2 * *delta_count + 1) {
     return std::nullopt;
   }
   response.counter_deltas.reserve(*delta_count);
@@ -227,15 +236,18 @@ std::optional<EvalResponse> decode_response(std::string_view payload) {
     if (!delta) return std::nullopt;
     response.counter_deltas.emplace_back(name, *delta);
   }
+  response.span_bundle = fields->back();
   response.ok = true;
   return response;
 }
 
 std::string encode_serve_frame(const ServeFrame& frame) {
   std::vector<std::string> fields;
-  fields.reserve(3 + frame.fields.size());
+  fields.reserve(5 + frame.fields.size());
   fields.emplace_back("sv");
   fields.push_back(frame.kind);
+  fields.push_back(hm::common::encode_u64(frame.trace_id));
+  fields.push_back(hm::common::encode_u64(frame.span_id));
   fields.push_back(hm::common::encode_u64(frame.fields.size()));
   for (const std::string& field : frame.fields) fields.push_back(field);
   return hm::common::encode_fields(fields);
@@ -243,14 +255,20 @@ std::string encode_serve_frame(const ServeFrame& frame) {
 
 std::optional<ServeFrame> decode_serve_frame(std::string_view payload) {
   auto fields = hm::common::decode_fields(payload);
-  if (!fields || fields->size() < 3 || (*fields)[0] != "sv") {
+  if (!fields || fields->size() < 5 || (*fields)[0] != "sv") {
     return std::nullopt;
   }
-  const auto count = hm::common::decode_u64((*fields)[2]);
-  if (!count || fields->size() != 3 + *count) return std::nullopt;
+  const auto trace_id = hm::common::decode_u64((*fields)[2]);
+  const auto span_id = hm::common::decode_u64((*fields)[3]);
+  const auto count = hm::common::decode_u64((*fields)[4]);
+  if (!trace_id || !span_id || !count || fields->size() != 5 + *count) {
+    return std::nullopt;
+  }
   ServeFrame frame;
   frame.kind = std::move((*fields)[1]);
-  frame.fields.assign(std::make_move_iterator(fields->begin() + 3),
+  frame.trace_id = *trace_id;
+  frame.span_id = *span_id;
+  frame.fields.assign(std::make_move_iterator(fields->begin() + 5),
                       std::make_move_iterator(fields->end()));
   return frame;
 }

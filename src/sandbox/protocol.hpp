@@ -53,10 +53,13 @@ enum class FrameStatus : std::uint8_t {
 
 /// One evaluation request: the configuration vector plus the deterministic
 /// retry nonce (0 means a first attempt — `Evaluator::evaluate`; non-zero
-/// routes to `evaluate_retry`).
+/// routes to `evaluate_retry`). A nonzero `trace_id` asks the worker to
+/// record trace spans for this evaluation under that id and ship them back
+/// in the response, so one request's timeline spans the fork boundary.
 struct EvalRequest {
   std::vector<double> config;
   std::uint64_t nonce = 0;
+  std::uint64_t trace_id = 0;
 };
 
 /// One evaluation response. On success the objective vector is bit-exact
@@ -64,12 +67,16 @@ struct EvalRequest {
 /// counts, evaluator counters) for the supervisor to fold into its own
 /// registry. On failure the transient flag preserves the evaluator's
 /// transient-vs-permanent classification across the process boundary.
+/// `span_bundle`, when non-empty, is an `encode_span_bundle` payload
+/// (common/trace.hpp) holding the worker's spans for the request's trace
+/// id; the supervisor ingests it into its merged timeline.
 struct EvalResponse {
   bool ok = false;
   std::vector<double> objectives;
   std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
   bool transient = false;
   std::string message;
+  std::string span_bundle;
 };
 
 [[nodiscard]] std::string encode_request(const EvalRequest& request);
@@ -105,8 +112,20 @@ struct EvalResponse {
 //   report   [campaign_id, interrupted, report_bytes]  final rendered report
 //   parked   [campaign_id, reason]  campaign parked (drain, dead client)
 //   pong     [seq]
+//   spans    [campaign_id, bundle]  merged span bundle for the campaign's
+//                                   trace id (encode_span_bundle payload);
+//                                   sent just before `report` when the
+//                                   submit carried a nonzero trace id
+//
+// Every serve frame also carries a (trace_id, span_id) pair: trace_id is
+// the request-scoped correlation id (0 = untraced) that the daemon
+// propagates into campaign evaluations and sandbox workers; span_id
+// identifies the sender's current span so either side can attribute a
+// frame to the span that produced it.
 struct ServeFrame {
   std::string kind;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
   std::vector<std::string> fields;
 };
 

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/atomic_file.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
@@ -221,6 +222,9 @@ void SandboxedEvaluator::shutdown() {
 void SandboxedEvaluator::trip_circuit_locked() {
   if (circuit_open_) return;
   circuit_open_ = true;
+  hm::common::FlightRecorder::global().record(
+      hm::common::FlightEventKind::kCircuitTrip, "sandbox",
+      spawn_failures_in_a_row_);
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     stats_.circuit_open = true;
@@ -269,6 +273,10 @@ bool SandboxedEvaluator::spawn_worker(Worker& worker,
     hm::common::close_relaxed(request_pipe[1]);
     return false;
   }
+  // Capture the trace epoch before forking: the child inherits the
+  // (steady, wall-clock) anchor pair, so its span timestamps land on the
+  // supervisor's timeline without any rebase error.
+  hm::common::init_trace_epoch();
   const pid_t pid = ::fork();
   if (pid < 0) {
     hm::common::close_relaxed(request_pipe[0]);
@@ -339,24 +347,47 @@ void SandboxedEvaluator::worker_main(int request_fd, int response_fd) {
         before.clear();
       }
     }
-    try {
-      response.objectives =
-          request->nonce == 0
-              ? inner_.evaluate(request->config)
-              : inner_.evaluate_retry(request->config, request->nonce);
-      response.ok = true;
-    } catch (const EvaluationError& error) {
-      response.ok = false;
-      response.transient = error.transient();
-      response.message = error.what();
-    } catch (const std::exception& error) {
-      response.ok = false;
-      response.transient = false;
-      response.message = error.what();
-    } catch (...) {
-      response.ok = false;
-      response.transient = false;
-      response.message = "unknown exception";
+    // A traced request turns span recording on for exactly this
+    // evaluation; the buffer is cleared first so the shipped bundle holds
+    // only this request's spans (single-purpose process, nothing else
+    // records here).
+    const bool traced = request->trace_id != 0;
+    if (traced) {
+      hm::common::clear_trace();
+      hm::common::set_trace_enabled(true);
+    }
+    {
+      const hm::common::TraceContext trace_context(request->trace_id);
+      const hm::common::TraceSpan span("worker_eval", "sandbox");
+      try {
+        response.objectives =
+            request->nonce == 0
+                ? inner_.evaluate(request->config)
+                : inner_.evaluate_retry(request->config, request->nonce);
+        response.ok = true;
+      } catch (const EvaluationError& error) {
+        response.ok = false;
+        response.transient = error.transient();
+        response.message = error.what();
+      } catch (const std::exception& error) {
+        response.ok = false;
+        response.transient = false;
+        response.message = error.what();
+      } catch (...) {
+        response.ok = false;
+        response.transient = false;
+        response.message = "unknown exception";
+      }
+    }
+    if (traced) {
+      try {
+        response.span_bundle =
+            hm::common::encode_span_bundle(request->trace_id);
+      } catch (...) {
+        response.span_bundle.clear();
+      }
+      hm::common::set_trace_enabled(false);
+      hm::common::clear_trace();
     }
     if (policy_.forward_metrics) {
       // Best-effort: under a tight RLIMIT_AS the snapshot itself can run
@@ -498,6 +529,7 @@ std::vector<double> SandboxedEvaluator::supervised(const Configuration& config,
     EvalRequest request;
     request.config = config;
     request.nonce = nonce;
+    request.trace_id = hm::common::current_trace_id();
     if (!write_frame(worker.to_child, encode_request(request))) {
       // The worker died *between* evaluations (EPIPE before the request
       // was delivered) — not attributable to this configuration. Replace
@@ -520,6 +552,11 @@ std::vector<double> SandboxedEvaluator::supervised(const Configuration& config,
     const FrameStatus status =
         read_frame(worker.from_child, &payload, policy_.deadline_seconds);
     if (status == FrameStatus::kTimeout) {
+      // hm-lint: allow(guarded-by) leased worker: the busy flag keeps pid stable until this thread destroys or releases it
+      const auto killed_pid = static_cast<std::uint64_t>(worker.pid);
+      hm::common::FlightRecorder::global().record(
+          hm::common::FlightEventKind::kWorkerKill, worker.span_name,
+          killed_pid);
       destroy_worker(worker, /*force_kill=*/true);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -534,6 +571,11 @@ std::vector<double> SandboxedEvaluator::supervised(const Configuration& config,
           std::to_string(policy_.deadline_seconds) + " s); worker killed");
     }
     if (status == FrameStatus::kEof) {
+      // hm-lint: allow(guarded-by) leased worker: the busy flag keeps pid stable until this thread destroys or releases it
+      const auto dead_pid = static_cast<std::uint64_t>(worker.pid);
+      hm::common::FlightRecorder::global().record(
+          hm::common::FlightEventKind::kWorkerDeath, worker.span_name,
+          dead_pid);
       const int wait_status = destroy_worker(worker, /*force_kill=*/true);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -595,6 +637,12 @@ std::vector<double> SandboxedEvaluator::supervised(const Configuration& config,
       metrics.recycles->increment();
     }
 
+    if (!response->span_bundle.empty()) {
+      // Fold the worker's spans for this request into our merged timeline;
+      // a malformed bundle is dropped (observability must never fail an
+      // evaluation that produced valid objectives).
+      (void)hm::common::ingest_span_bundle(response->span_bundle);
+    }
     if (!response->ok) {
       throw EvaluationError(response->message, response->transient);
     }

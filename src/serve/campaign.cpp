@@ -9,7 +9,9 @@
 
 #include "common/atomic_file.hpp"
 #include "common/csv.hpp"
+#include "common/flight_recorder.hpp"
 #include "common/log.hpp"
+#include "common/trace.hpp"
 #include "hypermapper/report.hpp"
 #include "hypermapper/run_journal.hpp"
 
@@ -213,13 +215,24 @@ std::vector<Campaign::Dispatch> Campaign::pump() {
 
 EvaluationOutcome Campaign::evaluate(
     const hm::hypermapper::Configuration& config) {
+  // Pool-thread context: stamp the campaign's trace id on every span this
+  // evaluation records (sandbox dispatch propagates it to the worker), and
+  // tag log lines with the campaign id.
+  const hm::common::TraceContext trace_context(trace_id_);
+  const hm::common::LogContextScope log_context(id());
+  const hm::common::TraceSpan span("campaign_eval", "serve");
   return optimizer_->supervised_evaluator().evaluate_outcome(config);
 }
 
 void Campaign::deliver(std::size_t slot, EvaluationOutcome outcome) {
   if (session_ == nullptr || outstanding_ == 0) return;
+  ++evals_delivered_;
+  if (outcome.attempts > 1) retries_ += outcome.attempts - 1;
   session_->ingest(slot, std::move(outcome));
   --outstanding_;
+  hm::common::FlightRecorder::global().record(
+      hm::common::FlightEventKind::kEvalDelivered, id(), iteration(),
+      sample_count());
   if (state_ == State::kParking && outstanding_ == 0) finalize_parked();
 }
 
@@ -248,6 +261,7 @@ std::size_t Campaign::front_size() const {
 }
 
 void Campaign::finalize_done() {
+  const hm::common::LogContextScope log_context(id());
   OptimizationResult result = session_->finish();
   interrupted_ = result.interrupted;
   report_ = render_report(scenario_->space, result,
@@ -261,6 +275,7 @@ void Campaign::finalize_done() {
 }
 
 void Campaign::finalize_parked() {
+  const hm::common::LogContextScope log_context(id());
   // interrupt() + finish() journal nothing new for unresolved slots; the
   // journal's committed prefix is exactly what resume_async replays, so a
   // parked campaign re-opens byte-identically.

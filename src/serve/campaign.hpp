@@ -95,6 +95,12 @@ class Campaign {
   /// flight. `reason` is reported to the client and logged.
   void park(const std::string& reason);
 
+  /// Request-scoped trace id propagated from the submitting client's
+  /// frames; evaluations for this campaign (and their sandbox workers)
+  /// record spans under it. 0 = untraced.
+  void set_trace_id(std::uint64_t trace_id) noexcept { trace_id_ = trace_id; }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+
   /// Evaluations dispatched but not yet delivered.
   [[nodiscard]] std::size_t outstanding() const noexcept {
     return outstanding_;
@@ -109,6 +115,13 @@ class Campaign {
   [[nodiscard]] std::size_t iteration() const;
   [[nodiscard]] std::size_t sample_count() const;
   [[nodiscard]] std::size_t front_size() const;
+
+  /// Delivered-evaluation counters for the per-campaign metric labels:
+  /// outcomes folded in, and retry attempts consumed beyond each first try.
+  [[nodiscard]] std::size_t evals_delivered() const noexcept {
+    return evals_delivered_;
+  }
+  [[nodiscard]] std::size_t retries() const noexcept { return retries_; }
 
   /// The final rendered report (valid once state() == kDone): samples CSV +
   /// front CSV + quarantine CSV + random-phase front indices + per-iteration
@@ -150,6 +163,9 @@ class Campaign {
 
   State state_ = State::kAdmitted;
   std::size_t outstanding_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::size_t evals_delivered_ = 0;
+  std::size_t retries_ = 0;
   std::string park_reason_;
   std::string report_;
   bool interrupted_ = false;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/trace.hpp"
 #include "serve/net.hpp"
 
 namespace hm::serve {
@@ -10,15 +11,6 @@ namespace {
 
 using hm::sandbox::FrameStatus;
 using hm::sandbox::ServeFrame;
-
-[[nodiscard]] bool send_frame(int fd, const std::string& kind,
-                              std::vector<std::string> fields) {
-  ServeFrame frame;
-  frame.kind = kind;
-  frame.fields = std::move(fields);
-  return hm::sandbox::write_frame(fd,
-                                  hm::sandbox::encode_serve_frame(frame));
-}
 
 [[nodiscard]] std::optional<ServeFrame> read_serve_frame(int fd,
                                                          double deadline) {
@@ -30,6 +22,16 @@ using hm::sandbox::ServeFrame;
 }
 
 }  // namespace
+
+bool Client::send_frame(const std::string& kind,
+                        std::vector<std::string> fields) {
+  ServeFrame frame;
+  frame.kind = kind;
+  frame.trace_id = trace_id_;
+  frame.fields = std::move(fields);
+  return hm::sandbox::write_frame(fd_,
+                                  hm::sandbox::encode_serve_frame(frame));
+}
 
 Client::~Client() { close_socket(fd_); }
 
@@ -67,7 +69,7 @@ std::optional<Client> Client::connect_port(std::uint16_t port,
 }
 
 bool Client::handshake(std::string* error) {
-  if (!send_frame(fd_, "hello",
+  if (!send_frame("hello",
                   {"hm_client",
                    std::to_string(hm::sandbox::kServeProtocolVersion)})) {
     if (error != nullptr) *error = "cannot send hello";
@@ -123,13 +125,24 @@ ClientResult Client::await_settled(double reply_deadline_seconds) {
       result.message = frame->fields.empty() ? "" : frame->fields[0];
       return result;
     }
+    if (frame->kind == "spans" && frame->fields.size() == 2) {
+      // The daemon's merged span bundle for our trace id (its own campaign
+      // spans plus any sandbox-worker spans it ingested). Fold it into the
+      // local trace store; write_chrome_trace emits the merged timeline.
+      if (hm::common::ingest_span_bundle(frame->fields[1])) {
+        ++span_bundles_;
+      }
+      continue;
+    }
     // pong or future frame kinds: ignore.
   }
 }
 
 ClientResult Client::run_scenario(const std::string& scenario_json,
                                   double reply_deadline_seconds) {
-  if (!send_frame(fd_, "submit", {scenario_json})) {
+  const hm::common::TraceContext trace_context(trace_id_);
+  const hm::common::TraceSpan span("client_campaign", "client");
+  if (!send_frame("submit", {scenario_json})) {
     ClientResult result;
     result.message = "cannot send submit";
     return result;
@@ -139,7 +152,9 @@ ClientResult Client::run_scenario(const std::string& scenario_json,
 
 ClientResult Client::resume_campaign(const std::string& id,
                                      double reply_deadline_seconds) {
-  if (!send_frame(fd_, "resume", {id})) {
+  const hm::common::TraceContext trace_context(trace_id_);
+  const hm::common::TraceSpan span("client_campaign", "client");
+  if (!send_frame("resume", {id})) {
     ClientResult result;
     result.message = "cannot send resume";
     return result;
@@ -149,7 +164,7 @@ ClientResult Client::resume_campaign(const std::string& id,
 
 bool Client::ping(double reply_deadline_seconds) {
   const std::string seq = std::to_string(++ping_seq_);
-  if (!send_frame(fd_, "ping", {seq})) return false;
+  if (!send_frame("ping", {seq})) return false;
   while (true) {
     const auto frame = read_serve_frame(fd_, reply_deadline_seconds);
     if (!frame) return false;
@@ -161,7 +176,7 @@ bool Client::ping(double reply_deadline_seconds) {
 }
 
 void Client::bye() {
-  if (fd_ >= 0) (void)send_frame(fd_, "bye", {});
+  if (fd_ >= 0) (void)send_frame("bye", {});
 }
 
 }  // namespace hm::serve

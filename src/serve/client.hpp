@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sandbox/protocol.hpp"
 
@@ -61,15 +62,32 @@ class Client {
   /// Orderly detach (the campaign, if any, keeps running server-side).
   void bye();
 
+  /// Enables cross-process tracing for subsequent submits/resumes: every
+  /// outgoing frame carries this id, the daemon records its campaign spans
+  /// under it, and the returned span bundle is ingested into this process's
+  /// trace store — write_chrome_trace then emits the merged timeline.
+  /// 0 (the default) disables propagation.
+  void set_trace_id(std::uint64_t trace_id) noexcept { trace_id_ = trace_id; }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return trace_id_; }
+
+  /// Span bundles received (and ingested) from the daemon so far.
+  [[nodiscard]] std::size_t span_bundles_ingested() const noexcept {
+    return span_bundles_;
+  }
+
   [[nodiscard]] int fd() const noexcept { return fd_; }
 
  private:
   explicit Client(int fd) : fd_(fd) {}
   [[nodiscard]] bool handshake(std::string* error);
+  [[nodiscard]] bool send_frame(const std::string& kind,
+                                std::vector<std::string> fields);
   [[nodiscard]] ClientResult await_settled(double reply_deadline_seconds);
 
   int fd_ = -1;
   std::uint64_t ping_seq_ = 0;
+  std::uint64_t trace_id_ = 0;
+  std::size_t span_bundles_ = 0;
 };
 
 }  // namespace hm::serve

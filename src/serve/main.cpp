@@ -4,6 +4,13 @@
 //              [--max-campaigns N] [--max-connections N]
 //              [--idle-timeout SECONDS] [--pool N] [--auto-resume]
 //              [--port-file PATH]
+//              [--http-port N] [--http-port-file PATH]
+//              [--flight-dump PATH] [--trace PATH] [--metrics PATH]
+//
+// --http-port exposes the live observability endpoint (GET /metrics,
+// /status, /events on loopback; 0 picks an ephemeral port written to
+// --http-port-file). --flight-dump names the flight-recorder JSON written
+// on drain and — via the crash-signal handler — on SIGSEGV and friends.
 //
 // Clients connect over the UNIX socket (or loopback TCP), submit JSON
 // scenarios (see serve/scenario.hpp for the schema), and receive progress
@@ -19,12 +26,19 @@
 
 #include "common/atomic_file.hpp"
 #include "common/cli.hpp"
+#include "common/flight_recorder.hpp"
+#include "common/log.hpp"
 #include "common/signal.hpp"
+#include "observability.hpp"
 #include "serve/server.hpp"
 
 int main(int argc, char** argv) {
   using namespace hm;
   const common::CliArgs args(argc, argv, {"auto-resume"});
+  // Daemon logs always carry the ISO-8601 + thread-id prefix (campaign-
+  // tagged via the per-evaluation log context), with or without --trace.
+  common::set_log_format(common::LogFormat::kTimestamped);
+  const auto observability = examples::Observability::from_args(args);
   serve::ServerConfig config;
   config.journal_dir = args.get_or("dir", std::string("campaigns"));
   config.socket_path = args.get_or("socket", std::string());
@@ -38,15 +52,21 @@ int main(int argc, char** argv) {
   config.pool_threads =
       static_cast<std::size_t>(args.get_or("pool", std::int64_t{0}));
   config.auto_resume = args.flag("auto-resume");
+  config.http_port =
+      static_cast<int>(args.get_or("http-port", std::int64_t{-1}));
+  config.flight_dump_path = args.get_or("flight-dump", std::string());
 
   if (!common::install_shutdown_handler()) {
-    std::fprintf(stderr, "warning: cannot install signal handlers\n");
+    common::log_warn() << "hm_serve: cannot install signal handlers";
+  }
+  if (!config.flight_dump_path.empty()) {
+    common::install_crash_recorder(config.flight_dump_path);
   }
 
   serve::Server server(std::move(config));
   std::string error;
   if (!server.start(&error)) {
-    std::fprintf(stderr, "hm_serve: %s\n", error.c_str());
+    common::log_error() << "hm_serve: " << error;
     return 1;
   }
   if (const auto port_file = args.get("port-file")) {
@@ -54,8 +74,17 @@ int main(int argc, char** argv) {
     if (!common::write_file_atomic(*port_file,
                                    std::to_string(server.port()) + "\n",
                                    &error)) {
-      std::fprintf(stderr, "hm_serve: cannot write %s: %s\n",
-                   port_file->c_str(), error.c_str());
+      common::log_error() << "hm_serve: cannot write " << *port_file << ": "
+                          << error;
+      return 1;
+    }
+  }
+  if (const auto http_port_file = args.get("http-port-file")) {
+    if (!common::write_file_atomic(
+            *http_port_file, std::to_string(server.http_port()) + "\n",
+            &error)) {
+      common::log_error() << "hm_serve: cannot write " << *http_port_file
+                          << ": " << error;
       return 1;
     }
   }
@@ -64,5 +93,7 @@ int main(int argc, char** argv) {
                   ? args.get_or("socket", std::string()).c_str()
                   : ("127.0.0.1:" + std::to_string(server.port())).c_str());
   std::fflush(stdout);
-  return server.run();
+  const int code = server.run();
+  (void)observability.finish(nullptr);
+  return code;
 }

@@ -226,6 +226,32 @@ bool set_send_timeout(int fd, double seconds) {
   return ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
 }
 
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+long read_some(int fd, char* out, std::size_t capacity) {
+  while (true) {
+    const ssize_t got = ::read(fd, out, capacity);
+    if (got >= 0) return static_cast<long>(got);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
+long write_some(int fd, const char* data, std::size_t len) {
+  while (true) {
+    const ssize_t put = ::write(fd, data, len);
+    if (put >= 0) return static_cast<long>(put);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kWouldBlock;
+    return -1;
+  }
+}
+
 void ignore_sigpipe() {
   struct sigaction action{};
   action.sa_handler = SIG_IGN;

@@ -16,6 +16,7 @@
 // reads and writes it with the same code that drives the sandbox pipes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -57,6 +58,19 @@ namespace hm::serve {
 /// Bounds blocking send() time on a connected socket so one stalled reader
 /// cannot wedge the daemon's event loop mid-reply. Returns false on error.
 [[nodiscard]] bool set_send_timeout(int fd, double seconds);
+
+/// Marks the fd non-blocking (the HTTP scrape sockets: the event loop must
+/// never block on a slow or hostile scraper). Returns false on error.
+[[nodiscard]] bool set_nonblocking(int fd);
+
+/// One read(), EINTR-restarted. Returns bytes read (> 0), 0 on EOF, -1 on
+/// a hard error, or kWouldBlock when a non-blocking fd has nothing yet.
+inline constexpr long kWouldBlock = -2;
+[[nodiscard]] long read_some(int fd, char* out, std::size_t capacity);
+
+/// One write(), EINTR-restarted, same return convention as read_some (0 is
+/// never returned for len > 0; a gone peer is a hard error via EPIPE).
+[[nodiscard]] long write_some(int fd, const char* data, std::size_t len);
 
 /// Ignores SIGPIPE process-wide (idempotent). Call before any socket write.
 void ignore_sigpipe();

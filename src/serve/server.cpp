@@ -4,18 +4,30 @@
 #include <filesystem>
 #include <utility>
 
+#include "common/flight_recorder.hpp"
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 #include "common/signal.hpp"
+#include "common/trace.hpp"
 #include "serve/net.hpp"
 
 namespace hm::serve {
 
 namespace {
 
+using hm::common::FlightEventKind;
+using hm::common::FlightRecorder;
 using hm::sandbox::FrameStatus;
 using hm::sandbox::ServeFrame;
 
 constexpr const char* kServerName = "hm_serve";
+
+/// A scrape request larger than this without a complete header is not a
+/// scraper; answer 414 and close (slow-loris / garbage bound).
+constexpr std::size_t kHttpRequestCap = 8192;
+/// Scrape sockets admitted at once; scrapes are short-lived, so a tiny cap
+/// suffices and bounds the poll set.
+constexpr std::size_t kHttpMaxConnections = 8;
 
 [[nodiscard]] ServeFrame frame_of(std::string kind,
                                   std::vector<std::string> fields = {}) {
@@ -25,13 +37,38 @@ constexpr const char* kServerName = "hm_serve";
   return frame;
 }
 
+[[nodiscard]] std::string http_response(int code, const char* reason,
+                                        const char* content_type,
+                                        std::string body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(code);
+  out += ' ';
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// True once `request` holds a complete HTTP request head (blank line).
+/// Tolerates bare-LF clients.
+[[nodiscard]] bool http_head_complete(const std::string& request) {
+  return request.find("\r\n\r\n") != std::string::npos ||
+         request.find("\n\n") != std::string::npos;
+}
+
 }  // namespace
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
 
 Server::~Server() {
   for (Connection& conn : connections_) close_socket(conn.fd);
+  for (HttpConnection& conn : http_connections_) close_socket(conn.fd);
   close_socket(listen_fd_);
+  close_socket(http_listen_fd_);
   close_socket(wake_fds_[0]);
   close_socket(wake_fds_[1]);
 }
@@ -57,6 +94,15 @@ bool Server::start(std::string* error) {
     listen_fd_ = listen_tcp(config_.tcp_port, 16, &bound_port_, error);
   }
   if (listen_fd_ < 0) return false;
+  if (config_.http_port >= 0) {
+    http_listen_fd_ =
+        listen_tcp(static_cast<std::uint16_t>(config_.http_port), 16,
+                   &http_bound_port_, error);
+    if (http_listen_fd_ < 0) return false;
+    hm::common::log_info() << "hm_serve: observability endpoint on 127.0.0.1:"
+                           << http_bound_port_
+                           << " (/metrics /status /events)";
+  }
   pool_ = std::make_unique<hm::common::ThreadPool>(config_.pool_threads);
 
   // Restart recovery: every scenario sidecar in the journal directory is a
@@ -101,11 +147,24 @@ int Server::run() {
     if (stop_requested_.load(std::memory_order_relaxed)) break;
 
     std::vector<struct pollfd> fds;
-    fds.reserve(2 + connections_.size());
+    fds.reserve(3 + connections_.size() + http_connections_.size());
     fds.push_back({listen_fd_, POLLIN, 0});
     fds.push_back({wake_fds_[0], POLLIN, 0});
+    const std::size_t polled = connections_.size();
     for (const Connection& conn : connections_) {
       fds.push_back({conn.fd, POLLIN, 0});
+    }
+    // The observability listener and its scrape sockets ride the same poll
+    // set, after the frame-protocol fds. A scrape waiting to write polls
+    // POLLOUT; one still reading its request line polls POLLIN.
+    const std::size_t http_listen_at = fds.size();
+    if (http_listen_fd_ >= 0) fds.push_back({http_listen_fd_, POLLIN, 0});
+    const std::size_t http_base = fds.size();
+    const std::size_t http_polled = http_connections_.size();
+    for (const HttpConnection& conn : http_connections_) {
+      fds.push_back(
+          {conn.fd, static_cast<short>(conn.responding ? POLLOUT : POLLIN),
+           0});
     }
     const int tick_ms =
         std::max(1, static_cast<int>(config_.tick_seconds * 1e3));
@@ -119,7 +178,6 @@ int Server::run() {
     // for the first `polled` entries only: accept_new_connection() above
     // may have appended a connection that has no pollfd this round — it
     // is picked up next tick.
-    const std::size_t polled = fds.size() - 2;
     std::vector<int> closing;
     for (std::size_t i = 0; i < polled; ++i) {
       const short revents = fds[2 + i].revents;
@@ -131,6 +189,23 @@ int Server::run() {
     for (auto it = closing.rbegin(); it != closing.rend(); ++it) {
       close_socket(connections_[static_cast<std::size_t>(*it)].fd);
       connections_.erase(connections_.begin() + *it);
+    }
+
+    if (http_listen_fd_ >= 0 &&
+        (fds[http_listen_at].revents & POLLIN) != 0) {
+      accept_http_connection();
+    }
+    std::vector<int> http_closing;
+    for (std::size_t i = 0; i < http_polled; ++i) {
+      const short revents = fds[http_base + i].revents;
+      if (revents == 0) continue;
+      if (!service_http_connection(http_connections_[i], revents)) {
+        http_closing.push_back(static_cast<int>(i));
+      }
+    }
+    for (auto it = http_closing.rbegin(); it != http_closing.rend(); ++it) {
+      close_socket(http_connections_[static_cast<std::size_t>(*it)].fd);
+      http_connections_.erase(http_connections_.begin() + *it);
     }
     enforce_deadlines();
   }
@@ -232,22 +307,25 @@ bool Server::handle_frame(Connection& conn, const ServeFrame& frame) {
       (void)send(conn.fd, frame_of("error", {"submit needs one field"}));
       return true;
     }
-    return handle_submit(conn, frame.fields[0]);
+    return handle_submit(conn, frame.fields[0], frame.trace_id);
   }
   if (frame.kind == "resume") {
     if (frame.fields.size() != 1) {
       (void)send(conn.fd, frame_of("error", {"resume needs one field"}));
       return true;
     }
-    return handle_resume(conn, frame.fields[0]);
+    return handle_resume(conn, frame.fields[0], frame.trace_id);
   }
   (void)send(conn.fd, frame_of("error", {"unknown frame kind " + frame.kind}));
   return true;
 }
 
-bool Server::handle_submit(Connection& conn, const std::string& scenario_json) {
+bool Server::handle_submit(Connection& conn, const std::string& scenario_json,
+                           std::uint64_t trace_id) {
   if (active_campaigns() >= config_.max_campaigns) {
     ++sheds_;
+    FlightRecorder::global().record(FlightEventKind::kShed,
+                                    "campaign limit reached");
     return send(conn.fd, frame_of("busy", {"campaign limit reached"}));
   }
   std::string error;
@@ -266,11 +344,19 @@ bool Server::handle_submit(Connection& conn, const std::string& scenario_json) {
   if (campaign == nullptr) {
     return send(conn.fd, frame_of("error", {error}));
   }
+  if (trace_id != 0) {
+    // The submit carried a trace context: record daemon-side spans for the
+    // campaign under the client's id so its bundle merges into one timeline.
+    campaign->set_trace_id(trace_id);
+    hm::common::set_trace_enabled(true);
+  }
+  FlightRecorder::global().record(FlightEventKind::kAdmit, id);
   if (!send(conn.fd, frame_of("accepted", {id}))) return false;
   return attach_and_pump(conn, std::shared_ptr<Campaign>(std::move(campaign)));
 }
 
-bool Server::handle_resume(Connection& conn, const std::string& id) {
+bool Server::handle_resume(Connection& conn, const std::string& id,
+                           std::uint64_t trace_id) {
   const auto existing = campaigns_.find(id);
   if (existing != campaigns_.end()) {
     const std::shared_ptr<Campaign>& campaign = existing->second;
@@ -291,6 +377,10 @@ bool Server::handle_resume(Connection& conn, const std::string& id) {
         }
         // Orphan (client died / said bye): re-attach live.
         conn.campaign = campaign;
+        if (trace_id != 0) {
+          campaign->set_trace_id(trace_id);
+          hm::common::set_trace_enabled(true);
+        }
         return send(conn.fd, frame_of("accepted", {id}));
       }
       case Campaign::State::kAdmitted:
@@ -308,6 +398,8 @@ bool Server::handle_resume(Connection& conn, const std::string& id) {
   }
   if (active_campaigns() >= config_.max_campaigns) {
     ++sheds_;
+    FlightRecorder::global().record(FlightEventKind::kShed,
+                                    "campaign limit reached");
     return send(conn.fd, frame_of("busy", {"campaign limit reached"}));
   }
   std::string error;
@@ -315,6 +407,11 @@ bool Server::handle_resume(Connection& conn, const std::string& id) {
   if (campaign == nullptr) {
     return send(conn.fd, frame_of("error", {error}));
   }
+  if (trace_id != 0) {
+    campaign->set_trace_id(trace_id);
+    hm::common::set_trace_enabled(true);
+  }
+  FlightRecorder::global().record(FlightEventKind::kResume, id);
   if (!send(conn.fd, frame_of("accepted", {id}))) return false;
   return attach_and_pump(conn, std::shared_ptr<Campaign>(std::move(campaign)));
 }
@@ -399,7 +496,20 @@ void Server::on_campaign_settled(const std::shared_ptr<Campaign>& campaign) {
   Connection* conn = connection_for(campaign.get());
   if (campaign->state() == Campaign::State::kDone) {
     ++dones_;
+    FlightRecorder::global().record(FlightEventKind::kDone, campaign->id(),
+                                    campaign->evals_delivered());
     if (conn != nullptr) {
+      if (campaign->trace_id() != 0) {
+        // Ship the campaign's merged timeline — daemon spans plus any
+        // worker spans already ingested from sandbox responses — so the
+        // client can fold it into one Chrome trace.
+        ServeFrame spans = frame_of(
+            "spans",
+            {campaign->id(),
+             hm::common::encode_span_bundle(campaign->trace_id())});
+        spans.trace_id = campaign->trace_id();
+        (void)send(conn->fd, spans);
+      }
       (void)send(conn->fd,
                  frame_of("report", {campaign->id(),
                                      campaign->interrupted() ? "1" : "0",
@@ -410,6 +520,7 @@ void Server::on_campaign_settled(const std::shared_ptr<Campaign>& campaign) {
   }
   if (campaign->state() == Campaign::State::kParked) {
     ++parks_;
+    FlightRecorder::global().record(FlightEventKind::kPark, campaign->id());
     if (conn != nullptr) {
       (void)send(conn->fd,
                  frame_of("parked",
@@ -427,7 +538,11 @@ void Server::abandon_connection(Connection& conn, const std::string& reason) {
     hm::common::log_info() << "hm_serve: parking campaign "
                            << conn.campaign->id() << " (" << reason << ")";
     conn.campaign->park(reason);
-    if (conn.campaign->state() == Campaign::State::kParked) ++parks_;
+    if (conn.campaign->state() == Campaign::State::kParked) {
+      ++parks_;
+      FlightRecorder::global().record(FlightEventKind::kPark,
+                                      conn.campaign->id());
+    }
     // With evaluations still in flight the park finalizes later, inside
     // drain_completions, and is counted there.
   }
@@ -436,6 +551,20 @@ void Server::abandon_connection(Connection& conn, const std::string& reason) {
 
 void Server::enforce_deadlines() {
   const double now = clock_.seconds();
+  // Scrapers that neither finished their request nor drained the response
+  // in time: close them. The response is fully buffered, so a deadline
+  // close can never tear a frame-protocol message.
+  if (config_.http_deadline_seconds > 0.0) {
+    for (auto it = http_connections_.begin();
+         it != http_connections_.end();) {
+      if (now - it->opened > config_.http_deadline_seconds) {
+        close_socket(it->fd);
+        it = http_connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   // Idle clients: the campaign is parked, the socket closed.
   if (config_.client_idle_seconds > 0.0) {
     for (auto it = connections_.begin(); it != connections_.end();) {
@@ -461,10 +590,14 @@ void Server::enforce_deadlines() {
 }
 
 void Server::drain(bool from_signal) {
+  FlightRecorder::global().record(FlightEventKind::kDrain,
+                                  from_signal ? "signal" : "stop");
   // Stop admitting first: close the listener (and unlink the UNIX path so
   // a replacement daemon can bind immediately).
   close_socket(listen_fd_);
   listen_fd_ = -1;
+  close_socket(http_listen_fd_);
+  http_listen_fd_ = -1;
   if (!config_.socket_path.empty()) {
     std::error_code ec;
     std::filesystem::remove(config_.socket_path, ec);
@@ -497,10 +630,220 @@ void Server::drain(bool from_signal) {
     close_socket(conn.fd);
   }
   connections_.clear();
+  // Scrapes still in flight during the drain: flush whatever is already
+  // buffered (best effort, the sockets are non-blocking), then close.
+  for (HttpConnection& conn : http_connections_) {
+    if (conn.responding && conn.sent < conn.response.size()) {
+      (void)write_some(conn.fd, conn.response.data() + conn.sent,
+                       conn.response.size() - conn.sent);
+    }
+    close_socket(conn.fd);
+  }
+  http_connections_.clear();
+  if (!config_.flight_dump_path.empty()) {
+    std::string dump_error;
+    if (!FlightRecorder::global().dump(config_.flight_dump_path,
+                                       &dump_error)) {
+      hm::common::log_warn()
+          << "hm_serve: flight-recorder dump failed: " << dump_error;
+    }
+  }
   hm::common::log_info() << "hm_serve: drained ("
                          << (from_signal ? "signal" : "stop") << "): "
                          << dones_ << " done, " << parks_ << " parked, "
                          << sheds_ << " shed";
+}
+
+void Server::accept_http_connection() {
+  const int fd = accept_retry(http_listen_fd_);
+  if (fd < 0) return;
+  if (!set_nonblocking(fd)) {
+    close_socket(fd);
+    return;
+  }
+  HttpConnection conn;
+  conn.fd = fd;
+  conn.opened = clock_.seconds();
+  if (http_connections_.size() >= kHttpMaxConnections) {
+    // Over the scrape cap: answer 503 immediately rather than queue.
+    conn.responding = true;
+    conn.response = http_response(503, "Service Unavailable",
+                                  "text/plain; charset=utf-8",
+                                  "scrape connection limit reached\n");
+  }
+  http_connections_.push_back(std::move(conn));
+}
+
+bool Server::service_http_connection(HttpConnection& conn, short revents) {
+  if (!conn.responding) {
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) return true;
+    char buffer[4096];
+    while (!conn.responding) {
+      const long got = read_some(conn.fd, buffer, sizeof(buffer));
+      if (got == kWouldBlock) break;
+      if (got < 0) return false;
+      if (got == 0) {
+        // EOF before a complete request head: nothing to answer.
+        if (!http_head_complete(conn.request)) return false;
+      } else {
+        conn.request.append(buffer, static_cast<std::size_t>(got));
+      }
+      if (http_head_complete(conn.request)) {
+        conn.response = render_http_response(conn.request);
+        conn.responding = true;
+      } else if (conn.request.size() > kHttpRequestCap) {
+        conn.response =
+            http_response(414, "Request-URI Too Long",
+                          "text/plain; charset=utf-8", "request too long\n");
+        conn.responding = true;
+      } else if (got == 0) {
+        return false;
+      }
+    }
+    if (!conn.responding) return true;
+    // Fall through: the response may be writable right now.
+  }
+  while (conn.sent < conn.response.size()) {
+    const long put = write_some(conn.fd, conn.response.data() + conn.sent,
+                                conn.response.size() - conn.sent);
+    if (put == kWouldBlock) return true;  // Wait for POLLOUT.
+    if (put <= 0) return false;  // Half-closed / reset mid-response.
+    conn.sent += static_cast<std::size_t>(put);
+  }
+  return false;  // Fully sent: HTTP/1.0, close.
+}
+
+std::string Server::render_http_response(const std::string& request) {
+  // Request line: METHOD SP TARGET SP VERSION. Anything shorter is garbage.
+  const std::size_t line_end = request.find_first_of("\r\n");
+  const std::string line = request.substr(
+      0, line_end == std::string::npos ? request.size() : line_end);
+  const std::size_t method_end = line.find(' ');
+  if (method_end == std::string::npos) {
+    return http_response(400, "Bad Request", "text/plain; charset=utf-8",
+                         "malformed request line\n");
+  }
+  const std::string method = line.substr(0, method_end);
+  const std::size_t target_end = line.find(' ', method_end + 1);
+  std::string target =
+      line.substr(method_end + 1, target_end == std::string::npos
+                                      ? std::string::npos
+                                      : target_end - method_end - 1);
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  if (method != "GET") {
+    return http_response(405, "Method Not Allowed",
+                         "text/plain; charset=utf-8",
+                         "only GET is supported\n");
+  }
+  FlightRecorder::global().record(FlightEventKind::kHttpScrape, target);
+  if (target == "/metrics") {
+    return http_response(200, "OK", "text/plain; version=0.0.4",
+                         render_metrics_body());
+  }
+  if (target == "/status") {
+    return http_response(200, "OK", "application/json",
+                         render_status_body());
+  }
+  if (target == "/events") {
+    return http_response(200, "OK", "application/json",
+                         FlightRecorder::global().to_json());
+  }
+  return http_response(404, "Not Found", "text/plain; charset=utf-8",
+                       "unknown path (try /metrics /status /events)\n");
+}
+
+std::string Server::render_metrics_body() {
+  // Refresh the per-campaign series at scrape time from the campaign table
+  // (the authoritative state) instead of instrumenting every transition.
+  auto& registry = hm::common::MetricsRegistry::global();
+  registry.gauge("hm_serve_uptime_seconds").set(clock_.seconds());
+  registry.gauge("hm_serve_connections")
+      .set(static_cast<double>(connections_.size()));
+  registry.gauge("hm_serve_campaigns_active")
+      .set(static_cast<double>(active_campaigns()));
+  registry.gauge("hm_serve_sheds").set(static_cast<double>(sheds_));
+  registry.gauge("hm_serve_parks").set(static_cast<double>(parks_));
+  registry.gauge("hm_serve_dones").set(static_cast<double>(dones_));
+  registry.gauge("hm_serve_pool_threads")
+      .set(static_cast<double>(pool_ != nullptr ? pool_->thread_count() : 0));
+  registry
+      .gauge("hm_serve_flight_events_recorded")
+      .set(static_cast<double>(
+          hm::common::FlightRecorder::global().recorded()));
+  static constexpr Campaign::State kStates[] = {
+      Campaign::State::kAdmitted, Campaign::State::kRunning,
+      Campaign::State::kParking, Campaign::State::kParked,
+      Campaign::State::kDone};
+  for (const auto& [id, campaign] : campaigns_) {
+    // One series per (campaign, state) with exactly one set to 1, so a
+    // scraper sees transitions without the exporter deleting series.
+    for (const Campaign::State state : kStates) {
+      registry
+          .gauge("hm_campaign_state",
+                 {{"campaign", id}, {"state", Campaign::to_string(state)}})
+          .set(campaign->state() == state ? 1.0 : 0.0);
+    }
+    registry.gauge("hm_campaign_evals_delivered", {{"campaign", id}})
+        .set(static_cast<double>(campaign->evals_delivered()));
+    registry.gauge("hm_campaign_retries", {{"campaign", id}})
+        .set(static_cast<double>(campaign->retries()));
+    registry.gauge("hm_campaign_outstanding", {{"campaign", id}})
+        .set(static_cast<double>(campaign->outstanding()));
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(
+        Campaign::journal_path(config_.journal_dir, id), ec);
+    registry.gauge("hm_campaign_journal_bytes", {{"campaign", id}})
+        .set(ec ? 0.0 : static_cast<double>(bytes));
+  }
+  return hm::common::to_prometheus_text(registry.snapshot());
+}
+
+std::string Server::render_status_body() {
+  std::string out = "{\n  \"server\": \"";
+  out += kServerName;
+  out += "\",\n  \"uptime_seconds\": ";
+  out += std::to_string(clock_.seconds());
+  out += ",\n  \"connections\": ";
+  out += std::to_string(connections_.size());
+  out += ",\n  \"scrape_connections\": ";
+  out += std::to_string(http_connections_.size());
+  out += ",\n  \"pool_threads\": ";
+  out += std::to_string(pool_ != nullptr ? pool_->thread_count() : 0);
+  out += ",\n  \"sheds\": ";
+  out += std::to_string(sheds_);
+  out += ",\n  \"parks\": ";
+  out += std::to_string(parks_);
+  out += ",\n  \"dones\": ";
+  out += std::to_string(dones_);
+  out += ",\n  \"recoverable\": ";
+  out += std::to_string(recoverable_.size());
+  out += ",\n  \"flight_events\": ";
+  out += std::to_string(hm::common::FlightRecorder::global().recorded());
+  out += ",\n  \"campaigns\": [";
+  bool first = true;
+  for (const auto& [id, campaign] : campaigns_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"id\": \"" + hm::common::json_escape(id) + "\"";
+    out += ", \"state\": \"";
+    out += Campaign::to_string(campaign->state());
+    out += "\", \"iteration\": " + std::to_string(campaign->iteration());
+    out += ", \"samples\": " + std::to_string(campaign->sample_count());
+    out += ", \"front\": " + std::to_string(campaign->front_size());
+    out += ", \"outstanding\": " + std::to_string(campaign->outstanding());
+    out += ", \"evals_delivered\": " +
+           std::to_string(campaign->evals_delivered());
+    out += ", \"retries\": " + std::to_string(campaign->retries());
+    out += ", \"trace_id\": \"" + std::to_string(campaign->trace_id()) + "\"";
+    if (!campaign->park_reason().empty()) {
+      out += ", \"park_reason\": \"" +
+             hm::common::json_escape(campaign->park_reason()) + "\"";
+    }
+    out += "}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
 }
 
 bool Server::send(int fd, const ServeFrame& frame) {

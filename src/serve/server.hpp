@@ -63,6 +63,19 @@ struct ServerConfig {
   /// Re-open every unfinished recovered campaign at start and run it to
   /// completion without waiting for a client `resume`.
   bool auto_resume = false;
+  /// Observability endpoint: a second loopback-TCP listener answering
+  /// HTTP/1.0 `GET /metrics` (Prometheus text with per-campaign labels),
+  /// `GET /status` (JSON campaign table) and `GET /events` (flight-recorder
+  /// dump). Negative disables it; 0 binds an ephemeral port reported via
+  /// http_port().
+  int http_port = -1;
+  /// Per-scrape-connection lifetime cap: a scraper that has neither
+  /// finished its request nor drained its response by then is closed
+  /// (slow-loris / stalled-reader bound).
+  double http_deadline_seconds = 5.0;
+  /// When non-empty, the flight recorder is dumped here (JSON, atomic
+  /// rename) at the end of every drain.
+  std::string flight_dump_path;
 };
 
 class Server {
@@ -87,6 +100,12 @@ class Server {
   /// The bound TCP port (valid after start() when socket_path is empty).
   [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
 
+  /// The bound observability port (valid after start() when
+  /// config.http_port >= 0).
+  [[nodiscard]] std::uint16_t http_port() const noexcept {
+    return http_bound_port_;
+  }
+
   /// Counters for tests and the drain log line.
   [[nodiscard]] std::size_t shed_count() const noexcept { return sheds_; }
   [[nodiscard]] std::size_t parked_count() const noexcept { return parks_; }
@@ -106,6 +125,20 @@ class Server {
     hm::hypermapper::EvaluationOutcome outcome;
   };
 
+  /// One HTTP/1.0 scrape in flight. The socket is non-blocking; the loop
+  /// reads the request until the blank line, then drains the buffered
+  /// response under POLLOUT — a slow or half-closed scraper can only cost
+  /// its own connection (closed at http_deadline_seconds), never block the
+  /// frame path.
+  struct HttpConnection {
+    int fd = -1;
+    std::string request;    ///< Bytes received so far (capped).
+    std::string response;   ///< Rendered reply, filled once.
+    std::size_t sent = 0;   ///< Response bytes already written.
+    bool responding = false;
+    double opened = 0.0;    ///< Server-clock stamp (deadline base).
+  };
+
   [[nodiscard]] std::size_t active_campaigns() const;
   void accept_new_connection();
   /// Handles one readable connection; returns false when it must close.
@@ -113,8 +146,10 @@ class Server {
   [[nodiscard]] bool handle_frame(Connection& conn,
                                   const hm::sandbox::ServeFrame& frame);
   [[nodiscard]] bool handle_submit(Connection& conn,
-                                   const std::string& scenario_json);
-  [[nodiscard]] bool handle_resume(Connection& conn, const std::string& id);
+                                   const std::string& scenario_json,
+                                   std::uint64_t trace_id);
+  [[nodiscard]] bool handle_resume(Connection& conn, const std::string& id,
+                                   std::uint64_t trace_id);
   /// Attaches a freshly opened/recovered campaign and starts its batches.
   [[nodiscard]] bool attach_and_pump(Connection& conn,
                                      std::shared_ptr<Campaign> campaign);
@@ -129,6 +164,15 @@ class Server {
   void enforce_deadlines();
   void drain(bool from_signal);
 
+  void accept_http_connection();
+  /// Advances one scrape; returns false when the socket must close.
+  [[nodiscard]] bool service_http_connection(HttpConnection& conn,
+                                             short revents);
+  /// Routes a complete request line to a rendered HTTP/1.0 response.
+  [[nodiscard]] std::string render_http_response(const std::string& request);
+  [[nodiscard]] std::string render_metrics_body();
+  [[nodiscard]] std::string render_status_body();
+
   [[nodiscard]] bool send(int fd, const hm::sandbox::ServeFrame& frame);
   [[nodiscard]] Connection* connection_for(const Campaign* campaign);
 
@@ -139,6 +183,9 @@ class Server {
   int wake_fds_[2] = {-1, -1};
   std::uint16_t bound_port_ = 0;
   std::vector<Connection> connections_;
+  int http_listen_fd_ = -1;
+  std::uint16_t http_bound_port_ = 0;
+  std::vector<HttpConnection> http_connections_;
   /// Every known campaign by id: running, parked, or done (report cache).
   std::map<std::string, std::shared_ptr<Campaign>> campaigns_;
   /// Ids with a sidecar on disk awaiting a client `resume` (restart scan).

@@ -1,0 +1,173 @@
+// Flight-recorder suite (ctest label "obs"): the fixed-size lock-free ring
+// behind hm_serve's crash dumps and `GET /events`.
+//
+// Covered contracts:
+//   - events come back oldest-first with sequence numbers, kinds, payloads
+//     and (truncated) detail tags intact;
+//   - the ring wraps: after kCapacity + N records exactly kCapacity remain
+//     and the oldest surviving event is record N;
+//   - `to_json` renders the documented shape with escaped details;
+//   - `dump` writes atomically and reports unwritable destinations;
+//   - concurrent recorders never produce a torn snapshot (every slot a
+//     reader accepts is internally consistent).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flight_recorder.hpp"
+
+namespace hm::common {
+namespace {
+
+TEST(FlightRecorderKinds, EveryKindHasAStableTag) {
+  EXPECT_STREQ(to_string(FlightEventKind::kAdmit), "admit");
+  EXPECT_STREQ(to_string(FlightEventKind::kShed), "shed");
+  EXPECT_STREQ(to_string(FlightEventKind::kPark), "park");
+  EXPECT_STREQ(to_string(FlightEventKind::kResume), "resume");
+  EXPECT_STREQ(to_string(FlightEventKind::kDone), "done");
+  EXPECT_STREQ(to_string(FlightEventKind::kEvalDelivered), "eval");
+  EXPECT_STREQ(to_string(FlightEventKind::kWorkerKill), "worker_kill");
+  EXPECT_STREQ(to_string(FlightEventKind::kWorkerDeath), "worker_death");
+  EXPECT_STREQ(to_string(FlightEventKind::kCircuitTrip), "circuit_trip");
+  EXPECT_STREQ(to_string(FlightEventKind::kDrain), "drain");
+  EXPECT_STREQ(to_string(FlightEventKind::kCrashSignal), "crash_signal");
+  EXPECT_STREQ(to_string(FlightEventKind::kHttpScrape), "http_scrape");
+}
+
+TEST(FlightRecorder, RecordsInOrderWithPayloadsAndDetail) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kAdmit, "campaign-a", 1);
+  recorder.record(FlightEventKind::kEvalDelivered, "campaign-a", 2, 17);
+  recorder.record(FlightEventKind::kDone, "campaign-a", 58);
+  EXPECT_EQ(recorder.recorded(), 3u);
+
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].kind, FlightEventKind::kAdmit);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_STREQ(events[0].detail, "campaign-a");
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].a, 2u);
+  EXPECT_EQ(events[1].b, 17u);
+  EXPECT_EQ(events[2].kind, FlightEventKind::kDone);
+  EXPECT_GE(events[0].unix_ms, 0);
+  EXPECT_LE(events[0].unix_ms, events[2].unix_ms);
+}
+
+TEST(FlightRecorder, OverlongDetailIsTruncatedNotCorrupted) {
+  FlightRecorder recorder;
+  const std::string detail(200, 'x');
+  recorder.record(FlightEventKind::kShed, detail);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string stored = events[0].detail;
+  EXPECT_LT(stored.size(), sizeof(FlightEvent{}.detail));
+  EXPECT_EQ(stored, std::string(stored.size(), 'x'));
+}
+
+TEST(FlightRecorder, RingWrapsKeepingTheNewestCapacityEvents) {
+  FlightRecorder recorder;
+  const std::size_t total = FlightRecorder::kCapacity + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    recorder.record(FlightEventKind::kAdmit, "w", i);
+  }
+  EXPECT_EQ(recorder.recorded(), total);
+  const std::vector<FlightEvent> events = recorder.snapshot();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  EXPECT_EQ(events.front().seq, 100u);
+  EXPECT_EQ(events.front().a, 100u);
+  EXPECT_EQ(events.back().seq, total - 1);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+}
+
+TEST(FlightRecorder, ToJsonHasDocumentedShapeAndEscapes) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kPark, "quote\"back\\slash", 3);
+  const std::string json = recorder.to_json();
+  EXPECT_NE(json.find("\"events\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"park\""), std::string::npos);
+  EXPECT_NE(json.find("\"a\": 3"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(FlightRecorder, EmptyRecorderRendersAnEmptyEventList) {
+  const FlightRecorder recorder;
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_TRUE(recorder.snapshot().empty());
+  EXPECT_NE(recorder.to_json().find("\"events\": []"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpWritesTheJsonAtomically) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kDrain, "stop", 2, 1);
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  std::filesystem::remove(path);
+  std::string error;
+  ASSERT_TRUE(recorder.dump(path, &error)) << error;
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), recorder.to_json());
+  std::filesystem::remove(path);
+}
+
+TEST(FlightRecorder, DumpReportsAnUnwritablePath) {
+  FlightRecorder recorder;
+  recorder.record(FlightEventKind::kDrain, "stop");
+  std::string error;
+  EXPECT_FALSE(recorder.dump("/nonexistent-dir/flight.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlightRecorder, ConcurrentRecordersNeverTearASnapshot) {
+  FlightRecorder recorder;
+  constexpr std::uint64_t kPerWriter = 20'000;
+  std::atomic<bool> done{false};
+  // hm-lint: allow(no-raw-thread) the lock-free ring is the test subject
+  std::vector<std::thread> writers;
+  writers.emplace_back([&] {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      recorder.record(FlightEventKind::kAdmit, "writer-a", i, 11);
+    }
+  });
+  writers.emplace_back([&] {
+    for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+      recorder.record(FlightEventKind::kShed, "writer-b", i, 22);
+    }
+  });
+  // hm-lint: allow(no-raw-thread) a reader racing the writers is the scenario under test
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      for (const FlightEvent& event : recorder.snapshot()) {
+        // Every accepted slot must be one of the two writers' patterns —
+        // never a mix (a torn detail/payload pair).
+        if (event.kind == FlightEventKind::kAdmit) {
+          EXPECT_STREQ(event.detail, "writer-a");
+          EXPECT_EQ(event.b, 11u);
+        } else {
+          ASSERT_EQ(event.kind, FlightEventKind::kShed);
+          EXPECT_STREQ(event.detail, "writer-b");
+          EXPECT_EQ(event.b, 22u);
+        }
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(recorder.recorded(), 2 * kPerWriter);
+  EXPECT_EQ(recorder.snapshot().size(), FlightRecorder::kCapacity);
+}
+
+}  // namespace
+}  // namespace hm::common

@@ -154,6 +154,29 @@ TEST(MetricsRegistry, LabeledIdentity) {
   EXPECT_NE(&labeled, &registry.counter("hm_x_total", "kind", "b"));
 }
 
+TEST(MetricsRegistry, MultiLabelIdentityIsSortedAndEscaped) {
+  // Caller label order must not matter: both orders land on the same
+  // canonical identity (and therefore the same metric).
+  const std::string forward = labeled_metric(
+      "hm_campaign_state", {{"campaign", "c-1"}, {"state", "running"}});
+  const std::string reversed = labeled_metric(
+      "hm_campaign_state", {{"state", "running"}, {"campaign", "c-1"}});
+  EXPECT_EQ(forward, reversed);
+  EXPECT_EQ(forward,
+            "hm_campaign_state{campaign=\"c-1\",state=\"running\"}");
+  MetricsRegistry registry;
+  EXPECT_EQ(&registry.gauge("hm_campaign_state",
+                            {{"campaign", "c-1"}, {"state", "running"}}),
+            &registry.gauge("hm_campaign_state",
+                            {{"state", "running"}, {"campaign", "c-1"}}));
+
+  // Label values carrying quotes, backslashes, and newlines must render
+  // in the escaped exposition form.
+  EXPECT_EQ(prometheus_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(labeled_metric("m", "k", "he said \"hi\"\n"),
+            "m{k=\"he said \\\"hi\\\"\\n\"}");
+}
+
 TEST(MetricsRegistry, SnapshotIsSortedByIdentity) {
   MetricsRegistry registry;
   // Register out of order; the snapshot must come back sorted (the

@@ -216,7 +216,9 @@ const std::vector<JsonValue>& require_trace_shape(const JsonValue& document) {
     EXPECT_EQ(field("name").kind, JsonValue::Kind::kString);
     EXPECT_EQ(field("cat").kind, JsonValue::Kind::kString);
     EXPECT_EQ(field("ph").string, "X");
-    EXPECT_EQ(field("pid").number, 1.0);
+    // pid is the real process (or remote-origin) pid since the merged
+    // cross-process timeline landed; it just has to be a positive number.
+    EXPECT_GE(field("pid").number, 1.0);
     EXPECT_EQ(field("tid").kind, JsonValue::Kind::kNumber);
     EXPECT_GE(field("ts").number, 0.0);
     EXPECT_GE(field("dur").number, 0.0);
@@ -332,7 +334,7 @@ TEST(Trace, CompiledOutSpansAreNoOps) {
 // --- Chrome trace JSON ---------------------------------------------------
 
 TEST(ChromeTraceJson, EmptyTraceParses) {
-  const std::string json = chrome_trace_json({});
+  const std::string json = chrome_trace_json(std::vector<TraceEvent>{});
   JsonValue document;
   ASSERT_TRUE(JsonParser(json).parse(document)) << json;
   EXPECT_TRUE(require_trace_shape(document).empty());
@@ -401,6 +403,148 @@ TEST(ChromeTraceJson, WriteReportsUnwritablePath) {
   std::string error;
   EXPECT_FALSE(write_chrome_trace("/nonexistent-dir/trace.json", &error));
   EXPECT_FALSE(error.empty());
+}
+
+// --- Trace ids and cross-process span bundles ----------------------------
+
+TEST(TraceId, GenerateIsNonzeroAndDistinct) {
+  const std::uint64_t a = generate_trace_id();
+  const std::uint64_t b = generate_trace_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceId, ContextInstallsAndRestoresTheThreadLocalId) {
+  set_current_trace_id(0);
+  {
+    const TraceContext outer(42);
+    EXPECT_EQ(current_trace_id(), 42u);
+    {
+      const TraceContext inner(77);
+      EXPECT_EQ(current_trace_id(), 77u);
+    }
+    EXPECT_EQ(current_trace_id(), 42u);
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+}
+
+#if HM_TRACE_ENABLED
+
+TEST(TraceId, SpansCarryTheCurrentTraceId) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContext context(9001);
+    const TraceSpan span("tagged", "test");
+  }
+  {
+    const TraceSpan span("untagged", "test");
+  }
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  std::uint64_t tagged = 0, untagged = 1;
+  for (const TraceEvent& event : events) {
+    if (std::string(event.name) == "tagged") tagged = event.trace_id;
+    if (std::string(event.name) == "untagged") untagged = event.trace_id;
+  }
+  EXPECT_EQ(tagged, 9001u);
+  EXPECT_EQ(untagged, 0u);
+}
+
+TEST(SpanBundle, RoundTripPreservesSpansAndProcessIds) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContext context(31337);
+    const TraceSpan span("bundled", "test");
+  }
+  const std::string bundle = encode_span_bundle();
+  clear_trace();
+  EXPECT_TRUE(merged_trace_snapshot().empty());
+
+  ASSERT_TRUE(ingest_span_bundle(bundle));
+  const std::vector<RemoteTraceEvent> merged = merged_trace_snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].name, "bundled");
+  EXPECT_EQ(merged[0].category, "test");
+  EXPECT_EQ(merged[0].trace_id, 31337u);
+  // Same-process round trip: the sender's epoch matches ours, so the
+  // rebase shift is zero and the pid is preserved verbatim.
+  EXPECT_GE(merged[0].process_id, 1u);
+  EXPECT_GT(merged[0].duration_ns, 0);
+}
+
+TEST(SpanBundle, FilterKeepsOnlyTheRequestedTraceId) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContext context(111);
+    const TraceSpan span("wanted", "test");
+  }
+  {
+    const TraceContext context(222);
+    const TraceSpan span("unwanted", "test");
+  }
+  const std::string bundle = encode_span_bundle(111);
+  clear_trace();
+  ASSERT_TRUE(ingest_span_bundle(bundle));
+  const std::vector<RemoteTraceEvent> merged = merged_trace_snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].name, "wanted");
+  EXPECT_EQ(merged[0].trace_id, 111u);
+}
+
+TEST(SpanBundle, IngestedForeignSpansShipOnwardInTheNextBundle) {
+  // The daemon relays its sandbox workers' spans to the client: spans
+  // ingested from one bundle must appear in a subsequently encoded one.
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContext context(5150);
+    const TraceSpan span("origin", "test");
+  }
+  const std::string first = encode_span_bundle();
+  clear_trace();
+  ASSERT_TRUE(ingest_span_bundle(first));
+  const std::string relayed = encode_span_bundle();
+  clear_trace();
+  ASSERT_TRUE(ingest_span_bundle(relayed));
+  const std::vector<RemoteTraceEvent> merged = merged_trace_snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].name, "origin");
+  EXPECT_EQ(merged[0].trace_id, 5150u);
+}
+
+#endif  // HM_TRACE_ENABLED
+
+TEST(SpanBundle, RejectsMalformedPayloads) {
+  const TraceGuard guard;
+  EXPECT_FALSE(ingest_span_bundle(""));
+  EXPECT_FALSE(ingest_span_bundle("not a bundle"));
+  EXPECT_FALSE(ingest_span_bundle("spans|1|2"));          // missing count
+  EXPECT_FALSE(ingest_span_bundle("spans|1|2|1"));        // count without rows
+  EXPECT_FALSE(ingest_span_bundle("spans|1|2|1|n|c|1"));  // truncated row
+  EXPECT_TRUE(merged_trace_snapshot().empty());
+}
+
+TEST(ChromeTraceJson, RemoteEventsCarryPidAndTraceIdArgs) {
+  std::vector<RemoteTraceEvent> events;
+  events.push_back({"cross", "serve", 4242, 1, 1'000, 2'000, 987654321});
+  events.push_back({"plain", "serve", 4242, 1, 5'000, 1'000, 0});
+  const std::string json = chrome_trace_json(events);
+
+  JsonValue document;
+  ASSERT_TRUE(JsonParser(json).parse(document)) << json;
+  const auto& parsed = require_trace_shape(document);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].object.at("pid").number, 4242.0);
+  ASSERT_TRUE(parsed[0].object.count("args"));
+  EXPECT_EQ(parsed[0].object.at("args").object.at("trace_id").string,
+            "987654321");
+  // A zero trace id stays out of the args so untagged spans render plain.
+  EXPECT_FALSE(parsed[1].object.count("args") &&
+               parsed[1].object.at("args").object.count("trace_id"));
 }
 
 }  // namespace

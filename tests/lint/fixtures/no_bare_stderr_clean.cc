@@ -1,0 +1,11 @@
+// Fixture: diagnostics routed through the log substrate — no-bare-stderr
+// stays quiet (stdout reporting is fine; only stderr is the log's channel).
+#include <cstdio>
+
+#include "common/log.hpp"
+
+void report_failure(const char* what) {
+  hm::common::log_error() << "operation failed: " << what;
+  hm::common::log_warn() << "giving up";
+  std::printf("progress: retrying %s\n", what);
+}

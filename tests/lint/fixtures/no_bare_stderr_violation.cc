@@ -1,0 +1,10 @@
+// Fixture: diagnostics written straight to stderr — must trip
+// no-bare-stderr (three times: fprintf, fputs, std::cerr).
+#include <cstdio>
+#include <iostream>
+
+void report_failure(const char* what) {
+  std::fprintf(stderr, "operation failed: %s\n", what);
+  std::fputs("giving up\n", stderr);
+  std::cerr << "details: " << what << "\n";
+}

@@ -111,7 +111,9 @@ INSTANTIATE_TEST_SUITE_P(
         RuleFixtureCase{"no-unguarded-syscall",
                         "no_unguarded_syscall_violation.cc",
                         "no_unguarded_syscall_clean.cc", "unguarded_syscall",
-                        ".cpp"}),
+                        ".cpp"},
+        RuleFixtureCase{"no-bare-stderr", "no_bare_stderr_violation.cc",
+                        "no_bare_stderr_clean.cc", "bare_stderr", ".cpp"}),
     [](const ::testing::TestParamInfo<RuleFixtureCase>& param_info) {
       std::string name = param_info.param.rule_id;
       std::replace(name.begin(), name.end(), '-', '_');
@@ -291,7 +293,7 @@ TEST(CompanionTest, HeaderMembersVisibleWhenLintingSource) {
 
 TEST(RuleFilterTest, EveryRuleHasUniqueIdAndDescription) {
   const auto rules = hm::lint::default_rules();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   std::vector<std::string> ids;
   for (const auto& rule : rules) {
     ids.emplace_back(rule->id());

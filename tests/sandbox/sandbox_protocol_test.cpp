@@ -139,6 +139,22 @@ TEST(RequestCodecTest, RoundTripsBitExactly) {
   }
 }
 
+TEST(RequestCodecTest, RoundTripsTraceId) {
+  EvalRequest request;
+  request.nonce = 7;
+  request.trace_id = 0xfeedfacedeadbeefULL;
+  request.config = {1.0};
+  const auto decoded = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace_id, request.trace_id);
+  // The zero (no-trace) id survives too — it must not be conflated with
+  // "field absent".
+  request.trace_id = 0;
+  const auto untraced = decode_request(encode_request(request));
+  ASSERT_TRUE(untraced.has_value());
+  EXPECT_EQ(untraced->trace_id, 0u);
+}
+
 TEST(ResponseCodecTest, RoundTripsSuccessWithCounterDeltas) {
   EvalResponse response;
   response.ok = true;
@@ -164,6 +180,32 @@ TEST(ResponseCodecTest, RoundTripsFailureWithTransientFlag) {
   EXPECT_FALSE(decoded->ok);
   EXPECT_TRUE(decoded->transient);
   EXPECT_EQ(decoded->message, response.message);
+}
+
+TEST(ResponseCodecTest, RoundTripsSpanBundlesOnBothOutcomes) {
+  // The bundle rides as the final field of *both* response forms: a worker
+  // ships its spans back whether the evaluation succeeded or threw. The
+  // payload itself is opaque here (common/trace.hpp owns the format); the
+  // codec must pass it through byte-for-byte, pipe-delimiters included.
+  const std::string bundle = "spans|123|456|0";
+  EvalResponse ok;
+  ok.ok = true;
+  ok.objectives = {2.0};
+  ok.span_bundle = bundle;
+  const auto decoded_ok = decode_response(encode_response(ok));
+  ASSERT_TRUE(decoded_ok.has_value());
+  EXPECT_EQ(decoded_ok->span_bundle, bundle);
+
+  EvalResponse err;
+  err.ok = false;
+  err.transient = true;
+  err.message = "tracking lost";
+  err.span_bundle = bundle;
+  const auto decoded_err = decode_response(encode_response(err));
+  ASSERT_TRUE(decoded_err.has_value());
+  EXPECT_FALSE(decoded_err->ok);
+  EXPECT_EQ(decoded_err->message, err.message);
+  EXPECT_EQ(decoded_err->span_bundle, bundle);
 }
 
 TEST(ResponseCodecTest, RejectsTruncatedAndGarbagePayloads) {

@@ -155,6 +155,28 @@ TEST(ServeFrameCodec, RoundTripsKindAndFields) {
   EXPECT_EQ(decoded->fields, frame.fields);
 }
 
+TEST(ServeFrameCodec, RoundTripsTraceAndSpanIds) {
+  ServeFrame frame;
+  frame.kind = "submit";
+  frame.trace_id = 0xabcdef0123456789ULL;
+  frame.span_id = 42;
+  frame.fields = {"{\"name\": \"demo\"}"};
+  const auto decoded =
+      hm::sandbox::decode_serve_frame(hm::sandbox::encode_serve_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->trace_id, frame.trace_id);
+  EXPECT_EQ(decoded->span_id, frame.span_id);
+  EXPECT_EQ(decoded->fields, frame.fields);
+  // Untraced frames carry explicit zeros, not missing fields.
+  frame.trace_id = 0;
+  frame.span_id = 0;
+  const auto untraced =
+      hm::sandbox::decode_serve_frame(hm::sandbox::encode_serve_frame(frame));
+  ASSERT_TRUE(untraced.has_value());
+  EXPECT_EQ(untraced->trace_id, 0u);
+  EXPECT_EQ(untraced->span_id, 0u);
+}
+
 TEST(ServeFrameCodec, RejectsForeignPayloads) {
   EXPECT_FALSE(hm::sandbox::decode_serve_frame("").has_value());
   EXPECT_FALSE(hm::sandbox::decode_serve_frame("not a frame").has_value());

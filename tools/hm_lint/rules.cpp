@@ -1035,6 +1035,60 @@ class NoUnguardedSyscallRule final : public Rule {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Rule 11: no-bare-stderr
+// ---------------------------------------------------------------------------
+
+/// Diagnostics written straight to stderr (std::cerr, fprintf(stderr, ...),
+/// fputs(..., stderr)) bypass the log substrate: no timestamp, no thread
+/// id, no campaign context tag — in the hm_serve daemon they interleave
+/// unattributably with the structured log stream, and nothing correlates
+/// them with traces or the flight recorder. hm::common::log_error/log_warn
+/// cost one line more and keep every diagnostic greppable by campaign.
+/// Exempt: the log substrate itself (it owns the stderr sink), test trees
+/// (harness chatter), and the linter's own CLI front-end (its contract is
+/// plain, format-stable stderr usage/diagnostic text, and it must not
+/// depend on the layer it lints).
+class NoBareStderrRule final : public Rule {
+ public:
+  [[nodiscard]] std::string_view id() const override {
+    return "no-bare-stderr";
+  }
+  [[nodiscard]] std::string_view description() const override {
+    return "direct stderr write (std::cerr / fprintf(stderr, ...)) outside "
+           "common/log; use hm::common::log_error/log_warn so diagnostics "
+           "carry timestamps and campaign context";
+  }
+
+  void check(const FileContext& file, std::vector<Diagnostic>& out) const override {
+    if (file.is_test_file()) return;
+    if (path_contains(file, "src/common/log.") ||
+        path_contains(file, "tools/hm_lint/main.cpp")) {
+      return;
+    }
+    const auto& tokens = file.tokens;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokenKind::kIdentifier) continue;
+      if (t.text == "stderr") {
+        report(file, t.line,
+               "direct stderr write bypasses the log substrate; use "
+               "hm::common::log_error/log_warn (timestamped, thread- and "
+               "campaign-tagged) or suppress with a reasoned comment",
+               out);
+        continue;
+      }
+      if (t.text == "cerr") {
+        report(file, t.line,
+               "std::cerr bypasses the log substrate; use "
+               "hm::common::log_error/log_warn (timestamped, thread- and "
+               "campaign-tagged) or suppress with a reasoned comment",
+               out);
+      }
+    }
+  }
+};
+
 std::vector<std::shared_ptr<const Rule>> default_rules() {
   return {
       std::make_shared<NoRawThreadRule>(),
@@ -1047,6 +1101,7 @@ std::vector<std::shared_ptr<const Rule>> default_rules() {
       std::make_shared<NoAdhocInstrumentationRule>(),
       std::make_shared<NoUnalignedSimdLoadRule>(),
       std::make_shared<NoUnguardedSyscallRule>(),
+      std::make_shared<NoBareStderrRule>(),
   };
 }
 
