@@ -88,8 +88,13 @@ void FlightRecorder::record(FlightEventKind kind, std::string_view detail,
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[seq % kCapacity];
   // Invalidate first so a racing reader discards the half-rewritten slot
-  // rather than mixing generations.
-  slot.commit.store(0, std::memory_order_release);
+  // rather than mixing generations. The release fence is what orders the
+  // invalidation *before* the payload stores below (a release store only
+  // orders its predecessors); it pairs with the reader's acquire fence
+  // ahead of the commit re-check, so a reader that saw any new payload
+  // byte cannot still see the stale generation stamp.
+  slot.commit.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   slot.unix_ms.store(unix_now_ms(), std::memory_order_relaxed);
   slot.seq.store(seq, std::memory_order_relaxed);
   slot.kind.store(static_cast<std::uint32_t>(kind),

@@ -20,6 +20,7 @@ namespace hm::common {
 namespace {
 
 std::atomic<bool> g_trace_enabled{false};
+std::atomic<bool> g_trace_request_only{false};
 std::atomic<bool> g_span_histograms_enabled{true};
 
 thread_local std::uint64_t t_trace_id = 0;
@@ -107,6 +108,14 @@ bool trace_enabled() noexcept {
   return g_trace_enabled.load(std::memory_order_relaxed);
 }
 
+void set_trace_request_only(bool enabled) noexcept {
+  g_trace_request_only.store(enabled, std::memory_order_relaxed);
+}
+
+bool trace_request_only() noexcept {
+  return g_trace_request_only.load(std::memory_order_relaxed);
+}
+
 std::uint32_t trace_thread_id() { return local_buffer().tid; }
 
 std::uint64_t current_trace_id() noexcept { return t_trace_id; }
@@ -135,6 +144,27 @@ void clear_trace() {
     buffer->events.clear();
   }
   c.foreign.clear();
+}
+
+void drop_trace_spans(std::uint64_t trace_id) {
+  if (trace_id == 0) return;
+  // Same collector-then-buffer lock order as clear_trace/trace_snapshot.
+  Collector& c = collector();
+  const std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buffer : c.buffers) {
+    const std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.erase(
+        std::remove_if(buffer->events.begin(), buffer->events.end(),
+                       [trace_id](const TraceEvent& event) {
+                         return event.trace_id == trace_id;
+                       }),
+        buffer->events.end());
+  }
+  c.foreign.erase(std::remove_if(c.foreign.begin(), c.foreign.end(),
+                                 [trace_id](const RemoteTraceEvent& event) {
+                                   return event.trace_id == trace_id;
+                                 }),
+                  c.foreign.end());
 }
 
 std::vector<TraceEvent> trace_snapshot() {
@@ -336,6 +366,10 @@ std::int64_t trace_epoch_unix_ns() noexcept { return trace_epoch().unix_ns; }
 
 void record_span(const char* name, const char* category, std::int64_t start_ns,
                  std::int64_t duration_ns) {
+  if (t_trace_id == 0 &&
+      g_trace_request_only.load(std::memory_order_relaxed)) {
+    return;
+  }
   ThreadBuffer& buffer = local_buffer();
   const std::lock_guard<std::mutex> lock(buffer.mutex);
   buffer.events.push_back(TraceEvent{name, category, buffer.tid, start_ns,

@@ -52,6 +52,14 @@ struct RemoteTraceEvent {
 void set_trace_enabled(bool enabled) noexcept;
 [[nodiscard]] bool trace_enabled() noexcept;
 
+/// Runtime filter for request-scoped tracing: when set, spans recorded on
+/// a thread whose current trace id is 0 are dropped instead of buffered.
+/// Lets a long-lived daemon enable tracing on behalf of one traced request
+/// without accumulating spans for every other unit of work it runs. Off by
+/// default (all spans recorded).
+void set_trace_request_only(bool enabled) noexcept;
+[[nodiscard]] bool trace_request_only() noexcept;
+
 /// Runtime toggle for the span -> duration-histogram feed. On by default
 /// (phase duration metrics do not require trace capture); turning it off
 /// makes HM_TRACE_SPAN sites skip the histogram-argument evaluation
@@ -102,6 +110,12 @@ void init_trace_epoch() noexcept;
 /// Drops all recorded events (buffers of live threads and the foreign-span
 /// store included).
 void clear_trace();
+
+/// Drops every recorded event carrying `trace_id` — thread buffers and the
+/// foreign-span store both — leaving other requests' spans intact. Call
+/// after a request's bundle has been shipped so a long-lived process does
+/// not retain spans forever. No-op for id 0 (use clear_trace for that).
+void drop_trace_spans(std::uint64_t trace_id);
 
 /// Merged copy of every thread's events, sorted by (start, tid, name) so
 /// identical runs serialise identically.

@@ -130,8 +130,11 @@ struct ServeFrame {
 };
 
 /// Current serve protocol version; `hello`/`welcome` carry it so a client
-/// from a different build fails the handshake explicitly.
-inline constexpr std::uint64_t kServeProtocolVersion = 1;
+/// from a different build fails the handshake explicitly. v2: the serve
+/// frame header grew the (trace_id, span_id) pair and EvalRequest/
+/// EvalResponse gained trace_id/span_bundle — a v1 peer must be rejected
+/// at the handshake, not fail mid-stream with opaque decode errors.
+inline constexpr std::uint64_t kServeProtocolVersion = 2;
 
 [[nodiscard]] std::string encode_serve_frame(const ServeFrame& frame);
 [[nodiscard]] std::optional<ServeFrame> decode_serve_frame(

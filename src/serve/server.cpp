@@ -75,6 +75,7 @@ Server::~Server() {
 
 bool Server::start(std::string* error) {
   ignore_sigpipe();
+  trace_sticky_ = hm::common::trace_enabled();
   std::error_code ec;
   std::filesystem::create_directories(config_.journal_dir, ec);
   if (ec) {
@@ -348,7 +349,7 @@ bool Server::handle_submit(Connection& conn, const std::string& scenario_json,
     // The submit carried a trace context: record daemon-side spans for the
     // campaign under the client's id so its bundle merges into one timeline.
     campaign->set_trace_id(trace_id);
-    hm::common::set_trace_enabled(true);
+    begin_request_tracing();
   }
   FlightRecorder::global().record(FlightEventKind::kAdmit, id);
   if (!send(conn.fd, frame_of("accepted", {id}))) return false;
@@ -379,7 +380,7 @@ bool Server::handle_resume(Connection& conn, const std::string& id,
         conn.campaign = campaign;
         if (trace_id != 0) {
           campaign->set_trace_id(trace_id);
-          hm::common::set_trace_enabled(true);
+          begin_request_tracing();
         }
         return send(conn.fd, frame_of("accepted", {id}));
       }
@@ -407,9 +408,16 @@ bool Server::handle_resume(Connection& conn, const std::string& id,
   if (campaign == nullptr) {
     return send(conn.fd, frame_of("error", {error}));
   }
-  if (trace_id != 0) {
-    campaign->set_trace_id(trace_id);
-    hm::common::set_trace_enabled(true);
+  // The journal does not persist trace ids: a resume without one inherits
+  // the id of the in-memory object it replaces (parked mid-trace), so the
+  // pre-park spans still ship with the final bundle.
+  std::uint64_t effective_trace_id = trace_id;
+  if (effective_trace_id == 0 && existing != campaigns_.end()) {
+    effective_trace_id = existing->second->trace_id();
+  }
+  if (effective_trace_id != 0) {
+    campaign->set_trace_id(effective_trace_id);
+    begin_request_tracing();
   }
   FlightRecorder::global().record(FlightEventKind::kResume, id);
   if (!send(conn.fd, frame_of("accepted", {id}))) return false;
@@ -516,6 +524,12 @@ void Server::on_campaign_settled(const std::shared_ptr<Campaign>& campaign) {
                                      campaign->report()}));
       conn->campaign.reset();
     }
+    // Shipped (or unclaimable: no attached client ever gets a bundle for a
+    // campaign that finished detached) — release the spans either way so
+    // daemon memory is bounded by active campaigns, not lifetime evals.
+    if (campaign->trace_id() != 0) {
+      end_request_tracing(campaign->trace_id());
+    }
     return;
   }
   if (campaign->state() == Campaign::State::kParked) {
@@ -528,6 +542,30 @@ void Server::on_campaign_settled(const std::shared_ptr<Campaign>& campaign) {
       conn->campaign.reset();
     }
   }
+}
+
+void Server::begin_request_tracing() {
+  if (trace_sticky_) return;
+  // Request-only first: never a window where untraced work records spans.
+  hm::common::set_trace_request_only(true);
+  hm::common::set_trace_enabled(true);
+}
+
+void Server::end_request_tracing(std::uint64_t trace_id) {
+  if (trace_sticky_) return;
+  hm::common::drop_trace_spans(trace_id);
+  // Parked traced campaigns keep their (already bounded) spans so a later
+  // resume completes the timeline; they also keep recording enabled, which
+  // with the request-only filter and nothing running costs one relaxed
+  // load per span site.
+  for (const auto& [id, campaign] : campaigns_) {
+    if (campaign->trace_id() != 0 &&
+        campaign->state() != Campaign::State::kDone) {
+      return;
+    }
+  }
+  hm::common::set_trace_enabled(false);
+  hm::common::set_trace_request_only(false);
 }
 
 void Server::abandon_connection(Connection& conn, const std::string& reason) {
@@ -661,16 +699,20 @@ void Server::accept_http_connection() {
     close_socket(fd);
     return;
   }
+  if (http_connections_.size() >= kHttpMaxConnections) {
+    // Over the scrape cap: best-effort 503 and close now. Tracking the
+    // socket would let a slow-reading flood grow the poll set past the cap
+    // and hold fds until the deadline reaper gets to them.
+    const std::string reply = http_response(503, "Service Unavailable",
+                                            "text/plain; charset=utf-8",
+                                            "scrape connection limit reached\n");
+    (void)write_some(fd, reply.data(), reply.size());
+    close_socket(fd);
+    return;
+  }
   HttpConnection conn;
   conn.fd = fd;
   conn.opened = clock_.seconds();
-  if (http_connections_.size() >= kHttpMaxConnections) {
-    // Over the scrape cap: answer 503 immediately rather than queue.
-    conn.responding = true;
-    conn.response = http_response(503, "Service Unavailable",
-                                  "text/plain; charset=utf-8",
-                                  "scrape connection limit reached\n");
-  }
   http_connections_.push_back(std::move(conn));
 }
 

@@ -164,6 +164,16 @@ class Server {
   void enforce_deadlines();
   void drain(bool from_signal);
 
+  /// Turns span recording on for a traced submit/resume. When the daemon
+  /// itself was started with tracing enabled (--trace), this is a no-op:
+  /// the operator owns the toggle and every span, request-scoped or not.
+  void begin_request_tracing();
+  /// Releases a finished campaign's trace state: drops its spans (the
+  /// bundle, if a client was attached, has already been shipped) and turns
+  /// recording back off once no unfinished traced campaign remains. No-op
+  /// under operator-owned (--trace) tracing.
+  void end_request_tracing(std::uint64_t trace_id);
+
   void accept_http_connection();
   /// Advances one scrape; returns false when the socket must close.
   [[nodiscard]] bool service_http_connection(HttpConnection& conn,
@@ -193,6 +203,11 @@ class Server {
 
   std::mutex completion_mutex_;
   std::deque<Completion> completions_;  // hm-guarded-by(completion_mutex_)
+
+  /// Tracing was already on when the daemon started (--trace): the server
+  /// never toggles it or drops spans — the whole process timeline belongs
+  /// to the operator's trace file.
+  bool trace_sticky_ = false;
 
   std::atomic<bool> stop_requested_{false};  ///< stop() -> loop.
   std::size_t sheds_ = 0;

@@ -21,10 +21,12 @@ class TraceGuard {
  public:
   TraceGuard() {
     set_trace_enabled(false);
+    set_trace_request_only(false);
     clear_trace();
   }
   ~TraceGuard() {
     set_trace_enabled(false);
+    set_trace_request_only(false);
     clear_trace();
   }
 };
@@ -450,6 +452,50 @@ TEST(TraceId, SpansCarryTheCurrentTraceId) {
   }
   EXPECT_EQ(tagged, 9001u);
   EXPECT_EQ(untagged, 0u);
+}
+
+TEST(TraceId, RequestOnlyModeDropsSpansWithoutATraceId) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  set_trace_request_only(true);
+  {
+    const TraceContext context(4242);
+    const TraceSpan span("tagged", "test");
+  }
+  {
+    const TraceSpan span("untagged", "test");
+  }
+  const std::vector<TraceEvent> events = trace_snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "tagged");
+  EXPECT_EQ(events[0].trace_id, 4242u);
+}
+
+TEST(TraceId, DropTraceSpansRemovesExactlyThatId) {
+  const TraceGuard guard;
+  set_trace_enabled(true);
+  {
+    const TraceContext context(111);
+    const TraceSpan span("first", "test");
+  }
+  {
+    const TraceContext context(222);
+    const TraceSpan span("second", "test");
+  }
+  // A foreign bundle for id 111 lands in the foreign store; the drop must
+  // clear both homes of that id and neither home of the other.
+  const std::string bundle = encode_span_bundle(111);
+  ASSERT_TRUE(ingest_span_bundle(bundle));
+  ASSERT_EQ(merged_trace_snapshot().size(), 3u);
+
+  drop_trace_spans(111);
+  const std::vector<RemoteTraceEvent> merged = merged_trace_snapshot();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].name, "second");
+  EXPECT_EQ(merged[0].trace_id, 222u);
+
+  drop_trace_spans(0);  // No-op by contract, not a clear.
+  EXPECT_EQ(merged_trace_snapshot().size(), 1u);
 }
 
 TEST(SpanBundle, RoundTripPreservesSpansAndProcessIds) {

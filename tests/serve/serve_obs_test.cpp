@@ -302,6 +302,36 @@ TEST(ServeObs, ScrapeDuringDrainNeitherBlocksNorCrashes) {
   std::filesystem::remove(dump_path);
 }
 
+TEST(ServeObs, RequestScopedTracingIsReleasedWhenTheCampaignFinishes) {
+  // No process-wide --trace here: the daemon enables recording on behalf
+  // of the traced submit and must turn it back off — and free the
+  // campaign's spans — once the bundle has shipped, so a long-lived
+  // daemon's memory does not grow with evaluation count.
+  common::clear_trace();
+  ASSERT_FALSE(common::trace_enabled());
+  ObsTestServer ts("tracecleanup");
+  ASSERT_TRUE(ts.start());
+
+  std::string error;
+  auto client = Client::connect_port(ts.port(), 5.0, &error);
+  ASSERT_TRUE(client.has_value()) << error;
+  client->set_trace_id(common::generate_trace_id());
+  const ClientResult result =
+      client->run_scenario(grid_scenario("obs-cleanup"), 60.0);
+  ASSERT_EQ(result.status, ClientResult::Status::kReport) << result.message;
+  // The daemon recorded campaign spans under the request id and shipped
+  // them as a bundle before the report.
+  EXPECT_GE(client->span_bundles_ingested(), 1u);
+  client->bye();
+  ts.stop_and_join();
+  EXPECT_EQ(ts.exit_code, 0);
+
+  EXPECT_FALSE(common::trace_enabled())
+      << "daemon left request tracing enabled after its campaign finished";
+  EXPECT_FALSE(common::trace_request_only());
+  common::clear_trace();
+}
+
 TEST(ServeObs, TracedSandboxCampaignMergesThreeProcessesUnderOneId) {
   if (HM_SERVE_TEST_TSAN) {
     GTEST_SKIP() << "fork+threads is unsupported under ThreadSanitizer";
